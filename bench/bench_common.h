@@ -1,0 +1,101 @@
+//===- bench/bench_common.h - Shared benchmark utilities ---------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark binaries: building +
+/// JIT-compiling the FreeTensor implementations of the §6.1 workloads,
+/// binding their buffers, and constructing the EagerTensor inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_BENCH_BENCH_COMMON_H
+#define FT_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+
+#include "autodiff/grad.h"
+#include "autoschedule/autoschedule.h"
+#include "codegen/jit.h"
+#include "interp/interp.h"
+#include "workloads/workloads.h"
+
+namespace ftb {
+
+using namespace ft;
+using namespace ft::workloads;
+
+/// A compiled kernel plus owned argument buffers.
+struct BoundKernel {
+  Kernel K;
+  std::map<std::string, Buffer> Store;
+  std::map<std::string, Buffer *> Args;
+
+  void bind() {
+    Args.clear();
+    for (auto &[N, B] : Store)
+      Args[N] = &B;
+  }
+
+  void run() {
+    Status S = K.run(Args);
+    ftAssert(S.ok(), S.message());
+  }
+};
+
+/// Auto-schedules and JIT-compiles \p F; aborts on failure (benchmarks
+/// must not silently skip).
+inline Kernel compileAuto(Func F) {
+  Func Opt = autoScheduleFunc(std::move(F));
+  auto K = Kernel::compile(Opt);
+  ftAssert(K.ok(), K.message());
+  return *K;
+}
+
+/// Allocates buffers for a grad pair (tapes, seeds=1, grads) given the
+/// primal data already present in \p Store.
+inline void bindGradBuffers(const GradResult &G,
+                            std::map<std::string, Buffer> &Store) {
+  for (const std::string &T : G.Tapes) {
+    auto D = findVarDef(G.Forward.Body, T);
+    ftAssert(D != nullptr, "tape def missing");
+    std::vector<int64_t> Shape;
+    for (const Expr &E : D->Info.Shape) {
+      auto IC = dyn_cast<IntConstNode>(E);
+      ftAssert(IC != nullptr, "bench tapes must be constant-shaped");
+      Shape.push_back(IC->Val);
+    }
+    Store.emplace(T, Buffer(DataType::Float32, Shape));
+  }
+  for (const auto &[Y, SeedName] : G.SeedNames) {
+    Buffer Seed(DataType::Float32, Store.at(Y).shape());
+    for (int64_t I = 0; I < Seed.numel(); ++I)
+      Seed.setF(I, 1.0);
+    Store.emplace(SeedName, std::move(Seed));
+  }
+  for (const auto &[X, GradName] : G.GradNames)
+    Store.emplace(GradName, Buffer(DataType::Float32, Store.at(X).shape()));
+}
+
+/// Converts an interp Buffer into an eager Tensor.
+inline eager::Tensor toEager(const Buffer &B, bool RequiresGrad = false) {
+  return eager::Tensor::fromVec(
+      B.shape(),
+      std::vector<float>(B.as<float>(), B.as<float>() + B.numel()),
+      RequiresGrad);
+}
+
+inline eager::IndexTensor toEagerIdx(const Buffer &B) {
+  return eager::IndexTensor::fromVec(
+      B.shape(),
+      std::vector<int64_t>(B.as<int64_t>(), B.as<int64_t>() + B.numel()));
+}
+
+/// The benchmark problem sizes (kept CPU-friendly; the paper's shapes are
+/// GPU-scale — see EXPERIMENTS.md).
+inline SubdivNetConfig subdivnetCfg() { return {4096, 64}; }
+inline LongformerConfig longformerCfg() { return {512, 64, 32}; }
+inline SoftRasConfig softrasCfg() { return {128, 32, 32, 0.05f}; }
+inline GATConfig gatCfg() { return {2048, 32, 8}; }
+
+} // namespace ftb
+
+#endif // FT_BENCH_BENCH_COMMON_H

@@ -1,0 +1,146 @@
+//===- bench/fig16b_grad.cpp - Paper Figure 16(b) ---------------------------===//
+//
+// End-to-end time *with* differentiation (forward + backward pass), for
+// SubdivNet, Longformer, and SoftRas (the paper omits GAT's gradient).
+//
+//   FreeTensor : grad() source transformation (selective materialization),
+//                both passes auto-scheduled and JIT-compiled
+//   Eager      : the operator baseline's tape autograd, which materializes
+//                every intermediate (the cause of the paper's up-to-127x
+//                gap and of the Longformer OOM on GPU)
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace ftb;
+
+namespace {
+
+/// Compiled forward+backward pair with bound buffers.
+struct GradBench {
+  Kernel Fwd, Bwd;
+  std::map<std::string, Buffer> Store;
+  std::map<std::string, Buffer *> FwdArgs, BwdArgs;
+
+  void finalize(const GradResult &G) {
+    bindGradBuffers(G, Store);
+    for (const std::string &P : G.Forward.Params)
+      FwdArgs[P] = &Store.at(P);
+    for (const std::string &P : G.Backward.Params)
+      BwdArgs[P] = &Store.at(P);
+  }
+
+  void runBoth() {
+    Status S1 = Fwd.run(FwdArgs);
+    ftAssert(S1.ok(), S1.message());
+    Status S2 = Bwd.run(BwdArgs);
+    ftAssert(S2.ok(), S2.message());
+  }
+};
+
+GradBench makeGradBench(const Func &F, const std::vector<std::string> &Wrt,
+                        std::map<std::string, Buffer> Primal) {
+  auto G = grad(F, Wrt, TapeStrategy::Selective);
+  ftAssert(G.ok(), G.message());
+  GradBench B;
+  B.Store = std::move(Primal);
+  B.Fwd = compileAuto(G->Forward);
+  B.Bwd = compileAuto(G->Backward);
+  B.finalize(*G);
+  return B;
+}
+
+} // namespace
+
+static void Fig16b_SubdivNet_FreeTensor(benchmark::State &State) {
+  static GradBench B = [] {
+    SubdivNetConfig C = subdivnetCfg();
+    SubdivNetData D = makeSubdivNetData(C);
+    std::map<std::string, Buffer> P;
+    P.emplace("e", std::move(D.E));
+    P.emplace("adj", std::move(D.Adj));
+    P.emplace("y", Buffer(DataType::Float32, {C.NFaces, C.Feats}));
+    return makeGradBench(buildSubdivNet(C), {"e"}, std::move(P));
+  }();
+  for (auto _ : State)
+    B.runBoth();
+}
+BENCHMARK(Fig16b_SubdivNet_FreeTensor);
+
+static void Fig16b_SubdivNet_Eager(benchmark::State &State) {
+  static SubdivNetConfig C = subdivnetCfg();
+  static SubdivNetData D = makeSubdivNetData(C);
+  static eager::Tensor E = toEager(D.E, /*RequiresGrad=*/true);
+  static eager::IndexTensor Adj = toEagerIdx(D.Adj);
+  for (auto _ : State) {
+    eager::clearTape();
+    eager::Tensor Y = subdivnetEager(E, Adj, C);
+    eager::backward(Y);
+    benchmark::DoNotOptimize(E.grad().data());
+  }
+}
+BENCHMARK(Fig16b_SubdivNet_Eager);
+
+static void Fig16b_Longformer_FreeTensor(benchmark::State &State) {
+  static GradBench B = [] {
+    LongformerConfig C = longformerCfg();
+    LongformerData D = makeLongformerData(C);
+    std::map<std::string, Buffer> P;
+    P.emplace("Q", std::move(D.Q));
+    P.emplace("K", std::move(D.K));
+    P.emplace("V", std::move(D.V));
+    P.emplace("y", Buffer(DataType::Float32, {C.SeqLen, C.Feats}));
+    return makeGradBench(buildLongformer(C), {"Q", "K", "V"}, std::move(P));
+  }();
+  for (auto _ : State)
+    B.runBoth();
+}
+BENCHMARK(Fig16b_Longformer_FreeTensor);
+
+static void Fig16b_Longformer_Eager(benchmark::State &State) {
+  static LongformerConfig C = longformerCfg();
+  static LongformerData D = makeLongformerData(C);
+  static eager::Tensor Q = toEager(D.Q, true), K = toEager(D.K, true),
+                       V = toEager(D.V, true);
+  for (auto _ : State) {
+    eager::clearTape();
+    eager::Tensor Y = longformerEager(Q, K, V, C);
+    eager::backward(Y);
+    benchmark::DoNotOptimize(Q.grad().data());
+  }
+}
+BENCHMARK(Fig16b_Longformer_Eager);
+
+static void Fig16b_SoftRas_FreeTensor(benchmark::State &State) {
+  static GradBench B = [] {
+    SoftRasConfig C = softrasCfg();
+    SoftRasData D = makeSoftRasData(C);
+    std::map<std::string, Buffer> P;
+    P.emplace("verts", std::move(D.Verts));
+    P.emplace("px", std::move(D.Px));
+    P.emplace("py", std::move(D.Py));
+    P.emplace("img", Buffer(DataType::Float32, {C.numPixels()}));
+    return makeGradBench(buildSoftRas(C), {"verts"}, std::move(P));
+  }();
+  for (auto _ : State)
+    B.runBoth();
+}
+BENCHMARK(Fig16b_SoftRas_FreeTensor);
+
+static void Fig16b_SoftRas_Eager(benchmark::State &State) {
+  static SoftRasConfig C = softrasCfg();
+  static SoftRasData D = makeSoftRasData(C);
+  static SoftRasEagerInputs In = makeSoftRasEagerInputs(D, true);
+  for (auto _ : State) {
+    eager::clearTape();
+    eager::Tensor Img = softrasEager(In, C);
+    eager::backward(Img);
+    benchmark::DoNotOptimize(In.Vx[0].grad().data());
+  }
+}
+BENCHMARK(Fig16b_SoftRas_Eager);
+
+BENCHMARK_MAIN();

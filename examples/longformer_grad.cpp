@@ -1,0 +1,96 @@
+//===- examples/longformer_grad.cpp - Attention + AD (paper §5) ------------===//
+//
+// Differentiates the Longformer sliding-window attention with the
+// fine-grained AD pass, compiles forward and backward to native code, and
+// reports the selective-materialization decisions and gradient norms.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <cstdio>
+
+#include "autodiff/grad.h"
+#include "autoschedule/autoschedule.h"
+#include "codegen/jit.h"
+#include "workloads/workloads.h"
+
+using namespace ft;
+using namespace ft::workloads;
+
+int main() {
+  LongformerConfig C{128, 32, 8};
+  std::printf("Longformer attention: seq=%lld feat=%lld window=+-%lld\n",
+              static_cast<long long>(C.SeqLen),
+              static_cast<long long>(C.Feats),
+              static_cast<long long>(C.W));
+
+  Func F = buildLongformer(C);
+  auto G = grad(F, {"Q", "K", "V"}, TapeStrategy::Selective);
+  if (!G.ok()) {
+    std::printf("grad failed: %s\n", G.message().c_str());
+    return 1;
+  }
+  std::printf("selective materialization kept %zu tape(s):",
+              G->Tapes.size());
+  for (const std::string &T : G->Tapes)
+    std::printf(" %s", T.c_str());
+  std::printf("\n(everything else is recomputed in the backward pass)\n");
+
+  auto FwdK = Kernel::compile(autoScheduleFunc(G->Forward));
+  auto BwdK = Kernel::compile(autoScheduleFunc(G->Backward));
+  if (!FwdK.ok() || !BwdK.ok()) {
+    std::printf("compile failed\n");
+    return 1;
+  }
+
+  // Bind buffers.
+  LongformerData D = makeLongformerData(C);
+  std::map<std::string, Buffer> Store;
+  Store.emplace("Q", std::move(D.Q));
+  Store.emplace("K", std::move(D.K));
+  Store.emplace("V", std::move(D.V));
+  Store.emplace("y", Buffer(DataType::Float32, {C.SeqLen, C.Feats}));
+  for (const std::string &T : G->Tapes) {
+    auto Def = findVarDef(G->Forward.Body, T);
+    std::vector<int64_t> Shape;
+    for (const Expr &E : Def->Info.Shape)
+      Shape.push_back(cast<IntConstNode>(E)->Val);
+    Store.emplace(T, Buffer(DataType::Float32, Shape));
+  }
+  for (const auto &[Y, Seed] : G->SeedNames) {
+    Buffer B(DataType::Float32, Store.at(Y).shape());
+    for (int64_t I = 0; I < B.numel(); ++I)
+      B.setF(I, 1.0);
+    Store.emplace(Seed, std::move(B));
+  }
+  for (const auto &[X, GradName] : G->GradNames)
+    Store.emplace(GradName, Buffer(DataType::Float32, Store.at(X).shape()));
+
+  std::map<std::string, Buffer *> FwdArgs, BwdArgs;
+  for (const std::string &P : G->Forward.Params)
+    FwdArgs[P] = &Store.at(P);
+  for (const std::string &P : G->Backward.Params)
+    BwdArgs[P] = &Store.at(P);
+
+  Status S1 = FwdK->run(FwdArgs);
+  Status S2 = BwdK->run(BwdArgs);
+  if (!S1.ok() || !S2.ok()) {
+    std::printf("execution failed\n");
+    return 1;
+  }
+
+  auto Norm = [&](const std::string &N) {
+    const Buffer &B = Store.at(N);
+    double S = 0;
+    for (int64_t I = 0; I < B.numel(); ++I)
+      S += double(B.getF(I)) * B.getF(I);
+    return std::sqrt(S);
+  };
+  std::printf("\n|y|        = %10.4f\n", Norm("y"));
+  for (const std::string &X : {"Q", "K", "V"})
+    std::printf("|d%s|       = %10.4f\n", X.c_str(),
+                Norm(G->GradNames.at(X)));
+  std::printf("\nforward + backward compiled and ran natively; gradients "
+              "are non-trivial.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===- examples/manual_schedule.cpp - Hand-tuning with schedules -----------===//
+//
+// The paper exposes every transformation to users who want manual control
+// (§4.3: "users are free to override them and manually apply other
+// transformations"). This example hand-tunes a stencil the way a
+// performance engineer would, printing the IR after each step, and shows
+// the dependence analysis rejecting an illegal request along the way.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "codegen/jit.h"
+#include "frontend/libop.h"
+#include "interp/interp.h"
+#include "ir/printer.h"
+#include "schedule/schedule.h"
+
+using namespace ft;
+
+int main() {
+  const int64_t N = 64, M = 64;
+  // out[i, j] = (in[i, j] + in[i, j+1] + in[i+1, j]) / 3 over an (N-1) x
+  // (M-1) interior, followed by a row-sum reduction.
+  FunctionBuilder B("stencil");
+  View In = B.input("in", {makeIntConst(N), makeIntConst(M)});
+  View Out = B.output("out", {makeIntConst(N - 1), makeIntConst(M - 1)});
+  View RowSum = B.output("rowsum", {makeIntConst(N - 1)});
+  B.loop(
+      "i", 0, N - 1,
+      [&](Expr I) {
+        B.loop(
+            "j", 0, M - 1,
+            [&](Expr J) {
+              Out[I][J].assign((In[I][J].load() + In[I][J + 1].load() +
+                                In[I + 1][J].load()) /
+                               makeFloatConst(3.0));
+            },
+            "cols");
+      },
+      "rows");
+  B.loop(
+      "i", 0, N - 1,
+      [&](Expr I) {
+        RowSum[I].assign(0.0);
+        B.loop("j", 0, M - 1,
+               [&](Expr J) { RowSum[I] += Out[I][J].load(); });
+      },
+      "sumrows");
+  Func F = B.build();
+
+  Schedule S(F);
+  int64_t Rows = *S.findByLabel("rows");
+  int64_t Cols = *S.findByLabel("cols");
+  int64_t SumRows = *S.findByLabel("sumrows");
+
+  std::printf("step 1: reorder(cols, rows) — legal, no carried "
+              "dependence in either direction\n");
+  Status R1 = S.reorder({Cols, Rows});
+  std::printf("  -> %s\n", R1.ok() ? "accepted" : R1.message().c_str());
+  std::printf("step 2: reorder back\n");
+  Status R2 = S.reorder({Rows, Cols});
+  std::printf("  -> %s\n", R2.ok() ? "accepted" : R2.message().c_str());
+
+  std::printf("step 3: fuse the stencil rows with the reduction rows\n");
+  auto Fused = S.fuse(Rows, SumRows);
+  std::printf("  -> %s\n",
+              Fused.ok() ? "accepted (producer/consumer at equal rows)"
+                         : Fused.message().c_str());
+
+  std::printf("step 4: try to fuse a loop with itself — rejected\n");
+  if (Fused.ok()) {
+    auto Bad = S.fuse(*Fused, *Fused);
+    std::printf("  -> %s\n", Bad.ok() ? "?!" : Bad.message().c_str());
+  }
+
+  std::printf("step 5: split the fused row loop by 8 and unroll-mark the "
+              "inner\n");
+  if (Fused.ok()) {
+    auto Ids = S.split(*Fused, 8);
+    if (Ids.ok()) {
+      (void)S.unroll(Ids->Second, /*Full=*/false);
+      std::printf("  -> outer %lld, inner %lld\n",
+                  static_cast<long long>(Ids->First),
+                  static_cast<long long>(Ids->Second));
+    }
+  }
+  S.cleanup();
+
+  std::printf("\n=== final IR ===\n%s\n", toString(S.ast()).c_str());
+
+  // Prove the hand-tuned program still computes the same thing.
+  Buffer BIn(DataType::Float32, {N, M});
+  for (int64_t I = 0; I < BIn.numel(); ++I)
+    BIn.setF(I, 0.01 * double(I % 101));
+  Buffer O1(DataType::Float32, {N - 1, M - 1});
+  Buffer O2(DataType::Float32, {N - 1, M - 1});
+  Buffer S1(DataType::Float32, {N - 1}), S2(DataType::Float32, {N - 1});
+  interpret(F, {{"in", &BIn}, {"out", &O1}, {"rowsum", &S1}});
+  interpret(S.func(), {{"in", &BIn}, {"out", &O2}, {"rowsum", &S2}});
+  double MaxErr = 0;
+  for (int64_t I = 0; I < O1.numel(); ++I)
+    MaxErr = std::max(MaxErr, std::abs(O1.getF(I) - O2.getF(I)));
+  for (int64_t I = 0; I < S1.numel(); ++I)
+    MaxErr = std::max(MaxErr, std::abs(S1.getF(I) - S2.getF(I)));
+  std::printf("max |difference| after 5 scheduling steps: %.2e\n", MaxErr);
+
+  auto K = Kernel::compile(S.func());
+  if (K.ok())
+    std::printf("hand-tuned kernel compiled natively in %.2f s\n",
+                K->compileSeconds());
+  return MaxErr < 1e-5 ? 0 : 1;
+}

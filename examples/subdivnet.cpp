@@ -1,0 +1,91 @@
+//===- examples/subdivnet.cpp - Mesh convolution (paper §2) -----------------===//
+//
+// The motivating example of the paper: SubdivNet's circular-difference
+// mesh convolution, written with fine-grained control flow, auto-scheduled
+// and JIT-compiled, and compared against the operator-based baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+#include <cstdio>
+
+#include "autoschedule/autoschedule.h"
+#include "codegen/jit.h"
+#include "workloads/workloads.h"
+
+using namespace ft;
+using namespace ft::workloads;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+int main() {
+  SubdivNetConfig C{2048, 32};
+  SubdivNetData D = makeSubdivNetData(C);
+  std::printf("SubdivNet mesh convolution: %lld faces x %lld features\n",
+              static_cast<long long>(C.NFaces),
+              static_cast<long long>(C.Feats));
+
+  // FreeTensor: one fused kernel for the whole layer.
+  Func F = buildSubdivNet(C);
+  AutoScheduleReport R;
+  Func Opt = autoScheduleFunc(F, {}, &R);
+  std::printf("auto-schedule: fused=%d vectorized=%d parallel=%d "
+              "localized=%d unrolled=%d\n",
+              R.Fused, R.Vectorized, R.Parallelized, R.Localized,
+              R.Unrolled);
+  auto K = Kernel::compile(Opt);
+  if (!K.ok()) {
+    std::printf("compile failed: %s\n", K.message().c_str());
+    return 1;
+  }
+
+  Buffer Y(DataType::Float32, {C.NFaces, C.Feats});
+  std::map<std::string, Buffer *> Args{
+      {"e", &D.E}, {"adj", &D.Adj}, {"y", &Y}};
+  K->run(Args); // Warm up.
+  double T0 = now();
+  const int Reps = 50;
+  for (int I = 0; I < Reps; ++I)
+    K->run(Args);
+  double FtMs = (now() - T0) / Reps * 1e3;
+
+  // Operator-based baseline: gather + roll + abs + reductions.
+  eager::resetStats();
+  eager::clearTape();
+  eager::Tensor E = eager::Tensor::fromVec(
+      {C.NFaces, C.Feats},
+      std::vector<float>(D.E.as<float>(), D.E.as<float>() + D.E.numel()));
+  eager::IndexTensor Adj = eager::IndexTensor::fromVec(
+      {C.NFaces, 3},
+      std::vector<int64_t>(D.Adj.as<int64_t>(),
+                           D.Adj.as<int64_t>() + D.Adj.numel()));
+  eager::Tensor YE = subdivnetEager(E, Adj, C); // Warm up + count kernels.
+  int64_t Kernels = eager::stats().KernelLaunches;
+  double T1 = now();
+  for (int I = 0; I < Reps; ++I) {
+    eager::clearTape();
+    YE = subdivnetEager(E, Adj, C);
+  }
+  double EagerMs = (now() - T1) / Reps * 1e3;
+
+  // Verify agreement.
+  double MaxErr = 0;
+  for (int64_t I = 0; I < Y.numel(); ++I)
+    MaxErr = std::max(MaxErr,
+                      std::abs(double(Y.as<float>()[I]) - YE.data()[I]));
+
+  std::printf("\nFreeTensor (1 kernel):        %8.3f ms\n", FtMs);
+  std::printf("operator baseline (%2lld kernels): %8.3f ms\n",
+              static_cast<long long>(Kernels), EagerMs);
+  std::printf("speedup: %.2fx   max |diff| = %.2e\n", EagerMs / FtMs,
+              MaxErr);
+  return MaxErr < 1e-3 ? 0 : 1;
+}

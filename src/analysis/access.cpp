@@ -1,0 +1,238 @@
+//===- analysis/access.cpp ------------------------------------------------===//
+
+#include "analysis/access.h"
+
+#include <algorithm>
+
+#include "ir/visitor.h"
+
+using namespace ft;
+
+bool AccessPoint::isInside(int64_t Id) const {
+  return std::find(EnclosingStmts.begin(), EnclosingStmts.end(), Id) !=
+         EnclosingStmts.end();
+}
+
+bool AccessPoint::isInsideLoop(int64_t Id) const {
+  for (const LoopAxis &L : Loops)
+    if (L.ForId == Id)
+      return true;
+  return false;
+}
+
+bool AccessCollection::isParam(const std::string &Name) const {
+  auto It = Defs.find(Name);
+  if (It == Defs.end())
+    return false;
+  const VarDefNode *D = It->second.get();
+  return D->ATy == AccessType::Input && D->Info.Shape.empty() &&
+         isInt(D->Info.Dtype);
+}
+
+namespace {
+
+/// Collects accesses with full context. Works on shared handles (not the
+/// raw-pointer Visitor) because AccessPoints keep Expr references.
+class AccessCollector {
+public:
+  AccessCollection run(const Stmt &Root) {
+    // Pre-pass: record all VarDefs so reads of shape parameters are
+    // classified correctly even before their use site is reached.
+    collectDefs(Root);
+    visitStmt(Root);
+    return std::move(Out);
+  }
+
+private:
+  void collectDefs(const Stmt &S) {
+    switch (S->kind()) {
+    case NodeKind::StmtSeq:
+      for (const Stmt &Sub : cast<StmtSeqNode>(S)->Stmts)
+        collectDefs(Sub);
+      return;
+    case NodeKind::VarDef: {
+      auto D = cast<VarDefNode>(S);
+      Out.Defs[D->Name] = D;
+      collectDefs(D->Body);
+      return;
+    }
+    case NodeKind::For:
+      collectDefs(cast<ForNode>(S)->Body);
+      return;
+    case NodeKind::If: {
+      auto I = cast<IfNode>(S);
+      collectDefs(I->Then);
+      if (I->Else)
+        collectDefs(I->Else);
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  AccessPoint baseline(int64_t StmtId, int Phase) const {
+    AccessPoint P;
+    P.StmtId = StmtId;
+    P.Seq = Seq;
+    P.Phase = Phase;
+    P.Loops = LoopStack;
+    P.Conds = CondStack;
+    P.EnclosingStmts = StmtStack;
+    return P;
+  }
+
+  void finishPoint(AccessPoint P, const std::string &Var) {
+    P.Var = Var;
+    auto It = ScopeDepthOf.find(Var);
+    // Tensors without a visible VarDef (free names in tests) scope at the
+    // root: no enclosing loop creates fresh instances.
+    P.ScopeDepth = It == ScopeDepthOf.end() ? 0 : It->second;
+    Out.Points.push_back(std::move(P));
+  }
+
+  /// Records all Loads inside \p E as reads belonging to statement
+  /// \p StmtId.
+  void collectReads(const Expr &E, int64_t StmtId) {
+    switch (E->kind()) {
+    case NodeKind::Load: {
+      auto L = cast<LoadNode>(E);
+      for (const Expr &I : L->Indices)
+        collectReads(I, StmtId);
+      AccessPoint P = baseline(StmtId, /*Phase=*/0);
+      P.Kind = AccessKind::Read;
+      P.Indices = L->Indices;
+      finishPoint(std::move(P), L->Var);
+      return;
+    }
+    case NodeKind::Binary: {
+      auto B = cast<BinaryNode>(E);
+      collectReads(B->LHS, StmtId);
+      collectReads(B->RHS, StmtId);
+      return;
+    }
+    case NodeKind::Unary:
+      collectReads(cast<UnaryNode>(E)->Operand, StmtId);
+      return;
+    case NodeKind::IfExpr: {
+      auto IE = cast<IfExprNode>(E);
+      collectReads(IE->Cond, StmtId);
+      collectReads(IE->Then, StmtId);
+      collectReads(IE->Else, StmtId);
+      return;
+    }
+    case NodeKind::Cast:
+      collectReads(cast<CastNode>(E)->Operand, StmtId);
+      return;
+    default:
+      return;
+    }
+  }
+
+  void visitStmt(const Stmt &S) {
+    ++Seq;
+    StmtStack.push_back(S->Id);
+    switch (S->kind()) {
+    case NodeKind::StmtSeq:
+      for (const Stmt &Sub : cast<StmtSeqNode>(S)->Stmts)
+        visitStmt(Sub);
+      break;
+    case NodeKind::VarDef: {
+      auto D = cast<VarDefNode>(S);
+      for (const Expr &Dim : D->Info.Shape)
+        collectReads(Dim, S->Id);
+      int Saved = -1;
+      auto It = ScopeDepthOf.find(D->Name);
+      if (It != ScopeDepthOf.end())
+        Saved = It->second;
+      ScopeDepthOf[D->Name] = static_cast<int>(LoopStack.size());
+      visitStmt(D->Body);
+      if (Saved >= 0)
+        ScopeDepthOf[D->Name] = Saved;
+      else
+        ScopeDepthOf.erase(D->Name);
+      break;
+    }
+    case NodeKind::Store: {
+      auto St = cast<StoreNode>(S);
+      for (const Expr &I : St->Indices)
+        collectReads(I, S->Id);
+      collectReads(St->Value, S->Id);
+      AccessPoint P = baseline(S->Id, /*Phase=*/1);
+      P.Kind = AccessKind::Write;
+      P.Indices = St->Indices;
+      finishPoint(std::move(P), St->Var);
+      break;
+    }
+    case NodeKind::ReduceTo: {
+      auto R = cast<ReduceToNode>(S);
+      for (const Expr &I : R->Indices)
+        collectReads(I, S->Id);
+      collectReads(R->Value, S->Id);
+      AccessPoint P = baseline(S->Id, /*Phase=*/1);
+      P.Kind = AccessKind::Reduce;
+      P.RedOp = R->Op;
+      P.Indices = R->Indices;
+      finishPoint(std::move(P), R->Var);
+      break;
+    }
+    case NodeKind::For: {
+      auto F = cast<ForNode>(S);
+      collectReads(F->Begin, S->Id);
+      collectReads(F->End, S->Id);
+      for (const LoopAxis &L : LoopStack)
+        ftAssert(L.Iter != F->Iter,
+                 "shadowed loop iterator in dependence analysis: " + F->Iter);
+      LoopStack.push_back(
+          {F->Iter, F->Begin, F->End, F->Id, F->Property.Parallel});
+      visitStmt(F->Body);
+      LoopStack.pop_back();
+      break;
+    }
+    case NodeKind::If: {
+      auto I = cast<IfNode>(S);
+      collectReads(I->Cond, S->Id);
+      CondStack.push_back(I->Cond);
+      visitStmt(I->Then);
+      CondStack.pop_back();
+      if (I->Else) {
+        CondStack.push_back(makeLNot(I->Cond));
+        visitStmt(I->Else);
+        CondStack.pop_back();
+      }
+      break;
+    }
+    case NodeKind::GemmCall: {
+      auto G = cast<GemmCallNode>(S);
+      for (const std::string &In : {G->A, G->B}) {
+        AccessPoint P = baseline(S->Id, /*Phase=*/0);
+        P.Kind = AccessKind::Read;
+        P.WholeTensor = true;
+        finishPoint(std::move(P), In);
+      }
+      AccessPoint P = baseline(S->Id, /*Phase=*/1);
+      P.Kind = AccessKind::Reduce;
+      P.RedOp = ReduceOpKind::Add;
+      P.WholeTensor = true;
+      finishPoint(std::move(P), G->C);
+      break;
+    }
+    default:
+      ftUnreachable("expression kind in statement traversal");
+    }
+    StmtStack.pop_back();
+  }
+
+  AccessCollection Out;
+  std::vector<LoopAxis> LoopStack;
+  std::vector<Expr> CondStack;
+  std::vector<int64_t> StmtStack;
+  std::map<std::string, int> ScopeDepthOf;
+  int64_t Seq = 0;
+};
+
+} // namespace
+
+AccessCollection ft::collectAccesses(const Stmt &Root) {
+  return AccessCollector().run(Root);
+}

@@ -1,0 +1,82 @@
+//===- analysis/access.h - Memory access collection --------------*- C++ -*-===//
+///
+/// \file
+/// Collects every memory access (read / write / reduction) in a program
+/// together with its full execution context: the enclosing loop nest,
+/// enclosing branch conditions, the position of the VarDef that scopes the
+/// accessed tensor, and a preorder sequence number for textual ordering.
+/// This is the instance-of-statement-wise precision the paper requires
+/// (§4.2: "an instance of a statement refers to a statement in a specific
+/// loop iteration").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_ANALYSIS_ACCESS_H
+#define FT_ANALYSIS_ACCESS_H
+
+#include <map>
+#include <vector>
+
+#include "ir/func.h"
+
+namespace ft {
+
+/// One level of the enclosing loop nest.
+struct LoopAxis {
+  std::string Iter;
+  Expr Begin, End;
+  int64_t ForId = -1;
+  bool Parallel = false;
+};
+
+/// How an access touches memory.
+enum class AccessKind : uint8_t {
+  Read,
+  Write,
+  Reduce, ///< Read-modify-write by a commutative ReduceTo.
+};
+
+/// One memory access with its execution context.
+struct AccessPoint {
+  AccessKind Kind = AccessKind::Read;
+  ReduceOpKind RedOp = ReduceOpKind::Add; ///< Valid when Kind == Reduce.
+  std::string Var;                        ///< Accessed tensor.
+  int64_t StmtId = -1;  ///< Enclosing Store/ReduceTo/If/For/GemmCall ID.
+  int64_t Seq = 0;      ///< Preorder sequence number (textual order).
+  int Phase = 0;        ///< 0 = read side, 1 = write side of a statement.
+  bool WholeTensor = false; ///< True for opaque accesses (GemmCall).
+  std::vector<Expr> Indices;
+  std::vector<LoopAxis> Loops; ///< Enclosing loops, outermost first.
+  std::vector<Expr> Conds;     ///< Enclosing conditions (polarity folded).
+  /// Number of leading entries of Loops that enclose the tensor's VarDef
+  /// (dependences across their iterations are false: each iteration has a
+  /// fresh tensor instance — paper Fig. 12(d)).
+  int ScopeDepth = 0;
+  /// IDs of all enclosing statements (innermost last), used to restrict
+  /// queries to a subtree.
+  std::vector<int64_t> EnclosingStmts;
+
+  /// Returns true if this access is (transitively) inside statement \p Id.
+  bool isInside(int64_t Id) const;
+
+  /// Returns true if this access is inside the loop with ID \p Id.
+  bool isInsideLoop(int64_t Id) const;
+};
+
+/// All accesses of a program plus tensor metadata.
+struct AccessCollection {
+  std::vector<AccessPoint> Points;
+  /// Tensor name -> its VarDef (dtype, shape, access type).
+  std::map<std::string, Ref<VarDefNode>> Defs;
+
+  /// Returns true if \p Name is a read-only scalar usable as a symbolic
+  /// parameter in affine reasoning.
+  bool isParam(const std::string &Name) const;
+};
+
+/// Walks \p Root and collects every access.
+AccessCollection collectAccesses(const Stmt &Root);
+
+} // namespace ft
+
+#endif // FT_ANALYSIS_ACCESS_H

@@ -1,0 +1,190 @@
+//===- analysis/affine.cpp ------------------------------------------------===//
+
+#include "analysis/affine.h"
+
+#include <algorithm>
+
+using namespace ft;
+
+std::optional<LinearExpr> ft::toLinear(const Expr &E,
+                                       const IsParamFn &IsParam) {
+  switch (E->kind()) {
+  case NodeKind::IntConst:
+    return LinearExpr::constant(cast<IntConstNode>(E)->Val);
+  case NodeKind::Var:
+    return LinearExpr::variable(cast<VarNode>(E)->Name);
+  case NodeKind::Load: {
+    auto L = cast<LoadNode>(E);
+    if (!L->Indices.empty() || !isInt(L->Dtype) || !IsParam(L->Var))
+      return std::nullopt;
+    return LinearExpr::variable("$" + L->Var);
+  }
+  case NodeKind::Cast: {
+    auto C = cast<CastNode>(E);
+    if (!isInt(C->Dtype))
+      return std::nullopt;
+    return toLinear(C->Operand, IsParam);
+  }
+  case NodeKind::Unary: {
+    auto U = cast<UnaryNode>(E);
+    if (U->Op != UnOpKind::Neg)
+      return std::nullopt;
+    auto X = toLinear(U->Operand, IsParam);
+    if (!X)
+      return std::nullopt;
+    return LinearExpr::tryScale(*X, -1);
+  }
+  case NodeKind::Binary: {
+    auto B = cast<BinaryNode>(E);
+    auto L = toLinear(B->LHS, IsParam);
+    auto R = toLinear(B->RHS, IsParam);
+    switch (B->Op) {
+    case BinOpKind::Add:
+      if (!L || !R)
+        return std::nullopt;
+      return LinearExpr::tryAdd(*L, *R);
+    case BinOpKind::Sub:
+      if (!L || !R)
+        return std::nullopt;
+      return LinearExpr::trySub(*L, *R);
+    case BinOpKind::Mul:
+      if (!L || !R)
+        return std::nullopt;
+      if (L->isConstant())
+        return LinearExpr::tryScale(*R, L->constTerm());
+      if (R->isConstant())
+        return LinearExpr::tryScale(*L, R->constTerm());
+      return std::nullopt;
+    case BinOpKind::FloorDiv:
+      // Exact only when the dividend's coefficients and constant are all
+      // divisible by a constant divisor.
+      if (!L || !R || !R->isConstant() || R->constTerm() == 0)
+        return std::nullopt;
+      {
+        int64_t D = R->constTerm();
+        for (const auto &[Name, C] : L->coeffs())
+          if (C % D != 0)
+            return std::nullopt;
+        if (L->constTerm() % D != 0)
+          return std::nullopt;
+        LinearExpr Out;
+        for (const auto &[Name, C] : L->coeffs())
+          Out.setCoeff(Name, C / D);
+        Out.addConst(L->constTerm() / D);
+        return Out;
+      }
+    default:
+      return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+void ft::addCondConstraints(AffineSet &S, const Expr &Cond, bool Negate,
+                            const IsParamFn &IsParam) {
+  if (auto BC = dyn_cast<BoolConstNode>(Cond)) {
+    if (BC->Val == Negate) // Constant-false condition: empty set.
+      S.addGe0(LinearExpr::constant(-1));
+    return;
+  }
+  if (auto U = dyn_cast<UnaryNode>(Cond)) {
+    if (U->Op == UnOpKind::LNot)
+      return addCondConstraints(S, U->Operand, !Negate, IsParam);
+    S.markInexact();
+    return;
+  }
+  auto B = dyn_cast<BinaryNode>(Cond);
+  if (!B) {
+    S.markInexact();
+    return;
+  }
+  // Conjunction in positive position / disjunction under negation decompose
+  // exactly; the other polarity is a disjunction, which a single conjunctive
+  // set cannot represent: over-approximate by dropping it.
+  if (B->Op == BinOpKind::LAnd || B->Op == BinOpKind::LOr) {
+    bool IsConj = (B->Op == BinOpKind::LAnd) != Negate;
+    if (IsConj) {
+      addCondConstraints(S, B->LHS, Negate, IsParam);
+      addCondConstraints(S, B->RHS, Negate, IsParam);
+    } else {
+      S.markInexact();
+    }
+    return;
+  }
+  if (!isCompareOp(B->Op)) {
+    S.markInexact();
+    return;
+  }
+  auto L = toLinear(B->LHS, IsParam);
+  auto R = toLinear(B->RHS, IsParam);
+  if (!L || !R) {
+    S.markInexact();
+    return;
+  }
+  BinOpKind Op = B->Op;
+  if (Negate) {
+    switch (Op) {
+    case BinOpKind::LT:
+      Op = BinOpKind::GE;
+      break;
+    case BinOpKind::LE:
+      Op = BinOpKind::GT;
+      break;
+    case BinOpKind::GT:
+      Op = BinOpKind::LE;
+      break;
+    case BinOpKind::GE:
+      Op = BinOpKind::LT;
+      break;
+    case BinOpKind::EQ:
+      Op = BinOpKind::NE;
+      break;
+    case BinOpKind::NE:
+      Op = BinOpKind::EQ;
+      break;
+    default:
+      ftUnreachable("non-comparison in comparison negation");
+    }
+  }
+  switch (Op) {
+  case BinOpKind::LT:
+    S.addLT(*L, *R);
+    return;
+  case BinOpKind::LE:
+    S.addLE(*L, *R);
+    return;
+  case BinOpKind::GT:
+    S.addLT(*R, *L);
+    return;
+  case BinOpKind::GE:
+    S.addLE(*R, *L);
+    return;
+  case BinOpKind::EQ:
+    S.addEQ(*L, *R);
+    return;
+  case BinOpKind::NE: {
+    // x != y is a disjunction in general; decide it when the difference is
+    // constant, otherwise over-approximate.
+    auto D = LinearExpr::trySub(*L, *R);
+    if (D && D->isConstant()) {
+      if (D->constTerm() == 0)
+        S.addGe0(LinearExpr::constant(-1)); // Contradiction.
+      return;
+    }
+    S.markInexact();
+    return;
+  }
+  default:
+    ftUnreachable("unexpected comparison kind");
+  }
+}
+
+LinearExpr ft::renameIters(const LinearExpr &E, const std::string &Prefix,
+                           const std::vector<std::string> &Iters) {
+  LinearExpr Out = E;
+  for (const std::string &It : Iters)
+    Out = Out.renamed(It, Prefix + It);
+  return Out;
+}

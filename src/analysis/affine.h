@@ -1,0 +1,47 @@
+//===- analysis/affine.h - IR -> affine form extraction ----------*- C++ -*-===//
+///
+/// \file
+/// Bridges the IR to the Presburger-lite engine: converts index expressions,
+/// loop bounds and branch conditions into LinearExpr / AffineSet form where
+/// possible. Loop iterators map to variables named after the iterator;
+/// read-only scalar tensors (shape parameters like `n`) map to variables
+/// named "$<name>". Anything else is non-affine and callers degrade
+/// conservatively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_ANALYSIS_AFFINE_H
+#define FT_ANALYSIS_AFFINE_H
+
+#include <functional>
+#include <optional>
+
+#include "ir/expr.h"
+#include "math/affine_set.h"
+
+namespace ft {
+
+/// Tells toLinear which Load targets may be treated as symbolic constants:
+/// returns true for tensors that are never written (AccessType Input).
+using IsParamFn = std::function<bool(const std::string &)>;
+
+/// Converts \p E to an affine expression over iterator variables and "$name"
+/// parameters. Returns nullopt if \p E is not affine.
+std::optional<LinearExpr> toLinear(const Expr &E, const IsParamFn &IsParam);
+
+/// Adds the constraints of the boolean expression \p Cond (negated if
+/// \p Negate) to \p S. Conjunctions decompose exactly; conditions that
+/// cannot be represented exactly (disjunctions in positive position,
+/// non-affine atoms) mark \p S inexact and add nothing, which over-
+/// approximates the set — the safe direction for all clients.
+void addCondConstraints(AffineSet &S, const Expr &Cond, bool Negate,
+                        const IsParamFn &IsParam);
+
+/// Renames every variable of \p E that appears in \p Iters by prefixing it
+/// with \p Prefix ("$params" are shared and left untouched).
+LinearExpr renameIters(const LinearExpr &E, const std::string &Prefix,
+                       const std::vector<std::string> &Iters);
+
+} // namespace ft
+
+#endif // FT_ANALYSIS_AFFINE_H

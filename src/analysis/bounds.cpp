@@ -1,0 +1,117 @@
+//===- analysis/bounds.cpp ------------------------------------------------===//
+
+#include "analysis/bounds.h"
+
+using namespace ft;
+
+void ProofContext::pushFrame() {
+  Frames.push_back({Domain.constraints().size(), Domain.isExact()});
+}
+
+void ProofContext::popFrame() {
+  ftAssert(!Frames.empty(), "ProofContext pop without push");
+  Frame F = Frames.back();
+  Frames.pop_back();
+  AffineSet Restored;
+  for (size_t I = 0; I < F.NumConstraints; ++I) {
+    const LinConstraint &C = Domain.constraints()[I];
+    if (C.IsEq)
+      Restored.addEq0(C.E);
+    else
+      Restored.addGe0(C.E);
+  }
+  if (!F.WasExact)
+    Restored.markInexact();
+  Domain = std::move(Restored);
+}
+
+void ProofContext::pushLoop(const std::string &Iter, const Expr &Begin,
+                            const Expr &End) {
+  pushFrame();
+  LinearExpr IterVar = LinearExpr::variable(Iter);
+  if (auto B = toLinear(Begin, IsParam))
+    Domain.addLE(*B, IterVar);
+  else
+    Domain.markInexact();
+  if (auto E = toLinear(End, IsParam))
+    Domain.addLT(IterVar, *E);
+  else
+    Domain.markInexact();
+}
+
+void ProofContext::popLoop() { popFrame(); }
+
+void ProofContext::pushCond(const Expr &Cond, bool Negate) {
+  pushFrame();
+  addCondConstraints(Domain, Cond, Negate, IsParam);
+}
+
+void ProofContext::popCond() { popFrame(); }
+
+bool ProofContext::provablyTrue(const Expr &Cond) const {
+  AffineSet S = Domain;
+  // Domain ∧ ¬Cond empty ⇒ Cond holds everywhere in Domain. When the
+  // negation cannot be represented exactly we only *drop* constraints
+  // (over-approximating the set), so emptiness remains a sound proof —
+  // except when nothing at all was contributed; detect that by requiring
+  // the check below to rely on added constraints only if exact. In
+  // practice an inexact negation simply fails to prove.
+  addCondConstraints(S, Cond, /*Negate=*/true, IsParam);
+  return S.isEmpty();
+}
+
+bool ProofContext::provablyFalse(const Expr &Cond) const {
+  AffineSet S = Domain;
+  addCondConstraints(S, Cond, /*Negate=*/false, IsParam);
+  return S.isEmpty();
+}
+
+bool ProofContext::unreachable() const { return Domain.isEmpty(); }
+
+std::optional<BoundPair>
+ft::eliminateIters(const LinearExpr &E, const std::vector<IterRange> &Inner,
+                   const IsParamFn &IsParam) {
+  BoundPair Out{E, E};
+  // Innermost first: inner loop bounds may reference outer iterators of the
+  // same set, which are eliminated later.
+  for (auto It = Inner.rbegin(); It != Inner.rend(); ++It) {
+    auto SubstOne = [&](LinearExpr &Dst, bool WantLower) -> bool {
+      int64_t C = Dst.coeffOf(It->Iter);
+      if (C == 0)
+        return true;
+      // Positive coefficient: the expression is minimized at Begin and
+      // maximized at End-1; negative coefficient swaps them.
+      bool UseBegin = (C > 0) == WantLower;
+      auto Bound = toLinear(UseBegin ? It->Begin : It->End, IsParam);
+      if (!Bound)
+        return false;
+      if (!UseBegin)
+        Bound->addConst(-1); // End is exclusive.
+      auto R = Dst.substitute(It->Iter, *Bound);
+      if (!R)
+        return false;
+      Dst = *R;
+      return true;
+    };
+    if (!SubstOne(Out.Lower, /*WantLower=*/true) ||
+        !SubstOne(Out.Upper, /*WantLower=*/false))
+      return std::nullopt;
+  }
+  return Out;
+}
+
+Expr ft::linearToExpr(const LinearExpr &E) {
+  Expr Out;
+  auto Accumulate = [&](Expr Term) {
+    Out = Out ? makeAdd(Out, std::move(Term)) : std::move(Term);
+  };
+  for (const auto &[Name, C] : E.coeffs()) {
+    Expr V = Name.starts_with("$")
+                 ? makeLoad(Name.substr(1), {}, DataType::Int64)
+                 : makeVar(Name);
+    Accumulate(C == 1 ? V : makeMul(makeIntConst(C), V));
+  }
+  if (E.constTerm() != 0 || !Out)
+    Accumulate(makeIntConst(E.constTerm()));
+  return Out;
+}

@@ -1,0 +1,92 @@
+//===- analysis/bounds.h - Symbolic bounds & condition proving ---*- C++ -*-===//
+///
+/// \file
+/// Two services built on the affine engine:
+///
+///  1. ProofContext — accumulates the iteration domain (loop ranges and
+///     branch conditions) during a traversal and proves or refutes
+///     conditions within it. Drives the simplifier's branch elimination and
+///     separate_tail.
+///
+///  2. eliminateIters — computes affine lower/upper bounds of an index
+///     expression after eliminating inner loop iterators, the analysis the
+///     paper's cache transformation uses to size the introduced tensor
+///     ("we look for the tightest bound, which is [i, i+m)", §4.2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_ANALYSIS_BOUNDS_H
+#define FT_ANALYSIS_BOUNDS_H
+
+#include <optional>
+
+#include "analysis/affine.h"
+#include "ir/stmt.h"
+
+namespace ft {
+
+/// Accumulates the active iteration domain during a structural walk.
+class ProofContext {
+public:
+  explicit ProofContext(IsParamFn IsParam) : IsParam(std::move(IsParam)) {}
+
+  /// Enters / leaves a loop's range Begin <= Iter < End.
+  void pushLoop(const std::string &Iter, const Expr &Begin, const Expr &End);
+  void popLoop();
+
+  /// Enters / leaves a branch condition (negated for else-branches).
+  void pushCond(const Expr &Cond, bool Negate);
+  void popCond();
+
+  /// Returns true if the current domain proves \p Cond always holds.
+  bool provablyTrue(const Expr &Cond) const;
+
+  /// Returns true if the current domain proves \p Cond never holds.
+  bool provablyFalse(const Expr &Cond) const;
+
+  /// Returns true if the current domain is provably unreachable.
+  bool unreachable() const;
+
+  /// The accumulated domain.
+  const AffineSet &domain() const { return Domain; }
+
+private:
+  struct Frame {
+    size_t NumConstraints;
+    bool WasExact;
+  };
+
+  void pushFrame();
+  void popFrame();
+
+  IsParamFn IsParam;
+  AffineSet Domain;
+  std::vector<Frame> Frames;
+};
+
+/// An inclusive affine interval.
+struct BoundPair {
+  LinearExpr Lower;
+  LinearExpr Upper;
+};
+
+/// A loop axis for bound elimination: iterator plus its range.
+struct IterRange {
+  std::string Iter;
+  Expr Begin, End;
+};
+
+/// Replaces each iterator of \p Inner (given outermost first) appearing in
+/// \p E with its extreme loop-bound value, yielding bounds of E over the
+/// remaining variables. Returns nullopt if any needed bound is non-affine.
+std::optional<BoundPair>
+eliminateIters(const LinearExpr &E, const std::vector<IterRange> &Inner,
+               const IsParamFn &IsParam);
+
+/// Converts an affine expression back to IR ("$name" variables become
+/// scalar Loads, others become iterator Vars).
+Expr linearToExpr(const LinearExpr &E);
+
+} // namespace ft
+
+#endif // FT_ANALYSIS_BOUNDS_H

@@ -1,0 +1,225 @@
+//===- analysis/deps.cpp --------------------------------------------------===//
+
+#include "analysis/deps.h"
+
+#include "analysis/affine.h"
+
+using namespace ft;
+
+DepAnalyzer::DepAnalyzer(const Stmt &Root) : AC(collectAccesses(Root)) {}
+
+std::vector<LoopAxis> DepAnalyzer::commonLoops(const AccessPoint &A,
+                                               const AccessPoint &B) {
+  std::vector<LoopAxis> Out;
+  size_t N = std::min(A.Loops.size(), B.Loops.size());
+  for (size_t I = 0; I < N; ++I) {
+    if (A.Loops[I].ForId != B.Loops[I].ForId)
+      break;
+    Out.push_back(A.Loops[I]);
+  }
+  return Out;
+}
+
+DepType DepAnalyzer::classify(const AccessPoint &E, const AccessPoint &L) {
+  bool EWrites = E.Kind != AccessKind::Read;
+  bool LWrites = L.Kind != AccessKind::Read;
+  ftAssert(EWrites || LWrites, "classifying a read-read pair");
+  if (EWrites && LWrites)
+    return DepType::WAW;
+  return EWrites ? DepType::RAW : DepType::WAR;
+}
+
+bool DepAnalyzer::sameOpReducePair(const AccessPoint &E,
+                                   const AccessPoint &L) {
+  return E.Kind == AccessKind::Reduce && L.Kind == AccessKind::Reduce &&
+         E.RedOp == L.RedOp;
+}
+
+bool DepAnalyzer::orderingPossible(const AccessPoint &E, const AccessPoint &L,
+                                   const RelMap &Rels) const {
+  for (const LoopAxis &Loop : commonLoops(E, L)) {
+    auto It = Rels.find(Loop.ForId);
+    IterRel R = It == Rels.end() ? IterRel::Any : It->second;
+    switch (R) {
+    case IterRel::Eq:
+      continue;
+    case IterRel::Lt:
+    case IterRel::Any:
+      // The earlier access can run in a strictly earlier iteration of this
+      // loop, so it precedes the later access regardless of inner structure.
+      return true;
+    case IterRel::Gt:
+      return false;
+    }
+  }
+  // All common loops at equal iterations: textual order decides, with reads
+  // (phase 0) preceding the write (phase 1) inside one statement instance.
+  if (E.Seq != L.Seq)
+    return E.Seq < L.Seq;
+  return E.Phase < L.Phase;
+}
+
+bool DepAnalyzer::addDomain(AffineSet &S, const AccessPoint &P,
+                            const std::string &Prefix) const {
+  IsParamFn IsParam = [this](const std::string &N) { return AC.isParam(N); };
+  std::vector<std::string> Iters;
+  Iters.reserve(P.Loops.size());
+  for (const LoopAxis &L : P.Loops)
+    Iters.push_back(L.Iter);
+
+  for (const LoopAxis &L : P.Loops) {
+    LinearExpr IterVar = LinearExpr::variable(Prefix + L.Iter);
+    if (auto B = toLinear(L.Begin, IsParam))
+      S.addLE(renameIters(*B, Prefix, Iters), IterVar);
+    else
+      S.markInexact();
+    if (auto Ed = toLinear(L.End, IsParam))
+      S.addLT(IterVar, renameIters(*Ed, Prefix, Iters));
+    else
+      S.markInexact();
+  }
+  for (const Expr &Cond : P.Conds) {
+    AffineSet Tmp;
+    addCondConstraints(Tmp, Cond, /*Negate=*/false, IsParam);
+    if (!Tmp.isExact())
+      S.markInexact();
+    for (const LinConstraint &C : Tmp.constraints()) {
+      LinConstraint RC{renameIters(C.E, Prefix, Iters), C.IsEq};
+      if (RC.IsEq)
+        S.addEq0(RC.E);
+      else
+        S.addGe0(RC.E);
+    }
+  }
+  return true;
+}
+
+AffineSet DepAnalyzer::buildPairSet(const AccessPoint &E,
+                                    const AccessPoint &L,
+                                    const RelMap &Rels) const {
+  IsParamFn IsParam = [this](const std::string &N) { return AC.isParam(N); };
+  AffineSet S;
+  addDomain(S, E, "p.");
+  addDomain(S, L, "q.");
+
+  std::vector<LoopAxis> Common = commonLoops(E, L);
+
+  // Stack-scope filtering (paper Fig. 12(d)): iterations of loops enclosing
+  // the tensor's VarDef each see a fresh instance, so dependences require
+  // equal iterations there.
+  int ScopeDepth = std::min(E.ScopeDepth, L.ScopeDepth);
+  ftAssert(ScopeDepth <= static_cast<int>(Common.size()),
+           "VarDef-enclosing loops must be common to both accesses");
+  for (int I = 0; I < ScopeDepth; ++I)
+    S.addEQ(LinearExpr::variable("p." + Common[I].Iter),
+            LinearExpr::variable("q." + Common[I].Iter));
+
+  // Caller-required relations on common loops.
+  for (const LoopAxis &Loop : Common) {
+    auto It = Rels.find(Loop.ForId);
+    if (It == Rels.end())
+      continue;
+    LinearExpr P = LinearExpr::variable("p." + Loop.Iter);
+    LinearExpr Q = LinearExpr::variable("q." + Loop.Iter);
+    switch (It->second) {
+    case IterRel::Any:
+      break;
+    case IterRel::Eq:
+      S.addEQ(P, Q);
+      break;
+    case IterRel::Lt:
+      S.addLT(P, Q);
+      break;
+    case IterRel::Gt:
+      S.addLT(Q, P);
+      break;
+    }
+  }
+
+  // Same-location constraints: equate affine index dimensions. Non-affine
+  // dimensions (indirect indexing) contribute no constraint, i.e. they may
+  // alias anything.
+  if (!E.WholeTensor && !L.WholeTensor) {
+    std::vector<std::string> EIters, LIters;
+    for (const LoopAxis &Lp : E.Loops)
+      EIters.push_back(Lp.Iter);
+    for (const LoopAxis &Lp : L.Loops)
+      LIters.push_back(Lp.Iter);
+    size_t Dims = std::min(E.Indices.size(), L.Indices.size());
+    for (size_t D = 0; D < Dims; ++D) {
+      auto IA = toLinear(E.Indices[D], IsParam);
+      auto IB = toLinear(L.Indices[D], IsParam);
+      if (!IA || !IB) {
+        S.markInexact();
+        continue;
+      }
+      S.addEQ(renameIters(*IA, "p.", EIters), renameIters(*IB, "q.", LIters));
+    }
+  } else {
+    S.markInexact();
+  }
+  return S;
+}
+
+bool DepAnalyzer::mayDepend(const AccessPoint &E, const AccessPoint &L,
+                            const RelMap &Rels) const {
+  if (E.Var != L.Var)
+    return false;
+  if (E.Kind == AccessKind::Read && L.Kind == AccessKind::Read)
+    return false;
+  if (!orderingPossible(E, L, Rels))
+    return false;
+  return !buildPairSet(E, L, Rels).isEmpty();
+}
+
+std::vector<FoundDep> DepAnalyzer::carriedBy(int64_t LoopId) const {
+  std::vector<FoundDep> Out;
+  for (const AccessPoint &E : AC.Points) {
+    if (!E.isInsideLoop(LoopId))
+      continue;
+    for (const AccessPoint &L : AC.Points) {
+      if (!L.isInsideLoop(LoopId))
+        continue;
+      if (E.Var != L.Var ||
+          (E.Kind == AccessKind::Read && L.Kind == AccessKind::Read))
+        continue;
+      // Equal iterations for loops enclosing the carrier; strictly ordered
+      // at the carrier; anything inside.
+      RelMap Rels;
+      for (const LoopAxis &Loop : E.Loops) {
+        if (Loop.ForId == LoopId) {
+          Rels[Loop.ForId] = IterRel::Lt;
+          break;
+        }
+        Rels[Loop.ForId] = IterRel::Eq;
+      }
+      if (!mayDepend(E, L, Rels))
+        continue;
+      Out.push_back({&E, &L, classify(E, L), sameOpReducePair(E, L)});
+    }
+  }
+  return Out;
+}
+
+std::vector<FoundDep> DepAnalyzer::betweenAtEqualIters(int64_t AId,
+                                                       int64_t BId) const {
+  std::vector<FoundDep> Out;
+  for (const AccessPoint &E : AC.Points) {
+    if (!E.isInside(AId))
+      continue;
+    for (const AccessPoint &L : AC.Points) {
+      if (!L.isInside(BId))
+        continue;
+      if (E.Var != L.Var ||
+          (E.Kind == AccessKind::Read && L.Kind == AccessKind::Read))
+        continue;
+      RelMap Rels;
+      for (const LoopAxis &Loop : commonLoops(E, L))
+        Rels[Loop.ForId] = IterRel::Eq;
+      if (!mayDepend(E, L, Rels))
+        continue;
+      Out.push_back({&E, &L, classify(E, L), sameOpReducePair(E, L)});
+    }
+  }
+  return Out;
+}

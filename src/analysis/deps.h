@@ -1,0 +1,112 @@
+//===- analysis/deps.h - Instance-wise dependence analysis -------*- C++ -*-===//
+///
+/// \file
+/// The dependence analysis at the core of every schedule legality check
+/// (paper §4.2). Access pairs are tested for may-dependence at
+/// instance-of-statement precision: the pair's iteration domains, the
+/// equality of their (affine) index expressions, the stack-scope filtering
+/// of Fig. 12(d), and a caller-supplied per-loop iteration relation are all
+/// encoded as one AffineSet whose emptiness proves independence.
+///
+/// The analysis is conservative: anything it cannot express (indirect
+/// indices like `e[adj[i, j]]`, non-affine bounds, disjunctive conditions)
+/// weakens constraints, so a dependence is only ever reported *absent* when
+/// that is proved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_ANALYSIS_DEPS_H
+#define FT_ANALYSIS_DEPS_H
+
+#include <map>
+
+#include "analysis/access.h"
+#include "math/affine_set.h"
+
+namespace ft {
+
+/// Required relation between the earlier access's iteration p and the later
+/// access's iteration q of one common loop.
+enum class IterRel : uint8_t {
+  Any, ///< Unconstrained.
+  Eq,  ///< p == q.
+  Lt,  ///< p < q (the dependence crosses the loop forward).
+  Gt,  ///< p > q (backward; kills "earlier happens first").
+};
+
+/// Classification of a found dependence (later depends on earlier).
+enum class DepType : uint8_t { RAW, WAR, WAW };
+
+/// One may-dependence found by a query.
+struct FoundDep {
+  const AccessPoint *Earlier = nullptr;
+  const AccessPoint *Later = nullptr;
+  DepType Type = DepType::RAW;
+
+  /// True if both endpoints are ReduceTo with the same operator — such
+  /// dependences are reorderable (commutativity, paper Fig. 12(c)) and
+  /// parallelizable via reduction/atomics (Fig. 13(d)(e)).
+  bool SameOpReduce = false;
+};
+
+/// Per-loop relation pattern keyed by For statement ID. Loops not listed
+/// default to IterRel::Any.
+using RelMap = std::map<int64_t, IterRel>;
+
+/// Dependence analysis over one program snapshot. Build it once per AST
+/// version; it caches the access collection.
+class DepAnalyzer {
+public:
+  explicit DepAnalyzer(const Stmt &Root);
+
+  const AccessCollection &accesses() const { return AC; }
+
+  /// Tests whether a dependence from \p E (earlier) to \p L (later) may
+  /// exist under the per-loop relations \p Rels. Returns false only when
+  /// independence (or impossibility of the ordering) is proved.
+  bool mayDepend(const AccessPoint &E, const AccessPoint &L,
+                 const RelMap &Rels) const;
+
+  /// Builds the conjunction of both accesses' iteration domains, the
+  /// stack-scope equalities, the index equalities, and \p Rels. Iterators
+  /// of \p E are renamed "p.<iter>", of \p L "q.<iter>". Exposed so
+  /// schedules (e.g. fuse) can add custom constraints before testing.
+  AffineSet buildPairSet(const AccessPoint &E, const AccessPoint &L,
+                         const RelMap &Rels) const;
+
+  /// Checks whether "E executes before L" is consistent with \p Rels
+  /// (lexicographic order over common loops; textual order plus the
+  /// reads-before-writes phase rule when all common loops are equal).
+  bool orderingPossible(const AccessPoint &E, const AccessPoint &L,
+                        const RelMap &Rels) const;
+
+  /// Returns the common enclosing loops of two accesses (outermost first).
+  static std::vector<LoopAxis> commonLoops(const AccessPoint &A,
+                                           const AccessPoint &B);
+
+  /// All may-dependences carried by the loop with ID \p LoopId: both
+  /// accesses inside the loop, common outer loops at equal iterations, and
+  /// the carrying loop's iterations strictly ordered.
+  std::vector<FoundDep> carriedBy(int64_t LoopId) const;
+
+  /// All may-dependences between an access inside statement \p AId and one
+  /// inside statement \p BId, at equal iterations of all common loops
+  /// (used by swap; textual order decides direction).
+  std::vector<FoundDep> betweenAtEqualIters(int64_t AId, int64_t BId) const;
+
+  /// Classifies a pair (assumes at least one endpoint writes).
+  static DepType classify(const AccessPoint &E, const AccessPoint &L);
+
+  /// True if both are ReduceTo with the same operator.
+  static bool sameOpReducePair(const AccessPoint &E, const AccessPoint &L);
+
+private:
+  bool addDomain(AffineSet &S, const AccessPoint &P,
+                 const std::string &Prefix) const;
+
+  AccessCollection AC;
+};
+
+} // namespace ft
+
+#endif // FT_ANALYSIS_DEPS_H

@@ -1,0 +1,381 @@
+//===- autoschedule/autoschedule.cpp --------------------------------------===//
+
+#include "autoschedule/autoschedule.h"
+
+#include <functional>
+#include <thread>
+
+#include "pass/const_fold.h"
+#include "pass/scalar_prop.h"
+#include "pass/shrink_var.h"
+
+using namespace ft;
+
+namespace {
+
+struct LoopInfo {
+  Ref<ForNode> Node;
+  int Depth = 0;       ///< Number of enclosing loops.
+  bool Innermost = true;
+};
+
+void collectLoops(const Stmt &S, int Depth, std::vector<LoopInfo> &Out) {
+  switch (S->kind()) {
+  case NodeKind::StmtSeq:
+    for (const Stmt &Sub : cast<StmtSeqNode>(S)->Stmts)
+      collectLoops(Sub, Depth, Out);
+    return;
+  case NodeKind::VarDef:
+    collectLoops(cast<VarDefNode>(S)->Body, Depth, Out);
+    return;
+  case NodeKind::If: {
+    auto I = cast<IfNode>(S);
+    collectLoops(I->Then, Depth, Out);
+    if (I->Else)
+      collectLoops(I->Else, Depth, Out);
+    return;
+  }
+  case NodeKind::For: {
+    auto L = cast<ForNode>(S);
+    size_t Mark = Out.size();
+    Out.push_back({L, Depth, true});
+    collectLoops(L->Body, Depth + 1, Out);
+    if (Out.size() > Mark + 1)
+      Out[Mark].Innermost = false;
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+std::vector<LoopInfo> collectLoops(const Stmt &Root) {
+  std::vector<LoopInfo> Out;
+  collectLoops(Root, 0, Out);
+  return Out;
+}
+
+std::optional<int64_t> constLen(const Ref<ForNode> &L) {
+  Expr Len = constFold(L->len());
+  if (auto I = dyn_cast<IntConstNode>(Len))
+    return I->Val;
+  return std::nullopt;
+}
+
+/// Adjacent sibling For pairs in any StmtSeq.
+void collectAdjacentPairs(const Stmt &S,
+                          std::vector<std::pair<int64_t, int64_t>> &Out) {
+  switch (S->kind()) {
+  case NodeKind::StmtSeq: {
+    auto Seq = cast<StmtSeqNode>(S);
+    for (size_t I = 0; I + 1 < Seq->Stmts.size(); ++I)
+      if (isa<ForNode>(Seq->Stmts[I]) && isa<ForNode>(Seq->Stmts[I + 1]))
+        Out.push_back({Seq->Stmts[I]->Id, Seq->Stmts[I + 1]->Id});
+    for (const Stmt &Sub : Seq->Stmts)
+      collectAdjacentPairs(Sub, Out);
+    return;
+  }
+  case NodeKind::VarDef:
+    collectAdjacentPairs(cast<VarDefNode>(S)->Body, Out);
+    return;
+  case NodeKind::For:
+    collectAdjacentPairs(cast<ForNode>(S)->Body, Out);
+    return;
+  case NodeKind::If: {
+    auto I = cast<IfNode>(S);
+    collectAdjacentPairs(I->Then, Out);
+    if (I->Else)
+      collectAdjacentPairs(I->Else, Out);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+/// True if some access in the loop body walks the last tensor dimension
+/// with this iterator (the contiguity heuristic of auto_vectorize).
+bool accessesContiguously(const Ref<ForNode> &L) {
+  bool Found = false;
+  std::function<void(const Expr &)> ScanE = [&](const Expr &E) {
+    if (auto Ld = dyn_cast<LoadNode>(E)) {
+      if (!Ld->Indices.empty())
+        if (auto V = dyn_cast<VarNode>(Ld->Indices.back()))
+          Found |= V->Name == L->Iter;
+      for (const Expr &I : Ld->Indices)
+        ScanE(I);
+      return;
+    }
+    if (auto B = dyn_cast<BinaryNode>(E)) {
+      ScanE(B->LHS);
+      ScanE(B->RHS);
+      return;
+    }
+    if (auto U = dyn_cast<UnaryNode>(E))
+      return ScanE(U->Operand);
+    if (auto C = dyn_cast<CastNode>(E))
+      return ScanE(C->Operand);
+    if (auto IE = dyn_cast<IfExprNode>(E)) {
+      ScanE(IE->Cond);
+      ScanE(IE->Then);
+      ScanE(IE->Else);
+    }
+  };
+  std::function<void(const Stmt &)> ScanS = [&](const Stmt &S) {
+    switch (S->kind()) {
+    case NodeKind::StmtSeq:
+      for (const Stmt &Sub : cast<StmtSeqNode>(S)->Stmts)
+        ScanS(Sub);
+      return;
+    case NodeKind::VarDef:
+      return ScanS(cast<VarDefNode>(S)->Body);
+    case NodeKind::For:
+      return ScanS(cast<ForNode>(S)->Body);
+    case NodeKind::If: {
+      auto I = cast<IfNode>(S);
+      ScanS(I->Then);
+      if (I->Else)
+        ScanS(I->Else);
+      return;
+    }
+    case NodeKind::Store: {
+      auto St = cast<StoreNode>(S);
+      if (!St->Indices.empty())
+        if (auto V = dyn_cast<VarNode>(St->Indices.back()))
+          Found |= V->Name == L->Iter;
+      ScanE(St->Value);
+      return;
+    }
+    case NodeKind::ReduceTo:
+      ScanE(cast<ReduceToNode>(S)->Value);
+      return;
+    default:
+      return;
+    }
+  };
+  ScanS(L->Body);
+  return Found;
+}
+
+/// For pairs separated by exactly one statement: (loop, stmt, loop).
+void collectNearPairs(
+    const Stmt &S,
+    std::vector<std::tuple<int64_t, int64_t, int64_t>> &Out) {
+  if (auto Seq = dyn_cast<StmtSeqNode>(S)) {
+    for (size_t I = 0; I + 2 < Seq->Stmts.size(); ++I)
+      if (isa<ForNode>(Seq->Stmts[I]) && !isa<ForNode>(Seq->Stmts[I + 1]) &&
+          isa<ForNode>(Seq->Stmts[I + 2]))
+        Out.push_back({Seq->Stmts[I]->Id, Seq->Stmts[I + 1]->Id,
+                       Seq->Stmts[I + 2]->Id});
+    for (const Stmt &Sub : Seq->Stmts)
+      collectNearPairs(Sub, Out);
+    return;
+  }
+  if (auto D = dyn_cast<VarDefNode>(S))
+    return collectNearPairs(D->Body, Out);
+  if (auto L = dyn_cast<ForNode>(S))
+    return collectNearPairs(L->Body, Out);
+  if (auto I = dyn_cast<IfNode>(S)) {
+    collectNearPairs(I->Then, Out);
+    if (I->Else)
+      collectNearPairs(I->Else, Out);
+  }
+}
+
+int autoFuse(Schedule &S) {
+  int N = 0;
+  for (int Round = 0; Round < 64; ++Round) {
+    std::vector<std::pair<int64_t, int64_t>> Pairs;
+    collectAdjacentPairs(S.ast(), Pairs);
+    bool Changed = false;
+    for (const auto &[A, B] : Pairs)
+      if (S.fuse(A, B).ok()) {
+        ++N;
+        Changed = true;
+        break; // IDs shifted; rescan.
+      }
+    if (Changed)
+      continue;
+    // "Other transformations like swap may be applied to enable it"
+    // (paper §4.3): move an interposed statement out of the way first.
+    std::vector<std::tuple<int64_t, int64_t, int64_t>> Near;
+    collectNearPairs(S.ast(), Near);
+    for (const auto &[L1, Mid, L2] : Near) {
+      if (!S.swap(Mid, L2).ok())
+        continue;
+      if (S.fuse(L1, L2).ok()) {
+        ++N;
+        Changed = true;
+      } else {
+        // Undo the swap if the fusion still failed.
+        (void)S.swap(L2, Mid);
+      }
+      break;
+    }
+    if (!Changed)
+      break;
+  }
+  return N;
+}
+
+int autoUseLib(Schedule &S) {
+  int N = 0;
+  for (int Round = 0; Round < 64; ++Round) {
+    bool Changed = false;
+    for (const LoopInfo &L : collectLoops(S.ast()))
+      if (S.asLib(L.Node->Id).ok()) {
+        ++N;
+        Changed = true;
+        break;
+      }
+    if (!Changed)
+      break;
+  }
+  return N;
+}
+
+int autoVectorize(Schedule &S) {
+  int N = 0;
+  for (const LoopInfo &L : collectLoops(S.ast())) {
+    if (!L.Innermost || L.Node->Property.Parallel ||
+        L.Node->Property.Vectorize)
+      continue;
+    if (!accessesContiguously(L.Node))
+      continue;
+    if (S.vectorize(L.Node->Id).ok())
+      ++N;
+  }
+  return N;
+}
+
+int autoParallelize(Schedule &S, int NumThreads) {
+  // Architecture-aware rule (the paper's passes are "driven by heuristics
+  // considering specific architectures"): with a single hardware thread,
+  // threading and the atomics it requires are pure overhead.
+  if (NumThreads == 0)
+    NumThreads = static_cast<int>(std::thread::hardware_concurrency());
+  if (NumThreads <= 1)
+    return 0;
+  int N = 0;
+  // Parallelize top-level loops; when one is rejected, descend one level of
+  // its perfect nest and retry.
+  std::vector<int64_t> Candidates;
+  for (const LoopInfo &L : collectLoops(S.ast()))
+    if (L.Depth == 0)
+      Candidates.push_back(L.Node->Id);
+  for (int64_t Id : Candidates) {
+    if (S.parallelize(Id).ok()) {
+      ++N;
+      continue;
+    }
+    auto Nest = S.perfectNest(Id);
+    if (Nest.size() >= 2 && S.parallelize(Nest[1]->Id).ok())
+      ++N;
+  }
+  return N;
+}
+
+int autoMemType(Schedule &S, int64_t Limit) {
+  int N = 0;
+  std::vector<std::string> Names;
+  std::function<void(const Stmt &)> Scan = [&](const Stmt &St) {
+    switch (St->kind()) {
+    case NodeKind::StmtSeq:
+      for (const Stmt &Sub : cast<StmtSeqNode>(St)->Stmts)
+        Scan(Sub);
+      return;
+    case NodeKind::VarDef: {
+      auto D = cast<VarDefNode>(St);
+      if (D->ATy == AccessType::Cache && D->MTy == MemType::CPU) {
+        int64_t Numel = 1;
+        bool AllConst = true;
+        for (const Expr &E : D->Info.Shape) {
+          if (auto I = dyn_cast<IntConstNode>(constFold(E)))
+            Numel *= I->Val;
+          else
+            AllConst = false;
+        }
+        if (AllConst && Numel <= Limit)
+          Names.push_back(D->Name);
+      }
+      Scan(D->Body);
+      return;
+    }
+    case NodeKind::For:
+      return Scan(cast<ForNode>(St)->Body);
+    case NodeKind::If: {
+      auto I = cast<IfNode>(St);
+      Scan(I->Then);
+      if (I->Else)
+        Scan(I->Else);
+      return;
+    }
+    default:
+      return;
+    }
+  };
+  Scan(S.ast());
+  for (const std::string &Name : Names)
+    if (S.setMemType(Name, MemType::CPULocal).ok())
+      ++N;
+  return N;
+}
+
+int autoUnroll(Schedule &S, int64_t Limit) {
+  int N = 0;
+  for (int Round = 0; Round < 64; ++Round) {
+    bool Changed = false;
+    for (const LoopInfo &L : collectLoops(S.ast())) {
+      if (!L.Innermost || L.Node->Property.Parallel)
+        continue;
+      auto Len = constLen(L.Node);
+      if (!Len || *Len > Limit || *Len < 2)
+        continue;
+      if (S.unroll(L.Node->Id, /*Full=*/true).ok()) {
+        ++N;
+        Changed = true;
+        break;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  return N;
+}
+
+} // namespace
+
+AutoScheduleReport ft::autoSchedule(Schedule &S,
+                                    const AutoScheduleOptions &Opts) {
+  AutoScheduleReport R;
+  S.cleanup();
+  if (Opts.Cleanup) {
+    Func F2 = S.func();
+    F2.Body = shrinkVars(propagateScalars(F2.Body));
+    S = Schedule(std::move(F2));
+    S.cleanup();
+  }
+  if (Opts.Fuse)
+    R.Fused = autoFuse(S);
+  if (Opts.Vectorize)
+    R.Vectorized = autoVectorize(S);
+  if (Opts.Parallelize)
+    R.Parallelized = autoParallelize(S, Opts.NumThreads);
+  if (Opts.MemType)
+    R.Localized = autoMemType(S, Opts.LocalSizeLimit);
+  if (Opts.UseLib)
+    R.LibCalls = autoUseLib(S);
+  if (Opts.Unroll)
+    R.Unrolled = autoUnroll(S, Opts.UnrollLimit);
+  S.cleanup();
+  return R;
+}
+
+Func ft::autoScheduleFunc(Func F, const AutoScheduleOptions &Opts,
+                          AutoScheduleReport *Report) {
+  Schedule S(std::move(F));
+  AutoScheduleReport R = autoSchedule(S, Opts);
+  if (Report)
+    *Report = R;
+  return S.func();
+}

@@ -1,0 +1,66 @@
+//===- autoschedule/autoschedule.h - Rule-based auto-transform ---*- C++ -*-===//
+///
+/// \file
+/// The rule-based auto-transforming strategy of paper §4.3: six passes,
+/// invoked one by one, that aggressively *try* transformations — legality is
+/// guaranteed by the dependence analysis inside Schedule, so a rejected
+/// attempt simply leaves the program unchanged.
+///
+///   1. auto_fuse        fuse nearby loops for locality
+///   2. auto_vectorize   mark contiguous innermost loops for SIMD
+///   3. auto_parallelize merge outer loops and run them on threads
+///   4. auto_mem_type    put small tensors close to the processor
+///   5. auto_use_lib     call the vendor GEMM for matmul patterns
+///   6. auto_unroll      unroll very short innermost loops
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_AUTOSCHEDULE_AUTOSCHEDULE_H
+#define FT_AUTOSCHEDULE_AUTOSCHEDULE_H
+
+#include "schedule/schedule.h"
+
+namespace ft {
+
+/// Tuning knobs for the rule passes.
+struct AutoScheduleOptions {
+  /// Pre-pass cleanups: fold single-use scalar temporaries and shrink
+  /// over-sized Cache tensors before the rule passes run.
+  bool Cleanup = true;
+  bool Fuse = true;
+  bool Vectorize = true;
+  bool Parallelize = true;
+  bool MemType = true;
+  bool UseLib = true;
+  bool Unroll = true;
+  /// Tensors with at most this many (constant) elements move to CPULocal.
+  int64_t LocalSizeLimit = 4096;
+  /// Loops with at most this constant length are marked for unrolling.
+  int64_t UnrollLimit = 8;
+  /// Thread count the parallelize rule targets; 0 = autodetect. With one
+  /// thread, parallelization (and its atomics) is skipped as pure
+  /// overhead — the paper's rules are architecture-aware (§4.3).
+  int NumThreads = 0;
+};
+
+/// Statistics of what the rules applied (for tests and reporting).
+struct AutoScheduleReport {
+  int Fused = 0;
+  int Vectorized = 0;
+  int Parallelized = 0;
+  int Localized = 0;
+  int LibCalls = 0;
+  int Unrolled = 0;
+};
+
+/// Runs the six passes on \p S in order. Returns what was applied.
+AutoScheduleReport autoSchedule(Schedule &S,
+                                const AutoScheduleOptions &Opts = {});
+
+/// Convenience: schedules a Func and returns the optimized one.
+Func autoScheduleFunc(Func F, const AutoScheduleOptions &Opts = {},
+                      AutoScheduleReport *Report = nullptr);
+
+} // namespace ft
+
+#endif // FT_AUTOSCHEDULE_AUTOSCHEDULE_H

@@ -1,0 +1,32 @@
+//===- codegen/codegen.h - C++ source emission -------------------*- C++ -*-===//
+///
+/// \file
+/// Lowers a scheduled Func to a self-contained C++ translation unit (the
+/// CPU backend of paper §4.3: "we generate OpenMP or CUDA code from the AST
+/// and invoke dedicated backend compilers"). Parallel loops lower to the
+/// runtime thread pool, vectorize/unroll properties become pragmas, atomic
+/// reductions become CAS loops, and GemmCall becomes a library call.
+///
+/// The kernel ABI is `extern "C" void <name>(void **params)` with one
+/// pointer per Func parameter, in order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_CODEGEN_CODEGEN_H
+#define FT_CODEGEN_CODEGEN_H
+
+#include <string>
+
+#include "ir/func.h"
+
+namespace ft {
+
+/// Emits a complete C++ source file implementing \p F.
+std::string generateCpp(const Func &F);
+
+/// The exported symbol name of the kernel generated for \p F.
+std::string kernelSymbol(const Func &F);
+
+} // namespace ft
+
+#endif // FT_CODEGEN_CODEGEN_H

@@ -1,0 +1,114 @@
+//===- codegen/jit.cpp ----------------------------------------------------===//
+
+#include "codegen/jit.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <dlfcn.h>
+#include <fstream>
+#include <sys/stat.h>
+#include <vector>
+
+#include "codegen/codegen.h"
+
+using namespace ft;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+} // namespace
+
+struct Kernel::Impl {
+  std::string Source;
+  std::string Symbol;
+  std::vector<std::string> Params;
+  std::map<std::string, DataType> ParamTypes;
+  void *Handle = nullptr;
+  void (*Entry)(void **) = nullptr;
+  double CompileSec = 0;
+
+  ~Impl() {
+    if (Handle)
+      dlclose(Handle);
+  }
+};
+
+Result<Kernel> Kernel::compile(const Func &F, const std::string &OptFlags) {
+  auto I = std::make_shared<Impl>();
+  I->Source = generateCpp(F);
+  I->Symbol = kernelSymbol(F);
+  I->Params = F.Params;
+  for (const std::string &P : F.Params) {
+    auto D = findVarDef(F.Body, P);
+    if (!D)
+      return Result<Kernel>::error("parameter `" + P + "` has no VarDef");
+    I->ParamTypes[P] = D->Info.Dtype;
+  }
+
+  static std::atomic<int> Counter{0};
+  std::string Dir = "/tmp/ftjit." + std::to_string(getpid()) + "." +
+                    std::to_string(Counter.fetch_add(1));
+  if (mkdir(Dir.c_str(), 0755) != 0)
+    return Result<Kernel>::error("could not create JIT directory " + Dir);
+  std::string Src = Dir + "/kernel.cpp";
+  std::string Lib = Dir + "/kernel.so";
+  std::string Log = Dir + "/compile.log";
+  {
+    std::ofstream Out(Src);
+    Out << I->Source;
+  }
+
+  std::string Cmd = "g++ -std=c++20 " + OptFlags +
+                    " -march=native -fPIC -shared -I " FT_RUNTIME_INCLUDE_DIR
+                    " \"" +
+                    Src + "\" -o \"" + Lib + "\" -pthread > \"" + Log +
+                    "\" 2>&1";
+  auto T0 = std::chrono::steady_clock::now();
+  int Rc = std::system(Cmd.c_str());
+  auto T1 = std::chrono::steady_clock::now();
+  I->CompileSec = std::chrono::duration<double>(T1 - T0).count();
+  if (Rc != 0)
+    return Result<Kernel>::error("host compiler failed:\n" + readFile(Log));
+
+  I->Handle = dlopen(Lib.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!I->Handle)
+    return Result<Kernel>::error(std::string("dlopen failed: ") + dlerror());
+  I->Entry = reinterpret_cast<void (*)(void **)>(
+      dlsym(I->Handle, I->Symbol.c_str()));
+  if (!I->Entry)
+    return Result<Kernel>::error("kernel symbol not found: " + I->Symbol);
+
+  Kernel K;
+  K.I = std::move(I);
+  return K;
+}
+
+Status Kernel::run(const std::map<std::string, Buffer *> &Args) const {
+  ftAssert(I != nullptr, "running an empty Kernel");
+  std::vector<void *> Ptrs;
+  Ptrs.reserve(I->Params.size());
+  for (const std::string &P : I->Params) {
+    auto It = Args.find(P);
+    if (It == Args.end() || It->second == nullptr)
+      return Status::error("missing argument `" + P + "`");
+    if (It->second->dtype() != I->ParamTypes.at(P))
+      return Status::error("dtype mismatch for argument `" + P + "`");
+    Ptrs.push_back(It->second->raw());
+  }
+  I->Entry(Ptrs.data());
+  return Status::success();
+}
+
+double Kernel::compileSeconds() const { return I ? I->CompileSec : 0; }
+
+const std::string &Kernel::source() const {
+  ftAssert(I != nullptr, "source() on an empty Kernel");
+  return I->Source;
+}

@@ -1,0 +1,48 @@
+//===- codegen/jit.h - Compile-and-load execution driver ---------*- C++ -*-===//
+///
+/// \file
+/// Drives the end of the paper's pipeline (§4.3): the generated C++ source
+/// is handed to the host compiler, built into a shared library, and loaded
+/// for execution ("a DSL function is finally compiled as a shared library,
+/// which can be dynamically loaded ... to run").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_CODEGEN_JIT_H
+#define FT_CODEGEN_JIT_H
+
+#include <map>
+#include <memory>
+
+#include "interp/buffer.h"
+#include "ir/func.h"
+#include "support/error.h"
+
+namespace ft {
+
+/// A compiled, loaded kernel. Copyable handle; the library stays loaded as
+/// long as any handle lives.
+class Kernel {
+public:
+  /// Compiles \p F with the host C++ compiler. \p OptFlags defaults to an
+  /// optimized build.
+  static Result<Kernel> compile(const Func &F,
+                                const std::string &OptFlags = "-O3");
+
+  /// Runs the kernel binding each parameter by name.
+  Status run(const std::map<std::string, Buffer *> &Args) const;
+
+  /// Wall-clock seconds the host compiler took.
+  double compileSeconds() const;
+
+  /// The generated C++ source (for inspection/tests).
+  const std::string &source() const;
+
+private:
+  struct Impl;
+  std::shared_ptr<Impl> I;
+};
+
+} // namespace ft
+
+#endif // FT_CODEGEN_JIT_H

@@ -1,0 +1,191 @@
+//===- codegen/rt/ft_runtime.h - Runtime for generated kernels ---*- C++ -*-===//
+///
+/// \file
+/// Header-only runtime linked into every JIT-compiled kernel: a persistent
+/// thread pool backing `parallelFor` (the CPU lowering of the paper's
+/// `parallelize` schedule), atomic reductions (Fig. 13(e)), Python-style
+/// integer division, and a reference GEMM used by the `as_lib` schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_CODEGEN_RT_FT_RUNTIME_H
+#define FT_CODEGEN_RT_FT_RUNTIME_H
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ft {
+namespace rt {
+
+/// A minimal persistent thread pool. Work items are half-open index ranges;
+/// the calling thread participates, so a pool on a single-core machine
+/// degenerates to a plain loop.
+class ThreadPool {
+public:
+  static ThreadPool &instance() {
+    static ThreadPool Pool;
+    return Pool;
+  }
+
+  int numThreads() const { return NumThreads; }
+
+  /// Runs Fn(i) for i in [Begin, End), statically chunked over workers.
+  void parallelFor(int64_t Begin, int64_t End,
+                   const std::function<void(int64_t)> &Fn) {
+    int64_t N = End - Begin;
+    if (N <= 0)
+      return;
+    int Workers = NumThreads;
+    if (N < Workers || Workers <= 1) {
+      for (int64_t I = Begin; I < End; ++I)
+        Fn(I);
+      return;
+    }
+    std::atomic<int> Remaining{Workers - 1};
+    std::mutex DoneMutex;
+    std::condition_variable DoneCv;
+    auto RunChunk = [&](int W) {
+      int64_t Chunk = (N + Workers - 1) / Workers;
+      int64_t B = Begin + W * Chunk;
+      int64_t E = std::min(End, B + Chunk);
+      for (int64_t I = B; I < E; ++I)
+        Fn(I);
+    };
+    {
+      std::lock_guard<std::mutex> Lock(TaskMutex);
+      for (int W = 1; W < Workers; ++W)
+        Tasks.push_back([&, W] {
+          RunChunk(W);
+          if (Remaining.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> DL(DoneMutex);
+            DoneCv.notify_one();
+          }
+        });
+    }
+    TaskCv.notify_all();
+    RunChunk(0);
+    std::unique_lock<std::mutex> DL(DoneMutex);
+    DoneCv.wait(DL, [&] { return Remaining.load() == 0; });
+  }
+
+private:
+  ThreadPool() {
+    NumThreads = static_cast<int>(std::thread::hardware_concurrency());
+    if (NumThreads < 1)
+      NumThreads = 1;
+    for (int W = 1; W < NumThreads; ++W)
+      Threads.emplace_back([this] { workerLoop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(TaskMutex);
+      Stop = true;
+    }
+    TaskCv.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(TaskMutex);
+        TaskCv.wait(Lock, [this] { return Stop || !Tasks.empty(); });
+        if (Stop && Tasks.empty())
+          return;
+        Task = std::move(Tasks.back());
+        Tasks.pop_back();
+      }
+      Task();
+    }
+  }
+
+  int NumThreads = 1;
+  std::vector<std::thread> Threads;
+  std::vector<std::function<void()>> Tasks;
+  std::mutex TaskMutex;
+  std::condition_variable TaskCv;
+  bool Stop = false;
+};
+
+inline void parallelFor(int64_t Begin, int64_t End,
+                        const std::function<void(int64_t)> &Fn) {
+  ThreadPool::instance().parallelFor(Begin, End, Fn);
+}
+
+/// Floor division / modulo with Python semantics (divisor sign).
+inline int64_t floorDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B, R = A % B;
+  if (R != 0 && ((R < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+inline int64_t floorMod(int64_t A, int64_t B) {
+  int64_t R = A % B;
+  if (R != 0 && ((R < 0) != (B < 0)))
+    R += B;
+  return R;
+}
+
+/// Atomic read-modify-write via compare-exchange (works for any scalar).
+template <typename T, typename OpFn>
+inline void atomicRmw(T *Addr, T Val, OpFn Op) {
+  std::atomic_ref<T> Ref(*Addr);
+  T Old = Ref.load(std::memory_order_relaxed);
+  while (!Ref.compare_exchange_weak(Old, Op(Old, Val),
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+template <typename T> inline void atomicAdd(T *Addr, T Val) {
+  atomicRmw(Addr, Val, [](T A, T B) { return A + B; });
+}
+template <typename T> inline void atomicMul(T *Addr, T Val) {
+  atomicRmw(Addr, Val, [](T A, T B) { return A * B; });
+}
+template <typename T> inline void atomicMin(T *Addr, T Val) {
+  atomicRmw(Addr, Val, [](T A, T B) { return A < B ? A : B; });
+}
+template <typename T> inline void atomicMax(T *Addr, T Val) {
+  atomicRmw(Addr, Val, [](T A, T B) { return A > B ? A : B; });
+}
+
+template <typename T> inline T sigmoid(T X) {
+  return T(1) / (T(1) + std::exp(-X));
+}
+
+/// C[M x N] += op(A) * op(B), row-major, with a register-blocked k-inner
+/// loop. The "vendor library" of the as_lib schedule.
+template <typename T>
+inline void gemm(bool TransA, bool TransB, int64_t M, int64_t N, int64_t K,
+                 const T *A, const T *B, T *C) {
+  auto AAt = [&](int64_t I, int64_t Kk) {
+    return TransA ? A[Kk * M + I] : A[I * K + Kk];
+  };
+  auto BAt = [&](int64_t Kk, int64_t J) {
+    return TransB ? B[J * K + Kk] : B[Kk * N + J];
+  };
+  constexpr int64_t Tile = 48;
+  for (int64_t I0 = 0; I0 < M; I0 += Tile)
+    for (int64_t K0 = 0; K0 < K; K0 += Tile)
+      for (int64_t I = I0; I < std::min(M, I0 + Tile); ++I)
+        for (int64_t Kk = K0; Kk < std::min(K, K0 + Tile); ++Kk) {
+          T AV = AAt(I, Kk);
+          for (int64_t J = 0; J < N; ++J)
+            C[I * N + J] += AV * BAt(Kk, J);
+        }
+}
+
+} // namespace rt
+} // namespace ft
+
+#endif // FT_CODEGEN_RT_FT_RUNTIME_H

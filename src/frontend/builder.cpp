@@ -1,0 +1,228 @@
+//===- frontend/builder.cpp -----------------------------------------------===//
+
+#include "frontend/builder.h"
+
+#include "support/string_utils.h"
+
+using namespace ft;
+
+//===----------------------------------------------------------------------===//
+// View
+//===----------------------------------------------------------------------===//
+
+Expr View::shape(int D) const {
+  ftAssert(D >= 0 && D < ndim(), "View::shape dimension out of range");
+  return Kept[D].Extent;
+}
+
+View View::select(int D, const Expr &I) const {
+  ftAssert(D >= 0 && D < ndim(), "View::select dimension out of range");
+  View Out = *this;
+  int BaseDim = Kept[D].BaseDim;
+  Out.Offsets[BaseDim] = makeAdd(Offsets[BaseDim], I);
+  Out.Kept.erase(Out.Kept.begin() + D);
+  return Out;
+}
+
+View View::slice(int D, const Expr &Begin, const Expr &End) const {
+  ftAssert(D >= 0 && D < ndim(), "View::slice dimension out of range");
+  View Out = *this;
+  int BaseDim = Kept[D].BaseDim;
+  Out.Offsets[BaseDim] = makeAdd(Offsets[BaseDim], Begin);
+  Out.Kept[D].Extent = makeSub(End, Begin);
+  return Out;
+}
+
+std::vector<Expr> View::baseIndices(const std::vector<Expr> &KeptIdx) const {
+  ftAssert(KeptIdx.size() == Kept.size(),
+           "index count does not match view rank");
+  std::vector<Expr> Out = Offsets;
+  for (size_t D = 0; D < Kept.size(); ++D)
+    Out[Kept[D].BaseDim] = makeAdd(Out[Kept[D].BaseDim], KeptIdx[D]);
+  return Out;
+}
+
+Expr View::load() const {
+  ftAssert(ndim() == 0, "loading a non-scalar view of " + Base +
+                            "; index it fully first");
+  return makeLoad(Base, Offsets, Dtype);
+}
+
+void View::assign(const Expr &Value) const {
+  ftAssert(Builder != nullptr, "assigning through a detached view");
+  Builder->emitStore(*this, {}, Value);
+}
+
+void View::reduce(ReduceOpKind Op, const Expr &Value) const {
+  ftAssert(Builder != nullptr, "reducing through a detached view");
+  Builder->emitReduce(*this, {}, Op, Value);
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionBuilder
+//===----------------------------------------------------------------------===//
+
+FunctionBuilder::FunctionBuilder(std::string Name) : Name(std::move(Name)) {
+  Blocks.emplace_back();
+}
+
+std::string FunctionBuilder::freshName(const std::string &Hint) {
+  int &N = NameCounter[Hint];
+  std::string Out = N == 0 ? Hint : Hint + "." + std::to_string(N);
+  ++N;
+  return Out;
+}
+
+View FunctionBuilder::makeView(const std::string &Name,
+                               const std::vector<Expr> &Shape,
+                               DataType Dtype) {
+  View V;
+  V.Builder = this;
+  V.Base = Name;
+  V.Dtype = Dtype;
+  for (size_t D = 0; D < Shape.size(); ++D) {
+    V.Offsets.push_back(makeIntConst(0));
+    V.Kept.push_back({static_cast<int>(D), Shape[D]});
+  }
+  return V;
+}
+
+View FunctionBuilder::makeParam(const std::string &Name,
+                                std::vector<Expr> Shape, DataType Dtype,
+                                AccessType ATy) {
+  std::string Unique = freshName(Name);
+  ftAssert(Unique == Name, "duplicate parameter name: " + Name);
+  Params.push_back({Name, TensorInfo{Shape, Dtype}, ATy});
+  return makeView(Name, Shape, Dtype);
+}
+
+View FunctionBuilder::input(const std::string &Name, std::vector<Expr> Shape,
+                            DataType Dtype) {
+  return makeParam(Name, std::move(Shape), Dtype, AccessType::Input);
+}
+
+View FunctionBuilder::output(const std::string &Name,
+                             std::vector<Expr> Shape, DataType Dtype) {
+  return makeParam(Name, std::move(Shape), Dtype, AccessType::Output);
+}
+
+View FunctionBuilder::inout(const std::string &Name, std::vector<Expr> Shape,
+                            DataType Dtype) {
+  return makeParam(Name, std::move(Shape), Dtype, AccessType::InOut);
+}
+
+Expr FunctionBuilder::scalarInput(const std::string &Name, DataType Dtype) {
+  View V = makeParam(Name, {}, Dtype, AccessType::Input);
+  return V.load();
+}
+
+View FunctionBuilder::local(const std::string &Name, std::vector<Expr> Shape,
+                            DataType Dtype, MemType MTy) {
+  std::string Unique = freshName(Name);
+  Blocks.back().Defs.push_back({Blocks.back().Stmts.size(), Unique,
+                                TensorInfo{Shape, Dtype}, MTy,
+                                /*NoGrad=*/false});
+  return makeView(Unique, Shape, Dtype);
+}
+
+View FunctionBuilder::localNoGrad(const std::string &Name,
+                                  std::vector<Expr> Shape, DataType Dtype,
+                                  MemType MTy) {
+  View V = local(Name, std::move(Shape), Dtype, MTy);
+  Blocks.back().Defs.back().NoGrad = true;
+  return V;
+}
+
+void FunctionBuilder::append(Stmt S) {
+  Blocks.back().Stmts.push_back(std::move(S));
+}
+
+Stmt FunctionBuilder::closeBlock(Block &&B) {
+  // Later defs wrap a suffix of earlier ones, so fold from the back.
+  std::vector<Stmt> Stmts = std::move(B.Stmts);
+  for (auto It = B.Defs.rbegin(); It != B.Defs.rend(); ++It) {
+    std::vector<Stmt> Wrapped(Stmts.begin() + It->Pos, Stmts.end());
+    Stmts.resize(It->Pos);
+    Stmt Body = Wrapped.size() == 1 ? Wrapped[0]
+                                    : makeStmtSeq(std::move(Wrapped));
+    Stmt Def = makeVarDef(It->Name, It->Info, AccessType::Cache, It->MTy,
+                          std::move(Body));
+    cast<VarDefNode>(Def)->NoGrad = It->NoGrad;
+    Stmts.push_back(std::move(Def));
+  }
+  if (Stmts.size() == 1)
+    return Stmts[0];
+  return makeStmtSeq(std::move(Stmts));
+}
+
+int64_t FunctionBuilder::loop(const std::string &IterHint, const Expr &Begin,
+                              const Expr &End,
+                              const std::function<void(Expr)> &Body,
+                              const std::string &Label) {
+  std::string Iter = freshName(IterHint);
+  Blocks.emplace_back();
+  Body(makeVar(Iter));
+  Stmt BodyStmt = closeBlock(std::move(Blocks.back()));
+  Blocks.pop_back();
+  Stmt For = makeFor(Iter, Begin, End, ForProperty{}, std::move(BodyStmt));
+  For->Label = Label;
+  int64_t Id = For->Id;
+  append(std::move(For));
+  return Id;
+}
+
+int64_t FunctionBuilder::loop(const std::string &IterHint, int64_t Begin,
+                              int64_t End,
+                              const std::function<void(Expr)> &Body,
+                              const std::string &Label) {
+  return loop(IterHint, makeIntConst(Begin), makeIntConst(End), Body, Label);
+}
+
+void FunctionBuilder::ifThen(const Expr &Cond,
+                             const std::function<void()> &Then) {
+  Blocks.emplace_back();
+  Then();
+  Stmt ThenStmt = closeBlock(std::move(Blocks.back()));
+  Blocks.pop_back();
+  append(makeIf(Cond, std::move(ThenStmt)));
+}
+
+void FunctionBuilder::ifThenElse(const Expr &Cond,
+                                 const std::function<void()> &Then,
+                                 const std::function<void()> &Else) {
+  Blocks.emplace_back();
+  Then();
+  Stmt ThenStmt = closeBlock(std::move(Blocks.back()));
+  Blocks.pop_back();
+  Blocks.emplace_back();
+  Else();
+  Stmt ElseStmt = closeBlock(std::move(Blocks.back()));
+  Blocks.pop_back();
+  append(makeIf(Cond, std::move(ThenStmt), std::move(ElseStmt)));
+}
+
+void FunctionBuilder::emitStore(const View &V, std::vector<Expr> Indices,
+                                Expr Value) {
+  append(makeStore(V.Base, V.baseIndices(Indices), std::move(Value)));
+}
+
+void FunctionBuilder::emitReduce(const View &V, std::vector<Expr> Indices,
+                                 ReduceOpKind Op, Expr Value) {
+  append(makeReduceTo(V.Base, V.baseIndices(Indices), Op, std::move(Value)));
+}
+
+Func FunctionBuilder::build() {
+  ftAssert(Blocks.size() == 1, "build() called inside an open block");
+  Stmt Body = closeBlock(std::move(Blocks.back()));
+  Blocks.clear();
+  // Wrap parameters outside-in so the first parameter is outermost.
+  for (auto It = Params.rbegin(); It != Params.rend(); ++It)
+    Body = makeVarDef(It->Name, It->Info, It->ATy, MemType::CPU,
+                      std::move(Body));
+  Func F;
+  F.Name = Name;
+  for (const ParamInfo &P : Params)
+    F.Params.push_back(P.Name);
+  F.Body = std::move(Body);
+  return F;
+}

@@ -1,0 +1,195 @@
+//===- frontend/builder.h - The free-form DSL frontend -----------*- C++ -*-===//
+///
+/// \file
+/// The staged frontend of the DSL (paper §3). A FunctionBuilder assembles a
+/// Func while C++ code runs; tensors are first-class View values carrying
+/// metadata (ndim / shape / dtype / mtype, §3.3), partial indexing produces
+/// sub-views (NumPy-style rules, §3.1), and fine-grained control flow is
+/// expressed with `loop` / `ifThen` taking C++ lambdas.
+///
+/// Because metadata is a C++ value at staging time, dimension-free library
+/// functions are ordinary C++ recursion over `View::ndim()` — the finite
+/// recursion of Fig. 6(b) — and every call is inlined into the emitted IR by
+/// construction, which realizes the paper's partial evaluation (§4.1) and
+/// always-inlined calls (Fig. 7) at the same phase of the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_FRONTEND_BUILDER_H
+#define FT_FRONTEND_BUILDER_H
+
+#include <functional>
+#include <map>
+
+#include "frontend/expr_ops.h"
+#include "ir/func.h"
+
+namespace ft {
+
+class FunctionBuilder;
+
+/// A (possibly partial) view of a tensor: the result of indexing/slicing.
+/// Copy-by-value semantics of the *handle*; actual data is only named, and
+/// reads/writes are emitted through the owning FunctionBuilder.
+class View {
+public:
+  View() = default;
+
+  /// Number of remaining (kept) dimensions.
+  int ndim() const { return static_cast<int>(Kept.size()); }
+
+  /// Extent of kept dimension \p D.
+  Expr shape(int D) const;
+
+  /// Element type.
+  DataType dtype() const { return Dtype; }
+
+  /// Name of the underlying tensor.
+  const std::string &name() const { return Base; }
+
+  /// Selects index \p I of the first kept dimension, dropping it.
+  View operator[](const Expr &I) const { return select(0, I); }
+  View operator[](int64_t I) const { return select(0, makeIntConst(I)); }
+
+  /// Selects index \p I of kept dimension \p D, dropping it.
+  View select(int D, const Expr &I) const;
+
+  /// Restricts kept dimension \p D to [Begin, End) without dropping it.
+  View slice(int D, const Expr &Begin, const Expr &End) const;
+
+  /// Loads the scalar value (requires ndim() == 0).
+  Expr load() const;
+
+  /// Implicit read of 0-D views so they compose in expressions.
+  operator Expr() const { return load(); }
+
+  /// Emits `this = Value` (requires ndim() == 0).
+  void assign(const Expr &Value) const;
+  void assign(double Value) const { assign(makeFloatConst(Value)); }
+  void assign(int64_t Value) const { assign(makeIntConst(Value)); }
+
+  /// Emits a commutative accumulation `this op= Value` (ndim() == 0).
+  void reduce(ReduceOpKind Op, const Expr &Value) const;
+  void operator+=(const Expr &Value) const {
+    reduce(ReduceOpKind::Add, Value);
+  }
+  void operator*=(const Expr &Value) const {
+    reduce(ReduceOpKind::Mul, Value);
+  }
+  void reduceMax(const Expr &Value) const {
+    reduce(ReduceOpKind::Max, Value);
+  }
+  void reduceMin(const Expr &Value) const {
+    reduce(ReduceOpKind::Min, Value);
+  }
+
+private:
+  friend class FunctionBuilder;
+
+  /// Builds the full base index list from kept-dim indices.
+  std::vector<Expr> baseIndices(const std::vector<Expr> &KeptIdx) const;
+
+  FunctionBuilder *Builder = nullptr;
+  std::string Base;
+  DataType Dtype = DataType::Float32;
+  std::vector<Expr> Offsets; ///< One per base dimension.
+  struct KeptDim {
+    int BaseDim;
+    Expr Extent;
+  };
+  std::vector<KeptDim> Kept;
+};
+
+/// Builds one Func. See the file comment for the programming model.
+class FunctionBuilder {
+public:
+  explicit FunctionBuilder(std::string Name);
+
+  /// Declares tensor parameters. Shapes are expressions (use intConsts or
+  /// scalar parameters). Parameter order is the declaration order.
+  View input(const std::string &Name, std::vector<Expr> Shape,
+             DataType Dtype = DataType::Float32);
+  View output(const std::string &Name, std::vector<Expr> Shape,
+              DataType Dtype = DataType::Float32);
+  View inout(const std::string &Name, std::vector<Expr> Shape,
+             DataType Dtype = DataType::Float32);
+
+  /// Declares a read-only scalar parameter and returns its value.
+  Expr scalarInput(const std::string &Name,
+                   DataType Dtype = DataType::Int64);
+
+  /// Creates a tensor local to the current block (paper's create_var). It
+  /// scopes over the rest of the block; pass/sink_var can narrow it later.
+  View local(const std::string &Name, std::vector<Expr> Shape,
+             DataType Dtype = DataType::Float32,
+             MemType MTy = MemType::CPU);
+
+  /// Like local, but loads of the tensor are treated as constants by AD
+  /// (stop-gradient), e.g. the running max in a softmax.
+  View localNoGrad(const std::string &Name, std::vector<Expr> Shape,
+                   DataType Dtype = DataType::Float32,
+                   MemType MTy = MemType::CPU);
+
+  /// Emits `for <name> in [Begin, End)` with \p Body receiving the
+  /// iterator. Returns the For statement's ID for scheduling. The iterator
+  /// name is uniquified; pass a label to address the loop later.
+  int64_t loop(const std::string &IterHint, const Expr &Begin,
+               const Expr &End, const std::function<void(Expr)> &Body,
+               const std::string &Label = "");
+  int64_t loop(const std::string &IterHint, int64_t Begin, int64_t End,
+               const std::function<void(Expr)> &Body,
+               const std::string &Label = "");
+
+  /// Emits a branch.
+  void ifThen(const Expr &Cond, const std::function<void()> &Then);
+  void ifThenElse(const Expr &Cond, const std::function<void()> &Then,
+                  const std::function<void()> &Else);
+
+  /// Low-level emission used by View.
+  void emitStore(const View &V, std::vector<Expr> Indices, Expr Value);
+  void emitReduce(const View &V, std::vector<Expr> Indices, ReduceOpKind Op,
+                  Expr Value);
+
+  /// Returns a fresh name derived from \p Hint.
+  std::string freshName(const std::string &Hint);
+
+  /// Finalizes and returns the Func. The builder must be at top level.
+  Func build();
+
+private:
+  friend class View;
+
+  struct PendingDef {
+    size_t Pos; ///< Wraps statements [Pos, end) of the block.
+    std::string Name;
+    TensorInfo Info;
+    MemType MTy;
+    bool NoGrad;
+  };
+
+  struct Block {
+    std::vector<Stmt> Stmts;
+    std::vector<PendingDef> Defs;
+  };
+
+  View makeParam(const std::string &Name, std::vector<Expr> Shape,
+                 DataType Dtype, AccessType ATy);
+  View makeView(const std::string &Name, const std::vector<Expr> &Shape,
+                DataType Dtype);
+  void append(Stmt S);
+  Stmt closeBlock(Block &&B);
+
+  std::string Name;
+  std::vector<Block> Blocks;
+  struct ParamInfo {
+    std::string Name;
+    TensorInfo Info;
+    AccessType ATy;
+  };
+  std::vector<ParamInfo> Params;
+  std::map<std::string, int> NameCounter;
+};
+
+} // namespace ft
+
+#endif // FT_FRONTEND_BUILDER_H

@@ -1,0 +1,84 @@
+//===- frontend/expr_ops.h - Operator sugar for Expr -------------*- C++ -*-===//
+///
+/// \file
+/// Overloaded operators and scalar-literal conversions so DSL code reads
+/// like the paper's listings: `dot[k + w] += Q(j, p) * K(j + k, p)`.
+/// All operators are thin wrappers over the ir factory functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_FRONTEND_EXPR_OPS_H
+#define FT_FRONTEND_EXPR_OPS_H
+
+#include "ir/expr.h"
+
+namespace ft {
+
+inline Expr operator+(const Expr &L, const Expr &R) { return makeAdd(L, R); }
+inline Expr operator-(const Expr &L, const Expr &R) { return makeSub(L, R); }
+inline Expr operator*(const Expr &L, const Expr &R) { return makeMul(L, R); }
+inline Expr operator/(const Expr &L, const Expr &R) {
+  return makeRealDiv(L, R);
+}
+inline Expr operator-(const Expr &X) { return makeUnary(UnOpKind::Neg, X); }
+
+inline Expr operator+(const Expr &L, int64_t R) {
+  return makeAdd(L, makeIntConst(R));
+}
+inline Expr operator+(int64_t L, const Expr &R) {
+  return makeAdd(makeIntConst(L), R);
+}
+inline Expr operator-(const Expr &L, int64_t R) {
+  return makeSub(L, makeIntConst(R));
+}
+inline Expr operator-(int64_t L, const Expr &R) {
+  return makeSub(makeIntConst(L), R);
+}
+inline Expr operator*(const Expr &L, int64_t R) {
+  return makeMul(L, makeIntConst(R));
+}
+inline Expr operator*(int64_t L, const Expr &R) {
+  return makeMul(makeIntConst(L), R);
+}
+
+// Note: ==, != and ! are deliberately NOT overloaded for Expr — they would
+// make ordinary shared_ptr comparisons (e.g. against nullptr) ambiguous.
+// Use makeEQ / makeNE / makeLNot.
+inline Expr operator<(const Expr &L, const Expr &R) { return makeLT(L, R); }
+inline Expr operator<=(const Expr &L, const Expr &R) { return makeLE(L, R); }
+inline Expr operator>(const Expr &L, const Expr &R) { return makeGT(L, R); }
+inline Expr operator>=(const Expr &L, const Expr &R) { return makeGE(L, R); }
+inline Expr operator&&(const Expr &L, const Expr &R) {
+  return makeLAnd(L, R);
+}
+inline Expr operator||(const Expr &L, const Expr &R) { return makeLOr(L, R); }
+
+inline Expr operator<(const Expr &L, int64_t R) {
+  return makeLT(L, makeIntConst(R));
+}
+inline Expr operator<=(const Expr &L, int64_t R) {
+  return makeLE(L, makeIntConst(R));
+}
+inline Expr operator>(const Expr &L, int64_t R) {
+  return makeGT(L, makeIntConst(R));
+}
+inline Expr operator>=(const Expr &L, int64_t R) {
+  return makeGE(L, makeIntConst(R));
+}
+
+/// Scalar math helpers matching libop naming.
+inline Expr exp(const Expr &X) { return makeUnary(UnOpKind::Exp, X); }
+inline Expr ln(const Expr &X) { return makeUnary(UnOpKind::Ln, X); }
+inline Expr sqrt(const Expr &X) { return makeUnary(UnOpKind::Sqrt, X); }
+inline Expr abs(const Expr &X) { return makeUnary(UnOpKind::Abs, X); }
+inline Expr sigmoid(const Expr &X) { return makeUnary(UnOpKind::Sigmoid, X); }
+inline Expr tanh(const Expr &X) { return makeUnary(UnOpKind::Tanh, X); }
+inline Expr min(const Expr &L, const Expr &R) { return makeMin(L, R); }
+inline Expr max(const Expr &L, const Expr &R) { return makeMax(L, R); }
+inline Expr select(const Expr &C, const Expr &T, const Expr &F) {
+  return makeIfExpr(C, T, F);
+}
+
+} // namespace ft
+
+#endif // FT_FRONTEND_EXPR_OPS_H

@@ -1,0 +1,215 @@
+//===- frontend/libop.cpp -------------------------------------------------===//
+
+#include "frontend/libop.h"
+
+#include <cmath>
+
+using namespace ft;
+
+void libop::fill(FunctionBuilder &B, const View &Out, const Expr &Value) {
+  if (Out.ndim() == 0) {
+    Out.assign(Value);
+    return;
+  }
+  B.loop("i", makeIntConst(0), Out.shape(0),
+         [&](Expr I) { fill(B, Out[I], Value); });
+}
+
+void libop::zeros(FunctionBuilder &B, const View &Out) {
+  fill(B, Out,
+       isFloat(Out.dtype()) ? makeFloatConst(0.0) : makeIntConst(0));
+}
+
+void libop::mapUnary(FunctionBuilder &B, const View &X, const View &Out,
+                     const UnaryFn &Fn) {
+  ftAssert(X.ndim() == Out.ndim(), "libop rank mismatch");
+  if (X.ndim() == 0) {
+    Out.assign(Fn(X.load()));
+    return;
+  }
+  B.loop("i", makeIntConst(0), X.shape(0),
+         [&](Expr I) { mapUnary(B, X[I], Out[I], Fn); });
+}
+
+void libop::mapBinary(FunctionBuilder &B, const View &X, const View &Y,
+                      const View &Out, const BinaryFn &Fn) {
+  ftAssert(X.ndim() == Y.ndim() && X.ndim() == Out.ndim(),
+           "libop rank mismatch");
+  if (X.ndim() == 0) {
+    Out.assign(Fn(X.load(), Y.load()));
+    return;
+  }
+  B.loop("i", makeIntConst(0), X.shape(0),
+         [&](Expr I) { mapBinary(B, X[I], Y[I], Out[I], Fn); });
+}
+
+void libop::copy(FunctionBuilder &B, const View &X, const View &Out) {
+  mapUnary(B, X, Out, [](const Expr &V) { return V; });
+}
+
+void libop::add(FunctionBuilder &B, const View &X, const View &Y,
+                const View &Out) {
+  mapBinary(B, X, Y, Out, makeAdd);
+}
+
+void libop::sub(FunctionBuilder &B, const View &X, const View &Y,
+                const View &Out) {
+  mapBinary(B, X, Y, Out, makeSub);
+}
+
+void libop::mul(FunctionBuilder &B, const View &X, const View &Y,
+                const View &Out) {
+  mapBinary(B, X, Y, Out, makeMul);
+}
+
+void libop::abs(FunctionBuilder &B, const View &X, const View &Out) {
+  mapUnary(B, X, Out,
+           [](const Expr &V) { return makeUnary(UnOpKind::Abs, V); });
+}
+
+void libop::exp(FunctionBuilder &B, const View &X, const View &Out) {
+  mapUnary(B, X, Out,
+           [](const Expr &V) { return makeUnary(UnOpKind::Exp, V); });
+}
+
+void libop::relu(FunctionBuilder &B, const View &X, const View &Out) {
+  mapUnary(B, X, Out,
+           [](const Expr &V) { return makeMax(V, makeFloatConst(0.0)); });
+}
+
+void libop::sigmoid(FunctionBuilder &B, const View &X, const View &Out) {
+  mapUnary(B, X, Out,
+           [](const Expr &V) { return makeUnary(UnOpKind::Sigmoid, V); });
+}
+
+void libop::accumulate(FunctionBuilder &B, const View &X, const View &Out,
+                       ReduceOpKind Op) {
+  ftAssert(X.ndim() == Out.ndim(), "libop rank mismatch");
+  if (X.ndim() == 0) {
+    Out.reduce(Op, X.load());
+    return;
+  }
+  B.loop("i", makeIntConst(0), X.shape(0),
+         [&](Expr I) { accumulate(B, X[I], Out[I], Op); });
+}
+
+void libop::accumulateSum(FunctionBuilder &B, const View &X,
+                          const View &Out) {
+  ftAssert(Out.ndim() == 0, "accumulateSum target must be 0-D");
+  if (X.ndim() == 0) {
+    Out.reduce(ReduceOpKind::Add, X.load());
+    return;
+  }
+  B.loop("i", makeIntConst(0), X.shape(0),
+         [&](Expr I) { accumulateSum(B, X[I], Out); });
+}
+
+namespace {
+
+/// Shared body of the axis reductions: Out op= X collapsed along Axis.
+void accumulateAxis(FunctionBuilder &B, const View &X, const View &Out,
+                    int Axis, ReduceOpKind Op) {
+  ftAssert(Out.ndim() == X.ndim() - 1, "axis reduction rank mismatch");
+  if (Axis == 0) {
+    B.loop("r", makeIntConst(0), X.shape(0),
+           [&](Expr I) { libop::accumulate(B, X[I], Out, Op); });
+    return;
+  }
+  B.loop("i", makeIntConst(0), X.shape(0), [&](Expr I) {
+    accumulateAxis(B, X[I], Out[I], Axis - 1, Op);
+  });
+}
+
+} // namespace
+
+void libop::reduceSum(FunctionBuilder &B, const View &X, const View &Out,
+                      int Axis) {
+  zeros(B, Out);
+  accumulateAxis(B, X, Out, Axis, ReduceOpKind::Add);
+}
+
+void libop::reduceMax(FunctionBuilder &B, const View &X, const View &Out,
+                      int Axis) {
+  fill(B, Out, neutralValue(ReduceOpKind::Max, X.dtype()));
+  accumulateAxis(B, X, Out, Axis, ReduceOpKind::Max);
+}
+
+void libop::matmul(FunctionBuilder &B, const View &A, const View &Bm,
+                   const View &C) {
+  ftAssert(A.ndim() == 2 && Bm.ndim() == 2 && C.ndim() == 2,
+           "matmul requires 2-D views");
+  B.loop("i", makeIntConst(0), A.shape(0), [&](Expr I) {
+    B.loop("j", makeIntConst(0), Bm.shape(1), [&](Expr J) {
+      C[I][J].assign(isFloat(C.dtype()) ? makeFloatConst(0.0)
+                                        : makeIntConst(0));
+      B.loop("k", makeIntConst(0), A.shape(1), [&](Expr K) {
+        C[I][J] += A[I][K].load() * Bm[K][J].load();
+      });
+    });
+  });
+}
+
+void libop::transpose(FunctionBuilder &B, const View &X, const View &Out) {
+  ftAssert(X.ndim() == 2 && Out.ndim() == 2, "transpose expects 2-D views");
+  B.loop("i", makeIntConst(0), X.shape(0), [&](Expr I) {
+    B.loop("j", makeIntConst(0), X.shape(1),
+           [&](Expr J) { Out[J][I].assign(X[I][J].load()); });
+  });
+}
+
+void libop::concat0(FunctionBuilder &B, const View &X, const View &Y,
+                    const View &Out) {
+  ftAssert(X.ndim() == Y.ndim() && X.ndim() == Out.ndim() && X.ndim() >= 1,
+           "concat0 rank mismatch");
+  B.loop("i", makeIntConst(0), X.shape(0),
+         [&](Expr I) { copy(B, X[I], Out[I]); });
+  B.loop("i", makeIntConst(0), Y.shape(0), [&](Expr I) {
+    copy(B, Y[I], Out[makeAdd(I, X.shape(0))]);
+  });
+}
+
+void libop::linear(FunctionBuilder &B, const View &X, const View &W,
+                   const View &Bias, const View &Out) {
+  ftAssert(X.ndim() == 2 && W.ndim() == 2 && Bias.ndim() == 1 &&
+               Out.ndim() == 2,
+           "linear expects X[n,i], W[i,o], Bias[o], Out[n,o]");
+  B.loop("n", makeIntConst(0), X.shape(0), [&](Expr N) {
+    B.loop("o", makeIntConst(0), W.shape(1), [&](Expr O) {
+      Out[N][O].assign(Bias[O].load());
+      B.loop("k", makeIntConst(0), X.shape(1), [&](Expr K) {
+        Out[N][O] += X[N][K].load() * W[K][O].load();
+      });
+    });
+  });
+}
+
+void libop::squaredError(FunctionBuilder &B, const View &X, const View &Y,
+                         const View &Out) {
+  ftAssert(Out.ndim() == 0, "squaredError target must be 0-D");
+  ftAssert(X.ndim() == Y.ndim(), "squaredError rank mismatch");
+  if (X.ndim() == 0) {
+    Expr D = X.load() - Y.load();
+    Out.reduce(ReduceOpKind::Add, D * D);
+    return;
+  }
+  B.loop("i", makeIntConst(0), X.shape(0),
+         [&](Expr I) { squaredError(B, X[I], Y[I], Out); });
+}
+
+void libop::softmax(FunctionBuilder &B, const View &X, const View &Out) {
+  ftAssert(X.ndim() == 1 && Out.ndim() == 1, "softmax expects 1-D views");
+  View Mx = B.localNoGrad("smax.max", {}, X.dtype());
+  Mx.assign(makeFloatConst(-INFINITY));
+  B.loop("k", makeIntConst(0), X.shape(0),
+         [&](Expr K) { Mx.reduceMax(X[K].load()); });
+  View Den = B.local("smax.den", {}, X.dtype());
+  Den.assign(makeFloatConst(0.0));
+  View Ex = B.local("smax.exp", {X.shape(0)}, X.dtype());
+  B.loop("k", makeIntConst(0), X.shape(0), [&](Expr K) {
+    Ex[K].assign(ft::exp(X[K].load() - Mx.load()));
+    Den += Ex[K].load();
+  });
+  B.loop("k", makeIntConst(0), X.shape(0), [&](Expr K) {
+    Out[K].assign(Ex[K].load() / Den.load());
+  });
+}

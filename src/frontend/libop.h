@@ -1,0 +1,88 @@
+//===- frontend/libop.h - Operator library in pure DSL -----------*- C++ -*-===//
+///
+/// \file
+/// The paper's libop (§3.2): a tensor operator library implemented in pure
+/// DSL code rather than native kernels. Every function is dimension-free —
+/// written as a finite recursion over View::ndim() exactly as in Fig. 6(b)
+/// — and is fully inlined into the caller's loop nest at staging time, so
+/// it is optimized together with the rest of the program (Fig. 7/8).
+///
+/// All element-wise functions require operand views of equal rank and
+/// (programmer-asserted) equal extents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_FRONTEND_LIBOP_H
+#define FT_FRONTEND_LIBOP_H
+
+#include "frontend/builder.h"
+
+namespace ft {
+namespace libop {
+
+/// Fills \p Out with a scalar value / with zeros.
+void fill(FunctionBuilder &B, const View &Out, const Expr &Value);
+void zeros(FunctionBuilder &B, const View &Out);
+
+/// Out = X, elementwise.
+void copy(FunctionBuilder &B, const View &X, const View &Out);
+
+/// Generic elementwise maps (the building blocks for the fixed ops below).
+using UnaryFn = std::function<Expr(const Expr &)>;
+using BinaryFn = std::function<Expr(const Expr &, const Expr &)>;
+void mapUnary(FunctionBuilder &B, const View &X, const View &Out,
+              const UnaryFn &Fn);
+void mapBinary(FunctionBuilder &B, const View &X, const View &Y,
+               const View &Out, const BinaryFn &Fn);
+
+/// Fixed elementwise operators.
+void add(FunctionBuilder &B, const View &X, const View &Y, const View &Out);
+void sub(FunctionBuilder &B, const View &X, const View &Y, const View &Out);
+void mul(FunctionBuilder &B, const View &X, const View &Y, const View &Out);
+void abs(FunctionBuilder &B, const View &X, const View &Out);
+void exp(FunctionBuilder &B, const View &X, const View &Out);
+void relu(FunctionBuilder &B, const View &X, const View &Out);
+void sigmoid(FunctionBuilder &B, const View &X, const View &Out);
+
+/// Out (0-D) += sum of all elements of X (Out must be initialized).
+void accumulateSum(FunctionBuilder &B, const View &X, const View &Out);
+
+/// Out op= X elementwise, same rank (Out need not be zero).
+void accumulate(FunctionBuilder &B, const View &X, const View &Out,
+                ReduceOpKind Op = ReduceOpKind::Add);
+
+/// Out = sum of X over axis \p Axis; Out has rank X.ndim()-1. Includes the
+/// zero-initialization of Out.
+void reduceSum(FunctionBuilder &B, const View &X, const View &Out, int Axis);
+
+/// Out = max of X over the last axis (rank X.ndim()-1), initialized.
+void reduceMax(FunctionBuilder &B, const View &X, const View &Out, int Axis);
+
+/// C = A @ B for 2-D views (zero-initializes C).
+void matmul(FunctionBuilder &B, const View &A, const View &Bm, const View &C);
+
+/// Out = softmax(X) along the only axis of a 1-D view. The running max used
+/// for numerical stabilization is a stop-gradient local (mathematically
+/// exact for softmax: the shift cancels in the derivative).
+void softmax(FunctionBuilder &B, const View &X, const View &Out);
+
+/// Out = X^T for 2-D views.
+void transpose(FunctionBuilder &B, const View &X, const View &Out);
+
+/// Out = concat(X, Y) along axis 0 (same trailing shape).
+void concat0(FunctionBuilder &B, const View &X, const View &Y,
+             const View &Out);
+
+/// Out[n, o] = X[n, i] @ W[i, o] + Bias[o]: a dense layer.
+void linear(FunctionBuilder &B, const View &X, const View &W,
+            const View &Bias, const View &Out);
+
+/// Out (0-D) = sum of squared differences of X and Y (any rank): an MSE
+///-style loss without the mean.
+void squaredError(FunctionBuilder &B, const View &X, const View &Y,
+                  const View &Out);
+
+} // namespace libop
+} // namespace ft
+
+#endif // FT_FRONTEND_LIBOP_H

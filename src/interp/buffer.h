@@ -1,0 +1,179 @@
+//===- interp/buffer.h - Runtime tensor storage ------------------*- C++ -*-===//
+///
+/// \file
+/// A typed, densely-packed (row-major) tensor buffer shared by the
+/// interpreter, the JIT execution driver, and the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_INTERP_BUFFER_H
+#define FT_INTERP_BUFFER_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "ir/data_type.h"
+#include "support/error.h"
+
+namespace ft {
+
+/// A dense row-major tensor value.
+class Buffer {
+public:
+  Buffer() = default;
+
+  Buffer(DataType DT, std::vector<int64_t> Shape)
+      : DT(DT), Shape(std::move(Shape)) {
+    Data.assign(static_cast<size_t>(numel()) * sizeOf(DT), 0);
+  }
+
+  /// Builds a Float32 buffer from values.
+  static Buffer fromF32(std::vector<int64_t> Shape,
+                        const std::vector<float> &Vals) {
+    Buffer B(DataType::Float32, std::move(Shape));
+    ftAssert(static_cast<int64_t>(Vals.size()) == B.numel(),
+             "fromF32 element count mismatch");
+    std::memcpy(B.Data.data(), Vals.data(), Vals.size() * 4);
+    return B;
+  }
+
+  /// Builds an Int64 buffer from values.
+  static Buffer fromI64(std::vector<int64_t> Shape,
+                        const std::vector<int64_t> &Vals) {
+    Buffer B(DataType::Int64, std::move(Shape));
+    ftAssert(static_cast<int64_t>(Vals.size()) == B.numel(),
+             "fromI64 element count mismatch");
+    std::memcpy(B.Data.data(), Vals.data(), Vals.size() * 8);
+    return B;
+  }
+
+  /// Builds a 0-D Int64 buffer (scalar parameter).
+  static Buffer scalarI64(int64_t V) { return fromI64({}, {V}); }
+
+  DataType dtype() const { return DT; }
+  const std::vector<int64_t> &shape() const { return Shape; }
+
+  int64_t numel() const {
+    int64_t N = 1;
+    for (int64_t D : Shape)
+      N *= D;
+    return N;
+  }
+
+  size_t sizeBytes() const { return Data.size(); }
+  void *raw() { return Data.data(); }
+  const void *raw() const { return Data.data(); }
+
+  template <typename T> T *as() { return reinterpret_cast<T *>(Data.data()); }
+  template <typename T> const T *as() const {
+    return reinterpret_cast<const T *>(Data.data());
+  }
+
+  /// Reads element \p I as double (any element type).
+  double getF(int64_t I) const {
+    checkIndex(I);
+    switch (DT) {
+    case DataType::Float32:
+      return as<float>()[I];
+    case DataType::Float64:
+      return as<double>()[I];
+    case DataType::Int32:
+      return as<int32_t>()[I];
+    case DataType::Int64:
+      return static_cast<double>(as<int64_t>()[I]);
+    case DataType::Bool:
+      return as<uint8_t>()[I];
+    }
+    ftUnreachable("unknown dtype");
+  }
+
+  /// Reads element \p I as int64 (any element type).
+  int64_t getI(int64_t I) const {
+    checkIndex(I);
+    switch (DT) {
+    case DataType::Float32:
+      return static_cast<int64_t>(as<float>()[I]);
+    case DataType::Float64:
+      return static_cast<int64_t>(as<double>()[I]);
+    case DataType::Int32:
+      return as<int32_t>()[I];
+    case DataType::Int64:
+      return as<int64_t>()[I];
+    case DataType::Bool:
+      return as<uint8_t>()[I];
+    }
+    ftUnreachable("unknown dtype");
+  }
+
+  /// Writes element \p I from a double (converted to the element type).
+  void setF(int64_t I, double V) {
+    checkIndex(I);
+    switch (DT) {
+    case DataType::Float32:
+      as<float>()[I] = static_cast<float>(V);
+      return;
+    case DataType::Float64:
+      as<double>()[I] = V;
+      return;
+    case DataType::Int32:
+      as<int32_t>()[I] = static_cast<int32_t>(V);
+      return;
+    case DataType::Int64:
+      as<int64_t>()[I] = static_cast<int64_t>(V);
+      return;
+    case DataType::Bool:
+      as<uint8_t>()[I] = V != 0;
+      return;
+    }
+    ftUnreachable("unknown dtype");
+  }
+
+  /// Writes element \p I from an int64.
+  void setI(int64_t I, int64_t V) {
+    checkIndex(I);
+    switch (DT) {
+    case DataType::Float32:
+      as<float>()[I] = static_cast<float>(V);
+      return;
+    case DataType::Float64:
+      as<double>()[I] = static_cast<double>(V);
+      return;
+    case DataType::Int32:
+      as<int32_t>()[I] = static_cast<int32_t>(V);
+      return;
+    case DataType::Int64:
+      as<int64_t>()[I] = V;
+      return;
+    case DataType::Bool:
+      as<uint8_t>()[I] = V != 0;
+      return;
+    }
+    ftUnreachable("unknown dtype");
+  }
+
+  /// Row-major flattening of a multi-index.
+  int64_t flatten(const std::vector<int64_t> &Idx) const {
+    ftAssert(Idx.size() == Shape.size(), "index rank mismatch");
+    int64_t Flat = 0;
+    for (size_t D = 0; D < Shape.size(); ++D) {
+      ftAssert(Idx[D] >= 0 && Idx[D] < Shape[D],
+               "index out of bounds in dimension " + std::to_string(D));
+      Flat = Flat * Shape[D] + Idx[D];
+    }
+    return Flat;
+  }
+
+private:
+  void checkIndex(int64_t I) const {
+    ftAssert(I >= 0 && I < numel(), "flat index out of bounds");
+  }
+
+  DataType DT = DataType::Float32;
+  std::vector<int64_t> Shape;
+  std::vector<uint8_t> Data;
+};
+
+} // namespace ft
+
+#endif // FT_INTERP_BUFFER_H

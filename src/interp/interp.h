@@ -1,0 +1,58 @@
+//===- interp/interp.h - Instrumented reference interpreter ------*- C++ -*-===//
+///
+/// \file
+/// A tree-walking evaluator for the IR. It is the semantic reference the
+/// JIT-compiled code is tested against, and it doubles as the measurement
+/// instrument for the Figure-17 analysis: it counts loads, stores, moved
+/// bytes, and floating-point operations of one "kernel" execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_INTERP_INTERP_H
+#define FT_INTERP_INTERP_H
+
+#include <map>
+
+#include "interp/buffer.h"
+#include "ir/func.h"
+
+namespace ft {
+
+/// Execution counters of one interpreted run.
+struct InterpStats {
+  int64_t Loads = 0;
+  int64_t Stores = 0;
+  /// Traffic to main-memory tensors (parameters and MemType::CPU caches).
+  int64_t BytesLoaded = 0;
+  int64_t BytesStored = 0;
+  /// Traffic to on-chip storage (MemType::CPULocal tensors and 0-D Cache
+  /// scalars, which codegen keeps in registers) — the paper's
+  /// registers/shared-memory tier, excluded from the DRAM proxy.
+  int64_t LocalBytes = 0;
+  int64_t Flops = 0;
+
+  /// DRAM traffic estimated by the optional cache simulation (cache-line
+  /// misses x line size); 0 when the simulation is off.
+  int64_t SimDramBytes = 0;
+
+  int64_t bytesMoved() const { return BytesLoaded + BytesStored; }
+};
+
+/// Interpreter options.
+struct InterpOptions {
+  /// Simulate a fully-associative LRU cache in front of main-memory
+  /// tensors and report estimated DRAM traffic in SimDramBytes.
+  bool SimulateCache = false;
+  size_t CacheBytes = 1 << 20; ///< Modeled capacity (default 1 MiB).
+  size_t LineBytes = 64;
+};
+
+/// Runs \p F binding each parameter name to the caller-owned buffer in
+/// \p Args (missing or mistyped parameters abort). Returns the counters.
+InterpStats interpret(const Func &F,
+                      const std::map<std::string, Buffer *> &Args,
+                      const InterpOptions &Opts = {});
+
+} // namespace ft
+
+#endif // FT_INTERP_INTERP_H

@@ -1,0 +1,91 @@
+//===- ir/ast.h - AST base node, kinds, and casting --------------*- C++ -*-===//
+///
+/// \file
+/// The base class for FreeTensor's intermediate representation: a
+/// stack-scoped abstract syntax tree (paper §4). Nodes are reference-counted
+/// and treated as immutable after construction; passes rebuild subtrees via
+/// the Mutator. RTTI is not used: each node carries a NodeKind tag and we
+/// provide LLVM-style isa<> / cast<> / dyn_cast<> over it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_IR_AST_H
+#define FT_IR_AST_H
+
+#include <cstdint>
+#include <memory>
+
+#include "support/error.h"
+
+namespace ft {
+
+/// Discriminator for every concrete AST node type.
+enum class NodeKind : uint8_t {
+  // Expressions.
+  IntConst,
+  FloatConst,
+  BoolConst,
+  Var,
+  Load,
+  Binary,
+  Unary,
+  IfExpr,
+  Cast,
+  // Statements.
+  StmtSeq,
+  VarDef,
+  Store,
+  ReduceTo,
+  For,
+  If,
+  GemmCall,
+};
+
+/// Shared ownership handle for AST nodes.
+template <typename T> using Ref = std::shared_ptr<T>;
+
+/// Base of all AST nodes.
+class ASTNode {
+public:
+  explicit ASTNode(NodeKind K) : Kind(K) {}
+  virtual ~ASTNode() = default;
+
+  ASTNode(const ASTNode &) = delete;
+  ASTNode &operator=(const ASTNode &) = delete;
+
+  /// Returns the dynamic kind tag of this node.
+  NodeKind kind() const { return Kind; }
+
+  /// Returns true if this node is an expression.
+  bool isExpr() const { return Kind < NodeKind::StmtSeq; }
+
+  /// Returns true if this node is a statement.
+  bool isStmt() const { return !isExpr(); }
+
+private:
+  NodeKind Kind;
+};
+
+using AST = Ref<ASTNode>;
+
+/// Returns true if \p Node is non-null and of dynamic type \p T.
+template <typename T, typename U> bool isa(const Ref<U> &Node) {
+  return Node != nullptr && T::classof(Node->kind());
+}
+
+/// Downcasts \p Node to \p T, asserting the dynamic type matches.
+template <typename T, typename U> Ref<T> cast(const Ref<U> &Node) {
+  ftAssert(isa<T>(Node), "cast<> to an incompatible AST node kind");
+  return std::static_pointer_cast<T>(Node);
+}
+
+/// Downcasts \p Node to \p T, or returns null if the kind does not match.
+template <typename T, typename U> Ref<T> dyn_cast(const Ref<U> &Node) {
+  if (!isa<T>(Node))
+    return nullptr;
+  return std::static_pointer_cast<T>(Node);
+}
+
+} // namespace ft
+
+#endif // FT_IR_AST_H

@@ -1,0 +1,169 @@
+//===- ir/compare.cpp -----------------------------------------------------===//
+
+#include "ir/compare.h"
+
+using namespace ft;
+
+namespace {
+
+bool equalExprs(const std::vector<Expr> &A, const std::vector<Expr> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (!deepEqual(A[I], B[I]))
+      return false;
+  return true;
+}
+
+size_t combine(size_t Seed, size_t V) {
+  // Boost-style hash combiner.
+  return Seed ^ (V + 0x9e3779b97f4a7c15ull + (Seed << 6) + (Seed >> 2));
+}
+
+} // namespace
+
+bool ft::deepEqual(const Expr &A, const Expr &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case NodeKind::IntConst:
+    return cast<IntConstNode>(A)->Val == cast<IntConstNode>(B)->Val;
+  case NodeKind::FloatConst:
+    return cast<FloatConstNode>(A)->Val == cast<FloatConstNode>(B)->Val;
+  case NodeKind::BoolConst:
+    return cast<BoolConstNode>(A)->Val == cast<BoolConstNode>(B)->Val;
+  case NodeKind::Var:
+    return cast<VarNode>(A)->Name == cast<VarNode>(B)->Name;
+  case NodeKind::Load: {
+    auto LA = cast<LoadNode>(A), LB = cast<LoadNode>(B);
+    return LA->Var == LB->Var && LA->Dtype == LB->Dtype &&
+           equalExprs(LA->Indices, LB->Indices);
+  }
+  case NodeKind::Binary: {
+    auto BA = cast<BinaryNode>(A), BB = cast<BinaryNode>(B);
+    return BA->Op == BB->Op && deepEqual(BA->LHS, BB->LHS) &&
+           deepEqual(BA->RHS, BB->RHS);
+  }
+  case NodeKind::Unary: {
+    auto UA = cast<UnaryNode>(A), UB = cast<UnaryNode>(B);
+    return UA->Op == UB->Op && deepEqual(UA->Operand, UB->Operand);
+  }
+  case NodeKind::IfExpr: {
+    auto IA = cast<IfExprNode>(A), IB = cast<IfExprNode>(B);
+    return deepEqual(IA->Cond, IB->Cond) && deepEqual(IA->Then, IB->Then) &&
+           deepEqual(IA->Else, IB->Else);
+  }
+  case NodeKind::Cast: {
+    auto CA = cast<CastNode>(A), CB = cast<CastNode>(B);
+    return CA->Dtype == CB->Dtype && deepEqual(CA->Operand, CB->Operand);
+  }
+  default:
+    ftUnreachable("statement kind in expression deepEqual");
+  }
+}
+
+bool ft::deepEqual(const Stmt &A, const Stmt &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case NodeKind::StmtSeq: {
+    auto SA = cast<StmtSeqNode>(A), SB = cast<StmtSeqNode>(B);
+    if (SA->Stmts.size() != SB->Stmts.size())
+      return false;
+    for (size_t I = 0; I < SA->Stmts.size(); ++I)
+      if (!deepEqual(SA->Stmts[I], SB->Stmts[I]))
+        return false;
+    return true;
+  }
+  case NodeKind::VarDef: {
+    auto DA = cast<VarDefNode>(A), DB = cast<VarDefNode>(B);
+    return DA->Name == DB->Name && DA->Info.Dtype == DB->Info.Dtype &&
+           DA->ATy == DB->ATy && DA->MTy == DB->MTy &&
+           DA->NoGrad == DB->NoGrad &&
+           equalExprs(DA->Info.Shape, DB->Info.Shape) &&
+           deepEqual(DA->Body, DB->Body);
+  }
+  case NodeKind::Store: {
+    auto SA = cast<StoreNode>(A), SB = cast<StoreNode>(B);
+    return SA->Var == SB->Var && equalExprs(SA->Indices, SB->Indices) &&
+           deepEqual(SA->Value, SB->Value);
+  }
+  case NodeKind::ReduceTo: {
+    auto RA = cast<ReduceToNode>(A), RB = cast<ReduceToNode>(B);
+    return RA->Var == RB->Var && RA->Op == RB->Op &&
+           RA->Atomic == RB->Atomic && equalExprs(RA->Indices, RB->Indices) &&
+           deepEqual(RA->Value, RB->Value);
+  }
+  case NodeKind::For: {
+    auto FA = cast<ForNode>(A), FB = cast<ForNode>(B);
+    return FA->Iter == FB->Iter && FA->Property == FB->Property &&
+           deepEqual(FA->Begin, FB->Begin) && deepEqual(FA->End, FB->End) &&
+           deepEqual(FA->Body, FB->Body);
+  }
+  case NodeKind::If: {
+    auto IA = cast<IfNode>(A), IB = cast<IfNode>(B);
+    if ((IA->Else == nullptr) != (IB->Else == nullptr))
+      return false;
+    return deepEqual(IA->Cond, IB->Cond) && deepEqual(IA->Then, IB->Then) &&
+           (!IA->Else || deepEqual(IA->Else, IB->Else));
+  }
+  case NodeKind::GemmCall: {
+    auto GA = cast<GemmCallNode>(A), GB = cast<GemmCallNode>(B);
+    return GA->A == GB->A && GA->B == GB->B && GA->C == GB->C &&
+           GA->TransA == GB->TransA && GA->TransB == GB->TransB &&
+           GA->Dtype == GB->Dtype && deepEqual(GA->M, GB->M) &&
+           deepEqual(GA->N, GB->N) && deepEqual(GA->K, GB->K);
+  }
+  default:
+    ftUnreachable("expression kind in statement deepEqual");
+  }
+}
+
+size_t ft::structuralHash(const Expr &E) {
+  size_t H = static_cast<size_t>(E->kind()) * 1000003u;
+  switch (E->kind()) {
+  case NodeKind::IntConst:
+    return combine(H, std::hash<int64_t>()(cast<IntConstNode>(E)->Val));
+  case NodeKind::FloatConst:
+    return combine(H, std::hash<double>()(cast<FloatConstNode>(E)->Val));
+  case NodeKind::BoolConst:
+    return combine(H, cast<BoolConstNode>(E)->Val ? 1 : 2);
+  case NodeKind::Var:
+    return combine(H, std::hash<std::string>()(cast<VarNode>(E)->Name));
+  case NodeKind::Load: {
+    auto L = cast<LoadNode>(E);
+    H = combine(H, std::hash<std::string>()(L->Var));
+    for (const Expr &I : L->Indices)
+      H = combine(H, structuralHash(I));
+    return H;
+  }
+  case NodeKind::Binary: {
+    auto B = cast<BinaryNode>(E);
+    H = combine(H, static_cast<size_t>(B->Op));
+    H = combine(H, structuralHash(B->LHS));
+    return combine(H, structuralHash(B->RHS));
+  }
+  case NodeKind::Unary: {
+    auto U = cast<UnaryNode>(E);
+    H = combine(H, static_cast<size_t>(U->Op));
+    return combine(H, structuralHash(U->Operand));
+  }
+  case NodeKind::IfExpr: {
+    auto IE = cast<IfExprNode>(E);
+    H = combine(H, structuralHash(IE->Cond));
+    H = combine(H, structuralHash(IE->Then));
+    return combine(H, structuralHash(IE->Else));
+  }
+  case NodeKind::Cast: {
+    auto C = cast<CastNode>(E);
+    H = combine(H, static_cast<size_t>(C->Dtype));
+    return combine(H, structuralHash(C->Operand));
+  }
+  default:
+    ftUnreachable("statement kind in structuralHash");
+  }
+}

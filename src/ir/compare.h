@@ -1,0 +1,30 @@
+//===- ir/compare.h - Structural equality and hashing ------------*- C++ -*-===//
+///
+/// \file
+/// Structural (deep) equality and hashing over AST nodes, ignoring statement
+/// IDs and labels. Used by tests, CSE-style passes, and pattern matching.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_IR_COMPARE_H
+#define FT_IR_COMPARE_H
+
+#include <cstddef>
+
+#include "ir/stmt.h"
+
+namespace ft {
+
+/// Returns true if two expressions are structurally identical.
+bool deepEqual(const Expr &A, const Expr &B);
+
+/// Returns true if two statements are structurally identical (IDs and
+/// labels are ignored; For iterator names matter).
+bool deepEqual(const Stmt &A, const Stmt &B);
+
+/// Structural hash consistent with deepEqual on expressions.
+size_t structuralHash(const Expr &E);
+
+} // namespace ft
+
+#endif // FT_IR_COMPARE_H

@@ -1,0 +1,70 @@
+//===- ir/data_type.cpp ---------------------------------------------------===//
+
+#include "ir/data_type.h"
+
+#include "support/error.h"
+
+using namespace ft;
+
+size_t ft::sizeOf(DataType DT) {
+  switch (DT) {
+  case DataType::Float32:
+    return 4;
+  case DataType::Float64:
+    return 8;
+  case DataType::Int32:
+    return 4;
+  case DataType::Int64:
+    return 8;
+  case DataType::Bool:
+    return 1;
+  }
+  ftUnreachable("unknown DataType");
+}
+
+std::string ft::nameOf(DataType DT) {
+  switch (DT) {
+  case DataType::Float32:
+    return "f32";
+  case DataType::Float64:
+    return "f64";
+  case DataType::Int32:
+    return "i32";
+  case DataType::Int64:
+    return "i64";
+  case DataType::Bool:
+    return "bool";
+  }
+  ftUnreachable("unknown DataType");
+}
+
+bool ft::isFloat(DataType DT) {
+  return DT == DataType::Float32 || DT == DataType::Float64;
+}
+
+bool ft::isInt(DataType DT) {
+  return DT == DataType::Int32 || DT == DataType::Int64;
+}
+
+DataType ft::upCast(DataType A, DataType B) {
+  if (A == B)
+    return A;
+  // Bool behaves as the smallest integer in arithmetic.
+  auto Rank = [](DataType T) {
+    switch (T) {
+    case DataType::Bool:
+      return 0;
+    case DataType::Int32:
+      return 1;
+    case DataType::Int64:
+      return 2;
+    case DataType::Float32:
+      return 3;
+    case DataType::Float64:
+      return 4;
+    }
+    ftUnreachable("unknown DataType");
+  };
+  DataType R = Rank(A) >= Rank(B) ? A : B;
+  return R == DataType::Bool ? DataType::Int32 : R;
+}

@@ -1,0 +1,44 @@
+//===- ir/data_type.h - Scalar element types ---------------------*- C++ -*-===//
+///
+/// \file
+/// Scalar element types of tensors (paper §3.1: "Tensor elements can be any
+/// primary scalar data type"), plus the usual promotion and size queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_IR_DATA_TYPE_H
+#define FT_IR_DATA_TYPE_H
+
+#include <cstddef>
+#include <string>
+
+namespace ft {
+
+/// Element type of a tensor. Scalars are 0-D tensors of one of these types.
+enum class DataType {
+  Float32,
+  Float64,
+  Int32,
+  Int64,
+  Bool,
+};
+
+/// Returns the size of one element in bytes.
+size_t sizeOf(DataType DT);
+
+/// Returns a short name ("f32", "i64", ...), as used by printers.
+std::string nameOf(DataType DT);
+
+/// Returns true for Float32/Float64.
+bool isFloat(DataType DT);
+
+/// Returns true for Int32/Int64.
+bool isInt(DataType DT);
+
+/// Returns the common type two operands promote to in arithmetic
+/// (float beats int, wider beats narrower, bool promotes to int32).
+DataType upCast(DataType A, DataType B);
+
+} // namespace ft
+
+#endif // FT_IR_DATA_TYPE_H

@@ -1,0 +1,75 @@
+//===- ir/func.cpp --------------------------------------------------------===//
+
+#include "ir/func.h"
+
+#include <functional>
+
+using namespace ft;
+
+namespace {
+
+/// Shared-handle traversal used where we must return Ref<> nodes. Counts
+/// matches in \p NumFound and returns the first one.
+Stmt findStmtImpl(const Stmt &S, const std::function<bool(const Stmt &)> &Pred,
+                  int *NumFound) {
+  Stmt Found;
+  if (Pred(S)) {
+    ++*NumFound;
+    Found = S;
+  }
+  auto Check = [&](const Stmt &Sub) {
+    Stmt R = findStmtImpl(Sub, Pred, NumFound);
+    if (R && !Found)
+      Found = R;
+  };
+  switch (S->kind()) {
+  case NodeKind::StmtSeq:
+    for (const Stmt &Sub : cast<StmtSeqNode>(S)->Stmts)
+      Check(Sub);
+    break;
+  case NodeKind::VarDef:
+    Check(cast<VarDefNode>(S)->Body);
+    break;
+  case NodeKind::For:
+    Check(cast<ForNode>(S)->Body);
+    break;
+  case NodeKind::If: {
+    auto I = cast<IfNode>(S);
+    Check(I->Then);
+    if (I->Else)
+      Check(I->Else);
+    break;
+  }
+  default:
+    break;
+  }
+  return Found;
+}
+
+} // namespace
+
+Ref<VarDefNode> ft::findVarDef(const Stmt &Body, const std::string &Name) {
+  int N = 0;
+  Stmt S = findStmtImpl(
+      Body,
+      [&](const Stmt &X) {
+        auto D = dyn_cast<VarDefNode>(X);
+        return D != nullptr && D->Name == Name;
+      },
+      &N);
+  return S ? cast<VarDefNode>(S) : nullptr;
+}
+
+Stmt ft::findStmt(const Stmt &Body, int64_t Id) {
+  int N = 0;
+  return findStmtImpl(
+      Body, [&](const Stmt &X) { return X->Id == Id; }, &N);
+}
+
+Stmt ft::findStmtByLabel(const Stmt &Body, const std::string &Label) {
+  int N = 0;
+  Stmt S = findStmtImpl(
+      Body, [&](const Stmt &X) { return X->Label == Label; }, &N);
+  ftAssert(N <= 1, "ambiguous statement label: " + Label);
+  return S;
+}

@@ -1,0 +1,43 @@
+//===- ir/func.h - Compiled function unit ------------------------*- C++ -*-===//
+///
+/// \file
+/// A Func is the unit of compilation: a name, an ordered parameter list
+/// (the call ABI), and a body whose outermost VarDef chain declares those
+/// parameters (AccessType Input / Output / InOut). A DSL function is
+/// compiled to a Func, scheduled, differentiated, interpreted, or lowered
+/// to native code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_IR_FUNC_H
+#define FT_IR_FUNC_H
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace ft {
+
+/// The unit of compilation.
+struct Func {
+  std::string Name;
+  /// Parameter tensor names in ABI order. Each must be defined by a
+  /// non-Cache VarDef in \c Body.
+  std::vector<std::string> Params;
+  Stmt Body;
+};
+
+/// Finds the VarDef of \p Name anywhere in \p Body, or null.
+Ref<VarDefNode> findVarDef(const Stmt &Body, const std::string &Name);
+
+/// Finds the statement with ID \p Id in \p Body, or null.
+Stmt findStmt(const Stmt &Body, int64_t Id);
+
+/// Finds the unique statement with label \p Label in \p Body, or null.
+/// Asserts if the label is ambiguous.
+Stmt findStmtByLabel(const Stmt &Body, const std::string &Label);
+
+} // namespace ft
+
+#endif // FT_IR_FUNC_H

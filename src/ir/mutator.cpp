@@ -1,0 +1,143 @@
+//===- ir/mutator.cpp -----------------------------------------------------===//
+
+#include "ir/mutator.h"
+
+using namespace ft;
+
+Expr Mutator::operator()(const Expr &E) {
+  ftAssert(E != nullptr, "mutating a null expression");
+  switch (E->kind()) {
+  case NodeKind::IntConst:
+    return visit(cast<IntConstNode>(E).get());
+  case NodeKind::FloatConst:
+    return visit(cast<FloatConstNode>(E).get());
+  case NodeKind::BoolConst:
+    return visit(cast<BoolConstNode>(E).get());
+  case NodeKind::Var:
+    return visit(cast<VarNode>(E).get());
+  case NodeKind::Load:
+    return visit(cast<LoadNode>(E).get());
+  case NodeKind::Binary:
+    return visit(cast<BinaryNode>(E).get());
+  case NodeKind::Unary:
+    return visit(cast<UnaryNode>(E).get());
+  case NodeKind::IfExpr:
+    return visit(cast<IfExprNode>(E).get());
+  case NodeKind::Cast:
+    return visit(cast<CastNode>(E).get());
+  default:
+    ftUnreachable("statement kind in expression mutation");
+  }
+}
+
+Stmt Mutator::operator()(const Stmt &S) {
+  ftAssert(S != nullptr, "mutating a null statement");
+  Stmt Out;
+  switch (S->kind()) {
+  case NodeKind::StmtSeq:
+    Out = visit(cast<StmtSeqNode>(S).get());
+    break;
+  case NodeKind::VarDef:
+    Out = visit(cast<VarDefNode>(S).get());
+    break;
+  case NodeKind::Store:
+    Out = visit(cast<StoreNode>(S).get());
+    break;
+  case NodeKind::ReduceTo:
+    Out = visit(cast<ReduceToNode>(S).get());
+    break;
+  case NodeKind::For:
+    Out = visit(cast<ForNode>(S).get());
+    break;
+  case NodeKind::If:
+    Out = visit(cast<IfNode>(S).get());
+    break;
+  case NodeKind::GemmCall:
+    Out = visit(cast<GemmCallNode>(S).get());
+    break;
+  default:
+    ftUnreachable("expression kind in statement mutation");
+  }
+  if (Out && Out->Label.empty())
+    Out->Label = S->Label;
+  return Out;
+}
+
+std::vector<Expr> Mutator::mutateIndices(const std::vector<Expr> &Indices) {
+  std::vector<Expr> Out;
+  Out.reserve(Indices.size());
+  for (const Expr &I : Indices)
+    Out.push_back((*this)(I));
+  return Out;
+}
+
+Expr Mutator::visit(const IntConstNode *E) { return makeIntConst(E->Val); }
+Expr Mutator::visit(const FloatConstNode *E) { return makeFloatConst(E->Val); }
+Expr Mutator::visit(const BoolConstNode *E) { return makeBoolConst(E->Val); }
+Expr Mutator::visit(const VarNode *E) { return makeVar(E->Name); }
+
+Expr Mutator::visit(const LoadNode *E) {
+  return makeLoad(E->Var, mutateIndices(E->Indices), E->Dtype);
+}
+
+Expr Mutator::visit(const BinaryNode *E) {
+  return makeBinary(E->Op, (*this)(E->LHS), (*this)(E->RHS));
+}
+
+Expr Mutator::visit(const UnaryNode *E) {
+  return makeUnary(E->Op, (*this)(E->Operand));
+}
+
+Expr Mutator::visit(const IfExprNode *E) {
+  return makeIfExpr((*this)(E->Cond), (*this)(E->Then), (*this)(E->Else));
+}
+
+Expr Mutator::visit(const CastNode *E) {
+  return makeCast(E->Dtype, (*this)(E->Operand));
+}
+
+Stmt Mutator::visit(const StmtSeqNode *S) {
+  std::vector<Stmt> Stmts;
+  Stmts.reserve(S->Stmts.size());
+  for (const Stmt &Sub : S->Stmts)
+    Stmts.push_back((*this)(Sub));
+  return makeStmtSeq(std::move(Stmts), S->Id);
+}
+
+Stmt Mutator::visit(const VarDefNode *S) {
+  TensorInfo Info;
+  Info.Dtype = S->Info.Dtype;
+  for (const Expr &D : S->Info.Shape)
+    Info.Shape.push_back((*this)(D));
+  Stmt Out = makeVarDef(S->Name, std::move(Info), S->ATy, S->MTy,
+                        (*this)(S->Body), S->Id);
+  cast<VarDefNode>(Out)->NoGrad = S->NoGrad;
+  return Out;
+}
+
+Stmt Mutator::visit(const StoreNode *S) {
+  return makeStore(S->Var, mutateIndices(S->Indices), (*this)(S->Value),
+                   S->Id);
+}
+
+Stmt Mutator::visit(const ReduceToNode *S) {
+  Stmt Out = makeReduceTo(S->Var, mutateIndices(S->Indices), S->Op,
+                          (*this)(S->Value), S->Id);
+  cast<ReduceToNode>(Out)->Atomic = S->Atomic;
+  return Out;
+}
+
+Stmt Mutator::visit(const ForNode *S) {
+  return makeFor(S->Iter, (*this)(S->Begin), (*this)(S->End), S->Property,
+                 (*this)(S->Body), S->Id);
+}
+
+Stmt Mutator::visit(const IfNode *S) {
+  return makeIf((*this)(S->Cond), (*this)(S->Then),
+                S->Else ? (*this)(S->Else) : nullptr, S->Id);
+}
+
+Stmt Mutator::visit(const GemmCallNode *S) {
+  return makeGemmCall(S->A, S->B, S->C, (*this)(S->M), (*this)(S->N),
+                      (*this)(S->K), S->TransA, S->TransB, S->Dtype, S->Id);
+}

@@ -1,0 +1,55 @@
+//===- ir/mutator.h - Rebuilding AST traversal -------------------*- C++ -*-===//
+///
+/// \file
+/// Depth-first rebuilding traversal. AST nodes are immutable; a pass derives
+/// from Mutator, overrides the hooks it cares about, and receives a new tree
+/// sharing unchanged subtrees. Statement IDs are preserved across rebuilds
+/// so schedules can keep addressing statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_IR_MUTATOR_H
+#define FT_IR_MUTATOR_H
+
+#include "ir/stmt.h"
+
+namespace ft {
+
+/// Rebuilding depth-first visitor.
+class Mutator {
+public:
+  virtual ~Mutator() = default;
+
+  /// Rewrites an expression tree. Virtual so subclasses can intercept
+  /// every node uniformly (e.g. ID-based replacement).
+  virtual Expr operator()(const Expr &E);
+
+  /// Rewrites a statement tree (virtual, see above).
+  virtual Stmt operator()(const Stmt &S);
+
+protected:
+  virtual Expr visit(const IntConstNode *E);
+  virtual Expr visit(const FloatConstNode *E);
+  virtual Expr visit(const BoolConstNode *E);
+  virtual Expr visit(const VarNode *E);
+  virtual Expr visit(const LoadNode *E);
+  virtual Expr visit(const BinaryNode *E);
+  virtual Expr visit(const UnaryNode *E);
+  virtual Expr visit(const IfExprNode *E);
+  virtual Expr visit(const CastNode *E);
+
+  virtual Stmt visit(const StmtSeqNode *S);
+  virtual Stmt visit(const VarDefNode *S);
+  virtual Stmt visit(const StoreNode *S);
+  virtual Stmt visit(const ReduceToNode *S);
+  virtual Stmt visit(const ForNode *S);
+  virtual Stmt visit(const IfNode *S);
+  virtual Stmt visit(const GemmCallNode *S);
+
+  /// Rewrites each index of an access.
+  std::vector<Expr> mutateIndices(const std::vector<Expr> &Indices);
+};
+
+} // namespace ft
+
+#endif // FT_IR_MUTATOR_H

@@ -1,0 +1,234 @@
+//===- ir/printer.cpp -----------------------------------------------------===//
+
+#include "ir/printer.h"
+
+#include "support/string_utils.h"
+
+using namespace ft;
+
+namespace {
+
+const char *binOpToken(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::RealDiv:
+    return "/";
+  case BinOpKind::FloorDiv:
+    return "//";
+  case BinOpKind::Mod:
+    return "%";
+  case BinOpKind::LT:
+    return "<";
+  case BinOpKind::LE:
+    return "<=";
+  case BinOpKind::GT:
+    return ">";
+  case BinOpKind::GE:
+    return ">=";
+  case BinOpKind::EQ:
+    return "==";
+  case BinOpKind::NE:
+    return "!=";
+  case BinOpKind::LAnd:
+    return "and";
+  case BinOpKind::LOr:
+    return "or";
+  default:
+    return nullptr; // Min/Max print as calls.
+  }
+}
+
+const char *unOpName(UnOpKind Op) {
+  switch (Op) {
+  case UnOpKind::Neg:
+    return "-";
+  case UnOpKind::LNot:
+    return "not ";
+  case UnOpKind::Abs:
+    return "abs";
+  case UnOpKind::Sqrt:
+    return "sqrt";
+  case UnOpKind::Exp:
+    return "exp";
+  case UnOpKind::Ln:
+    return "ln";
+  case UnOpKind::Sigmoid:
+    return "sigmoid";
+  case UnOpKind::Tanh:
+    return "tanh";
+  }
+  return "?";
+}
+
+std::string printExpr(const Expr &E);
+
+std::string printIndices(const std::vector<Expr> &Indices) {
+  std::vector<std::string> Parts;
+  Parts.reserve(Indices.size());
+  for (const Expr &I : Indices)
+    Parts.push_back(printExpr(I));
+  return "[" + join(Parts, ", ") + "]";
+}
+
+std::string printExpr(const Expr &E) {
+  switch (E->kind()) {
+  case NodeKind::IntConst:
+    return std::to_string(cast<IntConstNode>(E)->Val);
+  case NodeKind::FloatConst:
+    return fmtDouble(cast<FloatConstNode>(E)->Val);
+  case NodeKind::BoolConst:
+    return cast<BoolConstNode>(E)->Val ? "true" : "false";
+  case NodeKind::Var:
+    return cast<VarNode>(E)->Name;
+  case NodeKind::Load: {
+    auto L = cast<LoadNode>(E);
+    if (L->Indices.empty())
+      return L->Var;
+    return L->Var + printIndices(L->Indices);
+  }
+  case NodeKind::Binary: {
+    auto B = cast<BinaryNode>(E);
+    if (B->Op == BinOpKind::Min || B->Op == BinOpKind::Max) {
+      const char *Name = B->Op == BinOpKind::Min ? "min" : "max";
+      return std::string(Name) + "(" + printExpr(B->LHS) + ", " +
+             printExpr(B->RHS) + ")";
+    }
+    return "(" + printExpr(B->LHS) + " " + binOpToken(B->Op) + " " +
+           printExpr(B->RHS) + ")";
+  }
+  case NodeKind::Unary: {
+    auto U = cast<UnaryNode>(E);
+    if (U->Op == UnOpKind::Neg || U->Op == UnOpKind::LNot)
+      return "(" + std::string(unOpName(U->Op)) + printExpr(U->Operand) + ")";
+    return std::string(unOpName(U->Op)) + "(" + printExpr(U->Operand) + ")";
+  }
+  case NodeKind::IfExpr: {
+    auto IE = cast<IfExprNode>(E);
+    return "(" + printExpr(IE->Then) + " if " + printExpr(IE->Cond) +
+           " else " + printExpr(IE->Else) + ")";
+  }
+  case NodeKind::Cast: {
+    auto C = cast<CastNode>(E);
+    return nameOf(C->Dtype) + "(" + printExpr(C->Operand) + ")";
+  }
+  default:
+    ftUnreachable("statement kind in printExpr");
+  }
+}
+
+class StmtPrinter {
+public:
+  explicit StmtPrinter(const PrintOptions &Opts) : Opts(Opts) {}
+
+  std::string print(const Stmt &S) {
+    Out.clear();
+    printStmt(S, 0);
+    return Out;
+  }
+
+private:
+  void line(int Indent, const std::string &Text, const Stmt &S) {
+    Out.append(2 * Indent, ' ');
+    Out += Text;
+    if (Opts.ShowIds)
+      Out += "  # id " + std::to_string(S->Id);
+    if (Opts.ShowLabels && !S->Label.empty())
+      Out += "  # " + S->Label;
+    Out += "\n";
+  }
+
+  void printStmt(const Stmt &S, int Indent) {
+    switch (S->kind()) {
+    case NodeKind::StmtSeq: {
+      for (const Stmt &Sub : cast<StmtSeqNode>(S)->Stmts)
+        printStmt(Sub, Indent);
+      return;
+    }
+    case NodeKind::VarDef: {
+      auto D = cast<VarDefNode>(S);
+      std::vector<std::string> Dims;
+      for (const Expr &E : D->Info.Shape)
+        Dims.push_back(printExpr(E));
+      line(Indent,
+           "var " + D->Name + ": " + nameOf(D->Info.Dtype) + "[" +
+               join(Dims, ", ") + "] @" + nameOf(D->MTy) + " " +
+               nameOf(D->ATy) + (D->NoGrad ? " nograd" : "") + ":",
+           S);
+      printStmt(D->Body, Indent + 1);
+      return;
+    }
+    case NodeKind::Store: {
+      auto St = cast<StoreNode>(S);
+      std::string LHS = St->Var;
+      if (!St->Indices.empty())
+        LHS += printIndices(St->Indices);
+      line(Indent, LHS + " = " + printExpr(St->Value), S);
+      return;
+    }
+    case NodeKind::ReduceTo: {
+      auto R = cast<ReduceToNode>(S);
+      std::string LHS = R->Var;
+      if (!R->Indices.empty())
+        LHS += printIndices(R->Indices);
+      line(Indent,
+           LHS + " " + nameOf(R->Op) + " " + printExpr(R->Value) +
+               (R->Atomic ? "  # atomic" : ""),
+           S);
+      return;
+    }
+    case NodeKind::For: {
+      auto F = cast<ForNode>(S);
+      std::string Attrs;
+      if (F->Property.Parallel)
+        Attrs += "  # parallel";
+      if (F->Property.Vectorize)
+        Attrs += "  # vectorize";
+      if (F->Property.Unroll)
+        Attrs += "  # unroll";
+      line(Indent,
+           "for " + F->Iter + " in " + printExpr(F->Begin) + ":" +
+               printExpr(F->End) + Attrs,
+           S);
+      printStmt(F->Body, Indent + 1);
+      return;
+    }
+    case NodeKind::If: {
+      auto I = cast<IfNode>(S);
+      line(Indent, "if " + printExpr(I->Cond) + ":", S);
+      printStmt(I->Then, Indent + 1);
+      if (I->Else) {
+        line(Indent, "else:", S);
+        printStmt(I->Else, Indent + 1);
+      }
+      return;
+    }
+    case NodeKind::GemmCall: {
+      auto G = cast<GemmCallNode>(S);
+      line(Indent,
+           "gemm(" + G->C + " += " + G->A + (G->TransA ? "^T" : "") + " @ " +
+               G->B + (G->TransB ? "^T" : "") + ", M=" + printExpr(G->M) +
+               ", N=" + printExpr(G->N) + ", K=" + printExpr(G->K) + ")",
+           S);
+      return;
+    }
+    default:
+      ftUnreachable("expression kind in printStmt");
+    }
+  }
+
+  PrintOptions Opts;
+  std::string Out;
+};
+
+} // namespace
+
+std::string ft::toString(const Expr &E) { return printExpr(E); }
+
+std::string ft::toString(const Stmt &S, const PrintOptions &Opts) {
+  return StmtPrinter(Opts).print(S);
+}

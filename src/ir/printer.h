@@ -1,0 +1,32 @@
+//===- ir/printer.h - Human-readable IR printing -----------------*- C++ -*-===//
+///
+/// \file
+/// Prints the IR in a compact Python-like syntax resembling the listings in
+/// the paper (Fig. 8, Fig. 10). Used by tests, diagnostics, and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_IR_PRINTER_H
+#define FT_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace ft {
+
+/// Options controlling IR printing.
+struct PrintOptions {
+  bool ShowIds = false;    ///< Append "  # id N" to statements.
+  bool ShowLabels = false; ///< Append "  # label" when a label is present.
+};
+
+/// Renders an expression on one line.
+std::string toString(const Expr &E);
+
+/// Renders a statement tree with 2-space indentation.
+std::string toString(const Stmt &S, const PrintOptions &Opts = {});
+
+} // namespace ft
+
+#endif // FT_IR_PRINTER_H

@@ -1,0 +1,122 @@
+//===- ir/stmt.cpp --------------------------------------------------------===//
+
+#include "ir/stmt.h"
+
+#include <atomic>
+#include <limits>
+
+using namespace ft;
+
+int64_t ft::newStmtId() {
+  static std::atomic<int64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
+StmtNode::StmtNode(NodeKind K, int64_t Id)
+    : ASTNode(K), Id(Id < 0 ? newStmtId() : Id) {}
+
+std::string ft::nameOf(AccessType AT) {
+  switch (AT) {
+  case AccessType::Input:
+    return "input";
+  case AccessType::Output:
+    return "output";
+  case AccessType::InOut:
+    return "inout";
+  case AccessType::Cache:
+    return "cache";
+  }
+  ftUnreachable("unknown AccessType");
+}
+
+std::string ft::nameOf(MemType MT) {
+  switch (MT) {
+  case MemType::CPU:
+    return "cpu";
+  case MemType::CPULocal:
+    return "cpulocal";
+  }
+  ftUnreachable("unknown MemType");
+}
+
+std::string ft::nameOf(ReduceOpKind Op) {
+  switch (Op) {
+  case ReduceOpKind::Add:
+    return "+=";
+  case ReduceOpKind::Mul:
+    return "*=";
+  case ReduceOpKind::Min:
+    return "min=";
+  case ReduceOpKind::Max:
+    return "max=";
+  }
+  ftUnreachable("unknown ReduceOpKind");
+}
+
+Expr ft::neutralValue(ReduceOpKind Op, DataType DT) {
+  bool Float = isFloat(DT);
+  switch (Op) {
+  case ReduceOpKind::Add:
+    return Float ? makeFloatConst(0.0) : makeIntConst(0);
+  case ReduceOpKind::Mul:
+    return Float ? makeFloatConst(1.0) : makeIntConst(1);
+  case ReduceOpKind::Min:
+    return Float ? makeFloatConst(std::numeric_limits<double>::infinity())
+                 : makeIntConst(std::numeric_limits<int64_t>::max());
+  case ReduceOpKind::Max:
+    return Float ? makeFloatConst(-std::numeric_limits<double>::infinity())
+                 : makeIntConst(std::numeric_limits<int64_t>::min());
+  }
+  ftUnreachable("unknown ReduceOpKind");
+}
+
+Stmt ft::makeStmtSeq(std::vector<Stmt> Stmts, int64_t Id) {
+  for (const Stmt &S : Stmts)
+    ftAssert(S != nullptr, "null statement in StmtSeq");
+  return std::make_shared<StmtSeqNode>(std::move(Stmts), Id);
+}
+
+Stmt ft::makeVarDef(const std::string &Name, TensorInfo Info, AccessType ATy,
+                    MemType MTy, Stmt Body, int64_t Id) {
+  ftAssert(Body != nullptr, "null body in VarDef of " + Name);
+  return std::make_shared<VarDefNode>(Name, std::move(Info), ATy, MTy,
+                                      std::move(Body), Id);
+}
+
+Stmt ft::makeStore(const std::string &Var, std::vector<Expr> Indices,
+                   Expr Value, int64_t Id) {
+  ftAssert(Value != nullptr, "null value in Store to " + Var);
+  return std::make_shared<StoreNode>(Var, std::move(Indices), std::move(Value),
+                                     Id);
+}
+
+Stmt ft::makeReduceTo(const std::string &Var, std::vector<Expr> Indices,
+                      ReduceOpKind Op, Expr Value, int64_t Id) {
+  ftAssert(Value != nullptr, "null value in ReduceTo of " + Var);
+  return std::make_shared<ReduceToNode>(Var, std::move(Indices), Op,
+                                        std::move(Value), Id);
+}
+
+Stmt ft::makeFor(const std::string &Iter, Expr Begin, Expr End,
+                 ForProperty Property, Stmt Body, int64_t Id) {
+  ftAssert(Begin && End, "null bound in For " + Iter);
+  ftAssert(Body != nullptr, "null body in For " + Iter);
+  return std::make_shared<ForNode>(Iter, std::move(Begin), std::move(End),
+                                   Property, std::move(Body), Id);
+}
+
+Stmt ft::makeIf(Expr Cond, Stmt Then, Stmt Else, int64_t Id) {
+  ftAssert(Cond != nullptr, "null condition in If");
+  ftAssert(Then != nullptr, "null then-branch in If");
+  return std::make_shared<IfNode>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Id);
+}
+
+Stmt ft::makeGemmCall(const std::string &A, const std::string &B,
+                      const std::string &C, Expr M, Expr N, Expr K,
+                      bool TransA, bool TransB, DataType Dtype, int64_t Id) {
+  ftAssert(M && N && K, "null extent in GemmCall");
+  return std::make_shared<GemmCallNode>(A, B, C, std::move(M), std::move(N),
+                                        std::move(K), TransA, TransB, Dtype,
+                                        Id);
+}

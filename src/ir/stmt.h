@@ -1,0 +1,251 @@
+//===- ir/stmt.h - Statement nodes -------------------------------*- C++ -*-===//
+///
+/// \file
+/// Statement nodes of the stack-scoped AST (paper §4). Each tensor is alive
+/// only in the subtree of its VarDef node, which (1) keeps
+/// allocation/freeing pairs intact under transformation and (2) lets
+/// dependence analysis discard false dependences by scope projection
+/// (paper Fig. 12(d)).
+///
+/// Every statement carries a stable integer ID. The Mutator preserves IDs
+/// when rebuilding nodes, so schedule transformations can keep addressing
+/// statements across passes; newly created statements get fresh IDs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_IR_STMT_H
+#define FT_IR_STMT_H
+
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace ft {
+
+/// How a function may access a tensor parameter, or Cache for a tensor
+/// created and destroyed inside the function.
+enum class AccessType : uint8_t {
+  Input,
+  Output,
+  InOut,
+  Cache,
+};
+
+/// Returns "input" / "output" / "inout" / "cache".
+std::string nameOf(AccessType AT);
+
+/// Where a tensor is stored (paper §3.1 "tensors can be defined on
+/// different devices"; §4.3 auto_mem_type). This reproduction generates CPU
+/// code only: CPULocal marks small thread-local tensors that the code
+/// generator places on the stack (the CPU analogue of registers /
+/// scratch-pad in the paper).
+enum class MemType : uint8_t {
+  CPU,
+  CPULocal,
+};
+
+/// Returns "cpu" / "cpulocal".
+std::string nameOf(MemType MT);
+
+/// Reduction operator of a ReduceTo statement.
+enum class ReduceOpKind : uint8_t {
+  Add,
+  Mul,
+  Min,
+  Max,
+};
+
+/// Returns "+=", "*=", "min=", "max=".
+std::string nameOf(ReduceOpKind Op);
+
+/// Returns the identity element of \p Op for \p DT as an expression
+/// (0 for Add, 1 for Mul, +/-infinity or integer extrema for Min/Max).
+Expr neutralValue(ReduceOpKind Op, DataType DT);
+
+/// Base of all statement nodes.
+class StmtNode : public ASTNode {
+public:
+  StmtNode(NodeKind K, int64_t Id);
+
+  static bool classof(NodeKind K) { return K >= NodeKind::StmtSeq; }
+
+  /// Stable identity of this statement across Mutator rebuilds.
+  int64_t Id;
+
+  /// Optional user-facing label for schedule selection.
+  std::string Label;
+};
+
+using Stmt = Ref<StmtNode>;
+
+/// Allocates a fresh statement ID.
+int64_t newStmtId();
+
+/// A sequence of statements executed in order.
+class StmtSeqNode : public StmtNode {
+public:
+  StmtSeqNode(std::vector<Stmt> Stmts, int64_t Id)
+      : StmtNode(NodeKind::StmtSeq, Id), Stmts(std::move(Stmts)) {}
+
+  static bool classof(NodeKind K) { return K == NodeKind::StmtSeq; }
+
+  std::vector<Stmt> Stmts;
+};
+
+/// Shape and element type of a tensor.
+struct TensorInfo {
+  std::vector<Expr> Shape; ///< One extent per dimension; empty for scalars.
+  DataType Dtype = DataType::Float32;
+};
+
+/// Defines a tensor whose lifetime is the Body subtree.
+class VarDefNode : public StmtNode {
+public:
+  VarDefNode(std::string Name, TensorInfo Info, AccessType ATy, MemType MTy,
+             Stmt Body, int64_t Id)
+      : StmtNode(NodeKind::VarDef, Id), Name(std::move(Name)),
+        Info(std::move(Info)), ATy(ATy), MTy(MTy), Body(std::move(Body)) {}
+
+  static bool classof(NodeKind K) { return K == NodeKind::VarDef; }
+
+  std::string Name;
+  TensorInfo Info;
+  AccessType ATy;
+  MemType MTy;
+  Stmt Body;
+
+  /// If true, automatic differentiation treats loads of this tensor as
+  /// constants (stop-gradient), e.g. the max used for softmax stabilization.
+  bool NoGrad = false;
+};
+
+/// Writes one element: Var[Indices] = Value.
+class StoreNode : public StmtNode {
+public:
+  StoreNode(std::string Var, std::vector<Expr> Indices, Expr Value, int64_t Id)
+      : StmtNode(NodeKind::Store, Id), Var(std::move(Var)),
+        Indices(std::move(Indices)), Value(std::move(Value)) {}
+
+  static bool classof(NodeKind K) { return K == NodeKind::Store; }
+
+  std::string Var;
+  std::vector<Expr> Indices;
+  Expr Value;
+};
+
+/// Accumulates into one element: Var[Indices] op= Value. Write-after-write
+/// dependences between ReduceTo nodes of the same operator are ignorable
+/// because reductions commute (paper Fig. 12(c)); a ReduceTo inside a
+/// parallel loop may be marked Atomic (paper Fig. 13(e)).
+class ReduceToNode : public StmtNode {
+public:
+  ReduceToNode(std::string Var, std::vector<Expr> Indices, ReduceOpKind Op,
+               Expr Value, int64_t Id)
+      : StmtNode(NodeKind::ReduceTo, Id), Var(std::move(Var)),
+        Indices(std::move(Indices)), Op(Op), Value(std::move(Value)) {}
+
+  static bool classof(NodeKind K) { return K == NodeKind::ReduceTo; }
+
+  std::string Var;
+  std::vector<Expr> Indices;
+  ReduceOpKind Op;
+  Expr Value;
+  bool Atomic = false;
+};
+
+/// How a For loop is to be executed by the code generator.
+struct ForProperty {
+  /// Run iterations on multiple threads (paper's `parallelize`).
+  bool Parallel = false;
+  /// Emit a vectorization hint for the backend compiler.
+  bool Vectorize = false;
+  /// Ask the backend compiler to unroll (paper's `unroll` keeps the loop
+  /// structure; full unrolling is a separate schedule that removes it).
+  bool Unroll = false;
+  /// Promise there are no loop-carried dependences (set by schedules after
+  /// verification; consumed by codegen for parallel reductions).
+  bool NoDeps = false;
+
+  bool operator==(const ForProperty &) const = default;
+};
+
+/// A counted loop: for Iter in [Begin, End) step 1.
+///
+/// All loops are normalized to unit step; schedules like `split` express
+/// strides by rewriting index expressions instead, which keeps the
+/// polyhedral model simple.
+class ForNode : public StmtNode {
+public:
+  ForNode(std::string Iter, Expr Begin, Expr End, ForProperty Property,
+          Stmt Body, int64_t Id)
+      : StmtNode(NodeKind::For, Id), Iter(std::move(Iter)),
+        Begin(std::move(Begin)), End(std::move(End)), Property(Property),
+        Body(std::move(Body)) {}
+
+  static bool classof(NodeKind K) { return K == NodeKind::For; }
+
+  std::string Iter;
+  Expr Begin, End;
+  ForProperty Property;
+  Stmt Body;
+
+  /// Returns End - Begin (not simplified).
+  Expr len() const { return makeSub(End, Begin); }
+};
+
+/// A two-way branch. Else may be null.
+class IfNode : public StmtNode {
+public:
+  IfNode(Expr Cond, Stmt Then, Stmt Else, int64_t Id)
+      : StmtNode(NodeKind::If, Id), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+
+  static bool classof(NodeKind K) { return K == NodeKind::If; }
+
+  Expr Cond;
+  Stmt Then;
+  Stmt Else; ///< May be null.
+};
+
+/// A call to the runtime GEMM library (result of the `as_lib` schedule,
+/// paper Table 1): C[M,N] += A[M,K] * B[K,N] over full row-major 2-D
+/// tensors, with optional transposes folded into the operand layout.
+class GemmCallNode : public StmtNode {
+public:
+  GemmCallNode(std::string A, std::string B, std::string C, Expr M, Expr N,
+               Expr K, bool TransA, bool TransB, DataType Dtype, int64_t Id)
+      : StmtNode(NodeKind::GemmCall, Id), A(std::move(A)), B(std::move(B)),
+        C(std::move(C)), M(std::move(M)), N(std::move(N)), K(std::move(K)),
+        TransA(TransA), TransB(TransB), Dtype(Dtype) {}
+
+  static bool classof(NodeKind K) { return K == NodeKind::GemmCall; }
+
+  std::string A, B, C;
+  Expr M, N, K;
+  bool TransA, TransB;
+  DataType Dtype;
+};
+
+//===----------------------------------------------------------------------===//
+// Factory helpers. Pass Id = -1 (the default) for a fresh statement ID, or
+// an existing ID to preserve statement identity across a rebuild.
+//===----------------------------------------------------------------------===//
+
+Stmt makeStmtSeq(std::vector<Stmt> Stmts, int64_t Id = -1);
+Stmt makeVarDef(const std::string &Name, TensorInfo Info, AccessType ATy,
+                MemType MTy, Stmt Body, int64_t Id = -1);
+Stmt makeStore(const std::string &Var, std::vector<Expr> Indices, Expr Value,
+               int64_t Id = -1);
+Stmt makeReduceTo(const std::string &Var, std::vector<Expr> Indices,
+                  ReduceOpKind Op, Expr Value, int64_t Id = -1);
+Stmt makeFor(const std::string &Iter, Expr Begin, Expr End,
+             ForProperty Property, Stmt Body, int64_t Id = -1);
+Stmt makeIf(Expr Cond, Stmt Then, Stmt Else = nullptr, int64_t Id = -1);
+Stmt makeGemmCall(const std::string &A, const std::string &B,
+                  const std::string &C, Expr M, Expr N, Expr K, bool TransA,
+                  bool TransB, DataType Dtype, int64_t Id = -1);
+
+} // namespace ft
+
+#endif // FT_IR_STMT_H

@@ -1,0 +1,106 @@
+//===- ir/visitor.cpp -----------------------------------------------------===//
+
+#include "ir/visitor.h"
+
+using namespace ft;
+
+void Visitor::operator()(const AST &Node) {
+  ftAssert(Node != nullptr, "visiting a null AST node");
+  switch (Node->kind()) {
+  case NodeKind::IntConst:
+    return visit(cast<IntConstNode>(Node).get());
+  case NodeKind::FloatConst:
+    return visit(cast<FloatConstNode>(Node).get());
+  case NodeKind::BoolConst:
+    return visit(cast<BoolConstNode>(Node).get());
+  case NodeKind::Var:
+    return visit(cast<VarNode>(Node).get());
+  case NodeKind::Load:
+    return visit(cast<LoadNode>(Node).get());
+  case NodeKind::Binary:
+    return visit(cast<BinaryNode>(Node).get());
+  case NodeKind::Unary:
+    return visit(cast<UnaryNode>(Node).get());
+  case NodeKind::IfExpr:
+    return visit(cast<IfExprNode>(Node).get());
+  case NodeKind::Cast:
+    return visit(cast<CastNode>(Node).get());
+  case NodeKind::StmtSeq:
+    return visit(cast<StmtSeqNode>(Node).get());
+  case NodeKind::VarDef:
+    return visit(cast<VarDefNode>(Node).get());
+  case NodeKind::Store:
+    return visit(cast<StoreNode>(Node).get());
+  case NodeKind::ReduceTo:
+    return visit(cast<ReduceToNode>(Node).get());
+  case NodeKind::For:
+    return visit(cast<ForNode>(Node).get());
+  case NodeKind::If:
+    return visit(cast<IfNode>(Node).get());
+  case NodeKind::GemmCall:
+    return visit(cast<GemmCallNode>(Node).get());
+  }
+  ftUnreachable("unknown NodeKind in Visitor dispatch");
+}
+
+void Visitor::visit(const LoadNode *E) {
+  for (const Expr &I : E->Indices)
+    (*this)(I);
+}
+
+void Visitor::visit(const BinaryNode *E) {
+  (*this)(E->LHS);
+  (*this)(E->RHS);
+}
+
+void Visitor::visit(const UnaryNode *E) { (*this)(E->Operand); }
+
+void Visitor::visit(const IfExprNode *E) {
+  (*this)(E->Cond);
+  (*this)(E->Then);
+  (*this)(E->Else);
+}
+
+void Visitor::visit(const CastNode *E) { (*this)(E->Operand); }
+
+void Visitor::visit(const StmtSeqNode *S) {
+  for (const Stmt &Sub : S->Stmts)
+    (*this)(Sub);
+}
+
+void Visitor::visit(const VarDefNode *S) {
+  for (const Expr &D : S->Info.Shape)
+    (*this)(D);
+  (*this)(S->Body);
+}
+
+void Visitor::visit(const StoreNode *S) {
+  for (const Expr &I : S->Indices)
+    (*this)(I);
+  (*this)(S->Value);
+}
+
+void Visitor::visit(const ReduceToNode *S) {
+  for (const Expr &I : S->Indices)
+    (*this)(I);
+  (*this)(S->Value);
+}
+
+void Visitor::visit(const ForNode *S) {
+  (*this)(S->Begin);
+  (*this)(S->End);
+  (*this)(S->Body);
+}
+
+void Visitor::visit(const IfNode *S) {
+  (*this)(S->Cond);
+  (*this)(S->Then);
+  if (S->Else)
+    (*this)(S->Else);
+}
+
+void Visitor::visit(const GemmCallNode *S) {
+  (*this)(S->M);
+  (*this)(S->N);
+  (*this)(S->K);
+}

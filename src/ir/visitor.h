@@ -1,0 +1,47 @@
+//===- ir/visitor.h - Read-only AST traversal --------------------*- C++ -*-===//
+///
+/// \file
+/// Depth-first read-only traversal over the IR. Subclasses override the
+/// per-kind hooks they care about; default implementations recurse into all
+/// children.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_IR_VISITOR_H
+#define FT_IR_VISITOR_H
+
+#include "ir/stmt.h"
+
+namespace ft {
+
+/// Read-only depth-first visitor.
+class Visitor {
+public:
+  virtual ~Visitor() = default;
+
+  /// Dispatches on the dynamic kind of \p Node (expression or statement).
+  void operator()(const AST &Node);
+
+protected:
+  virtual void visit(const IntConstNode *E) {}
+  virtual void visit(const FloatConstNode *E) {}
+  virtual void visit(const BoolConstNode *E) {}
+  virtual void visit(const VarNode *E) {}
+  virtual void visit(const LoadNode *E);
+  virtual void visit(const BinaryNode *E);
+  virtual void visit(const UnaryNode *E);
+  virtual void visit(const IfExprNode *E);
+  virtual void visit(const CastNode *E);
+
+  virtual void visit(const StmtSeqNode *S);
+  virtual void visit(const VarDefNode *S);
+  virtual void visit(const StoreNode *S);
+  virtual void visit(const ReduceToNode *S);
+  virtual void visit(const ForNode *S);
+  virtual void visit(const IfNode *S);
+  virtual void visit(const GemmCallNode *S);
+};
+
+} // namespace ft
+
+#endif // FT_IR_VISITOR_H

@@ -1,0 +1,288 @@
+//===- math/affine_set.cpp ------------------------------------------------===//
+
+#include "math/affine_set.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.h"
+
+using namespace ft;
+
+void AffineSet::addGe0(const LinearExpr &E) { Cs.push_back({E, false}); }
+
+void AffineSet::addEq0(const LinearExpr &E) { Cs.push_back({E, true}); }
+
+void AffineSet::addLE(const LinearExpr &A, const LinearExpr &B) {
+  auto D = LinearExpr::trySub(B, A);
+  if (!D) {
+    markInexact();
+    return;
+  }
+  addGe0(*D);
+}
+
+void AffineSet::addLT(const LinearExpr &A, const LinearExpr &B) {
+  auto D = LinearExpr::trySub(B, A);
+  if (!D) {
+    markInexact();
+    return;
+  }
+  D->addConst(-1);
+  addGe0(*D);
+}
+
+void AffineSet::addEQ(const LinearExpr &A, const LinearExpr &B) {
+  auto D = LinearExpr::trySub(B, A);
+  if (!D) {
+    markInexact();
+    return;
+  }
+  addEq0(*D);
+}
+
+void AffineSet::addAll(const AffineSet &Other) {
+  Cs.insert(Cs.end(), Other.Cs.begin(), Other.Cs.end());
+  if (!Other.Exact)
+    Exact = false;
+}
+
+namespace {
+
+/// Caps on the Fourier–Motzkin working set: exceeding them makes the check
+/// give up (returning "cannot prove empty", the safe answer).
+constexpr size_t MaxConstraints = 4000;
+constexpr int MaxVars = 64;
+
+enum class SolveResult { Empty, NonEmpty, Unknown };
+
+/// Normalizes one constraint in place.
+///   - Equalities: divide by the coefficient GCD; if it does not divide the
+///     constant, the constraint (and the whole set) is integrally
+///     infeasible (the classic GCD test).
+///   - Inequalities sum a_i x_i + c >= 0 with g = gcd(a_i): tighten to
+///     sum (a_i/g) x_i + floor(c/g) >= 0, which is exact over integers.
+/// Returns false if the constraint alone is infeasible.
+bool normalizeConstraint(LinConstraint &C) {
+  int64_t G = C.E.coeffGcd();
+  if (G == 0) {
+    // Constant constraint; leave it to the constant check.
+    return true;
+  }
+  if (C.IsEq) {
+    if (mod64(C.E.constTerm(), G) != 0)
+      return false; // GCD test: no integer solution.
+    if (G > 1) {
+      LinearExpr E;
+      for (const auto &[Name, Coef] : C.E.coeffs())
+        E.setCoeff(Name, Coef / G);
+      E.addConst(C.E.constTerm() / G);
+      C.E = E;
+    }
+    return true;
+  }
+  if (G > 1) {
+    LinearExpr E;
+    for (const auto &[Name, Coef] : C.E.coeffs())
+      E.setCoeff(Name, Coef / G);
+    E.addConst(floorDiv64(C.E.constTerm(), G));
+    C.E = E;
+  }
+  return true;
+}
+
+/// One elimination step plus bookkeeping. Works on a private copy of the
+/// constraints.
+class EmptinessChecker {
+public:
+  explicit EmptinessChecker(std::vector<LinConstraint> Cs)
+      : Work(std::move(Cs)) {}
+
+  SolveResult run() {
+    for (int Round = 0; Round < MaxVars; ++Round) {
+      SolveResult R = simplifyAndCheckConstants();
+      if (R != SolveResult::Unknown)
+        return R;
+      if (Work.empty())
+        return SolveResult::NonEmpty;
+
+      // Gather variables still present.
+      std::set<std::string> Vars;
+      for (const LinConstraint &C : Work)
+        for (const auto &[Name, Coef] : C.E.coeffs())
+          Vars.insert(Name);
+      if (Vars.empty())
+        return SolveResult::NonEmpty;
+
+      // Prefer exact substitution through a unit-coefficient equality.
+      bool Substituted = false;
+      for (size_t I = 0; I < Work.size() && !Substituted; ++I) {
+        if (!Work[I].IsEq)
+          continue;
+        for (const auto &[Name, Coef] : Work[I].E.coeffs()) {
+          if (Coef != 1 && Coef != -1)
+            continue;
+          if (!substitute(I, Name, Coef))
+            return SolveResult::Unknown; // Overflow.
+          Substituted = true;
+          break;
+        }
+      }
+      if (Substituted)
+        continue;
+
+      // Expand remaining equalities into inequality pairs, then FM.
+      bool Expanded = false;
+      for (LinConstraint &C : Work) {
+        if (!C.IsEq)
+          continue;
+        auto Neg = LinearExpr::tryScale(C.E, -1);
+        if (!Neg)
+          return SolveResult::Unknown;
+        C.IsEq = false;
+        Work.push_back({*Neg, false});
+        Expanded = true;
+      }
+      if (Expanded)
+        continue;
+
+      // Pick the variable minimizing the pos*neg product.
+      std::string Best;
+      size_t BestCost = SIZE_MAX;
+      for (const std::string &V : Vars) {
+        size_t NumPos = 0, NumNeg = 0;
+        for (const LinConstraint &C : Work) {
+          int64_t Coef = C.E.coeffOf(V);
+          if (Coef > 0)
+            ++NumPos;
+          else if (Coef < 0)
+            ++NumNeg;
+        }
+        size_t Cost = NumPos * NumNeg;
+        if (Cost < BestCost) {
+          BestCost = Cost;
+          Best = V;
+        }
+      }
+      if (!fourierMotzkin(Best))
+        return SolveResult::Unknown;
+      if (Work.size() > MaxConstraints)
+        return SolveResult::Unknown;
+    }
+    return SolveResult::Unknown;
+  }
+
+private:
+  /// Normalizes all constraints, drops tautologies, and checks constant
+  /// constraints. Returns Empty on contradiction, NonEmpty never (caller
+  /// decides), Unknown to continue.
+  SolveResult simplifyAndCheckConstants() {
+    std::vector<LinConstraint> Kept;
+    std::set<std::string> Seen;
+    for (LinConstraint &C : Work) {
+      if (!normalizeConstraint(C))
+        return SolveResult::Empty;
+      if (C.E.isConstant()) {
+        int64_t V = C.E.constTerm();
+        if (C.IsEq ? (V != 0) : (V < 0))
+          return SolveResult::Empty;
+        continue; // Tautology.
+      }
+      std::string Key = C.toString();
+      if (Seen.insert(Key).second)
+        Kept.push_back(std::move(C));
+    }
+    Work = std::move(Kept);
+    return SolveResult::Unknown;
+  }
+
+  /// Substitutes variable \p Name using the equality Work[EqIdx] where it
+  /// has coefficient \p Coef in {+1, -1}. Returns false on overflow.
+  bool substitute(size_t EqIdx, const std::string &Name, int64_t Coef) {
+    // Coef * Name + Rest == 0  =>  Name = -Rest / Coef = -Coef * Rest
+    // (since Coef is +-1).
+    LinearExpr Rest = Work[EqIdx].E;
+    Rest.setCoeff(Name, 0);
+    auto Repl = LinearExpr::tryScale(Rest, -Coef);
+    if (!Repl)
+      return false;
+    std::vector<LinConstraint> Next;
+    Next.reserve(Work.size() - 1);
+    for (size_t I = 0; I < Work.size(); ++I) {
+      if (I == EqIdx)
+        continue;
+      auto E2 = Work[I].E.substitute(Name, *Repl);
+      if (!E2)
+        return false;
+      Next.push_back({*E2, Work[I].IsEq});
+    }
+    Work = std::move(Next);
+    return true;
+  }
+
+  /// Eliminates \p Name from all (inequality) constraints. Returns false on
+  /// overflow.
+  bool fourierMotzkin(const std::string &Name) {
+    std::vector<LinConstraint> Lower, Upper, Rest;
+    for (LinConstraint &C : Work) {
+      ftAssert(!C.IsEq, "equality left before FM elimination");
+      int64_t Coef = C.E.coeffOf(Name);
+      if (Coef > 0)
+        Lower.push_back(std::move(C)); // a*x + p >= 0: lower bound on x.
+      else if (Coef < 0)
+        Upper.push_back(std::move(C)); // -b*x + n >= 0: upper bound on x.
+      else
+        Rest.push_back(std::move(C));
+    }
+    for (const LinConstraint &L : Lower) {
+      int64_t A = L.E.coeffOf(Name);
+      LinearExpr P = L.E;
+      P.setCoeff(Name, 0);
+      for (const LinConstraint &U : Upper) {
+        int64_t B = -U.E.coeffOf(Name);
+        LinearExpr N = U.E;
+        N.setCoeff(Name, 0);
+        // From a*x >= -p and b*x <= n: b*p + a*n >= 0.
+        auto BP = LinearExpr::tryScale(P, B);
+        auto AN = LinearExpr::tryScale(N, A);
+        if (!BP || !AN)
+          return false;
+        auto Sum = LinearExpr::tryAdd(*BP, *AN);
+        if (!Sum)
+          return false;
+        Rest.push_back({*Sum, false});
+      }
+    }
+    Work = std::move(Rest);
+    return true;
+  }
+
+  std::vector<LinConstraint> Work;
+};
+
+} // namespace
+
+bool AffineSet::isEmpty() const {
+  return EmptinessChecker(Cs).run() == SolveResult::Empty;
+}
+
+bool AffineSet::implies(const LinearExpr &GeZero) const {
+  AffineSet Neg = *this;
+  // ¬(E >= 0) over integers is E <= -1, i.e. -E - 1 >= 0.
+  auto NegE = LinearExpr::tryScale(GeZero, -1);
+  if (!NegE)
+    return false;
+  NegE->addConst(-1);
+  Neg.addGe0(*NegE);
+  return Neg.isEmpty();
+}
+
+std::string AffineSet::toString() const {
+  std::string Out = "{";
+  for (size_t I = 0; I < Cs.size(); ++I) {
+    if (I > 0)
+      Out += " and ";
+    Out += Cs[I].toString();
+  }
+  return Out + "}";
+}

@@ -1,0 +1,81 @@
+//===- math/affine_set.h - Conjunctions of affine constraints ----*- C++ -*-===//
+///
+/// \file
+/// A Presburger-lite engine: an AffineSet is a conjunction of affine
+/// equalities and inequalities over named integer variables. The one
+/// decision procedure everything else reduces to is emptiness, implemented
+/// with Fourier–Motzkin elimination plus integer GCD tests.
+///
+/// Soundness contract: isEmpty() == true is a proof that no integer point
+/// satisfies the constraints; isEmpty() == false means "could not prove
+/// empty" (the set may be rationally non-empty yet integrally empty, or an
+/// internal overflow occurred). All clients use emptiness only in the safe
+/// direction: dependence analysis keeps a dependence unless the dependence
+/// set is *proved* empty, and the simplifier keeps a branch unless its
+/// negation is *proved* empty. This mirrors how the paper uses isl (§4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_MATH_AFFINE_SET_H
+#define FT_MATH_AFFINE_SET_H
+
+#include <string>
+#include <vector>
+
+#include "math/linear.h"
+
+namespace ft {
+
+/// One affine constraint: E == 0 (IsEq) or E >= 0.
+struct LinConstraint {
+  LinearExpr E;
+  bool IsEq = false;
+
+  std::string toString() const {
+    return E.toString() + (IsEq ? " == 0" : " >= 0");
+  }
+};
+
+/// A conjunction of affine constraints over integer variables.
+class AffineSet {
+public:
+  /// Adds E >= 0.
+  void addGe0(const LinearExpr &E);
+
+  /// Adds E == 0.
+  void addEq0(const LinearExpr &E);
+
+  /// Adds A <= B, A < B, A == B as convenience wrappers.
+  void addLE(const LinearExpr &A, const LinearExpr &B);
+  void addLT(const LinearExpr &A, const LinearExpr &B);
+  void addEQ(const LinearExpr &A, const LinearExpr &B);
+
+  /// Adds all constraints of \p Other.
+  void addAll(const AffineSet &Other);
+
+  /// Marks the set as inexact (e.g. a non-affine condition was dropped).
+  /// An inexact set can still prove emptiness of what remains; callers that
+  /// need exactness check isExact().
+  void markInexact() { Exact = false; }
+  bool isExact() const { return Exact; }
+
+  const std::vector<LinConstraint> &constraints() const { return Cs; }
+
+  /// Attempts to prove the set has no integer points. Sound, incomplete.
+  bool isEmpty() const;
+
+  /// Returns true if every point of this set provably satisfies E >= 0
+  /// (i.e. this ∧ (E <= -1) is empty).
+  bool implies(const LinearExpr &GeZero) const;
+
+  /// Renders all constraints for diagnostics.
+  std::string toString() const;
+
+private:
+  std::vector<LinConstraint> Cs;
+  bool Exact = true;
+};
+
+} // namespace ft
+
+#endif // FT_MATH_AFFINE_SET_H

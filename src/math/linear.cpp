@@ -1,0 +1,171 @@
+//===- math/linear.cpp ----------------------------------------------------===//
+
+#include "math/linear.h"
+
+#include <cstdlib>
+
+#include "support/error.h"
+
+using namespace ft;
+
+std::optional<int64_t> ft::checkedAdd(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    return std::nullopt;
+  return R;
+}
+
+std::optional<int64_t> ft::checkedMul(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    return std::nullopt;
+  return R;
+}
+
+int64_t ft::gcd64(int64_t A, int64_t B) {
+  A = A < 0 ? -A : A;
+  B = B < 0 ? -B : B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+int64_t ft::floorDiv64(int64_t A, int64_t B) {
+  ftAssert(B != 0, "floorDiv64 by zero");
+  int64_t Q = A / B, R = A % B;
+  if (R != 0 && ((R < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+int64_t ft::mod64(int64_t A, int64_t B) {
+  ftAssert(B != 0, "mod64 by zero");
+  int64_t R = A % B;
+  if (R != 0 && ((R < 0) != (B < 0)))
+    R += B;
+  return R;
+}
+
+LinearExpr LinearExpr::constant(int64_t C) {
+  LinearExpr E;
+  E.Const = C;
+  return E;
+}
+
+LinearExpr LinearExpr::variable(const std::string &Name) {
+  LinearExpr E;
+  E.Coeffs[Name] = 1;
+  return E;
+}
+
+int64_t LinearExpr::coeffOf(const std::string &Name) const {
+  auto It = Coeffs.find(Name);
+  return It == Coeffs.end() ? 0 : It->second;
+}
+
+void LinearExpr::setCoeff(const std::string &Name, int64_t C) {
+  if (C == 0)
+    Coeffs.erase(Name);
+  else
+    Coeffs[Name] = C;
+}
+
+std::optional<LinearExpr> LinearExpr::tryAdd(const LinearExpr &A,
+                                             const LinearExpr &B) {
+  LinearExpr Out = A;
+  for (const auto &[Name, C] : B.Coeffs) {
+    auto Sum = checkedAdd(Out.coeffOf(Name), C);
+    if (!Sum)
+      return std::nullopt;
+    Out.setCoeff(Name, *Sum);
+  }
+  auto CSum = checkedAdd(Out.Const, B.Const);
+  if (!CSum)
+    return std::nullopt;
+  Out.Const = *CSum;
+  return Out;
+}
+
+std::optional<LinearExpr> LinearExpr::trySub(const LinearExpr &A,
+                                             const LinearExpr &B) {
+  auto NegB = tryScale(B, -1);
+  if (!NegB)
+    return std::nullopt;
+  return tryAdd(A, *NegB);
+}
+
+std::optional<LinearExpr> LinearExpr::tryScale(const LinearExpr &A,
+                                               int64_t K) {
+  LinearExpr Out;
+  for (const auto &[Name, C] : A.Coeffs) {
+    auto P = checkedMul(C, K);
+    if (!P)
+      return std::nullopt;
+    Out.setCoeff(Name, *P);
+  }
+  auto PC = checkedMul(A.Const, K);
+  if (!PC)
+    return std::nullopt;
+  Out.Const = *PC;
+  return Out;
+}
+
+std::optional<LinearExpr> LinearExpr::substitute(const std::string &Name,
+                                                 const LinearExpr &Repl) const {
+  int64_t C = coeffOf(Name);
+  if (C == 0)
+    return *this;
+  LinearExpr Rest = *this;
+  Rest.setCoeff(Name, 0);
+  auto Scaled = tryScale(Repl, C);
+  if (!Scaled)
+    return std::nullopt;
+  return tryAdd(Rest, *Scaled);
+}
+
+LinearExpr LinearExpr::renamed(const std::string &From,
+                               const std::string &To) const {
+  int64_t C = coeffOf(From);
+  if (C == 0)
+    return *this;
+  LinearExpr Out = *this;
+  Out.setCoeff(From, 0);
+  ftAssert(Out.coeffOf(To) == 0, "renaming onto an existing variable: " + To);
+  Out.setCoeff(To, C);
+  return Out;
+}
+
+void LinearExpr::normalizeByGcd() {
+  int64_t G = Const < 0 ? -Const : Const;
+  for (const auto &[Name, C] : Coeffs)
+    G = gcd64(G, C);
+  if (G <= 1)
+    return;
+  for (auto &[Name, C] : Coeffs)
+    C /= G;
+  Const /= G;
+}
+
+int64_t LinearExpr::coeffGcd() const {
+  int64_t G = 0;
+  for (const auto &[Name, C] : Coeffs)
+    G = gcd64(G, C);
+  return G;
+}
+
+std::string LinearExpr::toString() const {
+  std::string Out;
+  for (const auto &[Name, C] : Coeffs) {
+    if (!Out.empty())
+      Out += " + ";
+    Out += std::to_string(C) + "*" + Name;
+  }
+  if (Out.empty())
+    return std::to_string(Const);
+  if (Const != 0)
+    Out += " + " + std::to_string(Const);
+  return Out;
+}

@@ -1,0 +1,104 @@
+//===- math/linear.h - Linear (affine) expressions ---------------*- C++ -*-===//
+///
+/// \file
+/// Affine expressions over named integer variables:
+/// sum_i Coef_i * Var_i + Const. These are the atoms of the Presburger-lite
+/// engine in math/affine_set.h, which replaces isl in this reproduction
+/// (paper §4.2: "memory accesses defined as Presburger formulas").
+///
+/// Variables are plain strings; loop iterators and symbolic shape
+/// parameters share one namespace and are distinguished by the caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_MATH_LINEAR_H
+#define FT_MATH_LINEAR_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace ft {
+
+/// An affine integer expression with 64-bit coefficients.
+///
+/// All arithmetic is overflow-checked: operations return std::nullopt on
+/// overflow, and callers degrade conservatively (e.g. dependence analysis
+/// keeps a may-dependence it cannot reason about).
+class LinearExpr {
+public:
+  LinearExpr() = default;
+
+  /// Constructs the constant expression \p C.
+  static LinearExpr constant(int64_t C);
+
+  /// Constructs the single-variable expression 1 * Name.
+  static LinearExpr variable(const std::string &Name);
+
+  /// Term map: variable name -> non-zero coefficient.
+  const std::map<std::string, int64_t> &coeffs() const { return Coeffs; }
+
+  /// Constant term.
+  int64_t constTerm() const { return Const; }
+
+  /// Returns the coefficient of \p Name (0 if absent).
+  int64_t coeffOf(const std::string &Name) const;
+
+  /// Returns true if the expression is a constant (no variables).
+  bool isConstant() const { return Coeffs.empty(); }
+
+  /// Sets the coefficient of \p Name (erasing the term when \p C == 0).
+  void setCoeff(const std::string &Name, int64_t C);
+
+  /// Adds \p Delta to the constant term (unchecked; callers use tryAdd for
+  /// checked arithmetic).
+  void addConst(int64_t Delta) { Const += Delta; }
+
+  /// Checked addition, subtraction, and scaling.
+  static std::optional<LinearExpr> tryAdd(const LinearExpr &A,
+                                          const LinearExpr &B);
+  static std::optional<LinearExpr> trySub(const LinearExpr &A,
+                                          const LinearExpr &B);
+  static std::optional<LinearExpr> tryScale(const LinearExpr &A, int64_t K);
+
+  /// Substitutes \p Name := Repl. Returns nullopt on overflow.
+  std::optional<LinearExpr> substitute(const std::string &Name,
+                                       const LinearExpr &Repl) const;
+
+  /// Renames a variable (no-op if absent; asserts the new name is unused).
+  LinearExpr renamed(const std::string &From, const std::string &To) const;
+
+  /// Divides all terms by the GCD of all coefficients and the constant,
+  /// when that GCD > 1. Preserves the sign.
+  void normalizeByGcd();
+
+  /// GCD of the variable coefficients only (0 if there are none).
+  int64_t coeffGcd() const;
+
+  bool operator==(const LinearExpr &) const = default;
+
+  /// Renders e.g. "2*i + -1*j + 3" for diagnostics.
+  std::string toString() const;
+
+private:
+  std::map<std::string, int64_t> Coeffs;
+  int64_t Const = 0;
+};
+
+/// Checked scalar helpers (return nullopt on int64 overflow).
+std::optional<int64_t> checkedAdd(int64_t A, int64_t B);
+std::optional<int64_t> checkedMul(int64_t A, int64_t B);
+
+/// Non-negative GCD; gcd(0, x) == |x|.
+int64_t gcd64(int64_t A, int64_t B);
+
+/// Floor division rounding toward negative infinity.
+int64_t floorDiv64(int64_t A, int64_t B);
+
+/// Modulo with the sign of the divisor (Python semantics).
+int64_t mod64(int64_t A, int64_t B);
+
+} // namespace ft
+
+#endif // FT_MATH_LINEAR_H

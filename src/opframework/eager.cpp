@@ -1,0 +1,775 @@
+//===- opframework/eager.cpp ----------------------------------------------===//
+
+#include "opframework/eager.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ft;
+using namespace ft::eager;
+
+namespace {
+
+OpStats GStats;
+std::vector<std::function<void()>> GTape;
+
+void countKernel(int64_t BytesRead, int64_t BytesWritten, int64_t Flops) {
+  ++GStats.KernelLaunches;
+  GStats.BytesRead += BytesRead;
+  GStats.BytesWritten += BytesWritten;
+  GStats.Flops += Flops;
+}
+
+int64_t numelOf(const std::vector<int64_t> &Shape) {
+  int64_t N = 1;
+  for (int64_t D : Shape)
+    N *= D;
+  return N;
+}
+
+} // namespace
+
+OpStats &ft::eager::stats() { return GStats; }
+void ft::eager::resetStats() { GStats = OpStats(); }
+void ft::eager::clearTape() { GTape.clear(); }
+
+//===----------------------------------------------------------------------===//
+// Tensor / IndexTensor
+//===----------------------------------------------------------------------===//
+
+struct Tensor::ImplT {
+  std::vector<int64_t> Shape;
+  std::vector<float> Data;
+  std::vector<float> Grad; ///< Lazily allocated.
+  bool RequiresGrad = false;
+
+  void ensureGrad() {
+    if (Grad.empty()) {
+      Grad.assign(Data.size(), 0.0f);
+      GStats.BytesAllocated += static_cast<int64_t>(Data.size() * 4);
+    }
+  }
+};
+
+Tensor Tensor::zeros(std::vector<int64_t> Shape, bool RequiresGrad) {
+  Tensor T;
+  T.Impl = std::make_shared<ImplT>();
+  T.Impl->Shape = std::move(Shape);
+  T.Impl->Data.assign(numelOf(T.Impl->Shape), 0.0f);
+  T.Impl->RequiresGrad = RequiresGrad;
+  GStats.BytesAllocated += static_cast<int64_t>(T.Impl->Data.size() * 4);
+  return T;
+}
+
+Tensor Tensor::fromVec(std::vector<int64_t> Shape, std::vector<float> Vals,
+                       bool RequiresGrad) {
+  Tensor T = zeros(std::move(Shape), RequiresGrad);
+  ftAssert(static_cast<int64_t>(Vals.size()) == T.numel(),
+           "fromVec element count mismatch");
+  std::copy(Vals.begin(), Vals.end(), T.Impl->Data.begin());
+  return T;
+}
+
+const std::vector<int64_t> &Tensor::shape() const {
+  ftAssert(Impl != nullptr, "shape() of an undefined Tensor");
+  return Impl->Shape;
+}
+int64_t Tensor::numel() const {
+  return static_cast<int64_t>(Impl->Data.size());
+}
+float *Tensor::data() { return Impl->Data.data(); }
+const float *Tensor::data() const { return Impl->Data.data(); }
+bool Tensor::requiresGrad() const { return Impl && Impl->RequiresGrad; }
+
+Tensor Tensor::grad() const {
+  ftAssert(Impl != nullptr, "grad() of an undefined Tensor");
+  Tensor G = zeros(Impl->Shape);
+  if (!Impl->Grad.empty())
+    std::copy(Impl->Grad.begin(), Impl->Grad.end(), G.Impl->Data.begin());
+  return G;
+}
+
+struct IndexTensor::ImplT {
+  std::vector<int64_t> Shape;
+  std::vector<int64_t> Data;
+};
+
+IndexTensor IndexTensor::fromVec(std::vector<int64_t> Shape,
+                                 std::vector<int64_t> Vals) {
+  IndexTensor T;
+  T.Impl = std::make_shared<ImplT>();
+  T.Impl->Shape = std::move(Shape);
+  ftAssert(static_cast<int64_t>(Vals.size()) == numelOf(T.Impl->Shape),
+           "IndexTensor element count mismatch");
+  T.Impl->Data = std::move(Vals);
+  GStats.BytesAllocated += static_cast<int64_t>(T.Impl->Data.size() * 8);
+  return T;
+}
+
+const std::vector<int64_t> &IndexTensor::shape() const {
+  return Impl->Shape;
+}
+int64_t IndexTensor::numel() const {
+  return static_cast<int64_t>(Impl->Data.size());
+}
+int64_t *IndexTensor::data() { return Impl->Data.data(); }
+const int64_t *IndexTensor::data() const { return Impl->Data.data(); }
+
+//===----------------------------------------------------------------------===//
+// Op machinery
+//===----------------------------------------------------------------------===//
+
+namespace ft {
+namespace eager {
+/// Internal access for the operator implementations.
+struct Ops {
+  static std::shared_ptr<Tensor::ImplT> impl(const Tensor &T) {
+    ftAssert(T.Impl != nullptr, "operator on an undefined Tensor");
+    return T.Impl;
+  }
+  static Tensor wrap(std::shared_ptr<Tensor::ImplT> I) {
+    Tensor T;
+    T.Impl = std::move(I);
+    return T;
+  }
+};
+} // namespace eager
+} // namespace ft
+
+namespace {
+
+using ImplPtr = std::shared_ptr<Tensor::ImplT>;
+
+Tensor makeOut(std::vector<int64_t> Shape, bool RequiresGrad) {
+  return Tensor::zeros(std::move(Shape), RequiresGrad);
+}
+
+/// Generic unary elementwise op with optional gradient.
+Tensor unaryOp(const Tensor &A, const std::function<float(float)> &Fn,
+               const std::function<float(float, float)> &DFn) {
+  ImplPtr AI = Ops::impl(A);
+  Tensor Out = makeOut(AI->Shape, A.requiresGrad());
+  ImplPtr OI = Ops::impl(Out);
+  int64_t N = static_cast<int64_t>(AI->Data.size());
+  for (int64_t I = 0; I < N; ++I)
+    OI->Data[I] = Fn(AI->Data[I]);
+  countKernel(N * 4, N * 4, N);
+  if (A.requiresGrad())
+    GTape.push_back([AI, OI, DFn, N] {
+      AI->ensureGrad();
+      for (int64_t I = 0; I < N; ++I)
+        AI->Grad[I] += DFn(AI->Data[I], OI->Data[I]) * OI->Grad[I];
+      countKernel(3 * N * 4, N * 4, 2 * N);
+    });
+  return Out;
+}
+
+/// Generic same-shape binary elementwise op.
+Tensor binaryOp(const Tensor &A, const Tensor &B,
+                const std::function<float(float, float)> &Fn,
+                const std::function<float(float, float)> &DA,
+                const std::function<float(float, float)> &DB) {
+  ImplPtr AI = Ops::impl(A), BI = Ops::impl(B);
+  ftAssert(AI->Shape == BI->Shape, "elementwise shape mismatch");
+  bool RG = A.requiresGrad() || B.requiresGrad();
+  Tensor Out = makeOut(AI->Shape, RG);
+  ImplPtr OI = Ops::impl(Out);
+  int64_t N = static_cast<int64_t>(AI->Data.size());
+  for (int64_t I = 0; I < N; ++I)
+    OI->Data[I] = Fn(AI->Data[I], BI->Data[I]);
+  countKernel(2 * N * 4, N * 4, N);
+  if (RG) {
+    bool NeedA = A.requiresGrad(), NeedB = B.requiresGrad();
+    GTape.push_back([AI, BI, OI, DA, DB, N, NeedA, NeedB] {
+      if (NeedA)
+        AI->ensureGrad();
+      if (NeedB)
+        BI->ensureGrad();
+      for (int64_t I = 0; I < N; ++I) {
+        float G = OI->Grad[I];
+        if (NeedA)
+          AI->Grad[I] += DA(AI->Data[I], BI->Data[I]) * G;
+        if (NeedB)
+          BI->Grad[I] += DB(AI->Data[I], BI->Data[I]) * G;
+      }
+      countKernel(3 * N * 4, 2 * N * 4, 4 * N);
+    });
+  }
+  return Out;
+}
+
+} // namespace
+
+void ft::eager::backward(const Tensor &Out) {
+  ImplPtr OI = Ops::impl(Out);
+  OI->ensureGrad();
+  std::fill(OI->Grad.begin(), OI->Grad.end(), 1.0f);
+  countKernel(0, static_cast<int64_t>(OI->Grad.size() * 4), 0);
+  for (auto It = GTape.rbegin(); It != GTape.rend(); ++It)
+    (*It)();
+  GTape.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Operators
+//===----------------------------------------------------------------------===//
+
+Tensor ft::eager::add(const Tensor &A, const Tensor &B) {
+  return binaryOp(
+      A, B, [](float X, float Y) { return X + Y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor ft::eager::sub(const Tensor &A, const Tensor &B) {
+  return binaryOp(
+      A, B, [](float X, float Y) { return X - Y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor ft::eager::mul(const Tensor &A, const Tensor &B) {
+  return binaryOp(
+      A, B, [](float X, float Y) { return X * Y; },
+      [](float, float Y) { return Y; }, [](float X, float) { return X; });
+}
+
+Tensor ft::eager::scale(const Tensor &A, float K) {
+  return unaryOp(
+      A, [K](float X) { return X * K; },
+      [K](float, float) { return K; });
+}
+
+Tensor ft::eager::abs(const Tensor &A) {
+  return unaryOp(
+      A, [](float X) { return std::fabs(X); },
+      [](float X, float) { return X >= 0 ? 1.0f : -1.0f; });
+}
+
+Tensor ft::eager::exp(const Tensor &A) {
+  return unaryOp(
+      A, [](float X) { return std::exp(X); },
+      [](float, float Y) { return Y; });
+}
+
+Tensor ft::eager::relu(const Tensor &A) {
+  return unaryOp(
+      A, [](float X) { return X > 0 ? X : 0.0f; },
+      [](float X, float) { return X > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor ft::eager::sigmoid(const Tensor &A) {
+  return unaryOp(
+      A, [](float X) { return 1.0f / (1.0f + std::exp(-X)); },
+      [](float, float Y) { return Y * (1.0f - Y); });
+}
+
+Tensor ft::eager::sumAxis(const Tensor &A, int Axis) {
+  ImplPtr AI = Ops::impl(A);
+  int NDim = static_cast<int>(AI->Shape.size());
+  ftAssert(Axis >= 0 && Axis < NDim, "sumAxis axis out of range");
+  std::vector<int64_t> OutShape;
+  for (int D = 0; D < NDim; ++D)
+    if (D != Axis)
+      OutShape.push_back(AI->Shape[D]);
+  int64_t Outer = 1, Mid = AI->Shape[Axis], Inner = 1;
+  for (int D = 0; D < Axis; ++D)
+    Outer *= AI->Shape[D];
+  for (int D = Axis + 1; D < NDim; ++D)
+    Inner *= AI->Shape[D];
+
+  Tensor Out = makeOut(OutShape, A.requiresGrad());
+  ImplPtr OI = Ops::impl(Out);
+  for (int64_t O = 0; O < Outer; ++O)
+    for (int64_t M = 0; M < Mid; ++M)
+      for (int64_t I = 0; I < Inner; ++I)
+        OI->Data[O * Inner + I] += AI->Data[(O * Mid + M) * Inner + I];
+  int64_t N = Outer * Mid * Inner;
+  countKernel(N * 4, Outer * Inner * 4, N);
+  if (A.requiresGrad())
+    GTape.push_back([AI, OI, Outer, Mid, Inner] {
+      AI->ensureGrad();
+      for (int64_t O = 0; O < Outer; ++O)
+        for (int64_t M = 0; M < Mid; ++M)
+          for (int64_t I = 0; I < Inner; ++I)
+            AI->Grad[(O * Mid + M) * Inner + I] += OI->Grad[O * Inner + I];
+      countKernel(Outer * Inner * 4, Outer * Mid * Inner * 4,
+                  Outer * Mid * Inner);
+    });
+  return Out;
+}
+
+Tensor ft::eager::sumAll(const Tensor &A) {
+  ImplPtr AI = Ops::impl(A);
+  Tensor Out = makeOut({}, A.requiresGrad());
+  ImplPtr OI = Ops::impl(Out);
+  double Acc = 0;
+  for (float V : AI->Data)
+    Acc += V;
+  OI->Data[0] = static_cast<float>(Acc);
+  int64_t N = static_cast<int64_t>(AI->Data.size());
+  countKernel(N * 4, 4, N);
+  if (A.requiresGrad())
+    GTape.push_back([AI, OI, N] {
+      AI->ensureGrad();
+      for (int64_t I = 0; I < N; ++I)
+        AI->Grad[I] += OI->Grad[0];
+      countKernel(4, N * 4, N);
+    });
+  return Out;
+}
+
+Tensor ft::eager::softmaxLast(const Tensor &A) {
+  ImplPtr AI = Ops::impl(A);
+  ftAssert(AI->Shape.size() >= 1, "softmaxLast needs at least 1-D");
+  int64_t C = AI->Shape.back();
+  int64_t R = static_cast<int64_t>(AI->Data.size()) / C;
+  Tensor Out = makeOut(AI->Shape, A.requiresGrad());
+  ImplPtr OI = Ops::impl(Out);
+  for (int64_t Row = 0; Row < R; ++Row) {
+    const float *X = &AI->Data[Row * C];
+    float *Y = &OI->Data[Row * C];
+    float Mx = X[0];
+    for (int64_t I = 1; I < C; ++I)
+      Mx = std::max(Mx, X[I]);
+    float Den = 0;
+    for (int64_t I = 0; I < C; ++I) {
+      Y[I] = std::exp(X[I] - Mx);
+      Den += Y[I];
+    }
+    for (int64_t I = 0; I < C; ++I)
+      Y[I] /= Den;
+  }
+  int64_t N = R * C;
+  countKernel(N * 4, N * 4, 4 * N);
+  if (A.requiresGrad())
+    GTape.push_back([AI, OI, R, C] {
+      AI->ensureGrad();
+      for (int64_t Row = 0; Row < R; ++Row) {
+        const float *Y = &OI->Data[Row * C];
+        const float *GY = &OI->Grad[Row * C];
+        float Dot = 0;
+        for (int64_t I = 0; I < C; ++I)
+          Dot += Y[I] * GY[I];
+        for (int64_t I = 0; I < C; ++I)
+          AI->Grad[Row * C + I] += Y[I] * (GY[I] - Dot);
+      }
+      countKernel(2 * R * C * 4, R * C * 4, 4 * R * C);
+    });
+  return Out;
+}
+
+Tensor ft::eager::matmul(const Tensor &A, const Tensor &B) {
+  ImplPtr AI = Ops::impl(A), BI = Ops::impl(B);
+  ftAssert(AI->Shape.size() == 2 && BI->Shape.size() == 2,
+           "matmul needs 2-D tensors");
+  int64_t M = AI->Shape[0], K = AI->Shape[1], N = BI->Shape[1];
+  ftAssert(BI->Shape[0] == K, "matmul inner dimension mismatch");
+  bool RG = A.requiresGrad() || B.requiresGrad();
+  Tensor Out = makeOut({M, N}, RG);
+  ImplPtr OI = Ops::impl(Out);
+  for (int64_t I = 0; I < M; ++I)
+    for (int64_t Kk = 0; Kk < K; ++Kk) {
+      float AV = AI->Data[I * K + Kk];
+      for (int64_t J = 0; J < N; ++J)
+        OI->Data[I * N + J] += AV * BI->Data[Kk * N + J];
+    }
+  countKernel((M * K + K * N) * 4, M * N * 4, 2 * M * N * K);
+  if (RG) {
+    bool NeedA = A.requiresGrad(), NeedB = B.requiresGrad();
+    GTape.push_back([AI, BI, OI, M, N, K, NeedA, NeedB] {
+      if (NeedA) {
+        AI->ensureGrad();
+        for (int64_t I = 0; I < M; ++I)
+          for (int64_t J = 0; J < N; ++J) {
+            float G = OI->Grad[I * N + J];
+            for (int64_t Kk = 0; Kk < K; ++Kk)
+              AI->Grad[I * K + Kk] += G * BI->Data[Kk * N + J];
+          }
+        countKernel((M * N + K * N) * 4, M * K * 4, 2 * M * N * K);
+      }
+      if (NeedB) {
+        BI->ensureGrad();
+        for (int64_t Kk = 0; Kk < K; ++Kk)
+          for (int64_t I = 0; I < M; ++I) {
+            float AV = AI->Data[I * K + Kk];
+            for (int64_t J = 0; J < N; ++J)
+              BI->Grad[Kk * N + J] += AV * OI->Grad[I * N + J];
+          }
+        countKernel((M * K + M * N) * 4, K * N * 4, 2 * M * N * K);
+      }
+    });
+  }
+  return Out;
+}
+
+Tensor ft::eager::indexSelect0(const Tensor &A, const IndexTensor &Idx) {
+  ImplPtr AI = Ops::impl(A);
+  int64_t Rows = AI->Shape[0];
+  int64_t RowSize = A.numel() / Rows;
+  std::vector<int64_t> OutShape = Idx.shape();
+  for (size_t D = 1; D < AI->Shape.size(); ++D)
+    OutShape.push_back(AI->Shape[D]);
+  Tensor Out = makeOut(OutShape, A.requiresGrad());
+  ImplPtr OI = Ops::impl(Out);
+  int64_t NIdx = Idx.numel();
+  const int64_t *IdxData = Idx.data();
+  for (int64_t I = 0; I < NIdx; ++I) {
+    int64_t Src = IdxData[I];
+    ftAssert(Src >= 0 && Src < Rows, "indexSelect0 out of range");
+    std::copy(&AI->Data[Src * RowSize], &AI->Data[(Src + 1) * RowSize],
+              &OI->Data[I * RowSize]);
+  }
+  countKernel(NIdx * RowSize * 4 + NIdx * 8, NIdx * RowSize * 4, 0);
+  if (A.requiresGrad()) {
+    std::vector<int64_t> IdxCopy(IdxData, IdxData + NIdx);
+    GTape.push_back([AI, OI, IdxCopy, RowSize, NIdx] {
+      AI->ensureGrad();
+      for (int64_t I = 0; I < NIdx; ++I)
+        for (int64_t C = 0; C < RowSize; ++C)
+          AI->Grad[IdxCopy[I] * RowSize + C] += OI->Grad[I * RowSize + C];
+      countKernel(NIdx * RowSize * 4, NIdx * RowSize * 4, NIdx * RowSize);
+    });
+  }
+  return Out;
+}
+
+Tensor ft::eager::scatterAdd0(const Tensor &A, const IndexTensor &Idx,
+                              int64_t OutRows) {
+  ImplPtr AI = Ops::impl(A);
+  int64_t Rows = AI->Shape[0];
+  ftAssert(Idx.numel() == Rows, "scatterAdd0 index count mismatch");
+  int64_t RowSize = A.numel() / Rows;
+  std::vector<int64_t> OutShape = AI->Shape;
+  OutShape[0] = OutRows;
+  Tensor Out = makeOut(OutShape, A.requiresGrad());
+  ImplPtr OI = Ops::impl(Out);
+  const int64_t *IdxData = Idx.data();
+  for (int64_t I = 0; I < Rows; ++I) {
+    int64_t Dst = IdxData[I];
+    ftAssert(Dst >= 0 && Dst < OutRows, "scatterAdd0 out of range");
+    for (int64_t C = 0; C < RowSize; ++C)
+      OI->Data[Dst * RowSize + C] += AI->Data[I * RowSize + C];
+  }
+  countKernel(Rows * RowSize * 4 + Rows * 8, Rows * RowSize * 4,
+              Rows * RowSize);
+  if (A.requiresGrad()) {
+    std::vector<int64_t> IdxCopy(IdxData, IdxData + Rows);
+    GTape.push_back([AI, OI, IdxCopy, Rows, RowSize] {
+      AI->ensureGrad();
+      for (int64_t I = 0; I < Rows; ++I)
+        for (int64_t C = 0; C < RowSize; ++C)
+          AI->Grad[I * RowSize + C] += OI->Grad[IdxCopy[I] * RowSize + C];
+      countKernel(Rows * RowSize * 4, Rows * RowSize * 4, 0);
+    });
+  }
+  return Out;
+}
+
+Tensor ft::eager::roll1(const Tensor &A, int64_t Shift) {
+  ImplPtr AI = Ops::impl(A);
+  ftAssert(AI->Shape.size() == 3, "roll1 needs a 3-D tensor");
+  int64_t N0 = AI->Shape[0], N1 = AI->Shape[1], N2 = AI->Shape[2];
+  Tensor Out = makeOut(AI->Shape, A.requiresGrad());
+  ImplPtr OI = Ops::impl(Out);
+  auto Wrap = [N1](int64_t J) { return ((J % N1) + N1) % N1; };
+  for (int64_t I = 0; I < N0; ++I)
+    for (int64_t J = 0; J < N1; ++J) {
+      int64_t SrcJ = Wrap(J + Shift);
+      std::copy(&AI->Data[(I * N1 + SrcJ) * N2],
+                &AI->Data[(I * N1 + SrcJ + 1) * N2],
+                &OI->Data[(I * N1 + J) * N2]);
+    }
+  int64_t N = A.numel();
+  countKernel(N * 4, N * 4, 0);
+  if (A.requiresGrad())
+    GTape.push_back([AI, OI, N0, N1, N2, Shift, Wrap] {
+      // Gradient of a permutation is the inverse permutation.
+      AI->ensureGrad();
+      for (int64_t I = 0; I < N0; ++I)
+        for (int64_t J = 0; J < N1; ++J) {
+          int64_t SrcJ = Wrap(J + Shift);
+          for (int64_t C = 0; C < N2; ++C)
+            AI->Grad[(I * N1 + SrcJ) * N2 + C] +=
+                OI->Grad[(I * N1 + J) * N2 + C];
+        }
+      countKernel(N0 * N1 * N2 * 4, N0 * N1 * N2 * 4, 0);
+    });
+  return Out;
+}
+
+Tensor ft::eager::slidingWindows(const Tensor &A, int64_t W) {
+  ImplPtr AI = Ops::impl(A);
+  ftAssert(AI->Shape.size() == 2, "slidingWindows needs a 2-D tensor");
+  int64_t N = AI->Shape[0], D = AI->Shape[1];
+  int64_t Win = 2 * W + 1;
+  Tensor Out = makeOut({N, Win, D}, A.requiresGrad());
+  ImplPtr OI = Ops::impl(Out);
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t K = -W; K <= W; ++K) {
+      int64_t Src = I + K;
+      float *Dst = &OI->Data[(I * Win + (K + W)) * D];
+      if (Src < 0 || Src >= N)
+        continue; // Already zero (padding).
+      std::copy(&AI->Data[Src * D], &AI->Data[(Src + 1) * D], Dst);
+    }
+  countKernel(N * Win * D * 4, N * Win * D * 4, 0);
+  if (A.requiresGrad())
+    GTape.push_back([AI, OI, N, D, W, Win] {
+      AI->ensureGrad();
+      for (int64_t I = 0; I < N; ++I)
+        for (int64_t K = -W; K <= W; ++K) {
+          int64_t Src = I + K;
+          if (Src < 0 || Src >= N)
+            continue;
+          for (int64_t C = 0; C < D; ++C)
+            AI->Grad[Src * D + C] += OI->Grad[(I * Win + (K + W)) * D + C];
+        }
+      countKernel(N * Win * D * 4, N * Win * D * 4, N * Win * D);
+    });
+  return Out;
+}
+
+Tensor ft::eager::bmvDot(const Tensor &A, const Tensor &B) {
+  ImplPtr AI = Ops::impl(A), BI = Ops::impl(B);
+  ftAssert(AI->Shape.size() == 3 && BI->Shape.size() == 2, "bmvDot shapes");
+  int64_t N = AI->Shape[0], Wn = AI->Shape[1], D = AI->Shape[2];
+  ftAssert(BI->Shape[0] == N && BI->Shape[1] == D, "bmvDot shape mismatch");
+  bool RG = A.requiresGrad() || B.requiresGrad();
+  Tensor Out = makeOut({N, Wn}, RG);
+  ImplPtr OI = Ops::impl(Out);
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t Wj = 0; Wj < Wn; ++Wj) {
+      float Acc = 0;
+      for (int64_t C = 0; C < D; ++C)
+        Acc += AI->Data[(I * Wn + Wj) * D + C] * BI->Data[I * D + C];
+      OI->Data[I * Wn + Wj] = Acc;
+    }
+  countKernel((N * Wn * D + N * D) * 4, N * Wn * 4, 2 * N * Wn * D);
+  if (RG) {
+    bool NeedA = A.requiresGrad(), NeedB = B.requiresGrad();
+    GTape.push_back([AI, BI, OI, N, Wn, D, NeedA, NeedB] {
+      if (NeedA)
+        AI->ensureGrad();
+      if (NeedB)
+        BI->ensureGrad();
+      for (int64_t I = 0; I < N; ++I)
+        for (int64_t Wj = 0; Wj < Wn; ++Wj) {
+          float G = OI->Grad[I * Wn + Wj];
+          for (int64_t C = 0; C < D; ++C) {
+            if (NeedA)
+              AI->Grad[(I * Wn + Wj) * D + C] += G * BI->Data[I * D + C];
+            if (NeedB)
+              BI->Grad[I * D + C] += G * AI->Data[(I * Wn + Wj) * D + C];
+          }
+        }
+      countKernel(2 * N * Wn * D * 4, 2 * N * Wn * D * 4, 4 * N * Wn * D);
+    });
+  }
+  return Out;
+}
+
+Tensor ft::eager::bmvWeight(const Tensor &P, const Tensor &V) {
+  ImplPtr PI = Ops::impl(P), VI = Ops::impl(V);
+  ftAssert(PI->Shape.size() == 2 && VI->Shape.size() == 3,
+           "bmvWeight shapes");
+  int64_t N = PI->Shape[0], Wn = PI->Shape[1], D = VI->Shape[2];
+  ftAssert(VI->Shape[0] == N && VI->Shape[1] == Wn,
+           "bmvWeight shape mismatch");
+  bool RG = P.requiresGrad() || V.requiresGrad();
+  Tensor Out = makeOut({N, D}, RG);
+  ImplPtr OI = Ops::impl(Out);
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t Wj = 0; Wj < Wn; ++Wj) {
+      float Pv = PI->Data[I * Wn + Wj];
+      for (int64_t C = 0; C < D; ++C)
+        OI->Data[I * D + C] += Pv * VI->Data[(I * Wn + Wj) * D + C];
+    }
+  countKernel((N * Wn + N * Wn * D) * 4, N * D * 4, 2 * N * Wn * D);
+  if (RG) {
+    bool NeedP = P.requiresGrad(), NeedV = V.requiresGrad();
+    GTape.push_back([PI, VI, OI, N, Wn, D, NeedP, NeedV] {
+      if (NeedP)
+        PI->ensureGrad();
+      if (NeedV)
+        VI->ensureGrad();
+      for (int64_t I = 0; I < N; ++I)
+        for (int64_t Wj = 0; Wj < Wn; ++Wj)
+          for (int64_t C = 0; C < D; ++C) {
+            float G = OI->Grad[I * D + C];
+            if (NeedP)
+              PI->Grad[I * Wn + Wj] +=
+                  G * VI->Data[(I * Wn + Wj) * D + C];
+            if (NeedV)
+              VI->Grad[(I * Wn + Wj) * D + C] +=
+                  G * PI->Data[I * Wn + Wj];
+          }
+      countKernel(2 * N * Wn * D * 4, 2 * N * Wn * D * 4, 4 * N * Wn * D);
+    });
+  }
+  return Out;
+}
+
+Tensor ft::eager::divEw(const Tensor &A, const Tensor &B) {
+  return binaryOp(
+      A, B, [](float X, float Y) { return X / Y; },
+      [](float, float Y) { return 1.0f / Y; },
+      [](float X, float Y) { return -X / (Y * Y); });
+}
+
+Tensor ft::eager::minEw(const Tensor &A, const Tensor &B) {
+  return binaryOp(
+      A, B, [](float X, float Y) { return std::min(X, Y); },
+      [](float X, float Y) { return X <= Y ? 1.0f : 0.0f; },
+      [](float X, float Y) { return Y < X ? 1.0f : 0.0f; });
+}
+
+Tensor ft::eager::log(const Tensor &A) {
+  return unaryOp(
+      A, [](float X) { return std::log(X); },
+      [](float X, float) { return 1.0f / X; });
+}
+
+Tensor ft::eager::addScalar(const Tensor &A, float C) {
+  return unaryOp(
+      A, [C](float X) { return X + C; },
+      [](float, float) { return 1.0f; });
+}
+
+Tensor ft::eager::outerSub(const Tensor &A, const Tensor &B) {
+  ImplPtr AI = Ops::impl(A), BI = Ops::impl(B);
+  ftAssert(AI->Shape.size() == 1 && BI->Shape.size() == 1,
+           "outerSub needs 1-D tensors");
+  int64_t P = AI->Shape[0], F = BI->Shape[0];
+  bool RG = A.requiresGrad() || B.requiresGrad();
+  Tensor Out = makeOut({P, F}, RG);
+  ImplPtr OI = Ops::impl(Out);
+  for (int64_t I = 0; I < P; ++I)
+    for (int64_t J = 0; J < F; ++J)
+      OI->Data[I * F + J] = AI->Data[I] - BI->Data[J];
+  countKernel((P + F) * 4, P * F * 4, P * F);
+  if (RG) {
+    bool NeedA = A.requiresGrad(), NeedB = B.requiresGrad();
+    GTape.push_back([AI, BI, OI, P, F, NeedA, NeedB] {
+      if (NeedA)
+        AI->ensureGrad();
+      if (NeedB)
+        BI->ensureGrad();
+      for (int64_t I = 0; I < P; ++I)
+        for (int64_t J = 0; J < F; ++J) {
+          float G = OI->Grad[I * F + J];
+          if (NeedA)
+            AI->Grad[I] += G;
+          if (NeedB)
+            BI->Grad[J] -= G;
+        }
+      countKernel(P * F * 4, (P + F) * 4, 2 * P * F);
+    });
+  }
+  return Out;
+}
+
+namespace {
+
+/// Shared implementation of the row/column broadcast multiplies.
+Tensor broadcastMul(const Tensor &A, const Tensor &V, bool ByRow) {
+  ImplPtr AI = Ops::impl(A), VI = Ops::impl(V);
+  ftAssert(AI->Shape.size() == 2 && VI->Shape.size() == 1,
+           "broadcast mul shapes");
+  int64_t R = AI->Shape[0], C = AI->Shape[1];
+  ftAssert(VI->Shape[0] == (ByRow ? R : C), "broadcast length mismatch");
+  bool RG = A.requiresGrad() || V.requiresGrad();
+  Tensor Out = Tensor::zeros({R, C}, RG);
+  ImplPtr OI = Ops::impl(Out);
+  for (int64_t I = 0; I < R; ++I)
+    for (int64_t J = 0; J < C; ++J)
+      OI->Data[I * C + J] =
+          AI->Data[I * C + J] * VI->Data[ByRow ? I : J];
+  countKernel((R * C + (ByRow ? R : C)) * 4, R * C * 4, R * C);
+  if (RG) {
+    bool NeedA = A.requiresGrad(), NeedV = V.requiresGrad();
+    GTape.push_back([AI, VI, OI, R, C, ByRow, NeedA, NeedV] {
+      if (NeedA)
+        AI->ensureGrad();
+      if (NeedV)
+        VI->ensureGrad();
+      for (int64_t I = 0; I < R; ++I)
+        for (int64_t J = 0; J < C; ++J) {
+          float G = OI->Grad[I * C + J];
+          int64_t VIdx = ByRow ? I : J;
+          if (NeedA)
+            AI->Grad[I * C + J] += G * VI->Data[VIdx];
+          if (NeedV)
+            VI->Grad[VIdx] += G * AI->Data[I * C + J];
+        }
+      countKernel(2 * R * C * 4, 2 * R * C * 4, 4 * R * C);
+    });
+  }
+  return Out;
+}
+
+} // namespace
+
+Tensor ft::eager::mulCols(const Tensor &A, const Tensor &V) {
+  return broadcastMul(A, V, /*ByRow=*/false);
+}
+
+Tensor ft::eager::mulRows(const Tensor &A, const Tensor &R) {
+  return broadcastMul(A, R, /*ByRow=*/true);
+}
+
+Tensor ft::eager::mv(const Tensor &A, const Tensor &V) {
+  ImplPtr AI = Ops::impl(A), VI = Ops::impl(V);
+  ftAssert(AI->Shape.size() == 2 && VI->Shape.size() == 1, "mv shapes");
+  int64_t N = AI->Shape[0], F = AI->Shape[1];
+  ftAssert(VI->Shape[0] == F, "mv length mismatch");
+  bool RG = A.requiresGrad() || V.requiresGrad();
+  Tensor Out = Tensor::zeros({N}, RG);
+  ImplPtr OI = Ops::impl(Out);
+  for (int64_t I = 0; I < N; ++I) {
+    float Acc = 0;
+    for (int64_t J = 0; J < F; ++J)
+      Acc += AI->Data[I * F + J] * VI->Data[J];
+    OI->Data[I] = Acc;
+  }
+  countKernel((N * F + F) * 4, N * 4, 2 * N * F);
+  if (RG) {
+    bool NeedA = A.requiresGrad(), NeedV = V.requiresGrad();
+    GTape.push_back([AI, VI, OI, N, F, NeedA, NeedV] {
+      if (NeedA)
+        AI->ensureGrad();
+      if (NeedV)
+        VI->ensureGrad();
+      for (int64_t I = 0; I < N; ++I) {
+        float G = OI->Grad[I];
+        for (int64_t J = 0; J < F; ++J) {
+          if (NeedA)
+            AI->Grad[I * F + J] += G * VI->Data[J];
+          if (NeedV)
+            VI->Grad[J] += G * AI->Data[I * F + J];
+        }
+      }
+      countKernel(2 * N * F * 4, 2 * N * F * 4, 4 * N * F);
+    });
+  }
+  return Out;
+}
+
+Tensor ft::eager::maskedFill(const Tensor &A, const Tensor &Mask,
+                             float Value) {
+  ImplPtr AI = Ops::impl(A), MI = Ops::impl(Mask);
+  ftAssert(AI->Shape == MI->Shape, "maskedFill shape mismatch");
+  Tensor Out = makeOut(AI->Shape, A.requiresGrad());
+  ImplPtr OI = Ops::impl(Out);
+  int64_t N = A.numel();
+  for (int64_t I = 0; I < N; ++I)
+    OI->Data[I] = MI->Data[I] != 0 ? AI->Data[I] : Value;
+  countKernel(2 * N * 4, N * 4, 0);
+  if (A.requiresGrad())
+    GTape.push_back([AI, MI, OI, N] {
+      AI->ensureGrad();
+      for (int64_t I = 0; I < N; ++I)
+        if (MI->Data[I] != 0)
+          AI->Grad[I] += OI->Grad[I];
+      countKernel(2 * N * 4, N * 4, 0);
+    });
+  return Out;
+}

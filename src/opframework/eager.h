@@ -1,0 +1,173 @@
+//===- opframework/eager.h - Operator-based baseline framework ---*- C++ -*-===//
+///
+/// \file
+/// "EagerTensor": a miniature eager-mode operator-based tensor framework —
+/// the reproduction's stand-in for the PyTorch/JAX baselines of paper §6.
+/// Every operator launches one "kernel", allocates a full materialized
+/// output tensor, and is instrumented (kernel count, bytes moved, FLOPs,
+/// bytes allocated) so the Figure-17 analysis can be reproduced as counts
+/// and the Figure-16 comparison as measured time on the same machine as
+/// the FreeTensor-compiled kernels.
+///
+/// Autograd is tape-based, like the baselines: every operator captures its
+/// *materialized* inputs for the backward pass (this is exactly the
+/// memory-and-traffic overhead FreeTensor's selective materialization
+/// removes, §5.2 / Fig. 18).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_OPFRAMEWORK_EAGER_H
+#define FT_OPFRAMEWORK_EAGER_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "support/error.h"
+
+namespace ft {
+namespace eager {
+
+/// Framework-wide instrumentation counters.
+struct OpStats {
+  int64_t KernelLaunches = 0;
+  int64_t BytesRead = 0;
+  int64_t BytesWritten = 0;
+  int64_t Flops = 0;
+  int64_t BytesAllocated = 0;
+
+  int64_t bytesMoved() const { return BytesRead + BytesWritten; }
+};
+
+/// Global counters (single-threaded use).
+OpStats &stats();
+void resetStats();
+
+/// A dense row-major Float32 tensor handle (copying the handle shares the
+/// storage, like the baselines' reference semantics).
+class Tensor {
+public:
+  Tensor() = default;
+
+  static Tensor zeros(std::vector<int64_t> Shape, bool RequiresGrad = false);
+  static Tensor fromVec(std::vector<int64_t> Shape, std::vector<float> Vals,
+                        bool RequiresGrad = false);
+
+  bool defined() const { return Impl != nullptr; }
+  const std::vector<int64_t> &shape() const;
+  int64_t numel() const;
+  float *data();
+  const float *data() const;
+  bool requiresGrad() const;
+
+  /// Gradient accumulated by backward() (zeros if never touched).
+  Tensor grad() const;
+
+  /// Opaque storage type (defined in eager.cpp).
+  struct ImplT;
+
+private:
+  friend struct Ops;
+  friend void backward(const Tensor &);
+  std::shared_ptr<ImplT> Impl;
+};
+
+/// An Int64 index tensor (no gradients).
+class IndexTensor {
+public:
+  IndexTensor() = default;
+  static IndexTensor fromVec(std::vector<int64_t> Shape,
+                             std::vector<int64_t> Vals);
+  const std::vector<int64_t> &shape() const;
+  int64_t numel() const;
+  int64_t *data();
+  const int64_t *data() const;
+
+private:
+  struct ImplT;
+  std::shared_ptr<ImplT> Impl;
+};
+
+/// Clears the autograd tape (call between iterations).
+void clearTape();
+
+/// Runs the backward pass from \p Out with a gradient seed of all-ones,
+/// accumulating .grad on every requires-grad leaf (and intermediate).
+void backward(const Tensor &Out);
+
+//===----------------------------------------------------------------------===//
+// Operators. Each launches one instrumented kernel and materializes its
+// output.
+//===----------------------------------------------------------------------===//
+
+Tensor add(const Tensor &A, const Tensor &B);
+Tensor sub(const Tensor &A, const Tensor &B);
+Tensor mul(const Tensor &A, const Tensor &B);
+Tensor scale(const Tensor &A, float K);
+Tensor abs(const Tensor &A);
+Tensor exp(const Tensor &A);
+Tensor relu(const Tensor &A);
+Tensor sigmoid(const Tensor &A);
+
+/// Sum over axis \p Axis (result drops that axis).
+Tensor sumAxis(const Tensor &A, int Axis);
+
+/// Sum of all elements (0-D result), used as a scalar loss.
+Tensor sumAll(const Tensor &A);
+
+/// Row-wise softmax over the last axis of a 2-D tensor.
+Tensor softmaxLast(const Tensor &A);
+
+/// 2-D matrix product.
+Tensor matmul(const Tensor &A, const Tensor &B);
+
+/// out[i, ...] = A[Idx[i], ...]: the gather used by SubdivNet / GAT
+/// (paper Fig. 2 step 1). Out-of-range indices are a programming error.
+Tensor indexSelect0(const Tensor &A, const IndexTensor &Idx);
+
+/// out[Idx[i], ...] += A[i, ...]: scatter-add (GAT aggregation).
+Tensor scatterAdd0(const Tensor &A, const IndexTensor &Idx, int64_t OutRows);
+
+/// Circular shift by \p Shift along axis 1 of a 3-D tensor — the
+/// slice+concat of paper Fig. 2 step 2 (one full copy, like torch.cat).
+Tensor roll1(const Tensor &A, int64_t Shift);
+
+/// [n, d] -> [n, 2W+1, d]: materializes each row's sliding window of
+/// neighbouring rows (zero padded at the boundaries) — the pad +
+/// as_strided copy of paper Fig. 1(b).
+Tensor slidingWindows(const Tensor &A, int64_t W);
+
+/// Batched vector dot: A[n, w, d], B[n, d] -> [n, w].
+Tensor bmvDot(const Tensor &A, const Tensor &B);
+
+/// Batched weighting: P[n, w], V[n, w, d] -> [n, d].
+Tensor bmvWeight(const Tensor &P, const Tensor &V);
+
+/// Fills masked positions (Mask == 0) with \p Value: used for attention
+/// boundary masking. Mask carries no gradient.
+Tensor maskedFill(const Tensor &A, const Tensor &Mask, float Value);
+
+/// Further elementwise / broadcasting operators (SoftRas & GAT baselines).
+Tensor divEw(const Tensor &A, const Tensor &B);
+Tensor minEw(const Tensor &A, const Tensor &B);
+Tensor log(const Tensor &A);
+Tensor addScalar(const Tensor &A, float C);
+
+/// out[i, j] = A[i] - B[j] (a materializing broadcast, like torch's
+/// a[:, None] - b[None, :]).
+Tensor outerSub(const Tensor &A, const Tensor &B);
+
+/// out[i, j] = A[i, j] * V[j] (column broadcast).
+Tensor mulCols(const Tensor &A, const Tensor &V);
+
+/// out[i, j] = A[i, j] * R[i] (row broadcast).
+Tensor mulRows(const Tensor &A, const Tensor &R);
+
+/// Matrix-vector product: A[n, f], V[f] -> [n].
+Tensor mv(const Tensor &A, const Tensor &V);
+
+} // namespace eager
+} // namespace ft
+
+#endif // FT_OPFRAMEWORK_EAGER_H

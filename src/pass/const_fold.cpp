@@ -1,0 +1,260 @@
+//===- pass/const_fold.cpp ------------------------------------------------===//
+
+#include "pass/const_fold.h"
+
+#include <cmath>
+
+#include "ir/compare.h"
+#include "math/linear.h"
+
+using namespace ft;
+
+namespace {
+
+struct ConstVal {
+  enum class Tag { Int, Float, Bool } T;
+  int64_t I = 0;
+  double F = 0;
+  bool B = false;
+
+  double asFloat() const { return T == Tag::Int ? double(I) : F; }
+};
+
+std::optional<ConstVal> asConst(const Expr &E) {
+  if (auto I = dyn_cast<IntConstNode>(E))
+    return ConstVal{ConstVal::Tag::Int, I->Val, 0, false};
+  if (auto F = dyn_cast<FloatConstNode>(E))
+    return ConstVal{ConstVal::Tag::Float, 0, F->Val, false};
+  if (auto B = dyn_cast<BoolConstNode>(E))
+    return ConstVal{ConstVal::Tag::Bool, 0, 0, B->Val};
+  return std::nullopt;
+}
+
+Expr fromInt(int64_t V) { return makeIntConst(V); }
+Expr fromFloat(double V) { return makeFloatConst(V); }
+Expr fromBool(bool V) { return makeBoolConst(V); }
+
+bool isIntZero(const Expr &E) {
+  auto I = dyn_cast<IntConstNode>(E);
+  return I != nullptr && I->Val == 0;
+}
+
+bool isZero(const Expr &E) {
+  if (isIntZero(E))
+    return true;
+  auto F = dyn_cast<FloatConstNode>(E);
+  return F != nullptr && F->Val == 0.0;
+}
+
+bool isOne(const Expr &E) {
+  if (auto I = dyn_cast<IntConstNode>(E))
+    return I->Val == 1;
+  auto F = dyn_cast<FloatConstNode>(E);
+  return F != nullptr && F->Val == 1.0;
+}
+
+Expr foldBinary(BinOpKind Op, const Expr &L, const Expr &R) {
+  auto CL = asConst(L), CR = asConst(R);
+  bool BothInt = CL && CR && CL->T == ConstVal::Tag::Int &&
+                 CR->T == ConstVal::Tag::Int;
+  bool BothBool = CL && CR && CL->T == ConstVal::Tag::Bool &&
+                  CR->T == ConstVal::Tag::Bool;
+  bool BothNum = CL && CR && CL->T != ConstVal::Tag::Bool &&
+                 CR->T != ConstVal::Tag::Bool;
+
+  switch (Op) {
+  case BinOpKind::Add:
+    if (BothInt)
+      if (auto S = checkedAdd(CL->I, CR->I))
+        return fromInt(*S);
+    if (BothNum && !BothInt)
+      return fromFloat(CL->asFloat() + CR->asFloat());
+    if (isZero(L))
+      return R;
+    if (isZero(R))
+      return L;
+    break;
+  case BinOpKind::Sub:
+    if (BothInt)
+      if (auto S = checkedAdd(CL->I, -CR->I))
+        return fromInt(*S);
+    if (BothNum && !BothInt)
+      return fromFloat(CL->asFloat() - CR->asFloat());
+    if (isZero(R))
+      return L;
+    break;
+  case BinOpKind::Mul:
+    if (BothInt)
+      if (auto P = checkedMul(CL->I, CR->I))
+        return fromInt(*P);
+    if (BothNum && !BothInt)
+      return fromFloat(CL->asFloat() * CR->asFloat());
+    if (isOne(L))
+      return R;
+    if (isOne(R))
+      return L;
+    // x * 0 folds only for integers: float multiplication by zero must keep
+    // NaN/Inf semantics.
+    if ((isIntZero(L) && isInt(dataTypeOf(R))) ||
+        (isIntZero(R) && isInt(dataTypeOf(L))))
+      return fromInt(0);
+    break;
+  case BinOpKind::RealDiv:
+    if (BothNum && CR->asFloat() != 0.0)
+      return fromFloat(CL->asFloat() / CR->asFloat());
+    break;
+  case BinOpKind::FloorDiv:
+    if (BothInt && CR->I != 0)
+      return fromInt(floorDiv64(CL->I, CR->I));
+    if (isOne(R))
+      return L;
+    break;
+  case BinOpKind::Mod:
+    if (BothInt && CR->I != 0)
+      return fromInt(mod64(CL->I, CR->I));
+    if (isOne(R))
+      return fromInt(0);
+    break;
+  case BinOpKind::Min:
+    if (BothInt)
+      return fromInt(std::min(CL->I, CR->I));
+    if (BothNum && !BothInt)
+      return fromFloat(std::min(CL->asFloat(), CR->asFloat()));
+    if (deepEqual(L, R))
+      return L;
+    break;
+  case BinOpKind::Max:
+    if (BothInt)
+      return fromInt(std::max(CL->I, CR->I));
+    if (BothNum && !BothInt)
+      return fromFloat(std::max(CL->asFloat(), CR->asFloat()));
+    if (deepEqual(L, R))
+      return L;
+    break;
+  case BinOpKind::LT:
+    if (BothNum)
+      return fromBool(BothInt ? CL->I < CR->I
+                              : CL->asFloat() < CR->asFloat());
+    break;
+  case BinOpKind::LE:
+    if (BothNum)
+      return fromBool(BothInt ? CL->I <= CR->I
+                              : CL->asFloat() <= CR->asFloat());
+    break;
+  case BinOpKind::GT:
+    if (BothNum)
+      return fromBool(BothInt ? CL->I > CR->I
+                              : CL->asFloat() > CR->asFloat());
+    break;
+  case BinOpKind::GE:
+    if (BothNum)
+      return fromBool(BothInt ? CL->I >= CR->I
+                              : CL->asFloat() >= CR->asFloat());
+    break;
+  case BinOpKind::EQ:
+    if (BothNum)
+      return fromBool(BothInt ? CL->I == CR->I
+                              : CL->asFloat() == CR->asFloat());
+    break;
+  case BinOpKind::NE:
+    if (BothNum)
+      return fromBool(BothInt ? CL->I != CR->I
+                              : CL->asFloat() != CR->asFloat());
+    break;
+  case BinOpKind::LAnd:
+    if (BothBool)
+      return fromBool(CL->B && CR->B);
+    if (CL && CL->T == ConstVal::Tag::Bool)
+      return CL->B ? R : fromBool(false);
+    if (CR && CR->T == ConstVal::Tag::Bool)
+      return CR->B ? L : fromBool(false);
+    break;
+  case BinOpKind::LOr:
+    if (BothBool)
+      return fromBool(CL->B || CR->B);
+    if (CL && CL->T == ConstVal::Tag::Bool)
+      return CL->B ? fromBool(true) : R;
+    if (CR && CR->T == ConstVal::Tag::Bool)
+      return CR->B ? fromBool(true) : L;
+    break;
+  }
+  return makeBinary(Op, L, R);
+}
+
+Expr foldUnary(UnOpKind Op, const Expr &X) {
+  auto C = asConst(X);
+  if (C) {
+    switch (Op) {
+    case UnOpKind::Neg:
+      if (C->T == ConstVal::Tag::Int)
+        return fromInt(-C->I);
+      if (C->T == ConstVal::Tag::Float)
+        return fromFloat(-C->F);
+      break;
+    case UnOpKind::LNot:
+      if (C->T == ConstVal::Tag::Bool)
+        return fromBool(!C->B);
+      break;
+    case UnOpKind::Abs:
+      if (C->T == ConstVal::Tag::Int)
+        return fromInt(C->I < 0 ? -C->I : C->I);
+      if (C->T == ConstVal::Tag::Float)
+        return fromFloat(std::fabs(C->F));
+      break;
+    case UnOpKind::Sqrt:
+      if (C->T != ConstVal::Tag::Bool)
+        return fromFloat(std::sqrt(C->asFloat()));
+      break;
+    case UnOpKind::Exp:
+      if (C->T != ConstVal::Tag::Bool)
+        return fromFloat(std::exp(C->asFloat()));
+      break;
+    case UnOpKind::Ln:
+      if (C->T != ConstVal::Tag::Bool)
+        return fromFloat(std::log(C->asFloat()));
+      break;
+    default:
+      break;
+    }
+  }
+  return makeUnary(Op, X);
+}
+
+class ConstFolder : public Mutator {
+protected:
+  Expr visit(const BinaryNode *E) override {
+    return foldBinary(E->Op, (*this)(E->LHS), (*this)(E->RHS));
+  }
+
+  Expr visit(const UnaryNode *E) override {
+    return foldUnary(E->Op, (*this)(E->Operand));
+  }
+
+  Expr visit(const IfExprNode *E) override {
+    Expr Cond = (*this)(E->Cond);
+    if (auto B = dyn_cast<BoolConstNode>(Cond))
+      return B->Val ? (*this)(E->Then) : (*this)(E->Else);
+    return makeIfExpr(Cond, (*this)(E->Then), (*this)(E->Else));
+  }
+
+  Expr visit(const CastNode *E) override {
+    Expr X = (*this)(E->Operand);
+    if (auto C = asConst(X)) {
+      if (isInt(E->Dtype) && C->T == ConstVal::Tag::Float)
+        return fromInt(static_cast<int64_t>(C->F));
+      if (isInt(E->Dtype) && C->T == ConstVal::Tag::Int)
+        return X;
+      if (isFloat(E->Dtype) && C->T != ConstVal::Tag::Bool)
+        return fromFloat(C->asFloat());
+    }
+    if (dataTypeOf(X) == E->Dtype)
+      return X;
+    return makeCast(E->Dtype, X);
+  }
+};
+
+} // namespace
+
+Expr ft::constFold(const Expr &E) { return ConstFolder()(E); }
+
+Stmt ft::constFold(const Stmt &S) { return ConstFolder()(S); }

@@ -1,0 +1,26 @@
+//===- pass/const_fold.h - Constant folding ----------------------*- C++ -*-===//
+///
+/// \file
+/// Folds constant subexpressions and algebraic identities (x+0, x*1, x*0
+/// for integers, true&&x, ...). Together with the bound-driven simplifier
+/// this implements the IR half of the paper's partial evaluation (§4.1) and
+/// the "simplification on mathematical expressions" of §4.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_PASS_CONST_FOLD_H
+#define FT_PASS_CONST_FOLD_H
+
+#include "ir/mutator.h"
+
+namespace ft {
+
+/// Folds constants in an expression.
+Expr constFold(const Expr &E);
+
+/// Folds constants everywhere in a statement tree.
+Stmt constFold(const Stmt &S);
+
+} // namespace ft
+
+#endif // FT_PASS_CONST_FOLD_H

@@ -1,0 +1,69 @@
+//===- pass/flatten.cpp ---------------------------------------------------===//
+
+#include "pass/flatten.h"
+
+using namespace ft;
+
+bool ft::isEmptyStmt(const Stmt &S) {
+  auto Seq = dyn_cast<StmtSeqNode>(S);
+  return Seq != nullptr && Seq->Stmts.empty();
+}
+
+namespace {
+
+class Flattener : public Mutator {
+protected:
+  Stmt visit(const StmtSeqNode *S) override {
+    std::vector<Stmt> Out;
+    for (const Stmt &Sub : S->Stmts) {
+      Stmt M = (*this)(Sub);
+      if (isEmptyStmt(M))
+        continue;
+      if (auto Inner = dyn_cast<StmtSeqNode>(M)) {
+        // Keep labeled sequences intact so they stay addressable.
+        if (Inner->Label.empty()) {
+          Out.insert(Out.end(), Inner->Stmts.begin(), Inner->Stmts.end());
+          continue;
+        }
+      }
+      Out.push_back(std::move(M));
+    }
+    if (Out.size() == 1 && S->Label.empty())
+      return Out[0];
+    return makeStmtSeq(std::move(Out), S->Id);
+  }
+
+  Stmt visit(const IfNode *S) override {
+    Stmt M = Mutator::visit(S);
+    auto I = cast<IfNode>(M);
+    if (I->Else && isEmptyStmt(I->Else))
+      return isEmptyStmt(I->Then)
+                 ? makeStmtSeq({}, I->Id)
+                 : makeIf(I->Cond, I->Then, nullptr, I->Id);
+    if (isEmptyStmt(I->Then) && !I->Else)
+      return makeStmtSeq({}, I->Id);
+    if (isEmptyStmt(I->Then) && I->Else)
+      return makeIf(makeLNot(I->Cond), I->Else, nullptr, I->Id);
+    return M;
+  }
+
+  Stmt visit(const ForNode *S) override {
+    Stmt M = Mutator::visit(S);
+    auto F = cast<ForNode>(M);
+    if (isEmptyStmt(F->Body))
+      return makeStmtSeq({}, F->Id);
+    return M;
+  }
+
+  Stmt visit(const VarDefNode *S) override {
+    Stmt M = Mutator::visit(S);
+    auto D = cast<VarDefNode>(M);
+    if (isEmptyStmt(D->Body) && D->ATy == AccessType::Cache)
+      return makeStmtSeq({}, D->Id);
+    return M;
+  }
+};
+
+} // namespace
+
+Stmt ft::flattenStmtSeq(const Stmt &S) { return Flattener()(S); }

@@ -1,0 +1,25 @@
+//===- pass/flatten.h - Statement-sequence normalization ---------*- C++ -*-===//
+///
+/// \file
+/// Flattens nested StmtSeq nodes, drops empty sequences and empty branches,
+/// and unwraps single-statement sequences. Run after most transformations
+/// to keep the tree canonical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_PASS_FLATTEN_H
+#define FT_PASS_FLATTEN_H
+
+#include "ir/mutator.h"
+
+namespace ft {
+
+/// Returns true if \p S is an empty statement (an empty StmtSeq).
+bool isEmptyStmt(const Stmt &S);
+
+/// Normalizes statement sequences as described in the file comment.
+Stmt flattenStmtSeq(const Stmt &S);
+
+} // namespace ft
+
+#endif // FT_PASS_FLATTEN_H

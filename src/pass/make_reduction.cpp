@@ -1,0 +1,94 @@
+//===- pass/make_reduction.cpp --------------------------------------------===//
+
+#include "pass/make_reduction.h"
+
+#include "ir/compare.h"
+#include "pass/replace.h"
+
+using namespace ft;
+
+namespace {
+
+bool sameAccess(const StoreNode *S, const Expr &E) {
+  auto L = dyn_cast<LoadNode>(E);
+  if (!L || L->Var != S->Var || L->Indices.size() != S->Indices.size())
+    return false;
+  for (size_t I = 0; I < L->Indices.size(); ++I)
+    if (!deepEqual(L->Indices[I], S->Indices[I]))
+      return false;
+  return true;
+}
+
+/// Returns true if \p E contains any access to tensor \p Var.
+bool readsVar(const Expr &E, const std::string &Var) {
+  switch (E->kind()) {
+  case NodeKind::Load: {
+    auto L = cast<LoadNode>(E);
+    if (L->Var == Var)
+      return true;
+    for (const Expr &I : L->Indices)
+      if (readsVar(I, Var))
+        return true;
+    return false;
+  }
+  case NodeKind::Binary: {
+    auto B = cast<BinaryNode>(E);
+    return readsVar(B->LHS, Var) || readsVar(B->RHS, Var);
+  }
+  case NodeKind::Unary:
+    return readsVar(cast<UnaryNode>(E)->Operand, Var);
+  case NodeKind::IfExpr: {
+    auto IE = cast<IfExprNode>(E);
+    return readsVar(IE->Cond, Var) || readsVar(IE->Then, Var) ||
+           readsVar(IE->Else, Var);
+  }
+  case NodeKind::Cast:
+    return readsVar(cast<CastNode>(E)->Operand, Var);
+  default:
+    return false;
+  }
+}
+
+class ReductionMaker : public Mutator {
+protected:
+  Stmt visit(const StoreNode *S) override {
+    Stmt M = Mutator::visit(S);
+    auto St = cast<StoreNode>(M);
+    auto B = dyn_cast<BinaryNode>(St->Value);
+    if (!B)
+      return M;
+    ReduceOpKind Op;
+    switch (B->Op) {
+    case BinOpKind::Add:
+      Op = ReduceOpKind::Add;
+      break;
+    case BinOpKind::Mul:
+      Op = ReduceOpKind::Mul;
+      break;
+    case BinOpKind::Min:
+      Op = ReduceOpKind::Min;
+      break;
+    case BinOpKind::Max:
+      Op = ReduceOpKind::Max;
+      break;
+    case BinOpKind::Sub:
+      // a[i] = a[i] - e  ->  a[i] += -e.
+      if (sameAccess(St.get(), B->LHS) && !readsVar(B->RHS, St->Var))
+        return makeReduceTo(St->Var, St->Indices, ReduceOpKind::Add,
+                            makeUnary(UnOpKind::Neg, B->RHS), St->Id);
+      return M;
+    default:
+      return M;
+    }
+    // The target must appear as exactly one side and nowhere else.
+    if (sameAccess(St.get(), B->LHS) && !readsVar(B->RHS, St->Var))
+      return makeReduceTo(St->Var, St->Indices, Op, B->RHS, St->Id);
+    if (sameAccess(St.get(), B->RHS) && !readsVar(B->LHS, St->Var))
+      return makeReduceTo(St->Var, St->Indices, Op, B->LHS, St->Id);
+    return M;
+  }
+};
+
+} // namespace
+
+Stmt ft::makeReduction(const Stmt &S) { return ReductionMaker()(S); }

@@ -1,0 +1,23 @@
+//===- pass/make_reduction.h - Recognize reductions --------------*- C++ -*-===//
+///
+/// \file
+/// Rewrites `a[i] = a[i] op e` stores into ReduceTo nodes (paper §4.2.1:
+/// "FreeTensor introduces a ReduceTo node to process any a=a+b like
+/// statements"), unlocking the commutativity exemptions in dependence
+/// analysis and parallel reductions / atomics in codegen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_PASS_MAKE_REDUCTION_H
+#define FT_PASS_MAKE_REDUCTION_H
+
+#include "ir/mutator.h"
+
+namespace ft {
+
+/// Converts eligible Stores into ReduceTo statements.
+Stmt makeReduction(const Stmt &S);
+
+} // namespace ft
+
+#endif // FT_PASS_MAKE_REDUCTION_H

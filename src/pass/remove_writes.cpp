@@ -1,0 +1,61 @@
+//===- pass/remove_writes.cpp ---------------------------------------------===//
+
+#include "pass/remove_writes.h"
+
+#include "pass/flatten.h"
+#include "pass/replace.h"
+
+using namespace ft;
+
+namespace {
+
+/// Deletes all Store/ReduceTo statements targeting \p Var.
+class WriteEraser : public Mutator {
+public:
+  explicit WriteEraser(std::string Var) : Var(std::move(Var)) {}
+
+protected:
+  Stmt visit(const StoreNode *S) override {
+    if (S->Var == Var)
+      return makeStmtSeq({});
+    return Mutator::visit(S);
+  }
+  Stmt visit(const ReduceToNode *S) override {
+    if (S->Var == Var)
+      return makeStmtSeq({});
+    return Mutator::visit(S);
+  }
+
+private:
+  std::string Var;
+};
+
+/// One round: unwrap dead Cache VarDefs and erase writes to them.
+class DeadDefRemover : public Mutator {
+public:
+  bool Changed = false;
+
+protected:
+  Stmt visit(const VarDefNode *S) override {
+    if (S->ATy == AccessType::Cache && !isTensorRead(S->Body, S->Name)) {
+      Changed = true;
+      Stmt Body = WriteEraser(S->Name)(S->Body);
+      return (*this)(Body);
+    }
+    return Mutator::visit(S);
+  }
+};
+
+} // namespace
+
+Stmt ft::removeDeadWrites(const Stmt &S) {
+  Stmt Cur = S;
+  for (int Round = 0; Round < 16; ++Round) {
+    DeadDefRemover R;
+    Stmt Next = flattenStmtSeq(R(Cur));
+    Cur = Next;
+    if (!R.Changed)
+      break;
+  }
+  return Cur;
+}

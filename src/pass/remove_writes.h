@@ -1,0 +1,23 @@
+//===- pass/remove_writes.h - Dead write & dead tensor removal ---*- C++ -*-===//
+///
+/// \file
+/// Removes Cache tensors that are never read together with all writes to
+/// them, iterating to a fixed point (a removed write may make another
+/// tensor dead). Part of the §4.3 cleanup ("merging or removing redundant
+/// memory access").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_PASS_REMOVE_WRITES_H
+#define FT_PASS_REMOVE_WRITES_H
+
+#include "ir/mutator.h"
+
+namespace ft {
+
+/// Removes dead Cache tensors and their writes.
+Stmt removeDeadWrites(const Stmt &S);
+
+} // namespace ft
+
+#endif // FT_PASS_REMOVE_WRITES_H

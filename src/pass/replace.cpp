@@ -1,0 +1,310 @@
+//===- pass/replace.cpp ---------------------------------------------------===//
+
+#include "pass/replace.h"
+
+#include "ir/visitor.h"
+
+using namespace ft;
+
+namespace {
+
+class IterSubst : public Mutator {
+public:
+  IterSubst(std::string Name, Expr Repl)
+      : Name(std::move(Name)), Repl(std::move(Repl)) {}
+
+protected:
+  Expr visit(const VarNode *E) override {
+    if (E->Name == Name)
+      return Repl;
+    return Mutator::visit(E);
+  }
+
+private:
+  std::string Name;
+  Expr Repl;
+};
+
+class TensorRename : public Mutator {
+public:
+  TensorRename(std::string From, std::string To)
+      : From(std::move(From)), To(std::move(To)) {}
+
+protected:
+  Expr visit(const LoadNode *E) override {
+    Expr Out = Mutator::visit(E);
+    auto L = cast<LoadNode>(Out);
+    if (L->Var == From)
+      return makeLoad(To, L->Indices, L->Dtype);
+    return Out;
+  }
+
+  Stmt visit(const StoreNode *S) override {
+    Stmt Out = Mutator::visit(S);
+    auto St = cast<StoreNode>(Out);
+    if (St->Var == From)
+      return makeStore(To, St->Indices, St->Value, St->Id);
+    return Out;
+  }
+
+  Stmt visit(const ReduceToNode *S) override {
+    Stmt Out = Mutator::visit(S);
+    auto R = cast<ReduceToNode>(Out);
+    if (R->Var == From) {
+      Stmt New = makeReduceTo(To, R->Indices, R->Op, R->Value, R->Id);
+      cast<ReduceToNode>(New)->Atomic = R->Atomic;
+      return New;
+    }
+    return Out;
+  }
+
+  Stmt visit(const GemmCallNode *S) override {
+    Stmt Out = Mutator::visit(S);
+    auto G = cast<GemmCallNode>(Out);
+    auto Sub = [&](const std::string &V) { return V == From ? To : V; };
+    if (G->A == From || G->B == From || G->C == From)
+      return makeGemmCall(Sub(G->A), Sub(G->B), Sub(G->C), G->M, G->N, G->K,
+                          G->TransA, G->TransB, G->Dtype, G->Id);
+    return Out;
+  }
+
+private:
+  std::string From, To;
+};
+
+class IndexRemapper : public Mutator {
+public:
+  IndexRemapper(std::string Var, IndexRemapFn Remap)
+      : Var(std::move(Var)), Remap(std::move(Remap)) {}
+
+protected:
+  Expr visit(const LoadNode *E) override {
+    Expr Out = Mutator::visit(E);
+    auto L = cast<LoadNode>(Out);
+    if (L->Var == Var)
+      return makeLoad(L->Var, Remap(L->Indices), L->Dtype);
+    return Out;
+  }
+
+  Stmt visit(const StoreNode *S) override {
+    Stmt Out = Mutator::visit(S);
+    auto St = cast<StoreNode>(Out);
+    if (St->Var == Var)
+      return makeStore(St->Var, Remap(St->Indices), St->Value, St->Id);
+    return Out;
+  }
+
+  Stmt visit(const ReduceToNode *S) override {
+    Stmt Out = Mutator::visit(S);
+    auto R = cast<ReduceToNode>(Out);
+    if (R->Var == Var) {
+      Stmt New = makeReduceTo(R->Var, Remap(R->Indices), R->Op, R->Value,
+                              R->Id);
+      cast<ReduceToNode>(New)->Atomic = R->Atomic;
+      return New;
+    }
+    return Out;
+  }
+
+private:
+  std::string Var;
+  IndexRemapFn Remap;
+};
+
+class UsageChecker : public Visitor {
+public:
+  UsageChecker(std::string Var, bool ReadsOnly)
+      : Var(std::move(Var)), ReadsOnly(ReadsOnly) {}
+
+  bool Used = false;
+
+protected:
+  void visit(const LoadNode *E) override {
+    if (E->Var == Var)
+      Used = true;
+    Visitor::visit(E);
+  }
+  void visit(const StoreNode *S) override {
+    if (!ReadsOnly && S->Var == Var)
+      Used = true;
+    Visitor::visit(S);
+  }
+  void visit(const ReduceToNode *S) override {
+    if (!ReadsOnly && S->Var == Var)
+      Used = true;
+    Visitor::visit(S);
+  }
+  void visit(const GemmCallNode *S) override {
+    if (S->A == Var || S->B == Var)
+      Used = true;
+    if (!ReadsOnly && S->C == Var)
+      Used = true;
+    Visitor::visit(S);
+  }
+
+private:
+  std::string Var;
+  bool ReadsOnly;
+};
+
+class IterUseChecker : public Visitor {
+public:
+  explicit IterUseChecker(std::string Name) : Name(std::move(Name)) {}
+
+  bool Used = false;
+
+protected:
+  void visit(const VarNode *E) override {
+    if (E->Name == Name)
+      Used = true;
+  }
+
+private:
+  std::string Name;
+};
+
+} // namespace
+
+Stmt ft::substituteIter(const Stmt &S, const std::string &Name,
+                        const Expr &Repl) {
+  return IterSubst(Name, Repl)(S);
+}
+
+Expr ft::substituteIter(const Expr &E, const std::string &Name,
+                        const Expr &Repl) {
+  return IterSubst(Name, Repl)(E);
+}
+
+Stmt ft::renameTensor(const Stmt &S, const std::string &From,
+                      const std::string &To) {
+  return TensorRename(From, To)(S);
+}
+
+Stmt ft::remapIndices(const Stmt &S, const std::string &Var,
+                      const IndexRemapFn &Remap) {
+  return IndexRemapper(Var, Remap)(S);
+}
+
+bool ft::isTensorUsed(const Stmt &S, const std::string &Var) {
+  UsageChecker C(Var, /*ReadsOnly=*/false);
+  C(S);
+  return C.Used;
+}
+
+bool ft::isTensorRead(const Stmt &S, const std::string &Var) {
+  UsageChecker C(Var, /*ReadsOnly=*/true);
+  C(S);
+  return C.Used;
+}
+
+bool ft::isIterUsed(const Stmt &S, const std::string &Name) {
+  IterUseChecker C(Name);
+  C(S);
+  return C.Used;
+}
+
+namespace {
+
+/// Rebuilds every statement with a fresh ID (labels dropped to keep them
+/// unique program-wide).
+class IdRefresher : public Mutator {
+protected:
+  Stmt visit(const StmtSeqNode *S) override {
+    std::vector<Stmt> Stmts;
+    for (const Stmt &Sub : S->Stmts)
+      Stmts.push_back((*this)(Sub));
+    return makeStmtSeq(std::move(Stmts));
+  }
+  Stmt visit(const VarDefNode *S) override {
+    Stmt Out = makeVarDef(S->Name, S->Info, S->ATy, S->MTy, (*this)(S->Body));
+    cast<VarDefNode>(Out)->NoGrad = S->NoGrad;
+    return Out;
+  }
+  Stmt visit(const StoreNode *S) override {
+    return makeStore(S->Var, mutateIndices(S->Indices), (*this)(S->Value));
+  }
+  Stmt visit(const ReduceToNode *S) override {
+    Stmt Out =
+        makeReduceTo(S->Var, mutateIndices(S->Indices), S->Op,
+                     (*this)(S->Value));
+    cast<ReduceToNode>(Out)->Atomic = S->Atomic;
+    return Out;
+  }
+  Stmt visit(const ForNode *S) override {
+    return makeFor(S->Iter, (*this)(S->Begin), (*this)(S->End), S->Property,
+                   (*this)(S->Body));
+  }
+  Stmt visit(const IfNode *S) override {
+    return makeIf((*this)(S->Cond), (*this)(S->Then),
+                  S->Else ? (*this)(S->Else) : nullptr);
+  }
+  Stmt visit(const GemmCallNode *S) override {
+    return makeGemmCall(S->A, S->B, S->C, (*this)(S->M), (*this)(S->N),
+                        (*this)(S->K), S->TransA, S->TransB, S->Dtype);
+  }
+};
+
+/// Clears labels in place. Safe: copyWithFreshIds rebuilt every node.
+void clearLabels(const Stmt &S) {
+  S->Label.clear();
+  switch (S->kind()) {
+  case NodeKind::StmtSeq:
+    for (const Stmt &Sub : cast<StmtSeqNode>(S)->Stmts)
+      clearLabels(Sub);
+    return;
+  case NodeKind::VarDef:
+    return clearLabels(cast<VarDefNode>(S)->Body);
+  case NodeKind::For:
+    return clearLabels(cast<ForNode>(S)->Body);
+  case NodeKind::If: {
+    auto I = cast<IfNode>(S);
+    clearLabels(I->Then);
+    if (I->Else)
+      clearLabels(I->Else);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+Stmt ft::copyWithFreshIds(const Stmt &S) {
+  Stmt Out = IdRefresher()(S);
+  clearLabels(Out);
+  return Out;
+}
+
+namespace {
+
+class StmtReplacer : public Mutator {
+public:
+  StmtReplacer(int64_t Id, Stmt Repl) : Id(Id), Repl(std::move(Repl)) {}
+
+  bool Found = false;
+
+  using Mutator::operator();
+
+  Stmt operator()(const Stmt &S) override {
+    if (S->Id == Id) {
+      ftAssert(!Found, "duplicate statement ID in replaceStmt");
+      Found = true;
+      return Repl;
+    }
+    return Mutator::operator()(S);
+  }
+
+private:
+  int64_t Id;
+  Stmt Repl;
+};
+
+} // namespace
+
+Stmt ft::replaceStmt(const Stmt &Root, int64_t Id, const Stmt &Repl) {
+  StmtReplacer R(Id, Repl);
+  Stmt Out = R(Root);
+  ftAssert(R.Found, "replaceStmt: statement ID not found");
+  return Out;
+}

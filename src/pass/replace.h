@@ -1,0 +1,59 @@
+//===- pass/replace.h - Substitution utilities -------------------*- C++ -*-===//
+///
+/// \file
+/// Small rebuilding utilities shared by schedules and passes: substituting
+/// a loop iterator by an expression, renaming tensor accesses, and
+/// remapping access indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_PASS_REPLACE_H
+#define FT_PASS_REPLACE_H
+
+#include <functional>
+
+#include "ir/mutator.h"
+
+namespace ft {
+
+/// Replaces every Var named \p Name with \p Repl.
+Stmt substituteIter(const Stmt &S, const std::string &Name, const Expr &Repl);
+Expr substituteIter(const Expr &E, const std::string &Name, const Expr &Repl);
+
+/// Renames every access (Load/Store/ReduceTo/GemmCall operand) of tensor
+/// \p From to \p To.
+Stmt renameTensor(const Stmt &S, const std::string &From,
+                  const std::string &To);
+
+/// Rewrites the index lists of all accesses to tensor \p Var through
+/// \p Remap (given the old indices, returns the new ones). Used by the
+/// memory-layout schedules (var_split / var_reorder / var_merge) and by
+/// cache.
+using IndexRemapFn =
+    std::function<std::vector<Expr>(const std::vector<Expr> &)>;
+Stmt remapIndices(const Stmt &S, const std::string &Var,
+                  const IndexRemapFn &Remap);
+
+/// Returns true if tensor \p Var is accessed (loaded, stored, reduced, or
+/// used by a GemmCall) anywhere in \p S.
+bool isTensorUsed(const Stmt &S, const std::string &Var);
+
+/// Returns true if tensor \p Var is read (Load or GemmCall input) in \p S.
+bool isTensorRead(const Stmt &S, const std::string &Var);
+
+/// Returns true if the iterator \p Name occurs as a Var in \p S.
+bool isIterUsed(const Stmt &S, const std::string &Name);
+
+/// Deep-copies \p S giving every statement a fresh ID (used when a
+/// transformation duplicates a subtree, e.g. unroll or separate_tail, so
+/// statement IDs stay unique within the program).
+Stmt copyWithFreshIds(const Stmt &S);
+
+/// Returns \p Root with the statement whose ID is \p Id replaced by
+/// \p Repl (which may be an empty StmtSeq to delete it). Asserts the ID
+/// exists.
+Stmt replaceStmt(const Stmt &Root, int64_t Id, const Stmt &Repl);
+
+} // namespace ft
+
+#endif // FT_PASS_REPLACE_H

@@ -1,0 +1,155 @@
+//===- pass/scalar_prop.cpp -----------------------------------------------===//
+
+#include "pass/scalar_prop.h"
+
+#include <functional>
+#include <optional>
+
+#include "analysis/access.h"
+#include "pass/flatten.h"
+#include "pass/remove_writes.h"
+#include "pass/replace.h"
+
+using namespace ft;
+
+namespace {
+
+/// One propagation opportunity.
+struct Candidate {
+  std::string Var;
+  int64_t StoreId = -1;
+  Expr Value;
+};
+
+/// Finds a propagatable scalar inside \p Def's body, or nullopt.
+std::optional<Candidate> findCandidate(const Ref<VarDefNode> &Def) {
+  if (Def->ATy != AccessType::Cache || !Def->Info.Shape.empty())
+    return std::nullopt;
+  AccessCollection AC = collectAccesses(Def->Body);
+
+  const AccessPoint *Write = nullptr, *Read = nullptr;
+  for (const AccessPoint &P : AC.Points) {
+    if (P.Var != Def->Name)
+      continue;
+    if (P.Kind == AccessKind::Reduce)
+      return std::nullopt;
+    if (P.Kind == AccessKind::Write) {
+      if (Write)
+        return std::nullopt; // More than one write.
+      Write = &P;
+    } else {
+      if (Read)
+        return std::nullopt; // More than one read.
+      Read = &P;
+    }
+  }
+  if (!Write || !Read || Read->Seq < Write->Seq)
+    return std::nullopt;
+  // The store must be unconditional and not inside a loop of the body, so
+  // its RHS is evaluated once per instantiation and its iterators are in
+  // scope at the read site.
+  if (!Write->Loops.empty() || !Write->Conds.empty())
+    return std::nullopt;
+
+  Stmt StoreStmt = findStmt(Def->Body, Write->StmtId);
+  auto St = dyn_cast<StoreNode>(StoreStmt);
+  if (!St)
+    return std::nullopt;
+
+  // Interference: none of the RHS's operand tensors may be written inside
+  // the body (so re-evaluating the RHS at the read site sees the same
+  // values), and the RHS must not read the scalar itself.
+  std::vector<std::string> Operands;
+  std::function<void(const Expr &)> Gather = [&](const Expr &E) {
+    if (auto L = dyn_cast<LoadNode>(E)) {
+      Operands.push_back(L->Var);
+      for (const Expr &I : L->Indices)
+        Gather(I);
+      return;
+    }
+    if (auto B = dyn_cast<BinaryNode>(E)) {
+      Gather(B->LHS);
+      Gather(B->RHS);
+      return;
+    }
+    if (auto U = dyn_cast<UnaryNode>(E))
+      return Gather(U->Operand);
+    if (auto C = dyn_cast<CastNode>(E))
+      return Gather(C->Operand);
+    if (auto IE = dyn_cast<IfExprNode>(E)) {
+      Gather(IE->Cond);
+      Gather(IE->Then);
+      Gather(IE->Else);
+    }
+  };
+  Gather(St->Value);
+  for (const std::string &Op : Operands) {
+    if (Op == Def->Name)
+      return std::nullopt;
+    for (const AccessPoint &P : AC.Points)
+      if (P.Var == Op && P.Kind != AccessKind::Read)
+        return std::nullopt;
+  }
+  return Candidate{Def->Name, St->Id, St->Value};
+}
+
+/// Substitutes the (single) Load of Var by Value and deletes the store.
+class Propagator : public Mutator {
+public:
+  explicit Propagator(Candidate C) : C(std::move(C)) {}
+
+  using Mutator::operator();
+  Stmt operator()(const Stmt &S) override {
+    if (S->Id == C.StoreId)
+      return makeStmtSeq({});
+    return Mutator::operator()(S);
+  }
+
+protected:
+  Expr visit(const LoadNode *E) override {
+    if (E->Var == C.Var)
+      return C.Value;
+    return Mutator::visit(E);
+  }
+
+private:
+  Candidate C;
+};
+
+/// Walks the tree looking for one candidate; applies it; reports success.
+class OneRound : public Mutator {
+public:
+  bool Changed = false;
+
+protected:
+  Stmt visit(const VarDefNode *S) override {
+    if (!Changed) {
+      // Re-wrap to get a shared handle for analysis.
+      Stmt Self = makeVarDef(S->Name, S->Info, S->ATy, S->MTy, S->Body,
+                             S->Id);
+      if (auto C = findCandidate(cast<VarDefNode>(Self))) {
+        Changed = true;
+        Stmt NewBody = Propagator(*C)(S->Body);
+        Stmt Out =
+            makeVarDef(S->Name, S->Info, S->ATy, S->MTy, NewBody, S->Id);
+        cast<VarDefNode>(Out)->NoGrad = S->NoGrad;
+        return Out;
+      }
+    }
+    return Mutator::visit(S);
+  }
+};
+
+} // namespace
+
+Stmt ft::propagateScalars(const Stmt &S) {
+  Stmt Cur = S;
+  for (int Round = 0; Round < 32; ++Round) {
+    OneRound R;
+    Stmt Next = R(Cur);
+    Cur = std::move(Next);
+    if (!R.Changed)
+      break;
+  }
+  return removeDeadWrites(flattenStmtSeq(Cur));
+}

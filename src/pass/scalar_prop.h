@@ -1,0 +1,25 @@
+//===- pass/scalar_prop.h - Single-use scalar propagation --------*- C++ -*-===//
+///
+/// \file
+/// Forward-substitutes Cache scalars that are written exactly once and
+/// read exactly once with no interfering writes in between — the
+/// "merging or removing redundant memory access" cleanup of paper §4.3.
+/// Typical target: the `d` temporary of `d = a - b; y += |d|` after
+/// inlining libop calls, which folds back into `y += |a - b|`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_PASS_SCALAR_PROP_H
+#define FT_PASS_SCALAR_PROP_H
+
+#include "ir/mutator.h"
+
+namespace ft {
+
+/// Propagates single-write single-read Cache scalars; runs
+/// removeDeadWrites afterwards so the emptied temporaries disappear.
+Stmt propagateScalars(const Stmt &S);
+
+} // namespace ft
+
+#endif // FT_PASS_SCALAR_PROP_H

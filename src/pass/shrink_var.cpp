@@ -1,0 +1,140 @@
+//===- pass/shrink_var.cpp ------------------------------------------------===//
+
+#include "pass/shrink_var.h"
+
+#include "analysis/access.h"
+#include "analysis/bounds.h"
+#include "ir/compare.h"
+#include "pass/const_fold.h"
+#include "pass/replace.h"
+
+using namespace ft;
+
+namespace {
+
+/// Rebuilds the tree, shrinking Cache VarDefs where provably profitable.
+/// Maintains a ProofContext of the enclosing loop ranges so bounds that
+/// reference outer iterators can still be compared against shapes.
+class Shrinker : public Mutator {
+public:
+  explicit Shrinker(IsParamFn IsParam)
+      : IsParam(IsParam), PC(std::move(IsParam)) {}
+
+  bool Changed = false;
+
+protected:
+  Stmt visit(const ForNode *S) override {
+    PC.pushLoop(S->Iter, S->Begin, S->End);
+    Stmt Out = Mutator::visit(S);
+    PC.popLoop();
+    return Out;
+  }
+
+  Stmt visit(const IfNode *S) override {
+    PC.pushCond(S->Cond, /*Negate=*/false);
+    Stmt Then = (*this)(S->Then);
+    PC.popCond();
+    Stmt Else;
+    if (S->Else) {
+      PC.pushCond(S->Cond, /*Negate=*/true);
+      Else = (*this)(S->Else);
+      PC.popCond();
+    }
+    return makeIf(S->Cond, Then, Else, S->Id);
+  }
+
+  Stmt visit(const VarDefNode *S) override {
+    Stmt Rebuilt = Mutator::visit(S);
+    auto D = cast<VarDefNode>(Rebuilt);
+    if (D->ATy != AccessType::Cache || D->Info.Shape.empty())
+      return Rebuilt;
+    auto Result = tryShrink(D);
+    if (!Result)
+      return Rebuilt;
+    Changed = true;
+    return *Result;
+  }
+
+private:
+  /// Attempts the Fig.-14 bounding-box analysis on \p D.
+  std::optional<Stmt> tryShrink(const Ref<VarDefNode> &D) {
+    AccessCollection AC = collectAccesses(D->Body);
+    size_t NDim = D->Info.Shape.size();
+    std::vector<std::vector<Expr>> Lows(NDim), Highs(NDim);
+    for (const AccessPoint &P : AC.Points) {
+      if (P.Var != D->Name)
+        continue;
+      if (P.WholeTensor || P.Indices.size() != NDim)
+        return std::nullopt;
+      for (size_t Dim = 0; Dim < NDim; ++Dim) {
+        auto Lin = toLinear(P.Indices[Dim], IsParam);
+        if (!Lin)
+          return std::nullopt;
+        std::vector<IterRange> Inner;
+        for (const LoopAxis &L : P.Loops)
+          Inner.push_back({L.Iter, L.Begin, L.End});
+        auto BP = eliminateIters(*Lin, Inner, IsParam);
+        if (!BP)
+          return std::nullopt;
+        Lows[Dim].push_back(linearToExpr(BP->Lower));
+        Highs[Dim].push_back(linearToExpr(BP->Upper));
+      }
+    }
+    if (Lows[0].empty())
+      return std::nullopt; // Unused; removeDeadWrites handles it.
+
+    std::vector<Expr> Lower, Extent;
+    bool AnyTighter = false;
+    for (size_t Dim = 0; Dim < NDim; ++Dim) {
+      Expr Lo = Lows[Dim][0], Hi = Highs[Dim][0];
+      for (size_t I = 1; I < Lows[Dim].size(); ++I) {
+        Lo = makeMin(Lo, Lows[Dim][I]);
+        Hi = makeMax(Hi, Highs[Dim][I]);
+      }
+      Lo = constFold(Lo);
+      Expr Ext = constFold(makeAdd(makeSub(Hi, Lo), makeIntConst(1)));
+      if (auto LinE = toLinear(Ext, IsParam))
+        Ext = linearToExpr(*LinE);
+      // Safety: the box must lie inside the original allocation.
+      if (!PC.provablyTrue(makeGE(Lo, makeIntConst(0))) ||
+          !PC.provablyTrue(makeLE(makeAdd(Lo, Ext), D->Info.Shape[Dim])))
+        return std::nullopt;
+      if (PC.provablyTrue(makeLT(Ext, D->Info.Shape[Dim])))
+        AnyTighter = true;
+      Lower.push_back(Lo);
+      Extent.push_back(Ext);
+    }
+    if (!AnyTighter)
+      return std::nullopt;
+
+    Stmt Body = remapIndices(D->Body, D->Name,
+                             [&](const std::vector<Expr> &Idx) {
+                               std::vector<Expr> Out;
+                               for (size_t Dim = 0; Dim < NDim; ++Dim)
+                                 Out.push_back(constFold(
+                                     makeSub(Idx[Dim], Lower[Dim])));
+                               return Out;
+                             });
+    Stmt Out = makeVarDef(D->Name, TensorInfo{Extent, D->Info.Dtype},
+                          D->ATy, D->MTy, Body, D->Id);
+    cast<VarDefNode>(Out)->NoGrad = D->NoGrad;
+    return Out;
+  }
+
+  IsParamFn IsParam;
+  ProofContext PC;
+};
+
+} // namespace
+
+Stmt ft::shrinkVars(const Stmt &S) {
+  AccessCollection AC = collectAccesses(S);
+  auto Defs = AC.Defs;
+  IsParamFn IsParam = [Defs](const std::string &Name) {
+    auto It = Defs.find(Name);
+    return It != Defs.end() && It->second->ATy == AccessType::Input &&
+           It->second->Info.Shape.empty() && isInt(It->second->Info.Dtype);
+  };
+  Shrinker Sh(IsParam);
+  return constFold(Sh(S));
+}

@@ -1,0 +1,26 @@
+//===- pass/shrink_var.h - Tighten tensor allocations ------------*- C++ -*-===//
+///
+/// \file
+/// Recomputes the bounding box actually accessed for each Cache tensor
+/// (the Fig.-14 bound analysis, applied as a standalone pass) and shrinks
+/// the allocation when it is provably smaller than the declared shape,
+/// remapping all accesses. Useful after transformations that narrow a
+/// tensor's use, and before auto_mem_type decides what fits close to the
+/// processor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_PASS_SHRINK_VAR_H
+#define FT_PASS_SHRINK_VAR_H
+
+#include "ir/mutator.h"
+
+namespace ft {
+
+/// Shrinks all shrinkable Cache tensors. Conservative: tensors with
+/// non-affine accesses or unprovable bounds are left unchanged.
+Stmt shrinkVars(const Stmt &S);
+
+} // namespace ft
+
+#endif // FT_PASS_SHRINK_VAR_H

@@ -1,0 +1,160 @@
+//===- pass/simplify.cpp --------------------------------------------------===//
+
+#include "pass/simplify.h"
+
+#include "analysis/bounds.h"
+#include "ir/compare.h"
+#include "ir/printer.h"
+#include "pass/const_fold.h"
+#include "pass/flatten.h"
+#include "pass/replace.h"
+
+using namespace ft;
+
+namespace {
+
+class Simplifier : public Mutator {
+public:
+  explicit Simplifier(const Stmt &Root)
+      : Defs(), PC(makeIsParam(Root)) {}
+
+private:
+  IsParamFn makeIsParam(const Stmt &Root) {
+    collectDefs(Root);
+    // Copy the map into the closure: the callback outlives local state.
+    auto DefsCopy = Defs;
+    return [DefsCopy](const std::string &Name) {
+      auto It = DefsCopy.find(Name);
+      return It != DefsCopy.end() && It->second->ATy == AccessType::Input &&
+             It->second->Info.Shape.empty() && isInt(It->second->Info.Dtype);
+    };
+  }
+
+  void collectDefs(const Stmt &S) {
+    switch (S->kind()) {
+    case NodeKind::StmtSeq:
+      for (const Stmt &Sub : cast<StmtSeqNode>(S)->Stmts)
+        collectDefs(Sub);
+      return;
+    case NodeKind::VarDef: {
+      auto D = cast<VarDefNode>(S);
+      Defs[D->Name] = D;
+      collectDefs(D->Body);
+      return;
+    }
+    case NodeKind::For:
+      collectDefs(cast<ForNode>(S)->Body);
+      return;
+    case NodeKind::If: {
+      auto I = cast<IfNode>(S);
+      collectDefs(I->Then);
+      if (I->Else)
+        collectDefs(I->Else);
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+protected:
+  Expr visit(const BinaryNode *E) override {
+    Expr M = Mutator::visit(E);
+    auto B = dyn_cast<BinaryNode>(M);
+    if (!B)
+      return M;
+    if (isCompareOp(B->Op)) {
+      if (PC.provablyTrue(M))
+        return makeBoolConst(true);
+      if (PC.provablyFalse(M))
+        return makeBoolConst(false);
+      return M;
+    }
+    if (B->Op == BinOpKind::Min || B->Op == BinOpKind::Max) {
+      Expr LLeR = makeLE(B->LHS, B->RHS);
+      if (PC.provablyTrue(LLeR))
+        return B->Op == BinOpKind::Min ? B->LHS : B->RHS;
+      if (PC.provablyFalse(LLeR))
+        return B->Op == BinOpKind::Min ? B->RHS : B->LHS;
+    }
+    return M;
+  }
+
+  Expr visit(const IfExprNode *E) override {
+    Expr Cond = (*this)(E->Cond);
+    if (PC.provablyTrue(Cond))
+      return (*this)(E->Then);
+    if (PC.provablyFalse(Cond))
+      return (*this)(E->Else);
+    return makeIfExpr(Cond, (*this)(E->Then), (*this)(E->Else));
+  }
+
+  Stmt visit(const ForNode *S) override {
+    Expr Begin = (*this)(S->Begin);
+    Expr End = (*this)(S->End);
+    Expr NonEmpty = makeLT(Begin, End);
+    if (PC.provablyFalse(NonEmpty))
+      return makeStmtSeq({}, S->Id);
+    // Single-iteration loops inline their body with Iter := Begin, which
+    // both removes loop overhead and unlocks further proofs.
+    Expr SingleIter = makeEQ(End, makeAdd(Begin, makeIntConst(1)));
+    if (PC.provablyTrue(SingleIter) && S->Property == ForProperty{}) {
+      Stmt Body = substituteIter(S->Body, S->Iter, Begin);
+      return (*this)(Body);
+    }
+    PC.pushLoop(S->Iter, Begin, End);
+    Stmt Body = (*this)(S->Body);
+    PC.popLoop();
+    return makeFor(S->Iter, Begin, End, S->Property, Body, S->Id);
+  }
+
+  Stmt visit(const IfNode *S) override {
+    Expr Cond = (*this)(S->Cond);
+    if (PC.provablyTrue(Cond)) {
+      PC.pushCond(Cond, /*Negate=*/false);
+      Stmt Then = (*this)(S->Then);
+      PC.popCond();
+      return Then;
+    }
+    if (PC.provablyFalse(Cond)) {
+      if (!S->Else)
+        return makeStmtSeq({}, S->Id);
+      PC.pushCond(Cond, /*Negate=*/true);
+      Stmt Else = (*this)(S->Else);
+      PC.popCond();
+      return Else;
+    }
+    PC.pushCond(Cond, /*Negate=*/false);
+    Stmt Then = (*this)(S->Then);
+    PC.popCond();
+    Stmt Else;
+    if (S->Else) {
+      PC.pushCond(Cond, /*Negate=*/true);
+      Else = (*this)(S->Else);
+      PC.popCond();
+    }
+    return makeIf(Cond, Then, Else, S->Id);
+  }
+
+private:
+  std::map<std::string, Ref<VarDefNode>> Defs;
+  ProofContext PC;
+};
+
+} // namespace
+
+Stmt ft::simplify(const Stmt &S) {
+  Stmt Cur = S;
+  for (int Round = 0; Round < 4; ++Round) {
+    Stmt Next = flattenStmtSeq(constFold(Simplifier(Cur)(constFold(Cur))));
+    if (deepEqual(Next, Cur))
+      return Next;
+    Cur = Next;
+  }
+  return Cur;
+}
+
+Func ft::simplify(Func F) {
+  F.Body = simplify(F.Body);
+  return F;
+}

@@ -1,0 +1,31 @@
+//===- pass/simplify.h - Bound-driven simplification -------------*- C++ -*-===//
+///
+/// \file
+/// The workhorse cleanup pass (paper §4.3: "simplification on mathematical
+/// expressions ... removing redundant branches"). Walks the program with a
+/// ProofContext and:
+///   - folds constants (via pass/const_fold),
+///   - removes branches whose condition is provably true/false in context,
+///   - resolves Min/Max/IfExpr/comparisons provable from loop ranges,
+///   - deletes loops with provably empty ranges and inlines single-
+///     iteration loops,
+///   - normalizes statement sequences (via pass/flatten).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_PASS_SIMPLIFY_H
+#define FT_PASS_SIMPLIFY_H
+
+#include "ir/func.h"
+
+namespace ft {
+
+/// Runs the simplifier to a fixed point (bounded number of rounds).
+Stmt simplify(const Stmt &S);
+
+/// Simplifies a whole function body.
+Func simplify(Func F);
+
+} // namespace ft
+
+#endif // FT_PASS_SIMPLIFY_H

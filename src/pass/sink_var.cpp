@@ -1,0 +1,133 @@
+//===- pass/sink_var.cpp --------------------------------------------------===//
+
+#include "pass/sink_var.h"
+
+#include "analysis/deps.h"
+#include "ir/compare.h"
+#include "pass/replace.h"
+
+using namespace ft;
+
+namespace {
+
+/// Returns true if every read of \p Var inside \p Body is preceded, in the
+/// same iteration, by an unconditional Store to the identical location —
+/// i.e. no value of \p Var flows into an iteration from outside. This is
+/// the kill test that lets a VarDef sink through a loop even though
+/// memory-based dependences (without kill information) look loop-carried.
+bool readsDominatedByStores(const Stmt &Body, const std::string &Var) {
+  AccessCollection AC = collectAccesses(Body);
+  for (const AccessPoint &R : AC.Points) {
+    if (R.Var != Var || R.Kind == AccessKind::Write)
+      continue;
+    bool Dominated = false;
+    for (const AccessPoint &W : AC.Points) {
+      if (W.Var != Var || W.Kind != AccessKind::Write || !W.Conds.empty())
+        continue;
+      if (W.Seq >= R.Seq || W.Indices.size() != R.Indices.size())
+        continue;
+      bool Same = true;
+      for (size_t D = 0; D < W.Indices.size(); ++D)
+        Same &= deepEqual(W.Indices[D], R.Indices[D]);
+      if (Same) {
+        Dominated = true;
+        break;
+      }
+    }
+    if (!Dominated)
+      return false;
+  }
+  return true;
+}
+
+/// One sinking round over the whole tree. Needs the root for dependence
+/// queries when sinking through loops.
+class VarSinker : public Mutator {
+public:
+  explicit VarSinker(const Stmt &Root) : DA(Root) {}
+
+  bool Changed = false;
+
+protected:
+  Stmt visit(const VarDefNode *S) override {
+    if (S->ATy != AccessType::Cache)
+      return Mutator::visit(S);
+
+    // Case 1: body is a StmtSeq — wrap only the contiguous use range.
+    if (auto Seq = dyn_cast<StmtSeqNode>(S->Body)) {
+      int First = -1, Last = -1;
+      for (size_t I = 0; I < Seq->Stmts.size(); ++I) {
+        if (isTensorUsed(Seq->Stmts[I], S->Name)) {
+          if (First < 0)
+            First = static_cast<int>(I);
+          Last = static_cast<int>(I);
+        }
+      }
+      if (First < 0) // Dead tensor: let removeDeadWrites handle it.
+        return Mutator::visit(S);
+      bool Narrower =
+          First > 0 || Last + 1 < static_cast<int>(Seq->Stmts.size());
+      if (Narrower) {
+        Changed = true;
+        std::vector<Stmt> Out;
+        for (int I = 0; I < First; ++I)
+          Out.push_back((*this)(Seq->Stmts[I]));
+        std::vector<Stmt> Wrapped(Seq->Stmts.begin() + First,
+                                  Seq->Stmts.begin() + Last + 1);
+        Stmt Inner = Wrapped.size() == 1 ? Wrapped[0]
+                                         : makeStmtSeq(std::move(Wrapped));
+        Stmt NewDef = makeVarDef(S->Name, S->Info, S->ATy, S->MTy,
+                                 (*this)(Inner), S->Id);
+        cast<VarDefNode>(NewDef)->NoGrad = S->NoGrad;
+        Out.push_back(NewDef);
+        for (size_t I = Last + 1; I < Seq->Stmts.size(); ++I)
+          Out.push_back((*this)(Seq->Stmts[I]));
+        return makeStmtSeq(std::move(Out), Seq->Id);
+      }
+    }
+
+    // Case 2: body is a For — sink through when no dependence on this
+    // tensor is carried by the loop and neither bounds nor shape use the
+    // iterator (shape cannot: it is defined outside).
+    if (auto For = dyn_cast<ForNode>(S->Body)) {
+      bool ShapeUsesVar = false;
+      for (const Expr &D : S->Info.Shape)
+        if (isIterUsed(makeStore("_", {}, D), For->Iter))
+          ShapeUsesVar = true;
+      if (!ShapeUsesVar) {
+        bool Carried = false;
+        for (const FoundDep &D : DA.carriedBy(For->Id))
+          if (D.Earlier->Var == S->Name)
+            Carried = true;
+        if (Carried && readsDominatedByStores(For->Body, S->Name))
+          Carried = false; // Each iteration fully overwrites before reading.
+        if (!Carried) {
+          Changed = true;
+          Stmt NewDef = makeVarDef(S->Name, S->Info, S->ATy, S->MTy,
+                                   (*this)(For->Body), S->Id);
+          cast<VarDefNode>(NewDef)->NoGrad = S->NoGrad;
+          return makeFor(For->Iter, For->Begin, For->End, For->Property,
+                         NewDef, For->Id);
+        }
+      }
+    }
+    return Mutator::visit(S);
+  }
+
+private:
+  DepAnalyzer DA;
+};
+
+} // namespace
+
+Stmt ft::sinkVars(const Stmt &S) {
+  Stmt Cur = S;
+  for (int Round = 0; Round < 16; ++Round) {
+    VarSinker Sinker(Cur);
+    Stmt Next = Sinker(Cur);
+    Cur = Next;
+    if (!Sinker.Changed)
+      break;
+  }
+  return Cur;
+}

@@ -1,0 +1,24 @@
+//===- pass/sink_var.h - Narrow tensor scopes --------------------*- C++ -*-===//
+///
+/// \file
+/// Moves VarDefs as deep into the tree as legality allows: into a
+/// StmtSeq sub-range covering all uses, and through loops when no
+/// dependence on the tensor is carried by the loop. Narrow scopes are what
+/// make the stack-scoped AST effective — they eliminate false dependences
+/// (paper Fig. 12(d)) and shrink AD tapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_PASS_SINK_VAR_H
+#define FT_PASS_SINK_VAR_H
+
+#include "ir/mutator.h"
+
+namespace ft {
+
+/// Sinks all Cache VarDefs as deep as possible.
+Stmt sinkVars(const Stmt &S);
+
+} // namespace ft
+
+#endif // FT_PASS_SINK_VAR_H

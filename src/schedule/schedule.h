@@ -1,0 +1,147 @@
+//===- schedule/schedule.h - Dependence-aware transformations ----*- C++ -*-===//
+///
+/// \file
+/// The user-facing schedule API: all seventeen AST transformations of the
+/// paper's Table 1, each guarded by the dependence analysis of §4.2 so that
+/// an illegal request is rejected with a diagnostic Status instead of
+/// miscompiling ("we can aggressively try transformations without worrying
+/// about their correctness", §4.3).
+///
+/// A Schedule owns a Func and mutates it transformation by transformation.
+/// Statements are addressed by their stable IDs (or labels set in the
+/// frontend); transformations that create loops return the new IDs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_SCHEDULE_SCHEDULE_H
+#define FT_SCHEDULE_SCHEDULE_H
+
+#include "analysis/affine.h"
+#include "analysis/deps.h"
+#include "ir/func.h"
+#include "support/error.h"
+
+namespace ft {
+
+/// IDs of the two loops produced by split / separate_tail / fission.
+struct SplitIds {
+  int64_t First = -1;  ///< Outer loop (split) / head loop.
+  int64_t Second = -1; ///< Inner loop (split) / tail loop (-1 if none).
+};
+
+/// See the file comment.
+class Schedule {
+public:
+  explicit Schedule(Func F);
+
+  /// The current (transformed) function.
+  const Func &func() const { return F; }
+  const Stmt &ast() const { return F.Body; }
+
+  /// Looks up a statement by label (set via FunctionBuilder::loop).
+  Result<int64_t> findByLabel(const std::string &Label) const;
+
+  //===-- Loop transformations (Table 1, "Loop") -------------------------===//
+
+  /// Splits loop \p LoopId into outer x inner with inner extent \p Factor.
+  /// Always legal; a guard protects non-divisible extents (remove it with
+  /// separate_tail or simplify).
+  Result<SplitIds> split(int64_t LoopId, int64_t Factor);
+
+  /// Merges two perfectly nested loops into one.
+  Result<int64_t> merge(int64_t OuterId, int64_t InnerId);
+
+  /// Reorders a perfectly nested band of loops into the given order.
+  Status reorder(const std::vector<int64_t> &Order);
+
+  /// Splits loop \p LoopId's body StmtSeq after top-level child
+  /// \p AfterStmtId into two consecutive loops.
+  Result<SplitIds> fission(int64_t LoopId, int64_t AfterStmtId);
+
+  /// Fuses two consecutive sibling loops of provably equal length.
+  Result<int64_t> fuse(int64_t Loop1Id, int64_t Loop2Id);
+
+  /// Swaps two adjacent sibling statements.
+  Status swap(int64_t Stmt1Id, int64_t Stmt2Id);
+
+  //===-- Parallelizing transformations -----------------------------------===//
+
+  /// Runs a loop with multiple threads. Loop-carried dependences are
+  /// rejected unless they are same-operator reductions, which are lowered
+  /// via atomics (paper Fig. 13(d)(e)).
+  Status parallelize(int64_t LoopId);
+
+  /// Fully unrolls a constant-extent loop (\p Full = true), or marks the
+  /// loop for backend unrolling (\p Full = false).
+  Status unroll(int64_t LoopId, bool Full = false);
+
+  /// Fully unrolls a constant-extent loop and interleaves the statement
+  /// copies statement-by-statement.
+  Status blend(int64_t LoopId);
+
+  /// Marks a loop for SIMD execution; requires no carried dependences.
+  Status vectorize(int64_t LoopId);
+
+  //===-- Memory hierarchy transformations --------------------------------===//
+
+  /// Reads the region of \p Var accessed inside statement \p StmtId into a
+  /// new tensor placed in \p MTy before the statement, redirects accesses,
+  /// and writes the region back afterwards if it is written (paper §4.2.3,
+  /// Fig. 14). Returns the new tensor's name.
+  Result<std::string> cache(int64_t StmtId, const std::string &Var,
+                            MemType MTy);
+
+  /// Like cache, but for accumulation: the new tensor starts at the
+  /// reduction identity and is reduced back into \p Var afterwards. All
+  /// accesses to \p Var inside must be ReduceTo with one operator.
+  Result<std::string> cacheReduction(int64_t StmtId, const std::string &Var,
+                                     MemType MTy);
+
+  /// Changes where a Cache tensor is stored.
+  Status setMemType(const std::string &Var, MemType MTy);
+
+  //===-- Memory layout transformations ------------------------------------===//
+
+  /// Splits dimension \p Dim of Cache tensor \p Var into (extent/Factor,
+  /// Factor); the constant extent must be divisible.
+  Status varSplit(const std::string &Var, int Dim, int64_t Factor);
+
+  /// Permutes the dimensions of Cache tensor \p Var.
+  Status varReorder(const std::string &Var, const std::vector<int> &Perm);
+
+  /// Merges dimensions \p Dim and \p Dim+1 of Cache tensor \p Var.
+  Status varMerge(const std::string &Var, int Dim);
+
+  //===-- Others -----------------------------------------------------------===//
+
+  /// Recognizes a (zero-init + triple-loop) matmul at loop \p LoopId over
+  /// full 2-D tensors and replaces the accumulation with a GemmCall to the
+  /// vendor-library runtime (paper's as_lib).
+  Status asLib(int64_t LoopId);
+
+  /// Splits the iteration range of loop \p LoopId at the points where the
+  /// guard conditions inside flip, so the main body runs branch-free
+  /// (paper's separate_tail). Returns head/tail loop IDs where created.
+  Result<SplitIds> separateTail(int64_t LoopId);
+
+  //===-- Introspection (used by tests and the auto-scheduler) -----------===//
+
+  /// Finds the innermost perfectly nested band starting at \p LoopId.
+  std::vector<Ref<ForNode>> perfectNest(int64_t LoopId) const;
+
+  /// Runs simplify + flatten on the current function.
+  void cleanup();
+
+private:
+  Ref<ForNode> getLoop(int64_t LoopId, Status *Err) const;
+  Stmt replaceById(int64_t Id, const Stmt &Repl);
+  IsParamFn isParamFn() const;
+  /// Proves Cond using only parameter knowledge (no loop context).
+  bool provably(const Expr &Cond) const;
+
+  Func F;
+};
+
+} // namespace ft
+
+#endif // FT_SCHEDULE_SCHEDULE_H

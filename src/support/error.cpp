@@ -1,0 +1,11 @@
+//===- support/error.cpp --------------------------------------------------===//
+
+#include "support/error.h"
+
+#include <cstdio>
+
+void ft::reportFatal(const std::string &Msg, const char *File, int Line) {
+  std::fprintf(stderr, "fatal error at %s:%d: %s\n", File, Line, Msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}

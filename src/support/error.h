@@ -1,0 +1,123 @@
+//===- support/error.h - Error handling primitives --------------*- C++ -*-===//
+//
+// Part of the FreeTensor reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error helpers (assertions, unreachable) and recoverable-error
+/// types (Status / Result). Following the compilers-pl guides we use neither
+/// exceptions nor RTTI: user-facing fallible operations (e.g. an illegal
+/// schedule transformation) return a Status or Result<T> carrying a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_SUPPORT_ERROR_H
+#define FT_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace ft {
+
+/// Prints the message to stderr and aborts. Used for violated internal
+/// invariants that must be caught even in release builds.
+[[noreturn]] void reportFatal(const std::string &Msg, const char *File,
+                              int Line);
+
+/// Marks a point in the program that must never be reached.
+#define ftUnreachable(MSG) ::ft::reportFatal((MSG), __FILE__, __LINE__)
+
+/// Asserts an internal invariant with a message in all build types.
+#define ftAssert(COND, MSG)                                                    \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      ::ft::reportFatal(std::string("assertion failed: ") + #COND + ": " +     \
+                            (MSG),                                             \
+                        __FILE__, __LINE__);                                   \
+  } while (false)
+
+/// Outcome of a fallible operation: success, or an error message intended for
+/// the user (e.g. "invalid schedule: loop-carried dependence on `a`").
+///
+/// A Status is cheap to copy and implicitly convertible to bool
+/// (true == success), mirroring the common `if (auto Err = ...)` idiom with
+/// the opposite polarity for readability at call sites:
+/// \code
+///   if (Status S = sched.fuse(a, b); !S)
+///     report(S.message());
+/// \endcode
+class Status {
+public:
+  /// Constructs a success status.
+  Status() = default;
+
+  /// Constructs an error status carrying \p Msg.
+  static Status error(std::string Msg) { return Status(std::move(Msg)); }
+
+  /// Constructs a success status (explicit spelling).
+  static Status success() { return Status(); }
+
+  /// Returns true on success.
+  bool ok() const { return Ok; }
+  explicit operator bool() const { return Ok; }
+
+  /// Returns the error message; empty on success.
+  const std::string &message() const { return Msg; }
+
+private:
+  explicit Status(std::string Msg) : Ok(false), Msg(std::move(Msg)) {}
+
+  bool Ok = true;
+  std::string Msg;
+};
+
+/// A value of type T or an error message. Like llvm::Expected but without
+/// the must-check machinery (we are exception-free; callers test `ok()`).
+template <typename T> class Result {
+public:
+  /// Constructs a success result holding \p Value.
+  Result(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs an error result from a failed Status.
+  Result(Status S) : Err(std::move(S)) {
+    ftAssert(!Err.ok(), "Result constructed from a success Status");
+  }
+
+  /// Constructs an error result carrying \p Msg.
+  static Result<T> error(std::string Msg) {
+    return Result<T>(Status::error(std::move(Msg)));
+  }
+
+  /// Returns true if a value is present.
+  bool ok() const { return Err.ok(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the error message; empty on success.
+  const std::string &message() const { return Err.message(); }
+
+  /// Returns the underlying Status (success iff a value is present).
+  const Status &status() const { return Err; }
+
+  /// Accesses the held value. Asserts on error results.
+  T &operator*() {
+    ftAssert(ok(), "dereferencing an error Result: " + message());
+    return Value;
+  }
+  const T &operator*() const {
+    ftAssert(ok(), "dereferencing an error Result: " + message());
+    return Value;
+  }
+  T *operator->() { return &operator*(); }
+  const T *operator->() const { return &operator*(); }
+
+private:
+  T Value{};
+  Status Err;
+};
+
+} // namespace ft
+
+#endif // FT_SUPPORT_ERROR_H

@@ -1,0 +1,459 @@
+//===- workloads/workloads.cpp --------------------------------------------===//
+
+#include "workloads/workloads.h"
+
+#include <cmath>
+
+#include "frontend/libop.h"
+
+using namespace ft;
+using namespace ft::workloads;
+
+float ft::workloads::frand(uint64_t &State) {
+  State ^= State << 13;
+  State ^= State >> 7;
+  State ^= State << 17;
+  return static_cast<float>(static_cast<int64_t>(State % 2000001) - 1000000) /
+         1000000.0f;
+}
+
+namespace {
+
+Expr ic(int64_t V) { return makeIntConst(V); }
+Expr fc(double V) { return makeFloatConst(V); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SubdivNet
+//===----------------------------------------------------------------------===//
+
+SubdivNetData ft::workloads::makeSubdivNetData(const SubdivNetConfig &C) {
+  SubdivNetData D;
+  D.E = Buffer(DataType::Float32, {C.NFaces, C.Feats});
+  D.Adj = Buffer(DataType::Int64, {C.NFaces, 3});
+  uint64_t S = 0x5bd1e995;
+  for (int64_t I = 0; I < D.E.numel(); ++I)
+    D.E.as<float>()[I] = frand(S);
+  // A ring-ish mesh adjacency: neighbors at pseudo-random offsets.
+  uint64_t S2 = 0x9e3779b9;
+  for (int64_t I = 0; I < C.NFaces; ++I)
+    for (int64_t J = 0; J < 3; ++J) {
+      S2 = S2 * 6364136223846793005ull + 1442695040888963407ull;
+      D.Adj.as<int64_t>()[I * 3 + J] =
+          static_cast<int64_t>((I + 1 + (S2 >> 33) % 97) % C.NFaces);
+    }
+  return D;
+}
+
+Func ft::workloads::buildSubdivNet(const SubdivNetConfig &C) {
+  FunctionBuilder B("subdivnet");
+  View E = B.input("e", {ic(C.NFaces), ic(C.Feats)});
+  View Adj = B.input("adj", {ic(C.NFaces), ic(3)}, DataType::Int64);
+  View Y = B.output("y", {ic(C.NFaces), ic(C.Feats)});
+  B.loop(
+      "i", 0, C.NFaces,
+      [&](Expr I) {
+        B.loop("k", 0, C.Feats, [&](Expr K) {
+          Y[I][K].assign(E[I][K].load());
+          B.loop("j", 0, 3, [&](Expr J) {
+            Expr NJ = Adj[I][J].load();
+            Expr NJ1 = Adj[I][makeMod(J + 1, ic(3))].load();
+            // The circular difference goes through a temporary, as the
+            // libop-based formulation of Fig. 3(b) does — it is what the
+            // selective-materialization ablation (Fig. 18) recomputes.
+            View D = B.local("d", {});
+            D.assign(E[NJ][K].load() - E[NJ1][K].load());
+            Y[I][K] += E[NJ][K].load();
+            Y[I][K] += ft::abs(D.load());
+          });
+        });
+      },
+      "faces");
+  return B.build();
+}
+
+eager::Tensor ft::workloads::subdivnetEager(const eager::Tensor &E,
+                                            const eager::IndexTensor &AdjFlat,
+                                            const SubdivNetConfig &C) {
+  using namespace eager;
+  // Step 1 (paper Fig. 2): gather the 3 neighbor features into a
+  // materialized [n, 3, f] tensor — the n*3*f memory redundancy. AdjFlat
+  // has shape [n, 3], so indexSelect0 yields [n, 3, f] directly.
+  Tensor AdjFeat = indexSelect0(E, AdjFlat);
+  // Step 2: circular reorder (the slice + concat = one full copy).
+  Tensor Reordered = roll1(AdjFeat, 1);
+  // Step 3: |diff| and reduction, plus the neighbor sum and center term.
+  Tensor DiffAbs = abs(sub(AdjFeat, Reordered));
+  Tensor CircSum = sumAxis(DiffAbs, 1); // [n, f]
+  Tensor NbrSum = sumAxis(AdjFeat, 1);  // [n, f]
+  return add(add(E, NbrSum), CircSum);
+}
+
+void ft::workloads::subdivnetNaive(const SubdivNetConfig &C, const float *E,
+                                   const int64_t *Adj, float *Y) {
+  for (int64_t I = 0; I < C.NFaces; ++I)
+    for (int64_t K = 0; K < C.Feats; ++K) {
+      float Acc = E[I * C.Feats + K];
+      for (int64_t J = 0; J < 3; ++J) {
+        int64_t NJ = Adj[I * 3 + J];
+        int64_t NJ1 = Adj[I * 3 + (J + 1) % 3];
+        Acc += E[NJ * C.Feats + K];
+        Acc += std::fabs(E[NJ * C.Feats + K] - E[NJ1 * C.Feats + K]);
+      }
+      Y[I * C.Feats + K] = Acc;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Longformer
+//===----------------------------------------------------------------------===//
+
+LongformerData ft::workloads::makeLongformerData(const LongformerConfig &C) {
+  LongformerData D;
+  for (Buffer *B : {&D.Q, &D.K, &D.V})
+    *B = Buffer(DataType::Float32, {C.SeqLen, C.Feats});
+  uint64_t S = 0xabcdef12;
+  for (Buffer *B : {&D.Q, &D.K, &D.V})
+    for (int64_t I = 0; I < B->numel(); ++I)
+      B->as<float>()[I] = 0.5f * frand(S);
+  return D;
+}
+
+Func ft::workloads::buildLongformer(const LongformerConfig &C) {
+  const int64_t N = C.SeqLen, D = C.Feats, W = C.W;
+  FunctionBuilder B("longformer");
+  View Q = B.input("Q", {ic(N), ic(D)});
+  View K = B.input("K", {ic(N), ic(D)});
+  View V = B.input("V", {ic(N), ic(D)});
+  View Y = B.output("y", {ic(N), ic(D)});
+  B.loop(
+      "j", 0, N,
+      [&](Expr J) {
+        View Dot = B.local("dot", {ic(2 * W + 1)});
+        // Boundary positions start from -1e30 so softmax gives them ~0
+        // weight (the masking of the operator baseline, in one store).
+        B.loop("k", -W, W + 1, [&](Expr Kk) {
+          Dot[Kk + W].assign(
+              select(J + Kk >= 0 && J + Kk < N, fc(0.0), fc(-1e30)));
+        });
+        B.loop("k", -W, W + 1, [&](Expr Kk) {
+          B.ifThen(J + Kk >= 0 && J + Kk < N, [&] {
+            B.loop("p", 0, D, [&](Expr P) {
+              Dot[Kk + W] += Q[J][P].load() * K[J + Kk][P].load();
+            });
+          });
+        });
+        View Attn = B.local("attn", {ic(2 * W + 1)});
+        libop::softmax(B, Dot, Attn);
+        B.loop("p", 0, D, [&](Expr P) { Y[J][P].assign(fc(0.0)); });
+        B.loop("k", -W, W + 1, [&](Expr Kk) {
+          B.ifThen(J + Kk >= 0 && J + Kk < N, [&] {
+            B.loop("p", 0, D, [&](Expr P) {
+              Y[J][P] += Attn[Kk + W].load() * V[J + Kk][P].load();
+            });
+          });
+        });
+      },
+      "tokens");
+  return B.build();
+}
+
+eager::Tensor ft::workloads::longformerEager(const eager::Tensor &Q,
+                                             const eager::Tensor &K,
+                                             const eager::Tensor &V,
+                                             const LongformerConfig &C) {
+  using namespace eager;
+  const int64_t N = C.SeqLen, W = C.W, Win = 2 * W + 1;
+  // Boundary mask [N, Win], no gradient.
+  std::vector<float> MaskV(N * Win, 0.0f);
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t Kk = -W; Kk <= W; ++Kk)
+      if (I + Kk >= 0 && I + Kk < N)
+        MaskV[I * Win + (Kk + W)] = 1.0f;
+  Tensor Mask = Tensor::fromVec({N, Win}, std::move(MaskV));
+
+  Tensor KWin = slidingWindows(K, W);       // [N, Win, D] materialized.
+  Tensor Scores = bmvDot(KWin, Q);          // [N, Win].
+  Tensor Masked = maskedFill(Scores, Mask, -1e30f);
+  Tensor Attn = softmaxLast(Masked);        // [N, Win].
+  Tensor VWin = slidingWindows(V, W);       // [N, Win, D] materialized.
+  return bmvWeight(Attn, VWin);             // [N, D].
+}
+
+void ft::workloads::longformerNaive(const LongformerConfig &C, const float *Q,
+                                    const float *K, const float *V,
+                                    float *Y) {
+  const int64_t N = C.SeqLen, D = C.Feats, W = C.W, Win = 2 * W + 1;
+  std::vector<float> Dot(Win), Attn(Win);
+  for (int64_t J = 0; J < N; ++J) {
+    for (int64_t Kk = -W; Kk <= W; ++Kk) {
+      bool In = J + Kk >= 0 && J + Kk < N;
+      float Acc = In ? 0.0f : -1e30f;
+      if (In)
+        for (int64_t P = 0; P < D; ++P)
+          Acc += Q[J * D + P] * K[(J + Kk) * D + P];
+      Dot[Kk + W] = Acc;
+    }
+    float Mx = Dot[0];
+    for (int64_t I = 1; I < Win; ++I)
+      Mx = std::max(Mx, Dot[I]);
+    float Den = 0;
+    for (int64_t I = 0; I < Win; ++I) {
+      Attn[I] = std::exp(Dot[I] - Mx);
+      Den += Attn[I];
+    }
+    for (int64_t P = 0; P < D; ++P)
+      Y[J * D + P] = 0;
+    for (int64_t Kk = -W; Kk <= W; ++Kk) {
+      if (J + Kk < 0 || J + Kk >= N)
+        continue;
+      float A = Attn[Kk + W] / Den;
+      for (int64_t P = 0; P < D; ++P)
+        Y[J * D + P] += A * V[(J + Kk) * D + P];
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SoftRas
+//===----------------------------------------------------------------------===//
+
+SoftRasData ft::workloads::makeSoftRasData(const SoftRasConfig &C) {
+  SoftRasData D;
+  D.Verts = Buffer(DataType::Float32, {C.NFaces, 3, 2});
+  D.Px = Buffer(DataType::Float32, {C.numPixels()});
+  D.Py = Buffer(DataType::Float32, {C.numPixels()});
+  uint64_t S = 0x13572468;
+  for (int64_t F = 0; F < C.NFaces; ++F) {
+    float Cx = 0.5f * frand(S) + 0.5f, Cy = 0.5f * frand(S) + 0.5f;
+    for (int64_t J = 0; J < 3; ++J) {
+      D.Verts.as<float>()[(F * 3 + J) * 2 + 0] = Cx + 0.15f * frand(S);
+      D.Verts.as<float>()[(F * 3 + J) * 2 + 1] = Cy + 0.15f * frand(S);
+    }
+  }
+  for (int64_t Yp = 0; Yp < C.ImgH; ++Yp)
+    for (int64_t Xp = 0; Xp < C.ImgW; ++Xp) {
+      int64_t P = Yp * C.ImgW + Xp;
+      D.Px.as<float>()[P] = (float(Xp) + 0.5f) / float(C.ImgW);
+      D.Py.as<float>()[P] = (float(Yp) + 0.5f) / float(C.ImgH);
+    }
+  return D;
+}
+
+Func ft::workloads::buildSoftRas(const SoftRasConfig &C) {
+  const int64_t P = C.numPixels(), F = C.NFaces;
+  const double InvSigma = 1.0 / C.Sigma;
+  FunctionBuilder B("softras");
+  View Verts = B.input("verts", {ic(F), ic(3), ic(2)});
+  View Px = B.input("px", {ic(P)});
+  View Py = B.input("py", {ic(P)});
+  View Img = B.output("img", {ic(P)});
+  B.loop(
+      "p", 0, P,
+      [&](Expr Pi) {
+        View S = B.local("acc", {});
+        S.assign(fc(0.0));
+        B.loop("f", 0, F, [&](Expr Fi) {
+          // Signed edge cross products; the min is the soft coverage.
+          auto Cross = [&](int64_t J) {
+            int64_t J1 = (J + 1) % 3;
+            Expr VX = Verts[Fi][ic(J)][ic(0)].load();
+            Expr VY = Verts[Fi][ic(J)][ic(1)].load();
+            Expr EX = Verts[Fi][ic(J1)][ic(0)].load() - VX;
+            Expr EY = Verts[Fi][ic(J1)][ic(1)].load() - VY;
+            return (Px[Pi].load() - VX) * EY - (Py[Pi].load() - VY) * EX;
+          };
+          View D = B.local("d", {});
+          D.assign(ft::min(ft::min(Cross(0), Cross(1)), Cross(2)));
+          // Log-space silhouette aggregation.
+          S += ft::ln(fc(1.0) -
+                      ft::sigmoid(D.load() * fc(InvSigma)) * fc(0.999));
+        });
+        Img[Pi].assign(fc(1.0) - ft::exp(S.load()));
+      },
+      "pixels");
+  return B.build();
+}
+
+SoftRasEagerInputs
+ft::workloads::makeSoftRasEagerInputs(const SoftRasData &D,
+                                      bool RequiresGrad) {
+  SoftRasEagerInputs In;
+  int64_t F = D.Verts.shape()[0];
+  for (int J = 0; J < 3; ++J) {
+    std::vector<float> X(F), Y(F);
+    for (int64_t Fi = 0; Fi < F; ++Fi) {
+      X[Fi] = D.Verts.as<float>()[(Fi * 3 + J) * 2 + 0];
+      Y[Fi] = D.Verts.as<float>()[(Fi * 3 + J) * 2 + 1];
+    }
+    In.Vx[J] = eager::Tensor::fromVec({F}, X, RequiresGrad);
+    In.Vy[J] = eager::Tensor::fromVec({F}, Y, RequiresGrad);
+  }
+  std::vector<float> PX(D.Px.as<float>(), D.Px.as<float>() + D.Px.numel());
+  std::vector<float> PY(D.Py.as<float>(), D.Py.as<float>() + D.Py.numel());
+  In.Px = eager::Tensor::fromVec({D.Px.numel()}, PX);
+  In.Py = eager::Tensor::fromVec({D.Py.numel()}, PY);
+  return In;
+}
+
+eager::Tensor ft::workloads::softrasEager(const SoftRasEagerInputs &In,
+                                          const SoftRasConfig &C) {
+  using namespace eager;
+  Tensor D; // [P, F] running min of edge cross products.
+  for (int J = 0; J < 3; ++J) {
+    int J1 = (J + 1) % 3;
+    Tensor EX = sub(In.Vx[J1], In.Vx[J]); // [F]
+    Tensor EY = sub(In.Vy[J1], In.Vy[J]); // [F]
+    Tensor DX = outerSub(In.Px, In.Vx[J]); // [P, F] materialized
+    Tensor DY = outerSub(In.Py, In.Vy[J]); // [P, F] materialized
+    Tensor CrossJ = sub(mulCols(DX, EY), mulCols(DY, EX)); // [P, F]
+    D = J == 0 ? CrossJ : minEw(D, CrossJ);
+  }
+  Tensor Prob = sigmoid(scale(D, 1.0f / C.Sigma));     // [P, F]
+  Tensor Ln = log(addScalar(scale(Prob, -0.999f), 1.0f)); // ln(1 - .999p)
+  Tensor Sum = sumAxis(Ln, 1);                          // [P]
+  return addScalar(scale(exp(Sum), -1.0f), 1.0f);       // 1 - exp(sum)
+}
+
+void ft::workloads::softrasNaive(const SoftRasConfig &C, const float *Verts,
+                                 const float *Px, const float *Py,
+                                 float *Img) {
+  const int64_t P = C.numPixels(), F = C.NFaces;
+  const float InvSigma = 1.0f / C.Sigma;
+  for (int64_t Pi = 0; Pi < P; ++Pi) {
+    float S = 0;
+    for (int64_t Fi = 0; Fi < F; ++Fi) {
+      float D = 1e30f;
+      for (int J = 0; J < 3; ++J) {
+        int J1 = (J + 1) % 3;
+        float VX = Verts[(Fi * 3 + J) * 2 + 0];
+        float VY = Verts[(Fi * 3 + J) * 2 + 1];
+        float EX = Verts[(Fi * 3 + J1) * 2 + 0] - VX;
+        float EY = Verts[(Fi * 3 + J1) * 2 + 1] - VY;
+        float Cr = (Px[Pi] - VX) * EY - (Py[Pi] - VY) * EX;
+        D = std::min(D, Cr);
+      }
+      float Prob = 1.0f / (1.0f + std::exp(-D * InvSigma));
+      S += std::log(1.0f - 0.999f * Prob);
+    }
+    Img[Pi] = 1.0f - std::exp(S);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// GAT
+//===----------------------------------------------------------------------===//
+
+GATData ft::workloads::makeGATData(const GATConfig &C) {
+  GATData D;
+  D.H = Buffer(DataType::Float32, {C.NNodes, C.Feats});
+  D.Adj = Buffer(DataType::Int64, {C.NNodes, C.Degree});
+  D.A1 = Buffer(DataType::Float32, {C.Feats});
+  D.A2 = Buffer(DataType::Float32, {C.Feats});
+  uint64_t S = 0xfeedbeef;
+  for (int64_t I = 0; I < D.H.numel(); ++I)
+    D.H.as<float>()[I] = 0.5f * frand(S);
+  for (int64_t I = 0; I < C.Feats; ++I) {
+    D.A1.as<float>()[I] = 0.3f * frand(S);
+    D.A2.as<float>()[I] = 0.3f * frand(S);
+  }
+  uint64_t S2 = 0x2468ace0;
+  for (int64_t I = 0; I < C.NNodes; ++I)
+    for (int64_t M = 0; M < C.Degree; ++M) {
+      S2 = S2 * 6364136223846793005ull + 1442695040888963407ull;
+      D.Adj.as<int64_t>()[I * C.Degree + M] =
+          static_cast<int64_t>((I + 1 + (S2 >> 33) % 211) % C.NNodes);
+    }
+  return D;
+}
+
+Func ft::workloads::buildGAT(const GATConfig &C) {
+  const int64_t N = C.NNodes, F = C.Feats, Deg = C.Degree;
+  FunctionBuilder B("gat");
+  View H = B.input("h", {ic(N), ic(F)});
+  View Adj = B.input("adj", {ic(N), ic(Deg)}, DataType::Int64);
+  View A1 = B.input("a1", {ic(F)});
+  View A2 = B.input("a2", {ic(F)});
+  View Y = B.output("y", {ic(N), ic(F)});
+  // Per-node projections s1/s2, computed once.
+  View S1 = B.local("s1", {ic(N)});
+  View S2 = B.local("s2", {ic(N)});
+  B.loop("i", 0, N, [&](Expr I) {
+    S1[I].assign(fc(0.0));
+    S2[I].assign(fc(0.0));
+    B.loop("k", 0, F, [&](Expr K) {
+      S1[I] += A1[K].load() * H[I][K].load();
+      S2[I] += A2[K].load() * H[I][K].load();
+    });
+  });
+  B.loop(
+      "i", 0, N,
+      [&](Expr I) {
+        View Pv = B.local("p", {ic(Deg)});
+        View Den = B.local("den", {});
+        Den.assign(fc(1e-12));
+        B.loop("m", 0, Deg, [&](Expr M) {
+          Expr Nb = Adj[I][M].load();
+          Pv[M].assign(ft::sigmoid(S1[I].load() + S2[Nb].load()));
+          Den += Pv[M].load();
+        });
+        B.loop("k", 0, F, [&](Expr K) { Y[I][K].assign(fc(0.0)); });
+        B.loop("m", 0, Deg, [&](Expr M) {
+          Expr Nb = Adj[I][M].load();
+          B.loop("k", 0, F, [&](Expr K) {
+            Y[I][K] += Pv[M].load() / Den.load() * H[Nb][K].load();
+          });
+        });
+      },
+      "nodes");
+  return B.build();
+}
+
+eager::Tensor ft::workloads::gatEager(const eager::Tensor &H,
+                                      const eager::IndexTensor &AdjFlat,
+                                      const eager::IndexTensor &SelfFlat,
+                                      const eager::Tensor &A1,
+                                      const eager::Tensor &A2,
+                                      const GATConfig &C) {
+  using namespace eager;
+  Tensor S1 = mv(H, A1);                       // [n]
+  Tensor S2 = mv(H, A2);                       // [n]
+  Tensor SSelf = indexSelect0(S1, SelfFlat);   // [n*deg]
+  Tensor SNbr = indexSelect0(S2, AdjFlat);     // [n*deg]
+  Tensor Pv = sigmoid(add(SSelf, SNbr));       // [n*deg]
+  Tensor Den = scatterAdd0(Pv, SelfFlat, C.NNodes);   // [n]
+  Tensor DenE = addScalar(indexSelect0(Den, SelfFlat), 1e-12f);
+  Tensor Alpha = divEw(Pv, DenE);              // [n*deg]
+  Tensor HN = indexSelect0(H, AdjFlat);        // [n*deg, f] materialized
+  Tensor Weighted = mulRows(HN, Alpha);        // [n*deg, f]
+  return scatterAdd0(Weighted, SelfFlat, C.NNodes); // [n, f]
+}
+
+void ft::workloads::gatNaive(const GATConfig &C, const float *H,
+                             const int64_t *Adj, const float *A1,
+                             const float *A2, float *Y) {
+  const int64_t N = C.NNodes, F = C.Feats, Deg = C.Degree;
+  std::vector<float> S1(N, 0.0f), S2(N, 0.0f), P(Deg);
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t K = 0; K < F; ++K) {
+      S1[I] += A1[K] * H[I * F + K];
+      S2[I] += A2[K] * H[I * F + K];
+    }
+  for (int64_t I = 0; I < N; ++I) {
+    float Den = 1e-12f;
+    for (int64_t M = 0; M < Deg; ++M) {
+      int64_t Nb = Adj[I * Deg + M];
+      P[M] = 1.0f / (1.0f + std::exp(-(S1[I] + S2[Nb])));
+      Den += P[M];
+    }
+    for (int64_t K = 0; K < F; ++K)
+      Y[I * F + K] = 0;
+    for (int64_t M = 0; M < Deg; ++M) {
+      int64_t Nb = Adj[I * Deg + M];
+      float Al = P[M] / Den;
+      for (int64_t K = 0; K < F; ++K)
+        Y[I * F + K] += Al * H[Nb * F + K];
+    }
+  }
+}

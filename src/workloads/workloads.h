@@ -1,0 +1,173 @@
+//===- workloads/workloads.h - The four paper workloads ----------*- C++ -*-===//
+///
+/// \file
+/// The evaluation workloads of paper §6.1 — SubdivNet, Longformer, SoftRas,
+/// and GAT — each in three implementations:
+///
+///   build*()   the FreeTensor DSL program (fine-grained control flow,
+///              Figs. 3 and 5),
+///   *Eager()   the operator-based baseline on EagerTensor (operator
+///              chains with full materialization, Figs. 1(b) and 2(b)),
+///   *Naive()   plain single-thread C++ loops (the "general-purpose
+///              language without compiler optimization" baseline).
+///
+/// All three compute the same function on the same deterministic data, so
+/// the benchmarks cross-check outputs before timing.
+///
+/// Model simplifications (documented in DESIGN.md): GAT uses a fixed-degree
+/// graph and sum-normalized sigmoid attention; SoftRas uses an edge-cross-
+/// product soft coverage with log-space aggregation (avoids a product
+/// reduction); both keep the irregular access patterns the paper evaluates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_WORKLOADS_WORKLOADS_H
+#define FT_WORKLOADS_WORKLOADS_H
+
+#include "interp/buffer.h"
+#include "ir/func.h"
+#include "opframework/eager.h"
+
+namespace ft {
+namespace workloads {
+
+/// Deterministic xorshift PRNG in [-1, 1).
+float frand(uint64_t &State);
+
+//===----------------------------------------------------------------------===//
+// SubdivNet: mesh convolution with circular difference (paper §2, Fig. 2/3).
+//   y[i,k] = e[i,k] + sum_j e[adj[i,j],k]
+//                   + sum_j |e[adj[i,j],k] - e[adj[i,(j+1)%3],k]|
+//===----------------------------------------------------------------------===//
+
+struct SubdivNetConfig {
+  int64_t NFaces = 1024;
+  int64_t Feats = 32;
+};
+
+struct SubdivNetData {
+  Buffer E;   ///< [n, f] float32 face features.
+  Buffer Adj; ///< [n, 3] int64 adjacent faces.
+};
+
+SubdivNetData makeSubdivNetData(const SubdivNetConfig &C);
+
+/// Params: e [n,f] Input, adj [n,3] Input(i64), y [n,f] Output.
+/// The outer loop is labeled "faces".
+Func buildSubdivNet(const SubdivNetConfig &C);
+
+eager::Tensor subdivnetEager(const eager::Tensor &E,
+                             const eager::IndexTensor &AdjFlat,
+                             const SubdivNetConfig &C);
+
+void subdivnetNaive(const SubdivNetConfig &C, const float *E,
+                    const int64_t *Adj, float *Y);
+
+//===----------------------------------------------------------------------===//
+// Longformer: sliding-window attention (paper §1, Fig. 1/5).
+//   For each token j: dot[k] = <Q[j], K[j+k]> over the window (masked at
+//   the boundaries), attn = softmax(dot), y[j] = sum_k attn[k] * V[j+k].
+//===----------------------------------------------------------------------===//
+
+struct LongformerConfig {
+  int64_t SeqLen = 512;
+  int64_t Feats = 64;
+  int64_t W = 32;
+};
+
+struct LongformerData {
+  Buffer Q, K, V; ///< [n, d] float32.
+};
+
+LongformerData makeLongformerData(const LongformerConfig &C);
+
+/// Params: Q, K, V Inputs, y [n,d] Output. The token loop is labeled
+/// "tokens".
+Func buildLongformer(const LongformerConfig &C);
+
+eager::Tensor longformerEager(const eager::Tensor &Q, const eager::Tensor &K,
+                              const eager::Tensor &V,
+                              const LongformerConfig &C);
+
+void longformerNaive(const LongformerConfig &C, const float *Q,
+                     const float *K, const float *V, float *Y);
+
+//===----------------------------------------------------------------------===//
+// SoftRas: differentiable soft rasterization (paper §6.1).
+//   For each pixel p and face f: a soft coverage from the minimum edge
+//   cross-product, prob = sigmoid(d / sigma); the silhouette aggregates
+//   in log space: img[p] = 1 - exp(sum_f ln(1 - prob)).
+//===----------------------------------------------------------------------===//
+
+struct SoftRasConfig {
+  int64_t NFaces = 64;
+  int64_t ImgH = 32;
+  int64_t ImgW = 32;
+  float Sigma = 0.05f;
+
+  int64_t numPixels() const { return ImgH * ImgW; }
+};
+
+struct SoftRasData {
+  Buffer Verts;  ///< [F, 3, 2] float32 projected triangle vertices.
+  Buffer Px, Py; ///< [P] pixel coordinates.
+};
+
+SoftRasData makeSoftRasData(const SoftRasConfig &C);
+
+/// Params: verts, px, py Inputs, img [P] Output. Pixel loop labeled
+/// "pixels".
+Func buildSoftRas(const SoftRasConfig &C);
+
+/// The eager baseline operates on unpacked per-edge vertex vectors.
+struct SoftRasEagerInputs {
+  eager::Tensor Vx[3], Vy[3]; ///< [F] each.
+  eager::Tensor Px, Py;       ///< [P].
+};
+SoftRasEagerInputs makeSoftRasEagerInputs(const SoftRasData &D,
+                                          bool RequiresGrad);
+
+eager::Tensor softrasEager(const SoftRasEagerInputs &In,
+                           const SoftRasConfig &C);
+
+void softrasNaive(const SoftRasConfig &C, const float *Verts,
+                  const float *Px, const float *Py, float *Img);
+
+//===----------------------------------------------------------------------===//
+// GAT: graph attention layer on a fixed-degree graph (paper §6.1).
+//   s1[i] = <a1, h[i]>, s2[i] = <a2, h[i]>;
+//   p_im = sigmoid(s1[i] + s2[adj[i,m]]); alpha = p / sum_m p;
+//   y[i] = sum_m alpha_im * h[adj[i,m]].
+//===----------------------------------------------------------------------===//
+
+struct GATConfig {
+  int64_t NNodes = 2048;
+  int64_t Feats = 32;
+  int64_t Degree = 8;
+};
+
+struct GATData {
+  Buffer H;      ///< [n, f] node features.
+  Buffer Adj;    ///< [n, deg] int64 neighbors.
+  Buffer A1, A2; ///< [f] attention vectors.
+};
+
+GATData makeGATData(const GATConfig &C);
+
+/// Params: h, adj, a1, a2 Inputs, y [n,f] Output. Node loop labeled
+/// "nodes".
+Func buildGAT(const GATConfig &C);
+
+eager::Tensor gatEager(const eager::Tensor &H,
+                       const eager::IndexTensor &AdjFlat,
+                       const eager::IndexTensor &SelfFlat,
+                       const eager::Tensor &A1, const eager::Tensor &A2,
+                       const GATConfig &C);
+
+void gatNaive(const GATConfig &C, const float *H, const int64_t *Adj,
+              const float *A1, const float *A2, float *Y);
+
+} // namespace workloads
+} // namespace ft
+
+#endif // FT_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,344 @@
+//===- tests/analysis_test.cpp - Access collection & dependences ----------===//
+//
+// The dependence cases here mirror the paper's Fig. 11 (distance vectors),
+// Fig. 12 (reorder legality), and Fig. 13 (parallelize legality).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.h"
+#include "analysis/deps.h"
+#include "ir/printer.h"
+
+using namespace ft;
+
+namespace {
+
+Expr ld(const std::string &V, std::vector<Expr> I,
+        DataType D = DataType::Float32) {
+  return makeLoad(V, std::move(I), D);
+}
+
+Expr iv(const std::string &N) { return makeVar(N); }
+Expr ic(int64_t V) { return makeIntConst(V); }
+
+/// Wraps a statement in VarDefs for the named tensors (1-D, extent n).
+Stmt withDefs(Stmt S, std::vector<std::string> Tensors, Expr N) {
+  for (const std::string &T : Tensors)
+    S = makeVarDef(T, TensorInfo{{N}, DataType::Float32}, AccessType::InOut,
+                   MemType::CPU, S);
+  return makeVarDef("n", TensorInfo{{}, DataType::Int64}, AccessType::Input,
+                    MemType::CPU, S);
+}
+
+TEST(AccessTest, CollectsKindsAndContext) {
+  // for i in 0:n: a[i] = b[i+1] * 2
+  Expr N = ld("n", {}, DataType::Int64);
+  Stmt Body =
+      makeStore("a", {iv("i")}, makeMul(ld("b", {makeAdd(iv("i"), ic(1))}),
+                                        ic(2)));
+  Stmt Loop = makeFor("i", ic(0), N, ForProperty{}, Body);
+  Stmt Root = withDefs(Loop, {"a", "b"}, N);
+
+  AccessCollection AC = collectAccesses(Root);
+  int Reads = 0, Writes = 0;
+  for (const AccessPoint &P : AC.Points) {
+    if (P.Var == "b") {
+      EXPECT_EQ(P.Kind, AccessKind::Read);
+      ASSERT_EQ(P.Loops.size(), 1u);
+      EXPECT_EQ(P.Loops[0].Iter, "i");
+      ++Reads;
+    }
+    if (P.Var == "a") {
+      EXPECT_EQ(P.Kind, AccessKind::Write);
+      EXPECT_EQ(P.Phase, 1);
+      ++Writes;
+    }
+  }
+  EXPECT_EQ(Reads, 1);
+  EXPECT_EQ(Writes, 1);
+  EXPECT_TRUE(AC.isParam("n"));
+  EXPECT_FALSE(AC.isParam("a"));
+}
+
+TEST(AccessTest, ScopeDepthTracksVarDefPosition) {
+  // for i: var t: ... : t = 0  -> t's ScopeDepth == 1, a's == 0.
+  Stmt Inner = makeStore("t", {}, ic(0));
+  Stmt Def = makeVarDef("t", TensorInfo{{}, DataType::Float32},
+                        AccessType::Cache, MemType::CPU, Inner);
+  Stmt Loop = makeFor("i", ic(0), ic(10), ForProperty{}, Def);
+  AccessCollection AC = collectAccesses(Loop);
+  ASSERT_EQ(AC.Points.size(), 1u);
+  EXPECT_EQ(AC.Points[0].Var, "t");
+  EXPECT_EQ(AC.Points[0].ScopeDepth, 1);
+}
+
+//===--------------------------------------------------------------------===//
+// Fig. 13: parallelize legality via carriedBy.
+//===--------------------------------------------------------------------===//
+
+TEST(DepsTest, Fig13aElementwiseNotCarried) {
+  // for i: a[i] = b[i] + 1  -- no loop-carried dependence.
+  Expr N = ld("n", {}, DataType::Int64);
+  Stmt Loop = makeFor("i", ic(0), N, ForProperty{},
+                      makeStore("a", {iv("i")}, makeAdd(ld("b", {iv("i")}),
+                                                        ic(1))));
+  Stmt Root = withDefs(Loop, {"a", "b"}, N);
+  DepAnalyzer DA(Root);
+  EXPECT_TRUE(DA.carriedBy(Loop->Id).empty());
+}
+
+TEST(DepsTest, Fig13bScalarRecurrenceCarried) {
+  // for i: a = a * 2 + b[i]  -- carried dependence on scalar a.
+  Expr N = ld("n", {}, DataType::Int64);
+  Stmt Loop = makeFor(
+      "i", ic(0), N, ForProperty{},
+      makeStore("a", {},
+                makeAdd(makeMul(ld("a", {}), ic(2)), ld("b", {iv("i")}))));
+  Stmt Root = withDefs(Loop, {"b"}, N);
+  Stmt WithA = makeVarDef("a", TensorInfo{{}, DataType::Float32},
+                          AccessType::InOut, MemType::CPU, Root);
+  DepAnalyzer DA(WithA);
+  auto Deps = DA.carriedBy(Loop->Id);
+  EXPECT_FALSE(Deps.empty());
+  bool HasRAW = false;
+  for (const FoundDep &D : Deps)
+    HasRAW |= D.Type == DepType::RAW;
+  EXPECT_TRUE(HasRAW);
+}
+
+TEST(DepsTest, Fig13dReductionCarriedButSameOpReduce) {
+  // for i: a += b[i]  -- carried, but a same-op reduce pair.
+  Expr N = ld("n", {}, DataType::Int64);
+  Stmt Loop = makeFor("i", ic(0), N, ForProperty{},
+                      makeReduceTo("a", {}, ReduceOpKind::Add,
+                                   ld("b", {iv("i")})));
+  Stmt Root = makeVarDef("a", TensorInfo{{}, DataType::Float32},
+                         AccessType::Output, MemType::CPU,
+                         withDefs(Loop, {"b"}, N));
+  DepAnalyzer DA(Root);
+  auto Deps = DA.carriedBy(Loop->Id);
+  ASSERT_FALSE(Deps.empty());
+  for (const FoundDep &D : Deps)
+    EXPECT_TRUE(D.SameOpReduce);
+}
+
+TEST(DepsTest, Fig13eIndirectReductionConservativelyCarried) {
+  // for i: a[idx[i]] += b[i] -- indirect index: may-dependence kept, and it
+  // is a same-op reduce pair (parallelizable with atomics).
+  Expr N = ld("n", {}, DataType::Int64);
+  Stmt Loop = makeFor(
+      "i", ic(0), N, ForProperty{},
+      makeReduceTo("a", {ld("idx", {iv("i")}, DataType::Int64)},
+                   ReduceOpKind::Add, ld("b", {iv("i")})));
+  Stmt Root = withDefs(Loop, {"a", "b"}, N);
+  Root = makeVarDef("idx", TensorInfo{{N}, DataType::Int64},
+                    AccessType::Input, MemType::CPU, Root);
+  DepAnalyzer DA(Root);
+  auto Deps = DA.carriedBy(Loop->Id);
+  ASSERT_FALSE(Deps.empty());
+  for (const FoundDep &D : Deps)
+    if (D.Earlier->Var == "a")
+      EXPECT_TRUE(D.SameOpReduce);
+}
+
+TEST(DepsTest, DistinctColumnsIndependent) {
+  // for i: { a[i, 0] = ..; a[i, 1] = .. } -- no dependence between the two
+  // stores (different second index), carried or otherwise.
+  Expr N = ld("n", {}, DataType::Int64);
+  Stmt S0 = makeStore("a", {iv("i"), ic(0)}, ic(1));
+  Stmt S1 = makeStore("a", {iv("i"), ic(1)}, ic(2));
+  Stmt Loop = makeFor("i", ic(0), N, ForProperty{},
+                      makeStmtSeq({S0, S1}));
+  Stmt Root = makeVarDef("a", TensorInfo{{N, ic(2)}, DataType::Float32},
+                         AccessType::Output, MemType::CPU, Loop);
+  Root = makeVarDef("n", TensorInfo{{}, DataType::Int64}, AccessType::Input,
+                    MemType::CPU, Root);
+  DepAnalyzer DA(Root);
+  EXPECT_TRUE(DA.carriedBy(Loop->Id).empty());
+  EXPECT_TRUE(DA.betweenAtEqualIters(S0->Id, S1->Id).empty());
+}
+
+//===--------------------------------------------------------------------===//
+// Fig. 11 / 12: direction constraints through mayDepend.
+//===--------------------------------------------------------------------===//
+
+struct Fig11Fixture {
+  Stmt Root, LoopI, LoopJ, Assign;
+  const AccessPoint *Write = nullptr;
+  const AccessPoint *Read2 = nullptr; // a[i-1, j+1]
+  DepAnalyzer *DA = nullptr;
+
+  // for i in 1:N-1: for j in 1:M-1:
+  //   a[i+1, j] = a[i-1, j+1] + a[i-1, j-1]   (reads (2), (3); write (1))
+  void build() {
+    Expr N = ld("N", {}, DataType::Int64), M = ld("M", {}, DataType::Int64);
+    Expr I = iv("i"), J = iv("j");
+    Assign = makeStore(
+        "a", {makeAdd(I, ic(1)), J},
+        makeAdd(ld("a", {makeSub(I, ic(1)), makeAdd(J, ic(1))}),
+                ld("a", {makeSub(I, ic(1)), makeSub(J, ic(1))})));
+    LoopJ = makeFor("j", ic(1), makeSub(M, ic(1)), ForProperty{}, Assign);
+    LoopI = makeFor("i", ic(1), makeSub(N, ic(1)), ForProperty{}, LoopJ);
+    Root = makeVarDef("a", TensorInfo{{N, M}, DataType::Float32},
+                      AccessType::InOut, MemType::CPU, LoopI);
+    Root = makeVarDef("N", TensorInfo{{}, DataType::Int64},
+                      AccessType::Input, MemType::CPU, Root);
+    Root = makeVarDef("M", TensorInfo{{}, DataType::Int64},
+                      AccessType::Input, MemType::CPU, Root);
+  }
+};
+
+TEST(DepsTest, Fig11DirectionVectors) {
+  Fig11Fixture F;
+  F.build();
+  DepAnalyzer DA(F.Root);
+  const AccessPoint *W = nullptr, *R1 = nullptr;
+  for (const AccessPoint &P : DA.accesses().Points) {
+    if (P.Var != "a")
+      continue;
+    if (P.Kind == AccessKind::Write)
+      W = &P;
+    else if (toString(P.Indices[1]) == "(j + 1)")
+      R1 = &P;
+  }
+  ASSERT_NE(W, nullptr);
+  ASSERT_NE(R1, nullptr);
+
+  // RAW from the write (earlier) to the (i-1, j+1) read (later): requires
+  // q.i = p.i + 2, q.j = p.j - 1, i.e. carried by i with distance 2.
+  RelMap LtI{{F.LoopI->Id, IterRel::Lt}};
+  EXPECT_TRUE(DA.mayDepend(*W, *R1, LtI));
+  // Not possible at equal i.
+  RelMap EqI{{F.LoopI->Id, IterRel::Eq}};
+  EXPECT_FALSE(DA.mayDepend(*W, *R1, EqI));
+  // With i strictly ordered and j forced equal: distance (2, -1) has
+  // j-component -1 != 0, so infeasible.
+  RelMap LtIEqJ{{F.LoopI->Id, IterRel::Lt}, {F.LoopJ->Id, IterRel::Eq}};
+  EXPECT_FALSE(DA.mayDepend(*W, *R1, LtIEqJ));
+  // Distance in j is -1 (q.j < p.j): Gt on j is feasible.
+  RelMap LtIGtJ{{F.LoopI->Id, IterRel::Lt}, {F.LoopJ->Id, IterRel::Gt}};
+  EXPECT_TRUE(DA.mayDepend(*W, *R1, LtIGtJ));
+}
+
+TEST(DepsTest, Fig12dScopeFilteringRemovesFalseDependence) {
+  // for i: for j: { var t: for k: { t[k] = a[i,j,k]; b[i,j,k] = t[k] } }
+  // The WAW on t across (i, j) iterations is filtered by the stack scope.
+  Expr N = ld("n", {}, DataType::Int64);
+  Expr I = iv("i"), J = iv("j"), K = iv("k");
+  Stmt S1 = makeStore("t", {K}, ld("a", {I, J, K}));
+  Stmt S2 = makeStore("b", {I, J, K}, ld("t", {K}));
+  Stmt LoopK = makeFor("k", ic(0), ic(8), ForProperty{},
+                       makeStmtSeq({S1, S2}));
+  Stmt DefT = makeVarDef("t", TensorInfo{{ic(8)}, DataType::Float32},
+                         AccessType::Cache, MemType::CPU, LoopK);
+  Stmt LoopJ = makeFor("j", ic(0), N, ForProperty{}, DefT);
+  Stmt LoopI = makeFor("i", ic(0), N, ForProperty{}, LoopJ);
+  Stmt Root = withDefs(LoopI, {"a", "b"}, N);
+  DepAnalyzer DA(Root);
+  // No dependence carried by i or j: each (i, j) iteration has a fresh t.
+  EXPECT_TRUE(DA.carriedBy(LoopI->Id).empty());
+  EXPECT_TRUE(DA.carriedBy(LoopJ->Id).empty());
+  // But within one (i, j) iteration, k does carry WAR on t[k]? No: S1@k
+  // writes t[k], S2@k reads t[k]; different k touch different elements.
+  EXPECT_TRUE(DA.carriedBy(LoopK->Id).empty());
+}
+
+TEST(DepsTest, TextualOrderAtEqualIters) {
+  // { a[i] = 1; b[i] = a[i] } inside one loop: RAW at equal iterations,
+  // detected by betweenAtEqualIters in that order but not reversed.
+  Expr N = ld("n", {}, DataType::Int64);
+  Stmt S1 = makeStore("a", {iv("i")}, ic(1));
+  Stmt S2 = makeStore("b", {iv("i")}, ld("a", {iv("i")}));
+  Stmt Loop = makeFor("i", ic(0), N, ForProperty{}, makeStmtSeq({S1, S2}));
+  Stmt Root = withDefs(Loop, {"a", "b"}, N);
+  DepAnalyzer DA(Root);
+  auto Deps = DA.betweenAtEqualIters(S1->Id, S2->Id);
+  ASSERT_EQ(Deps.size(), 1u);
+  EXPECT_EQ(Deps[0].Type, DepType::RAW);
+  EXPECT_TRUE(DA.betweenAtEqualIters(S2->Id, S1->Id).empty());
+}
+
+TEST(DepsTest, GuardedAccessesDisjointByCondition) {
+  // for i: { if i < 5: a[i] = 1; if i >= 5: x += a[i] } -- the write and
+  // read ranges are disjoint, so no dependence even at equal iterations.
+  Expr N = ld("n", {}, DataType::Int64);
+  Stmt W = makeIf(makeLT(iv("i"), ic(5)),
+                  makeStore("a", {iv("i")}, ic(1)));
+  Stmt R = makeIf(makeGE(iv("i"), ic(5)),
+                  makeReduceTo("x", {}, ReduceOpKind::Add,
+                               ld("a", {iv("i")})));
+  Stmt Loop = makeFor("i", ic(0), N, ForProperty{}, makeStmtSeq({W, R}));
+  Stmt Root = makeVarDef("x", TensorInfo{{}, DataType::Float32},
+                         AccessType::Output, MemType::CPU,
+                         withDefs(Loop, {"a"}, N));
+  DepAnalyzer DA(Root);
+  for (const FoundDep &D : DA.carriedBy(Loop->Id))
+    EXPECT_NE(D.Earlier->Var, "a");
+}
+
+//===--------------------------------------------------------------------===//
+// ProofContext and bound elimination (Fig. 14 cache-size analysis).
+//===--------------------------------------------------------------------===//
+
+TEST(BoundsTest, ProofContextProvesGuards) {
+  ProofContext PC([](const std::string &) { return true; });
+  PC.pushLoop("i", ic(0), ld("n", {}, DataType::Int64));
+  EXPECT_TRUE(PC.provablyTrue(makeGE(iv("i"), ic(0))));
+  EXPECT_FALSE(PC.provablyTrue(makeGE(iv("i"), ic(1))));
+  EXPECT_TRUE(PC.provablyFalse(makeLT(iv("i"), ic(0))));
+  PC.pushCond(makeGE(iv("i"), ic(3)), false);
+  EXPECT_TRUE(PC.provablyTrue(makeGE(iv("i"), ic(1))));
+  PC.popCond();
+  EXPECT_FALSE(PC.provablyTrue(makeGE(iv("i"), ic(1))));
+  PC.popLoop();
+}
+
+TEST(BoundsTest, UnreachableBranch) {
+  ProofContext PC([](const std::string &) { return true; });
+  PC.pushLoop("i", ic(0), ic(4));
+  PC.pushCond(makeGE(iv("i"), ic(10)), false);
+  EXPECT_TRUE(PC.unreachable());
+  PC.popCond();
+  EXPECT_FALSE(PC.unreachable());
+}
+
+TEST(BoundsTest, EliminateItersFig14) {
+  // Index i + j with inner loop j in [0, m): bounds [i, i + m - 1].
+  IsParamFn P = [](const std::string &) { return true; };
+  LinearExpr E = *LinearExpr::tryAdd(LinearExpr::variable("i"),
+                                     LinearExpr::variable("j"));
+  std::vector<IterRange> Inner{{"j", ic(0), ld("m", {}, DataType::Int64)}};
+  auto B = eliminateIters(E, Inner, P);
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(B->Lower.toString(), "1*i");
+  // Upper: i + m - 1.
+  EXPECT_EQ(B->Upper.coeffOf("i"), 1);
+  EXPECT_EQ(B->Upper.coeffOf("$m"), 1);
+  EXPECT_EQ(B->Upper.constTerm(), -1);
+}
+
+TEST(BoundsTest, EliminateItersNegativeCoefficient) {
+  // Index -k with k in [2, 7): bounds [-6, -2].
+  IsParamFn P = [](const std::string &) { return true; };
+  LinearExpr E = *LinearExpr::tryScale(LinearExpr::variable("k"), -1);
+  std::vector<IterRange> Inner{{"k", ic(2), ic(7)}};
+  auto B = eliminateIters(E, Inner, P);
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(B->Lower.constTerm(), -6);
+  EXPECT_EQ(B->Upper.constTerm(), -2);
+}
+
+TEST(BoundsTest, LinearToExprRoundTrip) {
+  LinearExpr E = LinearExpr::variable("i");
+  E.setCoeff("$n", 2);
+  E.addConst(3);
+  Expr X = linearToExpr(E);
+  // Convert back.
+  auto L = toLinear(X, [](const std::string &) { return true; });
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(*L, E);
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+//===- tests/eager_test.cpp - EagerTensor baseline framework ---------------===//
+//
+// Operator-level correctness and autograd checks for the operator-based
+// baseline, each gradient validated against central finite differences —
+// the baseline must be *correct* for the Figure-16 comparisons to mean
+// anything.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <functional>
+#include <gtest/gtest.h>
+
+#include "opframework/eager.h"
+
+using namespace ft::eager;
+
+namespace {
+
+Tensor seeded(std::vector<int64_t> Shape, double Phase,
+              bool RequiresGrad = false) {
+  int64_t N = 1;
+  for (int64_t D : Shape)
+    N *= D;
+  std::vector<float> V(N);
+  for (int64_t I = 0; I < N; ++I)
+    V[I] = 0.4f * std::sin(0.7 * double(I) + Phase) + 0.1f;
+  return Tensor::fromVec(std::move(Shape), std::move(V), RequiresGrad);
+}
+
+/// Finite-difference check of d(sum(Fn(X, ...)))/dX at a few probes.
+void gradCheck(const std::function<Tensor(const Tensor &)> &Fn,
+               std::vector<int64_t> Shape, double Tol = 5e-2) {
+  clearTape();
+  Tensor X = seeded(Shape, 1.0, /*RequiresGrad=*/true);
+  Tensor L = sumAll(Fn(X));
+  backward(L);
+  Tensor G = X.grad();
+
+  const float Eps = 1e-2f;
+  for (int64_t Probe : {int64_t(0), X.numel() / 2, X.numel() - 1}) {
+    auto Eval = [&](float Delta) {
+      clearTape();
+      Tensor X2 = seeded(Shape, 1.0);
+      X2.data()[Probe] += Delta;
+      Tensor Y = Fn(X2);
+      double S = 0;
+      for (int64_t I = 0; I < Y.numel(); ++I)
+        S += Y.data()[I];
+      return S;
+    };
+    double Numeric = (Eval(Eps) - Eval(-Eps)) / (2 * Eps);
+    EXPECT_NEAR(G.data()[Probe], Numeric, Tol) << "probe " << Probe;
+  }
+}
+
+TEST(EagerTest, ElementwiseForward) {
+  Tensor A = Tensor::fromVec({4}, {1, -2, 3, -4});
+  Tensor B = Tensor::fromVec({4}, {5, 6, 7, 8});
+  EXPECT_FLOAT_EQ(add(A, B).data()[0], 6);
+  EXPECT_FLOAT_EQ(sub(A, B).data()[1], -8);
+  EXPECT_FLOAT_EQ(mul(A, B).data()[2], 21);
+  EXPECT_FLOAT_EQ(abs(A).data()[3], 4);
+  EXPECT_FLOAT_EQ(scale(A, 2).data()[0], 2);
+  EXPECT_FLOAT_EQ(relu(A).data()[1], 0);
+  EXPECT_NEAR(exp(A).data()[0], std::exp(1.0f), 1e-5);
+  EXPECT_NEAR(sigmoid(A).data()[0], 1 / (1 + std::exp(-1.0f)), 1e-6);
+  EXPECT_FLOAT_EQ(minEw(A, B).data()[0], 1);
+  EXPECT_NEAR(divEw(A, B).data()[0], 0.2f, 1e-6);
+  EXPECT_FLOAT_EQ(addScalar(A, 10).data()[1], 8);
+}
+
+TEST(EagerTest, ElementwiseGradients) {
+  gradCheck([](const Tensor &X) { return mul(X, X); }, {6});
+  gradCheck([](const Tensor &X) { return abs(X); }, {6});
+  gradCheck([](const Tensor &X) { return exp(X); }, {6});
+  gradCheck([](const Tensor &X) { return sigmoid(X); }, {6});
+  gradCheck([](const Tensor &X) { return log(addScalar(scale(X, 0.1f),
+                                                       2.0f)); },
+            {6});
+}
+
+TEST(EagerTest, ReductionsAndSoftmax) {
+  Tensor A = Tensor::fromVec({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor S0 = sumAxis(A, 0);
+  EXPECT_FLOAT_EQ(S0.data()[0], 5);
+  EXPECT_FLOAT_EQ(S0.data()[2], 9);
+  Tensor S1 = sumAxis(A, 1);
+  EXPECT_FLOAT_EQ(S1.data()[0], 6);
+  EXPECT_FLOAT_EQ(S1.data()[1], 15);
+  EXPECT_FLOAT_EQ(sumAll(A).data()[0], 21);
+
+  Tensor SM = softmaxLast(A);
+  for (int Row = 0; Row < 2; ++Row) {
+    float Sum = 0;
+    for (int C = 0; C < 3; ++C)
+      Sum += SM.data()[Row * 3 + C];
+    EXPECT_NEAR(Sum, 1.0f, 1e-5);
+  }
+  gradCheck([](const Tensor &X) { return softmaxLast(mul(X, X)); }, {2, 3},
+            1e-2);
+  gradCheck([](const Tensor &X) { return sumAxis(mul(X, X), 1); }, {3, 4});
+}
+
+TEST(EagerTest, MatmulAndMv) {
+  Tensor A = Tensor::fromVec({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor B = Tensor::fromVec({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor C = matmul(A, B);
+  EXPECT_FLOAT_EQ(C.data()[0], 58);
+  EXPECT_FLOAT_EQ(C.data()[3], 154);
+  Tensor V = Tensor::fromVec({3}, {1, 0, -1});
+  Tensor MV = mv(A, V);
+  EXPECT_FLOAT_EQ(MV.data()[0], -2);
+  EXPECT_FLOAT_EQ(MV.data()[1], -2);
+
+  gradCheck(
+      [&](const Tensor &X) {
+        Tensor B2 = Tensor::fromVec({3, 2}, {7, 8, 9, 10, 11, 12});
+        return matmul(X, B2);
+      },
+      {2, 3});
+}
+
+TEST(EagerTest, GatherScatterRoll) {
+  Tensor A = Tensor::fromVec({3, 2}, {1, 2, 3, 4, 5, 6});
+  IndexTensor Idx = IndexTensor::fromVec({2}, {2, 0});
+  Tensor G = indexSelect0(A, Idx);
+  EXPECT_FLOAT_EQ(G.data()[0], 5);
+  EXPECT_FLOAT_EQ(G.data()[2], 1);
+
+  Tensor SA = scatterAdd0(G, Idx, 3);
+  EXPECT_FLOAT_EQ(SA.data()[4], 5); // Row 2 gets row 0 of G back.
+  EXPECT_FLOAT_EQ(SA.data()[0], 1);
+  EXPECT_FLOAT_EQ(SA.data()[2], 0); // Row 1 untouched.
+
+  // Roll along axis 1 of a [1, 3, 2] tensor.
+  Tensor T3 = Tensor::fromVec({1, 3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor R = roll1(T3, 1);
+  EXPECT_FLOAT_EQ(R.data()[0], 3); // Position 0 now holds element 1.
+  EXPECT_FLOAT_EQ(R.data()[4], 1); // Position 2 wraps to element 0.
+
+  gradCheck(
+      [&](const Tensor &X) { return indexSelect0(X, Idx); }, {3, 2});
+  gradCheck([&](const Tensor &X) { return roll1(X, 1); }, {1, 3, 2});
+  gradCheck(
+      [&](const Tensor &X) { return scatterAdd0(X, Idx, 3); }, {2, 2});
+}
+
+TEST(EagerTest, SlidingWindowsAndBmv) {
+  Tensor A = Tensor::fromVec({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor W = slidingWindows(A, 1); // [3, 3, 2]
+  // Row 0, offset -1 is padding.
+  EXPECT_FLOAT_EQ(W.data()[0], 0);
+  EXPECT_FLOAT_EQ(W.data()[2], 1); // Offset 0 = row 0.
+  EXPECT_FLOAT_EQ(W.data()[4], 3); // Offset +1 = row 1.
+
+  Tensor Q = Tensor::fromVec({3, 2}, {1, 1, 1, 1, 1, 1});
+  Tensor D = bmvDot(W, Q); // [3, 3]
+  EXPECT_FLOAT_EQ(D.data()[0], 0);
+  EXPECT_FLOAT_EQ(D.data()[1], 3);  // <(1,2),(1,1)>
+  EXPECT_FLOAT_EQ(D.data()[2], 7);  // <(3,4),(1,1)>
+
+  Tensor P = Tensor::fromVec({3, 3}, {0, 1, 0, 0, 0, 1, 1, 0, 0});
+  Tensor Y = bmvWeight(P, W);
+  EXPECT_FLOAT_EQ(Y.data()[0], 1); // Row 0 selects offset 0 = row 0.
+
+  gradCheck([&](const Tensor &X) { return slidingWindows(X, 1); }, {3, 2});
+  gradCheck(
+      [&](const Tensor &X) {
+        Tensor Q2 = Tensor::fromVec({3, 2}, {1, 1, 1, 1, 1, 1});
+        return bmvDot(slidingWindows(X, 1), Q2);
+      },
+      {3, 2});
+}
+
+TEST(EagerTest, BroadcastOps) {
+  Tensor A = Tensor::fromVec({2}, {10, 20});
+  Tensor B = Tensor::fromVec({3}, {1, 2, 3});
+  Tensor O = outerSub(A, B);
+  EXPECT_FLOAT_EQ(O.data()[0], 9);
+  EXPECT_FLOAT_EQ(O.data()[5], 17);
+
+  Tensor M = Tensor::fromVec({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor MC = mulCols(M, B);
+  EXPECT_FLOAT_EQ(MC.data()[1], 4);
+  Tensor MR = mulRows(M, A);
+  EXPECT_FLOAT_EQ(MR.data()[3], 80);
+
+  gradCheck(
+      [&](const Tensor &X) {
+        Tensor B2 = Tensor::fromVec({3}, {1, 2, 3});
+        return outerSub(X, B2);
+      },
+      {2});
+  gradCheck(
+      [&](const Tensor &X) {
+        Tensor B2 = Tensor::fromVec({3}, {1, 2, 3});
+        return mulCols(X, B2);
+      },
+      {2, 3});
+}
+
+TEST(EagerTest, MaskedFillStopsGradThroughMask) {
+  Tensor Mask = Tensor::fromVec({4}, {1, 0, 1, 0});
+  clearTape();
+  Tensor X = seeded({4}, 2.0, true);
+  Tensor Y = maskedFill(X, Mask, -100.0f);
+  EXPECT_FLOAT_EQ(Y.data()[1], -100.0f);
+  backward(sumAll(Y));
+  Tensor G = X.grad();
+  EXPECT_FLOAT_EQ(G.data()[0], 1);
+  EXPECT_FLOAT_EQ(G.data()[1], 0); // Masked positions get no gradient.
+}
+
+TEST(EagerTest, StatsCounters) {
+  resetStats();
+  clearTape();
+  Tensor A = seeded({100}, 0.5);
+  Tensor B = seeded({100}, 1.5);
+  resetStats();
+  Tensor C = add(A, B);
+  (void)C;
+  EXPECT_EQ(stats().KernelLaunches, 1);
+  EXPECT_EQ(stats().BytesRead, 800);
+  EXPECT_EQ(stats().BytesWritten, 400);
+  EXPECT_EQ(stats().Flops, 100);
+  EXPECT_EQ(stats().BytesAllocated, 400);
+}
+
+TEST(EagerTest, TapeAccumulatesAcrossUses) {
+  // X used twice: gradients must sum.
+  clearTape();
+  Tensor X = seeded({4}, 0.0, true);
+  Tensor Y = add(mul(X, X), scale(X, 3.0f)); // d/dx = 2x + 3
+  backward(sumAll(Y));
+  Tensor G = X.grad();
+  for (int64_t I = 0; I < 4; ++I)
+    EXPECT_NEAR(G.data()[I], 2 * X.data()[I] + 3, 1e-5);
+}
+
+} // namespace

@@ -1,0 +1,273 @@
+//===- tests/frontend_test.cpp - DSL builder, views, libop, interp --------===//
+//
+// Includes the paper-fidelity checks: the dimension-free recursive add of
+// Fig. 6(b) must stage to the nested loops of Fig. 9(c), and the Longformer
+// kernel of Fig. 5 must compute the right values.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "frontend/libop.h"
+#include "interp/interp.h"
+#include "ir/printer.h"
+#include "pass/const_fold.h"
+#include "pass/simplify.h"
+
+using namespace ft;
+
+namespace {
+
+TEST(BuilderTest, ParamsAndBuild) {
+  FunctionBuilder B("f");
+  Expr N = B.scalarInput("n");
+  View A = B.input("a", {N});
+  View Y = B.output("y", {N});
+  B.loop("i", makeIntConst(0), N, [&](Expr I) { Y[I].assign(A[I].load()); });
+  Func F = B.build();
+  EXPECT_EQ(F.Name, "f");
+  ASSERT_EQ(F.Params.size(), 3u);
+  EXPECT_EQ(F.Params[0], "n");
+  // Parameters wrap the body outermost-first.
+  auto D = cast<VarDefNode>(F.Body);
+  EXPECT_EQ(D->Name, "n");
+  EXPECT_EQ(D->ATy, AccessType::Input);
+}
+
+TEST(BuilderTest, ViewSelectAndSlice) {
+  FunctionBuilder B("f");
+  View A = B.input("a", {makeIntConst(4), makeIntConst(6)});
+  // A[1] is a 1-D view of row 1; A[1][2] is a scalar.
+  View Row = A[1];
+  EXPECT_EQ(Row.ndim(), 1);
+  EXPECT_EQ(toString(Row[2].load()), "a[(0 + 1), (0 + 2)]");
+
+  // Slicing dimension 1 to [2, 5) then selecting 0 gives column offset 2.
+  View S = A.slice(1, makeIntConst(2), makeIntConst(5));
+  EXPECT_EQ(S.ndim(), 2);
+  EXPECT_EQ(toString(simplify(makeStore("y", {}, S[0][0].load()))),
+            "y = a[0, 2]\n");
+  EXPECT_EQ(toString(constFold(S.shape(1))), "3");
+}
+
+TEST(BuilderTest, LocalScopesOverRestOfBlock) {
+  FunctionBuilder B("f");
+  View Y = B.output("y", {});
+  View T = B.local("t", {});
+  T.assign(1.0);
+  Y.assign(T.load());
+  Func F = B.build();
+  // Structure: VarDef y { VarDef t { t = 1; y = t } }.
+  auto DY = cast<VarDefNode>(F.Body);
+  auto DT = cast<VarDefNode>(DY->Body);
+  EXPECT_EQ(DT->Name, "t");
+  EXPECT_EQ(DT->ATy, AccessType::Cache);
+}
+
+TEST(BuilderTest, FreshNamesAvoidCollision) {
+  FunctionBuilder B("f");
+  View T1 = B.local("t", {});
+  View T2 = B.local("t", {});
+  EXPECT_EQ(T1.name(), "t");
+  EXPECT_EQ(T2.name(), "t.1");
+}
+
+TEST(BuilderTest, LoopsAndIfsNest) {
+  FunctionBuilder B("f");
+  View Y = B.output("y", {makeIntConst(10)});
+  B.loop("i", 0, 10, [&](Expr I) {
+    B.ifThenElse(
+        I < 5, [&] { Y[I].assign(0.0); }, [&] { Y[I].assign(1.0); });
+  });
+  Func F = B.build();
+  std::string P = toString(F.Body);
+  EXPECT_NE(P.find("for i in 0:10"), std::string::npos);
+  EXPECT_NE(P.find("if (i < 5):"), std::string::npos);
+  EXPECT_NE(P.find("else:"), std::string::npos);
+}
+
+//===--------------------------------------------------------------------===//
+// Fig. 6(b) -> Fig. 9(c): dimension-free add expands to nested loops.
+//===--------------------------------------------------------------------===//
+
+TEST(LibopTest, DimensionFreeAddExpandsToNestedLoops) {
+  FunctionBuilder B("add3d");
+  auto Sh = [&](int64_t V) { return makeIntConst(V); };
+  View A = B.input("A", {Sh(2), Sh(3), Sh(4)});
+  View Bv = B.input("B", {Sh(2), Sh(3), Sh(4)});
+  View C = B.output("C", {Sh(2), Sh(3), Sh(4)});
+  libop::add(B, A, Bv, C); // Recursion on ndim, as in Fig. 6(b).
+  Func F = simplify(B.build());
+
+  // The staged program is exactly the three nested loops of Fig. 9(c).
+  std::string P = toString(F.Body);
+  EXPECT_NE(P.find("for i in 0:2"), std::string::npos);
+  EXPECT_NE(P.find("for i.1 in 0:3"), std::string::npos);
+  EXPECT_NE(P.find("for i.2 in 0:4"), std::string::npos);
+  EXPECT_NE(P.find("C[i, i.1, i.2] = (A[i, i.1, i.2] + B[i, i.1, i.2])"),
+            std::string::npos);
+  // And nothing else: no residual branches or calls.
+  EXPECT_EQ(P.find("if"), std::string::npos);
+}
+
+TEST(LibopTest, AddComputesCorrectValues) {
+  FunctionBuilder B("add2d");
+  View A = B.input("A", {makeIntConst(2), makeIntConst(2)});
+  View Bv = B.input("B", {makeIntConst(2), makeIntConst(2)});
+  View C = B.output("C", {makeIntConst(2), makeIntConst(2)});
+  libop::add(B, A, Bv, C);
+  Func F = B.build();
+
+  Buffer BA = Buffer::fromF32({2, 2}, {1, 2, 3, 4});
+  Buffer BB = Buffer::fromF32({2, 2}, {10, 20, 30, 40});
+  Buffer BC(DataType::Float32, {2, 2});
+  interpret(F, {{"A", &BA}, {"B", &BB}, {"C", &BC}});
+  EXPECT_FLOAT_EQ(BC.as<float>()[0], 11);
+  EXPECT_FLOAT_EQ(BC.as<float>()[3], 44);
+}
+
+TEST(LibopTest, MatmulAndReductions) {
+  FunctionBuilder B("mm");
+  View A = B.input("A", {makeIntConst(2), makeIntConst(3)});
+  View Bv = B.input("B", {makeIntConst(3), makeIntConst(2)});
+  View C = B.output("C", {makeIntConst(2), makeIntConst(2)});
+  View RS = B.output("rs", {makeIntConst(3)}); // col-sums of A
+  View MX = B.output("mx", {makeIntConst(2)}); // row-maxes of A
+  libop::matmul(B, A, Bv, C);
+  libop::reduceSum(B, A, RS, /*Axis=*/0);
+  libop::reduceMax(B, A, MX, /*Axis=*/1);
+  Func F = B.build();
+
+  Buffer BA = Buffer::fromF32({2, 3}, {1, 2, 3, 4, 5, 6});
+  Buffer BB = Buffer::fromF32({3, 2}, {7, 8, 9, 10, 11, 12});
+  Buffer BC(DataType::Float32, {2, 2});
+  Buffer BRS(DataType::Float32, {3});
+  Buffer BMX(DataType::Float32, {2});
+  interpret(F, {{"A", &BA}, {"B", &BB}, {"C", &BC}, {"rs", &BRS},
+                {"mx", &BMX}});
+  // C = [[58, 64], [139, 154]]
+  EXPECT_FLOAT_EQ(BC.as<float>()[0], 58);
+  EXPECT_FLOAT_EQ(BC.as<float>()[1], 64);
+  EXPECT_FLOAT_EQ(BC.as<float>()[2], 139);
+  EXPECT_FLOAT_EQ(BC.as<float>()[3], 154);
+  EXPECT_FLOAT_EQ(BRS.as<float>()[0], 5);
+  EXPECT_FLOAT_EQ(BRS.as<float>()[2], 9);
+  EXPECT_FLOAT_EQ(BMX.as<float>()[0], 3);
+  EXPECT_FLOAT_EQ(BMX.as<float>()[1], 6);
+}
+
+TEST(LibopTest, SoftmaxMatchesReference) {
+  FunctionBuilder B("sm");
+  View X = B.input("x", {makeIntConst(5)});
+  View Y = B.output("y", {makeIntConst(5)});
+  libop::softmax(B, X, Y);
+  Func F = B.build();
+
+  std::vector<float> Xs = {1.0f, -2.0f, 0.5f, 3.0f, 0.0f};
+  Buffer BX = Buffer::fromF32({5}, Xs);
+  Buffer BY(DataType::Float32, {5});
+  interpret(F, {{"x", &BX}, {"y", &BY}});
+
+  double Mx = 3.0, Den = 0;
+  for (float V : Xs)
+    Den += std::exp(V - Mx);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_NEAR(BY.as<float>()[I], std::exp(Xs[I] - Mx) / Den, 1e-6);
+}
+
+//===--------------------------------------------------------------------===//
+// Fig. 5: Longformer sliding-window attention scores, checked numerically.
+//===--------------------------------------------------------------------===//
+
+Func buildLongformerScores(int64_t SeqLen, int64_t FeatLen, int64_t W) {
+  FunctionBuilder B("longformer_scores");
+  View Q = B.input("Q", {makeIntConst(SeqLen), makeIntConst(FeatLen)});
+  View K = B.input("K", {makeIntConst(SeqLen), makeIntConst(FeatLen)});
+  View Attn =
+      B.output("attn", {makeIntConst(SeqLen), makeIntConst(2 * W + 1)});
+  B.loop("j", 0, SeqLen, [&](Expr J) {
+    View Dot = B.local("dot", {makeIntConst(2 * W + 1)});
+    libop::zeros(B, Dot);
+    B.loop("k", -W, W + 1, [&](Expr Kk) {
+      B.ifThen(J + Kk >= 0 && J + Kk < SeqLen, [&] {
+        B.loop("p", 0, FeatLen, [&](Expr P) {
+          Dot[Kk + W] += Q[J][P].load() * K[J + Kk][P].load();
+        });
+      });
+    });
+    libop::softmax(B, Dot, Attn[J]);
+  });
+  return B.build();
+}
+
+TEST(LibopTest, LongformerScoresMatchReference) {
+  const int64_t N = 6, D = 3, W = 2;
+  Func F = buildLongformerScores(N, D, W);
+
+  std::vector<float> Q(N * D), K(N * D);
+  for (size_t I = 0; I < Q.size(); ++I) {
+    Q[I] = std::sin(0.3 * double(I));
+    K[I] = std::cos(0.2 * double(I));
+  }
+  Buffer BQ = Buffer::fromF32({N, D}, Q);
+  Buffer BK = Buffer::fromF32({N, D}, K);
+  Buffer BA(DataType::Float32, {N, 2 * W + 1});
+  interpret(F, {{"Q", &BQ}, {"K", &BK}, {"attn", &BA}});
+
+  for (int64_t J = 0; J < N; ++J) {
+    // Reference computation.
+    std::vector<double> Dot(2 * W + 1, 0.0);
+    for (int64_t Kk = -W; Kk <= W; ++Kk) {
+      if (J + Kk < 0 || J + Kk >= N)
+        continue;
+      for (int64_t P = 0; P < D; ++P)
+        Dot[Kk + W] += double(Q[J * D + P]) * double(K[(J + Kk) * D + P]);
+    }
+    double Mx = *std::max_element(Dot.begin(), Dot.end());
+    double Den = 0;
+    for (double V : Dot)
+      Den += std::exp(V - Mx);
+    for (int64_t C = 0; C < 2 * W + 1; ++C)
+      EXPECT_NEAR(BA.as<float>()[J * (2 * W + 1) + C],
+                  std::exp(Dot[C] - Mx) / Den, 1e-5)
+          << "row " << J << " col " << C;
+  }
+}
+
+TEST(InterpTest, CountsAreConsistent) {
+  FunctionBuilder B("count");
+  View X = B.input("x", {makeIntConst(8)});
+  View Y = B.output("y", {makeIntConst(8)});
+  B.loop("i", 0, 8,
+         [&](Expr I) { Y[I].assign(X[I].load() * makeFloatConst(2.0)); });
+  Func F = B.build();
+  Buffer BX(DataType::Float32, {8});
+  Buffer BY(DataType::Float32, {8});
+  InterpStats St = interpret(F, {{"x", &BX}, {"y", &BY}});
+  EXPECT_EQ(St.Loads, 8);
+  EXPECT_EQ(St.Stores, 8);
+  EXPECT_EQ(St.Flops, 8);
+  EXPECT_EQ(St.bytesMoved(), 8 * 4 * 2);
+}
+
+TEST(InterpTest, IndirectIndexing) {
+  // y[i] = e[adj[i]]: the SubdivNet-style gather.
+  FunctionBuilder B("gather");
+  View E = B.input("e", {makeIntConst(4)});
+  View Adj = B.input("adj", {makeIntConst(3)}, DataType::Int64);
+  View Y = B.output("y", {makeIntConst(3)});
+  B.loop("i", 0, 3, [&](Expr I) {
+    Y[I].assign(E[Adj[I].load()].load());
+  });
+  Func F = B.build();
+  Buffer BE = Buffer::fromF32({4}, {10, 20, 30, 40});
+  Buffer BAdj = Buffer::fromI64({3}, {2, 0, 3});
+  Buffer BY(DataType::Float32, {3});
+  interpret(F, {{"e", &BE}, {"adj", &BAdj}, {"y", &BY}});
+  EXPECT_FLOAT_EQ(BY.as<float>()[0], 30);
+  EXPECT_FLOAT_EQ(BY.as<float>()[1], 10);
+  EXPECT_FLOAT_EQ(BY.as<float>()[2], 40);
+}
+
+} // namespace

@@ -1,0 +1,282 @@
+//===- tests/fuzz_test.cpp - Randomized property tests ----------------------===//
+//
+// The central soundness property of the system (paper §4.3: "we can
+// aggressively try transformations without worrying about their
+// correctness"): ANY sequence of transformations the Schedule *accepts*
+// must preserve program semantics. We generate random programs, apply
+// random schedule requests (accepted or rejected), and compare interpreter
+// results before and after; one parameterized sweep also cross-checks the
+// JIT backend against the interpreter.
+//
+// Deterministic seeds keep failures reproducible.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "autoschedule/autoschedule.h"
+#include "codegen/jit.h"
+#include "frontend/libop.h"
+#include "interp/interp.h"
+#include "ir/printer.h"
+#include "schedule/schedule.h"
+
+using namespace ft;
+
+namespace {
+
+/// Deterministic PRNG.
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed * 2654435761u + 1) {}
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) { // [Lo, Hi)
+    return Lo + static_cast<int64_t>(next() % uint64_t(Hi - Lo));
+  }
+  bool coin() { return next() & 1; }
+};
+
+/// A generated program plus the shapes of its parameters.
+struct RandomProgram {
+  Func F;
+  std::map<std::string, std::vector<int64_t>> Shapes;
+  std::vector<std::string> Outputs;
+};
+
+/// Generates a random 2-level loop program mixing stores, reductions,
+/// guards, temporaries and window accesses over 1-D/2-D tensors.
+RandomProgram makeRandomProgram(uint64_t Seed) {
+  Rng R(Seed);
+  const int64_t N = R.range(6, 14);
+  const int64_t M = R.range(3, 9);
+  FunctionBuilder B("fuzz" + std::to_string(Seed));
+  View A = B.input("a", {makeIntConst(N), makeIntConst(M)});
+  View Bv = B.input("b", {makeIntConst(N)});
+  View Y = B.output("y", {makeIntConst(N), makeIntConst(M)});
+  View Z = B.output("z", {makeIntConst(N)});
+
+  // Stmt 1: a guarded windowed elementwise pass.
+  B.loop(
+      "i", 0, N,
+      [&](Expr I) {
+        B.loop("j", 0, M, [&](Expr J) {
+          Expr V = A[I][J].load() * makeFloatConst(0.5 + (Seed % 3));
+          if (R.coin())
+            V = V + Bv[I].load();
+          if (R.coin()) {
+            Y[I][J].assign(V);
+          } else {
+            Y[I][J].assign(makeFloatConst(0.0));
+            B.ifThen(I >= 1, [&] { Y[I][J] += V * makeFloatConst(0.25); });
+          }
+        });
+      },
+      "L1");
+
+  // Stmt 2: a reduction with a temporary.
+  B.loop(
+      "i", 0, N,
+      [&](Expr I) {
+        View T = B.local("t", {});
+        T.assign(0.0);
+        B.loop("j", 0, M, [&](Expr J) {
+          if (R.coin())
+            T += Y[I][J].load();
+          else
+            T += ft::abs(A[I][J].load());
+        });
+        Z[I].assign(T.load() + Bv[I].load());
+      },
+      "L2");
+
+  RandomProgram P;
+  P.F = B.build();
+  P.Shapes = {{"a", {N, M}}, {"b", {N}}, {"y", {N, M}}, {"z", {N}}};
+  P.Outputs = {"y", "z"};
+  return P;
+}
+
+void seedBuffer(Buffer &B, uint64_t Seed) {
+  Rng R(Seed);
+  for (int64_t I = 0; I < B.numel(); ++I)
+    B.setF(I, std::sin(0.31 * double(I) + double(R.range(0, 7))));
+}
+
+std::vector<float> runInterp(const Func &F, const RandomProgram &P) {
+  std::map<std::string, Buffer> Store;
+  std::map<std::string, Buffer *> Args;
+  uint64_t BufSeed = 99;
+  for (const std::string &Param : P.F.Params) {
+    Store.emplace(Param, Buffer(DataType::Float32, P.Shapes.at(Param)));
+    seedBuffer(Store.at(Param), ++BufSeed);
+    Args[Param] = &Store.at(Param);
+  }
+  interpret(F, Args);
+  std::vector<float> Out;
+  for (const std::string &O : P.Outputs) {
+    const Buffer &B = Store.at(O);
+    Out.insert(Out.end(), B.as<float>(), B.as<float>() + B.numel());
+  }
+  return Out;
+}
+
+/// Collects every loop ID in the current AST.
+std::vector<int64_t> allLoops(const Stmt &S) {
+  std::vector<int64_t> Out;
+  std::function<void(const Stmt &)> Walk = [&](const Stmt &St) {
+    if (auto L = dyn_cast<ForNode>(St)) {
+      Out.push_back(L->Id);
+      return Walk(L->Body);
+    }
+    if (auto Seq = dyn_cast<StmtSeqNode>(St)) {
+      for (const Stmt &Sub : Seq->Stmts)
+        Walk(Sub);
+      return;
+    }
+    if (auto D = dyn_cast<VarDefNode>(St))
+      return Walk(D->Body);
+    if (auto I = dyn_cast<IfNode>(St)) {
+      Walk(I->Then);
+      if (I->Else)
+        Walk(I->Else);
+    }
+  };
+  Walk(S);
+  return Out;
+}
+
+/// Applies \p Steps random schedule requests (some will be rejected —
+/// that is part of the property being tested).
+int applyRandomSchedules(Schedule &S, Rng &R, int Steps) {
+  int Accepted = 0;
+  for (int Step = 0; Step < Steps; ++Step) {
+    std::vector<int64_t> Loops = allLoops(S.ast());
+    if (Loops.empty())
+      break;
+    int64_t L = Loops[R.range(0, Loops.size())];
+    switch (R.range(0, 8)) {
+    case 0:
+      if (S.split(L, R.range(2, 5)).ok())
+        ++Accepted;
+      break;
+    case 1: {
+      auto Nest = S.perfectNest(L);
+      if (Nest.size() >= 2 && S.merge(Nest[0]->Id, Nest[1]->Id).ok())
+        ++Accepted;
+      break;
+    }
+    case 2: {
+      auto Nest = S.perfectNest(L);
+      if (Nest.size() >= 2 &&
+          S.reorder({Nest[1]->Id, Nest[0]->Id}).ok())
+        ++Accepted;
+      break;
+    }
+    case 3:
+      if (S.parallelize(L).ok())
+        ++Accepted;
+      break;
+    case 4:
+      if (S.unroll(L, /*Full=*/true).ok())
+        ++Accepted;
+      break;
+    case 5:
+      if (S.vectorize(L).ok())
+        ++Accepted;
+      break;
+    case 6:
+      if (S.separateTail(L).ok())
+        ++Accepted;
+      break;
+    case 7: {
+      // Try fusing L with its next sibling (often rejected).
+      std::vector<int64_t> All = allLoops(S.ast());
+      int64_t L2 = All[R.range(0, All.size())];
+      if (L != L2 && S.fuse(L, L2).ok())
+        ++Accepted;
+      break;
+    }
+    }
+  }
+  S.cleanup();
+  return Accepted;
+}
+
+class ScheduleFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleFuzz, AcceptedTransformationsPreserveSemantics) {
+  uint64_t Seed = static_cast<uint64_t>(GetParam());
+  RandomProgram P = makeRandomProgram(Seed);
+  std::vector<float> Before = runInterp(P.F, P);
+
+  Rng R(Seed * 7919 + 13);
+  Schedule S(P.F);
+  int Accepted = applyRandomSchedules(S, R, 12);
+  std::vector<float> After = runInterp(S.func(), P);
+
+  ASSERT_EQ(Before.size(), After.size());
+  for (size_t I = 0; I < Before.size(); ++I)
+    ASSERT_NEAR(Before[I], After[I], 1e-4)
+        << "seed " << Seed << " diverged after " << Accepted
+        << " accepted transformations:\n"
+        << toString(S.ast());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScheduleFuzz, ::testing::Range(1, 25));
+
+class CodegenFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodegenFuzz, JitMatchesInterpreterOnScheduledPrograms) {
+  uint64_t Seed = static_cast<uint64_t>(GetParam()) * 31 + 5;
+  RandomProgram P = makeRandomProgram(Seed);
+
+  Rng R(Seed + 1);
+  Schedule S(P.F);
+  applyRandomSchedules(S, R, 6);
+  Func Scheduled = S.func();
+
+  std::vector<float> Ref = runInterp(Scheduled, P);
+
+  auto K = Kernel::compile(Scheduled, "-O1");
+  ASSERT_TRUE(K.ok()) << K.message();
+  std::map<std::string, Buffer> Store;
+  std::map<std::string, Buffer *> Args;
+  uint64_t BufSeed = 99;
+  for (const std::string &Param : P.F.Params) {
+    Store.emplace(Param, Buffer(DataType::Float32, P.Shapes.at(Param)));
+    seedBuffer(Store.at(Param), ++BufSeed);
+    Args[Param] = &Store.at(Param);
+  }
+  Status RunSt = K->run(Args);
+  ASSERT_TRUE(RunSt.ok()) << RunSt.message();
+  size_t Idx = 0;
+  for (const std::string &O : P.Outputs) {
+    const Buffer &B = Store.at(O);
+    for (int64_t I = 0; I < B.numel(); ++I, ++Idx)
+      ASSERT_NEAR(Ref[Idx], B.as<float>()[I], 1e-4)
+          << "seed " << Seed << " output " << O << "[" << I << "]";
+  }
+}
+
+// A small sweep: each case JIT-compiles, so keep the count CI-friendly.
+INSTANTIATE_TEST_SUITE_P(Sweep, CodegenFuzz, ::testing::Range(1, 7));
+
+TEST(AutoScheduleFuzz, AutoScheduleAlwaysPreservesSemantics) {
+  for (int SeedI = 100; SeedI < 112; ++SeedI) {
+    RandomProgram P = makeRandomProgram(SeedI);
+    std::vector<float> Before = runInterp(P.F, P);
+    Func Opt = autoScheduleFunc(P.F);
+    std::vector<float> After = runInterp(Opt, P);
+    ASSERT_EQ(Before.size(), After.size());
+    for (size_t I = 0; I < Before.size(); ++I)
+      ASSERT_NEAR(Before[I], After[I], 1e-4) << "seed " << SeedI;
+  }
+}
+
+} // namespace

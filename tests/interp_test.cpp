@@ -1,0 +1,140 @@
+//===- tests/interp_test.cpp - Buffer & interpreter edge cases -------------===//
+
+#include <gtest/gtest.h>
+
+#include "frontend/libop.h"
+#include "interp/interp.h"
+#include "ir/printer.h"
+
+using namespace ft;
+
+namespace {
+
+Expr ic(int64_t V) { return makeIntConst(V); }
+
+TEST(BufferTest, TypedAccessAndFlatten) {
+  Buffer B(DataType::Float32, {2, 3});
+  EXPECT_EQ(B.numel(), 6);
+  EXPECT_EQ(B.sizeBytes(), 24u);
+  B.setF(5, 2.5);
+  EXPECT_FLOAT_EQ(B.getF(5), 2.5f);
+  EXPECT_EQ(B.flatten({1, 2}), 5);
+  EXPECT_EQ(B.flatten({0, 0}), 0);
+
+  Buffer I(DataType::Int64, {4});
+  I.setI(2, -7);
+  EXPECT_EQ(I.getI(2), -7);
+  EXPECT_DOUBLE_EQ(I.getF(2), -7.0);
+
+  Buffer Bo(DataType::Bool, {2});
+  Bo.setI(0, 3);
+  EXPECT_EQ(Bo.getI(0), 1); // Normalized to 0/1.
+
+  Buffer S = Buffer::scalarI64(42);
+  EXPECT_EQ(S.numel(), 1);
+  EXPECT_EQ(S.getI(0), 42);
+}
+
+TEST(BufferTest, OutOfBoundsAborts) {
+  Buffer B(DataType::Float32, {2, 2});
+  EXPECT_DEATH(B.flatten({2, 0}), "out of bounds");
+  EXPECT_DEATH(B.getF(4), "out of bounds");
+}
+
+TEST(InterpTest2, ScalarParamDrivenShapes) {
+  // Dynamic shapes: extents come from a scalar parameter.
+  FunctionBuilder B("dyn");
+  Expr N = B.scalarInput("n");
+  View X = B.input("x", {N});
+  View Y = B.output("y", {N});
+  B.loop("i", makeIntConst(0), N,
+         [&](Expr I) { Y[I].assign(X[I].load() + makeFloatConst(1.0)); });
+  Func F = B.build();
+  for (int64_t NV : {1, 5, 9}) {
+    Buffer BN = Buffer::scalarI64(NV);
+    Buffer BX(DataType::Float32, {NV}), BY(DataType::Float32, {NV});
+    for (int64_t I = 0; I < NV; ++I)
+      BX.setF(I, double(I));
+    interpret(F, {{"n", &BN}, {"x", &BX}, {"y", &BY}});
+    for (int64_t I = 0; I < NV; ++I)
+      EXPECT_FLOAT_EQ(BY.as<float>()[I], float(I + 1));
+  }
+}
+
+TEST(InterpTest2, LocalShadowingAcrossIterations) {
+  // A local defined inside a loop is re-created per iteration: values must
+  // not leak between iterations.
+  FunctionBuilder B("shadow");
+  View X = B.input("x", {ic(4)});
+  View Y = B.output("y", {ic(4)});
+  B.loop("i", 0, 4, [&](Expr I) {
+    View T = B.local("t", {});
+    B.ifThen(I >= 2, [&] { T.assign(X[I].load()); });
+    B.ifThen(I < 2, [&] { T.assign(makeFloatConst(-1.0)); });
+    Y[I].assign(T.load());
+  });
+  Func F = B.build();
+  Buffer BX = Buffer::fromF32({4}, {10, 20, 30, 40});
+  Buffer BY(DataType::Float32, {4});
+  interpret(F, {{"x", &BX}, {"y", &BY}});
+  EXPECT_FLOAT_EQ(BY.as<float>()[0], -1);
+  EXPECT_FLOAT_EQ(BY.as<float>()[2], 30);
+}
+
+TEST(InterpTest2, ReduceToSemantics) {
+  FunctionBuilder B("red");
+  View Y = B.output("y", {ic(4)});
+  B.loop("i", 0, 4, [&](Expr I) { Y[I].assign(makeFloatConst(10.0)); });
+  B.loop("i", 0, 4, [&](Expr I) {
+    Y[I].reduce(ReduceOpKind::Min, makeCast(DataType::Float32, I * 5));
+  });
+  Func F = B.build();
+  Buffer BY(DataType::Float32, {4});
+  interpret(F, {{"y", &BY}});
+  EXPECT_FLOAT_EQ(BY.as<float>()[0], 0);  // min(10, 0)
+  EXPECT_FLOAT_EQ(BY.as<float>()[1], 5);  // min(10, 5)
+  EXPECT_FLOAT_EQ(BY.as<float>()[2], 10); // min(10, 10)
+  EXPECT_FLOAT_EQ(BY.as<float>()[3], 10); // min(10, 15)
+}
+
+TEST(InterpTest2, IntegerOpsUsePythonSemantics) {
+  FunctionBuilder B("intops");
+  View Y = B.output("y", {ic(4)}, DataType::Int64);
+  Expr M7 = makeIntConst(-7);
+  Y[0].assign(makeFloorDiv(M7, makeIntConst(2)));
+  Y[1].assign(makeMod(M7, makeIntConst(2)));
+  Y[2].assign(makeMin(M7, makeIntConst(3)));
+  Y[3].assign(makeMax(M7, makeIntConst(3)));
+  Func F = B.build();
+  Buffer BY(DataType::Int64, {4});
+  interpret(F, {{"y", &BY}});
+  EXPECT_EQ(BY.as<int64_t>()[0], -4);
+  EXPECT_EQ(BY.as<int64_t>()[1], 1);
+  EXPECT_EQ(BY.as<int64_t>()[2], -7);
+  EXPECT_EQ(BY.as<int64_t>()[3], 3);
+}
+
+TEST(PrinterTest, OptionsShowIdsAndLabels) {
+  Stmt S = makeStore("a", {makeVar("i")}, makeIntConst(1));
+  Stmt L = makeFor("i", makeIntConst(0), makeIntConst(4), ForProperty{}, S);
+  L->Label = "outer";
+  PrintOptions Opts;
+  Opts.ShowIds = true;
+  Opts.ShowLabels = true;
+  std::string P = toString(L, Opts);
+  EXPECT_NE(P.find("# id " + std::to_string(L->Id)), std::string::npos);
+  EXPECT_NE(P.find("# outer"), std::string::npos);
+}
+
+TEST(PrinterTest, ParallelAndAtomicAnnotations) {
+  Stmt R = makeReduceTo("y", {}, ReduceOpKind::Add, makeVar("i"));
+  cast<ReduceToNode>(R)->Atomic = true;
+  ForProperty P;
+  P.Parallel = true;
+  Stmt L = makeFor("i", makeIntConst(0), makeIntConst(4), P, R);
+  std::string Out = toString(L);
+  EXPECT_NE(Out.find("# parallel"), std::string::npos);
+  EXPECT_NE(Out.find("# atomic"), std::string::npos);
+}
+
+} // namespace

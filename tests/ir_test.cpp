@@ -1,0 +1,140 @@
+//===- tests/ir_test.cpp - IR construction, printing, compare -------------===//
+
+#include <gtest/gtest.h>
+
+#include "ir/compare.h"
+#include "ir/func.h"
+#include "ir/printer.h"
+
+using namespace ft;
+
+namespace {
+
+Stmt makeSimpleLoop() {
+  // for i in 0:n: a[i] = b[i] + 1
+  Expr N = makeLoad("n", {}, DataType::Int64);
+  Stmt Body = makeStore(
+      "a", {makeVar("i")},
+      makeAdd(makeLoad("b", {makeVar("i")}, DataType::Float32),
+              makeIntConst(1)));
+  return makeFor("i", makeIntConst(0), N, ForProperty{}, Body);
+}
+
+TEST(IrTest, KindsAndCasting) {
+  Expr E = makeAdd(makeIntConst(1), makeVar("i"));
+  ASSERT_TRUE(isa<BinaryNode>(E));
+  ASSERT_FALSE(isa<LoadNode>(E));
+  auto B = cast<BinaryNode>(E);
+  EXPECT_EQ(B->Op, BinOpKind::Add);
+  EXPECT_TRUE(isa<IntConstNode>(B->LHS));
+  EXPECT_EQ(dyn_cast<VarNode>(B->RHS)->Name, "i");
+  EXPECT_EQ(dyn_cast<LoadNode>(E), nullptr);
+}
+
+TEST(IrTest, ExprIsNotStmt) {
+  Expr E = makeIntConst(3);
+  EXPECT_TRUE(E->isExpr());
+  Stmt S = makeSimpleLoop();
+  EXPECT_TRUE(S->isStmt());
+  EXPECT_FALSE(S->isExpr());
+}
+
+TEST(IrTest, StmtIdsAreUniqueAndStable) {
+  Stmt A = makeSimpleLoop();
+  Stmt B = makeSimpleLoop();
+  EXPECT_NE(A->Id, B->Id);
+  // Explicit ID preservation.
+  Stmt C = makeFor("i", makeIntConst(0), makeIntConst(4), ForProperty{},
+                   makeStore("a", {makeVar("i")}, makeIntConst(0)), A->Id);
+  EXPECT_EQ(C->Id, A->Id);
+}
+
+TEST(IrTest, PrinterExpr) {
+  Expr E = makeMul(makeAdd(makeVar("i"), makeIntConst(2)),
+                   makeLoad("b", {makeVar("j")}, DataType::Float32));
+  EXPECT_EQ(toString(E), "((i + 2) * b[j])");
+  EXPECT_EQ(toString(makeMin(makeVar("x"), makeIntConst(0))), "min(x, 0)");
+  EXPECT_EQ(toString(makeUnary(UnOpKind::Exp, makeVar("x"))), "exp(x)");
+}
+
+TEST(IrTest, PrinterStmt) {
+  Stmt S = makeSimpleLoop();
+  EXPECT_EQ(toString(S), "for i in 0:n\n  a[i] = (b[i] + 1)\n");
+}
+
+TEST(IrTest, PrinterVarDefAndReduce) {
+  Stmt Red = makeReduceTo("y", {}, ReduceOpKind::Add, makeVar("i"));
+  Stmt Def = makeVarDef("y", TensorInfo{{}, DataType::Float32},
+                        AccessType::Cache, MemType::CPULocal, Red);
+  std::string P = toString(Def);
+  EXPECT_NE(P.find("var y: f32[] @cpulocal cache:"), std::string::npos);
+  EXPECT_NE(P.find("y += i"), std::string::npos);
+}
+
+TEST(IrTest, DeepEqualExpr) {
+  Expr A = makeAdd(makeVar("i"), makeIntConst(1));
+  Expr B = makeAdd(makeVar("i"), makeIntConst(1));
+  Expr C = makeAdd(makeVar("j"), makeIntConst(1));
+  EXPECT_TRUE(deepEqual(A, B));
+  EXPECT_FALSE(deepEqual(A, C));
+  EXPECT_EQ(structuralHash(A), structuralHash(B));
+}
+
+TEST(IrTest, DeepEqualStmtIgnoresIds) {
+  Stmt A = makeSimpleLoop();
+  Stmt B = makeSimpleLoop();
+  EXPECT_NE(A->Id, B->Id);
+  EXPECT_TRUE(deepEqual(A, B));
+}
+
+TEST(IrTest, FindStmtAndVarDef) {
+  Stmt Loop = makeSimpleLoop();
+  Stmt Def = makeVarDef("a", TensorInfo{{makeIntConst(10)}},
+                        AccessType::Output, MemType::CPU, Loop);
+  EXPECT_EQ(findStmt(Def, Loop->Id), Loop);
+  EXPECT_EQ(findStmt(Def, 999999999), nullptr);
+  auto D = findVarDef(Def, "a");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Name, "a");
+  EXPECT_EQ(findVarDef(Def, "zz"), nullptr);
+}
+
+TEST(IrTest, FindStmtByLabel) {
+  Stmt Loop = makeSimpleLoop();
+  Loop->Label = "outer";
+  Stmt Def = makeVarDef("a", TensorInfo{{makeIntConst(10)}},
+                        AccessType::Output, MemType::CPU, Loop);
+  EXPECT_EQ(findStmtByLabel(Def, "outer"), Loop);
+  EXPECT_EQ(findStmtByLabel(Def, "nope"), nullptr);
+}
+
+TEST(IrTest, DataTypePromotion) {
+  EXPECT_EQ(upCast(DataType::Int32, DataType::Int64), DataType::Int64);
+  EXPECT_EQ(upCast(DataType::Int64, DataType::Float32), DataType::Float32);
+  EXPECT_EQ(upCast(DataType::Bool, DataType::Bool), DataType::Bool);
+  EXPECT_EQ(upCast(DataType::Bool, DataType::Int64), DataType::Int64);
+  EXPECT_EQ(sizeOf(DataType::Float64), 8u);
+  EXPECT_EQ(nameOf(DataType::Float32), "f32");
+}
+
+TEST(IrTest, DataTypeOf) {
+  Expr L = makeLoad("b", {makeVar("i")}, DataType::Float32);
+  EXPECT_EQ(dataTypeOf(L), DataType::Float32);
+  EXPECT_EQ(dataTypeOf(makeAdd(L, makeIntConst(1))), DataType::Float32);
+  EXPECT_EQ(dataTypeOf(makeLT(makeVar("i"), makeIntConst(3))),
+            DataType::Bool);
+  EXPECT_EQ(dataTypeOf(makeVar("i")), DataType::Int64);
+  EXPECT_EQ(dataTypeOf(makeRealDiv(makeIntConst(1), makeIntConst(2))),
+            DataType::Float32);
+}
+
+TEST(IrTest, NeutralValues) {
+  Expr Z = neutralValue(ReduceOpKind::Add, DataType::Float32);
+  EXPECT_EQ(cast<FloatConstNode>(Z)->Val, 0.0);
+  Expr MaxN = neutralValue(ReduceOpKind::Max, DataType::Float32);
+  EXPECT_TRUE(cast<FloatConstNode>(MaxN)->Val < -1e300);
+  Expr MinI = neutralValue(ReduceOpKind::Min, DataType::Int64);
+  EXPECT_EQ(cast<IntConstNode>(MinI)->Val, INT64_MAX);
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/libop2_test.cpp - Extended libop operators ---------------------===//
+//
+// Covers the extended operator library (transpose / concat / linear /
+// squaredError) including differentiating a whole dense layer + loss —
+// a miniature end-to-end training-step in the DSL.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "autodiff/grad.h"
+#include "frontend/libop.h"
+#include "interp/interp.h"
+
+using namespace ft;
+
+namespace {
+
+Expr ic(int64_t V) { return makeIntConst(V); }
+
+TEST(Libop2Test, Transpose) {
+  FunctionBuilder B("t");
+  View X = B.input("x", {ic(2), ic(3)});
+  View Y = B.output("y", {ic(3), ic(2)});
+  libop::transpose(B, X, Y);
+  Func F = B.build();
+  Buffer BX = Buffer::fromF32({2, 3}, {1, 2, 3, 4, 5, 6});
+  Buffer BY(DataType::Float32, {3, 2});
+  interpret(F, {{"x", &BX}, {"y", &BY}});
+  EXPECT_FLOAT_EQ(BY.as<float>()[0], 1);
+  EXPECT_FLOAT_EQ(BY.as<float>()[1], 4);
+  EXPECT_FLOAT_EQ(BY.as<float>()[4], 3);
+}
+
+TEST(Libop2Test, Concat0) {
+  FunctionBuilder B("c");
+  View X = B.input("x", {ic(2), ic(2)});
+  View Y = B.input("yy", {ic(3), ic(2)});
+  View O = B.output("o", {ic(5), ic(2)});
+  libop::concat0(B, X, Y, O);
+  Func F = B.build();
+  Buffer BX = Buffer::fromF32({2, 2}, {1, 2, 3, 4});
+  Buffer BY = Buffer::fromF32({3, 2}, {5, 6, 7, 8, 9, 10});
+  Buffer BO(DataType::Float32, {5, 2});
+  interpret(F, {{"x", &BX}, {"yy", &BY}, {"o", &BO}});
+  EXPECT_FLOAT_EQ(BO.as<float>()[0], 1);
+  EXPECT_FLOAT_EQ(BO.as<float>()[4], 5);
+  EXPECT_FLOAT_EQ(BO.as<float>()[9], 10);
+}
+
+TEST(Libop2Test, LinearLayer) {
+  FunctionBuilder B("lin");
+  View X = B.input("x", {ic(2), ic(3)});
+  View W = B.input("w", {ic(3), ic(2)});
+  View Bias = B.input("bias", {ic(2)});
+  View O = B.output("o", {ic(2), ic(2)});
+  libop::linear(B, X, W, Bias, O);
+  Func F = B.build();
+  Buffer BX = Buffer::fromF32({2, 3}, {1, 2, 3, 4, 5, 6});
+  Buffer BW = Buffer::fromF32({3, 2}, {1, 0, 0, 1, 1, 1});
+  Buffer BB = Buffer::fromF32({2}, {10, 20});
+  Buffer BO(DataType::Float32, {2, 2});
+  interpret(F, {{"x", &BX}, {"w", &BW}, {"bias", &BB}, {"o", &BO}});
+  EXPECT_FLOAT_EQ(BO.as<float>()[0], 1 + 3 + 10);
+  EXPECT_FLOAT_EQ(BO.as<float>()[1], 2 + 3 + 20);
+}
+
+TEST(Libop2Test, TrainableDenseLayerGradients) {
+  // loss = sum((linear(x, w, b) - target)^2); differentiate w.r.t. w, b.
+  const int64_t N = 3, In = 4, Outs = 2;
+  FunctionBuilder B("train");
+  View X = B.input("x", {ic(N), ic(In)});
+  View W = B.input("w", {ic(In), ic(Outs)});
+  View Bias = B.input("bias", {ic(Outs)});
+  View Target = B.input("target", {ic(N), ic(Outs)});
+  View Loss = B.output("loss", {});
+  View Pred = B.local("pred", {ic(N), ic(Outs)});
+  libop::linear(B, X, W, Bias, Pred);
+  Loss.assign(0.0);
+  libop::squaredError(B, Pred, Target, Loss);
+  Func F = B.build();
+
+  auto G = grad(F, {"w", "bias"});
+  ASSERT_TRUE(G.ok()) << G.message();
+
+  // Run fwd/bwd via interpreter and finite-difference a few entries.
+  std::map<std::string, Buffer> Store;
+  auto Fill = [&](const std::string &Name, std::vector<int64_t> Shape,
+                  double Phase) {
+    Store.emplace(Name, Buffer(DataType::Float32, std::move(Shape)));
+    Buffer &Bu = Store.at(Name);
+    for (int64_t I = 0; I < Bu.numel(); ++I)
+      Bu.setF(I, 0.3 * std::sin(0.9 * double(I) + Phase));
+  };
+  Fill("x", {N, In}, 1);
+  Fill("w", {In, Outs}, 2);
+  Fill("bias", {Outs}, 3);
+  Fill("target", {N, Outs}, 4);
+  Store.emplace("loss", Buffer(DataType::Float32, {}));
+  for (const std::string &T : G->Tapes) {
+    auto D = findVarDef(G->Forward.Body, T);
+    std::vector<int64_t> Shape;
+    for (const Expr &E : D->Info.Shape)
+      Shape.push_back(cast<IntConstNode>(E)->Val);
+    Store.emplace(T, Buffer(DataType::Float32, Shape));
+  }
+  Buffer SeedB(DataType::Float32, {});
+  SeedB.setF(0, 1.0);
+  Store.emplace(G->SeedNames.at("loss"), std::move(SeedB));
+  Store.emplace(G->GradNames.at("w"), Buffer(DataType::Float32, {In, Outs}));
+  Store.emplace(G->GradNames.at("bias"),
+                Buffer(DataType::Float32, {Outs}));
+
+  std::map<std::string, Buffer *> FwdArgs, BwdArgs;
+  for (const std::string &P : G->Forward.Params)
+    FwdArgs[P] = &Store.at(P);
+  for (const std::string &P : G->Backward.Params)
+    BwdArgs[P] = &Store.at(P);
+  interpret(G->Forward, FwdArgs);
+  interpret(G->Backward, BwdArgs);
+
+  auto LossAt = [&](const std::string &Wrt, int64_t Probe, double Delta) {
+    std::map<std::string, Buffer> FD;
+    for (const std::string &P : F.Params)
+      FD.emplace(P, Store.at(P));
+    FD.at(Wrt).setF(Probe, FD.at(Wrt).getF(Probe) + Delta);
+    std::map<std::string, Buffer *> Args;
+    for (auto &[Nm, Bu] : FD)
+      Args[Nm] = &Bu;
+    interpret(F, Args);
+    return FD.at("loss").getF(0);
+  };
+  const double Eps = 1e-3;
+  for (const std::string &Wrt : {"w", "bias"}) {
+    const Buffer &GB = Store.at(G->GradNames.at(Wrt));
+    for (int64_t Probe = 0; Probe < GB.numel(); ++Probe) {
+      double Numeric = (LossAt(Wrt, Probe, Eps) - LossAt(Wrt, Probe, -Eps)) /
+                       (2 * Eps);
+      EXPECT_NEAR(GB.getF(Probe), Numeric, 2e-2)
+          << Wrt << "[" << Probe << "]";
+    }
+  }
+}
+
+} // namespace

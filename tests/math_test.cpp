@@ -1,0 +1,252 @@
+//===- tests/math_test.cpp - LinearExpr and AffineSet ----------------------===//
+
+#include <gtest/gtest.h>
+
+#include "math/affine_set.h"
+
+using namespace ft;
+
+namespace {
+
+LinearExpr lin(int64_t C) { return LinearExpr::constant(C); }
+LinearExpr var(const std::string &N) { return LinearExpr::variable(N); }
+
+LinearExpr add(const LinearExpr &A, const LinearExpr &B) {
+  auto R = LinearExpr::tryAdd(A, B);
+  EXPECT_TRUE(R.has_value());
+  return *R;
+}
+
+LinearExpr scale(const LinearExpr &A, int64_t K) {
+  auto R = LinearExpr::tryScale(A, K);
+  EXPECT_TRUE(R.has_value());
+  return *R;
+}
+
+TEST(LinearTest, BasicOps) {
+  LinearExpr E = add(scale(var("i"), 2), lin(3)); // 2i + 3
+  EXPECT_EQ(E.coeffOf("i"), 2);
+  EXPECT_EQ(E.constTerm(), 3);
+  EXPECT_FALSE(E.isConstant());
+  LinearExpr F = *LinearExpr::trySub(E, var("i")); // i + 3
+  EXPECT_EQ(F.coeffOf("i"), 1);
+  LinearExpr G = *LinearExpr::trySub(F, var("i")); // 3
+  EXPECT_TRUE(G.isConstant());
+  EXPECT_EQ(G.constTerm(), 3);
+}
+
+TEST(LinearTest, Substitute) {
+  LinearExpr E = add(scale(var("i"), 3), var("j")); // 3i + j
+  LinearExpr R = add(var("k"), lin(1));             // i := k + 1
+  LinearExpr S = *E.substitute("i", R);             // 3k + j + 3
+  EXPECT_EQ(S.coeffOf("k"), 3);
+  EXPECT_EQ(S.coeffOf("j"), 1);
+  EXPECT_EQ(S.constTerm(), 3);
+  EXPECT_EQ(S.coeffOf("i"), 0);
+}
+
+TEST(LinearTest, Renamed) {
+  LinearExpr E = add(scale(var("i"), 2), var("j"));
+  LinearExpr R = E.renamed("i", "p.i");
+  EXPECT_EQ(R.coeffOf("p.i"), 2);
+  EXPECT_EQ(R.coeffOf("i"), 0);
+  EXPECT_EQ(R.coeffOf("j"), 1);
+}
+
+TEST(LinearTest, OverflowDetected) {
+  LinearExpr Big = scale(var("x"), INT64_MAX / 2 + 1);
+  EXPECT_FALSE(LinearExpr::tryAdd(Big, Big).has_value());
+  EXPECT_FALSE(LinearExpr::tryScale(Big, 3).has_value());
+}
+
+TEST(LinearTest, GcdNormalize) {
+  LinearExpr E = add(add(scale(var("i"), 4), scale(var("j"), 6)), lin(8));
+  E.normalizeByGcd();
+  EXPECT_EQ(E.coeffOf("i"), 2);
+  EXPECT_EQ(E.coeffOf("j"), 3);
+  EXPECT_EQ(E.constTerm(), 4);
+}
+
+TEST(LinearTest, FloorDivMod) {
+  EXPECT_EQ(floorDiv64(7, 2), 3);
+  EXPECT_EQ(floorDiv64(-7, 2), -4);
+  EXPECT_EQ(mod64(-7, 2), 1);
+  EXPECT_EQ(mod64(7, -2), -1);
+  EXPECT_EQ(gcd64(12, -18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+}
+
+//===--------------------------------------------------------------------===//
+// AffineSet emptiness.
+//===--------------------------------------------------------------------===//
+
+TEST(AffineSetTest, TriviallyEmpty) {
+  AffineSet S;
+  S.addGe0(lin(-1)); // -1 >= 0
+  EXPECT_TRUE(S.isEmpty());
+}
+
+TEST(AffineSetTest, TriviallyNonEmpty) {
+  AffineSet S;
+  S.addGe0(lin(0));
+  EXPECT_FALSE(S.isEmpty());
+  AffineSet T;
+  EXPECT_FALSE(T.isEmpty());
+}
+
+TEST(AffineSetTest, IntervalContradiction) {
+  // x >= 5 and x <= 3.
+  AffineSet S;
+  S.addLE(lin(5), var("x"));
+  S.addLE(var("x"), lin(3));
+  EXPECT_TRUE(S.isEmpty());
+}
+
+TEST(AffineSetTest, IntervalFeasible) {
+  AffineSet S;
+  S.addLE(lin(3), var("x"));
+  S.addLE(var("x"), lin(5));
+  EXPECT_FALSE(S.isEmpty());
+}
+
+TEST(AffineSetTest, GcdTest) {
+  // 2x == 1 has no integer solution (rationally feasible!).
+  AffineSet S;
+  LinearExpr E = scale(var("x"), 2);
+  E.addConst(-1);
+  S.addEq0(E);
+  EXPECT_TRUE(S.isEmpty());
+}
+
+TEST(AffineSetTest, EqualitySubstitution) {
+  // x == y + 2, x <= 1, y >= 0 -> empty.
+  AffineSet S;
+  S.addEQ(var("x"), add(var("y"), lin(2)));
+  S.addLE(var("x"), lin(1));
+  S.addLE(lin(0), var("y"));
+  EXPECT_TRUE(S.isEmpty());
+}
+
+TEST(AffineSetTest, TwoVarChain) {
+  // 0 <= i < n, 0 <= j < n, i > j, i < j -> empty.
+  AffineSet S;
+  S.addLE(lin(0), var("i"));
+  S.addLT(var("i"), var("n"));
+  S.addLE(lin(0), var("j"));
+  S.addLT(var("j"), var("n"));
+  S.addLT(var("i"), var("j"));
+  S.addLT(var("j"), var("i"));
+  EXPECT_TRUE(S.isEmpty());
+}
+
+TEST(AffineSetTest, ParametricFeasible) {
+  // 0 <= i < n and n >= 1: feasible (i = 0).
+  AffineSet S;
+  S.addLE(lin(0), var("i"));
+  S.addLT(var("i"), var("n"));
+  S.addLE(lin(1), var("n"));
+  EXPECT_FALSE(S.isEmpty());
+}
+
+TEST(AffineSetTest, ParametricEmptyDomain) {
+  // 0 <= i < n and n <= 0: empty.
+  AffineSet S;
+  S.addLE(lin(0), var("i"));
+  S.addLT(var("i"), var("n"));
+  S.addLE(var("n"), lin(0));
+  EXPECT_TRUE(S.isEmpty());
+}
+
+TEST(AffineSetTest, PaperFig11DependenceDistance) {
+  // Paper §4.2.1: dependence between write a[i+1][j] and read a[i-1][j+1]
+  // in iteration space 1 <= i,j < N-1 yields distance (2, -1). Verify that
+  // the dependence set forces q_i = p_i - 2 (i.e. a point with q_i = p_i
+  // is infeasible).
+  auto Domain = [](AffineSet &S, const std::string &I,
+                   const std::string &J) {
+    S.addLE(lin(1), var(I));
+    S.addLT(var(I), add(var("N"), lin(-1)));
+    S.addLE(lin(1), var(J));
+    S.addLT(var(J), add(var("M"), lin(-1)));
+  };
+  AffineSet S;
+  Domain(S, "p.i", "p.j");
+  Domain(S, "q.i", "q.j");
+  // Write index (p.i + 1, p.j) equals read index (q.i - 1, q.j + 1).
+  S.addEQ(add(var("p.i"), lin(1)), add(var("q.i"), lin(-1)));
+  S.addEQ(var("p.j"), add(var("q.j"), lin(1)));
+  // Claim: q.i == p.i impossible.
+  AffineSet T = S;
+  T.addEQ(var("q.i"), var("p.i"));
+  EXPECT_TRUE(T.isEmpty());
+  // But q.i == p.i + 2 is feasible (given large enough N, M).
+  AffineSet U = S;
+  U.addEQ(var("q.i"), add(var("p.i"), lin(2)));
+  U.addLE(lin(10), var("N"));
+  U.addLE(lin(10), var("M"));
+  EXPECT_FALSE(U.isEmpty());
+}
+
+TEST(AffineSetTest, Implies) {
+  // 0 <= i < n implies i >= -5.
+  AffineSet S;
+  S.addLE(lin(0), var("i"));
+  S.addLT(var("i"), var("n"));
+  LinearExpr E = add(var("i"), lin(5)); // i + 5 >= 0
+  EXPECT_TRUE(S.implies(E));
+  // Does not imply i >= 1.
+  LinearExpr F = add(var("i"), lin(-1));
+  EXPECT_FALSE(S.implies(F));
+}
+
+TEST(AffineSetTest, StrideGcdInteraction) {
+  // i == 2k, j == 2m + 1, i == j  -> parity conflict, empty.
+  AffineSet S;
+  S.addEQ(var("i"), scale(var("k"), 2));
+  S.addEQ(var("j"), add(scale(var("m"), 2), lin(1)));
+  S.addEQ(var("i"), var("j"));
+  EXPECT_TRUE(S.isEmpty());
+}
+
+class IntervalSweep : public ::testing::TestWithParam<int> {};
+
+// Property: [0, P) intersected with [P, 2P) is empty; [0, P) with
+// [P-1, 2P) is not (P >= 1).
+TEST_P(IntervalSweep, DisjointAdjacentIntervals) {
+  int P = GetParam();
+  AffineSet S;
+  S.addLE(lin(0), var("x"));
+  S.addLT(var("x"), lin(P));
+  S.addLE(lin(P), var("x"));
+  EXPECT_TRUE(S.isEmpty());
+
+  AffineSet T;
+  T.addLE(lin(0), var("x"));
+  T.addLT(var("x"), lin(P));
+  T.addLE(lin(P - 1), var("x"));
+  EXPECT_FALSE(T.isEmpty());
+}
+
+// Property: {x == K*k, x == K*m + r} empty iff r % K != 0.
+TEST_P(IntervalSweep, ModularArithmetic) {
+  int K = GetParam() + 1; // >= 2
+  for (int R = 0; R < K; ++R) {
+    AffineSet S;
+    S.addEQ(var("x"), scale(var("k"), K));
+    S.addEQ(var("x"), add(scale(var("m"), K), lin(R)));
+    EXPECT_EQ(S.isEmpty(), R % K != 0) << "K=" << K << " R=" << R;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntervalSweep, ::testing::Range(1, 9));
+
+TEST(AffineSetTest, ManyVariablesStillTerminates) {
+  // A chain x0 <= x1 <= ... <= x15 <= x0 - 1 is empty.
+  AffineSet S;
+  for (int I = 0; I < 15; ++I)
+    S.addLE(var("x" + std::to_string(I)), var("x" + std::to_string(I + 1)));
+  S.addLE(var("x15"), add(var("x0"), lin(-1)));
+  EXPECT_TRUE(S.isEmpty());
+}
+
+} // namespace

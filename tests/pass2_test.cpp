@@ -1,0 +1,216 @@
+//===- tests/pass2_test.cpp - scalar_prop & shrink_var ----------------------===//
+
+#include <gtest/gtest.h>
+
+#include "frontend/libop.h"
+#include "interp/interp.h"
+#include "ir/printer.h"
+#include "pass/scalar_prop.h"
+#include "pass/shrink_var.h"
+#include "pass/simplify.h"
+
+using namespace ft;
+
+namespace {
+
+Expr ic(int64_t V) { return makeIntConst(V); }
+
+std::vector<float> runF(const Func &F,
+                        const std::map<std::string,
+                                       std::vector<int64_t>> &Shapes,
+                        const std::vector<std::string> &Outputs) {
+  std::map<std::string, Buffer> Store;
+  std::map<std::string, Buffer *> Args;
+  int Phase = 0;
+  for (const std::string &P : F.Params) {
+    Store.emplace(P, Buffer(DataType::Float32, Shapes.at(P)));
+    Buffer &B = Store.at(P);
+    for (int64_t I = 0; I < B.numel(); ++I)
+      B.setF(I, 0.1 * double(I % 17) + 0.01 * ++Phase);
+    Args[P] = &Store.at(P);
+  }
+  interpret(F, Args);
+  std::vector<float> Out;
+  for (const std::string &O : Outputs) {
+    const Buffer &B = Store.at(O);
+    Out.insert(Out.end(), B.as<float>(), B.as<float>() + B.numel());
+  }
+  return Out;
+}
+
+TEST(ScalarPropTest, FoldsSingleUseTemporary) {
+  // var d: { d = a[i] - b[i]; y[i] = abs(d) }  ->  y[i] = abs(a[i]-b[i]).
+  FunctionBuilder B("f");
+  View A = B.input("a", {ic(8)});
+  View Bv = B.input("b", {ic(8)});
+  View Y = B.output("y", {ic(8)});
+  B.loop("i", 0, 8, [&](Expr I) {
+    View D = B.local("d", {});
+    D.assign(A[I].load() - Bv[I].load());
+    Y[I].assign(ft::abs(D.load()));
+  });
+  Func F = B.build();
+  Stmt Out = propagateScalars(F.Body);
+  std::string P = toString(Out);
+  EXPECT_EQ(P.find("var d"), std::string::npos) << P;
+  EXPECT_NE(P.find("abs((a["), std::string::npos) << P;
+
+  Func G = F;
+  G.Body = Out;
+  std::vector<float> Before = runF(F, {{"a", {8}}, {"b", {8}}, {"y", {8}}},
+                                   {"y"});
+  std::vector<float> After = runF(G, {{"a", {8}}, {"b", {8}}, {"y", {8}}},
+                                  {"y"});
+  for (size_t I = 0; I < Before.size(); ++I)
+    EXPECT_FLOAT_EQ(Before[I], After[I]);
+}
+
+TEST(ScalarPropTest, KeepsMultiUseTemporary) {
+  // t used twice: must stay (recomputation policy is AD's, not this pass).
+  FunctionBuilder B("f");
+  View A = B.input("a", {ic(4)});
+  View Y = B.output("y", {ic(4)});
+  View Z = B.output("z", {ic(4)});
+  B.loop("i", 0, 4, [&](Expr I) {
+    View T = B.local("t", {});
+    T.assign(A[I].load() * makeFloatConst(2.0));
+    Y[I].assign(T.load());
+    Z[I].assign(T.load() + makeFloatConst(1.0));
+  });
+  Func F = B.build();
+  std::string P = toString(propagateScalars(F.Body));
+  EXPECT_NE(P.find("var t"), std::string::npos);
+}
+
+TEST(ScalarPropTest, KeepsWhenOperandWrittenInBetween) {
+  // t = y[0]; y[0] = 5; z = t  -- substitution would read the new y[0].
+  FunctionBuilder B("f");
+  View Y = B.inout("y", {ic(2)});
+  View Z = B.output("z", {});
+  View T = B.local("t", {});
+  T.assign(Y[0].load());
+  Y[0].assign(5.0);
+  Z.assign(T.load());
+  Func F = B.build();
+  std::string P = toString(propagateScalars(F.Body));
+  EXPECT_NE(P.find("var t"), std::string::npos) << P;
+  // And semantics stay correct.
+  Func G = F;
+  G.Body = propagateScalars(F.Body);
+  EXPECT_EQ(runF(F, {{"y", {2}}, {"z", {}}}, {"z"}),
+            runF(G, {{"y", {2}}, {"z", {}}}, {"z"}));
+}
+
+TEST(ScalarPropTest, KeepsStoreInsideLoop) {
+  // The store is per-iteration; the read is after the loop: not a single
+  // evaluation, must not propagate.
+  FunctionBuilder B("f");
+  View A = B.input("a", {ic(4)});
+  View Y = B.output("y", {});
+  View T = B.local("t", {});
+  B.loop("i", 0, 4, [&](Expr I) { T.assign(A[I].load()); });
+  Y.assign(T.load());
+  Func F = B.build();
+  std::string P = toString(propagateScalars(F.Body));
+  EXPECT_NE(P.find("var t"), std::string::npos);
+}
+
+TEST(ShrinkVarTest, ShrinksOversizedBuffer) {
+  // t declared [64] but only t[0..8) used.
+  FunctionBuilder B("f");
+  View A = B.input("a", {ic(8)});
+  View Y = B.output("y", {ic(8)});
+  View T = B.local("t", {ic(64)});
+  B.loop("i", 0, 8, [&](Expr I) { T[I].assign(A[I].load() * 2); });
+  B.loop("i", 0, 8, [&](Expr I) { Y[I].assign(T[I].load()); });
+  Func F = B.build();
+  Stmt Out = shrinkVars(F.Body);
+  auto D = findVarDef(Out, "t");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(toString(D->Info.Shape[0]), "8");
+
+  Func G = F;
+  G.Body = Out;
+  EXPECT_EQ(runF(F, {{"a", {8}}, {"y", {8}}}, {"y"}),
+            runF(G, {{"a", {8}}, {"y", {8}}}, {"y"}));
+}
+
+TEST(ShrinkVarTest, ShrinksOffsetWindowToZeroBase) {
+  // Only t[16..24) used: shrink to [8] with remapped indices.
+  FunctionBuilder B("f");
+  View A = B.input("a", {ic(8)});
+  View Y = B.output("y", {ic(8)});
+  View T = B.local("t", {ic(64)});
+  B.loop("i", 0, 8, [&](Expr I) { T[I + 16].assign(A[I].load()); });
+  B.loop("i", 0, 8, [&](Expr I) { Y[I].assign(T[I + 16].load()); });
+  Func F = B.build();
+  Stmt Out = shrinkVars(F.Body);
+  auto D = findVarDef(Out, "t");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(toString(D->Info.Shape[0]), "8");
+  std::string P = toString(Out);
+  EXPECT_EQ(P.find("t[(i + 16)]"), std::string::npos) << P;
+
+  Func G = F;
+  G.Body = Out;
+  EXPECT_EQ(runF(F, {{"a", {8}}, {"y", {8}}}, {"y"}),
+            runF(G, {{"a", {8}}, {"y", {8}}}, {"y"}));
+}
+
+TEST(ShrinkVarTest, LeavesTightAndIndirectBuffersAlone) {
+  // Tight buffer: unchanged.
+  {
+    FunctionBuilder B("f");
+    View A = B.input("a", {ic(8)});
+    View Y = B.output("y", {ic(8)});
+    View T = B.local("t", {ic(8)});
+    B.loop("i", 0, 8, [&](Expr I) { T[I].assign(A[I].load()); });
+    B.loop("i", 0, 8, [&](Expr I) { Y[I].assign(T[I].load()); });
+    Func F = B.build();
+    Stmt Out = shrinkVars(F.Body);
+    EXPECT_EQ(toString(findVarDef(Out, "t")->Info.Shape[0]), "8");
+  }
+  // Indirect indexing: cannot bound, unchanged.
+  {
+    FunctionBuilder B("g");
+    View A = B.input("a", {ic(8)});
+    View Idx = B.input("idx", {ic(8)}, DataType::Int64);
+    View Y = B.output("y", {ic(8)});
+    View T = B.local("t", {ic(64)});
+    B.loop("i", 0, 8,
+           [&](Expr I) { T[Idx[I].load()].assign(A[I].load()); });
+    B.loop("i", 0, 8,
+           [&](Expr I) { Y[I].assign(T[Idx[I].load()].load()); });
+    Func F = B.build();
+    Stmt Out = shrinkVars(F.Body);
+    EXPECT_EQ(toString(findVarDef(Out, "t")->Info.Shape[0]), "64");
+  }
+}
+
+TEST(ShrinkVarTest, PerInstantiationWindowUsesOuterIterator) {
+  // Inside loop i, t holds a window a[i..i+4): shape shrinks from 64 to 4
+  // even though the lower bound references i.
+  FunctionBuilder B("f");
+  View A = B.input("a", {ic(16)});
+  View Y = B.output("y", {ic(12)});
+  B.loop("i", 0, 12, [&](Expr I) {
+    View T = B.local("t", {ic(64)});
+    B.loop("j", 0, 4, [&](Expr J) { T[I + J].assign(A[I + J].load()); });
+    View Acc = B.local("acc", {});
+    Acc.assign(0.0);
+    B.loop("j", 0, 4, [&](Expr J) { Acc += T[I + J].load(); });
+    Y[I].assign(Acc.load());
+  });
+  Func F = B.build();
+  Stmt Out = shrinkVars(F.Body);
+  auto D = findVarDef(Out, "t");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(toString(D->Info.Shape[0]), "4") << toString(Out);
+
+  Func G = F;
+  G.Body = Out;
+  EXPECT_EQ(runF(F, {{"a", {16}}, {"y", {12}}}, {"y"}),
+            runF(G, {{"a", {16}}, {"y", {12}}}, {"y"}));
+}
+
+} // namespace

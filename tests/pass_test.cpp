@@ -1,0 +1,251 @@
+//===- tests/pass_test.cpp - const_fold / simplify / reduction / DCE ------===//
+
+#include <gtest/gtest.h>
+
+#include "ir/compare.h"
+#include "ir/printer.h"
+#include "pass/const_fold.h"
+#include "pass/flatten.h"
+#include "pass/make_reduction.h"
+#include "pass/remove_writes.h"
+#include "pass/replace.h"
+#include "pass/simplify.h"
+#include "pass/sink_var.h"
+
+using namespace ft;
+
+namespace {
+
+Expr ld(const std::string &V, std::vector<Expr> I,
+        DataType D = DataType::Float32) {
+  return makeLoad(V, std::move(I), D);
+}
+Expr iv(const std::string &N) { return makeVar(N); }
+Expr ic(int64_t V) { return makeIntConst(V); }
+
+TEST(ConstFoldTest, Arithmetic) {
+  EXPECT_EQ(toString(constFold(makeAdd(ic(2), ic(3)))), "5");
+  EXPECT_EQ(toString(constFold(makeMul(makeAdd(ic(1), ic(1)), iv("x")))),
+            "(2 * x)");
+  EXPECT_EQ(toString(constFold(makeAdd(iv("x"), ic(0)))), "x");
+  EXPECT_EQ(toString(constFold(makeMul(iv("x"), ic(1)))), "x");
+  EXPECT_EQ(toString(constFold(makeFloorDiv(ic(-7), ic(2)))), "-4");
+  EXPECT_EQ(toString(constFold(makeMod(ic(-7), ic(2)))), "1");
+  EXPECT_EQ(toString(constFold(makeMin(ic(3), ic(5)))), "3");
+}
+
+TEST(ConstFoldTest, FloatZeroMulNotFolded) {
+  // 0 * f is NOT folded for float operands (NaN/Inf semantics)...
+  Expr F = ld("f", {});
+  Expr E = constFold(makeMul(ic(0), F));
+  EXPECT_TRUE(isa<BinaryNode>(E));
+  // ... but is for integer operands.
+  Expr I = ld("i", {}, DataType::Int64);
+  EXPECT_EQ(toString(constFold(makeMul(ic(0), I))), "0");
+}
+
+TEST(ConstFoldTest, LogicAndSelect) {
+  EXPECT_EQ(toString(constFold(makeLAnd(makeBoolConst(true), iv("c")))), "c");
+  EXPECT_EQ(toString(constFold(makeLAnd(makeBoolConst(false), iv("c")))),
+            "false");
+  EXPECT_EQ(toString(constFold(makeLOr(makeBoolConst(true), iv("c")))),
+            "true");
+  Expr Sel = makeIfExpr(makeLT(ic(1), ic(2)), iv("a"), iv("b"));
+  EXPECT_EQ(toString(constFold(Sel)), "a");
+}
+
+TEST(ConstFoldTest, CastFolding) {
+  EXPECT_EQ(toString(constFold(makeCast(DataType::Int64,
+                                        makeFloatConst(3.7)))),
+            "3");
+  // Cast to same type vanishes.
+  Expr L = ld("x", {});
+  EXPECT_EQ(toString(constFold(makeCast(DataType::Float32, L))), "x");
+}
+
+TEST(FlattenTest, NestedSeqAndEmptyBranches) {
+  Stmt S1 = makeStore("a", {}, ic(1));
+  Stmt S2 = makeStore("b", {}, ic(2));
+  Stmt Nested = makeStmtSeq({makeStmtSeq({S1}), makeStmtSeq({}), S2});
+  Stmt Flat = flattenStmtSeq(Nested);
+  auto Seq = cast<StmtSeqNode>(Flat);
+  ASSERT_EQ(Seq->Stmts.size(), 2u);
+  EXPECT_TRUE(deepEqual(Seq->Stmts[0], S1));
+
+  Stmt DeadIf = makeIf(iv("c"), makeStmtSeq({}));
+  EXPECT_TRUE(isEmptyStmt(flattenStmtSeq(DeadIf)));
+
+  Stmt ElseOnly = makeIf(iv("c"), makeStmtSeq({}), S1);
+  Stmt F = flattenStmtSeq(ElseOnly);
+  auto I = cast<IfNode>(F);
+  EXPECT_EQ(toString(I->Cond), "(not c)");
+}
+
+TEST(SimplifyTest, RemovesProvableBranch) {
+  // for i in 0:10: if i >= 0: a[i] = 1  ->  guard removed.
+  Stmt Body = makeIf(makeGE(iv("i"), ic(0)), makeStore("a", {iv("i")}, ic(1)));
+  Stmt Loop = makeFor("i", ic(0), ic(10), ForProperty{}, Body);
+  Stmt S = simplify(Loop);
+  EXPECT_EQ(toString(S), "for i in 0:10\n  a[i] = 1\n");
+}
+
+TEST(SimplifyTest, RemovesUnreachableBranchAndDeadLoop) {
+  Stmt Dead = makeIf(makeLT(iv("i"), ic(0)), makeStore("a", {iv("i")}, ic(1)));
+  Stmt Loop = makeFor("i", ic(0), ic(10), ForProperty{}, Dead);
+  EXPECT_TRUE(isEmptyStmt(simplify(Loop)));
+
+  Stmt EmptyRange = makeFor("i", ic(5), ic(5), ForProperty{},
+                            makeStore("a", {iv("i")}, ic(1)));
+  EXPECT_TRUE(isEmptyStmt(simplify(EmptyRange)));
+}
+
+TEST(SimplifyTest, SingleIterationLoopInlined) {
+  Stmt Loop = makeFor("i", ic(3), ic(4), ForProperty{},
+                      makeStore("a", {iv("i")}, iv("i")));
+  Stmt S = simplify(Loop);
+  EXPECT_EQ(toString(S), "a[3] = 3\n");
+}
+
+TEST(SimplifyTest, MinMaxResolvedFromRanges) {
+  // for i in 0:10: a[i] = min(i, 100) -> a[i] = i.
+  Stmt Loop = makeFor("i", ic(0), ic(10), ForProperty{},
+                      makeStore("a", {iv("i")}, makeMin(iv("i"), ic(100))));
+  EXPECT_EQ(toString(simplify(Loop)), "for i in 0:10\n  a[i] = i\n");
+}
+
+TEST(SimplifyTest, GuardWithParameterKept) {
+  // if i < n with n unknown stays (cannot prove).
+  Expr N = ld("n", {}, DataType::Int64);
+  Stmt Body = makeIf(makeLT(iv("i"), N), makeStore("a", {iv("i")}, ic(1)));
+  Stmt Loop = makeFor("i", ic(0), ic(10), ForProperty{}, Body);
+  Stmt Root = makeVarDef("n", TensorInfo{{}, DataType::Int64},
+                         AccessType::Input, MemType::CPU, Loop);
+  std::string P = toString(simplify(Root));
+  EXPECT_NE(P.find("if (i < n)"), std::string::npos);
+}
+
+TEST(SimplifyTest, GuardImpliedByLoopBoundRemoved) {
+  // for i in 0:n: if i < n: ... -> guard provable from the loop range.
+  Expr N = ld("n", {}, DataType::Int64);
+  Stmt Body = makeIf(makeLT(iv("i"), N), makeStore("a", {iv("i")}, ic(1)));
+  Stmt Loop = makeFor("i", ic(0), N, ForProperty{}, Body);
+  Stmt Root = makeVarDef("n", TensorInfo{{}, DataType::Int64},
+                         AccessType::Input, MemType::CPU, Loop);
+  std::string P = toString(simplify(Root));
+  EXPECT_EQ(P.find("if"), std::string::npos);
+}
+
+TEST(MakeReductionTest, RecognizesPatterns) {
+  // a[i] = a[i] + b[i]  ->  a[i] += b[i].
+  Stmt S = makeStore("a", {iv("i")},
+                     makeAdd(ld("a", {iv("i")}), ld("b", {iv("i")})));
+  Stmt R = makeReduction(S);
+  ASSERT_TRUE(isa<ReduceToNode>(R));
+  EXPECT_EQ(cast<ReduceToNode>(R)->Op, ReduceOpKind::Add);
+  EXPECT_EQ(R->Id, S->Id); // Identity preserved.
+
+  // Commuted form.
+  Stmt S2 = makeStore("a", {}, makeMax(ld("x", {}), ld("a", {})));
+  EXPECT_TRUE(isa<ReduceToNode>(makeReduction(S2)));
+
+  // Subtraction becomes += -e.
+  Stmt S3 = makeStore("a", {}, makeSub(ld("a", {}), ld("x", {})));
+  Stmt R3 = makeReduction(S3);
+  ASSERT_TRUE(isa<ReduceToNode>(R3));
+  EXPECT_EQ(cast<ReduceToNode>(R3)->Op, ReduceOpKind::Add);
+}
+
+TEST(MakeReductionTest, RejectsNonReductions) {
+  // a[i] = a[i+1] + b[i] is not a reduction.
+  Stmt S = makeStore("a", {iv("i")},
+                     makeAdd(ld("a", {makeAdd(iv("i"), ic(1))}),
+                             ld("b", {iv("i")})));
+  EXPECT_TRUE(isa<StoreNode>(makeReduction(S)));
+  // a = a + a is not (target read twice).
+  Stmt S2 = makeStore("a", {}, makeAdd(ld("a", {}), ld("a", {})));
+  EXPECT_TRUE(isa<StoreNode>(makeReduction(S2)));
+}
+
+TEST(RemoveWritesTest, DeadCacheChainRemoved) {
+  // var t: { t = b[0]; var u: u = t }  -- u dead, then t dead.
+  Stmt WriteU = makeStore("u", {}, ld("t", {}));
+  Stmt DefU = makeVarDef("u", TensorInfo{{}, DataType::Float32},
+                         AccessType::Cache, MemType::CPU, WriteU);
+  Stmt WriteT = makeStore("t", {}, ld("b", {ic(0)}));
+  Stmt DefT = makeVarDef("t", TensorInfo{{}, DataType::Float32},
+                         AccessType::Cache, MemType::CPU,
+                         makeStmtSeq({WriteT, DefU}));
+  Stmt Out = removeDeadWrites(DefT);
+  EXPECT_TRUE(isEmptyStmt(Out));
+}
+
+TEST(RemoveWritesTest, LiveCacheKept) {
+  Stmt WriteT = makeStore("t", {}, ic(1));
+  Stmt UseT = makeStore("y", {}, ld("t", {}));
+  Stmt DefT = makeVarDef("t", TensorInfo{{}, DataType::Float32},
+                         AccessType::Cache, MemType::CPU,
+                         makeStmtSeq({WriteT, UseT}));
+  Stmt Out = removeDeadWrites(DefT);
+  EXPECT_FALSE(isEmptyStmt(Out));
+  EXPECT_TRUE(isa<VarDefNode>(Out));
+}
+
+TEST(SinkVarTest, SinksIntoLoopWhenNotCarried) {
+  // var t: for i: { t = a[i]; b[i] = t }  ->  for i: var t: ...
+  Stmt S1 = makeStore("t", {}, ld("a", {iv("i")}));
+  Stmt S2 = makeStore("b", {iv("i")}, ld("t", {}));
+  Stmt Loop = makeFor("i", ic(0), ic(10), ForProperty{},
+                      makeStmtSeq({S1, S2}));
+  Stmt Def = makeVarDef("t", TensorInfo{{}, DataType::Float32},
+                        AccessType::Cache, MemType::CPU, Loop);
+  Stmt Out = sinkVars(Def);
+  ASSERT_TRUE(isa<ForNode>(Out));
+  EXPECT_TRUE(isa<VarDefNode>(cast<ForNode>(Out)->Body));
+}
+
+TEST(SinkVarTest, DoesNotSinkCarriedValue) {
+  // var t: { t = 0; for i: { b[i] = t; t = a[i] } } -- t carries across
+  // iterations; must not sink into the loop.
+  Stmt Init = makeStore("t", {}, ic(0));
+  Stmt Use = makeStore("b", {iv("i")}, ld("t", {}));
+  Stmt Upd = makeStore("t", {}, ld("a", {iv("i")}));
+  Stmt Loop = makeFor("i", ic(0), ic(10), ForProperty{},
+                      makeStmtSeq({Use, Upd}));
+  Stmt Def = makeVarDef("t", TensorInfo{{}, DataType::Float32},
+                        AccessType::Cache, MemType::CPU,
+                        makeStmtSeq({Init, Loop}));
+  Stmt Out = sinkVars(Def);
+  EXPECT_TRUE(isa<VarDefNode>(Out));
+}
+
+TEST(SinkVarTest, NarrowsToUseRangeInSeq) {
+  // var t: { x = 1; t = 2; y = t; z = 3 } -> t wraps only the middle two.
+  Stmt SX = makeStore("x", {}, ic(1));
+  Stmt ST = makeStore("t", {}, ic(2));
+  Stmt SY = makeStore("y", {}, ld("t", {}));
+  Stmt SZ = makeStore("z", {}, ic(3));
+  Stmt Def = makeVarDef("t", TensorInfo{{}, DataType::Float32},
+                        AccessType::Cache, MemType::CPU,
+                        makeStmtSeq({SX, ST, SY, SZ}));
+  Stmt Out = sinkVars(Def);
+  ASSERT_TRUE(isa<StmtSeqNode>(Out));
+  auto Seq = cast<StmtSeqNode>(Out);
+  ASSERT_EQ(Seq->Stmts.size(), 3u);
+  EXPECT_TRUE(isa<StoreNode>(Seq->Stmts[0]));
+  EXPECT_TRUE(isa<VarDefNode>(Seq->Stmts[1]));
+  EXPECT_TRUE(isa<StoreNode>(Seq->Stmts[2]));
+}
+
+TEST(ReplaceTest, SubstituteAndRename) {
+  Stmt S = makeStore("a", {iv("i")}, ld("b", {iv("i")}));
+  Stmt T = substituteIter(S, "i", makeAdd(iv("j"), ic(1)));
+  EXPECT_EQ(toString(T), "a[(j + 1)] = b[(j + 1)]\n");
+  Stmt U = renameTensor(S, "b", "b.cache");
+  EXPECT_EQ(toString(U), "a[i] = b.cache[i]\n");
+  Stmt V = remapIndices(S, "a", [](const std::vector<Expr> &Idx) {
+    return std::vector<Expr>{ic(0), Idx[0]};
+  });
+  EXPECT_EQ(toString(V), "a[0, i] = b[i]\n");
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+//===- tests/schedule_errors_test.cpp - Diagnostic quality -----------------===//
+//
+// Every schedule transformation must reject malformed requests with a
+// meaningful Status instead of aborting or miscompiling (paper §4.3: users
+// "aggressively try transformations"). These tests pin down the error
+// paths and messages.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "frontend/libop.h"
+#include "ir/printer.h"
+#include "schedule/schedule.h"
+
+using namespace ft;
+
+namespace {
+
+Expr ic(int64_t V) { return makeIntConst(V); }
+
+struct TwoLoops {
+  Func F;
+  int64_t L1 = -1, L2 = -1, Store1 = -1;
+};
+
+TwoLoops buildTwoLoops() {
+  FunctionBuilder B("t");
+  View X = B.input("x", {ic(8)});
+  View Y = B.output("y", {ic(8)});
+  View Z = B.output("z", {ic(6)});
+  TwoLoops T;
+  T.L1 = B.loop("i", 0, 8, [&](Expr I) {
+    Y[I].assign(X[I].load() * makeFloatConst(2.0));
+  });
+  T.L2 = B.loop("j", 0, 6, [&](Expr J) {
+    Z[J].assign(X[J].load() + makeFloatConst(1.0));
+  });
+  T.F = B.build();
+  auto Loop1 = dyn_cast<ForNode>(findStmt(T.F.Body, T.L1));
+  T.Store1 = Loop1->Body->Id;
+  return T;
+}
+
+TEST(ScheduleErrorsTest, UnknownAndWrongKindIds) {
+  TwoLoops T = buildTwoLoops();
+  Schedule S(T.F);
+  // Unknown statement ID.
+  auto R1 = S.split(987654321, 2);
+  ASSERT_FALSE(R1.ok());
+  EXPECT_NE(R1.message().find("no statement"), std::string::npos);
+  // A Store is not a loop.
+  auto R2 = S.split(T.Store1, 2);
+  ASSERT_FALSE(R2.ok());
+  EXPECT_NE(R2.message().find("not a loop"), std::string::npos);
+  // Label lookup misses.
+  auto R3 = S.findByLabel("nope");
+  ASSERT_FALSE(R3.ok());
+  EXPECT_NE(R3.message().find("no statement labeled"), std::string::npos);
+}
+
+TEST(ScheduleErrorsTest, SplitFactorValidation) {
+  TwoLoops T = buildTwoLoops();
+  Schedule S(T.F);
+  EXPECT_FALSE(S.split(T.L1, 0).ok());
+  EXPECT_FALSE(S.split(T.L1, -3).ok());
+}
+
+TEST(ScheduleErrorsTest, MergeRequiresPerfectNest) {
+  TwoLoops T = buildTwoLoops();
+  Schedule S(T.F);
+  auto R = S.merge(T.L1, T.L2); // Siblings, not nested.
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("perfectly nested"), std::string::npos);
+}
+
+TEST(ScheduleErrorsTest, FuseRequiresAdjacencyAndEqualLength) {
+  TwoLoops T = buildTwoLoops();
+  Schedule S(T.F);
+  // Adjacent but different lengths (8 vs 6).
+  auto R = S.fuse(T.L1, T.L2);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("equal length"), std::string::npos);
+  // Non-adjacent (wrong order).
+  auto R2 = S.fuse(T.L2, T.L1);
+  ASSERT_FALSE(R2.ok());
+  EXPECT_NE(R2.message().find("consecutive"), std::string::npos);
+}
+
+TEST(ScheduleErrorsTest, SwapRequiresAdjacency) {
+  TwoLoops T = buildTwoLoops();
+  Schedule S(T.F);
+  Status St = S.swap(T.L2, T.L1); // Reversed order: not "s1 then s2".
+  ASSERT_FALSE(St.ok());
+  EXPECT_NE(St.message().find("adjacent"), std::string::npos);
+}
+
+TEST(ScheduleErrorsTest, FissionRequiresInteriorPoint) {
+  TwoLoops T = buildTwoLoops();
+  Schedule S(T.F);
+  // The loop body is a single store: no interior split point.
+  auto R = S.fission(T.L1, T.Store1);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ScheduleErrorsTest, ReorderValidation) {
+  TwoLoops T = buildTwoLoops();
+  Schedule S(T.F);
+  EXPECT_FALSE(S.reorder({T.L1}).ok());       // Needs two loops.
+  EXPECT_FALSE(S.reorder({T.L1, T.L2}).ok()); // Not nested.
+}
+
+TEST(ScheduleErrorsTest, CacheValidation) {
+  TwoLoops T = buildTwoLoops();
+  Schedule S(T.F);
+  auto R = S.cache(T.L1, "nosuch", MemType::CPULocal);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("no tensor"), std::string::npos);
+  // Tensor exists but is not accessed inside the statement.
+  auto R2 = S.cache(T.L1, "z", MemType::CPULocal);
+  ASSERT_FALSE(R2.ok());
+  EXPECT_NE(R2.message().find("not accessed"), std::string::npos);
+}
+
+TEST(ScheduleErrorsTest, CacheRejectsIndirectAccess) {
+  FunctionBuilder B("g");
+  View E = B.input("e", {ic(8)});
+  View Idx = B.input("idx", {ic(8)}, DataType::Int64);
+  View Y = B.output("y", {ic(8)});
+  int64_t L = B.loop("i", 0, 8, [&](Expr I) {
+    Y[I].assign(E[Idx[I].load()].load());
+  });
+  Func F = B.build();
+  Schedule S(F);
+  auto R = S.cache(L, "e", MemType::CPULocal);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("non-affine"), std::string::npos);
+}
+
+TEST(ScheduleErrorsTest, CacheReductionRequiresUniformReduce) {
+  FunctionBuilder B("g");
+  View X = B.input("x", {ic(8)});
+  View Y = B.output("y", {});
+  Y.assign(0.0);
+  int64_t L = B.loop("i", 0, 8, [&](Expr I) {
+    Y += X[I].load();
+    Y.reduceMax(X[I].load()); // Mixed operators.
+  });
+  Func F = B.build();
+  Schedule S(F);
+  auto R = S.cacheReduction(L, "y", MemType::CPULocal);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("one reduction"), std::string::npos);
+}
+
+TEST(ScheduleErrorsTest, UnrollRequiresConstantLength) {
+  FunctionBuilder B("g");
+  Expr N = B.scalarInput("n");
+  View Y = B.output("y", {N});
+  int64_t L = B.loop("i", makeIntConst(0), N,
+                     [&](Expr I) { Y[I].assign(makeFloatConst(1.0)); });
+  Func F = B.build();
+  Schedule S(F);
+  Status St = S.unroll(L, /*Full=*/true);
+  ASSERT_FALSE(St.ok());
+  EXPECT_NE(St.message().find("constant"), std::string::npos);
+  // Blend has the same requirement.
+  EXPECT_FALSE(S.blend(L).ok());
+}
+
+TEST(ScheduleErrorsTest, SeparateTailNeedsAGuard) {
+  TwoLoops T = buildTwoLoops();
+  Schedule S(T.F);
+  auto R = S.separateTail(T.L1);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("no guard"), std::string::npos);
+}
+
+TEST(ScheduleErrorsTest, RejectedRequestsLeaveProgramIntact) {
+  // After a burst of rejected requests the function must be unchanged.
+  TwoLoops T = buildTwoLoops();
+  Schedule S(T.F);
+  std::string Before = toString(S.ast());
+  (void)S.split(T.Store1, 2);
+  (void)S.merge(T.L1, T.L2);
+  (void)S.fuse(T.L1, T.L2);
+  (void)S.swap(T.L2, T.L1);
+  (void)S.reorder({T.L1, T.L2});
+  (void)S.separateTail(T.L1);
+  (void)S.cache(T.L1, "nosuch", MemType::CPU);
+  (void)S.varSplit("x", 0, 2);
+  EXPECT_EQ(toString(S.ast()), Before);
+}
+
+} // namespace

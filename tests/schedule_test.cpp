@@ -1,0 +1,779 @@
+//===- tests/schedule_test.cpp - Table-1 transformations ------------------===//
+//
+// Each schedule is tested for (a) legality decisions matching the paper's
+// examples (Fig. 8/10 fuse, Fig. 12 reorder, Fig. 13 parallelize) and
+// (b) semantics preservation, by interpreting the program before and after
+// the transformation on fixed inputs and comparing outputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "frontend/libop.h"
+#include "interp/interp.h"
+#include "pass/const_fold.h"
+#include "ir/printer.h"
+#include "schedule/schedule.h"
+
+using namespace ft;
+
+namespace {
+
+/// Fills a float buffer deterministically.
+void seedBuffer(Buffer &B, double Scale, double Phase) {
+  for (int64_t I = 0; I < B.numel(); ++I)
+    B.setF(I, Scale * std::sin(0.37 * double(I) + Phase));
+}
+
+/// Interprets \p F with fresh deterministically-seeded inputs; returns the
+/// concatenated outputs. Only Float32 params supported here.
+std::vector<float> runWithSeeds(const Func &F,
+                                const std::map<std::string,
+                                               std::vector<int64_t>> &Shapes,
+                                const std::vector<std::string> &Outputs) {
+  std::map<std::string, Buffer> Store;
+  std::map<std::string, Buffer *> Args;
+  double Phase = 0;
+  for (const std::string &P : F.Params) {
+    auto It = Shapes.find(P);
+    ftAssert(It != Shapes.end(), "missing shape for param " + P);
+    Store.emplace(P, Buffer(DataType::Float32, It->second));
+    seedBuffer(Store.at(P), 1.0, Phase += 1.0);
+    Args[P] = &Store.at(P);
+  }
+  interpret(F, Args);
+  std::vector<float> Out;
+  for (const std::string &O : Outputs) {
+    const Buffer &B = Store.at(O);
+    Out.insert(Out.end(), B.as<float>(), B.as<float>() + B.numel());
+  }
+  return Out;
+}
+
+/// Asserts two runs agree.
+void expectSameResults(const Func &Before, const Func &After,
+                       const std::map<std::string,
+                                      std::vector<int64_t>> &Shapes,
+                       const std::vector<std::string> &Outputs) {
+  std::vector<float> A = runWithSeeds(Before, Shapes, Outputs);
+  std::vector<float> B = runWithSeeds(After, Shapes, Outputs);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_NEAR(A[I], B[I], 1e-5) << "output element " << I;
+}
+
+/// y[i] = x[i] * 2 + 1, labeled loop "L".
+Func buildMap(int64_t N) {
+  FunctionBuilder B("map");
+  View X = B.input("x", {makeIntConst(N)});
+  View Y = B.output("y", {makeIntConst(N)});
+  B.loop(
+      "i", 0, N,
+      [&](Expr I) {
+        Y[I].assign(X[I].load() * makeFloatConst(2.0) + makeFloatConst(1.0));
+      },
+      "L");
+  return B.build();
+}
+
+//===--------------------------------------------------------------------===//
+// split / merge
+//===--------------------------------------------------------------------===//
+
+TEST(ScheduleTest, SplitDivisible) {
+  Func F = buildMap(12);
+  Schedule S(F);
+  int64_t L = *S.findByLabel("L");
+  auto Ids = S.split(L, 4);
+  ASSERT_TRUE(Ids.ok()) << Ids.message();
+  S.cleanup();
+  // 12 % 4 == 0: the guard must be gone.
+  EXPECT_EQ(toString(S.ast()).find("if"), std::string::npos);
+  auto Nest = S.perfectNest(Ids->First);
+  ASSERT_EQ(Nest.size(), 2u);
+  EXPECT_EQ(toString(Nest[0]->End), "3");
+  EXPECT_EQ(toString(Nest[1]->End), "4");
+  expectSameResults(buildMap(12), S.func(), {{"x", {12}}, {"y", {12}}},
+                    {"y"});
+}
+
+TEST(ScheduleTest, SplitNonDivisibleKeepsGuard) {
+  Func F = buildMap(10);
+  Schedule S(F);
+  auto Ids = S.split(*S.findByLabel("L"), 4);
+  ASSERT_TRUE(Ids.ok());
+  S.cleanup();
+  EXPECT_NE(toString(S.ast()).find("if"), std::string::npos);
+  expectSameResults(buildMap(10), S.func(), {{"x", {10}}, {"y", {10}}},
+                    {"y"});
+}
+
+TEST(ScheduleTest, SplitThenSeparateTail) {
+  Func F = buildMap(10);
+  Schedule S(F);
+  auto Ids = S.split(*S.findByLabel("L"), 4);
+  ASSERT_TRUE(Ids.ok());
+  auto Tail = S.separateTail(Ids->First);
+  ASSERT_TRUE(Tail.ok()) << Tail.message();
+  // The main region is branch-free; the tail's inner loop keeps a guard,
+  // which a second separate_tail (applied recursively) removes.
+  std::function<int64_t(const Stmt &)> FindGuardedLoop =
+      [&](const Stmt &St) -> int64_t {
+    if (auto Fo = dyn_cast<ForNode>(St)) {
+      std::string P = toString(Fo->Body);
+      if (isa<IfNode>(Fo->Body) ||
+          (isa<StmtSeqNode>(Fo->Body) && P.find("if") != std::string::npos))
+        return Fo->Id;
+      return FindGuardedLoop(Fo->Body);
+    }
+    if (auto Seq = dyn_cast<StmtSeqNode>(St)) {
+      for (const Stmt &Sub : Seq->Stmts)
+        if (int64_t Id = FindGuardedLoop(Sub); Id >= 0)
+          return Id;
+      return -1;
+    }
+    if (auto D = dyn_cast<VarDefNode>(St))
+      return FindGuardedLoop(D->Body);
+    return -1;
+  };
+  int64_t Guarded = FindGuardedLoop(S.ast());
+  ASSERT_GE(Guarded, 0);
+  auto Tail2 = S.separateTail(Guarded);
+  ASSERT_TRUE(Tail2.ok()) << Tail2.message();
+  std::string P = toString(S.ast());
+  EXPECT_EQ(P.find("if"), std::string::npos)
+      << "guard should be fully separated:\n" << P;
+  expectSameResults(buildMap(10), S.func(), {{"x", {10}}, {"y", {10}}},
+                    {"y"});
+}
+
+TEST(ScheduleTest, MergeLoops) {
+  FunctionBuilder B("m");
+  View X = B.input("x", {makeIntConst(6), makeIntConst(4)});
+  View Y = B.output("y", {makeIntConst(6), makeIntConst(4)});
+  int64_t Outer = -1;
+  Outer = B.loop(
+      "i", 0, 6,
+      [&](Expr I) {
+        B.loop("j", 0, 4,
+               [&](Expr J) { Y[I][J].assign(X[I][J].load() * 3); });
+      },
+      "Li");
+  Func F = B.build();
+  Schedule S(F);
+  auto Nest = S.perfectNest(Outer);
+  ASSERT_EQ(Nest.size(), 2u);
+  auto M = S.merge(Nest[0]->Id, Nest[1]->Id);
+  ASSERT_TRUE(M.ok()) << M.message();
+  auto NewNest = S.perfectNest(*M);
+  ASSERT_EQ(NewNest.size(), 1u);
+  EXPECT_EQ(toString(constFold(NewNest[0]->len())), "24");
+  expectSameResults(F, S.func(), {{"x", {6, 4}}, {"y", {6, 4}}}, {"y"});
+}
+
+//===--------------------------------------------------------------------===//
+// reorder (paper Fig. 12)
+//===--------------------------------------------------------------------===//
+
+struct ReorderCase {
+  Func F;
+  int64_t Li, Lj;
+};
+
+// Fig. 12(a): a[i, j] = b[i, j] + 1. Reorderable.
+ReorderCase fig12a() {
+  FunctionBuilder B("a");
+  View Av = B.output("a", {makeIntConst(5), makeIntConst(7)});
+  View Bv = B.input("b", {makeIntConst(5), makeIntConst(7)});
+  ReorderCase C;
+  C.Li = B.loop("i", 0, 5, [&](Expr I) {
+    C.Lj = B.loop("j", 0, 7, [&](Expr J) {
+      Av[I][J].assign(Bv[I][J].load() + makeFloatConst(1.0));
+    });
+  });
+  C.F = B.build();
+  return C;
+}
+
+// Fig. 12(b): a = a * b[i, j] + 1 with a scalar: NOT reorderable.
+ReorderCase fig12b() {
+  FunctionBuilder B("b");
+  View Av = B.inout("a", {});
+  View Bv = B.input("b", {makeIntConst(5), makeIntConst(7)});
+  ReorderCase C;
+  C.Li = B.loop("i", 0, 5, [&](Expr I) {
+    C.Lj = B.loop("j", 0, 7, [&](Expr J) {
+      Av.assign(Av.load() * Bv[I][J].load() + makeFloatConst(1.0));
+    });
+  });
+  C.F = B.build();
+  return C;
+}
+
+// Fig. 12(c): a = a + b[i, j]: reorderable thanks to ReduceTo.
+ReorderCase fig12c() {
+  FunctionBuilder B("c");
+  View Av = B.inout("a", {});
+  View Bv = B.input("b", {makeIntConst(5), makeIntConst(7)});
+  ReorderCase C;
+  C.Li = B.loop("i", 0, 5, [&](Expr I) {
+    C.Lj = B.loop("j", 0, 7,
+                  [&](Expr J) { Av += Bv[I][J].load(); });
+  });
+  C.F = B.build();
+  return C;
+}
+
+// Fig. 12(d): per-(i,j) temporary t[k]: reorderable by scope filtering.
+ReorderCase fig12d() {
+  FunctionBuilder B("d");
+  View Av = B.input("a", {makeIntConst(5), makeIntConst(7), makeIntConst(3)});
+  View Bv =
+      B.output("b", {makeIntConst(5), makeIntConst(7), makeIntConst(3)});
+  ReorderCase C;
+  C.Li = B.loop("i", 0, 5, [&](Expr I) {
+    C.Lj = B.loop("j", 0, 7, [&](Expr J) {
+      View T = B.local("t", {makeIntConst(3)});
+      B.loop("k", 0, 3, [&](Expr K) {
+        T[K].assign(Av[I][J][K].load());
+        Bv[I][J][K].assign(T[K].load());
+      });
+    });
+  });
+  C.F = B.build();
+  return C;
+}
+
+TEST(ScheduleTest, ReorderFig12aLegal) {
+  ReorderCase C = fig12a();
+  Schedule S(C.F);
+  Status St = S.reorder({C.Lj, C.Li});
+  EXPECT_TRUE(St.ok()) << St.message();
+  // Outermost loop is now j.
+  auto L = dyn_cast<ForNode>(findStmt(S.ast(), C.Lj));
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->Iter, "j");
+  EXPECT_TRUE(S.perfectNest(C.Lj).size() == 2);
+  expectSameResults(fig12a().F, S.func(), {{"a", {5, 7}}, {"b", {5, 7}}},
+                    {"a"});
+}
+
+TEST(ScheduleTest, ReorderFig12bIllegal) {
+  ReorderCase C = fig12b();
+  Schedule S(C.F);
+  Status St = S.reorder({C.Lj, C.Li});
+  EXPECT_FALSE(St.ok());
+  EXPECT_NE(St.message().find("dependence"), std::string::npos);
+}
+
+TEST(ScheduleTest, ReorderFig12cReduceLegal) {
+  ReorderCase C = fig12c();
+  Schedule S(C.F);
+  Status St = S.reorder({C.Lj, C.Li});
+  EXPECT_TRUE(St.ok()) << St.message();
+  expectSameResults(fig12c().F, S.func(), {{"a", {}}, {"b", {5, 7}}},
+                    {"a"});
+}
+
+TEST(ScheduleTest, ReorderFig12dScopeFilteredLegal) {
+  ReorderCase C = fig12d();
+  Schedule S(C.F);
+  Status St = S.reorder({C.Lj, C.Li});
+  EXPECT_TRUE(St.ok()) << St.message();
+  expectSameResults(fig12d().F, S.func(),
+                    {{"a", {5, 7, 3}}, {"b", {5, 7, 3}}}, {"b"});
+}
+
+TEST(ScheduleTest, ReorderTrueDistanceDependenceIllegal) {
+  // Fig. 11-style: a[i+1, j] = a[i, j+1] + 1 has distance (1, -1):
+  // interchange flips it to (-1, 1) which is lexicographically negative.
+  FunctionBuilder B("w");
+  View Av = B.inout("a", {makeIntConst(8), makeIntConst(8)});
+  int64_t Li = -1, Lj = -1;
+  Li = B.loop("i", 0, 7, [&](Expr I) {
+    Lj = B.loop("j", 0, 7, [&](Expr J) {
+      Av[I + 1][J].assign(Av[I][J + 1].load() + makeFloatConst(1.0));
+    });
+  });
+  Func F = B.build();
+  Schedule S(F);
+  EXPECT_FALSE(S.reorder({Lj, Li}).ok());
+}
+
+//===--------------------------------------------------------------------===//
+// fuse (paper Fig. 8 -> Fig. 10) and fission
+//===--------------------------------------------------------------------===//
+
+/// Builds the softmax-tail fragment of Fig. 8: a loop computing dot_max by
+/// max-reduction, then a loop reading dot_max. Fusing them is illegal.
+TEST(ScheduleTest, FuseFig8MaxThenUseIllegal) {
+  FunctionBuilder B("f");
+  View Dot = B.input("dot", {makeIntConst(9)});
+  View Norm = B.output("norm", {makeIntConst(9)});
+  View Mx = B.local("mx", {});
+  Mx.assign(makeFloatConst(-INFINITY));
+  int64_t L1 = B.loop("k", 0, 9,
+                      [&](Expr K) { Mx.reduceMax(Dot[K].load()); });
+  int64_t L2 = B.loop("k", 0, 9, [&](Expr K) {
+    Norm[K].assign(Dot[K].load() - Mx.load());
+  });
+  Func F = B.build();
+  Schedule S(F);
+  auto R = S.fuse(L1, L2);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("dependence"), std::string::npos);
+}
+
+TEST(ScheduleTest, FuseElementwiseChainsLegal) {
+  // Fig. 8's other fusion (lines 4 and 13) is legal: producer/consumer at
+  // equal iterations.
+  FunctionBuilder B("f");
+  View X = B.input("x", {makeIntConst(16)});
+  View Y = B.output("y", {makeIntConst(16)});
+  View T = B.local("t", {makeIntConst(16)});
+  int64_t L1 = B.loop("i", 0, 16, [&](Expr I) {
+    T[I].assign(X[I].load() * makeFloatConst(2.0));
+  });
+  int64_t L2 = B.loop("i", 0, 16, [&](Expr I) {
+    Y[I].assign(T[I].load() + makeFloatConst(1.0));
+  });
+  Func F = B.build();
+  Schedule S(F);
+  auto R = S.fuse(L1, L2);
+  ASSERT_TRUE(R.ok()) << R.message();
+  // One loop remains.
+  auto L = dyn_cast<ForNode>(findStmt(S.ast(), *R));
+  ASSERT_NE(L, nullptr);
+  expectSameResults(F, S.func(), {{"x", {16}}, {"y", {16}}}, {"y"});
+}
+
+TEST(ScheduleTest, FuseOffsetRangesRemapIterators) {
+  // for k in -2:3: a[k+2]=...   fused with   for m in 0:5: b[m]=a[m].
+  FunctionBuilder B("f");
+  View A = B.local("a", {makeIntConst(5)});
+  View X = B.input("x", {makeIntConst(5)});
+  View Y = B.output("y", {makeIntConst(5)});
+  int64_t L1 = B.loop("k", -2, 3, [&](Expr K) {
+    A[K + 2].assign(X[K + 2].load() * makeFloatConst(3.0));
+  });
+  int64_t L2 = B.loop("m", 0, 5,
+                      [&](Expr M) { Y[M].assign(A[M].load()); });
+  Func F = B.build();
+  Schedule S(F);
+  auto R = S.fuse(L1, L2);
+  ASSERT_TRUE(R.ok()) << R.message();
+  expectSameResults(F, S.func(), {{"x", {5}}, {"y", {5}}}, {"y"});
+}
+
+TEST(ScheduleTest, FissionLegalAndIllegal) {
+  // for i: { t[i] = x[i]*2 ; y[i] = t[i]+1 }  -- fission legal.
+  FunctionBuilder B("f");
+  View X = B.input("x", {makeIntConst(8)});
+  View Y = B.output("y", {makeIntConst(8)});
+  View T = B.local("t", {makeIntConst(8)});
+  int64_t FirstStore = -1;
+  int64_t L = B.loop("i", 0, 8, [&](Expr I) {
+    T[I].assign(X[I].load() * makeFloatConst(2.0));
+    Y[I].assign(T[I].load() + makeFloatConst(1.0));
+  });
+  Func F = B.build();
+  // Identify the first statement of the loop body.
+  auto Loop = dyn_cast<ForNode>(findStmt(F.Body, L));
+  auto Seq = dyn_cast<StmtSeqNode>(Loop->Body);
+  ASSERT_NE(Seq, nullptr);
+  FirstStore = Seq->Stmts[0]->Id;
+
+  Schedule S(F);
+  auto R = S.fission(L, FirstStore);
+  ASSERT_TRUE(R.ok()) << R.message();
+  expectSameResults(F, S.func(), {{"x", {8}}, {"y", {8}}}, {"y"});
+
+  // for i: { y[i] = t ; t = x[i] } -- fission reverses the t dependence.
+  FunctionBuilder B2("g");
+  View X2 = B2.input("x", {makeIntConst(8)});
+  View Y2 = B2.output("y", {makeIntConst(8)});
+  View T2 = B2.local("t", {});
+  T2.assign(0.0);
+  int64_t L2 = B2.loop("i", 0, 8, [&](Expr I) {
+    Y2[I].assign(T2.load());
+    T2.assign(X2[I].load());
+  });
+  Func G = B2.build();
+  auto Loop2 = dyn_cast<ForNode>(findStmt(G.Body, L2));
+  auto Seq2 = dyn_cast<StmtSeqNode>(Loop2->Body);
+  Schedule S2(G);
+  EXPECT_FALSE(S2.fission(L2, Seq2->Stmts[0]->Id).ok());
+}
+
+TEST(ScheduleTest, SwapLegalAndIllegal) {
+  FunctionBuilder B("f");
+  View X = B.input("x", {makeIntConst(4)});
+  View Y = B.output("y", {makeIntConst(4)});
+  View Z = B.output("z", {makeIntConst(4)});
+  int64_t L = B.loop("i", 0, 4, [&](Expr I) {
+    Y[I].assign(X[I].load());
+    Z[I].assign(X[I].load() * makeFloatConst(2.0));
+  });
+  Func F = B.build();
+  auto Loop = dyn_cast<ForNode>(findStmt(F.Body, L));
+  auto Seq = dyn_cast<StmtSeqNode>(Loop->Body);
+  Schedule S(F);
+  EXPECT_TRUE(S.swap(Seq->Stmts[0]->Id, Seq->Stmts[1]->Id).ok());
+  expectSameResults(F, S.func(), {{"x", {4}}, {"y", {4}}, {"z", {4}}},
+                    {"y", "z"});
+
+  // Producer/consumer cannot swap.
+  FunctionBuilder B2("g");
+  View X2 = B2.input("x", {makeIntConst(4)});
+  View Y2 = B2.output("y", {makeIntConst(4)});
+  View T2 = B2.local("t", {});
+  int64_t L2 = B2.loop("i", 0, 4, [&](Expr I) {
+    T2.assign(X2[I].load());
+    Y2[I].assign(T2.load());
+  });
+  Func G = B2.build();
+  auto Loop2 = dyn_cast<ForNode>(findStmt(G.Body, L2));
+  // Body is VarDef(t){seq}: the local was declared outside the loop in this
+  // builder; find the sequence.
+  auto Seq2 = dyn_cast<StmtSeqNode>(Loop2->Body);
+  ASSERT_NE(Seq2, nullptr);
+  Schedule S2(G);
+  EXPECT_FALSE(S2.swap(Seq2->Stmts[0]->Id, Seq2->Stmts[1]->Id).ok());
+}
+
+//===--------------------------------------------------------------------===//
+// parallelize (paper Fig. 13) / vectorize / unroll / blend
+//===--------------------------------------------------------------------===//
+
+TEST(ScheduleTest, ParallelizeFig13) {
+  // (a) elementwise: legal.
+  {
+    Func F = buildMap(16);
+    Schedule S(F);
+    int64_t L = *S.findByLabel("L");
+    EXPECT_TRUE(S.parallelize(L).ok());
+    auto Loop = dyn_cast<ForNode>(findStmt(S.ast(), L));
+    EXPECT_TRUE(Loop->Property.Parallel);
+    EXPECT_TRUE(Loop->Property.NoDeps);
+  }
+  // (b) scalar recurrence: illegal.
+  {
+    FunctionBuilder B("b");
+    View A = B.inout("a", {});
+    View Bv = B.input("b", {makeIntConst(8)});
+    int64_t L = B.loop("i", 0, 8, [&](Expr I) {
+      A.assign(A.load() * makeFloatConst(2.0) + Bv[I].load());
+    });
+    Func F = B.build();
+    Schedule S(F);
+    Status St = S.parallelize(L);
+    EXPECT_FALSE(St.ok());
+  }
+  // (d) reduction to one location: legal via atomics.
+  {
+    FunctionBuilder B("d");
+    View A = B.output("a", {});
+    View Bv = B.input("b", {makeIntConst(8)});
+    A.assign(0.0);
+    int64_t L = B.loop("i", 0, 8, [&](Expr I) { A += Bv[I].load(); });
+    Func F = B.build();
+    Schedule S(F);
+    EXPECT_TRUE(S.parallelize(L).ok());
+    // The ReduceTo must now be atomic.
+    bool FoundAtomic = false;
+    std::function<void(const Stmt &)> Scan = [&](const Stmt &S2) {
+      if (auto R = dyn_cast<ReduceToNode>(S2))
+        FoundAtomic |= R->Atomic;
+      if (auto Seq = dyn_cast<StmtSeqNode>(S2))
+        for (const Stmt &Sub : Seq->Stmts)
+          Scan(Sub);
+      if (auto D = dyn_cast<VarDefNode>(S2))
+        Scan(D->Body);
+      if (auto Fo = dyn_cast<ForNode>(S2))
+        Scan(Fo->Body);
+    };
+    Scan(S.ast());
+    EXPECT_TRUE(FoundAtomic);
+  }
+  // (e) indirect reduction: legal via atomics.
+  {
+    FunctionBuilder B("e");
+    View A = B.inout("a", {makeIntConst(8)});
+    View Idx = B.input("idx", {makeIntConst(8)}, DataType::Int64);
+    View Bv = B.input("b", {makeIntConst(8)});
+    int64_t L = B.loop("i", 0, 8, [&](Expr I) {
+      A[Idx[I].load()] += Bv[I].load();
+    });
+    Func F = B.build();
+    Schedule S(F);
+    EXPECT_TRUE(S.parallelize(L).ok());
+  }
+}
+
+TEST(ScheduleTest, VectorizeRequiresIndependence) {
+  Func F = buildMap(16);
+  Schedule S(F);
+  EXPECT_TRUE(S.vectorize(*S.findByLabel("L")).ok());
+
+  FunctionBuilder B("g");
+  View A = B.inout("a", {makeIntConst(10)});
+  int64_t L = B.loop("i", 0, 9, [&](Expr I) {
+    A[I + 1].assign(A[I].load() + makeFloatConst(1.0));
+  });
+  Func G = B.build();
+  Schedule S2(G);
+  EXPECT_FALSE(S2.vectorize(L).ok());
+}
+
+TEST(ScheduleTest, UnrollFullAndPartial) {
+  Func F = buildMap(4);
+  Schedule S(F);
+  int64_t L = *S.findByLabel("L");
+  ASSERT_TRUE(S.unroll(L, /*Full=*/true).ok());
+  std::string P = toString(S.ast());
+  EXPECT_EQ(P.find("for"), std::string::npos);
+  EXPECT_NE(P.find("y[3]"), std::string::npos);
+  expectSameResults(buildMap(4), S.func(), {{"x", {4}}, {"y", {4}}}, {"y"});
+
+  Func F2 = buildMap(100);
+  Schedule S2(F2);
+  int64_t L2 = *S2.findByLabel("L");
+  EXPECT_FALSE(S2.unroll(L2, /*Full=*/true).ok()); // Too long.
+  EXPECT_TRUE(S2.unroll(L2, /*Full=*/false).ok()); // Mark only.
+  auto Loop = dyn_cast<ForNode>(findStmt(S2.ast(), L2));
+  EXPECT_TRUE(Loop->Property.Unroll);
+}
+
+TEST(ScheduleTest, BlendInterleavesStatements) {
+  FunctionBuilder B("f");
+  View X = B.input("x", {makeIntConst(3)});
+  View Y = B.output("y", {makeIntConst(3)});
+  View Z = B.output("z", {makeIntConst(3)});
+  int64_t L = B.loop("i", 0, 3, [&](Expr I) {
+    Y[I].assign(X[I].load());
+    Z[I].assign(X[I].load() * makeFloatConst(2.0));
+  });
+  Func F = B.build();
+  Schedule S(F);
+  ASSERT_TRUE(S.blend(L).ok());
+  std::string P = toString(S.ast());
+  // All three y-stores precede all three z-stores.
+  EXPECT_LT(P.find("y[2]"), P.find("z[0]"));
+  expectSameResults(F, S.func(), {{"x", {3}}, {"y", {3}}, {"z", {3}}},
+                    {"y", "z"});
+}
+
+//===--------------------------------------------------------------------===//
+// cache / cache_reduce (paper Fig. 14) and layout schedules
+//===--------------------------------------------------------------------===//
+
+TEST(ScheduleTest, CacheFig14SlidingWindow) {
+  // for i in 0:n: for j in 0:m: f(a[i+j]) — cache a around loop j caches
+  // exactly m elements [i, i+m).
+  const int64_t N = 6, M = 4;
+  FunctionBuilder B("f");
+  View A = B.input("a", {makeIntConst(N + M - 1)});
+  View Y = B.output("y", {makeIntConst(N)});
+  int64_t Lj = -1;
+  B.loop("i", 0, N, [&](Expr I) {
+    Lj = B.loop("j", 0, M, [&](Expr J) {
+      Y[I] += A[I + J].load() * makeFloatConst(0.5);
+    });
+  });
+  Func F = B.build();
+  Schedule S(F);
+  auto R = S.cache(Lj, "a", MemType::CPULocal);
+  ASSERT_TRUE(R.ok()) << R.message();
+  auto CacheDef = findVarDef(S.ast(), *R);
+  ASSERT_NE(CacheDef, nullptr);
+  ASSERT_EQ(CacheDef->Info.Shape.size(), 1u);
+  EXPECT_EQ(toString(constFold(CacheDef->Info.Shape[0])), "4");
+  EXPECT_EQ(CacheDef->MTy, MemType::CPULocal);
+  expectSameResults(F, S.func(), {{"a", {N + M - 1}}, {"y", {N}}}, {"y"});
+}
+
+TEST(ScheduleTest, CacheWrittenRegionWritesBack) {
+  // Cache an output region that is written: write-back must restore it.
+  FunctionBuilder B("f");
+  View Y = B.output("y", {makeIntConst(8)});
+  int64_t L = B.loop("i", 0, 8, [&](Expr I) {
+    Y[I].assign(makeFloatConst(1.0) + makeCast(DataType::Float32, I));
+  });
+  Func F = B.build();
+  Schedule S(F);
+  auto R = S.cache(L, "y", MemType::CPU);
+  ASSERT_TRUE(R.ok()) << R.message();
+  expectSameResults(F, S.func(), {{"y", {8}}}, {"y"});
+}
+
+TEST(ScheduleTest, CacheReduction) {
+  // for i: for j: y[i] += x[i, j] — cache_reduce y around loop j.
+  FunctionBuilder B("f");
+  View X = B.input("x", {makeIntConst(4), makeIntConst(5)});
+  View Y = B.output("y", {makeIntConst(4)});
+  libop::zeros(B, Y);
+  int64_t Lj = -1;
+  B.loop("i", 0, 4, [&](Expr I) {
+    Lj = B.loop("j", 0, 5, [&](Expr J) { Y[I] += X[I][J].load(); });
+  });
+  Func F = B.build();
+  Schedule S(F);
+  auto R = S.cacheReduction(Lj, "y", MemType::CPULocal);
+  ASSERT_TRUE(R.ok()) << R.message();
+  std::string P = toString(S.ast());
+  EXPECT_NE(P.find(*R), std::string::npos);
+  expectSameResults(F, S.func(), {{"x", {4, 5}}, {"y", {4}}}, {"y"});
+}
+
+TEST(ScheduleTest, VarLayoutTransforms) {
+  // t is a 6x4 cache tensor; split / reorder / merge its dims.
+  FunctionBuilder B("f");
+  View X = B.input("x", {makeIntConst(6), makeIntConst(4)});
+  View Y = B.output("y", {makeIntConst(6), makeIntConst(4)});
+  View T = B.local("t", {makeIntConst(6), makeIntConst(4)});
+  B.loop("i", 0, 6, [&](Expr I) {
+    B.loop("j", 0, 4,
+           [&](Expr J) { T[I][J].assign(X[I][J].load() * 2); });
+  });
+  B.loop("i", 0, 6, [&](Expr I) {
+    B.loop("j", 0, 4, [&](Expr J) { Y[I][J].assign(T[I][J].load()); });
+  });
+  Func F = B.build();
+
+  {
+    Schedule S(F);
+    ASSERT_TRUE(S.varSplit("t", 0, 2).ok());
+    auto D = findVarDef(S.ast(), "t");
+    ASSERT_EQ(D->Info.Shape.size(), 3u);
+    EXPECT_EQ(toString(D->Info.Shape[0]), "3");
+    EXPECT_EQ(toString(D->Info.Shape[1]), "2");
+    expectSameResults(F, S.func(), {{"x", {6, 4}}, {"y", {6, 4}}}, {"y"});
+  }
+  {
+    Schedule S(F);
+    ASSERT_TRUE(S.varReorder("t", {1, 0}).ok());
+    auto D = findVarDef(S.ast(), "t");
+    EXPECT_EQ(toString(D->Info.Shape[0]), "4");
+    expectSameResults(F, S.func(), {{"x", {6, 4}}, {"y", {6, 4}}}, {"y"});
+  }
+  {
+    Schedule S(F);
+    ASSERT_TRUE(S.varMerge("t", 0).ok());
+    auto D = findVarDef(S.ast(), "t");
+    ASSERT_EQ(D->Info.Shape.size(), 1u);
+    EXPECT_EQ(toString(D->Info.Shape[0]), "24");
+    expectSameResults(F, S.func(), {{"x", {6, 4}}, {"y", {6, 4}}}, {"y"});
+  }
+  {
+    Schedule S(F);
+    EXPECT_FALSE(S.varSplit("t", 0, 5).ok());  // Not divisible.
+    EXPECT_FALSE(S.varSplit("x", 0, 2).ok());  // Not a cache tensor.
+    EXPECT_FALSE(S.varReorder("t", {0, 0}).ok());
+  }
+}
+
+TEST(ScheduleTest, SetMemType) {
+  FunctionBuilder B("f");
+  View Y = B.output("y", {});
+  View T = B.local("t", {});
+  T.assign(2.0);
+  Y.assign(T.load());
+  Func F = B.build();
+  Schedule S(F);
+  ASSERT_TRUE(S.setMemType("t", MemType::CPULocal).ok());
+  EXPECT_EQ(findVarDef(S.ast(), "t")->MTy, MemType::CPULocal);
+  EXPECT_FALSE(S.setMemType("y", MemType::CPULocal).ok());
+}
+
+//===--------------------------------------------------------------------===//
+// as_lib
+//===--------------------------------------------------------------------===//
+
+TEST(ScheduleTest, AsLibMatchesMatmul) {
+  FunctionBuilder B("mm");
+  View A = B.input("A", {makeIntConst(4), makeIntConst(6)});
+  View Bv = B.input("B", {makeIntConst(6), makeIntConst(5)});
+  View C = B.output("C", {makeIntConst(4), makeIntConst(5)});
+  int64_t Li = B.loop("i", 0, 4, [&](Expr I) {
+    B.loop("j", 0, 5, [&](Expr J) {
+      C[I][J].assign(0.0);
+      B.loop("k", 0, 6,
+             [&](Expr K) { C[I][J] += A[I][K].load() * Bv[K][J].load(); });
+    });
+  });
+  Func F = B.build();
+  Schedule S(F);
+  Status St = S.asLib(Li);
+  ASSERT_TRUE(St.ok()) << St.message();
+  EXPECT_NE(toString(S.ast()).find("gemm(C += A @ B"), std::string::npos);
+  expectSameResults(F, S.func(), {{"A", {4, 6}}, {"B", {6, 5}},
+                                  {"C", {4, 5}}},
+                    {"C"});
+}
+
+TEST(ScheduleTest, AsLibTransposedOperands) {
+  // C[i,j] += A[k,i] * B[j,k]: A transposed, B transposed.
+  FunctionBuilder B("mmt");
+  View A = B.input("A", {makeIntConst(6), makeIntConst(4)});
+  View Bv = B.input("B", {makeIntConst(5), makeIntConst(6)});
+  View C = B.output("C", {makeIntConst(4), makeIntConst(5)});
+  int64_t Li = B.loop("i", 0, 4, [&](Expr I) {
+    B.loop("j", 0, 5, [&](Expr J) {
+      C[I][J].assign(0.0);
+      B.loop("k", 0, 6,
+             [&](Expr K) { C[I][J] += A[K][I].load() * Bv[J][K].load(); });
+    });
+  });
+  Func F = B.build();
+  Schedule S(F);
+  Status St = S.asLib(Li);
+  ASSERT_TRUE(St.ok()) << St.message();
+  EXPECT_NE(toString(S.ast()).find("A^T"), std::string::npos);
+  EXPECT_NE(toString(S.ast()).find("B^T"), std::string::npos);
+  expectSameResults(F, S.func(), {{"A", {6, 4}}, {"B", {5, 6}},
+                                  {"C", {4, 5}}},
+                    {"C"});
+}
+
+TEST(ScheduleTest, AsLibRejectsNonMatmul) {
+  FunctionBuilder B("nm");
+  View A = B.input("A", {makeIntConst(4), makeIntConst(6)});
+  View C = B.output("C", {makeIntConst(4), makeIntConst(6)});
+  int64_t Li = B.loop("i", 0, 4, [&](Expr I) {
+    B.loop("j", 0, 6,
+           [&](Expr J) { C[I][J].assign(A[I][J].load() * 2); });
+  });
+  Func F = B.build();
+  Schedule S(F);
+  EXPECT_FALSE(S.asLib(Li).ok());
+}
+
+//===--------------------------------------------------------------------===//
+// separate_tail on the Longformer boundary guard
+//===--------------------------------------------------------------------===//
+
+TEST(ScheduleTest, SeparateTailLongformerGuard) {
+  // for j in 0:n: for k in -w:w+1: if 0 <= j+k < n: y[j] += x[j+k]
+  const int64_t N = 12, W = 2;
+  FunctionBuilder B("f");
+  View X = B.input("x", {makeIntConst(N)});
+  View Y = B.output("y", {makeIntConst(N)});
+  int64_t Lj = B.loop("j", 0, N, [&](Expr J) {
+    Y[J].assign(0.0);
+    B.loop("k", -W, W + 1, [&](Expr K) {
+      B.ifThen(J + K >= 0 && J + K < N,
+               [&] { Y[J] += X[J + K].load(); });
+    });
+  });
+  Func F = B.build();
+  Schedule S(F);
+  auto R = S.separateTail(Lj);
+  ASSERT_TRUE(R.ok()) << R.message();
+  // The middle region must be branch-free; boundaries keep guards.
+  std::string P = toString(S.ast());
+  EXPECT_NE(P.find("for j in 2:10"), std::string::npos) << P;
+  expectSameResults(F, S.func(), {{"x", {N}}, {"y", {N}}}, {"y"});
+}
+
+} // namespace

@@ -1,0 +1,206 @@
+//===- tests/workloads_test.cpp - The four §6.1 workloads ------------------===//
+//
+// Cross-checks the three implementations of every workload (FreeTensor DSL
+// via the interpreter, EagerTensor operator chains, naive loops) on the
+// same deterministic data, and sanity-checks the instrumentation that
+// Figure 17 relies on (kernel counts, materialized bytes).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "interp/interp.h"
+#include "workloads/workloads.h"
+
+using namespace ft;
+using namespace ft::workloads;
+
+namespace {
+
+void expectClose(const float *A, const float *B, int64_t N, double Tol,
+                 const char *What) {
+  for (int64_t I = 0; I < N; ++I)
+    ASSERT_NEAR(A[I], B[I], Tol) << What << " element " << I;
+}
+
+TEST(WorkloadsTest, SubdivNetThreeWayAgreement) {
+  SubdivNetConfig C{64, 8};
+  SubdivNetData D = makeSubdivNetData(C);
+
+  // FreeTensor (interpreted).
+  Func F = buildSubdivNet(C);
+  Buffer YFt(DataType::Float32, {C.NFaces, C.Feats});
+  interpret(F, {{"e", &D.E}, {"adj", &D.Adj}, {"y", &YFt}});
+
+  // Naive.
+  std::vector<float> YNaive(C.NFaces * C.Feats);
+  subdivnetNaive(C, D.E.as<float>(), D.Adj.as<int64_t>(), YNaive.data());
+
+  // Eager.
+  eager::resetStats();
+  eager::clearTape();
+  eager::Tensor E = eager::Tensor::fromVec(
+      {C.NFaces, C.Feats},
+      std::vector<float>(D.E.as<float>(), D.E.as<float>() + D.E.numel()));
+  eager::IndexTensor Adj = eager::IndexTensor::fromVec(
+      {C.NFaces, 3}, std::vector<int64_t>(D.Adj.as<int64_t>(),
+                                          D.Adj.as<int64_t>() +
+                                              D.Adj.numel()));
+  eager::Tensor YE = subdivnetEager(E, Adj, C);
+
+  expectClose(YFt.as<float>(), YNaive.data(), YFt.numel(), 1e-4,
+              "ft-vs-naive");
+  expectClose(YE.data(), YNaive.data(), YE.numel(), 1e-4, "eager-vs-naive");
+
+  // The operator chain launches >= 6 kernels (paper Fig. 17: "no less
+  // than 6 kernel invocations"); FreeTensor runs the whole layer in one.
+  EXPECT_GE(eager::stats().KernelLaunches, 6);
+  // The gathered adj_feat tensor materializes n*3*f floats (Fig. 2(b)).
+  EXPECT_GE(eager::stats().BytesAllocated, C.NFaces * 3 * C.Feats * 4);
+}
+
+TEST(WorkloadsTest, LongformerThreeWayAgreement) {
+  LongformerConfig C{48, 8, 4};
+  LongformerData D = makeLongformerData(C);
+
+  Func F = buildLongformer(C);
+  Buffer YFt(DataType::Float32, {C.SeqLen, C.Feats});
+  interpret(F, {{"Q", &D.Q}, {"K", &D.K}, {"V", &D.V}, {"y", &YFt}});
+
+  std::vector<float> YNaive(C.SeqLen * C.Feats);
+  longformerNaive(C, D.Q.as<float>(), D.K.as<float>(), D.V.as<float>(),
+                  YNaive.data());
+
+  eager::resetStats();
+  eager::clearTape();
+  auto ToEager = [](const Buffer &B) {
+    return eager::Tensor::fromVec(
+        B.shape(),
+        std::vector<float>(B.as<float>(), B.as<float>() + B.numel()));
+  };
+  eager::Tensor YE =
+      longformerEager(ToEager(D.Q), ToEager(D.K), ToEager(D.V), C);
+
+  expectClose(YFt.as<float>(), YNaive.data(), YFt.numel(), 1e-4,
+              "ft-vs-naive");
+  expectClose(YE.data(), YNaive.data(), YE.numel(), 1e-4, "eager-vs-naive");
+
+  // The baseline materializes the K and V sliding windows (Fig. 1(b)):
+  // two tensors of n * (2w+1) * d floats.
+  EXPECT_GE(eager::stats().BytesAllocated,
+            2 * C.SeqLen * (2 * C.W + 1) * C.Feats * 4);
+}
+
+TEST(WorkloadsTest, SoftRasThreeWayAgreement) {
+  SoftRasConfig C{24, 12, 12, 0.05f};
+  SoftRasData D = makeSoftRasData(C);
+
+  Func F = buildSoftRas(C);
+  Buffer Img(DataType::Float32, {C.numPixels()});
+  interpret(F, {{"verts", &D.Verts}, {"px", &D.Px}, {"py", &D.Py},
+                {"img", &Img}});
+
+  std::vector<float> ImgNaive(C.numPixels());
+  softrasNaive(C, D.Verts.as<float>(), D.Px.as<float>(), D.Py.as<float>(),
+               ImgNaive.data());
+
+  eager::resetStats();
+  eager::clearTape();
+  SoftRasEagerInputs In = makeSoftRasEagerInputs(D, /*RequiresGrad=*/false);
+  eager::Tensor ImgE = softrasEager(In, C);
+
+  expectClose(Img.as<float>(), ImgNaive.data(), Img.numel(), 1e-3,
+              "ft-vs-naive");
+  expectClose(ImgE.data(), ImgNaive.data(), ImgE.numel(), 1e-3,
+              "eager-vs-naive");
+  // "Combining a large number of operators" (paper §6.2).
+  EXPECT_GE(eager::stats().KernelLaunches, 15);
+
+  // The image must actually contain coverage (not all zeros).
+  float Mx = 0;
+  for (int64_t I = 0; I < Img.numel(); ++I)
+    Mx = std::max(Mx, Img.as<float>()[I]);
+  EXPECT_GT(Mx, 0.5f);
+}
+
+TEST(WorkloadsTest, GATThreeWayAgreement) {
+  GATConfig C{96, 8, 4};
+  GATData D = makeGATData(C);
+
+  Func F = buildGAT(C);
+  Buffer YFt(DataType::Float32, {C.NNodes, C.Feats});
+  interpret(F, {{"h", &D.H}, {"adj", &D.Adj}, {"a1", &D.A1},
+                {"a2", &D.A2}, {"y", &YFt}});
+
+  std::vector<float> YNaive(C.NNodes * C.Feats);
+  gatNaive(C, D.H.as<float>(), D.Adj.as<int64_t>(), D.A1.as<float>(),
+           D.A2.as<float>(), YNaive.data());
+
+  eager::resetStats();
+  eager::clearTape();
+  eager::Tensor H = eager::Tensor::fromVec(
+      {C.NNodes, C.Feats},
+      std::vector<float>(D.H.as<float>(), D.H.as<float>() + D.H.numel()));
+  eager::Tensor A1 = eager::Tensor::fromVec(
+      {C.Feats}, std::vector<float>(D.A1.as<float>(),
+                                    D.A1.as<float>() + C.Feats));
+  eager::Tensor A2 = eager::Tensor::fromVec(
+      {C.Feats}, std::vector<float>(D.A2.as<float>(),
+                                    D.A2.as<float>() + C.Feats));
+  std::vector<int64_t> AdjV(D.Adj.as<int64_t>(),
+                            D.Adj.as<int64_t>() + D.Adj.numel());
+  std::vector<int64_t> SelfV(C.NNodes * C.Degree);
+  for (int64_t I = 0; I < C.NNodes; ++I)
+    for (int64_t M = 0; M < C.Degree; ++M)
+      SelfV[I * C.Degree + M] = I;
+  eager::IndexTensor AdjFlat =
+      eager::IndexTensor::fromVec({C.NNodes * C.Degree}, AdjV);
+  eager::IndexTensor SelfFlat =
+      eager::IndexTensor::fromVec({C.NNodes * C.Degree}, SelfV);
+  eager::Tensor YE = gatEager(H, AdjFlat, SelfFlat, A1, A2, C);
+
+  expectClose(YFt.as<float>(), YNaive.data(), YFt.numel(), 1e-4,
+              "ft-vs-naive");
+  expectClose(YE.data(), YNaive.data(), YE.numel(), 1e-4, "eager-vs-naive");
+}
+
+TEST(WorkloadsTest, EagerAutogradRunsOnSubdivNet) {
+  SubdivNetConfig C{32, 4};
+  SubdivNetData D = makeSubdivNetData(C);
+  eager::resetStats();
+  eager::clearTape();
+  eager::Tensor E = eager::Tensor::fromVec(
+      {C.NFaces, C.Feats},
+      std::vector<float>(D.E.as<float>(), D.E.as<float>() + D.E.numel()),
+      /*RequiresGrad=*/true);
+  eager::IndexTensor Adj = eager::IndexTensor::fromVec(
+      {C.NFaces, 3}, std::vector<int64_t>(D.Adj.as<int64_t>(),
+                                          D.Adj.as<int64_t>() +
+                                              D.Adj.numel()));
+  eager::Tensor Y = subdivnetEager(E, Adj, C);
+  eager::Tensor Loss = eager::sumAll(Y);
+  eager::backward(Loss);
+  eager::Tensor G = E.grad();
+  // Finite-difference check on a few elements.
+  for (int64_t Probe : {int64_t(0), int64_t(7), int64_t(63)}) {
+    const float Eps = 1e-2f;
+    auto Eval = [&](float Delta) {
+      std::vector<float> EV(D.E.as<float>(),
+                            D.E.as<float>() + D.E.numel());
+      EV[Probe] += Delta;
+      eager::clearTape();
+      eager::Tensor E2 =
+          eager::Tensor::fromVec({C.NFaces, C.Feats}, EV);
+      eager::Tensor Y2 = subdivnetEager(E2, Adj, C);
+      double S = 0;
+      for (int64_t I = 0; I < Y2.numel(); ++I)
+        S += Y2.data()[I];
+      return S;
+    };
+    double Num = (Eval(Eps) - Eval(-Eps)) / (2 * Eps);
+    EXPECT_NEAR(G.data()[Probe], Num, 0.05) << "probe " << Probe;
+  }
+}
+
+} // namespace

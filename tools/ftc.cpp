@@ -1,0 +1,191 @@
+//===- tools/ftc.cpp - FreeTensor compiler driver ---------------------------===//
+//
+// A command-line front door to the compiler, mirroring how the original
+// project is driven from Python:
+//
+//   ftc --workload subdivnet|longformer|softras|gat
+//       [--print-ir]        print the staged IR
+//       [--no-autoschedule] skip the rule passes
+//       [--print-opt-ir]    print the IR after scheduling
+//       [--emit-cpp FILE]   write the generated C++ to FILE ("-" = stdout)
+//       [--grad]            also differentiate and report tapes
+//       [--run N]           JIT-compile and time N executions
+//
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "autodiff/grad.h"
+#include "autoschedule/autoschedule.h"
+#include "codegen/codegen.h"
+#include "codegen/jit.h"
+#include "ir/printer.h"
+#include "workloads/workloads.h"
+
+using namespace ft;
+using namespace ft::workloads;
+
+namespace {
+
+struct Options {
+  std::string Workload = "longformer";
+  bool PrintIr = false;
+  bool PrintOptIr = false;
+  bool AutoScheduleEnabled = true;
+  bool Grad = false;
+  std::string EmitCpp;
+  int Run = 0;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ftc --workload subdivnet|longformer|softras|gat\n"
+      "           [--print-ir] [--print-opt-ir] [--no-autoschedule]\n"
+      "           [--emit-cpp FILE|-] [--grad] [--run N]\n");
+  return 2;
+}
+
+struct Bound {
+  Func F;
+  std::map<std::string, Buffer> Store;
+};
+
+Bound buildWorkload(const std::string &Name) {
+  Bound B;
+  if (Name == "subdivnet") {
+    SubdivNetConfig C;
+    SubdivNetData D = makeSubdivNetData(C);
+    B.F = buildSubdivNet(C);
+    B.Store.emplace("e", std::move(D.E));
+    B.Store.emplace("adj", std::move(D.Adj));
+    B.Store.emplace("y", Buffer(DataType::Float32, {C.NFaces, C.Feats}));
+  } else if (Name == "longformer") {
+    LongformerConfig C;
+    LongformerData D = makeLongformerData(C);
+    B.F = buildLongformer(C);
+    B.Store.emplace("Q", std::move(D.Q));
+    B.Store.emplace("K", std::move(D.K));
+    B.Store.emplace("V", std::move(D.V));
+    B.Store.emplace("y", Buffer(DataType::Float32, {C.SeqLen, C.Feats}));
+  } else if (Name == "softras") {
+    SoftRasConfig C;
+    SoftRasData D = makeSoftRasData(C);
+    B.F = buildSoftRas(C);
+    B.Store.emplace("verts", std::move(D.Verts));
+    B.Store.emplace("px", std::move(D.Px));
+    B.Store.emplace("py", std::move(D.Py));
+    B.Store.emplace("img", Buffer(DataType::Float32, {C.numPixels()}));
+  } else if (Name == "gat") {
+    GATConfig C;
+    GATData D = makeGATData(C);
+    B.F = buildGAT(C);
+    B.Store.emplace("h", std::move(D.H));
+    B.Store.emplace("adj", std::move(D.Adj));
+    B.Store.emplace("a1", std::move(D.A1));
+    B.Store.emplace("a2", std::move(D.A2));
+    B.Store.emplace("y", Buffer(DataType::Float32, {C.NNodes, C.Feats}));
+  }
+  return B;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--workload" && I + 1 < argc)
+      O.Workload = argv[++I];
+    else if (A == "--print-ir")
+      O.PrintIr = true;
+    else if (A == "--print-opt-ir")
+      O.PrintOptIr = true;
+    else if (A == "--no-autoschedule")
+      O.AutoScheduleEnabled = false;
+    else if (A == "--grad")
+      O.Grad = true;
+    else if (A == "--emit-cpp" && I + 1 < argc)
+      O.EmitCpp = argv[++I];
+    else if (A == "--run" && I + 1 < argc)
+      O.Run = std::atoi(argv[++I]);
+    else
+      return usage();
+  }
+
+  Bound B = buildWorkload(O.Workload);
+  if (!B.F.Body) {
+    std::fprintf(stderr, "unknown workload: %s\n", O.Workload.c_str());
+    return usage();
+  }
+  std::printf("workload %s: %zu parameters, function `%s`\n",
+              O.Workload.c_str(), B.F.Params.size(), B.F.Name.c_str());
+
+  if (O.PrintIr)
+    std::printf("\n=== staged IR ===\n%s\n", toString(B.F.Body).c_str());
+
+  Func Opt = B.F;
+  if (O.AutoScheduleEnabled) {
+    AutoScheduleReport R;
+    Opt = autoScheduleFunc(B.F, {}, &R);
+    std::printf("auto-schedule: fused=%d vectorized=%d parallelized=%d "
+                "localized=%d lib=%d unrolled=%d\n",
+                R.Fused, R.Vectorized, R.Parallelized, R.Localized,
+                R.LibCalls, R.Unrolled);
+  }
+  if (O.PrintOptIr)
+    std::printf("\n=== scheduled IR ===\n%s\n", toString(Opt.Body).c_str());
+
+  if (!O.EmitCpp.empty()) {
+    std::string Src = generateCpp(Opt);
+    if (O.EmitCpp == "-") {
+      std::printf("\n=== generated C++ ===\n%s\n", Src.c_str());
+    } else {
+      std::ofstream Out(O.EmitCpp);
+      Out << Src;
+      std::printf("wrote %zu bytes of C++ to %s\n", Src.size(),
+                  O.EmitCpp.c_str());
+    }
+  }
+
+  if (O.Grad) {
+    auto G = grad(B.F, {B.F.Params[0]});
+    if (!G.ok()) {
+      std::printf("grad: %s\n", G.message().c_str());
+    } else {
+      std::printf("grad w.r.t. `%s`: %zu tape(s)", B.F.Params[0].c_str(),
+                  G->Tapes.size());
+      for (const std::string &T : G->Tapes)
+        std::printf(" %s", T.c_str());
+      std::printf("\n");
+    }
+  }
+
+  if (O.Run > 0) {
+    auto K = Kernel::compile(Opt);
+    if (!K.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n", K.message().c_str());
+      return 1;
+    }
+    std::printf("JIT compile: %.2f s\n", K->compileSeconds());
+    std::map<std::string, Buffer *> Args;
+    for (auto &[N, Buf] : B.Store)
+      Args[N] = &Buf;
+    Status S = K->run(Args); // Warm up.
+    if (!S.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", S.message().c_str());
+      return 1;
+    }
+    auto T0 = std::chrono::steady_clock::now();
+    for (int I = 0; I < O.Run; ++I)
+      K->run(Args);
+    double Sec = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - T0)
+                     .count();
+    std::printf("%d runs: %.3f ms each\n", O.Run, Sec / O.Run * 1e3);
+  }
+  return 0;
+}
