@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16a_forward"
+  "../bench/fig16a_forward.pdb"
+  "CMakeFiles/fig16a_forward.dir/fig16a_forward.cpp.o"
+  "CMakeFiles/fig16a_forward.dir/fig16a_forward.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16a_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

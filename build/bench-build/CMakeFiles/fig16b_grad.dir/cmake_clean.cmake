@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16b_grad"
+  "../bench/fig16b_grad.pdb"
+  "CMakeFiles/fig16b_grad.dir/fig16b_grad.cpp.o"
+  "CMakeFiles/fig16b_grad.dir/fig16b_grad.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16b_grad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_metrics"
+  "../bench/fig17_metrics.pdb"
+  "CMakeFiles/fig17_metrics.dir/fig17_metrics.cpp.o"
+  "CMakeFiles/fig17_metrics.dir/fig17_metrics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

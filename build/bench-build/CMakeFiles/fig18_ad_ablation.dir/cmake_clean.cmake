@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_ad_ablation"
+  "../bench/fig18_ad_ablation.pdb"
+  "CMakeFiles/fig18_ad_ablation.dir/fig18_ad_ablation.cpp.o"
+  "CMakeFiles/fig18_ad_ablation.dir/fig18_ad_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_ad_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gat.dir/gat.cpp.o"
+  "CMakeFiles/example_gat.dir/gat.cpp.o.d"
+  "example_gat"
+  "example_gat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_longformer_grad.dir/longformer_grad.cpp.o"
+  "CMakeFiles/example_longformer_grad.dir/longformer_grad.cpp.o.d"
+  "example_longformer_grad"
+  "example_longformer_grad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_longformer_grad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

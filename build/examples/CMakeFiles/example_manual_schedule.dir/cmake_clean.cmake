@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_manual_schedule.dir/manual_schedule.cpp.o"
+  "CMakeFiles/example_manual_schedule.dir/manual_schedule.cpp.o.d"
+  "example_manual_schedule"
+  "example_manual_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_manual_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

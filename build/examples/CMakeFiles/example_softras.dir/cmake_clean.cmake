@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_softras.dir/softras.cpp.o"
+  "CMakeFiles/example_softras.dir/softras.cpp.o.d"
+  "example_softras"
+  "example_softras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_softras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

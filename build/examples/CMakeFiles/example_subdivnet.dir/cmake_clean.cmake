@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_subdivnet.dir/subdivnet.cpp.o"
+  "CMakeFiles/example_subdivnet.dir/subdivnet.cpp.o.d"
+  "example_subdivnet"
+  "example_subdivnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_subdivnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

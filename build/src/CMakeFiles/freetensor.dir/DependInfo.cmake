@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/access.cpp" "src/CMakeFiles/freetensor.dir/analysis/access.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/analysis/access.cpp.o.d"
+  "/root/repo/src/analysis/affine.cpp" "src/CMakeFiles/freetensor.dir/analysis/affine.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/analysis/affine.cpp.o.d"
+  "/root/repo/src/analysis/bounds.cpp" "src/CMakeFiles/freetensor.dir/analysis/bounds.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/analysis/bounds.cpp.o.d"
+  "/root/repo/src/analysis/deps.cpp" "src/CMakeFiles/freetensor.dir/analysis/deps.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/analysis/deps.cpp.o.d"
+  "/root/repo/src/autodiff/grad.cpp" "src/CMakeFiles/freetensor.dir/autodiff/grad.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/autodiff/grad.cpp.o.d"
+  "/root/repo/src/autoschedule/autoschedule.cpp" "src/CMakeFiles/freetensor.dir/autoschedule/autoschedule.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/autoschedule/autoschedule.cpp.o.d"
+  "/root/repo/src/codegen/codegen.cpp" "src/CMakeFiles/freetensor.dir/codegen/codegen.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/codegen/codegen.cpp.o.d"
+  "/root/repo/src/codegen/jit.cpp" "src/CMakeFiles/freetensor.dir/codegen/jit.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/codegen/jit.cpp.o.d"
+  "/root/repo/src/frontend/builder.cpp" "src/CMakeFiles/freetensor.dir/frontend/builder.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/frontend/builder.cpp.o.d"
+  "/root/repo/src/frontend/libop.cpp" "src/CMakeFiles/freetensor.dir/frontend/libop.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/frontend/libop.cpp.o.d"
+  "/root/repo/src/interp/interp.cpp" "src/CMakeFiles/freetensor.dir/interp/interp.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/interp/interp.cpp.o.d"
+  "/root/repo/src/ir/compare.cpp" "src/CMakeFiles/freetensor.dir/ir/compare.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/ir/compare.cpp.o.d"
+  "/root/repo/src/ir/data_type.cpp" "src/CMakeFiles/freetensor.dir/ir/data_type.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/ir/data_type.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/freetensor.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/func.cpp" "src/CMakeFiles/freetensor.dir/ir/func.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/ir/func.cpp.o.d"
+  "/root/repo/src/ir/mutator.cpp" "src/CMakeFiles/freetensor.dir/ir/mutator.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/ir/mutator.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/freetensor.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/CMakeFiles/freetensor.dir/ir/stmt.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/ir/stmt.cpp.o.d"
+  "/root/repo/src/ir/visitor.cpp" "src/CMakeFiles/freetensor.dir/ir/visitor.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/ir/visitor.cpp.o.d"
+  "/root/repo/src/math/affine_set.cpp" "src/CMakeFiles/freetensor.dir/math/affine_set.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/math/affine_set.cpp.o.d"
+  "/root/repo/src/math/linear.cpp" "src/CMakeFiles/freetensor.dir/math/linear.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/math/linear.cpp.o.d"
+  "/root/repo/src/opframework/eager.cpp" "src/CMakeFiles/freetensor.dir/opframework/eager.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/opframework/eager.cpp.o.d"
+  "/root/repo/src/pass/const_fold.cpp" "src/CMakeFiles/freetensor.dir/pass/const_fold.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/pass/const_fold.cpp.o.d"
+  "/root/repo/src/pass/flatten.cpp" "src/CMakeFiles/freetensor.dir/pass/flatten.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/pass/flatten.cpp.o.d"
+  "/root/repo/src/pass/make_reduction.cpp" "src/CMakeFiles/freetensor.dir/pass/make_reduction.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/pass/make_reduction.cpp.o.d"
+  "/root/repo/src/pass/remove_writes.cpp" "src/CMakeFiles/freetensor.dir/pass/remove_writes.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/pass/remove_writes.cpp.o.d"
+  "/root/repo/src/pass/replace.cpp" "src/CMakeFiles/freetensor.dir/pass/replace.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/pass/replace.cpp.o.d"
+  "/root/repo/src/pass/scalar_prop.cpp" "src/CMakeFiles/freetensor.dir/pass/scalar_prop.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/pass/scalar_prop.cpp.o.d"
+  "/root/repo/src/pass/shrink_var.cpp" "src/CMakeFiles/freetensor.dir/pass/shrink_var.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/pass/shrink_var.cpp.o.d"
+  "/root/repo/src/pass/simplify.cpp" "src/CMakeFiles/freetensor.dir/pass/simplify.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/pass/simplify.cpp.o.d"
+  "/root/repo/src/pass/sink_var.cpp" "src/CMakeFiles/freetensor.dir/pass/sink_var.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/pass/sink_var.cpp.o.d"
+  "/root/repo/src/schedule/schedule.cpp" "src/CMakeFiles/freetensor.dir/schedule/schedule.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/schedule/schedule.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/freetensor.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/string_utils.cpp" "src/CMakeFiles/freetensor.dir/support/string_utils.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/support/string_utils.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/freetensor.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/freetensor.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

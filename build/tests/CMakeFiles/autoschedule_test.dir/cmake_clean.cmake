@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoschedule_test.dir/autoschedule_test.cpp.o"
+  "CMakeFiles/autoschedule_test.dir/autoschedule_test.cpp.o.d"
+  "autoschedule_test"
+  "autoschedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoschedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

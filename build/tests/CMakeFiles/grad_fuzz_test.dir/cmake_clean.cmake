@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grad_fuzz_test.dir/grad_fuzz_test.cpp.o"
+  "CMakeFiles/grad_fuzz_test.dir/grad_fuzz_test.cpp.o.d"
+  "grad_fuzz_test"
+  "grad_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grad_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

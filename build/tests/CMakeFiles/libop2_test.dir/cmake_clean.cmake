@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libop2_test.dir/libop2_test.cpp.o"
+  "CMakeFiles/libop2_test.dir/libop2_test.cpp.o.d"
+  "libop2_test"
+  "libop2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libop2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

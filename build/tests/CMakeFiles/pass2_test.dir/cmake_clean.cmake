@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pass2_test.dir/pass2_test.cpp.o"
+  "CMakeFiles/pass2_test.dir/pass2_test.cpp.o.d"
+  "pass2_test"
+  "pass2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pass2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

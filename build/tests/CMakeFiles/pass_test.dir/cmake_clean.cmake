@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pass_test.dir/pass_test.cpp.o"
+  "CMakeFiles/pass_test.dir/pass_test.cpp.o.d"
+  "pass_test"
+  "pass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_grad_test.dir/workloads_grad_test.cpp.o"
+  "CMakeFiles/workloads_grad_test.dir/workloads_grad_test.cpp.o.d"
+  "workloads_grad_test"
+  "workloads_grad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_grad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

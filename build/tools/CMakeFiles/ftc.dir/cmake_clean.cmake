@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc.dir/ftc.cpp.o"
+  "CMakeFiles/ftc.dir/ftc.cpp.o.d"
+  "ftc"
+  "ftc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
