@@ -20,6 +20,19 @@ bool AccessPoint::isInsideLoop(int64_t Id) const {
   return false;
 }
 
+const std::vector<size_t> &
+AccessCollection::pointsOf(const std::string &Var) const {
+  static const std::vector<size_t> None;
+  auto It = ByVar.find(Var);
+  return It == ByVar.end() ? None : It->second;
+}
+
+void AccessCollection::buildIndex() {
+  ByVar.clear();
+  for (size_t I = 0; I < Points.size(); ++I)
+    ByVar[Points[I].Var].push_back(I);
+}
+
 bool AccessCollection::isParam(const std::string &Name) const {
   auto It = Defs.find(Name);
   if (It == Defs.end())
@@ -234,5 +247,7 @@ private:
 } // namespace
 
 AccessCollection ft::collectAccesses(const Stmt &Root) {
-  return AccessCollector().run(Root);
+  AccessCollection AC = AccessCollector().run(Root);
+  AC.buildIndex();
+  return AC;
 }

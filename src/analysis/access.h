@@ -68,10 +68,22 @@ struct AccessCollection {
   std::vector<AccessPoint> Points;
   /// Tensor name -> its VarDef (dtype, shape, access type).
   std::map<std::string, Ref<VarDefNode>> Defs;
+  /// Tensor name -> indices into Points, in Points order. Dependence
+  /// queries only ever pair accesses of one tensor, so iterating a bucket
+  /// replaces the O(points²) scan over the whole program.
+  std::map<std::string, std::vector<size_t>> ByVar;
 
   /// Returns true if \p Name is a read-only scalar usable as a symbolic
   /// parameter in affine reasoning.
   bool isParam(const std::string &Name) const;
+
+  /// Returns the bucket for \p Var (empty if the tensor is never
+  /// accessed).
+  const std::vector<size_t> &pointsOf(const std::string &Var) const;
+
+  /// Rebuilds ByVar from Points (collectAccesses calls this; callers that
+  /// hand-edit Points must re-call it).
+  void buildIndex();
 };
 
 /// Walks \p Root and collects every access.

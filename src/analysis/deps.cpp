@@ -2,11 +2,18 @@
 
 #include "analysis/deps.h"
 
+#include <algorithm>
+
 #include "analysis/affine.h"
+#include "support/stats.h"
 
 using namespace ft;
 
-DepAnalyzer::DepAnalyzer(const Stmt &Root) : AC(collectAccesses(Root)) {}
+DepAnalyzer::DepAnalyzer(const Stmt &Root) : AC(collectAccesses(Root)) {
+  stats::counters().AnalyzerBuilds.fetch_add(1, std::memory_order_relaxed);
+  DomEarlier.resize(AC.Points.size());
+  DomLater.resize(AC.Points.size());
+}
 
 std::vector<LoopAxis> DepAnalyzer::commonLoops(const AccessPoint &A,
                                                const AccessPoint &B) {
@@ -94,13 +101,46 @@ bool DepAnalyzer::addDomain(AffineSet &S, const AccessPoint &P,
   return true;
 }
 
+std::optional<size_t> DepAnalyzer::indexOf(const AccessPoint &P) const {
+  if (AC.Points.empty())
+    return std::nullopt;
+  const AccessPoint *Base = AC.Points.data();
+  if (&P < Base || &P >= Base + AC.Points.size())
+    return std::nullopt;
+  return static_cast<size_t>(&P - Base);
+}
+
+void DepAnalyzer::appendDomain(AffineSet &S, const AccessPoint &P,
+                               bool Later) const {
+  std::optional<size_t> Idx = indexOf(P);
+  if (!Idx || stats::accelerationBypassed()) {
+    // Foreign point (or bypass mode): compute without caching. The cached
+    // and direct paths produce the identical constraint sequence.
+    addDomain(S, P, Later ? "q." : "p.");
+    return;
+  }
+  auto &Cache = Later ? DomLater : DomEarlier;
+  std::optional<AffineSet> &Slot = Cache[*Idx];
+  stats::Counters &Ct = stats::counters();
+  if (!Slot) {
+    Ct.DomainCacheMisses.fetch_add(1, std::memory_order_relaxed);
+    AffineSet D;
+    addDomain(D, P, Later ? "q." : "p.");
+    Slot = std::move(D);
+  } else {
+    Ct.DomainCacheHits.fetch_add(1, std::memory_order_relaxed);
+  }
+  S.addAll(*Slot);
+}
+
 AffineSet DepAnalyzer::buildPairSet(const AccessPoint &E,
                                     const AccessPoint &L,
                                     const RelMap &Rels) const {
+  stats::counters().PairSetsBuilt.fetch_add(1, std::memory_order_relaxed);
   IsParamFn IsParam = [this](const std::string &N) { return AC.isParam(N); };
   AffineSet S;
-  addDomain(S, E, "p.");
-  addDomain(S, L, "q.");
+  appendDomain(S, E, /*Later=*/false);
+  appendDomain(S, L, /*Later=*/true);
 
   std::vector<LoopAxis> Common = commonLoops(E, L);
 
@@ -163,6 +203,7 @@ AffineSet DepAnalyzer::buildPairSet(const AccessPoint &E,
 
 bool DepAnalyzer::mayDepend(const AccessPoint &E, const AccessPoint &L,
                             const RelMap &Rels) const {
+  stats::counters().DepQueries.fetch_add(1, std::memory_order_relaxed);
   if (E.Var != L.Var)
     return false;
   if (E.Kind == AccessKind::Read && L.Kind == AccessKind::Read)
@@ -172,54 +213,123 @@ bool DepAnalyzer::mayDepend(const AccessPoint &E, const AccessPoint &L,
   return !buildPairSet(E, L, Rels).isEmpty();
 }
 
-std::vector<FoundDep> DepAnalyzer::carriedBy(int64_t LoopId) const {
+namespace {
+
+/// A found dependence plus the point indices of its endpoints, used to
+/// emit results in the historical Points-major order regardless of the
+/// per-tensor bucket iteration.
+struct IndexedDep {
+  size_t EIdx, LIdx;
+  FoundDep D;
+};
+
+std::vector<FoundDep> sortedDeps(std::vector<IndexedDep> Found) {
+  std::sort(Found.begin(), Found.end(),
+            [](const IndexedDep &A, const IndexedDep &B) {
+              return A.EIdx != B.EIdx ? A.EIdx < B.EIdx : A.LIdx < B.LIdx;
+            });
   std::vector<FoundDep> Out;
-  for (const AccessPoint &E : AC.Points) {
-    if (!E.isInsideLoop(LoopId))
+  Out.reserve(Found.size());
+  for (IndexedDep &I : Found)
+    Out.push_back(I.D);
+  return Out;
+}
+
+} // namespace
+
+std::vector<FoundDep> DepAnalyzer::carriedBy(int64_t LoopId) const {
+  std::vector<IndexedDep> Found;
+  std::vector<size_t> In; // Bucket members inside the carrier loop.
+  for (const auto &[Var, Bucket] : AC.ByVar) {
+    In.clear();
+    bool AnyWrite = false;
+    for (size_t I : Bucket) {
+      const AccessPoint &P = AC.Points[I];
+      if (!P.isInsideLoop(LoopId))
+        continue;
+      In.push_back(I);
+      AnyWrite |= P.Kind != AccessKind::Read;
+    }
+    // Hoisted filters: a pair needs a common tensor (the bucket), both
+    // endpoints inside the carrier, and at least one writer.
+    if (In.empty() || !AnyWrite)
       continue;
-    for (const AccessPoint &L : AC.Points) {
-      if (!L.isInsideLoop(LoopId))
-        continue;
-      if (E.Var != L.Var ||
-          (E.Kind == AccessKind::Read && L.Kind == AccessKind::Read))
-        continue;
-      // Equal iterations for loops enclosing the carrier; strictly ordered
-      // at the carrier; anything inside.
+    for (size_t EI : In) {
+      const AccessPoint &E = AC.Points[EI];
+      // Position of the carrier in the (shared) loop stack, and the
+      // relation pattern: equal iterations outside, strictly ordered at
+      // the carrier.
       RelMap Rels;
+      int CarrierPos = 0;
       for (const LoopAxis &Loop : E.Loops) {
         if (Loop.ForId == LoopId) {
           Rels[Loop.ForId] = IterRel::Lt;
           break;
         }
         Rels[Loop.ForId] = IterRel::Eq;
+        ++CarrierPos;
       }
-      if (!mayDepend(E, L, Rels))
-        continue;
-      Out.push_back({&E, &L, classify(E, L), sameOpReducePair(E, L)});
+      for (size_t LI : In) {
+        const AccessPoint &L = AC.Points[LI];
+        if (E.Kind == AccessKind::Read && L.Kind == AccessKind::Read)
+          continue;
+        // Stack-scope early reject: when the tensor's VarDef sits inside
+        // the carrier loop for both endpoints, every carrier iteration
+        // sees a fresh instance, so p(carrier) < q(carrier) contradicts
+        // the scope equality — provably no dependence (the pair set the
+        // full query would build is empty for the same reason).
+        if (std::min(E.ScopeDepth, L.ScopeDepth) > CarrierPos)
+          continue;
+        if (!mayDepend(E, L, Rels))
+          continue;
+        Found.push_back(
+            {EI, LI, {&E, &L, classify(E, L), sameOpReducePair(E, L)}});
+      }
     }
   }
-  return Out;
+  return sortedDeps(std::move(Found));
 }
 
 std::vector<FoundDep> DepAnalyzer::betweenAtEqualIters(int64_t AId,
                                                        int64_t BId) const {
-  std::vector<FoundDep> Out;
-  for (const AccessPoint &E : AC.Points) {
-    if (!E.isInside(AId))
+  std::vector<IndexedDep> Found;
+  std::vector<size_t> InA, InB;
+  for (const auto &[Var, Bucket] : AC.ByVar) {
+    InA.clear();
+    InB.clear();
+    bool AnyWrite = false;
+    for (size_t I : Bucket) {
+      const AccessPoint &P = AC.Points[I];
+      bool A = P.isInside(AId), B = P.isInside(BId);
+      if (!A && !B)
+        continue;
+      if (A)
+        InA.push_back(I);
+      if (B)
+        InB.push_back(I);
+      AnyWrite |= P.Kind != AccessKind::Read;
+    }
+    if (InA.empty() || InB.empty() || !AnyWrite)
       continue;
-    for (const AccessPoint &L : AC.Points) {
-      if (!L.isInside(BId))
-        continue;
-      if (E.Var != L.Var ||
-          (E.Kind == AccessKind::Read && L.Kind == AccessKind::Read))
-        continue;
-      RelMap Rels;
-      for (const LoopAxis &Loop : commonLoops(E, L))
-        Rels[Loop.ForId] = IterRel::Eq;
-      if (!mayDepend(E, L, Rels))
-        continue;
-      Out.push_back({&E, &L, classify(E, L), sameOpReducePair(E, L)});
+    for (size_t EI : InA) {
+      const AccessPoint &E = AC.Points[EI];
+      for (size_t LI : InB) {
+        const AccessPoint &L = AC.Points[LI];
+        // A point paired with itself at equal iterations is the same
+        // access instance: no ordering, no dependence.
+        if (EI == LI)
+          continue;
+        if (E.Kind == AccessKind::Read && L.Kind == AccessKind::Read)
+          continue;
+        RelMap Rels;
+        for (const LoopAxis &Loop : commonLoops(E, L))
+          Rels[Loop.ForId] = IterRel::Eq;
+        if (!mayDepend(E, L, Rels))
+          continue;
+        Found.push_back(
+            {EI, LI, {&E, &L, classify(E, L), sameOpReducePair(E, L)}});
+      }
     }
   }
-  return Out;
+  return sortedDeps(std::move(Found));
 }

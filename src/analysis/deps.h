@@ -19,6 +19,7 @@
 #define FT_ANALYSIS_DEPS_H
 
 #include <map>
+#include <optional>
 
 #include "analysis/access.h"
 #include "math/affine_set.h"
@@ -54,7 +55,10 @@ struct FoundDep {
 using RelMap = std::map<int64_t, IterRel>;
 
 /// Dependence analysis over one program snapshot. Build it once per AST
-/// version; it caches the access collection.
+/// version; it caches the access collection, buckets accesses per tensor
+/// (queries only ever pair accesses of one tensor), and lazily caches each
+/// access point's domain constraints so buildPairSet only adds the
+/// pair-specific constraints on top.
 class DepAnalyzer {
 public:
   explicit DepAnalyzer(const Stmt &Root);
@@ -104,7 +108,18 @@ private:
   bool addDomain(AffineSet &S, const AccessPoint &P,
                  const std::string &Prefix) const;
 
+  /// Appends \p P's iteration-domain constraints (renamed with the earlier
+  /// "p." or later "q." prefix) to \p S, serving them from the per-point
+  /// cache when \p P belongs to this analyzer's collection.
+  void appendDomain(AffineSet &S, const AccessPoint &P, bool Later) const;
+
+  /// Index of \p P in AC.Points, or nullopt for foreign points.
+  std::optional<size_t> indexOf(const AccessPoint &P) const;
+
   AccessCollection AC;
+  /// Lazily filled domain constraint sets, one slot per access point, for
+  /// the "p." (earlier) and "q." (later) renamings.
+  mutable std::vector<std::optional<AffineSet>> DomEarlier, DomLater;
 };
 
 } // namespace ft

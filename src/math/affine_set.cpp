@@ -3,9 +3,14 @@
 #include "math/affine_set.h"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <set>
+#include <unordered_map>
 
 #include "support/error.h"
+#include "support/stats.h"
 
 using namespace ft;
 
@@ -91,6 +96,189 @@ bool normalizeConstraint(LinConstraint &C) {
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Layer 1: canonical form
+//===----------------------------------------------------------------------===//
+
+/// The canonical form of a constraint system: every constraint
+/// GCD-normalized, equalities sign-oriented (first variable coefficient
+/// positive), tautologies dropped, the rest sorted and deduplicated by
+/// their rendered text. Decided is set when canonicalization alone settles
+/// emptiness (a single-constraint contradiction, or no constraints left).
+struct CanonicalSystem {
+  std::vector<LinConstraint> Cs;
+  std::vector<std::string> Texts; ///< Rendered form of each constraint.
+  std::optional<bool> DecidedEmpty;
+  std::string Key; ///< Memo key: all Texts joined.
+};
+
+CanonicalSystem canonicalize(const std::vector<LinConstraint> &In) {
+  CanonicalSystem Out;
+  std::vector<std::pair<std::string, LinConstraint>> Keyed;
+  Keyed.reserve(In.size());
+  for (const LinConstraint &C0 : In) {
+    LinConstraint C = C0;
+    if (!normalizeConstraint(C)) {
+      Out.DecidedEmpty = true;
+      return Out;
+    }
+    if (C.E.isConstant()) {
+      int64_t V = C.E.constTerm();
+      if (C.IsEq ? (V != 0) : (V < 0)) {
+        Out.DecidedEmpty = true;
+        return Out;
+      }
+      continue; // Tautology.
+    }
+    if (C.IsEq) {
+      // Orient so the first (lexicographically smallest) variable has a
+      // positive coefficient: E == 0 and -E == 0 are the same constraint.
+      if (C.E.coeffs().begin()->second < 0) {
+        auto Neg = LinearExpr::tryScale(C.E, -1);
+        if (Neg) // Overflow cannot occur for coefficients > INT64_MIN.
+          C.E = *Neg;
+      }
+    }
+    Keyed.push_back({C.toString(), std::move(C)});
+  }
+  if (Keyed.empty()) {
+    Out.DecidedEmpty = false; // No constraints: trivially satisfiable.
+    return Out;
+  }
+  std::sort(Keyed.begin(), Keyed.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  Keyed.erase(std::unique(Keyed.begin(), Keyed.end(),
+                          [](const auto &A, const auto &B) {
+                            return A.first == B.first;
+                          }),
+              Keyed.end());
+  Out.Cs.reserve(Keyed.size());
+  Out.Texts.reserve(Keyed.size());
+  size_t KeyLen = 0;
+  for (auto &[Text, C] : Keyed)
+    KeyLen += Text.size() + 1;
+  Out.Key.reserve(KeyLen);
+  for (auto &[Text, C] : Keyed) {
+    Out.Key += Text;
+    Out.Key += ';';
+    Out.Texts.push_back(std::move(Text));
+    Out.Cs.push_back(std::move(C));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 2: interval/GCD pre-filter
+//===----------------------------------------------------------------------===//
+
+/// Cheap decision attempts before Fourier–Motzkin:
+///   - derive per-variable integer intervals from single-variable
+///     constraints; an empty interval proves the system empty;
+///   - evaluate the system at candidate points assembled from those
+///     intervals; a satisfying point is an integer witness of
+///     non-emptiness.
+/// Expects canonicalized constraints (single-variable constraints then have
+/// coefficient ±1). Returns Unknown when neither test fires.
+SolveResult prefilter(const std::vector<LinConstraint> &Cs) {
+  struct Interval {
+    std::optional<int64_t> Lo, Hi;
+  };
+  std::map<std::string, Interval> Bounds;
+  for (const LinConstraint &C : Cs) {
+    if (C.E.coeffs().size() != 1)
+      continue;
+    const auto &[Name, A] = *C.E.coeffs().begin();
+    int64_t K = C.E.constTerm();
+    Interval &B = Bounds[Name];
+    // Canonicalized single-variable constraints have |A| == 1.
+    if (C.IsEq) {
+      // A*x + K == 0  =>  x == -K/A == -A*K for A in {+1, -1}.
+      auto V = checkedMul(-A, K);
+      if (!V)
+        continue;
+      if (!B.Lo || *B.Lo < *V)
+        B.Lo = *V;
+      if (!B.Hi || *B.Hi > *V)
+        B.Hi = *V;
+    } else if (A > 0) {
+      // x + K >= 0  =>  x >= -K.
+      auto V = checkedMul(-1, K);
+      if (V && (!B.Lo || *B.Lo < *V))
+        B.Lo = *V;
+    } else {
+      // -x + K >= 0  =>  x <= K.
+      if (!B.Hi || *B.Hi > K)
+        B.Hi = K;
+    }
+  }
+  for (const auto &[Name, B] : Bounds)
+    if (B.Lo && B.Hi && *B.Lo > *B.Hi)
+      return SolveResult::Empty;
+
+  // Witness test: clamp a candidate value per variable into its interval
+  // and evaluate every constraint with checked arithmetic. Two candidates
+  // (low-biased and high-biased) catch most obviously-feasible systems.
+  auto Evaluate = [&](bool PreferLow) -> bool {
+    std::map<std::string, int64_t> Val;
+    auto ValueOf = [&](const std::string &Name) {
+      auto It = Val.find(Name);
+      if (It != Val.end())
+        return It->second;
+      int64_t V = 0;
+      auto BIt = Bounds.find(Name);
+      if (BIt != Bounds.end()) {
+        const Interval &B = BIt->second;
+        if (PreferLow)
+          V = B.Lo ? *B.Lo : (B.Hi ? std::min<int64_t>(*B.Hi, 0) : 0);
+        else
+          V = B.Hi ? *B.Hi : (B.Lo ? std::max<int64_t>(*B.Lo, 0) : 0);
+      }
+      Val[Name] = V;
+      return V;
+    };
+    for (const LinConstraint &C : Cs) {
+      int64_t Sum = C.E.constTerm();
+      for (const auto &[Name, Coef] : C.E.coeffs()) {
+        auto T = checkedMul(Coef, ValueOf(Name));
+        if (!T)
+          return false;
+        auto S = checkedAdd(Sum, *T);
+        if (!S)
+          return false;
+        Sum = *S;
+      }
+      if (C.IsEq ? (Sum != 0) : (Sum < 0))
+        return false;
+    }
+    return true;
+  };
+  if (Evaluate(/*PreferLow=*/true) || Evaluate(/*PreferLow=*/false))
+    return SolveResult::NonEmpty;
+  return SolveResult::Unknown;
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 3: process-wide memoized emptiness
+//===----------------------------------------------------------------------===//
+
+/// The memo cache maps a canonical constraint text to its emptiness
+/// answer. The answer is a pure function of the canonical text (variable
+/// names only tie constraints together within one system), so sharing the
+/// cache across programs and threads is sound.
+struct EmptinessMemo {
+  std::mutex M;
+  std::unordered_map<std::string, bool> Map;
+};
+
+EmptinessMemo &memo() {
+  static EmptinessMemo M;
+  return M;
+}
+
+/// Backstop against unbounded growth in very long-running processes; at
+/// the cap the cache stops admitting new keys (hits keep working).
+constexpr size_t MaxMemoEntries = 1 << 20;
+
 /// One elimination step plus bookkeeping. Works on a private copy of the
 /// constraints.
 class EmptinessChecker {
@@ -132,14 +320,17 @@ public:
         continue;
 
       // Expand remaining equalities into inequality pairs, then FM.
+      // Index-based: push_back may reallocate Work, so re-index on every
+      // access instead of holding a reference across the append.
       bool Expanded = false;
-      for (LinConstraint &C : Work) {
-        if (!C.IsEq)
+      size_t NumOrig = Work.size();
+      for (size_t I = 0; I < NumOrig; ++I) {
+        if (!Work[I].IsEq)
           continue;
-        auto Neg = LinearExpr::tryScale(C.E, -1);
+        auto Neg = LinearExpr::tryScale(Work[I].E, -1);
         if (!Neg)
           return SolveResult::Unknown;
-        C.IsEq = false;
+        Work[I].IsEq = false;
         Work.push_back({*Neg, false});
         Expanded = true;
       }
@@ -223,6 +414,7 @@ private:
   /// Eliminates \p Name from all (inequality) constraints. Returns false on
   /// overflow.
   bool fourierMotzkin(const std::string &Name) {
+    stats::counters().FmEliminations.fetch_add(1, std::memory_order_relaxed);
     std::vector<LinConstraint> Lower, Upper, Rest;
     for (LinConstraint &C : Work) {
       ftAssert(!C.IsEq, "equality left before FM elimination");
@@ -262,8 +454,54 @@ private:
 
 } // namespace
 
+void ft::stats::clearEmptinessCache() {
+  EmptinessMemo &M = memo();
+  std::lock_guard<std::mutex> Lock(M.M);
+  M.Map.clear();
+}
+
 bool AffineSet::isEmpty() const {
-  return EmptinessChecker(Cs).run() == SolveResult::Empty;
+  stats::Counters &Ct = stats::counters();
+  Ct.EmptinessQueries.fetch_add(1, std::memory_order_relaxed);
+
+  if (stats::accelerationBypassed())
+    return EmptinessChecker(Cs).run() == SolveResult::Empty;
+
+  CanonicalSystem Canon = canonicalize(Cs);
+  if (Canon.DecidedEmpty) {
+    Ct.CanonicalDecided.fetch_add(1, std::memory_order_relaxed);
+    return *Canon.DecidedEmpty;
+  }
+
+  switch (prefilter(Canon.Cs)) {
+  case SolveResult::Empty:
+    Ct.PrefilterEmpty.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  case SolveResult::NonEmpty:
+    Ct.PrefilterFeasible.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  case SolveResult::Unknown:
+    break;
+  }
+
+  EmptinessMemo &M = memo();
+  {
+    std::lock_guard<std::mutex> Lock(M.M);
+    auto It = M.Map.find(Canon.Key);
+    if (It != M.Map.end()) {
+      Ct.EmptinessCacheHits.fetch_add(1, std::memory_order_relaxed);
+      return It->second;
+    }
+  }
+  Ct.EmptinessCacheMisses.fetch_add(1, std::memory_order_relaxed);
+
+  bool Empty = EmptinessChecker(Canon.Cs).run() == SolveResult::Empty;
+  {
+    std::lock_guard<std::mutex> Lock(M.M);
+    if (M.Map.size() < MaxMemoEntries)
+      M.Map.emplace(std::move(Canon.Key), Empty);
+  }
+  return Empty;
 }
 
 bool AffineSet::implies(const LinearExpr &GeZero) const {

@@ -6,6 +6,21 @@
 /// decision procedure everything else reduces to is emptiness, implemented
 /// with Fourier–Motzkin elimination plus integer GCD tests.
 ///
+/// Emptiness is layered for speed (the dependence analysis issues the same
+/// systems over and over across schedule primitives):
+///   1. canonicalization — GCD-normalize each constraint, orient equalities,
+///      drop tautologies, sort and deduplicate; a single-constraint
+///      contradiction decides the query outright;
+///   2. an interval/GCD pre-filter — propagate single-variable bounds to
+///      reject obviously-empty systems, and test a candidate point to
+///      accept obviously-feasible ones with an integer witness;
+///   3. a process-wide memo cache keyed by the canonical constraint text —
+///      repeated queries (the common case under schedule search) return
+///      without touching Fourier–Motzkin.
+/// All three layers are exact: they never change the answer, only how fast
+/// it is produced. stats::setAccelerationBypass(true) disables them for
+/// differential testing.
+///
 /// Soundness contract: isEmpty() == true is a proof that no integer point
 /// satisfies the constraints; isEmpty() == false means "could not prove
 /// empty" (the set may be rationally non-empty yet integrally empty, or an
@@ -62,6 +77,8 @@ public:
   const std::vector<LinConstraint> &constraints() const { return Cs; }
 
   /// Attempts to prove the set has no integer points. Sound, incomplete.
+  /// Answers through the canonicalization / pre-filter / memo layers
+  /// unless stats::accelerationBypassed().
   bool isEmpty() const;
 
   /// Returns true if every point of this set provably satisfies E >= 0

@@ -2,6 +2,8 @@
 
 #include "pass/sink_var.h"
 
+#include <memory>
+
 #include "analysis/deps.h"
 #include "ir/compare.h"
 #include "pass/replace.h"
@@ -44,7 +46,7 @@ bool readsDominatedByStores(const Stmt &Body, const std::string &Var) {
 /// queries when sinking through loops.
 class VarSinker : public Mutator {
 public:
-  explicit VarSinker(const Stmt &Root) : DA(Root) {}
+  explicit VarSinker(const Stmt &Root) : Root(Root) {}
 
   bool Changed = false;
 
@@ -96,7 +98,7 @@ protected:
           ShapeUsesVar = true;
       if (!ShapeUsesVar) {
         bool Carried = false;
-        for (const FoundDep &D : DA.carriedBy(For->Id))
+        for (const FoundDep &D : deps().carriedBy(For->Id))
           if (D.Earlier->Var == S->Name)
             Carried = true;
         if (Carried && readsDominatedByStores(For->Body, S->Name))
@@ -115,7 +117,17 @@ protected:
   }
 
 private:
-  DepAnalyzer DA;
+  /// Built on first use: most rounds (and most programs) have no Cache
+  /// VarDef directly above a loop, so the access collection is often never
+  /// needed at all.
+  const DepAnalyzer &deps() {
+    if (!DA)
+      DA = std::make_unique<DepAnalyzer>(Root);
+    return *DA;
+  }
+
+  const Stmt &Root;
+  std::unique_ptr<DepAnalyzer> DA;
 };
 
 } // namespace

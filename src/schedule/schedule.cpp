@@ -13,6 +13,7 @@
 #include "pass/flatten.h"
 #include "pass/replace.h"
 #include "pass/simplify.h"
+#include "support/stats.h"
 #include "support/string_utils.h"
 
 using namespace ft;
@@ -208,13 +209,27 @@ Ref<ForNode> Schedule::getLoop(int64_t LoopId, Status *Err) const {
 }
 
 Stmt Schedule::replaceById(int64_t Id, const Stmt &Repl) {
-  F.Body = replaceStmt(F.Body, Id, Repl);
+  setBody(replaceStmt(F.Body, Id, Repl));
   return F.Body;
 }
 
+const DepAnalyzer &Schedule::deps() const {
+  if (!DA || DAVersion != BodyVersion || stats::accelerationBypassed()) {
+    DA = std::make_unique<DepAnalyzer>(F.Body);
+    DAVersion = BodyVersion;
+  } else {
+    stats::counters().AnalyzerReuses.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *DA;
+}
+
+void Schedule::setBody(Stmt Body) {
+  F.Body = std::move(Body);
+  ++BodyVersion;
+}
+
 IsParamFn Schedule::isParamFn() const {
-  AccessCollection AC = collectAccesses(F.Body);
-  auto Defs = AC.Defs;
+  auto Defs = deps().accesses().Defs;
   return [Defs](const std::string &Name) {
     auto It = Defs.find(Name);
     return It != Defs.end() && It->second->ATy == AccessType::Input &&
@@ -241,7 +256,7 @@ std::vector<Ref<ForNode>> Schedule::perfectNest(int64_t LoopId) const {
   return Nest;
 }
 
-void Schedule::cleanup() { F.Body = simplify(F.Body); }
+void Schedule::cleanup() { setBody(simplify(F.Body)); }
 
 //===----------------------------------------------------------------------===//
 // Loop transformations
@@ -360,7 +375,7 @@ Status Schedule::reorder(const std::vector<int64_t> &Order) {
 
   // Legality: every feasible dependence direction vector over the band must
   // stay lexicographically positive after permutation.
-  DepAnalyzer DA(F.Body);
+  const DepAnalyzer &DA = deps();
   int64_t InnermostId = Nest.back()->Id;
   std::vector<const AccessPoint *> In, Boundary;
   for (const AccessPoint &P : DA.accesses().Points) {
@@ -475,7 +490,7 @@ Result<SplitIds> Schedule::fission(int64_t LoopId, int64_t AfterStmtId) {
 
   // Legality: no dependence from a part-2 access at an earlier iteration to
   // a part-1 access at a later one.
-  DepAnalyzer DA(F.Body);
+  const DepAnalyzer &DA = deps();
   auto InPart = [&](const AccessPoint &P, const std::vector<Stmt> &Part) {
     for (const Stmt &S : Part)
       if (P.isInside(S->Id))
@@ -531,7 +546,7 @@ Result<int64_t> Schedule::fuse(int64_t Loop1Id, int64_t Loop2Id) {
 
   // Legality: no dependence from an L1 access to an L2 access at a strictly
   // earlier (normalized) iteration.
-  DepAnalyzer DA(F.Body);
+  const DepAnalyzer &DA = deps();
   IsParamFn IsParam = isParamFn();
   RelMap Rels;
   for (const auto &Enc : loopsEnclosing(F.Body, Loop1Id))
@@ -583,7 +598,7 @@ Result<int64_t> Schedule::fuse(int64_t Loop1Id, int64_t Loop2Id) {
   NewStmts.erase(NewStmts.begin() + Parent->Index + 1);
   replaceById(Parent->Seq->Id, makeStmtSeq(std::move(NewStmts),
                                            Parent->Seq->Id));
-  F.Body = constFold(F.Body);
+  setBody(constFold(F.Body));
   return FusedId;
 }
 
@@ -593,7 +608,7 @@ Status Schedule::swap(int64_t Stmt1Id, int64_t Stmt2Id) {
       Parent->Seq->Stmts[Parent->Index + 1]->Id != Stmt2Id)
     return Status::error("swap requires two adjacent sibling statements");
 
-  DepAnalyzer DA(F.Body);
+  const DepAnalyzer &DA = deps();
   for (const FoundDep &D : DA.betweenAtEqualIters(Stmt1Id, Stmt2Id))
     if (!D.SameOpReduce)
       return Status::error("swap would reverse a dependence on `" +
@@ -616,7 +631,7 @@ Status Schedule::parallelize(int64_t LoopId) {
   if (!L)
     return Err;
 
-  DepAnalyzer DA(F.Body);
+  const DepAnalyzer &DA = deps();
   std::set<int64_t> ReduceIds;
   bool AnyDep = false;
   for (const FoundDep &D : DA.carriedBy(LoopId)) {
@@ -629,11 +644,11 @@ Status Schedule::parallelize(int64_t LoopId) {
     ReduceIds.insert(D.Later->StmtId);
   }
   if (!ReduceIds.empty())
-    F.Body = AtomicMarker(ReduceIds)(F.Body);
+    setBody(AtomicMarker(ReduceIds)(F.Body));
   ForProperty P = L->Property;
   P.Parallel = true;
   P.NoDeps = !AnyDep;
-  F.Body = PropertySetter(LoopId, P)(F.Body);
+  setBody(PropertySetter(LoopId, P)(F.Body));
   return Status::success();
 }
 
@@ -645,7 +660,7 @@ Status Schedule::unroll(int64_t LoopId, bool Full) {
   if (!Full) {
     ForProperty P = L->Property;
     P.Unroll = true;
-    F.Body = PropertySetter(LoopId, P)(F.Body);
+    setBody(PropertySetter(LoopId, P)(F.Body));
     return Status::success();
   }
   auto Len = constInt(L->len());
@@ -660,7 +675,7 @@ Status Schedule::unroll(int64_t LoopId, bool Full) {
     Copies.push_back(copyWithFreshIds(substituteIter(L->Body, L->Iter, Iter)));
   }
   replaceById(LoopId, makeStmtSeq(std::move(Copies)));
-  F.Body = flattenStmtSeq(constFold(F.Body));
+  setBody(flattenStmtSeq(constFold(F.Body)));
   return Status::success();
 }
 
@@ -684,7 +699,7 @@ Status Schedule::blend(int64_t LoopId) {
 
   // Blend == fission at every boundary + full unroll of each piece; check
   // the fission legality pairwise.
-  DepAnalyzer DA(F.Body);
+  const DepAnalyzer &DA = deps();
   RelMap Rels;
   for (const auto &Enc : loopsEnclosing(F.Body, LoopId))
     Rels[Enc->Id] = IterRel::Eq;
@@ -715,7 +730,7 @@ Status Schedule::blend(int64_t LoopId) {
       Out.push_back(copyWithFreshIds(substituteIter(S, L->Iter, Iter)));
     }
   replaceById(LoopId, makeStmtSeq(std::move(Out)));
-  F.Body = flattenStmtSeq(constFold(F.Body));
+  setBody(flattenStmtSeq(constFold(F.Body)));
   return Status::success();
 }
 
@@ -724,14 +739,14 @@ Status Schedule::vectorize(int64_t LoopId) {
   auto L = getLoop(LoopId, &Err);
   if (!L)
     return Err;
-  DepAnalyzer DA(F.Body);
+  const DepAnalyzer &DA = deps();
   if (!DA.carriedBy(LoopId).empty())
     return Status::error(
         "cannot vectorize: the loop carries a dependence");
   ForProperty P = L->Property;
   P.Vectorize = true;
   P.NoDeps = true;
-  F.Body = PropertySetter(LoopId, P)(F.Body);
+  setBody(PropertySetter(LoopId, P)(F.Body));
   return Status::success();
 }
 
@@ -747,18 +762,19 @@ struct CacheRegion {
   std::vector<Expr> Extent; ///< Per-dim size.
 };
 
-Result<CacheRegion> analyzeRegion(const Stmt &Root, int64_t StmtId,
+Result<CacheRegion> analyzeRegion(const Stmt &Root,
+                                  const AccessCollection &AC, int64_t StmtId,
                                   const std::string &Var,
                                   const Ref<VarDefNode> &Def,
                                   const IsParamFn &IsParam) {
-  AccessCollection AC = collectAccesses(Root);
   size_t OuterDepth = loopsEnclosing(Root, StmtId).size();
   size_t NDim = Def->Info.Shape.size();
 
   std::vector<std::vector<Expr>> Lows(NDim), Highs(NDim);
   bool Any = false;
-  for (const AccessPoint &P : AC.Points) {
-    if (P.Var != Var || !P.isInside(StmtId))
+  for (size_t I : AC.pointsOf(Var)) {
+    const AccessPoint &P = AC.Points[I];
+    if (!P.isInside(StmtId))
       continue;
     Any = true;
     if (P.WholeTensor || P.Indices.size() != NDim)
@@ -847,7 +863,8 @@ Result<std::string> Schedule::cache(int64_t StmtId, const std::string &Var,
     return Result<std::string>::error("no tensor named `" + Var + "`");
 
   IsParamFn IsParam = isParamFn();
-  auto Region = analyzeRegion(F.Body, StmtId, Var, Def, IsParam);
+  auto Region = analyzeRegion(F.Body, deps().accesses(), StmtId, Var, Def,
+                              IsParam);
   if (!Region)
     return Region.status();
 
@@ -858,9 +875,10 @@ Result<std::string> Schedule::cache(int64_t StmtId, const std::string &Var,
 
   bool Reads = false, Writes = false;
   {
-    AccessCollection AC = collectAccesses(F.Body);
-    for (const AccessPoint &P : AC.Points) {
-      if (P.Var != Var || !P.isInside(StmtId))
+    const AccessCollection &AC = deps().accesses();
+    for (size_t I : AC.pointsOf(Var)) {
+      const AccessPoint &P = AC.Points[I];
+      if (!P.isInside(StmtId))
         continue;
       Reads |= P.Kind != AccessKind::Write;
       Writes |= P.Kind != AccessKind::Read;
@@ -925,9 +943,10 @@ Result<std::string> Schedule::cacheReduction(int64_t StmtId,
   // All accesses inside must be ReduceTo with one operator.
   std::optional<ReduceOpKind> Op;
   {
-    AccessCollection AC = collectAccesses(F.Body);
-    for (const AccessPoint &P : AC.Points) {
-      if (P.Var != Var || !P.isInside(StmtId))
+    const AccessCollection &AC = deps().accesses();
+    for (size_t I : AC.pointsOf(Var)) {
+      const AccessPoint &P = AC.Points[I];
+      if (!P.isInside(StmtId))
         continue;
       if (P.Kind != AccessKind::Reduce || (Op && *Op != P.RedOp))
         return Result<std::string>::error(
@@ -941,7 +960,8 @@ Result<std::string> Schedule::cacheReduction(int64_t StmtId,
                                       "` is not accessed in the statement");
 
   IsParamFn IsParam = isParamFn();
-  auto Region = analyzeRegion(F.Body, StmtId, Var, Def, IsParam);
+  auto Region = analyzeRegion(F.Body, deps().accesses(), StmtId, Var, Def,
+                              IsParam);
   if (!Region)
     return Region.status();
 
@@ -1020,7 +1040,7 @@ Status Schedule::varSplit(const std::string &Var, int Dim, int64_t Factor) {
       NewShape.push_back(Def->Info.Shape[D]);
     }
   }
-  F.Body = remapIndices(F.Body, Var, [&](const std::vector<Expr> &Idx) {
+  setBody(remapIndices(F.Body, Var, [&](const std::vector<Expr> &Idx) {
     std::vector<Expr> Out;
     for (int D = 0; D < static_cast<int>(Idx.size()); ++D) {
       if (D == Dim) {
@@ -1031,9 +1051,8 @@ Status Schedule::varSplit(const std::string &Var, int Dim, int64_t Factor) {
       }
     }
     return Out;
-  });
-  F.Body = ShapeSetter(Var, NewShape)(F.Body);
-  F.Body = constFold(F.Body);
+  }));
+  setBody(constFold(ShapeSetter(Var, NewShape)(F.Body)));
   return Status::success();
 }
 
@@ -1057,13 +1076,13 @@ Status Schedule::varReorder(const std::string &Var,
   std::vector<Expr> NewShape;
   for (size_t D = 0; D < NDim; ++D)
     NewShape.push_back(Def->Info.Shape[Perm[D]]);
-  F.Body = remapIndices(F.Body, Var, [&](const std::vector<Expr> &Idx) {
+  setBody(remapIndices(F.Body, Var, [&](const std::vector<Expr> &Idx) {
     std::vector<Expr> Out;
     for (size_t D = 0; D < NDim; ++D)
       Out.push_back(Idx[Perm[D]]);
     return Out;
-  });
-  F.Body = ShapeSetter(Var, NewShape)(F.Body);
+  }));
+  setBody(ShapeSetter(Var, NewShape)(F.Body));
   return Status::success();
 }
 
@@ -1085,7 +1104,7 @@ Status Schedule::varMerge(const std::string &Var, int Dim) {
     else if (D != Dim + 1)
       NewShape.push_back(Def->Info.Shape[D]);
   }
-  F.Body = remapIndices(F.Body, Var, [&](const std::vector<Expr> &Idx) {
+  setBody(remapIndices(F.Body, Var, [&](const std::vector<Expr> &Idx) {
     std::vector<Expr> Out;
     for (int D = 0; D < static_cast<int>(Idx.size()); ++D) {
       if (D == Dim)
@@ -1094,9 +1113,8 @@ Status Schedule::varMerge(const std::string &Var, int Dim) {
         Out.push_back(Idx[D]);
     }
     return Out;
-  });
-  F.Body = ShapeSetter(Var, NewShape)(F.Body);
-  F.Body = constFold(F.Body);
+  }));
+  setBody(constFold(ShapeSetter(Var, NewShape)(F.Body)));
   return Status::success();
 }
 
@@ -1135,7 +1153,7 @@ bool isZeroConst(const Expr &E) {
 Status Schedule::asLib(int64_t LoopId) {
   // Builder-emitted indices contain "(0 + i)" offsets; fold them so the
   // structural matcher sees bare iterators.
-  F.Body = constFold(F.Body);
+  setBody(constFold(F.Body));
   Status Err;
   auto Li = getLoop(LoopId, &Err);
   if (!Li)

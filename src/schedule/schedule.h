@@ -16,6 +16,8 @@
 #ifndef FT_SCHEDULE_SCHEDULE_H
 #define FT_SCHEDULE_SCHEDULE_H
 
+#include <memory>
+
 #include "analysis/affine.h"
 #include "analysis/deps.h"
 #include "ir/func.h"
@@ -139,7 +141,22 @@ private:
   /// Proves Cond using only parameter knowledge (no loop context).
   bool provably(const Expr &Cond) const;
 
+  /// The dependence analyzer for the current F.Body. Rebuilt lazily when a
+  /// transformation has mutated the AST since the last query; legality
+  /// checks of rejected transformations (which leave the AST untouched)
+  /// therefore share one analyzer — the common case in auto-scheduling,
+  /// where many candidate transformations are probed per AST version.
+  const DepAnalyzer &deps() const;
+
+  /// Replaces F.Body and invalidates the cached analyzer. Every AST
+  /// mutation must go through here (or bump BodyVersion itself).
+  void setBody(Stmt Body);
+
   Func F;
+  /// Version stamp of F.Body; bumped on every mutation.
+  uint64_t BodyVersion = 1;
+  mutable std::unique_ptr<DepAnalyzer> DA;
+  mutable uint64_t DAVersion = 0; ///< BodyVersion DA was built against.
 };
 
 } // namespace ft

@@ -1,0 +1,95 @@
+//===- support/stats.cpp --------------------------------------------------===//
+
+#include "support/stats.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace ft::stats {
+
+namespace {
+
+std::atomic<bool> Bypass{false};
+
+void dumpAtExit() { dump(); }
+
+} // namespace
+
+bool enabled() {
+  static const bool E = [] {
+    const char *V = std::getenv("FT_STATS");
+    return V != nullptr && V[0] == '1';
+  }();
+  return E;
+}
+
+Counters &counters() {
+  static Counters C;
+  static std::once_flag Armed;
+  std::call_once(Armed, [] {
+    if (enabled())
+      std::atexit(dumpAtExit);
+  });
+  return C;
+}
+
+void dump(std::FILE *Out) {
+  if (!Out)
+    Out = stderr;
+  Counters &C = counters();
+  auto V = [](const std::atomic<uint64_t> &A) {
+    return static_cast<unsigned long long>(A.load(std::memory_order_relaxed));
+  };
+  uint64_t Hits = C.EmptinessCacheHits.load(std::memory_order_relaxed);
+  uint64_t Misses = C.EmptinessCacheMisses.load(std::memory_order_relaxed);
+  double HitRate =
+      Hits + Misses == 0 ? 0.0 : 100.0 * double(Hits) / double(Hits + Misses);
+  std::fprintf(Out, "=== FT_STATS: dependence-query engine ===\n");
+  std::fprintf(Out, "dep queries (mayDepend):     %llu\n", V(C.DepQueries));
+  std::fprintf(Out, "pair sets built:             %llu\n",
+               V(C.PairSetsBuilt));
+  std::fprintf(Out, "emptiness queries:           %llu\n",
+               V(C.EmptinessQueries));
+  std::fprintf(Out,
+               "  memo cache: %llu hits / %llu misses (%.1f%% hit rate)\n",
+               (unsigned long long)Hits, (unsigned long long)Misses, HitRate);
+  std::fprintf(Out, "  canonicalization decided:  %llu\n",
+               V(C.CanonicalDecided));
+  std::fprintf(Out, "  pre-filter: %llu proved empty, %llu witnessed "
+                    "feasible\n",
+               V(C.PrefilterEmpty), V(C.PrefilterFeasible));
+  std::fprintf(Out, "FM variable eliminations:    %llu\n",
+               V(C.FmEliminations));
+  std::fprintf(Out, "analyzers: %llu built, %llu reused\n",
+               V(C.AnalyzerBuilds), V(C.AnalyzerReuses));
+  std::fprintf(Out, "domain sets: %llu cached hits / %llu misses\n",
+               V(C.DomainCacheHits), V(C.DomainCacheMisses));
+  std::fflush(Out);
+}
+
+void reset() {
+  Counters &C = counters();
+  C.DepQueries = 0;
+  C.PairSetsBuilt = 0;
+  C.EmptinessQueries = 0;
+  C.EmptinessCacheHits = 0;
+  C.EmptinessCacheMisses = 0;
+  C.PrefilterEmpty = 0;
+  C.PrefilterFeasible = 0;
+  C.CanonicalDecided = 0;
+  C.FmEliminations = 0;
+  C.AnalyzerBuilds = 0;
+  C.AnalyzerReuses = 0;
+  C.DomainCacheHits = 0;
+  C.DomainCacheMisses = 0;
+}
+
+void setAccelerationBypass(bool B) {
+  Bypass.store(B, std::memory_order_relaxed);
+}
+
+bool accelerationBypassed() {
+  return Bypass.load(std::memory_order_relaxed);
+}
+
+} // namespace ft::stats

@@ -1,0 +1,99 @@
+//===- support/stats.h - Compiler self-measurement counters ------*- C++ -*-===//
+///
+/// \file
+/// Process-wide counters for the dependence-query engine: how many queries
+/// the schedule legality checks issue, how often the memoized emptiness
+/// cache and the interval/GCD pre-filter answer them without running
+/// Fourier–Motzkin, and how often a Schedule reuses its cached DepAnalyzer
+/// instead of re-collecting accesses.
+///
+/// The counters are always maintained (relaxed atomics; the increment is
+/// cheap next to any query they count). When the environment variable
+/// FT_STATS=1 is set, a summary is printed to stderr at process exit.
+///
+/// The layer also hosts the acceleration bypass switch used by the
+/// differential tests and benchmarks: with the bypass on, AffineSet
+/// emptiness runs the raw Fourier–Motzkin path (no canonicalization, no
+/// pre-filter, no memoization) and Schedule rebuilds a DepAnalyzer per
+/// primitive, reproducing the pre-acceleration behaviour bit for bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_SUPPORT_STATS_H
+#define FT_SUPPORT_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+namespace ft::stats {
+
+struct Counters {
+  /// DepAnalyzer::mayDepend calls (one legality micro-question each).
+  std::atomic<uint64_t> DepQueries{0};
+  /// Pair sets actually constructed (not filtered out earlier).
+  std::atomic<uint64_t> PairSetsBuilt{0};
+  /// AffineSet::isEmpty calls.
+  std::atomic<uint64_t> EmptinessQueries{0};
+  /// Emptiness answered from the process-wide memo cache.
+  std::atomic<uint64_t> EmptinessCacheHits{0};
+  /// Emptiness that had to be computed (then inserted into the cache).
+  std::atomic<uint64_t> EmptinessCacheMisses{0};
+  /// Pre-filter proved the system empty (interval/GCD contradiction).
+  std::atomic<uint64_t> PrefilterEmpty{0};
+  /// Pre-filter exhibited an integer witness point (obviously feasible).
+  std::atomic<uint64_t> PrefilterFeasible{0};
+  /// Canonicalization alone decided the query (single-constraint
+  /// contradiction or empty system).
+  std::atomic<uint64_t> CanonicalDecided{0};
+  /// Fourier–Motzkin variable eliminations performed.
+  std::atomic<uint64_t> FmEliminations{0};
+  /// DepAnalyzer constructions (each collects all accesses).
+  std::atomic<uint64_t> AnalyzerBuilds{0};
+  /// Schedule legality checks served by a cached DepAnalyzer.
+  std::atomic<uint64_t> AnalyzerReuses{0};
+  /// Per-access-point domain constraint sets served from cache.
+  std::atomic<uint64_t> DomainCacheHits{0};
+  std::atomic<uint64_t> DomainCacheMisses{0};
+};
+
+/// The process-wide counter block. First use arms the FT_STATS=1 atexit
+/// dump.
+Counters &counters();
+
+/// True when FT_STATS=1 (checked once).
+bool enabled();
+
+/// Prints the summary table to \p Out (stderr when null).
+void dump(std::FILE *Out = nullptr);
+
+/// Resets every counter to zero (tests and benchmarks).
+void reset();
+
+/// Global switch disabling every acceleration layer (memoized emptiness,
+/// canonicalization, pre-filter, analyzer reuse). Used by the differential
+/// soundness tests and the before/after benchmarks.
+void setAccelerationBypass(bool Bypass);
+bool accelerationBypassed();
+
+/// RAII helper: bypasses acceleration for one scope.
+struct BypassGuard {
+  explicit BypassGuard(bool Bypass = true) : Saved(accelerationBypassed()) {
+    setAccelerationBypass(Bypass);
+  }
+  ~BypassGuard() { setAccelerationBypass(Saved); }
+  BypassGuard(const BypassGuard &) = delete;
+  BypassGuard &operator=(const BypassGuard &) = delete;
+
+private:
+  bool Saved;
+};
+
+/// Clears the process-wide emptiness memo cache (defined in
+/// math/affine_set.cpp; exposed here so benchmarks can measure cold-cache
+/// behaviour).
+void clearEmptinessCache();
+
+} // namespace ft::stats
+
+#endif // FT_SUPPORT_STATS_H

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+#===- tools/check.sh - tier-1 verification + sanitizer sweep --------------===#
+#
+# 1. The tier-1 line from ROADMAP.md: configure, build, run every test.
+# 2. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
+#    separate build tree, so memory and UB bugs in the analysis/schedule
+#    layers cannot hide behind passing functional tests.
+#
+# Usage: tools/check.sh [--skip-sanitize]
+# Also reachable as `cmake --build build --target check`.
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_SANITIZE=0
+for Arg in "$@"; do
+  case "$Arg" in
+  --skip-sanitize) SKIP_SANITIZE=1 ;;
+  *)
+    echo "unknown argument: $Arg" >&2
+    exit 2
+    ;;
+  esac
+done
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [ "$SKIP_SANITIZE" = 1 ]; then
+  echo "== sanitizer sweep skipped (--skip-sanitize) =="
+  exit 0
+fi
+
+echo "== ASan/UBSan: build + ctest =="
+cmake -B build-asan -S . -DFT_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug \
+  >/dev/null
+cmake --build build-asan -j
+(cd build-asan && ASAN_OPTIONS=detect_leaks=0 \
+  ctest --output-on-failure -j)
+
+echo "== check.sh: all green =="
