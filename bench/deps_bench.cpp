@@ -49,7 +49,11 @@ std::vector<int64_t> allLoops(const Stmt &S) {
   return Out;
 }
 
-/// Attaches the per-run engine counters to the benchmark report.
+/// Attaches the per-iteration engine counters to the benchmark report.
+/// Each benchmark calls ft::stats::reset() at the top of every iteration,
+/// so at destruction time the counter block holds the delta of exactly one
+/// iteration — a meaningful per-iteration cost, not a cumulative total
+/// that scales with however many iterations the harness chose to run.
 struct StatsScope {
   explicit StatsScope(benchmark::State &State) : State(State) {
     ft::stats::reset();
@@ -57,8 +61,7 @@ struct StatsScope {
   }
   ~StatsScope() {
     ft::stats::Counters &C = ft::stats::counters();
-    State.counters["dep_queries"] = benchmark::Counter(
-        double(C.DepQueries.load()), benchmark::Counter::kIsRate);
+    State.counters["dep_queries"] = double(C.DepQueries.load());
     uint64_t Hits = C.EmptinessCacheHits.load();
     uint64_t Misses = C.EmptinessCacheMisses.load();
     State.counters["memo_hit_rate"] =
@@ -80,6 +83,7 @@ void DepsCarriedBySweep(benchmark::State &State) {
   constexpr int SweepsPerVersion = 8;
   StatsScope Scope(State);
   for (auto _ : State) {
+    ft::stats::reset();
     DepAnalyzer DA(F.Body);
     int64_t Found = 0;
     for (int Round = 0; Round < SweepsPerVersion; ++Round)
@@ -102,6 +106,7 @@ void DepsAutoTransform(benchmark::State &State) {
   Func F = buildSubdivNet({1024, 32});
   StatsScope Scope(State);
   for (auto _ : State) {
+    ft::stats::reset();
     Func Opt = autoScheduleFunc(F);
     benchmark::DoNotOptimize(Opt);
   }
@@ -120,6 +125,7 @@ void DepsScheduleProbing(benchmark::State &State) {
   Func F = buildLongformer({128, 32, 16});
   StatsScope Scope(State);
   for (auto _ : State) {
+    ft::stats::reset();
     Schedule S(F);
     std::vector<int64_t> Loops = allLoops(S.ast());
     int64_t Accepted = 0;

@@ -75,6 +75,19 @@ Metrics measureEager() {
   return M;
 }
 
+/// What the auto-scheduler did to get there: the per-rule tried / applied /
+/// rejected tally sourced from the schedule decision audit log.
+void printRuleTally() {
+  SubdivNetConfig C = subdivnetCfg();
+  AutoScheduleReport Rep;
+  (void)autoScheduleFunc(buildSubdivNet(C), {}, &Rep);
+  std::printf("=== auto-schedule rule tally (SubdivNet) ===\n");
+  std::printf("%-20s %8s %8s %8s\n", "rule", "tried", "applied", "rejected");
+  for (const auto &[Rule, T] : Rep.Rules)
+    std::printf("%-20s %8d %8d %8d\n", Rule.c_str(), T.Tried, T.Applied,
+                T.Rejected);
+}
+
 void printTable(const Metrics &FT, const Metrics &EG) {
   std::printf("\n=== Figure 17: analysis of the SubdivNet speedup ===\n");
   std::printf("%-28s %16s %16s %10s\n", "metric", "baseline(Eager)",
@@ -114,5 +127,6 @@ int main(int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   printTable(measureFreeTensor(), measureEager());
+  printRuleTally();
   return 0;
 }

@@ -17,6 +17,7 @@
 #include <chrono>
 
 #include "bench_common.h"
+#include "support/stats.h"
 
 using namespace ftb;
 
@@ -150,10 +151,15 @@ void printTable() {
               "tuner total extrapolated(s)");
   uint64_t Rng = 0x12345678;
   for (WorkloadCase &W : makeCases()) {
+    // Per-case counter deltas: without the reset, FT_STATS / FT_METRICS
+    // numbers accumulate across workloads and mean nothing per case.
+    ft::stats::reset();
     double FtSec = freeTensorCompileSeconds(W.F);
     double RoundSec = 0;
-    for (int R = 0; R < SimRounds; ++R)
+    for (int R = 0; R < SimRounds; ++R) {
+      ft::stats::reset();
       RoundSec += tunerRoundSeconds(W, Rng);
+    }
     RoundSec /= SimRounds;
     std::printf("%-12s %14.2f %14.2f %16lld %22.0f\n", W.Name, FtSec,
                 RoundSec, static_cast<long long>(W.PaperRounds),
@@ -174,8 +180,11 @@ void Table2_CompileTime(benchmark::State &State) {
     return buildSubdivNet(C);
   }();
   for (auto _ : State) {
+    ft::stats::reset();
     double Sec = freeTensorCompileSeconds(F);
     State.SetIterationTime(Sec);
+    State.counters["dep_queries"] =
+        double(ft::stats::counters().DepQueries.load());
   }
 }
 BENCHMARK(Table2_CompileTime)->UseManualTime()->Iterations(1);

@@ -11,6 +11,7 @@
 #include "pass/const_fold.h"
 #include "pass/flatten.h"
 #include "pass/replace.h"
+#include "support/trace.h"
 
 using namespace ft;
 
@@ -934,6 +935,9 @@ private:
 
 Result<GradResult> ft::grad(const Func &F, const std::vector<std::string> &Wrt,
                             TapeStrategy Strategy) {
+  trace::Span Sp("autodiff/grad");
+  if (Sp.active())
+    Sp.annotate("func", F.Name);
   // Fold builder-emitted "(0 + i)" offsets first so the structural checks
   // (e.g. store-indices-are-pure-iterators) see canonical indices.
   Func FF = F;

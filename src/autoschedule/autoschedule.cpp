@@ -8,6 +8,7 @@
 #include "pass/const_fold.h"
 #include "pass/scalar_prop.h"
 #include "pass/shrink_var.h"
+#include "support/trace.h"
 
 using namespace ft;
 
@@ -348,6 +349,26 @@ int autoUnroll(Schedule &S, int64_t Limit) {
 AutoScheduleReport ft::autoSchedule(Schedule &S,
                                     const AutoScheduleOptions &Opts) {
   AutoScheduleReport R;
+  trace::Span Sp("autoschedule/run");
+  // Force audit-log collection for the duration of the run so the per-rule
+  // tallies are available even when tracing is off.
+  trace::AuditGuard Audit;
+  // Runs one rule pass under an "autoschedule/<name>" span, then tallies
+  // the schedule decisions the pass generated.
+  auto RunRule = [&](const char *Name, int &Slot, auto &&Rule) {
+    size_t Mark = trace::auditSize();
+    trace::Span RuleSp(std::string("autoschedule/") + Name);
+    Slot = Rule();
+    RuleTally &T = R.Rules[Name];
+    for (const trace::ScheduleDecision &D : trace::auditLogSince(Mark)) {
+      ++T.Tried;
+      ++(D.Applied ? T.Applied : T.Rejected);
+    }
+    if (RuleSp.active()) {
+      RuleSp.annotate("applied", static_cast<int64_t>(T.Applied));
+      RuleSp.annotate("rejected", static_cast<int64_t>(T.Rejected));
+    }
+  };
   S.cleanup();
   if (Opts.Cleanup) {
     Func F2 = S.func();
@@ -356,17 +377,20 @@ AutoScheduleReport ft::autoSchedule(Schedule &S,
     S.cleanup();
   }
   if (Opts.Fuse)
-    R.Fused = autoFuse(S);
+    RunRule("auto_fuse", R.Fused, [&] { return autoFuse(S); });
   if (Opts.Vectorize)
-    R.Vectorized = autoVectorize(S);
+    RunRule("auto_vectorize", R.Vectorized, [&] { return autoVectorize(S); });
   if (Opts.Parallelize)
-    R.Parallelized = autoParallelize(S, Opts.NumThreads);
+    RunRule("auto_parallelize", R.Parallelized,
+            [&] { return autoParallelize(S, Opts.NumThreads); });
   if (Opts.MemType)
-    R.Localized = autoMemType(S, Opts.LocalSizeLimit);
+    RunRule("auto_mem_type", R.Localized,
+            [&] { return autoMemType(S, Opts.LocalSizeLimit); });
   if (Opts.UseLib)
-    R.LibCalls = autoUseLib(S);
+    RunRule("auto_use_lib", R.LibCalls, [&] { return autoUseLib(S); });
   if (Opts.Unroll)
-    R.Unrolled = autoUnroll(S, Opts.UnrollLimit);
+    RunRule("auto_unroll", R.Unrolled,
+            [&] { return autoUnroll(S, Opts.UnrollLimit); });
   S.cleanup();
   return R;
 }

@@ -18,6 +18,9 @@
 #ifndef FT_AUTOSCHEDULE_AUTOSCHEDULE_H
 #define FT_AUTOSCHEDULE_AUTOSCHEDULE_H
 
+#include <map>
+#include <string>
+
 #include "schedule/schedule.h"
 
 namespace ft {
@@ -43,6 +46,15 @@ struct AutoScheduleOptions {
   int NumThreads = 0;
 };
 
+/// Per-rule primitive tally, sourced from the schedule decision audit log
+/// (support/trace.h): how many primitives the rule tried, and of those how
+/// many the dependence analysis let through vs rejected.
+struct RuleTally {
+  int Tried = 0;
+  int Applied = 0;
+  int Rejected = 0;
+};
+
 /// Statistics of what the rules applied (for tests and reporting).
 struct AutoScheduleReport {
   int Fused = 0;
@@ -51,6 +63,10 @@ struct AutoScheduleReport {
   int Localized = 0;
   int LibCalls = 0;
   int Unrolled = 0;
+  /// Keyed by rule name ("auto_fuse", "auto_vectorize", ...). Collected
+  /// even when tracing is off — autoSchedule forces the audit log on for
+  /// the duration of its run.
+  std::map<std::string, RuleTally> Rules;
 };
 
 /// Runs the six passes on \p S in order. Returns what was applied.

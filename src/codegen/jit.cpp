@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "codegen/codegen.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 using namespace ft;
 
@@ -32,7 +34,12 @@ struct Kernel::Impl {
   std::map<std::string, DataType> ParamTypes;
   void *Handle = nullptr;
   void (*Entry)(void **) = nullptr;
+  /// Optional telemetry export emitted by codegen; reads the kernel .so's
+  /// private rt::KernelStats (invocations, parallelFor regions/iterations,
+  /// gemm calls).
+  void (*RtStats)(uint64_t *) = nullptr;
   double CompileSec = 0;
+  std::string SpanName; ///< "rt/kernel/<symbol>", precomputed.
 
   ~Impl() {
     if (Handle)
@@ -41,6 +48,10 @@ struct Kernel::Impl {
 };
 
 Result<Kernel> Kernel::compile(const Func &F, const std::string &OptFlags) {
+  trace::Span Sp("codegen/jit");
+  if (Sp.active())
+    Sp.annotate("func", F.Name);
+  metrics::counter("codegen/jit_compiles").fetch_add(1);
   auto I = std::make_shared<Impl>();
   I->Source = generateCpp(F);
   I->Symbol = kernelSymbol(F);
@@ -84,7 +95,16 @@ Result<Kernel> Kernel::compile(const Func &F, const std::string &OptFlags) {
       dlsym(I->Handle, I->Symbol.c_str()));
   if (!I->Entry)
     return Result<Kernel>::error("kernel symbol not found: " + I->Symbol);
+  // Optional: kernels generated before the telemetry export existed (or
+  // hand-written ones) simply lack the symbol.
+  I->RtStats = reinterpret_cast<void (*)(uint64_t *)>(
+      dlsym(I->Handle, (I->Symbol + "_rt_stats").c_str()));
+  I->SpanName = "rt/kernel/" + I->Symbol;
 
+  if (Sp.active()) {
+    Sp.annotate("compile_sec", I->CompileSec);
+    Sp.annotate("source_bytes", static_cast<uint64_t>(I->Source.size()));
+  }
   Kernel K;
   K.I = std::move(I);
   return K;
@@ -102,7 +122,18 @@ Status Kernel::run(const std::map<std::string, Buffer *> &Args) const {
       return Status::error("dtype mismatch for argument `" + P + "`");
     Ptrs.push_back(It->second->raw());
   }
+  trace::Span Sp(I->SpanName);
   I->Entry(Ptrs.data());
+  metrics::counter("rt/kernel_invocations").fetch_add(1);
+  if (Sp.active() && I->RtStats) {
+    // Cumulative counts from the kernel .so's private KernelStats copy.
+    uint64_t S[4] = {0, 0, 0, 0};
+    I->RtStats(S);
+    Sp.annotate("invocations", S[0]);
+    Sp.annotate("parallel_fors", S[1]);
+    Sp.annotate("parallel_iters", S[2]);
+    Sp.annotate("gemm_calls", S[3]);
+  }
   return Status::success();
 }
 

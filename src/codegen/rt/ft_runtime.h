@@ -23,6 +23,32 @@
 namespace ft {
 namespace rt {
 
+/// Per-kernel runtime telemetry. Header-only and RTLD_LOCAL means every
+/// JIT-compiled .so carries its own private copy, so the numbers are per
+/// kernel library; codegen exports a `<symbol>_rt_stats` reader that the
+/// host JIT dlsym's to pull them back into the compiler's trace (the
+/// "generated programs report their own execution counts" half of the
+/// observability layer).
+struct KernelStats {
+  std::atomic<uint64_t> Invocations{0};   ///< Kernel entry calls.
+  std::atomic<uint64_t> ParallelFors{0};  ///< parallelFor regions run.
+  std::atomic<uint64_t> ParallelIters{0}; ///< Iterations across regions.
+  std::atomic<uint64_t> GemmCalls{0};     ///< Library gemm invocations.
+
+  static KernelStats &instance() {
+    static KernelStats S;
+    return S;
+  }
+
+  /// Field order of the `<symbol>_rt_stats(uint64_t[4])` export.
+  void read(uint64_t *Out) const {
+    Out[0] = Invocations.load(std::memory_order_relaxed);
+    Out[1] = ParallelFors.load(std::memory_order_relaxed);
+    Out[2] = ParallelIters.load(std::memory_order_relaxed);
+    Out[3] = GemmCalls.load(std::memory_order_relaxed);
+  }
+};
+
 /// A minimal persistent thread pool. Work items are half-open index ranges;
 /// the calling thread participates, so a pool on a single-core machine
 /// degenerates to a plain loop.
@@ -41,6 +67,10 @@ public:
     int64_t N = End - Begin;
     if (N <= 0)
       return;
+    KernelStats &KS = KernelStats::instance();
+    KS.ParallelFors.fetch_add(1, std::memory_order_relaxed);
+    KS.ParallelIters.fetch_add(static_cast<uint64_t>(N),
+                               std::memory_order_relaxed);
     int Workers = NumThreads;
     if (N < Workers || Workers <= 1) {
       for (int64_t I = Begin; I < End; ++I)
@@ -168,6 +198,7 @@ template <typename T> inline T sigmoid(T X) {
 template <typename T>
 inline void gemm(bool TransA, bool TransB, int64_t M, int64_t N, int64_t K,
                  const T *A, const T *B, T *C) {
+  KernelStats::instance().GemmCalls.fetch_add(1, std::memory_order_relaxed);
   auto AAt = [&](int64_t I, int64_t Kk) {
     return TransA ? A[Kk * M + I] : A[I * K + Kk];
   };

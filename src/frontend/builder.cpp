@@ -2,7 +2,9 @@
 
 #include "frontend/builder.h"
 
+#include "ir/visitor.h"
 #include "support/string_utils.h"
+#include "support/trace.h"
 
 using namespace ft;
 
@@ -212,6 +214,9 @@ void FunctionBuilder::emitReduce(const View &V, std::vector<Expr> Indices,
 }
 
 Func FunctionBuilder::build() {
+  trace::Span Sp("frontend/build");
+  if (Sp.active())
+    Sp.annotate("func", Name);
   ftAssert(Blocks.size() == 1, "build() called inside an open block");
   Stmt Body = closeBlock(std::move(Blocks.back()));
   Blocks.clear();
@@ -224,5 +229,7 @@ Func FunctionBuilder::build() {
   for (const ParamInfo &P : Params)
     F.Params.push_back(P.Name);
   F.Body = std::move(Body);
+  if (Sp.active())
+    Sp.annotate("ir_nodes", static_cast<uint64_t>(countNodes(F.Body)));
   return F;
 }

@@ -104,3 +104,74 @@ void Visitor::visit(const GemmCallNode *S) {
   (*this)(S->N);
   (*this)(S->K);
 }
+
+namespace {
+
+/// Counts every node reached; each hook bumps the count and defers to the
+/// base class for recursion.
+class NodeCounter : public Visitor {
+public:
+  size_t N = 0;
+
+protected:
+  void visit(const IntConstNode *E) override { ++N; }
+  void visit(const FloatConstNode *E) override { ++N; }
+  void visit(const BoolConstNode *E) override { ++N; }
+  void visit(const VarNode *E) override { ++N; }
+  void visit(const LoadNode *E) override {
+    ++N;
+    Visitor::visit(E);
+  }
+  void visit(const BinaryNode *E) override {
+    ++N;
+    Visitor::visit(E);
+  }
+  void visit(const UnaryNode *E) override {
+    ++N;
+    Visitor::visit(E);
+  }
+  void visit(const IfExprNode *E) override {
+    ++N;
+    Visitor::visit(E);
+  }
+  void visit(const CastNode *E) override {
+    ++N;
+    Visitor::visit(E);
+  }
+  void visit(const StmtSeqNode *S) override {
+    ++N;
+    Visitor::visit(S);
+  }
+  void visit(const VarDefNode *S) override {
+    ++N;
+    Visitor::visit(S);
+  }
+  void visit(const StoreNode *S) override {
+    ++N;
+    Visitor::visit(S);
+  }
+  void visit(const ReduceToNode *S) override {
+    ++N;
+    Visitor::visit(S);
+  }
+  void visit(const ForNode *S) override {
+    ++N;
+    Visitor::visit(S);
+  }
+  void visit(const IfNode *S) override {
+    ++N;
+    Visitor::visit(S);
+  }
+  void visit(const GemmCallNode *S) override {
+    ++N;
+    Visitor::visit(S);
+  }
+};
+
+} // namespace
+
+size_t ft::countNodes(const AST &Node) {
+  NodeCounter C;
+  C(Node);
+  return C.N;
+}

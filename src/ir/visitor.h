@@ -42,6 +42,11 @@ protected:
   virtual void visit(const GemmCallNode *S);
 };
 
+/// Number of AST nodes (expressions and statements) reachable from
+/// \p Node. Used by the observability layer to annotate per-pass spans
+/// with IR size deltas.
+size_t countNodes(const AST &Node);
+
 } // namespace ft
 
 #endif // FT_IR_VISITOR_H

@@ -6,6 +6,7 @@
 
 #include "ir/compare.h"
 #include "math/linear.h"
+#include "pass/pass_trace.h"
 
 using namespace ft;
 
@@ -257,4 +258,7 @@ protected:
 
 Expr ft::constFold(const Expr &E) { return ConstFolder()(E); }
 
-Stmt ft::constFold(const Stmt &S) { return ConstFolder()(S); }
+Stmt ft::constFold(const Stmt &S) {
+  return pass_detail::tracedPass("pass/const_fold", S,
+                                 [&] { return ConstFolder()(S); });
+}

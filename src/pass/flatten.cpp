@@ -2,6 +2,8 @@
 
 #include "pass/flatten.h"
 
+#include "pass/pass_trace.h"
+
 using namespace ft;
 
 bool ft::isEmptyStmt(const Stmt &S) {
@@ -66,4 +68,7 @@ protected:
 
 } // namespace
 
-Stmt ft::flattenStmtSeq(const Stmt &S) { return Flattener()(S); }
+Stmt ft::flattenStmtSeq(const Stmt &S) {
+  return pass_detail::tracedPass("pass/flatten_stmt_seq", S,
+                                 [&] { return Flattener()(S); });
+}

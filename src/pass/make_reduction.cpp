@@ -3,6 +3,7 @@
 #include "pass/make_reduction.h"
 
 #include "ir/compare.h"
+#include "pass/pass_trace.h"
 #include "pass/replace.h"
 
 using namespace ft;
@@ -91,4 +92,7 @@ protected:
 
 } // namespace
 
-Stmt ft::makeReduction(const Stmt &S) { return ReductionMaker()(S); }
+Stmt ft::makeReduction(const Stmt &S) {
+  return pass_detail::tracedPass("pass/make_reduction", S,
+                                 [&] { return ReductionMaker()(S); });
+}

@@ -1,0 +1,36 @@
+//===- pass/pass_trace.h - Per-pass span instrumentation ---------*- C++ -*-===//
+///
+/// \file
+/// The one-liner every pass entry point uses to participate in the
+/// observability layer: wraps the pass body in a "pass/<name>" span
+/// annotated with the IR node count before and after (the per-pass IR
+/// delta). Node counting only happens when tracing is enabled, so
+/// uninstrumented builds and disabled-mode runs pay a single relaxed
+/// atomic load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_PASS_PASS_TRACE_H
+#define FT_PASS_PASS_TRACE_H
+
+#include "ir/visitor.h"
+#include "support/trace.h"
+
+namespace ft::pass_detail {
+
+/// Runs \p Body (the pass implementation) under a "pass/<name>" span with
+/// ir_nodes_before / ir_nodes_after annotations.
+template <typename Fn>
+Stmt tracedPass(const char *SpanName, const Stmt &In, Fn &&Body) {
+  trace::Span Sp(SpanName);
+  if (Sp.active())
+    Sp.annotate("ir_nodes_before", static_cast<uint64_t>(countNodes(In)));
+  Stmt Out = Body();
+  if (Sp.active())
+    Sp.annotate("ir_nodes_after", static_cast<uint64_t>(countNodes(Out)));
+  return Out;
+}
+
+} // namespace ft::pass_detail
+
+#endif // FT_PASS_PASS_TRACE_H

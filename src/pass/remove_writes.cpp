@@ -3,6 +3,7 @@
 #include "pass/remove_writes.h"
 
 #include "pass/flatten.h"
+#include "pass/pass_trace.h"
 #include "pass/replace.h"
 
 using namespace ft;
@@ -49,13 +50,15 @@ protected:
 } // namespace
 
 Stmt ft::removeDeadWrites(const Stmt &S) {
-  Stmt Cur = S;
-  for (int Round = 0; Round < 16; ++Round) {
-    DeadDefRemover R;
-    Stmt Next = flattenStmtSeq(R(Cur));
-    Cur = Next;
-    if (!R.Changed)
-      break;
-  }
-  return Cur;
+  return pass_detail::tracedPass("pass/remove_dead_writes", S, [&] {
+    Stmt Cur = S;
+    for (int Round = 0; Round < 16; ++Round) {
+      DeadDefRemover R;
+      Stmt Next = flattenStmtSeq(R(Cur));
+      Cur = Next;
+      if (!R.Changed)
+        break;
+    }
+    return Cur;
+  });
 }

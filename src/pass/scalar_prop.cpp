@@ -7,6 +7,7 @@
 
 #include "analysis/access.h"
 #include "pass/flatten.h"
+#include "pass/pass_trace.h"
 #include "pass/remove_writes.h"
 #include "pass/replace.h"
 
@@ -143,13 +144,15 @@ protected:
 } // namespace
 
 Stmt ft::propagateScalars(const Stmt &S) {
-  Stmt Cur = S;
-  for (int Round = 0; Round < 32; ++Round) {
-    OneRound R;
-    Stmt Next = R(Cur);
-    Cur = std::move(Next);
-    if (!R.Changed)
-      break;
-  }
-  return removeDeadWrites(flattenStmtSeq(Cur));
+  return pass_detail::tracedPass("pass/scalar_prop", S, [&] {
+    Stmt Cur = S;
+    for (int Round = 0; Round < 32; ++Round) {
+      OneRound R;
+      Stmt Next = R(Cur);
+      Cur = std::move(Next);
+      if (!R.Changed)
+        break;
+    }
+    return removeDeadWrites(flattenStmtSeq(Cur));
+  });
 }

@@ -6,6 +6,7 @@
 #include "analysis/bounds.h"
 #include "ir/compare.h"
 #include "pass/const_fold.h"
+#include "pass/pass_trace.h"
 #include "pass/replace.h"
 
 using namespace ft;
@@ -128,13 +129,15 @@ private:
 } // namespace
 
 Stmt ft::shrinkVars(const Stmt &S) {
-  AccessCollection AC = collectAccesses(S);
-  auto Defs = AC.Defs;
-  IsParamFn IsParam = [Defs](const std::string &Name) {
-    auto It = Defs.find(Name);
-    return It != Defs.end() && It->second->ATy == AccessType::Input &&
-           It->second->Info.Shape.empty() && isInt(It->second->Info.Dtype);
-  };
-  Shrinker Sh(IsParam);
-  return constFold(Sh(S));
+  return pass_detail::tracedPass("pass/shrink_var", S, [&] {
+    AccessCollection AC = collectAccesses(S);
+    auto Defs = AC.Defs;
+    IsParamFn IsParam = [Defs](const std::string &Name) {
+      auto It = Defs.find(Name);
+      return It != Defs.end() && It->second->ATy == AccessType::Input &&
+             It->second->Info.Shape.empty() && isInt(It->second->Info.Dtype);
+    };
+    Shrinker Sh(IsParam);
+    return constFold(Sh(S));
+  });
 }

@@ -7,6 +7,7 @@
 #include "ir/printer.h"
 #include "pass/const_fold.h"
 #include "pass/flatten.h"
+#include "pass/pass_trace.h"
 #include "pass/replace.h"
 
 using namespace ft;
@@ -144,14 +145,16 @@ private:
 } // namespace
 
 Stmt ft::simplify(const Stmt &S) {
-  Stmt Cur = S;
-  for (int Round = 0; Round < 4; ++Round) {
-    Stmt Next = flattenStmtSeq(constFold(Simplifier(Cur)(constFold(Cur))));
-    if (deepEqual(Next, Cur))
-      return Next;
-    Cur = Next;
-  }
-  return Cur;
+  return pass_detail::tracedPass("pass/simplify", S, [&] {
+    Stmt Cur = S;
+    for (int Round = 0; Round < 4; ++Round) {
+      Stmt Next = flattenStmtSeq(constFold(Simplifier(Cur)(constFold(Cur))));
+      if (deepEqual(Next, Cur))
+        return Next;
+      Cur = Next;
+    }
+    return Cur;
+  });
 }
 
 Func ft::simplify(Func F) {

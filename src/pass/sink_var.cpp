@@ -6,6 +6,7 @@
 
 #include "analysis/deps.h"
 #include "ir/compare.h"
+#include "pass/pass_trace.h"
 #include "pass/replace.h"
 
 using namespace ft;
@@ -133,13 +134,15 @@ private:
 } // namespace
 
 Stmt ft::sinkVars(const Stmt &S) {
-  Stmt Cur = S;
-  for (int Round = 0; Round < 16; ++Round) {
-    VarSinker Sinker(Cur);
-    Stmt Next = Sinker(Cur);
-    Cur = Next;
-    if (!Sinker.Changed)
-      break;
-  }
-  return Cur;
+  return pass_detail::tracedPass("pass/sink_var", S, [&] {
+    Stmt Cur = S;
+    for (int Round = 0; Round < 16; ++Round) {
+      VarSinker Sinker(Cur);
+      Stmt Next = Sinker(Cur);
+      Cur = Next;
+      if (!Sinker.Changed)
+        break;
+    }
+    return Cur;
+  });
 }

@@ -14,6 +14,7 @@
 #include "pass/replace.h"
 #include "pass/simplify.h"
 #include "support/stats.h"
+#include "support/trace.h"
 #include "support/string_utils.h"
 
 using namespace ft;
@@ -262,7 +263,7 @@ void Schedule::cleanup() { setBody(simplify(F.Body)); }
 // Loop transformations
 //===----------------------------------------------------------------------===//
 
-Result<SplitIds> Schedule::split(int64_t LoopId, int64_t Factor) {
+Result<SplitIds> Schedule::splitImpl(int64_t LoopId, int64_t Factor) {
   Status Err;
   auto L = getLoop(LoopId, &Err);
   if (!L)
@@ -293,7 +294,7 @@ Result<SplitIds> Schedule::split(int64_t LoopId, int64_t Factor) {
   return SplitIds{Outer->Id, Inner->Id};
 }
 
-Result<int64_t> Schedule::merge(int64_t OuterId, int64_t InnerId) {
+Result<int64_t> Schedule::mergeImpl(int64_t OuterId, int64_t InnerId) {
   Status Err;
   auto Outer = getLoop(OuterId, &Err);
   if (!Outer)
@@ -325,7 +326,7 @@ Result<int64_t> Schedule::merge(int64_t OuterId, int64_t InnerId) {
   return Merged->Id;
 }
 
-Status Schedule::reorder(const std::vector<int64_t> &Order) {
+Status Schedule::reorderImpl(const std::vector<int64_t> &Order) {
   if (Order.size() < 2)
     return Status::error("reorder needs at least two loops");
 
@@ -467,7 +468,7 @@ Status Schedule::reorder(const std::vector<int64_t> &Order) {
   return Status::success();
 }
 
-Result<SplitIds> Schedule::fission(int64_t LoopId, int64_t AfterStmtId) {
+Result<SplitIds> Schedule::fissionImpl(int64_t LoopId, int64_t AfterStmtId) {
   Status Err;
   auto L = getLoop(LoopId, &Err);
   if (!L)
@@ -527,7 +528,7 @@ Result<SplitIds> Schedule::fission(int64_t LoopId, int64_t AfterStmtId) {
   return SplitIds{LoopId, Id2};
 }
 
-Result<int64_t> Schedule::fuse(int64_t Loop1Id, int64_t Loop2Id) {
+Result<int64_t> Schedule::fuseImpl(int64_t Loop1Id, int64_t Loop2Id) {
   Status Err;
   auto L1 = getLoop(Loop1Id, &Err);
   if (!L1)
@@ -602,7 +603,7 @@ Result<int64_t> Schedule::fuse(int64_t Loop1Id, int64_t Loop2Id) {
   return FusedId;
 }
 
-Status Schedule::swap(int64_t Stmt1Id, int64_t Stmt2Id) {
+Status Schedule::swapImpl(int64_t Stmt1Id, int64_t Stmt2Id) {
   auto Parent = findParentSeq(F.Body, Stmt1Id);
   if (!Parent || Parent->Index + 1 >= Parent->Seq->Stmts.size() ||
       Parent->Seq->Stmts[Parent->Index + 1]->Id != Stmt2Id)
@@ -625,7 +626,7 @@ Status Schedule::swap(int64_t Stmt1Id, int64_t Stmt2Id) {
 // Parallelizing transformations
 //===----------------------------------------------------------------------===//
 
-Status Schedule::parallelize(int64_t LoopId) {
+Status Schedule::parallelizeImpl(int64_t LoopId) {
   Status Err;
   auto L = getLoop(LoopId, &Err);
   if (!L)
@@ -652,7 +653,7 @@ Status Schedule::parallelize(int64_t LoopId) {
   return Status::success();
 }
 
-Status Schedule::unroll(int64_t LoopId, bool Full) {
+Status Schedule::unrollImpl(int64_t LoopId, bool Full) {
   Status Err;
   auto L = getLoop(LoopId, &Err);
   if (!L)
@@ -679,7 +680,7 @@ Status Schedule::unroll(int64_t LoopId, bool Full) {
   return Status::success();
 }
 
-Status Schedule::blend(int64_t LoopId) {
+Status Schedule::blendImpl(int64_t LoopId) {
   Status Err;
   auto L = getLoop(LoopId, &Err);
   if (!L)
@@ -734,7 +735,7 @@ Status Schedule::blend(int64_t LoopId) {
   return Status::success();
 }
 
-Status Schedule::vectorize(int64_t LoopId) {
+Status Schedule::vectorizeImpl(int64_t LoopId) {
   Status Err;
   auto L = getLoop(LoopId, &Err);
   if (!L)
@@ -852,7 +853,7 @@ Stmt buildCopyNest(const Stmt &Root, const CacheRegion &R,
 
 } // namespace
 
-Result<std::string> Schedule::cache(int64_t StmtId, const std::string &Var,
+Result<std::string> Schedule::cacheImpl(int64_t StmtId, const std::string &Var,
                                     MemType MTy) {
   Stmt S0 = findStmt(F.Body, StmtId);
   if (!S0)
@@ -929,7 +930,7 @@ Result<std::string> Schedule::cache(int64_t StmtId, const std::string &Var,
   return CacheName;
 }
 
-Result<std::string> Schedule::cacheReduction(int64_t StmtId,
+Result<std::string> Schedule::cacheReductionImpl(int64_t StmtId,
                                              const std::string &Var,
                                              MemType MTy) {
   Stmt S0 = findStmt(F.Body, StmtId);
@@ -1001,7 +1002,7 @@ Result<std::string> Schedule::cacheReduction(int64_t StmtId,
   return CacheName;
 }
 
-Status Schedule::setMemType(const std::string &Var, MemType MTy) {
+Status Schedule::setMemTypeImpl(const std::string &Var, MemType MTy) {
   auto Def = findVarDef(F.Body, Var);
   if (!Def)
     return Status::error("no tensor named `" + Var + "`");
@@ -1018,7 +1019,7 @@ Status Schedule::setMemType(const std::string &Var, MemType MTy) {
 // Memory layout transformations
 //===----------------------------------------------------------------------===//
 
-Status Schedule::varSplit(const std::string &Var, int Dim, int64_t Factor) {
+Status Schedule::varSplitImpl(const std::string &Var, int Dim, int64_t Factor) {
   auto Def = findVarDef(F.Body, Var);
   if (!Def)
     return Status::error("no tensor named `" + Var + "`");
@@ -1056,7 +1057,7 @@ Status Schedule::varSplit(const std::string &Var, int Dim, int64_t Factor) {
   return Status::success();
 }
 
-Status Schedule::varReorder(const std::string &Var,
+Status Schedule::varReorderImpl(const std::string &Var,
                             const std::vector<int> &Perm) {
   auto Def = findVarDef(F.Body, Var);
   if (!Def)
@@ -1086,7 +1087,7 @@ Status Schedule::varReorder(const std::string &Var,
   return Status::success();
 }
 
-Status Schedule::varMerge(const std::string &Var, int Dim) {
+Status Schedule::varMergeImpl(const std::string &Var, int Dim) {
   auto Def = findVarDef(F.Body, Var);
   if (!Def)
     return Status::error("no tensor named `" + Var + "`");
@@ -1150,7 +1151,7 @@ bool isZeroConst(const Expr &E) {
 
 } // namespace
 
-Status Schedule::asLib(int64_t LoopId) {
+Status Schedule::asLibImpl(int64_t LoopId) {
   // Builder-emitted indices contain "(0 + i)" offsets; fold them so the
   // structural matcher sees bare iterators.
   setBody(constFold(F.Body));
@@ -1263,7 +1264,7 @@ Status Schedule::asLib(int64_t LoopId) {
   return Status::success();
 }
 
-Result<SplitIds> Schedule::separateTail(int64_t LoopId) {
+Result<SplitIds> Schedule::separateTailImpl(int64_t LoopId) {
   Status Err;
   auto L = getLoop(LoopId, &Err);
   if (!L)
@@ -1393,4 +1394,144 @@ Result<SplitIds> Schedule::separateTail(int64_t LoopId) {
   replaceById(LoopId, makeStmtSeq({Head, Mid, Tail}));
   cleanup();
   return Ids;
+}
+
+//===----------------------------------------------------------------------===//
+// Audit wrappers
+//===----------------------------------------------------------------------===//
+//
+// Every public primitive funnels through trace::ScheduleAudit so the
+// observability layer sees one schedule decision per call: primitive name,
+// operand summary, applied/rejected with the legality reason, and the
+// dependence-engine work the check cost. When tracing and auditing are both
+// off the wrapper cost is a couple of short string builds — noise next to
+// the dependence analysis every primitive runs.
+
+namespace {
+
+std::string fmtLoop(int64_t Id) {
+  return trace::auditEnabled() ? "loop " + std::to_string(Id) : std::string();
+}
+
+std::string fmtLoops(int64_t A, int64_t B) {
+  return trace::auditEnabled()
+             ? "loops " + std::to_string(A) + ", " + std::to_string(B)
+             : std::string();
+}
+
+std::string fmtIdList(const std::vector<int64_t> &Ids) {
+  if (!trace::auditEnabled())
+    return {};
+  std::string Out = "loops [";
+  for (size_t I = 0; I < Ids.size(); ++I)
+    Out += (I ? ", " : "") + std::to_string(Ids[I]);
+  return Out + "]";
+}
+
+std::string fmtVar(const std::string &Var) {
+  return trace::auditEnabled() ? "var " + Var : std::string();
+}
+
+} // namespace
+
+Result<SplitIds> Schedule::split(int64_t LoopId, int64_t Factor) {
+  trace::ScheduleAudit A("split", fmtLoop(LoopId) + " factor " +
+                                      std::to_string(Factor));
+  return A.finish(splitImpl(LoopId, Factor));
+}
+
+Result<int64_t> Schedule::merge(int64_t OuterId, int64_t InnerId) {
+  trace::ScheduleAudit A("merge", fmtLoops(OuterId, InnerId));
+  return A.finish(mergeImpl(OuterId, InnerId));
+}
+
+Status Schedule::reorder(const std::vector<int64_t> &Order) {
+  trace::ScheduleAudit A("reorder", fmtIdList(Order));
+  return A.finish(reorderImpl(Order));
+}
+
+Result<SplitIds> Schedule::fission(int64_t LoopId, int64_t AfterStmtId) {
+  trace::ScheduleAudit A("fission", fmtLoop(LoopId) + " after " +
+                                        std::to_string(AfterStmtId));
+  return A.finish(fissionImpl(LoopId, AfterStmtId));
+}
+
+Result<int64_t> Schedule::fuse(int64_t Loop1Id, int64_t Loop2Id) {
+  trace::ScheduleAudit A("fuse", fmtLoops(Loop1Id, Loop2Id));
+  return A.finish(fuseImpl(Loop1Id, Loop2Id));
+}
+
+Status Schedule::swap(int64_t Stmt1Id, int64_t Stmt2Id) {
+  trace::ScheduleAudit A("swap", fmtLoops(Stmt1Id, Stmt2Id));
+  return A.finish(swapImpl(Stmt1Id, Stmt2Id));
+}
+
+Status Schedule::parallelize(int64_t LoopId) {
+  trace::ScheduleAudit A("parallelize", fmtLoop(LoopId));
+  return A.finish(parallelizeImpl(LoopId));
+}
+
+Status Schedule::unroll(int64_t LoopId, bool Full) {
+  trace::ScheduleAudit A("unroll", fmtLoop(LoopId) +
+                                       (Full ? " (full)" : " (backend)"));
+  return A.finish(unrollImpl(LoopId, Full));
+}
+
+Status Schedule::blend(int64_t LoopId) {
+  trace::ScheduleAudit A("blend", fmtLoop(LoopId));
+  return A.finish(blendImpl(LoopId));
+}
+
+Status Schedule::vectorize(int64_t LoopId) {
+  trace::ScheduleAudit A("vectorize", fmtLoop(LoopId));
+  return A.finish(vectorizeImpl(LoopId));
+}
+
+Result<std::string> Schedule::cache(int64_t StmtId, const std::string &Var,
+                                    MemType MTy) {
+  trace::ScheduleAudit A("cache", fmtVar(Var) + " at stmt " +
+                                      std::to_string(StmtId));
+  return A.finish(cacheImpl(StmtId, Var, MTy));
+}
+
+Result<std::string> Schedule::cacheReduction(int64_t StmtId,
+                                             const std::string &Var,
+                                             MemType MTy) {
+  trace::ScheduleAudit A("cache_reduction", fmtVar(Var) + " at stmt " +
+                                                std::to_string(StmtId));
+  return A.finish(cacheReductionImpl(StmtId, Var, MTy));
+}
+
+Status Schedule::setMemType(const std::string &Var, MemType MTy) {
+  trace::ScheduleAudit A("set_mem_type", fmtVar(Var));
+  return A.finish(setMemTypeImpl(Var, MTy));
+}
+
+Status Schedule::varSplit(const std::string &Var, int Dim, int64_t Factor) {
+  trace::ScheduleAudit A("var_split", fmtVar(Var) + " dim " +
+                                          std::to_string(Dim) + " factor " +
+                                          std::to_string(Factor));
+  return A.finish(varSplitImpl(Var, Dim, Factor));
+}
+
+Status Schedule::varReorder(const std::string &Var,
+                            const std::vector<int> &Perm) {
+  trace::ScheduleAudit A("var_reorder", fmtVar(Var));
+  return A.finish(varReorderImpl(Var, Perm));
+}
+
+Status Schedule::varMerge(const std::string &Var, int Dim) {
+  trace::ScheduleAudit A("var_merge", fmtVar(Var) + " dim " +
+                                          std::to_string(Dim));
+  return A.finish(varMergeImpl(Var, Dim));
+}
+
+Status Schedule::asLib(int64_t LoopId) {
+  trace::ScheduleAudit A("as_lib", fmtLoop(LoopId));
+  return A.finish(asLibImpl(LoopId));
+}
+
+Result<SplitIds> Schedule::separateTail(int64_t LoopId) {
+  trace::ScheduleAudit A("separate_tail", fmtLoop(LoopId));
+  return A.finish(separateTailImpl(LoopId));
 }

@@ -135,6 +135,32 @@ public:
   void cleanup();
 
 private:
+  //===-- Primitive implementations ---------------------------------------===//
+  // Each public primitive above is a thin wrapper that opens a
+  // trace::ScheduleAudit (a "schedule/<name>" span plus a schedule decision
+  // audit log entry recording applied/rejected, the legality reason, and
+  // the dependence-counter delta) around the corresponding Impl below.
+  Result<SplitIds> splitImpl(int64_t LoopId, int64_t Factor);
+  Result<int64_t> mergeImpl(int64_t OuterId, int64_t InnerId);
+  Status reorderImpl(const std::vector<int64_t> &Order);
+  Result<SplitIds> fissionImpl(int64_t LoopId, int64_t AfterStmtId);
+  Result<int64_t> fuseImpl(int64_t Loop1Id, int64_t Loop2Id);
+  Status swapImpl(int64_t Stmt1Id, int64_t Stmt2Id);
+  Status parallelizeImpl(int64_t LoopId);
+  Status unrollImpl(int64_t LoopId, bool Full);
+  Status blendImpl(int64_t LoopId);
+  Status vectorizeImpl(int64_t LoopId);
+  Result<std::string> cacheImpl(int64_t StmtId, const std::string &Var,
+                                MemType MTy);
+  Result<std::string> cacheReductionImpl(int64_t StmtId,
+                                         const std::string &Var, MemType MTy);
+  Status setMemTypeImpl(const std::string &Var, MemType MTy);
+  Status varSplitImpl(const std::string &Var, int Dim, int64_t Factor);
+  Status varReorderImpl(const std::string &Var, const std::vector<int> &Perm);
+  Status varMergeImpl(const std::string &Var, int Dim);
+  Status asLibImpl(int64_t LoopId);
+  Result<SplitIds> separateTailImpl(int64_t LoopId);
+
   Ref<ForNode> getLoop(int64_t LoopId, Status *Err) const;
   Stmt replaceById(int64_t Id, const Stmt &Repl);
   IsParamFn isParamFn() const;

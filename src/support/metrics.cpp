@@ -1,0 +1,56 @@
+//===- support/metrics.cpp ------------------------------------------------===//
+
+#include "support/metrics.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ft::metrics {
+
+namespace {
+
+struct Registry {
+  std::mutex M;
+  /// Keyed by name; unique_ptr keeps Counter addresses stable across
+  /// rehashing so counter() references never dangle.
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+};
+
+/// Leaked on purpose: counters may be touched from atexit sinks, which can
+/// run after static destructors of other translation units.
+Registry &registry() {
+  static Registry *R = new Registry;
+  return *R;
+}
+
+} // namespace
+
+Counter &counter(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  auto It = R.Counters.find(Name);
+  if (It == R.Counters.end())
+    It = R.Counters.emplace(Name, std::unique_ptr<Counter>(new Counter(Name)))
+             .first;
+  return *It->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> snapshot() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(R.Counters.size());
+  for (const auto &[Name, C] : R.Counters)
+    Out.emplace_back(Name, C->load());
+  return Out;
+}
+
+void resetAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  for (auto &[Name, C] : R.Counters)
+    C->store(0);
+}
+
+} // namespace ft::metrics

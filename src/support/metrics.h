@@ -1,0 +1,79 @@
+//===- support/metrics.h - Named-counter registry ----------------*- C++ -*-===//
+///
+/// \file
+/// A process-wide registry of named monotonic counters, the quantitative
+/// half of the observability layer (the qualitative half — spans and the
+/// schedule decision audit log — lives in support/trace.h).
+///
+/// Counters are created on first use by hierarchical name
+/// ("deps/dep_queries", "rt/kernel_invocations", ...) and live for the
+/// whole process; references returned by counter() are stable, so hot
+/// paths resolve their counter once and then pay only a relaxed atomic
+/// increment. The dependence-engine counters of support/stats.h are
+/// registered here, which is what lets FT_METRICS=1 subsume the legacy
+/// FT_STATS output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_SUPPORT_METRICS_H
+#define FT_SUPPORT_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ft::metrics {
+
+/// One named counter. Obtain instances through counter(); never constructed
+/// directly. The mutation API mirrors std::atomic<uint64_t> so call sites
+/// ported from raw atomics (support/stats.h) compile unchanged.
+class Counter {
+public:
+  void fetch_add(uint64_t N = 1,
+                 std::memory_order O = std::memory_order_relaxed) {
+    Val.fetch_add(N, O);
+  }
+
+  uint64_t load(std::memory_order O = std::memory_order_relaxed) const {
+    return Val.load(O);
+  }
+
+  void store(uint64_t V,
+             std::memory_order O = std::memory_order_relaxed) {
+    Val.store(V, O);
+  }
+
+  /// Assignment form used by reset code (`C.DepQueries = 0`).
+  Counter &operator=(uint64_t V) {
+    store(V);
+    return *this;
+  }
+
+  const std::string &name() const { return Name; }
+
+  Counter(const Counter &) = delete;
+  Counter &operator=(const Counter &) = delete;
+
+private:
+  friend Counter &counter(const std::string &Name);
+  explicit Counter(std::string Name) : Name(std::move(Name)) {}
+
+  std::string Name;
+  std::atomic<uint64_t> Val{0};
+};
+
+/// The counter registered under \p Name; created (at zero) on first use.
+/// Thread-safe; the returned reference is valid for the process lifetime.
+Counter &counter(const std::string &Name);
+
+/// Name/value pairs of every registered counter, sorted by name.
+std::vector<std::pair<std::string, uint64_t>> snapshot();
+
+/// Resets every registered counter to zero (tests and benchmarks).
+void resetAll();
+
+} // namespace ft::metrics
+
+#endif // FT_SUPPORT_METRICS_H

@@ -23,21 +23,39 @@ bool enabled() {
   return E;
 }
 
+Counters::Counters()
+    : DepQueries(metrics::counter("deps/dep_queries")),
+      PairSetsBuilt(metrics::counter("deps/pair_sets_built")),
+      EmptinessQueries(metrics::counter("deps/emptiness_queries")),
+      EmptinessCacheHits(metrics::counter("deps/emptiness_cache_hits")),
+      EmptinessCacheMisses(metrics::counter("deps/emptiness_cache_misses")),
+      PrefilterEmpty(metrics::counter("deps/prefilter_empty")),
+      PrefilterFeasible(metrics::counter("deps/prefilter_feasible")),
+      CanonicalDecided(metrics::counter("deps/canonical_decided")),
+      FmEliminations(metrics::counter("deps/fm_eliminations")),
+      AnalyzerBuilds(metrics::counter("deps/analyzer_builds")),
+      AnalyzerReuses(metrics::counter("deps/analyzer_reuses")),
+      DomainCacheHits(metrics::counter("deps/domain_cache_hits")),
+      DomainCacheMisses(metrics::counter("deps/domain_cache_misses")) {}
+
 Counters &counters() {
-  static Counters C;
+  // Leaked so atexit sinks (FT_STATS, FT_METRICS) can never observe a
+  // destroyed block; the underlying storage lives in the metrics registry,
+  // which is likewise leaked.
+  static Counters *C = new Counters;
   static std::once_flag Armed;
   std::call_once(Armed, [] {
     if (enabled())
       std::atexit(dumpAtExit);
   });
-  return C;
+  return *C;
 }
 
 void dump(std::FILE *Out) {
   if (!Out)
     Out = stderr;
   Counters &C = counters();
-  auto V = [](const std::atomic<uint64_t> &A) {
+  auto V = [](const metrics::Counter &A) {
     return static_cast<unsigned long long>(A.load(std::memory_order_relaxed));
   };
   uint64_t Hits = C.EmptinessCacheHits.load(std::memory_order_relaxed);

@@ -22,39 +22,48 @@
 #ifndef FT_SUPPORT_STATS_H
 #define FT_SUPPORT_STATS_H
 
-#include <atomic>
 #include <cstdint>
 #include <cstdio>
 
+#include "support/metrics.h"
+
 namespace ft::stats {
 
+/// The dependence-engine counter block. Since the observability layer
+/// landed, each member is a reference into the process-wide metrics
+/// registry (support/metrics.h) under the "deps/" prefix, so FT_METRICS=1
+/// and ft::trace::snapshot() see these counters alongside everything else;
+/// the member API (fetch_add/load, assignment from 0) is unchanged from
+/// the original raw-atomic block, so call sites did not move.
 struct Counters {
   /// DepAnalyzer::mayDepend calls (one legality micro-question each).
-  std::atomic<uint64_t> DepQueries{0};
+  metrics::Counter &DepQueries;
   /// Pair sets actually constructed (not filtered out earlier).
-  std::atomic<uint64_t> PairSetsBuilt{0};
+  metrics::Counter &PairSetsBuilt;
   /// AffineSet::isEmpty calls.
-  std::atomic<uint64_t> EmptinessQueries{0};
+  metrics::Counter &EmptinessQueries;
   /// Emptiness answered from the process-wide memo cache.
-  std::atomic<uint64_t> EmptinessCacheHits{0};
+  metrics::Counter &EmptinessCacheHits;
   /// Emptiness that had to be computed (then inserted into the cache).
-  std::atomic<uint64_t> EmptinessCacheMisses{0};
+  metrics::Counter &EmptinessCacheMisses;
   /// Pre-filter proved the system empty (interval/GCD contradiction).
-  std::atomic<uint64_t> PrefilterEmpty{0};
+  metrics::Counter &PrefilterEmpty;
   /// Pre-filter exhibited an integer witness point (obviously feasible).
-  std::atomic<uint64_t> PrefilterFeasible{0};
+  metrics::Counter &PrefilterFeasible;
   /// Canonicalization alone decided the query (single-constraint
   /// contradiction or empty system).
-  std::atomic<uint64_t> CanonicalDecided{0};
+  metrics::Counter &CanonicalDecided;
   /// Fourier–Motzkin variable eliminations performed.
-  std::atomic<uint64_t> FmEliminations{0};
+  metrics::Counter &FmEliminations;
   /// DepAnalyzer constructions (each collects all accesses).
-  std::atomic<uint64_t> AnalyzerBuilds{0};
+  metrics::Counter &AnalyzerBuilds;
   /// Schedule legality checks served by a cached DepAnalyzer.
-  std::atomic<uint64_t> AnalyzerReuses{0};
+  metrics::Counter &AnalyzerReuses;
   /// Per-access-point domain constraint sets served from cache.
-  std::atomic<uint64_t> DomainCacheHits{0};
-  std::atomic<uint64_t> DomainCacheMisses{0};
+  metrics::Counter &DomainCacheHits;
+  metrics::Counter &DomainCacheMisses;
+
+  Counters();
 };
 
 /// The process-wide counter block. First use arms the FT_STATS=1 atexit

@@ -1,0 +1,419 @@
+//===- support/trace.cpp --------------------------------------------------===//
+
+#include "support/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "support/metrics.h"
+#include "support/stats.h"
+
+namespace ft::trace {
+
+std::atomic<bool> detail::Enabled{false};
+std::atomic<bool> detail::AuditOn{false};
+
+namespace {
+
+/// Recorded spans are capped so a long tracing session cannot exhaust
+/// memory; drops are counted in the "trace/dropped_spans" metric.
+constexpr size_t MaxSpans = size_t(1) << 20;
+
+struct State {
+  std::mutex M;
+  std::vector<SpanEvent> Spans;
+  std::vector<ScheduleDecision> Audit;
+  std::map<std::thread::id, int> Tids;
+  uint64_t NextSeq = 0;
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  std::string TracePath;    ///< FT_TRACE destination ("" = none).
+  bool MetricsAtExit = false; ///< FT_METRICS=1.
+};
+
+/// Leaked on purpose so the atexit sinks can never observe a destroyed
+/// buffer regardless of static-destruction order across TUs.
+State &state() {
+  static State *S = new State;
+  return *S;
+}
+
+thread_local int CurDepth = 0;
+
+double nowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - state().Epoch)
+      .count();
+}
+
+int tidOfCurrentThread(State &S) {
+  auto Id = std::this_thread::get_id();
+  auto It = S.Tids.find(Id);
+  if (It == S.Tids.end())
+    It = S.Tids.emplace(Id, static_cast<int>(S.Tids.size())).first;
+  return It->second;
+}
+
+void atExitSinks() {
+  State &S = state();
+  std::string Path;
+  bool Metrics;
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Path = S.TracePath;
+    Metrics = S.MetricsAtExit;
+  }
+  if (!Path.empty()) {
+    Status St = writeChromeTrace(Path);
+    if (!St.ok())
+      std::fprintf(stderr, "FT_TRACE: %s\n", St.message().c_str());
+    else
+      std::fprintf(stderr,
+                   "FT_TRACE: wrote %s (open in chrome://tracing or "
+                   "https://ui.perfetto.dev)\n",
+                   Path.c_str());
+  }
+  if (Metrics)
+    writeMetricsSummary();
+}
+
+/// Arms the sinks from the environment at static-initialization time.
+/// Spans created before this TU initializes see Enabled == false (the
+/// zero-initialized default) and are simply not recorded.
+struct EnvInit {
+  EnvInit() {
+    State &S = state();
+    bool Arm = false;
+    if (const char *Path = std::getenv("FT_TRACE");
+        Path != nullptr && Path[0] != '\0') {
+      S.TracePath = Path;
+      Arm = true;
+    }
+    if (const char *V = std::getenv("FT_METRICS");
+        V != nullptr && V[0] == '1') {
+      S.MetricsAtExit = true;
+      Arm = true;
+    }
+    if (Arm) {
+      detail::Enabled.store(true, std::memory_order_relaxed);
+      std::atexit(atExitSinks);
+    }
+  }
+} TheEnvInit;
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string jsonEscape(const std::string &In) {
+  std::string Out;
+  Out.reserve(In.size() + 2);
+  for (char C : In) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// The layer prefix of a span name ("pass/simplify" -> "pass").
+std::string layerOf(const std::string &Name) {
+  size_t Slash = Name.find('/');
+  return Slash == std::string::npos ? std::string("misc")
+                                    : Name.substr(0, Slash);
+}
+
+void writeArgsObject(std::FILE *F,
+                     const std::vector<std::pair<std::string, std::string>>
+                         &Args) {
+  std::fprintf(F, "{");
+  bool First = true;
+  for (const auto &[K, V] : Args) {
+    std::fprintf(F, "%s\"%s\":\"%s\"", First ? "" : ",",
+                 jsonEscape(K).c_str(), jsonEscape(V).c_str());
+    First = false;
+  }
+  std::fprintf(F, "}");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Switches
+//===----------------------------------------------------------------------===//
+
+void setEnabled(bool On) {
+  detail::Enabled.store(On, std::memory_order_relaxed);
+}
+
+void setAuditEnabled(bool On) {
+  detail::AuditOn.store(On, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Span
+//===----------------------------------------------------------------------===//
+
+void Span::open(const char *N) {
+  Active = true;
+  Name = N;
+  Depth = CurDepth++;
+  StartUs = nowUs();
+}
+
+void Span::close() {
+  double EndUs = nowUs();
+  --CurDepth;
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.Spans.size() >= MaxSpans) {
+    metrics::counter("trace/dropped_spans").fetch_add(1);
+    return;
+  }
+  SpanEvent E;
+  E.Name = std::move(Name);
+  E.Args = std::move(Args);
+  E.StartUs = StartUs;
+  E.DurUs = EndUs - StartUs;
+  E.Tid = tidOfCurrentThread(S);
+  E.Depth = Depth;
+  E.Seq = S.NextSeq++;
+  S.Spans.push_back(std::move(E));
+}
+
+void Span::annotate(const std::string &Key, double Value) {
+  if (!Active)
+    return;
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  Args.emplace_back(Key, Buf);
+}
+
+//===----------------------------------------------------------------------===//
+// Audit log
+//===----------------------------------------------------------------------===//
+
+void recordDecision(ScheduleDecision D) {
+  if (!auditEnabled())
+    return;
+  D.TsUs = nowUs();
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Audit.push_back(std::move(D));
+}
+
+size_t auditSize() {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  return S.Audit.size();
+}
+
+std::vector<ScheduleDecision> auditLogSince(size_t From) {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (From >= S.Audit.size())
+    return {};
+  return std::vector<ScheduleDecision>(S.Audit.begin() +
+                                           static_cast<ptrdiff_t>(From),
+                                       S.Audit.end());
+}
+
+std::vector<ScheduleDecision> auditLog() { return auditLogSince(0); }
+
+ScheduleAudit::ScheduleAudit(const char *Primitive, std::string Target)
+    : Sp(enabled() ? ("schedule/" + std::string(Primitive)).c_str() : ""),
+      Primitive(Primitive), Target(std::move(Target)) {
+  Armed = auditEnabled();
+  if (!Armed)
+    return;
+  StartUs = nowUs();
+  stats::Counters &C = stats::counters();
+  DepQ0 = C.DepQueries.load();
+  EmptyQ0 = C.EmptinessQueries.load();
+}
+
+ScheduleAudit::~ScheduleAudit() {
+  // A primitive that returned without passing through finish() (early
+  // internal exit) is still closed as a span; no decision is recorded
+  // because the outcome is unknown.
+}
+
+void ScheduleAudit::finishImpl(const Status &S) {
+  if (!Armed || Finished)
+    return;
+  Finished = true;
+  stats::Counters &C = stats::counters();
+  ScheduleDecision D;
+  D.Primitive = Primitive;
+  D.Target = Target;
+  D.Applied = S.ok();
+  D.Reason = S.message();
+  D.DepQueries = C.DepQueries.load() - DepQ0;
+  D.EmptinessQueries = C.EmptinessQueries.load() - EmptyQ0;
+  D.DurUs = nowUs() - StartUs;
+  if (Sp.active()) {
+    Sp.annotate("target", Target);
+    Sp.annotate("applied", std::string(D.Applied ? "true" : "false"));
+    if (!D.Applied)
+      Sp.annotate("reason", D.Reason);
+    Sp.annotate("dep_queries", D.DepQueries);
+    Sp.annotate("emptiness_queries", D.EmptinessQueries);
+  }
+  recordDecision(std::move(D));
+}
+
+//===----------------------------------------------------------------------===//
+// Sinks
+//===----------------------------------------------------------------------===//
+
+Snapshot snapshot() {
+  State &S = state();
+  Snapshot Out;
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Out.Spans = S.Spans;
+    Out.Audit = S.Audit;
+  }
+  Out.Counters = metrics::snapshot();
+  return Out;
+}
+
+void clear() {
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Spans.clear();
+  S.Audit.clear();
+  S.NextSeq = 0;
+}
+
+Status writeChromeTrace(const std::string &Path) {
+  Snapshot Snap = snapshot();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return Status::error("could not open trace file " + Path);
+  std::fprintf(F, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  bool First = true;
+  for (const SpanEvent &E : Snap.Spans) {
+    std::fprintf(F,
+                 "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                 "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":",
+                 First ? "" : ",\n", jsonEscape(E.Name).c_str(),
+                 jsonEscape(layerOf(E.Name)).c_str(), E.StartUs, E.DurUs,
+                 E.Tid);
+    std::vector<std::pair<std::string, std::string>> Args = E.Args;
+    Args.emplace_back("depth", std::to_string(E.Depth));
+    writeArgsObject(F, Args);
+    std::fprintf(F, "}");
+    First = false;
+  }
+  for (const ScheduleDecision &D : Snap.Audit) {
+    std::fprintf(F,
+                 "%s{\"name\":\"%s\",\"cat\":\"audit\",\"ph\":\"i\","
+                 "\"ts\":%.3f,\"s\":\"p\",\"pid\":1,\"tid\":0,\"args\":",
+                 First ? "" : ",\n",
+                 jsonEscape("audit/" + D.Primitive).c_str(), D.TsUs);
+    std::vector<std::pair<std::string, std::string>> Args{
+        {"primitive", D.Primitive},
+        {"target", D.Target},
+        {"applied", D.Applied ? "true" : "false"},
+        {"reason", D.Reason},
+        {"dep_queries", std::to_string(D.DepQueries)},
+        {"emptiness_queries", std::to_string(D.EmptinessQueries)},
+    };
+    writeArgsObject(F, Args);
+    std::fprintf(F, "}");
+    First = false;
+  }
+  std::fprintf(F, "\n]}\n");
+  if (std::fclose(F) != 0)
+    return Status::error("could not write trace file " + Path);
+  return Status::success();
+}
+
+void writeMetricsSummary(std::FILE *Out) {
+  if (!Out)
+    Out = stderr;
+  Snapshot Snap = snapshot();
+
+  struct Agg {
+    uint64_t Count = 0;
+    double TotalUs = 0;
+  };
+  std::map<std::string, Agg> ByName;
+  std::map<std::string, Agg> ByLayer;
+  for (const SpanEvent &E : Snap.Spans) {
+    Agg &N = ByName[E.Name];
+    ++N.Count;
+    N.TotalUs += E.DurUs;
+    // Layer rollups count only top-of-layer time: nested spans of the same
+    // layer (e.g. simplify -> const_fold) would double-count.
+    Agg &L = ByLayer[layerOf(E.Name)];
+    ++L.Count;
+    L.TotalUs += E.DurUs;
+  }
+
+  std::fprintf(Out, "=== FT_METRICS: span summary (%zu spans) ===\n",
+               Snap.Spans.size());
+  std::string CurLayer;
+  for (const auto &[Name, A] : ByName) {
+    std::string Layer = layerOf(Name);
+    if (Layer != CurLayer) {
+      const Agg &L = ByLayer[Layer];
+      std::fprintf(Out, "[%s]  %llu spans, %.3f ms\n", Layer.c_str(),
+                   static_cast<unsigned long long>(L.Count),
+                   L.TotalUs / 1e3);
+      CurLayer = Layer;
+    }
+    std::fprintf(Out, "  %-38s %8llu x %12.3f ms\n", Name.c_str(),
+                 static_cast<unsigned long long>(A.Count), A.TotalUs / 1e3);
+  }
+
+  if (!Snap.Audit.empty()) {
+    struct Tally {
+      uint64_t Applied = 0;
+      uint64_t Rejected = 0;
+    };
+    std::map<std::string, Tally> Tallies;
+    for (const ScheduleDecision &D : Snap.Audit) {
+      Tally &T = Tallies[D.Primitive];
+      ++(D.Applied ? T.Applied : T.Rejected);
+    }
+    std::fprintf(Out, "=== FT_METRICS: schedule decisions (%zu) ===\n",
+                 Snap.Audit.size());
+    for (const auto &[Prim, T] : Tallies)
+      std::fprintf(Out, "  %-20s applied %6llu, rejected %6llu\n",
+                   Prim.c_str(), static_cast<unsigned long long>(T.Applied),
+                   static_cast<unsigned long long>(T.Rejected));
+  }
+
+  std::fprintf(Out, "=== FT_METRICS: counters ===\n");
+  for (const auto &[Name, Val] : Snap.Counters)
+    std::fprintf(Out, "  %-38s %llu\n", Name.c_str(),
+                 static_cast<unsigned long long>(Val));
+  std::fflush(Out);
+}
+
+} // namespace ft::trace

@@ -2,9 +2,12 @@
 #===- tools/check.sh - tier-1 verification + sanitizer sweep --------------===#
 #
 # 1. The tier-1 line from ROADMAP.md: configure, build, run every test.
-# 2. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
+# 2. Trace smoke: run a real workload with FT_TRACE and validate that the
+#    Chrome-trace JSON parses and covers every compiler layer.
+# 3. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
 #    separate build tree, so memory and UB bugs in the analysis/schedule
-#    layers cannot hide behind passing functional tests.
+#    layers cannot hide behind passing functional tests. The trace test
+#    runs there too: the observability layer itself must be clean.
 #
 # Usage: tools/check.sh [--skip-sanitize]
 # Also reachable as `cmake --build build --target check`.
@@ -29,6 +32,29 @@ echo "== tier-1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+echo "== trace smoke: FT_TRACE on example_subdivnet =="
+TraceJson=/tmp/ft_check_trace.json
+rm -f "$TraceJson"
+FT_TRACE="$TraceJson" ./build/examples/example_subdivnet >/dev/null
+python3 - "$TraceJson" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+audits = [e for e in events if e.get("ph") == "i" and e.get("cat") == "audit"]
+cats = {e["cat"] for e in spans}
+for layer in ("frontend", "pass", "schedule", "codegen", "rt"):
+    assert layer in cats, f"no '{layer}/' span in trace (cats: {sorted(cats)})"
+assert audits, "no schedule-decision audit events in trace"
+rejected = [a for a in audits if a["args"].get("applied") == "false"]
+assert all(a["args"].get("reason") for a in rejected), \
+    "rejected audit entry without a legality reason"
+print(f"trace OK: {len(spans)} spans over {sorted(cats)}, "
+      f"{len(audits)} audit events ({len(rejected)} rejected, all reasoned)")
+PYEOF
+rm -f "$TraceJson"
 
 if [ "$SKIP_SANITIZE" = 1 ]; then
   echo "== sanitizer sweep skipped (--skip-sanitize) =="
