@@ -50,6 +50,14 @@ inline Kernel compileAuto(Func F) {
   return *K;
 }
 
+/// Same, with explicit codegen options (e.g. profile instrumentation).
+inline Kernel compileAuto(Func F, const CodegenOptions &Opts) {
+  Func Opt = autoScheduleFunc(std::move(F));
+  auto K = Kernel::compile(Opt, Opts);
+  ftAssert(K.ok(), K.message());
+  return *K;
+}
+
 /// Allocates buffers for a grad pair (tapes, seeds=1, grads) given the
 /// primal data already present in \p Store.
 inline void bindGradBuffers(const GradResult &G,

@@ -23,7 +23,10 @@ struct AblationCase {
   std::map<std::string, Buffer> Store;
   std::map<std::string, Buffer *> FwdArgs, BwdArgs;
   size_t NumTapes = 0;
-  int64_t TapeBytes = 0;
+  int64_t TapeBytes = 0;          ///< Allocated tape buffer bytes.
+  uint64_t TapeBytesAnalytic = 0; ///< grad()'s own accounting (GradResult).
+  uint64_t PeakFwdBytes = 0;      ///< Peak live kernel-local heap, forward.
+  uint64_t PeakBwdBytes = 0;      ///< Same for the backward pass.
 };
 
 AblationCase makeCase(const Func &F, const std::vector<std::string> &Wrt,
@@ -41,8 +44,23 @@ AblationCase makeCase(const Func &F, const std::vector<std::string> &Wrt,
   for (const std::string &P : G->Backward.Params)
     C.BwdArgs[P] = &C.Store.at(P);
   C.NumTapes = G->Tapes.size();
+  C.TapeBytesAnalytic = G->totalTapeBytes();
   for (const std::string &T : G->Tapes)
     C.TapeBytes += static_cast<int64_t>(C.Store.at(T).sizeBytes());
+  // Memory accounting runs on separate profile-instrumented compiles of
+  // the same scheduled functions, so the timed kernels stay pristine.
+  // Peak live bytes covers kernel-allocated (heap) intermediates only;
+  // tapes are caller-owned parameters and accounted separately above.
+  CodegenOptions ProfOpts;
+  ProfOpts.Profile = true;
+  Kernel PF = compileAuto(G->Forward, ProfOpts);
+  Kernel PB = compileAuto(G->Backward, ProfOpts);
+  Status S1 = PF.run(C.FwdArgs);
+  ftAssert(S1.ok(), S1.message());
+  C.PeakFwdBytes = PF.rtStats().PeakBytes;
+  Status S2 = PB.run(C.BwdArgs);
+  ftAssert(S2.ok(), S2.message());
+  C.PeakBwdBytes = PB.rtStats().PeakBytes;
   return C;
 }
 
@@ -94,9 +112,13 @@ AblationCase &getCase(const char *Which, TapeStrategy S) {
     SoftRasConfig Cfg = softrasCfg();
     C = makeCase(buildSoftRas(Cfg), {"verts"}, softrasPrimal(Cfg), S);
   }
-  std::printf("# %-12s FT(%c): %zu tapes, %lld tape bytes\n", Which,
-              S == TapeStrategy::Selective ? '+' : '-', C.NumTapes,
-              static_cast<long long>(C.TapeBytes));
+  std::printf("# %-12s FT(%c): %zu tapes, %lld tape bytes "
+              "(%llu analytic), peak live fwd %llu B / bwd %llu B\n",
+              Which, S == TapeStrategy::Selective ? '+' : '-', C.NumTapes,
+              static_cast<long long>(C.TapeBytes),
+              static_cast<unsigned long long>(C.TapeBytesAnalytic),
+              static_cast<unsigned long long>(C.PeakFwdBytes),
+              static_cast<unsigned long long>(C.PeakBwdBytes));
   return Cache.emplace(Key, std::move(C)).first->second;
 }
 
@@ -114,6 +136,10 @@ void runPass(benchmark::State &State, const char *Which, TapeStrategy S,
   }
   State.counters["tapes"] = static_cast<double>(C.NumTapes);
   State.counters["tape_bytes"] = static_cast<double>(C.TapeBytes);
+  State.counters["tape_bytes_analytic"] =
+      static_cast<double>(C.TapeBytesAnalytic);
+  State.counters["peak_live_bytes"] =
+      static_cast<double>(Backward ? C.PeakBwdBytes : C.PeakFwdBytes);
 }
 
 #define FT_ABLATION(NAME, KEY)                                                \
@@ -140,4 +166,21 @@ FT_ABLATION(SoftRas, "softras")
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Defaults the JSON report to BENCH_fig18.json so the tape/peak-memory
+// counters land next to the other BENCH_*.json artifacts.
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  bool HasOut = false;
+  for (int I = 1; I < argc; ++I)
+    HasOut |= std::string(argv[I]).rfind("--benchmark_out", 0) == 0;
+  static std::string OutArg = "--benchmark_out=BENCH_fig18.json";
+  static std::string FmtArg = "--benchmark_out_format=json";
+  if (!HasOut) {
+    Args.push_back(OutArg.data());
+    Args.push_back(FmtArg.data());
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,164 @@
+//===- bench/profile_overhead_bench.cpp - Profiler overhead ----------------===//
+//
+// Cost of statement-level profile instrumentation (ISSUE 3) on the four
+// §6.1 forward workloads: each is auto-scheduled once, then JIT-compiled
+// twice from the same scheduled Func — profile off and profile on — and
+// the two kernels are timed in alternated batches so frequency scaling and
+// cache state hit both modes equally. Writes BENCH_profile_overhead.json.
+//
+// Also asserts the zero-cost-when-off contract: the profile-off emission
+// must be byte-identical to a default generateCpp() of the same Func
+// (empty diff), so shipping the profiler cannot perturb production code.
+//
+// Targets (ISSUE 3): instrumented overhead < 10% per workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "codegen/codegen.h"
+
+using namespace ftb;
+
+namespace {
+
+double seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Seconds per kernel run over one batch.
+double timeRuns(Kernel &K, std::map<std::string, Buffer *> &Args, int Runs) {
+  double T0 = seconds();
+  for (int I = 0; I < Runs; ++I) {
+    Status S = K.run(Args);
+    ftAssert(S.ok(), S.message());
+  }
+  return (seconds() - T0) / Runs;
+}
+
+struct WorkloadResult {
+  std::string Name;
+  double OffMs = 0;
+  double OnMs = 0;
+  double OverheadPct = 0;
+  bool EmissionIdentical = false;
+};
+
+/// Schedules \p F once, checks the profile-off emission is byte-identical
+/// to the default emission, compiles both modes, and A/Bs them.
+WorkloadResult measure(const std::string &Name, Func F,
+                       std::map<std::string, Buffer *> Args, int RunsPerBatch) {
+  WorkloadResult R;
+  R.Name = Name;
+
+  Func Opt = autoScheduleFunc(std::move(F));
+
+  // Zero-cost-when-off: CodegenOptions{} must not change the emission.
+  std::string Default = generateCpp(Opt);
+  std::string Off = generateCpp(Opt, CodegenOptions{});
+  R.EmissionIdentical = (Default == Off);
+
+  auto KOff = Kernel::compile(Opt, CodegenOptions{});
+  ftAssert(KOff.ok(), KOff.message());
+  CodegenOptions ProfOpts;
+  ProfOpts.Profile = true;
+  auto KOn = Kernel::compile(Opt, ProfOpts);
+  ftAssert(KOn.ok(), KOn.message());
+
+  // Warm up the thread pool and caches in both kernels.
+  timeRuns(*KOff, Args, 20);
+  timeRuns(*KOn, Args, 20);
+
+  constexpr int Batches = 13;
+  double BestOff = 1e30, BestOn = 1e30;
+  for (int B = 0; B < Batches; ++B) {
+    BestOff = std::min(BestOff, timeRuns(*KOff, Args, RunsPerBatch));
+    BestOn = std::min(BestOn, timeRuns(*KOn, Args, RunsPerBatch));
+  }
+
+  R.OffMs = BestOff * 1e3;
+  R.OnMs = BestOn * 1e3;
+  R.OverheadPct = (BestOn - BestOff) / BestOff * 100.0;
+  return R;
+}
+
+} // namespace
+
+int main() {
+  WorkloadResult Results[4];
+
+  {
+    SubdivNetConfig C = subdivnetCfg();
+    SubdivNetData D = makeSubdivNetData(C);
+    Buffer Y(DataType::Float32, {C.NFaces, C.Feats});
+    Results[0] = measure(
+        "subdivnet", buildSubdivNet(C),
+        {{"e", &D.E}, {"adj", &D.Adj}, {"y", &Y}}, 100);
+  }
+  {
+    LongformerConfig C = longformerCfg();
+    LongformerData D = makeLongformerData(C);
+    Buffer Y(DataType::Float32, {C.SeqLen, C.Feats});
+    Results[1] = measure(
+        "longformer", buildLongformer(C),
+        {{"Q", &D.Q}, {"K", &D.K}, {"V", &D.V}, {"y", &Y}}, 100);
+  }
+  {
+    SoftRasConfig C = softrasCfg();
+    SoftRasData D = makeSoftRasData(C);
+    Buffer Img(DataType::Float32, {C.numPixels()});
+    Results[2] = measure(
+        "softras", buildSoftRas(C),
+        {{"verts", &D.Verts}, {"px", &D.Px}, {"py", &D.Py}, {"img", &Img}},
+        20);
+  }
+  {
+    GATConfig C = gatCfg();
+    GATData D = makeGATData(C);
+    Buffer Y(DataType::Float32, {C.NNodes, C.Feats});
+    Results[3] = measure("gat", buildGAT(C),
+                         {{"h", &D.H},
+                          {"adj", &D.Adj},
+                          {"a1", &D.A1},
+                          {"a2", &D.A2},
+                          {"y", &Y}},
+                         100);
+  }
+
+  bool Ok = true;
+  double WorstPct = -1e30;
+  for (const WorkloadResult &R : Results) {
+    std::printf("%-10s off %8.3f ms  on %8.3f ms  overhead %+6.2f%%  "
+                "emission-identical %s\n",
+                R.Name.c_str(), R.OffMs, R.OnMs, R.OverheadPct,
+                R.EmissionIdentical ? "yes" : "NO");
+    Ok = Ok && R.EmissionIdentical && R.OverheadPct < 10.0;
+    WorstPct = std::max(WorstPct, R.OverheadPct);
+  }
+
+  std::FILE *F = std::fopen("BENCH_profile_overhead.json", "w");
+  ftAssert(F != nullptr, "could not open BENCH_profile_overhead.json");
+  std::fprintf(F, "{\n  \"benchmark\": \"profile_overhead_fig16a_forward\",\n"
+                  "  \"target_pct\": 10.0,\n  \"workloads\": [\n");
+  for (int I = 0; I < 4; ++I) {
+    const WorkloadResult &R = Results[I];
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"run_ms_off\": %.6f, "
+                 "\"run_ms_on\": %.6f, \"overhead_pct\": %.4f, "
+                 "\"emission_identical\": %s}%s\n",
+                 R.Name.c_str(), R.OffMs, R.OnMs, R.OverheadPct,
+                 R.EmissionIdentical ? "true" : "false", I < 3 ? "," : "");
+  }
+  std::fprintf(F, "  ],\n  \"worst_overhead_pct\": %.4f\n}\n", WorstPct);
+  std::fclose(F);
+
+  std::printf("%s: worst instrumented overhead %.2f%% (target < 10%%)\n",
+              Ok ? "PASS" : "FAIL", WorstPct);
+  return Ok ? 0 : 1;
+}

@@ -628,6 +628,18 @@ private:
     return Shape;
   }
 
+  /// Shape product x element size, or 0 when an extent does not fold.
+  static uint64_t tensorBytes(const std::vector<Expr> &Shape, DataType DT) {
+    uint64_t Elems = 1;
+    for (const Expr &D : Shape) {
+      auto C = dyn_cast<IntConstNode>(constFold(D));
+      if (!C || C->Val < 0)
+        return 0;
+      Elems *= static_cast<uint64_t>(C->Val);
+    }
+    return Elems * sizeOf(DT);
+  }
+
   Status buildForward(GradResult *Out) {
     Func Fwd = F;
     Fwd.Name = F.Name + ".fwd";
@@ -635,8 +647,10 @@ private:
     for (const std::string &T : Materialized) {
       std::string Tape = tapeNameOf(T);
       Fwd.Params.push_back(Tape);
-      Fwd.Body = makeVarDef(Tape,
-                            TensorInfo{tapeShapeOf(T), Meta.at(T).Def->Info.Dtype},
+      std::vector<Expr> Shape = tapeShapeOf(T);
+      DataType DT = Meta.at(T).Def->Info.Dtype;
+      Out->TapeBytes[Tape] = tensorBytes(Shape, DT);
+      Fwd.Body = makeVarDef(Tape, TensorInfo{std::move(Shape), DT},
                             AccessType::Output, MemType::CPU, Fwd.Body);
       Out->Tapes.push_back(Tape);
     }

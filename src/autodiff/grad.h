@@ -53,6 +53,21 @@ struct GradResult {
   /// Names of the tape tensors (parameters of both passes).
   std::vector<std::string> Tapes;
 
+  /// Tape name -> its storage footprint in bytes (shape product x element
+  /// size after constant folding; 0 when an extent is not compile-time
+  /// constant). This is the memory half of the Fig. 18 materialize vs
+  /// recompute ablation: FT(-) tapes everything, FT(+) trades recompute
+  /// time against these bytes.
+  std::map<std::string, uint64_t> TapeBytes;
+
+  /// Sum of TapeBytes over every tape.
+  uint64_t totalTapeBytes() const {
+    uint64_t Sum = 0;
+    for (const auto &[Name, Bytes] : TapeBytes)
+      Sum += Bytes;
+    return Sum;
+  }
+
   /// Requested input -> its gradient parameter name.
   std::map<std::string, std::string> GradNames;
 

@@ -21,7 +21,21 @@
 
 namespace ft {
 
+/// Code-generation switches.
+struct CodegenOptions {
+  /// Instrument the emitted kernel with the statement-level profiler:
+  /// every For (and GemmCall) gets per-thread call/iteration/time counters
+  /// keyed by its StmtNode::Id (hot leaf loops are timed on a 1-in-64 call
+  /// sample), kernel-allocated tensors are wrapped in live-byte tracking,
+  /// and a versioned `<symbol>_rt_profile` export is emitted next to
+  /// `<symbol>_rt_stats` so the host JIT can pull the table back. Off by
+  /// default; the profile-off emission is byte-identical to a build
+  /// without this option.
+  bool Profile = false;
+};
+
 /// Emits a complete C++ source file implementing \p F.
+std::string generateCpp(const Func &F, const CodegenOptions &Opts);
 std::string generateCpp(const Func &F);
 
 /// The exported symbol name of the kernel generated for \p F.

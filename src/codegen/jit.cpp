@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "codegen/codegen.h"
+#include "codegen/profile.h"
+#include "codegen/rt/ft_runtime.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -25,6 +27,30 @@ std::string readFile(const std::string &Path) {
                      std::istreambuf_iterator<char>());
 }
 
+/// Reads and validates the versioned `<symbol>_rt_stats` export.
+KernelRtStats readRtStats(void (*Fn)(uint64_t *)) {
+  KernelRtStats Out;
+  if (!Fn)
+    return Out;
+  uint64_t S[1 + rt::KernelStats::kNumFields] = {0};
+  Fn(S);
+  // Header word: (abi version << 32) | field count. A kernel built against
+  // a different runtime is reported invalid instead of misread.
+  if ((S[0] >> 32) != rt::KernelStats::kAbiVersion ||
+      (S[0] & 0xffffffffu) != rt::KernelStats::kNumFields)
+    return Out;
+  Out.Valid = true;
+  Out.Invocations = S[1 + rt::KernelStats::FInvocations];
+  Out.ParallelFors = S[1 + rt::KernelStats::FParallelFors];
+  Out.ParallelIters = S[1 + rt::KernelStats::FParallelIters];
+  Out.GemmCalls = S[1 + rt::KernelStats::FGemmCalls];
+  Out.CurrentBytes = S[1 + rt::KernelStats::FCurrentBytes];
+  Out.PeakBytes = S[1 + rt::KernelStats::FPeakBytes];
+  Out.TotalAllocBytes = S[1 + rt::KernelStats::FTotalAllocBytes];
+  Out.AllocCount = S[1 + rt::KernelStats::FAllocCount];
+  return Out;
+}
+
 } // namespace
 
 struct Kernel::Impl {
@@ -36,25 +62,83 @@ struct Kernel::Impl {
   void (*Entry)(void **) = nullptr;
   /// Optional telemetry export emitted by codegen; reads the kernel .so's
   /// private rt::KernelStats (invocations, parallelFor regions/iterations,
-  /// gemm calls).
+  /// gemm calls, memory accounting) behind a version/field-count header.
   void (*RtStats)(uint64_t *) = nullptr;
+  /// Profile-mode export: fills the per-statement counter table; called
+  /// with (nullptr, 0) it returns the buffer size in words.
+  uint64_t (*RtProfile)(uint64_t *, uint64_t) = nullptr;
+  bool Profiled = false;
+  profile::SourceMap Map;
   double CompileSec = 0;
   std::string SpanName; ///< "rt/kernel/<symbol>", precomputed.
 
+  profile::KernelProfile pullProfile() const {
+    profile::KernelProfile P;
+    P.Symbol = Symbol;
+    P.Map = Map;
+    if (RtProfile) {
+      uint64_t Need = RtProfile(nullptr, 0);
+      std::vector<uint64_t> Buf(Need, 0);
+      if (RtProfile(Buf.data(), Need) == Need && Need >= 2 &&
+          (Buf[0] >> 32) == rt::kProfileAbiVersion &&
+          (Buf[0] & 0xffffffffu) == rt::kProfileFieldsPerSlot) {
+        uint64_t N = Buf[1];
+        for (uint64_t S = 0; S < N; ++S) {
+          const uint64_t *R = Buf.data() + 2 + S * rt::kProfileFieldsPerSlot;
+          profile::LoopSample L;
+          L.StmtId = static_cast<int64_t>(R[0]);
+          L.Calls = R[1];
+          L.Iters = R[2];
+          L.Ns = R[3];
+          L.TimedCalls = R[4];
+          L.TimedIters = R[5];
+          P.Samples.push_back(L);
+        }
+      }
+    }
+    KernelRtStats St = readRtStats(RtStats);
+    if (St.Valid) {
+      P.Invocations = St.Invocations;
+      P.CurrentBytes = St.CurrentBytes;
+      P.PeakBytes = St.PeakBytes;
+      P.TotalAllocBytes = St.TotalAllocBytes;
+      P.AllocCount = St.AllocCount;
+    }
+    return P;
+  }
+
   ~Impl() {
+    // The accumulated profile outlives the kernel library: recorded into
+    // the host-side registry (FT_PROFILE sink, snapshotJson) before the
+    // .so — and its private counters — are unloaded.
+    if (Profiled && Handle && RtProfile) {
+      profile::KernelProfile P = pullProfile();
+      if (P.Invocations > 0 || !P.Samples.empty())
+        profile::record(std::move(P));
+    }
     if (Handle)
       dlclose(Handle);
   }
 };
 
 Result<Kernel> Kernel::compile(const Func &F, const std::string &OptFlags) {
+  CodegenOptions Opts;
+  Opts.Profile = profile::envEnabled();
+  return compile(F, Opts, OptFlags);
+}
+
+Result<Kernel> Kernel::compile(const Func &F, const CodegenOptions &Opts,
+                               const std::string &OptFlags) {
   trace::Span Sp("codegen/jit");
   if (Sp.active())
     Sp.annotate("func", F.Name);
   metrics::counter("codegen/jit_compiles").fetch_add(1);
   auto I = std::make_shared<Impl>();
-  I->Source = generateCpp(F);
+  I->Source = generateCpp(F, Opts);
   I->Symbol = kernelSymbol(F);
+  I->Profiled = Opts.Profile;
+  if (Opts.Profile)
+    I->Map = profile::buildSourceMap(F, trace::auditLog());
   I->Params = F.Params;
   for (const std::string &P : F.Params) {
     auto D = findVarDef(F.Body, P);
@@ -76,9 +160,17 @@ Result<Kernel> Kernel::compile(const Func &F, const std::string &OptFlags) {
     Out << I->Source;
   }
 
+  // -fno-gnu-unique is load-bearing: without it, the function-local
+  // statics of the header-only runtime (KernelStats, ProfileTable,
+  // ThreadPool singletons) are emitted as STB_GNU_UNIQUE symbols, which
+  // the dynamic linker resolves process-wide even under RTLD_LOCAL and
+  // which pin the .so against dlclose. Every kernel would then share the
+  // first-loaded kernel's runtime state — cross-kernel stats pollution,
+  // and a heap overflow when a later kernel indexes the first kernel's
+  // (smaller) profiler slot arrays.
   std::string Cmd = "g++ -std=c++20 " + OptFlags +
-                    " -march=native -fPIC -shared -I " FT_RUNTIME_INCLUDE_DIR
-                    " \"" +
+                    " -march=native -fPIC -fno-gnu-unique -shared -I "
+                    FT_RUNTIME_INCLUDE_DIR " \"" +
                     Src + "\" -o \"" + Lib + "\" -pthread > \"" + Log +
                     "\" 2>&1";
   auto T0 = std::chrono::steady_clock::now();
@@ -99,6 +191,13 @@ Result<Kernel> Kernel::compile(const Func &F, const std::string &OptFlags) {
   // hand-written ones) simply lack the symbol.
   I->RtStats = reinterpret_cast<void (*)(uint64_t *)>(
       dlsym(I->Handle, (I->Symbol + "_rt_stats").c_str()));
+  if (Opts.Profile) {
+    I->RtProfile = reinterpret_cast<uint64_t (*)(uint64_t *, uint64_t)>(
+        dlsym(I->Handle, (I->Symbol + "_rt_profile").c_str()));
+    if (!I->RtProfile)
+      return Result<Kernel>::error("profile export not found: " + I->Symbol +
+                                   "_rt_profile");
+  }
   I->SpanName = "rt/kernel/" + I->Symbol;
 
   if (Sp.active()) {
@@ -125,14 +224,19 @@ Status Kernel::run(const std::map<std::string, Buffer *> &Args) const {
   trace::Span Sp(I->SpanName);
   I->Entry(Ptrs.data());
   metrics::counter("rt/kernel_invocations").fetch_add(1);
-  if (Sp.active() && I->RtStats) {
+  if (Sp.active()) {
     // Cumulative counts from the kernel .so's private KernelStats copy.
-    uint64_t S[4] = {0, 0, 0, 0};
-    I->RtStats(S);
-    Sp.annotate("invocations", S[0]);
-    Sp.annotate("parallel_fors", S[1]);
-    Sp.annotate("parallel_iters", S[2]);
-    Sp.annotate("gemm_calls", S[3]);
+    KernelRtStats S = readRtStats(I->RtStats);
+    if (S.Valid) {
+      Sp.annotate("invocations", S.Invocations);
+      Sp.annotate("parallel_fors", S.ParallelFors);
+      Sp.annotate("parallel_iters", S.ParallelIters);
+      Sp.annotate("gemm_calls", S.GemmCalls);
+      if (I->Profiled) {
+        Sp.annotate("peak_bytes", S.PeakBytes);
+        Sp.annotate("total_alloc_bytes", S.TotalAllocBytes);
+      }
+    }
   }
   return Status::success();
 }
@@ -142,4 +246,20 @@ double Kernel::compileSeconds() const { return I ? I->CompileSec : 0; }
 const std::string &Kernel::source() const {
   ftAssert(I != nullptr, "source() on an empty Kernel");
   return I->Source;
+}
+
+KernelRtStats Kernel::rtStats() const {
+  return I ? readRtStats(I->RtStats) : KernelRtStats{};
+}
+
+bool Kernel::profiled() const { return I && I->Profiled; }
+
+const profile::SourceMap &Kernel::sourceMap() const {
+  ftAssert(I != nullptr, "sourceMap() on an empty Kernel");
+  return I->Map;
+}
+
+profile::KernelProfile Kernel::profileNow() const {
+  ftAssert(I != nullptr, "profileNow() on an empty Kernel");
+  return I->pullProfile();
 }

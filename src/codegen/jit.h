@@ -14,19 +14,45 @@
 #include <map>
 #include <memory>
 
+#include "codegen/codegen.h"
+#include "codegen/profile.h"
 #include "interp/buffer.h"
 #include "ir/func.h"
 #include "support/error.h"
 
 namespace ft {
 
+/// The kernel-side KernelStats counters as read back through the versioned
+/// `<symbol>_rt_stats` export (see rt::KernelStats::Field). Valid is false
+/// when the kernel lacks the export or was built against a different ABI
+/// version.
+struct KernelRtStats {
+  bool Valid = false;
+  uint64_t Invocations = 0;
+  uint64_t ParallelFors = 0;
+  uint64_t ParallelIters = 0;
+  uint64_t GemmCalls = 0;
+  uint64_t CurrentBytes = 0;
+  uint64_t PeakBytes = 0;
+  uint64_t TotalAllocBytes = 0;
+  uint64_t AllocCount = 0;
+};
+
 /// A compiled, loaded kernel. Copyable handle; the library stays loaded as
 /// long as any handle lives.
 class Kernel {
 public:
   /// Compiles \p F with the host C++ compiler. \p OptFlags defaults to an
-  /// optimized build.
+  /// optimized build. This overload consults FT_PROFILE: when the env sink
+  /// is armed, the kernel is compiled in profile mode automatically.
   static Result<Kernel> compile(const Func &F,
+                                const std::string &OptFlags = "-O3");
+
+  /// Compiles with explicit codegen options. With Opts.Profile the kernel
+  /// is instrumented, a source map is built from \p F plus the current
+  /// schedule audit log, and the accumulated profile is recorded to the
+  /// profile registry when the last handle is dropped.
+  static Result<Kernel> compile(const Func &F, const CodegenOptions &Opts,
                                 const std::string &OptFlags = "-O3");
 
   /// Runs the kernel binding each parameter by name.
@@ -37,6 +63,21 @@ public:
 
   /// The generated C++ source (for inspection/tests).
   const std::string &source() const;
+
+  /// Cumulative kernel-side counters (invocations, parallel regions,
+  /// gemm calls, memory accounting). Valid==false when unavailable.
+  KernelRtStats rtStats() const;
+
+  /// True when this kernel was compiled in profile mode.
+  bool profiled() const;
+
+  /// The statement-level source map (empty unless profiled).
+  const profile::SourceMap &sourceMap() const;
+
+  /// Pulls the current per-statement counters from the kernel and joins
+  /// them with the source map. Counters are cumulative over all runs.
+  /// Returns an empty profile (no samples) unless profiled().
+  profile::KernelProfile profileNow() const;
 
 private:
   struct Impl;

@@ -11,11 +11,15 @@
 #ifndef FT_CODEGEN_RT_FT_RUNTIME_H
 #define FT_CODEGEN_RT_FT_RUNTIME_H
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -30,24 +34,249 @@ namespace rt {
 /// "generated programs report their own execution counts" half of the
 /// observability layer).
 struct KernelStats {
-  std::atomic<uint64_t> Invocations{0};   ///< Kernel entry calls.
-  std::atomic<uint64_t> ParallelFors{0};  ///< parallelFor regions run.
-  std::atomic<uint64_t> ParallelIters{0}; ///< Iterations across regions.
-  std::atomic<uint64_t> GemmCalls{0};     ///< Library gemm invocations.
+  /// Field order of the versioned `<symbol>_rt_stats` export. Append-only:
+  /// new fields go before kNumFields and bump kAbiVersion.
+  enum Field : uint32_t {
+    FInvocations = 0,   ///< Kernel entry calls.
+    FParallelFors,      ///< parallelFor regions run.
+    FParallelIters,     ///< Iterations across regions.
+    FGemmCalls,         ///< Library gemm invocations.
+    FCurrentBytes,      ///< Live kernel-allocated tensor bytes right now.
+    FPeakBytes,         ///< High-water mark of FCurrentBytes.
+    FTotalAllocBytes,   ///< Cumulative bytes ever allocated.
+    FAllocCount,        ///< Number of tracked allocations.
+    kNumFields,
+  };
+
+  /// Bumped whenever the field list above changes. The export writes a
+  /// header word `(kAbiVersion << 32) | kNumFields` ahead of the fields so
+  /// a host built against a different runtime can detect the skew instead
+  /// of silently misreading counters.
+  static constexpr uint32_t kAbiVersion = 2;
+
+  std::atomic<uint64_t> Invocations{0};
+  std::atomic<uint64_t> ParallelFors{0};
+  std::atomic<uint64_t> ParallelIters{0};
+  std::atomic<uint64_t> GemmCalls{0};
+  std::atomic<uint64_t> CurrentBytes{0};
+  std::atomic<uint64_t> PeakBytes{0};
+  std::atomic<uint64_t> TotalAllocBytes{0};
+  std::atomic<uint64_t> AllocCount{0};
 
   static KernelStats &instance() {
     static KernelStats S;
     return S;
   }
 
-  /// Field order of the `<symbol>_rt_stats(uint64_t[4])` export.
+  /// Writes the header word followed by the kNumFields counters into
+  /// \p Out, which must hold at least 1 + kNumFields words.
   void read(uint64_t *Out) const {
-    Out[0] = Invocations.load(std::memory_order_relaxed);
-    Out[1] = ParallelFors.load(std::memory_order_relaxed);
-    Out[2] = ParallelIters.load(std::memory_order_relaxed);
-    Out[3] = GemmCalls.load(std::memory_order_relaxed);
+    Out[0] = (uint64_t(kAbiVersion) << 32) | uint64_t(kNumFields);
+    Out[1 + FInvocations] = Invocations.load(std::memory_order_relaxed);
+    Out[1 + FParallelFors] = ParallelFors.load(std::memory_order_relaxed);
+    Out[1 + FParallelIters] = ParallelIters.load(std::memory_order_relaxed);
+    Out[1 + FGemmCalls] = GemmCalls.load(std::memory_order_relaxed);
+    Out[1 + FCurrentBytes] = CurrentBytes.load(std::memory_order_relaxed);
+    Out[1 + FPeakBytes] = PeakBytes.load(std::memory_order_relaxed);
+    Out[1 + FTotalAllocBytes] =
+        TotalAllocBytes.load(std::memory_order_relaxed);
+    Out[1 + FAllocCount] = AllocCount.load(std::memory_order_relaxed);
   }
 };
+
+//===----------------------------------------------------------------------===//
+// Memory accounting (profile-mode codegen wraps every kernel-allocated
+// tensor in a ScopedAlloc; parameters are caller-owned and not counted).
+//===----------------------------------------------------------------------===//
+
+inline void trackAlloc(uint64_t Bytes) {
+  KernelStats &KS = KernelStats::instance();
+  KS.AllocCount.fetch_add(1, std::memory_order_relaxed);
+  KS.TotalAllocBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  uint64_t Cur =
+      KS.CurrentBytes.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+  uint64_t Peak = KS.PeakBytes.load(std::memory_order_relaxed);
+  while (Cur > Peak && !KS.PeakBytes.compare_exchange_weak(
+                           Peak, Cur, std::memory_order_relaxed)) {
+  }
+}
+
+inline void trackFree(uint64_t Bytes) {
+  KernelStats::instance().CurrentBytes.fetch_sub(Bytes,
+                                                 std::memory_order_relaxed);
+}
+
+/// RAII live-byte tracker emitted next to a tensor's storage declaration;
+/// its scope is the tensor's VarDef scope, so CurrentBytes follows the
+/// stack-scoped lifetimes of the IR.
+struct ScopedAlloc {
+  uint64_t Bytes;
+  explicit ScopedAlloc(uint64_t B) : Bytes(B) { trackAlloc(B); }
+  ~ScopedAlloc() { trackFree(Bytes); }
+  ScopedAlloc(const ScopedAlloc &) = delete;
+  ScopedAlloc &operator=(const ScopedAlloc &) = delete;
+};
+
+//===----------------------------------------------------------------------===//
+// Per-statement profiler (codegen profile mode)
+//===----------------------------------------------------------------------===//
+
+/// Counters for one instrumented statement (a For, a GemmCall, or the
+/// kernel body itself). Hot inner ("leaf") loops are timed on a 1-in-64
+/// call sample to keep overhead low; TimedCalls/TimedIters record exactly
+/// which share of the work the Ns field covers, so the host extrapolates
+/// EstNs = Ns * Iters / TimedIters. Calls and Iters are always exact.
+struct ProfileEntry {
+  uint64_t Calls = 0;      ///< Times the statement was entered.
+  uint64_t Iters = 0;      ///< Loop iterations executed (1/call for gemm).
+  uint64_t Ns = 0;         ///< Wall-clock ns over the timed entries only.
+  uint64_t TimedCalls = 0; ///< Entries covered by Ns.
+  uint64_t TimedIters = 0; ///< Iterations covered by Ns.
+};
+
+/// Words per slot record in the `<symbol>_rt_profile` export:
+/// [StmtId, Calls, Iters, Ns, TimedCalls, TimedIters].
+constexpr uint32_t kProfileFieldsPerSlot = 6;
+/// Version of the profile export layout (header word ahead of the slots).
+constexpr uint32_t kProfileAbiVersion = 1;
+
+/// Timestamp for the instrumentation brackets. On x86 this is rdtsc — a
+/// plain two-register instruction, not a function call, so the sampled
+/// bracket does not clobber vector registers and the compiler stays free
+/// to cache accumulators across iterations of the surrounding loops (a
+/// clock_gettime call on the sampled path costs >20% on fine-grained
+/// kernels even when almost never executed, purely from the call-clobber
+/// pessimization). Ticks are converted to nanoseconds only on the read
+/// path via profNsPerTick().
+inline uint64_t profClock() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Nanoseconds per profClock() tick, calibrated once per module against
+/// the steady clock over a ~2 ms window. Cold path only (profile export);
+/// never touched by generated loop code.
+inline double profNsPerTick() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const double NsPerTick = [] {
+    auto T0 = std::chrono::steady_clock::now();
+    uint64_t C0 = __builtin_ia32_rdtsc();
+    for (;;) {
+      auto T1 = std::chrono::steady_clock::now();
+      if (T1 - T0 >= std::chrono::milliseconds(2)) {
+        uint64_t C1 = __builtin_ia32_rdtsc();
+        double Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        T1 - T0)
+                        .count();
+        return C1 > C0 ? Ns / double(C1 - C0) : 1.0;
+      }
+    }
+  }();
+  return NsPerTick;
+#else
+  return 1.0;
+#endif
+}
+
+/// The per-kernel profile accumulator. Each executing identity — 0 for
+/// the thread calling the kernel entry (which also runs chunk 0 of every
+/// parallelFor), 1.. for pool worker chunks, plumbed into parallelFor
+/// bodies as an explicit argument — owns a private slot array, so the
+/// per-iteration hot path is a plain non-atomic add; read() merges all
+/// arrays. Worker threads are joined before any read (parallelFor blocks
+/// until the region drains), so the merge observes quiescent buffers.
+///
+/// Deliberately NO thread_local anywhere in this class: a kernel .so
+/// lives and dies by dlopen/dlclose, and glibc recycles both the module
+/// load address and its static-TLS block without zeroing — a reloaded
+/// kernel can observe the previous module's TLS bytes, turning a "cached"
+/// slot pointer into a dangling write into freed host heap. Identity by
+/// value cannot go stale.
+class ProfileTable {
+public:
+  /// Worker identities: ThreadPool clamps to 256 threads, plus the
+  /// calling thread.
+  static constexpr uint32_t kMaxWorkers = 257;
+
+  static ProfileTable &instance() {
+    static ProfileTable T;
+    return T;
+  }
+
+  ~ProfileTable() {
+    for (auto &S : Slots)
+      delete[] S.load(std::memory_order_relaxed);
+  }
+
+  /// The slot array for identity \p W, sized for \p NumSlots statements
+  /// (one kernel per .so, so NumSlots is the same for every call). After
+  /// the first touch per identity this is one acquire load and a compare.
+  ProfileEntry *workerSlots(uint32_t W, uint32_t NumSlots) {
+    if (W >= kMaxWorkers)
+      W = kMaxWorkers - 1;
+    ProfileEntry *P = Slots[W].load(std::memory_order_acquire);
+    if (P)
+      return P;
+    std::lock_guard<std::mutex> Lock(M);
+    P = Slots[W].load(std::memory_order_relaxed);
+    if (!P) {
+      P = new ProfileEntry[NumSlots]();
+      Slots[W].store(P, std::memory_order_release);
+    }
+    return P;
+  }
+
+  /// Merges every identity's counters. \p Out receives NumSlots records
+  /// of kProfileFieldsPerSlot words each, slot s labeled with StmtIds[s].
+  void read(const int64_t *StmtIds, uint32_t NumSlots, uint64_t *Out) {
+    std::lock_guard<std::mutex> Lock(M);
+    for (uint32_t S = 0; S < NumSlots; ++S) {
+      ProfileEntry Sum;
+      for (const auto &SlotPtr : Slots) {
+        const ProfileEntry *B = SlotPtr.load(std::memory_order_acquire);
+        if (!B)
+          continue;
+        const ProfileEntry &E = B[S];
+        Sum.Calls += E.Calls;
+        Sum.Iters += E.Iters;
+        Sum.Ns += E.Ns;
+        Sum.TimedCalls += E.TimedCalls;
+        Sum.TimedIters += E.TimedIters;
+      }
+      uint64_t *R = Out + uint64_t(S) * kProfileFieldsPerSlot;
+      R[0] = static_cast<uint64_t>(StmtIds[S]);
+      R[1] = Sum.Calls;
+      R[2] = Sum.Iters;
+      // Ns accumulates raw profClock() ticks; exported as nanoseconds.
+      R[3] = static_cast<uint64_t>(double(Sum.Ns) * profNsPerTick());
+      R[4] = Sum.TimedCalls;
+      R[5] = Sum.TimedIters;
+    }
+  }
+
+private:
+  std::mutex M;
+  std::array<std::atomic<ProfileEntry *>, kMaxWorkers> Slots{};
+};
+
+/// Kernel-entry slot array (identity 0).
+inline ProfileEntry *profSlots(uint32_t NumSlots) {
+  return ProfileTable::instance().workerSlots(0, NumSlots);
+}
+
+/// Slot array for one parallelFor chunk; \p W is the chunk index the pool
+/// passes into worker-aware bodies (0 = the calling thread, same array as
+/// the kernel entry's).
+inline ProfileEntry *profWorkerSlots(int W, uint32_t NumSlots) {
+  return ProfileTable::instance().workerSlots(static_cast<uint32_t>(W),
+                                              NumSlots);
+}
 
 /// A minimal persistent thread pool. Work items are half-open index ranges;
 /// the calling thread participates, so a pool on a single-core machine
@@ -104,9 +333,70 @@ public:
     DoneCv.wait(DL, [&] { return Remaining.load() == 0; });
   }
 
+  /// Worker-aware variant used by profiled kernels: Fn additionally
+  /// receives the chunk index W in [0, numThreads()), 0 being the calling
+  /// thread. Distinct chunks of one region never share a W, which is what
+  /// lets the profiler keep non-atomic per-chunk counter arrays without
+  /// any thread-local state (see ProfileTable). A nested region entered
+  /// from a worker reuses W = 0 for its caller and may therefore lose
+  /// counter increments to a benign race with the true chunk-0 thread;
+  /// counts stay exact for the non-nested regions schedules produce today.
+  void parallelFor(int64_t Begin, int64_t End,
+                   const std::function<void(int64_t, int)> &Fn) {
+    int64_t N = End - Begin;
+    if (N <= 0)
+      return;
+    KernelStats &KS = KernelStats::instance();
+    KS.ParallelFors.fetch_add(1, std::memory_order_relaxed);
+    KS.ParallelIters.fetch_add(static_cast<uint64_t>(N),
+                               std::memory_order_relaxed);
+    int Workers = NumThreads;
+    if (N < Workers || Workers <= 1) {
+      for (int64_t I = Begin; I < End; ++I)
+        Fn(I, 0);
+      return;
+    }
+    std::atomic<int> Remaining{Workers - 1};
+    std::mutex DoneMutex;
+    std::condition_variable DoneCv;
+    auto RunChunk = [&](int W) {
+      int64_t Chunk = (N + Workers - 1) / Workers;
+      int64_t B = Begin + W * Chunk;
+      int64_t E = std::min(End, B + Chunk);
+      for (int64_t I = B; I < E; ++I)
+        Fn(I, W);
+    };
+    {
+      std::lock_guard<std::mutex> Lock(TaskMutex);
+      for (int W = 1; W < Workers; ++W)
+        Tasks.push_back([&, W] {
+          RunChunk(W);
+          if (Remaining.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> DL(DoneMutex);
+            DoneCv.notify_one();
+          }
+        });
+    }
+    TaskCv.notify_all();
+    RunChunk(0);
+    std::unique_lock<std::mutex> DL(DoneMutex);
+    DoneCv.wait(DL, [&] { return Remaining.load() == 0; });
+  }
+
 private:
   ThreadPool() {
     NumThreads = static_cast<int>(std::thread::hardware_concurrency());
+    // FT_NUM_THREADS overrides hardware_concurrency (clamped to [1, 256]);
+    // the only way to exercise multi-thread parallelFor paths
+    // deterministically on a small machine, and to pin them to 1 on a big
+    // one.
+    if (const char *Env = std::getenv("FT_NUM_THREADS");
+        Env != nullptr && Env[0] != '\0') {
+      char *End = nullptr;
+      long V = std::strtol(Env, &End, 10);
+      if (End != Env && *End == '\0')
+        NumThreads = static_cast<int>(V < 1 ? 1 : (V > 256 ? 256 : V));
+    }
     if (NumThreads < 1)
       NumThreads = 1;
     for (int W = 1; W < NumThreads; ++W)
@@ -148,6 +438,12 @@ private:
 
 inline void parallelFor(int64_t Begin, int64_t End,
                         const std::function<void(int64_t)> &Fn) {
+  ThreadPool::instance().parallelFor(Begin, End, Fn);
+}
+
+/// Worker-aware variant (profiled kernels); see ThreadPool::parallelFor.
+inline void parallelFor(int64_t Begin, int64_t End,
+                        const std::function<void(int64_t, int)> &Fn) {
   ThreadPool::instance().parallelFor(Begin, End, Fn);
 }
 

@@ -98,7 +98,7 @@ class Interp {
 public:
   Interp(const Func &F, const std::map<std::string, Buffer *> &Args,
          const InterpOptions &Opts)
-      : F(F) {
+      : F(F), CountStmts(Opts.CountStmts) {
     for (const auto &[Name, Buf] : Args)
       Buffers[Name] = Buf;
     if (Opts.SimulateCache)
@@ -381,6 +381,11 @@ private:
       auto F = cast<ForNode>(S);
       int64_t Begin = evalExpr(F->Begin).asI();
       int64_t End = evalExpr(F->End).asI();
+      if (CountStmts) {
+        auto &C = Stats.PerStmt[F->Id];
+        C.Calls += 1;
+        C.Iters += End > Begin ? static_cast<uint64_t>(End - Begin) : 0;
+      }
       for (int64_t I = Begin; I < End; ++I) {
         Iters[F->Iter] = I;
         execStmt(F->Body);
@@ -398,6 +403,11 @@ private:
     }
     case NodeKind::GemmCall: {
       auto G = cast<GemmCallNode>(S);
+      if (CountStmts) {
+        auto &Cnt = Stats.PerStmt[G->Id];
+        Cnt.Calls += 1;
+        Cnt.Iters += 1;
+      }
       Buffer &A = buf(G->A), &B = buf(G->B), &C = buf(G->C);
       int64_t M = evalExpr(G->M).asI();
       int64_t N = evalExpr(G->N).asI();
@@ -429,6 +439,7 @@ private:
   }
 
   const Func &F;
+  bool CountStmts = false;
   std::map<std::string, Buffer *> Buffers;
   std::unique_ptr<CacheSim> Sim;
   std::set<std::string> LocalTensors;

@@ -35,6 +35,17 @@ struct InterpStats {
   /// misses x line size); 0 when the simulation is off.
   int64_t SimDramBytes = 0;
 
+  /// Per-statement execution counts, keyed by StmtNode::Id and filled when
+  /// InterpOptions::CountStmts is set. Mirrors the kernel profiler's exact
+  /// counters (ProfileEntry::Calls/Iters) for every For and GemmCall, so
+  /// an instrumented kernel's counts can be diffed against interpreter
+  /// ground truth statement by statement.
+  struct StmtCount {
+    uint64_t Calls = 0; ///< Times the statement was entered.
+    uint64_t Iters = 0; ///< Loop iterations executed (1/call for gemm).
+  };
+  std::map<int64_t, StmtCount> PerStmt;
+
   int64_t bytesMoved() const { return BytesLoaded + BytesStored; }
 };
 
@@ -45,6 +56,8 @@ struct InterpOptions {
   bool SimulateCache = false;
   size_t CacheBytes = 1 << 20; ///< Modeled capacity (default 1 MiB).
   size_t LineBytes = 64;
+  /// Record per-statement Calls/Iters into InterpStats::PerStmt.
+  bool CountStmts = false;
 };
 
 /// Runs \p F binding each parameter name to the caller-owned buffer in

@@ -1437,53 +1437,75 @@ std::string fmtVar(const std::string &Var) {
 Result<SplitIds> Schedule::split(int64_t LoopId, int64_t Factor) {
   trace::ScheduleAudit A("split", fmtLoop(LoopId) + " factor " +
                                       std::to_string(Factor));
-  return A.finish(splitImpl(LoopId, Factor));
+  auto R = splitImpl(LoopId, Factor);
+  A.noteStmtIds({LoopId});
+  if (R)
+    A.noteStmtIds({R->First, R->Second});
+  return A.finish(std::move(R));
 }
 
 Result<int64_t> Schedule::merge(int64_t OuterId, int64_t InnerId) {
   trace::ScheduleAudit A("merge", fmtLoops(OuterId, InnerId));
-  return A.finish(mergeImpl(OuterId, InnerId));
+  auto R = mergeImpl(OuterId, InnerId);
+  A.noteStmtIds({OuterId, InnerId});
+  if (R)
+    A.noteStmtIds({*R});
+  return A.finish(std::move(R));
 }
 
 Status Schedule::reorder(const std::vector<int64_t> &Order) {
   trace::ScheduleAudit A("reorder", fmtIdList(Order));
+  A.noteStmtIds(Order);
   return A.finish(reorderImpl(Order));
 }
 
 Result<SplitIds> Schedule::fission(int64_t LoopId, int64_t AfterStmtId) {
   trace::ScheduleAudit A("fission", fmtLoop(LoopId) + " after " +
                                         std::to_string(AfterStmtId));
-  return A.finish(fissionImpl(LoopId, AfterStmtId));
+  auto R = fissionImpl(LoopId, AfterStmtId);
+  A.noteStmtIds({LoopId, AfterStmtId});
+  if (R)
+    A.noteStmtIds({R->First, R->Second});
+  return A.finish(std::move(R));
 }
 
 Result<int64_t> Schedule::fuse(int64_t Loop1Id, int64_t Loop2Id) {
   trace::ScheduleAudit A("fuse", fmtLoops(Loop1Id, Loop2Id));
-  return A.finish(fuseImpl(Loop1Id, Loop2Id));
+  auto R = fuseImpl(Loop1Id, Loop2Id);
+  A.noteStmtIds({Loop1Id, Loop2Id});
+  if (R)
+    A.noteStmtIds({*R});
+  return A.finish(std::move(R));
 }
 
 Status Schedule::swap(int64_t Stmt1Id, int64_t Stmt2Id) {
   trace::ScheduleAudit A("swap", fmtLoops(Stmt1Id, Stmt2Id));
+  A.noteStmtIds({Stmt1Id, Stmt2Id});
   return A.finish(swapImpl(Stmt1Id, Stmt2Id));
 }
 
 Status Schedule::parallelize(int64_t LoopId) {
   trace::ScheduleAudit A("parallelize", fmtLoop(LoopId));
+  A.noteStmtIds({LoopId});
   return A.finish(parallelizeImpl(LoopId));
 }
 
 Status Schedule::unroll(int64_t LoopId, bool Full) {
   trace::ScheduleAudit A("unroll", fmtLoop(LoopId) +
                                        (Full ? " (full)" : " (backend)"));
+  A.noteStmtIds({LoopId});
   return A.finish(unrollImpl(LoopId, Full));
 }
 
 Status Schedule::blend(int64_t LoopId) {
   trace::ScheduleAudit A("blend", fmtLoop(LoopId));
+  A.noteStmtIds({LoopId});
   return A.finish(blendImpl(LoopId));
 }
 
 Status Schedule::vectorize(int64_t LoopId) {
   trace::ScheduleAudit A("vectorize", fmtLoop(LoopId));
+  A.noteStmtIds({LoopId});
   return A.finish(vectorizeImpl(LoopId));
 }
 
@@ -1491,6 +1513,7 @@ Result<std::string> Schedule::cache(int64_t StmtId, const std::string &Var,
                                     MemType MTy) {
   trace::ScheduleAudit A("cache", fmtVar(Var) + " at stmt " +
                                       std::to_string(StmtId));
+  A.noteStmtIds({StmtId});
   return A.finish(cacheImpl(StmtId, Var, MTy));
 }
 
@@ -1499,6 +1522,7 @@ Result<std::string> Schedule::cacheReduction(int64_t StmtId,
                                              MemType MTy) {
   trace::ScheduleAudit A("cache_reduction", fmtVar(Var) + " at stmt " +
                                                 std::to_string(StmtId));
+  A.noteStmtIds({StmtId});
   return A.finish(cacheReductionImpl(StmtId, Var, MTy));
 }
 
@@ -1528,10 +1552,15 @@ Status Schedule::varMerge(const std::string &Var, int Dim) {
 
 Status Schedule::asLib(int64_t LoopId) {
   trace::ScheduleAudit A("as_lib", fmtLoop(LoopId));
+  A.noteStmtIds({LoopId});
   return A.finish(asLibImpl(LoopId));
 }
 
 Result<SplitIds> Schedule::separateTail(int64_t LoopId) {
   trace::ScheduleAudit A("separate_tail", fmtLoop(LoopId));
-  return A.finish(separateTailImpl(LoopId));
+  auto R = separateTailImpl(LoopId);
+  A.noteStmtIds({LoopId});
+  if (R)
+    A.noteStmtIds({R->First, R->Second});
+  return A.finish(std::move(R));
 }

@@ -146,6 +146,14 @@ std::string layerOf(const std::string &Name) {
                                     : Name.substr(0, Slash);
 }
 
+/// "[3, 7]" — statement-id lists in annotations and the JSON sink.
+std::string fmtIdList(const std::vector<int64_t> &Ids) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Ids.size(); ++I)
+    Out += (I ? ", " : "") + std::to_string(Ids[I]);
+  return Out + "]";
+}
+
 void writeArgsObject(std::FILE *F,
                      const std::vector<std::pair<std::string, std::string>>
                          &Args) {
@@ -274,6 +282,7 @@ void ScheduleAudit::finishImpl(const Status &S) {
   D.DepQueries = C.DepQueries.load() - DepQ0;
   D.EmptinessQueries = C.EmptinessQueries.load() - EmptyQ0;
   D.DurUs = nowUs() - StartUs;
+  D.StmtIds = std::move(StmtIds);
   if (Sp.active()) {
     Sp.annotate("target", Target);
     Sp.annotate("applied", std::string(D.Applied ? "true" : "false"));
@@ -281,6 +290,8 @@ void ScheduleAudit::finishImpl(const Status &S) {
       Sp.annotate("reason", D.Reason);
     Sp.annotate("dep_queries", D.DepQueries);
     Sp.annotate("emptiness_queries", D.EmptinessQueries);
+    if (!D.StmtIds.empty())
+      Sp.annotate("stmt_ids", fmtIdList(D.StmtIds));
   }
   recordDecision(std::move(D));
 }
@@ -299,6 +310,22 @@ Snapshot snapshot() {
   }
   Out.Counters = metrics::snapshot();
   return Out;
+}
+
+double nowMicros() { return nowUs(); }
+
+void emitSpan(SpanEvent E) {
+  if (!enabled())
+    return;
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.Spans.size() >= MaxSpans) {
+    metrics::counter("trace/dropped_spans").fetch_add(1);
+    return;
+  }
+  E.Tid = tidOfCurrentThread(S);
+  E.Seq = S.NextSeq++;
+  S.Spans.push_back(std::move(E));
 }
 
 void clear() {
@@ -343,6 +370,8 @@ Status writeChromeTrace(const std::string &Path) {
         {"dep_queries", std::to_string(D.DepQueries)},
         {"emptiness_queries", std::to_string(D.EmptinessQueries)},
     };
+    if (!D.StmtIds.empty())
+      Args.emplace_back("stmt_ids", fmtIdList(D.StmtIds));
     writeArgsObject(F, Args);
     std::fprintf(F, "}");
     First = false;

@@ -153,6 +153,11 @@ struct ScheduleDecision {
   double DurUs = 0;              ///< Wall-clock microseconds.
   double TsUs = 0; ///< Microseconds since the trace epoch (stamped by
                    ///< recordDecision).
+  /// Statements this primitive targeted or created (targets first, then
+  /// new ids). Statement ids are globally unique, so the kernel profiler's
+  /// source map joins report rows to the decisions that shaped them
+  /// through this field.
+  std::vector<int64_t> StmtIds;
 };
 
 /// Appends \p D to the audit log (no-op unless auditEnabled()).
@@ -202,6 +207,25 @@ public:
     return R;
   }
 
+  /// Appends statement ids to the decision's provenance set (targets
+  /// first, then ids of statements the primitive created). Negative ids
+  /// (the "no second loop" convention of SplitIds) are skipped. No-op
+  /// unless the audit is armed; call before finish().
+  void noteStmtIds(std::initializer_list<int64_t> Ids) {
+    if (!Armed)
+      return;
+    for (int64_t Id : Ids)
+      if (Id >= 0)
+        StmtIds.push_back(Id);
+  }
+  void noteStmtIds(const std::vector<int64_t> &Ids) {
+    if (!Armed)
+      return;
+    for (int64_t Id : Ids)
+      if (Id >= 0)
+        StmtIds.push_back(Id);
+  }
+
 private:
   void finishImpl(const Status &S);
 
@@ -213,6 +237,7 @@ private:
   double StartUs = 0;
   uint64_t DepQ0 = 0;
   uint64_t EmptyQ0 = 0;
+  std::vector<int64_t> StmtIds;
 };
 
 //===----------------------------------------------------------------------===//
@@ -228,6 +253,18 @@ struct Snapshot {
 };
 
 Snapshot snapshot();
+
+/// Microseconds since the trace epoch — the clock SpanEvent timestamps
+/// are expressed in. For layers that build SpanEvents by hand (emitSpan).
+double nowMicros();
+
+/// Appends a pre-built span to the recorded stream (no-op when disabled).
+/// Fill Name/Args/StartUs/DurUs/Depth; Tid and Seq are stamped here. Used
+/// by layers that reconstruct timing from outside sources — the kernel
+/// profiler synthesizes per-loop spans from the counters a generated
+/// kernel reports, so they nest under the rt/kernel span in the Chrome
+/// trace.
+void emitSpan(SpanEvent E);
 
 /// Discards recorded spans and audit entries (counters are left alone; use
 /// metrics::resetAll for those).

@@ -56,6 +56,32 @@ print(f"trace OK: {len(spans)} spans over {sorted(cats)}, "
 PYEOF
 rm -f "$TraceJson"
 
+echo "== profile smoke: FT_PROFILE on ftc subdivnet =="
+ProfileJson=/tmp/ft_check_profile.json
+rm -f "$ProfileJson"
+FT_PROFILE="$ProfileJson" ./build/tools/ftc --workload subdivnet \
+  --profile --run 3 >/dev/null
+python3 - "$ProfileJson" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+profiles = doc["profiles"]
+assert profiles, "no kernel profiles recorded"
+kp = profiles[0]
+loops = kp["loops"]
+assert loops, "profile has no loop rows"
+for row in loops:
+    assert row.get("resolved") is True, \
+        f"loop {row.get('id')} does not resolve through the source map"
+hot = max(loops, key=lambda r: r.get("est_self_ns", 0))
+assert "faces" in hot["path"], \
+    f"hot loop should be the faces nest, got {hot['path']}"
+assert any(r.get("calls", 0) > 0 for r in loops), "no call counts recorded"
+print(f"profile OK: {len(loops)} loop rows, all resolved, "
+      f"hot={hot['path']} ({hot['est_self_ns']/1e6:.3f} ms est self)")
+PYEOF
+rm -f "$ProfileJson"
+
 if [ "$SKIP_SANITIZE" = 1 ]; then
   echo "== sanitizer sweep skipped (--skip-sanitize) =="
   exit 0
@@ -67,5 +93,17 @@ cmake -B build-asan -S . -DFT_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug \
 cmake --build build-asan -j
 (cd build-asan && ASAN_OPTIONS=detect_leaks=0 \
   ctest --output-on-failure -j)
+
+echo "== profile smoke under ASan =="
+rm -f "$ProfileJson"
+ASAN_OPTIONS=detect_leaks=0 FT_PROFILE="$ProfileJson" \
+  ./build-asan/tools/ftc --workload subdivnet --profile --run 3 >/dev/null
+python3 -c "
+import json, sys
+doc = json.load(open('$ProfileJson'))
+assert doc['profiles'] and doc['profiles'][0]['loops'], 'empty profile'
+print('ASan profile smoke OK')
+"
+rm -f "$ProfileJson"
 
 echo "== check.sh: all green =="

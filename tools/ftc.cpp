@@ -10,6 +10,9 @@
 //       [--emit-cpp FILE]   write the generated C++ to FILE ("-" = stdout)
 //       [--grad]            also differentiate and report tapes
 //       [--run N]           JIT-compile and time N executions
+//       [--profile]         instrument the kernel (implies --run) and print
+//                           the per-loop profile table; combine with
+//                           FT_PROFILE=out.folded/out.json for file sinks
 //
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +39,7 @@ struct Options {
   bool PrintOptIr = false;
   bool AutoScheduleEnabled = true;
   bool Grad = false;
+  bool Profile = false;
   std::string EmitCpp;
   int Run = 0;
 };
@@ -45,7 +49,7 @@ int usage() {
       stderr,
       "usage: ftc --workload subdivnet|longformer|softras|gat\n"
       "           [--print-ir] [--print-opt-ir] [--no-autoschedule]\n"
-      "           [--emit-cpp FILE|-] [--grad] [--run N]\n");
+      "           [--emit-cpp FILE|-] [--grad] [--run N] [--profile]\n");
   return 2;
 }
 
@@ -108,6 +112,8 @@ int main(int argc, char **argv) {
       O.AutoScheduleEnabled = false;
     else if (A == "--grad")
       O.Grad = true;
+    else if (A == "--profile")
+      O.Profile = true;
     else if (A == "--emit-cpp" && I + 1 < argc)
       O.EmitCpp = argv[++I];
     else if (A == "--run" && I + 1 < argc)
@@ -164,8 +170,13 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (O.Profile && O.Run <= 0)
+    O.Run = 1;
+
   if (O.Run > 0) {
-    auto K = Kernel::compile(Opt);
+    CodegenOptions CgOpts;
+    CgOpts.Profile = O.Profile || profile::envEnabled();
+    auto K = Kernel::compile(Opt, CgOpts);
     if (!K.ok()) {
       std::fprintf(stderr, "compile failed: %s\n", K.message().c_str());
       return 1;
@@ -186,6 +197,8 @@ int main(int argc, char **argv) {
                      std::chrono::steady_clock::now() - T0)
                      .count();
     std::printf("%d runs: %.3f ms each\n", O.Run, Sec / O.Run * 1e3);
+    if (K->profiled())
+      std::printf("\n%s", profile::formatTable(K->profileNow()).c_str());
   }
   return 0;
 }
