@@ -1,0 +1,265 @@
+//===- bench/jit_cache_bench.cpp - Kernel-cache cold/warm speedup ----------===//
+//
+// The content-addressed kernel cache (ISSUE 4) on the four §6.1 forward
+// workloads: each is auto-scheduled once, then acquired three times against
+// a fresh private cache directory — cold (host compiler runs), warm via the
+// in-process memory tier, and warm via the on-disk store (memory tier
+// dropped first). Outputs of all three kernels must be bit-identical, and
+// each warm path must be >= 20x faster than the cold compile.
+//
+// A second section runs the measurement-driven autoscheduler search twice
+// with the same seed — cold and warm — plus once with FT_CACHE=0, showing
+// the fingerprint dedup (candidates_deduped > 0) and the wall-clock win of
+// searching on a warm cache. Writes BENCH_jit_cache.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_common.h"
+#include "codegen/kernel_cache.h"
+#include "frontend/builder.h"
+
+using namespace ftb;
+
+namespace {
+
+double seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct CacheResult {
+  std::string Name;
+  double ColdSec = 0;
+  double WarmMemSec = 0;
+  double WarmDiskSec = 0;
+  bool BitIdentical = false;
+  double speedupMem() const { return ColdSec / WarmMemSec; }
+  double speedupDisk() const { return ColdSec / WarmDiskSec; }
+};
+
+std::vector<char> outputBytes(const std::map<std::string, Buffer *> &Args,
+                              const std::vector<std::string> &Outputs) {
+  std::vector<char> Out;
+  for (const std::string &O : Outputs) {
+    Buffer &B = *Args.at(O);
+    const char *P = reinterpret_cast<const char *>(B.raw());
+    Out.insert(Out.end(), P, P + B.numel() * sizeof(float));
+  }
+  return Out;
+}
+
+/// Compiles \p Opt three ways (cold / mem / disk) against the private cache
+/// dir, runs each kernel on \p Args, and bit-compares the outputs.
+CacheResult measure(const std::string &Name, const Func &Opt,
+                    std::map<std::string, Buffer *> Args,
+                    const std::vector<std::string> &Outputs) {
+  CacheResult R;
+  R.Name = Name;
+
+  kernel_cache::memReset();
+  double T0 = seconds();
+  auto Cold = Kernel::compile(Opt);
+  R.ColdSec = seconds() - T0;
+  ftAssert(Cold.ok(), Cold.message());
+  ftAssert(Cold->cacheTier() == KernelCacheTier::Compiled,
+           Name + ": expected a cold miss on a fresh cache dir");
+  ftAssert(Cold->run(Args).ok(), "cold run failed");
+  std::vector<char> Want = outputBytes(Args, Outputs);
+
+  T0 = seconds();
+  auto Mem = Kernel::compile(Opt);
+  R.WarmMemSec = seconds() - T0;
+  ftAssert(Mem.ok(), Mem.message());
+  ftAssert(Mem->cacheTier() == KernelCacheTier::Memory,
+           Name + ": expected a memory-tier hit");
+  ftAssert(Mem->run(Args).ok(), "mem run failed");
+  std::vector<char> GotMem = outputBytes(Args, Outputs);
+
+  kernel_cache::memReset();
+  T0 = seconds();
+  auto Disk = Kernel::compile(Opt);
+  R.WarmDiskSec = seconds() - T0;
+  ftAssert(Disk.ok(), Disk.message());
+  ftAssert(Disk->cacheTier() == KernelCacheTier::Disk,
+           Name + ": expected a disk-tier hit");
+  ftAssert(Disk->run(Args).ok(), "disk run failed");
+  std::vector<char> GotDisk = outputBytes(Args, Outputs);
+
+  R.BitIdentical = Want == GotMem && Want == GotDisk;
+  return R;
+}
+
+struct SearchResult {
+  double NoCacheSec = 0;
+  double ColdSec = 0;
+  double WarmSec = 0;
+  int Deduped = 0;
+  int Measured = 0;
+};
+
+/// The search workload: a fusable two-pass pipeline with enough loops for
+/// the mutations to bite, small enough that candidate compiles dominate.
+Func makeSearchFunc() {
+  FunctionBuilder B("searched");
+  View X = B.input("x", {makeIntConst(256), makeIntConst(64)});
+  View Y = B.output("y", {makeIntConst(256)});
+  View T = B.local("t", {makeIntConst(256), makeIntConst(64)});
+  B.loop("i", 0, 256, [&](Expr I) {
+    B.loop("j", 0, 64, [&](Expr J) {
+      T[I][J].assign(X[I][J].load() * makeFloatConst(1.5) +
+                     makeFloatConst(0.25));
+    });
+  });
+  B.loop("i", 0, 256, [&](Expr I) {
+    Y[I].assign(0.0);
+    B.loop("j", 0, 64, [&](Expr J) { Y[I] += T[I][J].load(); });
+  });
+  return B.build();
+}
+
+SearchResult runSearch() {
+  SearchResult R;
+  Func F = makeSearchFunc();
+  Buffer X(DataType::Float32, {256, 64}), Y(DataType::Float32, {256});
+  for (int64_t I = 0; I < X.numel(); ++I)
+    X.setF(I, 0.01 * double(I % 97));
+  std::map<std::string, Buffer *> Args = {{"x", &X}, {"y", &Y}};
+
+  SearchOptions Opts;
+  Opts.Rounds = 12;
+  Opts.MeasureRuns = 2;
+  Opts.OptFlags = "-O1";
+
+  // Baseline: cache disabled — every unique candidate pays the compiler.
+  ::setenv("FT_CACHE", "0", 1);
+  double T0 = seconds();
+  auto B0 = autoTuneFunc(F, Args, Opts);
+  R.NoCacheSec = seconds() - T0;
+  ftAssert(B0.ok(), B0.message());
+  ::setenv("FT_CACHE", "1", 1);
+
+  // Cold: same walk, now publishing into the (empty) cache dir.
+  kernel_cache::memReset();
+  AutoScheduleReport Rep;
+  T0 = seconds();
+  auto B1 = autoTuneFunc(F, Args, Opts, &Rep);
+  R.ColdSec = seconds() - T0;
+  ftAssert(B1.ok(), B1.message());
+  R.Deduped = Rep.CandidatesDeduped;
+  R.Measured = Rep.CandidatesMeasured;
+
+  // Warm: identical seed => identical candidates => every compile hits.
+  kernel_cache::memReset();
+  T0 = seconds();
+  auto B2 = autoTuneFunc(F, Args, Opts);
+  R.WarmSec = seconds() - T0;
+  ftAssert(B2.ok(), B2.message());
+  return R;
+}
+
+} // namespace
+
+int main() {
+  // A fresh private cache directory per invocation: cold means cold, and
+  // concurrent bench runs cannot contaminate each other.
+  char Tmpl[] = "/tmp/ftjitbench.XXXXXX";
+  ftAssert(::mkdtemp(Tmpl) != nullptr, "mkdtemp failed");
+  ::setenv("FT_CACHE_DIR", Tmpl, 1);
+  ::setenv("FT_CACHE", "1", 1);
+
+  CacheResult Results[4];
+  {
+    SubdivNetConfig C = subdivnetCfg();
+    SubdivNetData D = makeSubdivNetData(C);
+    Buffer Y(DataType::Float32, {C.NFaces, C.Feats});
+    Results[0] =
+        measure("subdivnet", autoScheduleFunc(buildSubdivNet(C)),
+                {{"e", &D.E}, {"adj", &D.Adj}, {"y", &Y}}, {"y"});
+  }
+  {
+    LongformerConfig C = longformerCfg();
+    LongformerData D = makeLongformerData(C);
+    Buffer Y(DataType::Float32, {C.SeqLen, C.Feats});
+    Results[1] =
+        measure("longformer", autoScheduleFunc(buildLongformer(C)),
+                {{"Q", &D.Q}, {"K", &D.K}, {"V", &D.V}, {"y", &Y}}, {"y"});
+  }
+  {
+    SoftRasConfig C = softrasCfg();
+    SoftRasData D = makeSoftRasData(C);
+    Buffer Img(DataType::Float32, {C.numPixels()});
+    Results[2] = measure(
+        "softras", autoScheduleFunc(buildSoftRas(C)),
+        {{"verts", &D.Verts}, {"px", &D.Px}, {"py", &D.Py}, {"img", &Img}},
+        {"img"});
+  }
+  {
+    GATConfig C = gatCfg();
+    GATData D = makeGATData(C);
+    Buffer Y(DataType::Float32, {C.NNodes, C.Feats});
+    Results[3] = measure("gat", autoScheduleFunc(buildGAT(C)),
+                         {{"h", &D.H},
+                          {"adj", &D.Adj},
+                          {"a1", &D.A1},
+                          {"a2", &D.A2},
+                          {"y", &Y}},
+                         {"y"});
+  }
+
+  bool Ok = true;
+  double WorstSpeedup = 1e30;
+  for (const CacheResult &R : Results) {
+    std::printf("%-10s cold %7.3f s  mem %9.6f s (%7.1fx)  disk %9.6f s "
+                "(%7.1fx)  bit-identical %s\n",
+                R.Name.c_str(), R.ColdSec, R.WarmMemSec, R.speedupMem(),
+                R.WarmDiskSec, R.speedupDisk(),
+                R.BitIdentical ? "yes" : "NO");
+    Ok = Ok && R.BitIdentical && R.speedupMem() >= 20.0 &&
+         R.speedupDisk() >= 20.0;
+    WorstSpeedup = std::min({WorstSpeedup, R.speedupMem(), R.speedupDisk()});
+  }
+
+  SearchResult S = runSearch();
+  std::printf("search     no-cache %7.3f s  cold %7.3f s  warm %7.3f s  "
+              "deduped %d  measured %d\n",
+              S.NoCacheSec, S.ColdSec, S.WarmSec, S.Deduped, S.Measured);
+  Ok = Ok && S.Deduped > 0 && S.WarmSec < S.NoCacheSec;
+
+  std::FILE *F = std::fopen("BENCH_jit_cache.json", "w");
+  ftAssert(F != nullptr, "could not open BENCH_jit_cache.json");
+  std::fprintf(F, "{\n  \"benchmark\": \"jit_kernel_cache\",\n"
+                  "  \"target_speedup\": 20.0,\n  \"workloads\": [\n");
+  for (int I = 0; I < 4; ++I) {
+    const CacheResult &R = Results[I];
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"cold_sec\": %.6f, "
+                 "\"warm_mem_sec\": %.6f, \"warm_disk_sec\": %.6f, "
+                 "\"speedup_mem\": %.2f, \"speedup_disk\": %.2f, "
+                 "\"bit_identical\": %s}%s\n",
+                 R.Name.c_str(), R.ColdSec, R.WarmMemSec, R.WarmDiskSec,
+                 R.speedupMem(), R.speedupDisk(),
+                 R.BitIdentical ? "true" : "false", I < 3 ? "," : "");
+  }
+  std::fprintf(F,
+               "  ],\n  \"worst_speedup\": %.2f,\n  \"search\": "
+               "{\"no_cache_sec\": %.4f, \"cold_sec\": %.4f, \"warm_sec\": "
+               "%.4f, \"candidates_deduped\": %d, \"candidates_measured\": "
+               "%d}\n}\n",
+               WorstSpeedup, S.NoCacheSec, S.ColdSec, S.WarmSec, S.Deduped,
+               S.Measured);
+  std::fclose(F);
+
+  std::system(("rm -rf '" + std::string(Tmpl) + "'").c_str());
+  std::printf("%s: worst warm speedup %.1fx (target >= 20x)\n",
+              Ok ? "PASS" : "FAIL", WorstSpeedup);
+  return Ok ? 0 : 1;
+}

@@ -2,12 +2,17 @@
 
 #include "autoschedule/autoschedule.h"
 
+#include <chrono>
 #include <functional>
+#include <limits>
 #include <thread>
 
+#include "codegen/jit.h"
+#include "ir/compare.h"
 #include "pass/const_fold.h"
 #include "pass/scalar_prop.h"
 #include "pass/shrink_var.h"
+#include "support/metrics.h"
 #include "support/trace.h"
 
 using namespace ft;
@@ -402,4 +407,156 @@ Func ft::autoScheduleFunc(Func F, const AutoScheduleOptions &Opts,
   if (Report)
     *Report = R;
   return S.func();
+}
+
+//===----------------------------------------------------------------------===//
+// Measurement-driven search
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// xorshift64: deterministic, seedable, and plenty for picking mutations.
+struct Rng {
+  uint64_t S;
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+  size_t pick(size_t N) { return N ? static_cast<size_t>(next() % N) : 0; }
+};
+
+/// Applies one random schedule mutation. Every primitive is legality-checked
+/// by Schedule itself; a rejected one leaves the program unchanged, which
+/// the caller detects — and skips — via fingerprint dedup.
+void mutateOnce(Schedule &S, Rng &R) {
+  auto Loops = collectLoops(S.ast());
+  if (Loops.empty())
+    return;
+  switch (R.next() % 6) {
+  case 0: {
+    static const int64_t Factors[] = {2, 4, 8, 16, 32};
+    (void)S.split(Loops[R.pick(Loops.size())].Node->Id,
+                  Factors[R.pick(std::size(Factors))]);
+    return;
+  }
+  case 1:
+    (void)S.parallelize(Loops[R.pick(Loops.size())].Node->Id);
+    return;
+  case 2: {
+    const LoopInfo &L = Loops[R.pick(Loops.size())];
+    if (L.Innermost)
+      (void)S.unroll(L.Node->Id, /*Full=*/constLen(L.Node).has_value());
+    return;
+  }
+  case 3: {
+    const LoopInfo &L = Loops[R.pick(Loops.size())];
+    if (L.Innermost)
+      (void)S.vectorize(L.Node->Id);
+    return;
+  }
+  case 4: {
+    std::vector<std::pair<int64_t, int64_t>> Pairs;
+    collectAdjacentPairs(S.ast(), Pairs);
+    if (!Pairs.empty()) {
+      const auto &[A, B] = Pairs[R.pick(Pairs.size())];
+      (void)S.fuse(A, B);
+    }
+    return;
+  }
+  case 5: {
+    const LoopInfo &L = Loops[R.pick(Loops.size())];
+    auto Nest = S.perfectNest(L.Node->Id);
+    if (Nest.size() >= 2)
+      (void)S.reorder({Nest[1]->Id, Nest[0]->Id});
+    return;
+  }
+  }
+}
+
+/// Compiles \p F (through the kernel cache) and returns the best-of-\p Runs
+/// wall time of running it on \p Args, in milliseconds.
+Result<double> measureMs(const Func &F,
+                         const std::map<std::string, Buffer *> &Args,
+                         int Runs, const std::string &OptFlags) {
+  auto KR = Kernel::compile(F, OptFlags);
+  if (!KR.ok())
+    return Result<double>::error(KR.message());
+  double Best = std::numeric_limits<double>::infinity();
+  for (int I = 0; I < std::max(1, Runs); ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    if (Status St = KR->run(Args); !St.ok())
+      return Result<double>::error(St.message());
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+    Best = std::min(Best, Ms);
+  }
+  return Best;
+}
+
+} // namespace
+
+Result<Func> ft::autoTuneFunc(const Func &F,
+                              const std::map<std::string, Buffer *> &Args,
+                              const SearchOptions &Opts,
+                              AutoScheduleReport *Report) {
+  trace::Span Sp("autoschedule/search");
+  auto &Dedup = metrics::counter("autoschedule/candidates_deduped");
+  AutoScheduleReport R;
+  Func Best = Opts.RulesFirst ? autoScheduleFunc(F, Opts.Rules, &R) : F;
+
+  // Measurements memoized per whole-program fingerprint: structurally
+  // identical candidates (however their loops happen to be named) compile
+  // and run exactly once per search.
+  std::map<uint64_t, double> Memo;
+  auto Measure = [&](const Func &Cand) -> Result<double> {
+    ++R.CandidatesTried;
+    uint64_t FP = fingerprint(Cand);
+    if (auto It = Memo.find(FP); It != Memo.end()) {
+      ++R.CandidatesDeduped;
+      Dedup.fetch_add(1);
+      return It->second;
+    }
+    auto MsR = measureMs(Cand, Args, Opts.MeasureRuns, Opts.OptFlags);
+    if (!MsR.ok())
+      return MsR;
+    ++R.CandidatesMeasured;
+    Memo[FP] = *MsR;
+    return MsR;
+  };
+
+  auto SeedMs = Measure(Best);
+  if (!SeedMs.ok())
+    return Result<Func>::error(SeedMs.message());
+  double BestMs = *SeedMs;
+
+  Rng Rand{Opts.Seed ? Opts.Seed : 0x9e3779b97f4a7c15ull};
+  for (int Round = 0; Round < Opts.Rounds; ++Round) {
+    Schedule S(Best); // Mutators rebuild; the incumbent's tree is safe.
+    int NMut = 1 + static_cast<int>(Rand.next() % 2);
+    for (int M = 0; M < NMut; ++M)
+      mutateOnce(S, Rand);
+    S.cleanup();
+    Func Cand = S.func();
+    auto MsR = Measure(Cand);
+    if (!MsR.ok())
+      continue; // A candidate that fails to build or run is just discarded.
+    if (*MsR < BestMs) {
+      BestMs = *MsR;
+      Best = std::move(Cand);
+    }
+  }
+
+  R.BestMs = BestMs;
+  if (Sp.active()) {
+    Sp.annotate("tried", static_cast<int64_t>(R.CandidatesTried));
+    Sp.annotate("deduped", static_cast<int64_t>(R.CandidatesDeduped));
+    Sp.annotate("measured", static_cast<int64_t>(R.CandidatesMeasured));
+    Sp.annotate("best_ms", BestMs);
+  }
+  if (Report)
+    *Report = R;
+  return Best;
 }

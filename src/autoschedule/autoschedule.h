@@ -13,6 +13,14 @@
 ///   5. auto_use_lib     call the vendor GEMM for matmul patterns
 ///   6. auto_unroll      unroll very short innermost loops
 ///
+/// On top of the rules sits a measurement-driven search (autoTuneFunc): a
+/// deterministic random walk over schedule mutations that compiles and
+/// times each candidate, keeping the fastest. Candidates are deduplicated
+/// by whole-program fingerprint (ir/compare.h) *before* compiling — a
+/// rejected primitive leaves the program unchanged, so many mutation
+/// rounds collapse onto already-measured programs — and every compile goes
+/// through the kernel cache, so re-running a search is nearly free.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FT_AUTOSCHEDULE_AUTOSCHEDULE_H
@@ -21,7 +29,9 @@
 #include <map>
 #include <string>
 
+#include "interp/buffer.h"
 #include "schedule/schedule.h"
+#include "support/error.h"
 
 namespace ft {
 
@@ -67,6 +77,13 @@ struct AutoScheduleReport {
   /// even when tracing is off — autoSchedule forces the audit log on for
   /// the duration of its run.
   std::map<std::string, RuleTally> Rules;
+
+  // Filled by the measurement-driven search (autoTuneFunc) only.
+  int CandidatesTried = 0; ///< Mutation rounds evaluated (incl. the seed).
+  int CandidatesDeduped =
+      0; ///< Skipped: fingerprint seen before, measurement reused.
+  int CandidatesMeasured = 0; ///< Actually compiled and timed.
+  double BestMs = 0;          ///< Best-of-runs time of the winner.
 };
 
 /// Runs the six passes on \p S in order. Returns what was applied.
@@ -76,6 +93,30 @@ AutoScheduleReport autoSchedule(Schedule &S,
 /// Convenience: schedules a Func and returns the optimized one.
 Func autoScheduleFunc(Func F, const AutoScheduleOptions &Opts = {},
                       AutoScheduleReport *Report = nullptr);
+
+/// Knobs for the measurement-driven search (autoTuneFunc).
+struct SearchOptions {
+  int Rounds = 24;     ///< Mutation rounds after the seed candidate.
+  int MeasureRuns = 3; ///< Timed runs per candidate; best-of is kept.
+  uint64_t Seed = 0x5eed; ///< Mutation stream seed — same seed, same walk.
+  bool RulesFirst = true; ///< Seed the search with the rule passes' output.
+  AutoScheduleOptions Rules; ///< Options for that rule pre-pass.
+  std::string OptFlags = "-O2"; ///< Host-compiler flags for candidates.
+};
+
+/// Measurement-driven schedule search over \p F. Each round copies the
+/// incumbent, applies one or two random schedule mutations (split /
+/// parallelize / unroll / vectorize / fuse / reorder — an illegal one is
+/// rejected by the dependence analysis and leaves the program unchanged),
+/// fingerprints the result, and only compiles + times candidates whose
+/// fingerprint has not been measured yet (`autoschedule/candidates_deduped`
+/// counts the skips; measurements are memoized per fingerprint). \p Args
+/// must bind every parameter of \p F to a live Buffer; output buffers are
+/// overwritten by the timing runs. Returns the fastest schedule found.
+Result<Func> autoTuneFunc(const Func &F,
+                          const std::map<std::string, Buffer *> &Args,
+                          const SearchOptions &Opts = {},
+                          AutoScheduleReport *Report = nullptr);
 
 } // namespace ft
 

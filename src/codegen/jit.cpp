@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "codegen/codegen.h"
+#include "codegen/kernel_cache.h"
 #include "codegen/profile.h"
 #include "codegen/rt/ft_runtime.h"
 #include "support/metrics.h"
@@ -26,6 +27,40 @@ std::string readFile(const std::string &Path) {
   return std::string(std::istreambuf_iterator<char>(In),
                      std::istreambuf_iterator<char>());
 }
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+/// Single-quotes \p S for sh(1): safe against spaces and every shell
+/// metacharacter (FT_CACHE_DIR, $HOME and /tmp paths all flow into the
+/// std::system command line).
+std::string shellQuote(const std::string &S) {
+  std::string Out = "'";
+  for (char C : S) {
+    if (C == '\'')
+      Out += "'\\''";
+    else
+      Out += C;
+  }
+  Out += "'";
+  return Out;
+}
+
+/// Removes the JIT scratch directory and its known contents on scope exit —
+/// success and failure paths alike (the dlopen'd .so stays mapped after its
+/// directory entry is unlinked).
+struct ScratchDir {
+  std::string Path;
+  ~ScratchDir() {
+    if (Path.empty())
+      return;
+    for (const char *F : {"/kernel.cpp", "/kernel.so", "/compile.log"})
+      ::unlink((Path + F).c_str());
+    ::rmdir(Path.c_str());
+  }
+};
 
 /// Reads and validates the versioned `<symbol>_rt_stats` export.
 KernelRtStats readRtStats(void (*Fn)(uint64_t *)) {
@@ -69,7 +104,6 @@ struct Kernel::Impl {
   uint64_t (*RtProfile)(uint64_t *, uint64_t) = nullptr;
   bool Profiled = false;
   profile::SourceMap Map;
-  double CompileSec = 0;
   std::string SpanName; ///< "rt/kernel/<symbol>", precomputed.
 
   profile::KernelProfile pullProfile() const {
@@ -119,7 +153,79 @@ struct Kernel::Impl {
     if (Handle)
       dlclose(Handle);
   }
+
+  /// Builds the host-side half of an Impl from the Func alone (everything
+  /// that does not require the compiled library): symbol, profile source
+  /// map, parameter binding. Shared by the miss path and the disk-hit path.
+  static Result<std::shared_ptr<Impl>> makeSkeleton(const Func &F,
+                                                    const CodegenOptions &Opts);
+
+  /// dlopens \p LibPath and resolves the entry plus the telemetry exports.
+  /// With \p NeedProfileExport the `<symbol>_rt_profile` export is required.
+  Status loadLibrary(const std::string &LibPath, bool NeedProfileExport);
 };
+
+Result<std::shared_ptr<Kernel::Impl>>
+Kernel::Impl::makeSkeleton(const Func &F, const CodegenOptions &Opts) {
+  auto I = std::make_shared<Impl>();
+  I->Symbol = kernelSymbol(F);
+  I->Profiled = Opts.Profile;
+  if (Opts.Profile)
+    I->Map = profile::buildSourceMap(F, trace::auditLog());
+  I->Params = F.Params;
+  for (const std::string &P : F.Params) {
+    auto D = findVarDef(F.Body, P);
+    if (!D)
+      return Result<std::shared_ptr<Impl>>::error("parameter `" + P +
+                                                  "` has no VarDef");
+    I->ParamTypes[P] = D->Info.Dtype;
+  }
+  I->SpanName = "rt/kernel/" + I->Symbol;
+  return I;
+}
+
+Status Kernel::Impl::loadLibrary(const std::string &LibPath,
+                                 bool NeedProfileExport) {
+  Handle = dlopen(LibPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle)
+    return Status::error(std::string("dlopen failed: ") + dlerror());
+  Entry = reinterpret_cast<void (*)(void **)>(dlsym(Handle, Symbol.c_str()));
+  if (!Entry)
+    return Status::error("kernel symbol not found: " + Symbol);
+  // Optional: kernels generated before the telemetry export existed (or
+  // hand-written ones) simply lack the symbol.
+  RtStats = reinterpret_cast<void (*)(uint64_t *)>(
+      dlsym(Handle, (Symbol + "_rt_stats").c_str()));
+  if (NeedProfileExport) {
+    RtProfile = reinterpret_cast<uint64_t (*)(uint64_t *, uint64_t)>(
+        dlsym(Handle, (Symbol + "_rt_profile").c_str()));
+    if (!RtProfile)
+      return Status::error("profile export not found: " + Symbol +
+                           "_rt_profile");
+  }
+  return Status::success();
+}
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+} // namespace
+
+const char *ft::nameOf(KernelCacheTier T) {
+  switch (T) {
+  case KernelCacheTier::Compiled:
+    return "miss";
+  case KernelCacheTier::Memory:
+    return "mem";
+  case KernelCacheTier::Disk:
+    return "disk";
+  }
+  return "?";
+}
 
 Result<Kernel> Kernel::compile(const Func &F, const std::string &OptFlags) {
   CodegenOptions Opts;
@@ -133,25 +239,78 @@ Result<Kernel> Kernel::compile(const Func &F, const CodegenOptions &Opts,
   if (Sp.active())
     Sp.annotate("func", F.Name);
   metrics::counter("codegen/jit_compiles").fetch_add(1);
-  auto I = std::make_shared<Impl>();
-  I->Source = generateCpp(F, Opts);
-  I->Symbol = kernelSymbol(F);
-  I->Profiled = Opts.Profile;
-  if (Opts.Profile)
-    I->Map = profile::buildSourceMap(F, trace::auditLog());
-  I->Params = F.Params;
-  for (const std::string &P : F.Params) {
-    auto D = findVarDef(F.Body, P);
-    if (!D)
-      return Result<Kernel>::error("parameter `" + P + "` has no VarDef");
-    I->ParamTypes[P] = D->Info.Dtype;
+  auto T0 = std::chrono::steady_clock::now();
+
+  // Resolve the cache counters eagerly so all three always show up in the
+  // FT_METRICS exit summary, hits or not.
+  auto &HitMem = metrics::counter("codegen/jit_cache_hit_mem");
+  auto &HitDisk = metrics::counter("codegen/jit_cache_hit_disk");
+  auto &Miss = metrics::counter("codegen/jit_cache_miss");
+
+  kernel_cache::Config Cfg = kernel_cache::config();
+  kernel_cache::Key CK;
+  {
+    trace::Span LSp("codegen/kernel_cache.lookup");
+    if (Cfg.Enabled) {
+      CK = kernel_cache::cacheKey(F, Opts, OptFlags);
+      if (LSp.active())
+        LSp.annotate("key", CK.hex());
+      // Memory tier. Profiled kernels skip it: a shared handle would merge
+      // the per-statement profile counters of unrelated call sites.
+      if (!Opts.Profile) {
+        if (std::optional<Kernel> K = kernel_cache::memLookup(CK.Full)) {
+          HitMem.fetch_add(1);
+          LSp.annotate("hit", "mem");
+          if (Sp.active())
+            Sp.annotate("cache", "mem");
+          K->Tier = KernelCacheTier::Memory;
+          K->CompileSec = secondsSince(T0);
+          return *K;
+        }
+      }
+      // Disk tier: dlopen the stored object, skipping codegen + cc. A
+      // corrupt or truncated entry fails to load; evict it and fall
+      // through to a fresh compile.
+      std::string So = kernel_cache::diskLookup(Cfg, CK);
+      if (!So.empty()) {
+        auto SkelR = Impl::makeSkeleton(F, Opts);
+        if (!SkelR.ok())
+          return Result<Kernel>::error(SkelR.message());
+        std::shared_ptr<Impl> I = *SkelR;
+        if (Status L = I->loadLibrary(So, Opts.Profile); L.ok()) {
+          I->Source = kernel_cache::storedSource(Cfg, CK);
+          HitDisk.fetch_add(1);
+          LSp.annotate("hit", "disk");
+          if (Sp.active())
+            Sp.annotate("cache", "disk");
+          Kernel K;
+          K.I = std::move(I);
+          K.Tier = KernelCacheTier::Disk;
+          K.CompileSec = secondsSince(T0);
+          if (!Opts.Profile)
+            kernel_cache::memInsert(CK.Full, K, Cfg.MemEntries);
+          return K;
+        }
+        kernel_cache::evictDisk(Cfg, CK);
+      }
+    }
+    Miss.fetch_add(1);
+    LSp.annotate("hit", "none");
   }
 
+  auto SkelR = Impl::makeSkeleton(F, Opts);
+  if (!SkelR.ok())
+    return Result<Kernel>::error(SkelR.message());
+  std::shared_ptr<Impl> I = *SkelR;
+  I->Source = generateCpp(F, Opts);
+
   static std::atomic<int> Counter{0};
+  ScratchDir Scratch; // Removes the directory on every exit path below.
   std::string Dir = "/tmp/ftjit." + std::to_string(getpid()) + "." +
                     std::to_string(Counter.fetch_add(1));
   if (mkdir(Dir.c_str(), 0755) != 0)
     return Result<Kernel>::error("could not create JIT directory " + Dir);
+  Scratch.Path = Dir;
   std::string Src = Dir + "/kernel.cpp";
   std::string Lib = Dir + "/kernel.so";
   std::string Log = Dir + "/compile.log";
@@ -169,43 +328,39 @@ Result<Kernel> Kernel::compile(const Func &F, const CodegenOptions &Opts,
   // and a heap overflow when a later kernel indexes the first kernel's
   // (smaller) profiler slot arrays.
   std::string Cmd = "g++ -std=c++20 " + OptFlags +
-                    " -march=native -fPIC -fno-gnu-unique -shared -I "
-                    FT_RUNTIME_INCLUDE_DIR " \"" +
-                    Src + "\" -o \"" + Lib + "\" -pthread > \"" + Log +
-                    "\" 2>&1";
-  auto T0 = std::chrono::steady_clock::now();
+                    " -march=native -fPIC -fno-gnu-unique -shared -I " +
+                    shellQuote(FT_RUNTIME_INCLUDE_DIR) + " " +
+                    shellQuote(Src) + " -o " + shellQuote(Lib) +
+                    " -pthread > " + shellQuote(Log) + " 2>&1";
+  auto TCc = std::chrono::steady_clock::now();
   int Rc = std::system(Cmd.c_str());
-  auto T1 = std::chrono::steady_clock::now();
-  I->CompileSec = std::chrono::duration<double>(T1 - T0).count();
+  double CcSec = secondsSince(TCc);
   if (Rc != 0)
     return Result<Kernel>::error("host compiler failed:\n" + readFile(Log));
-
-  I->Handle = dlopen(Lib.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (!I->Handle)
-    return Result<Kernel>::error(std::string("dlopen failed: ") + dlerror());
-  I->Entry = reinterpret_cast<void (*)(void **)>(
-      dlsym(I->Handle, I->Symbol.c_str()));
-  if (!I->Entry)
-    return Result<Kernel>::error("kernel symbol not found: " + I->Symbol);
-  // Optional: kernels generated before the telemetry export existed (or
-  // hand-written ones) simply lack the symbol.
-  I->RtStats = reinterpret_cast<void (*)(uint64_t *)>(
-      dlsym(I->Handle, (I->Symbol + "_rt_stats").c_str()));
-  if (Opts.Profile) {
-    I->RtProfile = reinterpret_cast<uint64_t (*)(uint64_t *, uint64_t)>(
-        dlsym(I->Handle, (I->Symbol + "_rt_profile").c_str()));
-    if (!I->RtProfile)
-      return Result<Kernel>::error("profile export not found: " + I->Symbol +
-                                   "_rt_profile");
+  if (!fileExists(Lib)) {
+    // Some toolchain wrappers exit 0 after failing (e.g. a ccache/distcc
+    // front-end dying on signal); the log is the only evidence.
+    return Result<Kernel>::error(
+        "host compiler exited 0 but produced no output .so; compile log:\n" +
+        readFile(Log));
   }
-  I->SpanName = "rt/kernel/" + I->Symbol;
+
+  if (Status L = I->loadLibrary(Lib, Opts.Profile); !L.ok())
+    return Result<Kernel>::error(L.message());
+
+  if (Cfg.Enabled)
+    kernel_cache::publish(Cfg, CK, Lib, I->Source);
 
   if (Sp.active()) {
-    Sp.annotate("compile_sec", I->CompileSec);
+    Sp.annotate("compile_sec", CcSec);
     Sp.annotate("source_bytes", static_cast<uint64_t>(I->Source.size()));
+    Sp.annotate("cache", "miss");
   }
   Kernel K;
   K.I = std::move(I);
+  K.CompileSec = CcSec;
+  if (Cfg.Enabled && !Opts.Profile)
+    kernel_cache::memInsert(CK.Full, K, Cfg.MemEntries);
   return K;
 }
 
@@ -241,7 +396,9 @@ Status Kernel::run(const std::map<std::string, Buffer *> &Args) const {
   return Status::success();
 }
 
-double Kernel::compileSeconds() const { return I ? I->CompileSec : 0; }
+double Kernel::compileSeconds() const { return CompileSec; }
+
+KernelCacheTier Kernel::cacheTier() const { return Tier; }
 
 const std::string &Kernel::source() const {
   ftAssert(I != nullptr, "source() on an empty Kernel");

@@ -6,6 +6,12 @@
 /// for execution ("a DSL function is finally compiled as a shared library,
 /// which can be dynamically loaded ... to run").
 ///
+/// Compilation is backed by the two-tier content-addressed kernel cache
+/// (codegen/kernel_cache.h): a whole-program fingerprint keys an in-process
+/// LRU of loaded kernels and an on-disk store of compiled objects, so the
+/// host compiler only ever runs for programs this machine has not built
+/// before. FT_CACHE=0 disables it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FT_CODEGEN_JIT_H
@@ -38,6 +44,16 @@ struct KernelRtStats {
   uint64_t AllocCount = 0;
 };
 
+/// How a Kernel was obtained (see codegen/kernel_cache.h).
+enum class KernelCacheTier : uint8_t {
+  Compiled, ///< Cache miss (or cache disabled): the host compiler ran.
+  Memory,   ///< In-process LRU hit: shared already-loaded handle.
+  Disk,     ///< On-disk store hit: dlopen of a previously compiled object.
+};
+
+/// Returns "miss" / "mem" / "disk".
+const char *nameOf(KernelCacheTier T);
+
 /// A compiled, loaded kernel. Copyable handle; the library stays loaded as
 /// long as any handle lives.
 class Kernel {
@@ -58,8 +74,12 @@ public:
   /// Runs the kernel binding each parameter by name.
   Status run(const std::map<std::string, Buffer *> &Args) const;
 
-  /// Wall-clock seconds the host compiler took.
+  /// Wall-clock seconds spent acquiring this kernel: host-compiler time on
+  /// a cache miss, lookup + dlopen time on a cache hit.
   double compileSeconds() const;
+
+  /// Which cache tier (if any) produced this kernel.
+  KernelCacheTier cacheTier() const;
 
   /// The generated C++ source (for inspection/tests).
   const std::string &source() const;
@@ -82,6 +102,11 @@ public:
 private:
   struct Impl;
   std::shared_ptr<Impl> I;
+  // Per-handle acquisition record: a memory-tier hit shares the Impl (the
+  // loaded library) with the handle that first compiled it, so how *this*
+  // handle was obtained — and how long that took — lives on the handle.
+  KernelCacheTier Tier = KernelCacheTier::Compiled;
+  double CompileSec = 0;
 };
 
 } // namespace ft

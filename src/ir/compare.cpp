@@ -2,6 +2,10 @@
 
 #include "ir/compare.h"
 
+#include <functional>
+#include <map>
+#include <vector>
+
 using namespace ft;
 
 namespace {
@@ -18,6 +22,331 @@ bool equalExprs(const std::vector<Expr> &A, const std::vector<Expr> &B) {
 size_t combine(size_t Seed, size_t V) {
   // Boost-style hash combiner.
   return Seed ^ (V + 0x9e3779b97f4a7c15ull + (Seed << 6) + (Seed >> 2));
+}
+
+//===----------------------------------------------------------------------===//
+// Alpha-renaming machinery
+//===----------------------------------------------------------------------===//
+
+/// Numbers binder sites (VarDef names, For iterators) in traversal order and
+/// resolves occurrences to the innermost binding; a name with no live binding
+/// is "free" and keeps its spelling. Hashing and equality both walk trees in
+/// the same order, so alpha-equivalent trees assign identical ordinals to
+/// corresponding binders — the property that keeps structuralHash consistent
+/// with deepEqual.
+class AlphaScope {
+public:
+  static constexpr size_t Free = ~size_t(0);
+
+  size_t push(const std::string &Name) {
+    size_t Ord = Next++;
+    Stack[Name].push_back(Ord);
+    return Ord;
+  }
+
+  void pop(const std::string &Name) {
+    auto It = Stack.find(Name);
+    ftAssert(It != Stack.end() && !It->second.empty(),
+             "AlphaScope pop of an unbound name");
+    It->second.pop_back();
+  }
+
+  /// Ordinal of the innermost binding of \p Name, or Free.
+  size_t lookup(const std::string &Name) const {
+    auto It = Stack.find(Name);
+    if (It == Stack.end() || It->second.empty())
+      return Free;
+    return It->second.back();
+  }
+
+private:
+  std::map<std::string, std::vector<size_t>> Stack;
+  size_t Next = 0;
+};
+
+/// RAII binder for one name.
+struct Bind {
+  AlphaScope &Sc;
+  const std::string &Name;
+  Bind(AlphaScope &Sc, const std::string &Name) : Sc(Sc), Name(Name) {
+    Sc.push(Name);
+  }
+  ~Bind() { Sc.pop(Name); }
+};
+
+size_t hashName(const AlphaScope &Sc, const std::string &Name) {
+  size_t Ord = Sc.lookup(Name);
+  if (Ord != AlphaScope::Free)
+    return combine(0xb1, Ord);
+  return combine(0xf2, std::hash<std::string>()(Name));
+}
+
+/// True when \p A (under \p ScA) and \p B (under \p ScB) denote the same
+/// binding: both bound with equal ordinals, or both free with equal spelling.
+bool eqName(const AlphaScope &ScA, const std::string &A, const AlphaScope &ScB,
+            const std::string &B) {
+  size_t OA = ScA.lookup(A), OB = ScB.lookup(B);
+  if (OA != OB)
+    return false;
+  return OA != AlphaScope::Free || A == B;
+}
+
+size_t hashExprAlpha(const AlphaScope &Sc, const Expr &E) {
+  ftAssert(E != nullptr, "hashing a null expression");
+  size_t H = static_cast<size_t>(E->kind()) * 1000003u;
+  switch (E->kind()) {
+  case NodeKind::IntConst:
+    return combine(H, std::hash<int64_t>()(cast<IntConstNode>(E)->Val));
+  case NodeKind::FloatConst:
+    return combine(H, std::hash<double>()(cast<FloatConstNode>(E)->Val));
+  case NodeKind::BoolConst:
+    return combine(H, cast<BoolConstNode>(E)->Val ? 1 : 2);
+  case NodeKind::Var:
+    return combine(H, hashName(Sc, cast<VarNode>(E)->Name));
+  case NodeKind::Load: {
+    auto L = cast<LoadNode>(E);
+    H = combine(H, hashName(Sc, L->Var));
+    H = combine(H, static_cast<size_t>(L->Dtype));
+    H = combine(H, L->Indices.size());
+    for (const Expr &I : L->Indices)
+      H = combine(H, hashExprAlpha(Sc, I));
+    return H;
+  }
+  case NodeKind::Binary: {
+    auto B = cast<BinaryNode>(E);
+    H = combine(H, static_cast<size_t>(B->Op));
+    H = combine(H, hashExprAlpha(Sc, B->LHS));
+    return combine(H, hashExprAlpha(Sc, B->RHS));
+  }
+  case NodeKind::Unary: {
+    auto U = cast<UnaryNode>(E);
+    H = combine(H, static_cast<size_t>(U->Op));
+    return combine(H, hashExprAlpha(Sc, U->Operand));
+  }
+  case NodeKind::IfExpr: {
+    auto IE = cast<IfExprNode>(E);
+    H = combine(H, hashExprAlpha(Sc, IE->Cond));
+    H = combine(H, hashExprAlpha(Sc, IE->Then));
+    return combine(H, hashExprAlpha(Sc, IE->Else));
+  }
+  case NodeKind::Cast: {
+    auto C = cast<CastNode>(E);
+    H = combine(H, static_cast<size_t>(C->Dtype));
+    return combine(H, hashExprAlpha(Sc, C->Operand));
+  }
+  default:
+    ftUnreachable("statement kind in expression hash");
+  }
+}
+
+size_t hashStmtAlpha(AlphaScope &Sc, const Stmt &S) {
+  ftAssert(S != nullptr, "hashing a null statement");
+  size_t H = static_cast<size_t>(S->kind()) * 1000033u;
+  switch (S->kind()) {
+  case NodeKind::StmtSeq: {
+    auto Seq = cast<StmtSeqNode>(S);
+    H = combine(H, Seq->Stmts.size());
+    for (const Stmt &Sub : Seq->Stmts)
+      H = combine(H, hashStmtAlpha(Sc, Sub));
+    return H;
+  }
+  case NodeKind::VarDef: {
+    auto D = cast<VarDefNode>(S);
+    H = combine(H, static_cast<size_t>(D->Info.Dtype));
+    H = combine(H, static_cast<size_t>(D->ATy));
+    H = combine(H, static_cast<size_t>(D->MTy));
+    H = combine(H, D->NoGrad ? 1 : 2);
+    H = combine(H, D->Info.Shape.size());
+    for (const Expr &E : D->Info.Shape) // Shape binds in the outer scope.
+      H = combine(H, hashExprAlpha(Sc, E));
+    Bind B(Sc, D->Name);
+    return combine(H, hashStmtAlpha(Sc, D->Body));
+  }
+  case NodeKind::Store: {
+    auto St = cast<StoreNode>(S);
+    H = combine(H, hashName(Sc, St->Var));
+    H = combine(H, St->Indices.size());
+    for (const Expr &I : St->Indices)
+      H = combine(H, hashExprAlpha(Sc, I));
+    return combine(H, hashExprAlpha(Sc, St->Value));
+  }
+  case NodeKind::ReduceTo: {
+    auto R = cast<ReduceToNode>(S);
+    H = combine(H, hashName(Sc, R->Var));
+    H = combine(H, static_cast<size_t>(R->Op));
+    H = combine(H, R->Atomic ? 1 : 2);
+    H = combine(H, R->Indices.size());
+    for (const Expr &I : R->Indices)
+      H = combine(H, hashExprAlpha(Sc, I));
+    return combine(H, hashExprAlpha(Sc, R->Value));
+  }
+  case NodeKind::For: {
+    auto F = cast<ForNode>(S);
+    H = combine(H, hashExprAlpha(Sc, F->Begin));
+    H = combine(H, hashExprAlpha(Sc, F->End));
+    H = combine(H, (F->Property.Parallel ? 1 : 0) |
+                       (F->Property.Vectorize ? 2 : 0) |
+                       (F->Property.Unroll ? 4 : 0) |
+                       (F->Property.NoDeps ? 8 : 0));
+    Bind B(Sc, F->Iter);
+    return combine(H, hashStmtAlpha(Sc, F->Body));
+  }
+  case NodeKind::If: {
+    auto I = cast<IfNode>(S);
+    H = combine(H, hashExprAlpha(Sc, I->Cond));
+    H = combine(H, hashStmtAlpha(Sc, I->Then));
+    H = combine(H, I->Else != nullptr ? 1 : 2);
+    if (I->Else)
+      H = combine(H, hashStmtAlpha(Sc, I->Else));
+    return H;
+  }
+  case NodeKind::GemmCall: {
+    auto G = cast<GemmCallNode>(S);
+    H = combine(H, hashName(Sc, G->A));
+    H = combine(H, hashName(Sc, G->B));
+    H = combine(H, hashName(Sc, G->C));
+    H = combine(H, hashExprAlpha(Sc, G->M));
+    H = combine(H, hashExprAlpha(Sc, G->N));
+    H = combine(H, hashExprAlpha(Sc, G->K));
+    H = combine(H, (G->TransA ? 1 : 0) | (G->TransB ? 2 : 0));
+    return combine(H, static_cast<size_t>(G->Dtype));
+  }
+  default:
+    ftUnreachable("expression kind in statement hash");
+  }
+}
+
+bool eqExprAlpha(const AlphaScope &ScA, const Expr &A, const AlphaScope &ScB,
+                 const Expr &B) {
+  if (!A || !B)
+    return A == B;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case NodeKind::IntConst:
+    return cast<IntConstNode>(A)->Val == cast<IntConstNode>(B)->Val;
+  case NodeKind::FloatConst:
+    return cast<FloatConstNode>(A)->Val == cast<FloatConstNode>(B)->Val;
+  case NodeKind::BoolConst:
+    return cast<BoolConstNode>(A)->Val == cast<BoolConstNode>(B)->Val;
+  case NodeKind::Var:
+    return eqName(ScA, cast<VarNode>(A)->Name, ScB, cast<VarNode>(B)->Name);
+  case NodeKind::Load: {
+    auto LA = cast<LoadNode>(A), LB = cast<LoadNode>(B);
+    if (!eqName(ScA, LA->Var, ScB, LB->Var) || LA->Dtype != LB->Dtype ||
+        LA->Indices.size() != LB->Indices.size())
+      return false;
+    for (size_t I = 0; I < LA->Indices.size(); ++I)
+      if (!eqExprAlpha(ScA, LA->Indices[I], ScB, LB->Indices[I]))
+        return false;
+    return true;
+  }
+  case NodeKind::Binary: {
+    auto BA = cast<BinaryNode>(A), BB = cast<BinaryNode>(B);
+    return BA->Op == BB->Op && eqExprAlpha(ScA, BA->LHS, ScB, BB->LHS) &&
+           eqExprAlpha(ScA, BA->RHS, ScB, BB->RHS);
+  }
+  case NodeKind::Unary: {
+    auto UA = cast<UnaryNode>(A), UB = cast<UnaryNode>(B);
+    return UA->Op == UB->Op &&
+           eqExprAlpha(ScA, UA->Operand, ScB, UB->Operand);
+  }
+  case NodeKind::IfExpr: {
+    auto IA = cast<IfExprNode>(A), IB = cast<IfExprNode>(B);
+    return eqExprAlpha(ScA, IA->Cond, ScB, IB->Cond) &&
+           eqExprAlpha(ScA, IA->Then, ScB, IB->Then) &&
+           eqExprAlpha(ScA, IA->Else, ScB, IB->Else);
+  }
+  case NodeKind::Cast: {
+    auto CA = cast<CastNode>(A), CB = cast<CastNode>(B);
+    return CA->Dtype == CB->Dtype &&
+           eqExprAlpha(ScA, CA->Operand, ScB, CB->Operand);
+  }
+  default:
+    ftUnreachable("statement kind in expression equality");
+  }
+}
+
+bool eqStmtAlpha(AlphaScope &ScA, const Stmt &A, AlphaScope &ScB,
+                 const Stmt &B) {
+  if (!A || !B)
+    return A == B;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case NodeKind::StmtSeq: {
+    auto SA = cast<StmtSeqNode>(A), SB = cast<StmtSeqNode>(B);
+    if (SA->Stmts.size() != SB->Stmts.size())
+      return false;
+    for (size_t I = 0; I < SA->Stmts.size(); ++I)
+      if (!eqStmtAlpha(ScA, SA->Stmts[I], ScB, SB->Stmts[I]))
+        return false;
+    return true;
+  }
+  case NodeKind::VarDef: {
+    auto DA = cast<VarDefNode>(A), DB = cast<VarDefNode>(B);
+    if (DA->Info.Dtype != DB->Info.Dtype || DA->ATy != DB->ATy ||
+        DA->MTy != DB->MTy || DA->NoGrad != DB->NoGrad ||
+        DA->Info.Shape.size() != DB->Info.Shape.size())
+      return false;
+    for (size_t I = 0; I < DA->Info.Shape.size(); ++I)
+      if (!eqExprAlpha(ScA, DA->Info.Shape[I], ScB, DB->Info.Shape[I]))
+        return false;
+    Bind BdA(ScA, DA->Name);
+    Bind BdB(ScB, DB->Name);
+    return eqStmtAlpha(ScA, DA->Body, ScB, DB->Body);
+  }
+  case NodeKind::Store: {
+    auto SA = cast<StoreNode>(A), SB = cast<StoreNode>(B);
+    if (!eqName(ScA, SA->Var, ScB, SB->Var) ||
+        SA->Indices.size() != SB->Indices.size())
+      return false;
+    for (size_t I = 0; I < SA->Indices.size(); ++I)
+      if (!eqExprAlpha(ScA, SA->Indices[I], ScB, SB->Indices[I]))
+        return false;
+    return eqExprAlpha(ScA, SA->Value, ScB, SB->Value);
+  }
+  case NodeKind::ReduceTo: {
+    auto RA = cast<ReduceToNode>(A), RB = cast<ReduceToNode>(B);
+    if (!eqName(ScA, RA->Var, ScB, RB->Var) || RA->Op != RB->Op ||
+        RA->Atomic != RB->Atomic || RA->Indices.size() != RB->Indices.size())
+      return false;
+    for (size_t I = 0; I < RA->Indices.size(); ++I)
+      if (!eqExprAlpha(ScA, RA->Indices[I], ScB, RB->Indices[I]))
+        return false;
+    return eqExprAlpha(ScA, RA->Value, ScB, RB->Value);
+  }
+  case NodeKind::For: {
+    auto FA = cast<ForNode>(A), FB = cast<ForNode>(B);
+    if (FA->Property != FB->Property ||
+        !eqExprAlpha(ScA, FA->Begin, ScB, FB->Begin) ||
+        !eqExprAlpha(ScA, FA->End, ScB, FB->End))
+      return false;
+    Bind BdA(ScA, FA->Iter);
+    Bind BdB(ScB, FB->Iter);
+    return eqStmtAlpha(ScA, FA->Body, ScB, FB->Body);
+  }
+  case NodeKind::If: {
+    auto IA = cast<IfNode>(A), IB = cast<IfNode>(B);
+    if ((IA->Else == nullptr) != (IB->Else == nullptr))
+      return false;
+    return eqExprAlpha(ScA, IA->Cond, ScB, IB->Cond) &&
+           eqStmtAlpha(ScA, IA->Then, ScB, IB->Then) &&
+           (!IA->Else || eqStmtAlpha(ScA, IA->Else, ScB, IB->Else));
+  }
+  case NodeKind::GemmCall: {
+    auto GA = cast<GemmCallNode>(A), GB = cast<GemmCallNode>(B);
+    return eqName(ScA, GA->A, ScB, GB->A) &&
+           eqName(ScA, GA->B, ScB, GB->B) &&
+           eqName(ScA, GA->C, ScB, GB->C) && GA->TransA == GB->TransA &&
+           GA->TransB == GB->TransB && GA->Dtype == GB->Dtype &&
+           eqExprAlpha(ScA, GA->M, ScB, GB->M) &&
+           eqExprAlpha(ScA, GA->N, ScB, GB->N) &&
+           eqExprAlpha(ScA, GA->K, ScB, GB->K);
+  }
+  default:
+    ftUnreachable("expression kind in statement equality");
+  }
 }
 
 } // namespace
@@ -67,60 +396,8 @@ bool ft::deepEqual(const Expr &A, const Expr &B) {
 bool ft::deepEqual(const Stmt &A, const Stmt &B) {
   if (A == B)
     return true;
-  if (!A || !B || A->kind() != B->kind())
-    return false;
-  switch (A->kind()) {
-  case NodeKind::StmtSeq: {
-    auto SA = cast<StmtSeqNode>(A), SB = cast<StmtSeqNode>(B);
-    if (SA->Stmts.size() != SB->Stmts.size())
-      return false;
-    for (size_t I = 0; I < SA->Stmts.size(); ++I)
-      if (!deepEqual(SA->Stmts[I], SB->Stmts[I]))
-        return false;
-    return true;
-  }
-  case NodeKind::VarDef: {
-    auto DA = cast<VarDefNode>(A), DB = cast<VarDefNode>(B);
-    return DA->Name == DB->Name && DA->Info.Dtype == DB->Info.Dtype &&
-           DA->ATy == DB->ATy && DA->MTy == DB->MTy &&
-           DA->NoGrad == DB->NoGrad &&
-           equalExprs(DA->Info.Shape, DB->Info.Shape) &&
-           deepEqual(DA->Body, DB->Body);
-  }
-  case NodeKind::Store: {
-    auto SA = cast<StoreNode>(A), SB = cast<StoreNode>(B);
-    return SA->Var == SB->Var && equalExprs(SA->Indices, SB->Indices) &&
-           deepEqual(SA->Value, SB->Value);
-  }
-  case NodeKind::ReduceTo: {
-    auto RA = cast<ReduceToNode>(A), RB = cast<ReduceToNode>(B);
-    return RA->Var == RB->Var && RA->Op == RB->Op &&
-           RA->Atomic == RB->Atomic && equalExprs(RA->Indices, RB->Indices) &&
-           deepEqual(RA->Value, RB->Value);
-  }
-  case NodeKind::For: {
-    auto FA = cast<ForNode>(A), FB = cast<ForNode>(B);
-    return FA->Iter == FB->Iter && FA->Property == FB->Property &&
-           deepEqual(FA->Begin, FB->Begin) && deepEqual(FA->End, FB->End) &&
-           deepEqual(FA->Body, FB->Body);
-  }
-  case NodeKind::If: {
-    auto IA = cast<IfNode>(A), IB = cast<IfNode>(B);
-    if ((IA->Else == nullptr) != (IB->Else == nullptr))
-      return false;
-    return deepEqual(IA->Cond, IB->Cond) && deepEqual(IA->Then, IB->Then) &&
-           (!IA->Else || deepEqual(IA->Else, IB->Else));
-  }
-  case NodeKind::GemmCall: {
-    auto GA = cast<GemmCallNode>(A), GB = cast<GemmCallNode>(B);
-    return GA->A == GB->A && GA->B == GB->B && GA->C == GB->C &&
-           GA->TransA == GB->TransA && GA->TransB == GB->TransB &&
-           GA->Dtype == GB->Dtype && deepEqual(GA->M, GB->M) &&
-           deepEqual(GA->N, GB->N) && deepEqual(GA->K, GB->K);
-  }
-  default:
-    ftUnreachable("expression kind in statement deepEqual");
-  }
+  AlphaScope ScA, ScB;
+  return eqStmtAlpha(ScA, A, ScB, B);
 }
 
 size_t ft::structuralHash(const Expr &E) {
@@ -166,4 +443,52 @@ size_t ft::structuralHash(const Expr &E) {
   default:
     ftUnreachable("statement kind in structuralHash");
   }
+}
+
+size_t ft::structuralHash(const Stmt &S) {
+  AlphaScope Sc;
+  return hashStmtAlpha(Sc, S);
+}
+
+uint64_t ft::fingerprint(const Func &F) {
+  // Parameter binding: map each ABI slot to the preorder position of its
+  // VarDef so renaming a parameter cannot change the fingerprint but
+  // swapping two parameters of equal shape does.
+  std::map<std::string, size_t> DefOrder;
+  size_t NextDef = 0;
+  std::function<void(const Stmt &)> Walk = [&](const Stmt &S) {
+    switch (S->kind()) {
+    case NodeKind::StmtSeq:
+      for (const Stmt &Sub : cast<StmtSeqNode>(S)->Stmts)
+        Walk(Sub);
+      return;
+    case NodeKind::VarDef: {
+      auto D = cast<VarDefNode>(S);
+      DefOrder.emplace(D->Name, NextDef++); // First (outermost) def wins.
+      Walk(D->Body);
+      return;
+    }
+    case NodeKind::For:
+      return Walk(cast<ForNode>(S)->Body);
+    case NodeKind::If: {
+      auto I = cast<IfNode>(S);
+      Walk(I->Then);
+      if (I->Else)
+        Walk(I->Else);
+      return;
+    }
+    default:
+      return;
+    }
+  };
+  ftAssert(F.Body != nullptr, "fingerprint of a Func without a body");
+  Walk(F.Body);
+
+  size_t H = combine(0x46543f70, F.Params.size()); // "FT?p"
+  for (const std::string &P : F.Params) {
+    auto It = DefOrder.find(P);
+    H = combine(H, It != DefOrder.end() ? It->second
+                                        : std::hash<std::string>()(P));
+  }
+  return combine(H, structuralHash(F.Body));
 }

@@ -1,8 +1,22 @@
-//===- ir/compare.h - Structural equality and hashing ------------*- C++ -*-===//
+//===- ir/compare.h - Structural equality, hashing, fingerprints -*- C++ -*-===//
 ///
 /// \file
 /// Structural (deep) equality and hashing over AST nodes, ignoring statement
-/// IDs and labels. Used by tests, CSE-style passes, and pattern matching.
+/// IDs and labels. Expression comparison is name-exact; statement comparison
+/// is *alpha-renamed*: loop iterators and VarDef names are matched by binding
+/// site (binder occurrence order), not by spelling, so two programs that
+/// differ only in generated variable names compare (and hash) equal. Names
+/// not bound inside the compared subtree — tensor parameters seen from a
+/// statement fragment, for example — still compare by spelling.
+///
+/// `fingerprint(Func)` extends this to a whole-program content hash that is
+/// invariant to variable renaming, statement-ID renumbering and labels but
+/// sensitive to everything semantic (operators, constants, shapes, dtypes,
+/// access/mem types, loop properties, parameter binding order). It is the
+/// identity the kernel-compilation cache (codegen/kernel_cache.h) and the
+/// autoscheduler's candidate dedup key off of.
+///
+/// Used by tests, CSE-style passes, pattern matching, and the kernel cache.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -10,20 +24,35 @@
 #define FT_IR_COMPARE_H
 
 #include <cstddef>
+#include <cstdint>
 
-#include "ir/stmt.h"
+#include "ir/func.h"
 
 namespace ft {
 
-/// Returns true if two expressions are structurally identical.
+/// Returns true if two expressions are structurally identical (names are
+/// compared by spelling; there are no binders inside expressions).
 bool deepEqual(const Expr &A, const Expr &B);
 
-/// Returns true if two statements are structurally identical (IDs and
-/// labels are ignored; For iterator names matter).
+/// Returns true if two statements are alpha-equivalent: structurally
+/// identical with loop iterators and VarDef names matched by binding site.
+/// IDs and labels are ignored; names free in both subtrees must match by
+/// spelling.
 bool deepEqual(const Stmt &A, const Stmt &B);
 
 /// Structural hash consistent with deepEqual on expressions.
 size_t structuralHash(const Expr &E);
+
+/// Structural hash consistent with deepEqual on statements: two
+/// alpha-equivalent statements hash equal.
+size_t structuralHash(const Stmt &S);
+
+/// Canonical whole-program fingerprint of \p F: alpha-renamed over the body
+/// plus the parameter binding order (which VarDef each ABI slot names). Two
+/// Funcs that differ only in variable names, statement IDs, labels, or the
+/// function name fingerprint equal; any semantic difference — down to a
+/// loop's Parallel flag or a VarDef's MemType — changes it.
+uint64_t fingerprint(const Func &F);
 
 } // namespace ft
 

@@ -1,7 +1,9 @@
 //===- tests/autoschedule_test.cpp - The §4.3 rule passes -------------------===//
 
 #include <cmath>
+#include <cstdlib>
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include "autoschedule/autoschedule.h"
 #include "frontend/libop.h"
@@ -205,6 +207,48 @@ TEST(AutoScheduleTest, SwapEnablesFusion) {
     EXPECT_FLOAT_EQ(BZ.as<float>()[I], 0.25f * float(I) + 1.0f);
   }
   EXPECT_FLOAT_EQ(BW.as<float>()[0], 1.0f);
+}
+
+TEST(AutoScheduleTest, SearchDedupsStructurallyIdenticalCandidates) {
+  // Mutation rounds whose primitives are all rejected reproduce the
+  // incumbent bit for bit; the fingerprint memo must skip recompiling them.
+  char Tmpl[] = "/tmp/ftsearch.XXXXXX";
+  ASSERT_NE(::mkdtemp(Tmpl), nullptr);
+  ::setenv("FT_CACHE_DIR", Tmpl, 1);
+
+  FunctionBuilder B("tune");
+  View X = B.input("x", {makeIntConst(128)});
+  View Y = B.output("y", {makeIntConst(128)});
+  B.loop("i", 0, 128, [&](Expr I) {
+    Y[I].assign(X[I].load() * makeFloatConst(3.0) + makeFloatConst(1.0));
+  });
+  Func F = B.build();
+
+  Buffer BX(DataType::Float32, {128}), BY(DataType::Float32, {128});
+  for (int I = 0; I < 128; ++I)
+    BX.as<float>()[I] = 0.1f * float(I);
+
+  SearchOptions Opts;
+  Opts.Rounds = 8;
+  Opts.MeasureRuns = 1;
+  Opts.OptFlags = "-O1";
+  AutoScheduleReport R;
+  auto Best = autoTuneFunc(F, {{"x", &BX}, {"y", &BY}}, Opts, &R);
+  ASSERT_TRUE(Best.ok()) << Best.message();
+
+  EXPECT_EQ(R.CandidatesTried, Opts.Rounds + 1); // seed + every round
+  EXPECT_GT(R.CandidatesDeduped, 0);
+  EXPECT_EQ(R.CandidatesTried, R.CandidatesMeasured + R.CandidatesDeduped);
+  EXPECT_GT(R.BestMs, 0.0);
+
+  // The winner still computes the same function.
+  Buffer CY(DataType::Float32, {128});
+  interpret(*Best, {{"x", &BX}, {"y", &CY}});
+  for (int I = 0; I < 128; ++I)
+    EXPECT_NEAR(CY.as<float>()[I], 3.0f * BX.as<float>()[I] + 1.0f, 1e-5);
+
+  ::unsetenv("FT_CACHE_DIR");
+  std::system(("rm -rf '" + std::string(Tmpl) + "'").c_str());
 }
 
 } // namespace

@@ -1,0 +1,234 @@
+//===- tests/compare_test.cpp - Structural compare / hash / fingerprint ---===//
+//
+// Properties of ir/compare.h:
+//   - deepEqual(Stmt) is alpha-renamed: programs differing only in variable
+//     names compare equal, hash equal, and fingerprint equal.
+//   - structuralHash agrees with deepEqual (equal trees never hash apart).
+//   - The printer is an oracle: toString() ignores IDs and labels, so two
+//     programs that print identically MUST be deepEqual.
+//   - fingerprint(Func) is sensitive to every semantic knob (operators,
+//     constants, loop properties, mem types, shapes, parameter order).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "frontend/builder.h"
+#include "frontend/libop.h"
+#include "ir/compare.h"
+#include "ir/printer.h"
+#include "schedule/schedule.h"
+
+using namespace ft;
+
+namespace {
+
+/// Deterministic PRNG (same shape as the fuzz suite's).
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed * 2654435761u + 1) {}
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) { // [Lo, Hi)
+    return Lo + static_cast<int64_t>(next() % uint64_t(Hi - Lo));
+  }
+  bool coin() { return next() & 1; }
+};
+
+/// Generates a random program covering StmtSeq / VarDef / For / If / Store /
+/// ReduceTo, with every user-visible name prefixed by \p P — so the same
+/// seed with two different prefixes yields alpha-renamed twins.
+Func makeProg(uint64_t Seed, const std::string &P) {
+  Rng R(Seed);
+  const int64_t N = R.range(5, 11);
+  const int64_t M = R.range(3, 8);
+  FunctionBuilder B(P + "cmp" + std::to_string(Seed));
+  View A = B.input(P + "a", {makeIntConst(N), makeIntConst(M)});
+  View Bv = B.input(P + "b", {makeIntConst(N)});
+  View Y = B.output(P + "y", {makeIntConst(N), makeIntConst(M)});
+  View Z = B.output(P + "z", {makeIntConst(N)});
+
+  B.loop(P + "i", 0, N, [&](Expr I) {
+    B.loop(P + "j", 0, M, [&](Expr J) {
+      Expr V = A[I][J].load() * makeFloatConst(0.5 + double(Seed % 3));
+      if (R.coin())
+        V = V + Bv[I].load();
+      if (R.coin()) {
+        Y[I][J].assign(V);
+      } else {
+        Y[I][J].assign(makeFloatConst(0.0));
+        B.ifThen(I >= 1, [&] { Y[I][J] += V * makeFloatConst(0.25); });
+      }
+    });
+  });
+
+  B.loop(P + "i", 0, N, [&](Expr I) {
+    View T = B.local(P + "t", {});
+    T.assign(0.0);
+    B.loop(P + "j", 0, M, [&](Expr J) {
+      if (R.coin())
+        T += Y[I][J].load();
+      else
+        T += ft::abs(A[I][J].load());
+    });
+    Z[I].assign(T.load() + Bv[I].load());
+  });
+  return B.build();
+}
+
+/// A small matmul; used to cover GemmCall via Schedule::asLib.
+Func makeMatmul(const std::string &P) {
+  const int64_t N = 8;
+  FunctionBuilder B(P + "mm");
+  View A = B.input(P + "A", {makeIntConst(N), makeIntConst(N)});
+  View Bm = B.input(P + "B", {makeIntConst(N), makeIntConst(N)});
+  View C = B.output(P + "C", {makeIntConst(N), makeIntConst(N)});
+  B.loop(P + "i", 0, N, [&](Expr I) {
+    B.loop(P + "j", 0, N, [&](Expr J) {
+      C[I][J].assign(0.0);
+      B.loop(P + "k", 0, N, [&](Expr K) {
+        C[I][J] += A[I][K].load() * Bm[K][J].load();
+      });
+    });
+  });
+  return B.build();
+}
+
+int64_t firstLoopId(const Stmt &S) {
+  if (auto L = dyn_cast<ForNode>(S))
+    return L->Id;
+  if (auto Seq = dyn_cast<StmtSeqNode>(S)) {
+    for (const Stmt &Sub : Seq->Stmts)
+      if (int64_t Id = firstLoopId(Sub); Id >= 0)
+        return Id;
+    return -1;
+  }
+  if (auto D = dyn_cast<VarDefNode>(S))
+    return firstLoopId(D->Body);
+  return -1;
+}
+
+} // namespace
+
+TEST(CompareTest, ReflexiveAndDeterministicOverAllStmtKinds) {
+  Func F = makeProg(7, "");
+  EXPECT_TRUE(deepEqual(F.Body, F.Body));
+  EXPECT_EQ(structuralHash(F.Body), structuralHash(F.Body));
+  EXPECT_EQ(fingerprint(F), fingerprint(F));
+
+  // GemmCall via asLib.
+  Func Mm = makeMatmul("");
+  Schedule S(Mm);
+  ASSERT_TRUE(S.asLib(firstLoopId(S.ast())).ok());
+  Func Lib = S.func();
+  EXPECT_TRUE(deepEqual(Lib.Body, Lib.Body));
+  EXPECT_EQ(structuralHash(Lib.Body), structuralHash(Lib.Body));
+  // Lowering to the library call is a semantic change.
+  EXPECT_NE(fingerprint(Mm), fingerprint(Lib));
+}
+
+TEST(CompareTest, AlphaRenamedProgramsCompareAndHashEqual) {
+  for (uint64_t Seed : {1, 2, 3, 11, 29}) {
+    Func A = makeProg(Seed, "");
+    Func B = makeProg(Seed, "ren_");
+    // The twins really are spelled differently...
+    EXPECT_NE(toString(A.Body), toString(B.Body)) << "seed " << Seed;
+    // ...yet compare, hash, and fingerprint identically.
+    EXPECT_TRUE(deepEqual(A.Body, B.Body)) << "seed " << Seed;
+    EXPECT_EQ(structuralHash(A.Body), structuralHash(B.Body))
+        << "seed " << Seed;
+    EXPECT_EQ(fingerprint(A), fingerprint(B)) << "seed " << Seed;
+  }
+}
+
+TEST(CompareTest, SemanticDifferencesAreDetected) {
+  Func Base = makeProg(5, "");
+  uint64_t FP = fingerprint(Base);
+
+  // A different program entirely.
+  EXPECT_NE(FP, fingerprint(makeProg(6, "")));
+
+  // A loop property: parallelize the first loop.
+  {
+    Schedule S(Base);
+    ASSERT_TRUE(S.parallelize(firstLoopId(S.ast())).ok());
+    Func Par = S.func();
+    EXPECT_FALSE(deepEqual(Base.Body, Par.Body));
+    EXPECT_NE(FP, fingerprint(Par));
+  }
+
+  // A memory type: move the temporary to CPULocal.
+  {
+    Schedule S(Base);
+    ASSERT_TRUE(S.setMemType("t", MemType::CPULocal).ok());
+    EXPECT_NE(FP, fingerprint(S.func()));
+  }
+
+  // Splitting a loop restructures the nest.
+  {
+    Schedule S(Base);
+    if (S.split(firstLoopId(S.ast()), 2).ok())
+      EXPECT_NE(FP, fingerprint(S.func()));
+  }
+}
+
+TEST(CompareTest, FingerprintIgnoresFunctionName) {
+  FunctionBuilder B1("name_one"), B2("name_two");
+  for (FunctionBuilder *B : {&B1, &B2}) {
+    View X = B->input("x", {makeIntConst(16)});
+    View Y = B->output("y", {makeIntConst(16)});
+    B->loop("i", 0, 16, [&](Expr I) {
+      Y[I].assign(X[I].load() * makeFloatConst(2.0));
+    });
+  }
+  EXPECT_EQ(fingerprint(B1.build()), fingerprint(B2.build()));
+}
+
+TEST(CompareTest, HashAgreesWithEqualityUnderFuzz) {
+  // Printer oracle: toString ignores IDs/labels, so print-equal => deepEqual;
+  // and deepEqual => hash-equal, fingerprint-equal. Checked across pairs of
+  // random programs, their renamed twins, and scheduled variants.
+  std::vector<Func> Pool;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    Pool.push_back(makeProg(Seed, ""));
+    Pool.push_back(makeProg(Seed, "n_"));
+    Schedule S(Pool.back());
+    Rng R(Seed * 7919 + 13);
+    // A few random transformations; rejected ones change nothing.
+    for (int Step = 0; Step < 4; ++Step) {
+      int64_t L = firstLoopId(S.ast());
+      switch (R.range(0, 3)) {
+      case 0:
+        (void)S.split(L, R.range(2, 5));
+        break;
+      case 1:
+        (void)S.parallelize(L);
+        break;
+      case 2:
+        (void)S.vectorize(L);
+        break;
+      }
+    }
+    S.cleanup();
+    Pool.push_back(S.func());
+  }
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    for (size_t J = I; J < Pool.size(); ++J) {
+      const Func &A = Pool[I], &B = Pool[J];
+      bool Eq = deepEqual(A.Body, B.Body);
+      if (toString(A.Body) == toString(B.Body))
+        EXPECT_TRUE(Eq) << "pool " << I << " vs " << J
+                        << ": print-equal but not deepEqual";
+      if (Eq) {
+        EXPECT_EQ(structuralHash(A.Body), structuralHash(B.Body))
+            << "pool " << I << " vs " << J << ": equal but hash apart";
+        EXPECT_EQ(fingerprint(A), fingerprint(B))
+            << "pool " << I << " vs " << J;
+      }
+    }
+  }
+}

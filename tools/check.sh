@@ -4,7 +4,10 @@
 # 1. The tier-1 line from ROADMAP.md: configure, build, run every test.
 # 2. Trace smoke: run a real workload with FT_TRACE and validate that the
 #    Chrome-trace JSON parses and covers every compiler layer.
-# 3. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
+# 3. Kernel-cache smoke: a cold ftc run must miss, a second run must hit
+#    the disk tier, and FT_CACHE=0 / --no-cache must compile fresh —
+#    against a private cache directory, plain and under ASan.
+# 4. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
 #    separate build tree, so memory and UB bugs in the analysis/schedule
 #    layers cannot hide behind passing functional tests. The trace test
 #    runs there too: the observability layer itself must be clean.
@@ -82,6 +85,32 @@ print(f"profile OK: {len(loops)} loop rows, all resolved, "
 PYEOF
 rm -f "$ProfileJson"
 
+# Runs the four cache expectations against $1/ftc with a fresh private
+# cache dir: cold miss, warm disk hit, FT_CACHE=0 miss, --no-cache miss.
+cache_smoke() {
+  local Ftc="$1"
+  local CacheDir
+  CacheDir="$(mktemp -d /tmp/ft_check_cache.XXXXXX)"
+  local Out
+  Out="$("$Ftc" --workload gat --run 1 --cache-dir "$CacheDir")"
+  echo "$Out" | grep -q "cache: miss" ||
+    { echo "cache smoke: first run did not miss"; echo "$Out"; return 1; }
+  Out="$("$Ftc" --workload gat --run 1 --cache-dir "$CacheDir")"
+  echo "$Out" | grep -q "cache: disk" ||
+    { echo "cache smoke: second run did not hit disk"; echo "$Out"; return 1; }
+  Out="$(FT_CACHE=0 "$Ftc" --workload gat --run 1 --cache-dir "$CacheDir")"
+  echo "$Out" | grep -q "cache: miss" ||
+    { echo "cache smoke: FT_CACHE=0 did not miss"; echo "$Out"; return 1; }
+  Out="$("$Ftc" --workload gat --run 1 --cache-dir "$CacheDir" --no-cache)"
+  echo "$Out" | grep -q "cache: miss" ||
+    { echo "cache smoke: --no-cache did not miss"; echo "$Out"; return 1; }
+  rm -rf "$CacheDir"
+  echo "cache smoke OK: cold miss, warm disk hit, FT_CACHE=0 + --no-cache miss"
+}
+
+echo "== kernel-cache smoke: ftc cold/warm/disabled =="
+cache_smoke ./build/tools/ftc
+
 if [ "$SKIP_SANITIZE" = 1 ]; then
   echo "== sanitizer sweep skipped (--skip-sanitize) =="
   exit 0
@@ -105,5 +134,8 @@ assert doc['profiles'] and doc['profiles'][0]['loops'], 'empty profile'
 print('ASan profile smoke OK')
 "
 rm -f "$ProfileJson"
+
+echo "== kernel-cache smoke under ASan =="
+ASAN_OPTIONS=detect_leaks=0 cache_smoke ./build-asan/tools/ftc
 
 echo "== check.sh: all green =="

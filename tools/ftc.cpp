@@ -13,11 +13,14 @@
 //       [--profile]         instrument the kernel (implies --run) and print
 //                           the per-loop profile table; combine with
 //                           FT_PROFILE=out.folded/out.json for file sinks
+//       [--no-cache]        disable the kernel cache (sets FT_CACHE=0)
+//       [--cache-dir DIR]   use DIR as the kernel cache (sets FT_CACHE_DIR)
 //
 //===----------------------------------------------------------------------===//
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -49,7 +52,8 @@ int usage() {
       stderr,
       "usage: ftc --workload subdivnet|longformer|softras|gat\n"
       "           [--print-ir] [--print-opt-ir] [--no-autoschedule]\n"
-      "           [--emit-cpp FILE|-] [--grad] [--run N] [--profile]\n");
+      "           [--emit-cpp FILE|-] [--grad] [--run N] [--profile]\n"
+      "           [--no-cache] [--cache-dir DIR]\n");
   return 2;
 }
 
@@ -118,6 +122,10 @@ int main(int argc, char **argv) {
       O.EmitCpp = argv[++I];
     else if (A == "--run" && I + 1 < argc)
       O.Run = std::atoi(argv[++I]);
+    else if (A == "--no-cache")
+      ::setenv("FT_CACHE", "0", /*overwrite=*/1);
+    else if (A == "--cache-dir" && I + 1 < argc)
+      ::setenv("FT_CACHE_DIR", argv[++I], /*overwrite=*/1);
     else
       return usage();
   }
@@ -181,7 +189,8 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "compile failed: %s\n", K.message().c_str());
       return 1;
     }
-    std::printf("JIT compile: %.2f s\n", K->compileSeconds());
+    std::printf("JIT compile: %.2f s (cache: %s)\n", K->compileSeconds(),
+                nameOf(K->cacheTier()));
     std::map<std::string, Buffer *> Args;
     for (auto &[N, Buf] : B.Store)
       Args[N] = &Buf;
