@@ -1,0 +1,274 @@
+//===- bench/serve_bench.cpp - Serving-runtime latency benchmark ----------===//
+//
+// The kernel-serving runtime (serve/serve.h) against its three acceptance
+// criteria, on a fresh private kernel-cache directory:
+//
+//  (a) cold first-request latency (interpreter tier) is far below the
+//      synchronous JIT compile time it hides;
+//  (b) after warm-up, >= 95% of a closed-loop request stream is served by
+//      the JIT tier;
+//  (c) under a 10x open-loop overload burst against a small queue, the
+//      bounded queue rejects (reject policy) instead of growing without
+//      bound, and every accepted request still completes.
+//
+// Latencies are recorded per tier and reported as p50/p95/p99 in
+// BENCH_serve.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "codegen/jit.h"
+#include "codegen/kernel_cache.h"
+#include "frontend/builder.h"
+#include "serve/serve.h"
+#include "support/error.h"
+
+using namespace ft;
+using namespace ft::serve;
+
+namespace {
+
+double seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int64_t kN = 4096;
+
+/// Distinct \p Scale values give distinct fingerprints — one serving
+/// "model" per scale.
+Func makeWorkload(double Scale) {
+  FunctionBuilder B("servek");
+  View X = B.input("x", {makeIntConst(kN)});
+  View Y = B.output("y", {makeIntConst(kN)});
+  B.loop("i", 0, kN, [&](Expr I) {
+    Y[I].assign(X[I].load() * makeFloatConst(Scale) + makeFloatConst(1.0));
+  });
+  return B.build();
+}
+
+struct Slot {
+  Buffer X{DataType::Float32, {kN}};
+  Buffer Y{DataType::Float32, {kN}};
+  std::future<Response> Fut;
+
+  std::map<std::string, Buffer *> args(const Func &F) {
+    return {{F.Params[0], &X}, {F.Params[1], &Y}};
+  }
+};
+
+struct Percentiles {
+  double P50Us = 0, P95Us = 0, P99Us = 0;
+  size_t Count = 0;
+};
+
+Percentiles percentiles(std::vector<double> LatSec) {
+  Percentiles P;
+  P.Count = LatSec.size();
+  if (LatSec.empty())
+    return P;
+  std::sort(LatSec.begin(), LatSec.end());
+  auto At = [&](double Q) {
+    size_t I = static_cast<size_t>(Q * double(LatSec.size() - 1));
+    return LatSec[I] * 1e6;
+  };
+  P.P50Us = At(0.50);
+  P.P95Us = At(0.95);
+  P.P99Us = At(0.99);
+  return P;
+}
+
+void jsonTier(std::FILE *F, const char *Name, const Percentiles &P,
+              bool TrailingComma) {
+  std::fprintf(F,
+               "    \"%s\": {\"count\": %zu, \"p50_us\": %.1f, "
+               "\"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
+               Name, P.Count, P.P50Us, P.P95Us, P.P99Us,
+               TrailingComma ? "," : "");
+}
+
+} // namespace
+
+int main() {
+  char Tmpl[] = "/tmp/ftservebench.XXXXXX";
+  ftAssert(::mkdtemp(Tmpl) != nullptr, "mkdtemp failed");
+  ::setenv("FT_CACHE_DIR", Tmpl, 1);
+  ::setenv("FT_CACHE", "1", 1);
+  kernel_cache::memReset();
+
+  bool Ok = true;
+
+  //===------------------------------------------------------------------===//
+  // Reference: what a request would wait on without the interpreter tier.
+  // A structurally identical program with a fingerprint the serving phases
+  // never use, so the cache directory stays cold for them.
+  //===------------------------------------------------------------------===//
+  Config Cfg; // defaults; OptFlags matches what the executor compiles with
+  double T0 = seconds();
+  auto Ref = Kernel::compile(makeWorkload(99.0), CodegenOptions{}, Cfg.OptFlags);
+  double CompileRefSec = seconds() - T0;
+  ftAssert(Ref.ok(), Ref.message());
+
+  std::vector<double> InterpLat, JitLat;
+
+  //===------------------------------------------------------------------===//
+  // (a) Cold start: the first request is served now, not post-compile.
+  //===------------------------------------------------------------------===//
+  const int kModels = 4;
+  std::vector<Func> Models;
+  for (int M = 0; M < kModels; ++M)
+    Models.push_back(makeWorkload(1.0 + M));
+
+  double ColdFirstSec = 0;
+  uint64_t WarmJit = 0, WarmTotal = 0;
+  {
+    Config C;
+    C.Threads = 2;
+    Executor Ex(C);
+
+    Slot First;
+    auto R = Ex.submit(Models[0], First.args(Models[0]));
+    ftAssert(R.ok(), R.message());
+    Response Resp = R->get();
+    ftAssert(Resp.S.ok(), Resp.S.message());
+    ColdFirstSec = Resp.LatencySec;
+    if (Resp.ServedBy == Tier::Interp)
+      InterpLat.push_back(Resp.LatencySec);
+    Ok = Ok && Resp.ServedBy == Tier::Interp && ColdFirstSec < CompileRefSec;
+
+    // Warm-up: touch every model once, then wait for the compiles.
+    for (int M = 1; M < kModels; ++M) {
+      Slot S;
+      auto R2 = Ex.submit(Models[M], S.args(Models[M]));
+      ftAssert(R2.ok(), R2.message());
+      Response Resp2 = R2->get();
+      ftAssert(Resp2.S.ok(), Resp2.S.message());
+      if (Resp2.ServedBy == Tier::Interp)
+        InterpLat.push_back(Resp2.LatencySec);
+      else
+        JitLat.push_back(Resp2.LatencySec);
+    }
+    Ex.drain();
+
+    //===----------------------------------------------------------------===//
+    // (b) Closed loop over warm models: >= 95% JIT tier.
+    //===----------------------------------------------------------------===//
+    ServeStats Before = Ex.stats();
+    const int kWarmReqs = 400;
+    for (int I = 0; I < kWarmReqs; ++I) {
+      const Func &F = Models[I % kModels];
+      Slot S;
+      auto R2 = Ex.submit(F, S.args(F));
+      ftAssert(R2.ok(), R2.message());
+      Response Resp2 = R2->get();
+      ftAssert(Resp2.S.ok(), Resp2.S.message());
+      if (Resp2.ServedBy == Tier::Jit)
+        JitLat.push_back(Resp2.LatencySec);
+      else
+        InterpLat.push_back(Resp2.LatencySec);
+    }
+    ServeStats After = Ex.stats();
+    WarmJit = After.JitServed - Before.JitServed;
+    WarmTotal = kWarmReqs;
+    Ok = Ok && WarmJit * 100 >= WarmTotal * 95;
+    Ex.shutdown();
+  }
+
+  //===------------------------------------------------------------------===//
+  // (c) Open-loop 10x overload against a small queue: bounded, not broken.
+  //===------------------------------------------------------------------===//
+  uint64_t Offered = 0, Accepted = 0, RejectedCnt = 0;
+  size_t OverloadQueueCap = 0;
+  {
+    Config C;
+    C.Threads = 2;
+    C.QueueCap = 16;
+    C.BlockOnFull = false; // reject policy is the point of this phase
+    OverloadQueueCap = C.QueueCap;
+    Executor Ex(C);
+    // A fresh fingerprint: requests are interpreter-tier (the compile is
+    // still in flight), i.e. slow relative to the burst — a genuine
+    // overload.
+    Func F = makeWorkload(77.0);
+
+    Offered = 10 * C.QueueCap;
+    std::vector<Slot> Slots(Offered);
+    for (Slot &S : Slots) {
+      auto R = Ex.submit(F, S.args(F));
+      if (R.ok()) {
+        S.Fut = std::move(*R);
+        ++Accepted;
+      } else {
+        ++RejectedCnt;
+      }
+    }
+    for (Slot &S : Slots)
+      if (S.Fut.valid()) {
+        Response Resp = S.Fut.get();
+        ftAssert(Resp.S.ok(), Resp.S.message());
+        if (Resp.ServedBy == Tier::Jit)
+          JitLat.push_back(Resp.LatencySec);
+        else
+          InterpLat.push_back(Resp.LatencySec);
+      }
+    ServeStats St = Ex.stats();
+    Ok = Ok && RejectedCnt > 0 && St.Rejected == RejectedCnt &&
+         St.Submitted == Accepted;
+    Ex.shutdown();
+  }
+
+  Percentiles PI = percentiles(InterpLat);
+  Percentiles PJ = percentiles(JitLat);
+
+  std::printf("compile ref %.3f s | cold first request %.6f s (%s, %.0fx "
+              "faster)\n",
+              CompileRefSec, ColdFirstSec,
+              ColdFirstSec < CompileRefSec ? "hidden" : "NOT HIDDEN",
+              CompileRefSec / ColdFirstSec);
+  std::printf("warm closed loop: %llu/%llu jit-tier (%.1f%%)\n",
+              (unsigned long long)WarmJit, (unsigned long long)WarmTotal,
+              100.0 * double(WarmJit) / double(WarmTotal));
+  std::printf("overload 10x: offered %llu accepted %llu rejected %llu\n",
+              (unsigned long long)Offered, (unsigned long long)Accepted,
+              (unsigned long long)RejectedCnt);
+  std::printf("interp tier: n=%zu p50 %.1fus p95 %.1fus p99 %.1fus\n",
+              PI.Count, PI.P50Us, PI.P95Us, PI.P99Us);
+  std::printf("jit tier:    n=%zu p50 %.1fus p95 %.1fus p99 %.1fus\n",
+              PJ.Count, PJ.P50Us, PJ.P95Us, PJ.P99Us);
+
+  std::FILE *F = std::fopen("BENCH_serve.json", "w");
+  ftAssert(F != nullptr, "could not open BENCH_serve.json");
+  std::fprintf(F, "{\n  \"benchmark\": \"serve\",\n");
+  std::fprintf(F,
+               "  \"cold\": {\"compile_ref_sec\": %.6f, "
+               "\"first_request_sec\": %.6f, \"hidden\": %s},\n",
+               CompileRefSec, ColdFirstSec,
+               ColdFirstSec < CompileRefSec ? "true" : "false");
+  std::fprintf(F,
+               "  \"warm\": {\"requests\": %llu, \"jit_served\": %llu, "
+               "\"jit_fraction\": %.4f, \"target_fraction\": 0.95},\n",
+               (unsigned long long)WarmTotal, (unsigned long long)WarmJit,
+               double(WarmJit) / double(WarmTotal));
+  std::fprintf(F,
+               "  \"overload\": {\"queue_cap\": %zu, \"offered\": %llu, "
+               "\"accepted\": %llu, \"rejected\": %llu},\n",
+               OverloadQueueCap, (unsigned long long)Offered,
+               (unsigned long long)Accepted, (unsigned long long)RejectedCnt);
+  std::fprintf(F, "  \"tiers\": {\n");
+  jsonTier(F, "interp", PI, true);
+  jsonTier(F, "jit", PJ, false);
+  std::fprintf(F, "  },\n  \"pass\": %s\n}\n", Ok ? "true" : "false");
+  std::fclose(F);
+
+  std::system(("rm -rf '" + std::string(Tmpl) + "'").c_str());
+  std::printf("%s\n", Ok ? "PASS" : "FAIL");
+  return Ok ? 0 : 1;
+}

@@ -99,6 +99,9 @@ struct Kernel::Impl {
   /// private rt::KernelStats (invocations, parallelFor regions/iterations,
   /// gemm calls, memory accounting) behind a version/field-count header.
   void (*RtStats)(uint64_t *) = nullptr;
+  /// Optional thread-budget setter: caps the kernel's private ThreadPool
+  /// (rt::setPoolCap) so concurrent kernels cannot oversubscribe the host.
+  void (*RtSetThreads)(int) = nullptr;
   /// Profile-mode export: fills the per-statement counter table; called
   /// with (nullptr, 0) it returns the buffer size in words.
   uint64_t (*RtProfile)(uint64_t *, uint64_t) = nullptr;
@@ -196,6 +199,8 @@ Status Kernel::Impl::loadLibrary(const std::string &LibPath,
   // hand-written ones) simply lack the symbol.
   RtStats = reinterpret_cast<void (*)(uint64_t *)>(
       dlsym(Handle, (Symbol + "_rt_stats").c_str()));
+  RtSetThreads = reinterpret_cast<void (*)(int)>(
+      dlsym(Handle, (Symbol + "_rt_set_threads").c_str()));
   if (NeedProfileExport) {
     RtProfile = reinterpret_cast<uint64_t (*)(uint64_t *, uint64_t)>(
         dlsym(Handle, (Symbol + "_rt_profile").c_str()));
@@ -231,6 +236,54 @@ Result<Kernel> Kernel::compile(const Func &F, const std::string &OptFlags) {
   CodegenOptions Opts;
   Opts.Profile = profile::envEnabled();
   return compile(F, Opts, OptFlags);
+}
+
+std::optional<Kernel> Kernel::tryCached(const Func &F,
+                                        const CodegenOptions &Opts,
+                                        const std::string &OptFlags) {
+  kernel_cache::Config Cfg = kernel_cache::config();
+  if (!Cfg.Enabled)
+    return std::nullopt;
+  trace::Span Sp("codegen/kernel_cache.probe");
+  auto T0 = std::chrono::steady_clock::now();
+  kernel_cache::Key CK = kernel_cache::cacheKey(F, Opts, OptFlags);
+  if (Sp.active())
+    Sp.annotate("key", CK.hex());
+  // Memory tier (skipped for profiled kernels; see compile()).
+  if (!Opts.Profile) {
+    if (std::optional<Kernel> K = kernel_cache::memLookup(CK.Full)) {
+      metrics::counter("codegen/jit_cache_hit_mem").fetch_add(1);
+      Sp.annotate("hit", "mem");
+      K->Tier = KernelCacheTier::Memory;
+      K->CompileSec = secondsSince(T0);
+      return K;
+    }
+  }
+  // Disk tier: dlopen the stored object. Corrupt entries are evicted, and
+  // the probe reports a miss — it never compiles.
+  std::string So = kernel_cache::diskLookup(Cfg, CK);
+  if (!So.empty()) {
+    if (auto SkelR = Impl::makeSkeleton(F, Opts); SkelR.ok()) {
+      std::shared_ptr<Impl> I = *SkelR;
+      if (Status L = I->loadLibrary(So, Opts.Profile); L.ok()) {
+        I->Source = kernel_cache::storedSource(Cfg, CK);
+        metrics::counter("codegen/jit_cache_hit_disk").fetch_add(1);
+        Sp.annotate("hit", "disk");
+        Kernel K;
+        K.I = std::move(I);
+        K.Tier = KernelCacheTier::Disk;
+        K.CompileSec = secondsSince(T0);
+        if (!Opts.Profile)
+          kernel_cache::memInsert(CK.Full, K, Cfg.MemEntries);
+        return K;
+      }
+      kernel_cache::evictDisk(Cfg, CK);
+    }
+  }
+  // Deliberately not counted against codegen/jit_cache_miss: a probe miss
+  // is expected serving traffic (the cold tier handles it), not a compile.
+  Sp.annotate("hit", "none");
+  return std::nullopt;
 }
 
 Result<Kernel> Kernel::compile(const Func &F, const CodegenOptions &Opts,
@@ -394,6 +447,13 @@ Status Kernel::run(const std::map<std::string, Buffer *> &Args) const {
     }
   }
   return Status::success();
+}
+
+bool Kernel::setMaxThreads(int N) const {
+  if (!I || !I->RtSetThreads)
+    return false;
+  I->RtSetThreads(N < 1 ? 1 : N);
+  return true;
 }
 
 double Kernel::compileSeconds() const { return CompileSec; }

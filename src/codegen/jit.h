@@ -19,6 +19,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "codegen/codegen.h"
 #include "codegen/profile.h"
@@ -71,8 +72,26 @@ public:
   static Result<Kernel> compile(const Func &F, const CodegenOptions &Opts,
                                 const std::string &OptFlags = "-O3");
 
+  /// Cache-only acquisition: returns the kernel when the fingerprint hits
+  /// the in-process LRU or the on-disk store, nullopt on a miss — the host
+  /// compiler never runs. This is the serving runtime's hot-tier probe
+  /// (src/serve/): a miss there falls back to the interpreter while a
+  /// background task calls compile(). Thread-safe; concurrent probes and
+  /// compiles of the same program are allowed.
+  static std::optional<Kernel> tryCached(const Func &F,
+                                         const CodegenOptions &Opts = {},
+                                         const std::string &OptFlags = "-O3");
+
   /// Runs the kernel binding each parameter by name.
   Status run(const std::map<std::string, Buffer *> &Args) const;
+
+  /// Caps this kernel's runtime thread pool at \p N workers (>= 1) via the
+  /// `<symbol>_rt_set_threads` export. Call before the first run to also
+  /// bound thread creation, not just thread use. The serving executor caps
+  /// every kernel it loads so K concurrent kernels cannot oversubscribe
+  /// the machine K-fold. No-op (returns false) for kernels predating the
+  /// export.
+  bool setMaxThreads(int N) const;
 
   /// Wall-clock seconds spent acquiring this kernel: host-compiler time on
   /// a cache miss, lookup + dlopen time on a cache hit.

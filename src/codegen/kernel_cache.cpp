@@ -239,8 +239,9 @@ void ft::kernel_cache::memInsert(uint64_t FullKey, const Kernel &K,
     return;
   auto It = T.Index.find(FullKey);
   if (It != T.Index.end()) {
+    // First writer wins: keep the resident handle (it may already be
+    // shared out by memLookup) and just refresh its LRU position.
     T.Order.splice(T.Order.begin(), T.Order, It->second);
-    T.Order.front().second = K;
   } else {
     T.Order.emplace_front(FullKey, K);
     T.Index[FullKey] = T.Order.begin();

@@ -46,7 +46,8 @@ namespace ft::kernel_cache {
 /// the emitted code changes (e.g. a codegen bugfix that alters semantics
 /// without changing the IR): stale entries from older schemas then simply
 /// never hit.
-inline constexpr uint64_t kSchemaVersion = 1;
+/// v2: kernels gained the `<symbol>_rt_set_threads` thread-budget export.
+inline constexpr uint64_t kSchemaVersion = 2;
 
 /// Cache configuration as read from the environment.
 struct Config {
@@ -88,6 +89,10 @@ Key cacheKey(const Func &F, const CodegenOptions &Opts,
 std::optional<Kernel> memLookup(uint64_t FullKey);
 
 /// Inserts \p K under \p FullKey, evicting LRU entries beyond \p Cap.
+/// First writer wins on a duplicate key (the entry is only refreshed to
+/// MRU): when N threads race to compile the same program, later finishers
+/// converge on the handle already shared out by memLookup instead of
+/// installing N distinct loaded libraries.
 void memInsert(uint64_t FullKey, const Kernel &K, size_t Cap);
 
 /// Number of currently resident memory-tier entries.

@@ -278,6 +278,24 @@ inline ProfileEntry *profWorkerSlots(int W, uint32_t NumSlots) {
                                               NumSlots);
 }
 
+/// Upper bound on the workers this kernel's pool may use, settable from the
+/// host through the `<symbol>_rt_set_threads` export (Kernel::setMaxThreads).
+/// Each JIT-compiled .so carries a private ThreadPool that would otherwise
+/// size itself from FT_NUM_THREADS / hardware_concurrency independently, so
+/// K concurrently-running kernels would oversubscribe the machine K times;
+/// the host divides its thread budget across the kernels it intends to run
+/// concurrently (the serving executor caps every kernel it loads). The cap
+/// is honored both at pool construction (threads are never spawned past it)
+/// and per parallelFor region (a later, lower cap idles excess workers).
+inline std::atomic<int> &poolCap() {
+  static std::atomic<int> Cap{1 << 30};
+  return Cap;
+}
+
+inline void setPoolCap(int N) {
+  poolCap().store(N < 1 ? 1 : N, std::memory_order_relaxed);
+}
+
 /// A minimal persistent thread pool. Work items are half-open index ranges;
 /// the calling thread participates, so a pool on a single-core machine
 /// degenerates to a plain loop.
@@ -300,7 +318,7 @@ public:
     KS.ParallelFors.fetch_add(1, std::memory_order_relaxed);
     KS.ParallelIters.fetch_add(static_cast<uint64_t>(N),
                                std::memory_order_relaxed);
-    int Workers = NumThreads;
+    int Workers = cappedWorkers();
     if (N < Workers || Workers <= 1) {
       for (int64_t I = Begin; I < End; ++I)
         Fn(I);
@@ -350,7 +368,7 @@ public:
     KS.ParallelFors.fetch_add(1, std::memory_order_relaxed);
     KS.ParallelIters.fetch_add(static_cast<uint64_t>(N),
                                std::memory_order_relaxed);
-    int Workers = NumThreads;
+    int Workers = cappedWorkers();
     if (N < Workers || Workers <= 1) {
       for (int64_t I = Begin; I < End; ++I)
         Fn(I, 0);
@@ -384,6 +402,15 @@ public:
   }
 
 private:
+  /// Active workers for the next region: the configured pool size clamped
+  /// by the host-set cap (the cap can drop below NumThreads after the pool
+  /// was built; the surplus threads then simply receive no tasks).
+  int cappedWorkers() const {
+    int Cap = poolCap().load(std::memory_order_relaxed);
+    int W = NumThreads < Cap ? NumThreads : Cap;
+    return W < 1 ? 1 : W;
+  }
+
   ThreadPool() {
     NumThreads = static_cast<int>(std::thread::hardware_concurrency());
     // FT_NUM_THREADS overrides hardware_concurrency (clamped to [1, 256]);
@@ -399,6 +426,12 @@ private:
     }
     if (NumThreads < 1)
       NumThreads = 1;
+    // A cap installed before first use (the host calls setMaxThreads right
+    // after dlopen, before the kernel ever runs) bounds the threads we
+    // spawn at all, not just the ones we use.
+    int Cap = poolCap().load(std::memory_order_relaxed);
+    if (NumThreads > Cap)
+      NumThreads = Cap < 1 ? 1 : Cap;
     for (int W = 1; W < NumThreads; ++W)
       Threads.emplace_back([this] { workerLoop(); });
   }

@@ -454,3 +454,44 @@ InterpStats ft::interpret(const Func &F,
                           const InterpOptions &Opts) {
   return Interp(F, Args, Opts).run();
 }
+
+Status ft::validateArgs(const Func &F,
+                        const std::map<std::string, Buffer *> &Args) {
+  for (const std::string &P : F.Params) {
+    auto It = Args.find(P);
+    if (It == Args.end() || It->second == nullptr)
+      return Status::error("missing argument `" + P + "`");
+    auto D = findVarDef(F.Body, P);
+    if (!D)
+      return Status::error("parameter `" + P + "` has no VarDef");
+    const Buffer &B = *It->second;
+    if (B.dtype() != D->Info.Dtype)
+      return Status::error("dtype mismatch for argument `" + P + "`");
+    if (B.shape().size() != D->Info.Shape.size())
+      return Status::error("rank mismatch for argument `" + P + "`: got " +
+                           std::to_string(B.shape().size()) + ", want " +
+                           std::to_string(D->Info.Shape.size()));
+    // Constant extents (the common case for parameters) are checked here;
+    // symbolic extents can only be caught at execution time.
+    for (size_t Dim = 0; Dim < D->Info.Shape.size(); ++Dim)
+      if (auto C = dyn_cast<IntConstNode>(D->Info.Shape[Dim]))
+        if (B.shape()[Dim] != C->Val)
+          return Status::error(
+              "shape mismatch for argument `" + P + "` in dimension " +
+              std::to_string(Dim) + ": got " +
+              std::to_string(B.shape()[Dim]) + ", want " +
+              std::to_string(C->Val));
+  }
+  return Status::success();
+}
+
+Status ft::interpretChecked(const Func &F,
+                            const std::map<std::string, Buffer *> &Args,
+                            InterpStats *Stats, const InterpOptions &Opts) {
+  if (Status S = validateArgs(F, Args); !S.ok())
+    return S;
+  InterpStats Out = interpret(F, Args, Opts);
+  if (Stats)
+    *Stats = Out;
+  return Status::success();
+}

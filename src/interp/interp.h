@@ -66,6 +66,22 @@ InterpStats interpret(const Func &F,
                       const std::map<std::string, Buffer *> &Args,
                       const InterpOptions &Opts = {});
 
+/// Checks that every parameter of \p F is bound in \p Args with the right
+/// dtype (the same contract Kernel::run enforces). Returns a typed error
+/// instead of aborting — callers that accept untrusted requests (the
+/// serving runtime) validate before execution.
+Status validateArgs(const Func &F,
+                    const std::map<std::string, Buffer *> &Args);
+
+/// validateArgs + interpret: the Status-returning execution entry the
+/// serving runtime uses as its cold tier (a request whose kernel is not
+/// yet JIT-compiled is answered by the interpreter). On success the
+/// counters are written to \p Stats when non-null.
+Status interpretChecked(const Func &F,
+                        const std::map<std::string, Buffer *> &Args,
+                        InterpStats *Stats = nullptr,
+                        const InterpOptions &Opts = {});
+
 } // namespace ft
 
 #endif // FT_INTERP_INTERP_H

@@ -1,0 +1,106 @@
+//===- serve/dispatch.h - Per-fingerprint kernel directory -------*- C++ -*-===//
+///
+/// \file
+/// The executor's routing table: one entry per kernel fingerprint, holding
+/// the tier state machine that decides how a request is served and dedups
+/// background compiles.
+///
+///     Cold ──► Compiling ──► Ready   (compiled kernel serves the JIT tier)
+///                     └────► Failed  (pinned to the interpreter forever)
+///
+/// Exactly one submitter wins the Cold→Compiling transition per fingerprint
+/// (beginCompile), so N concurrent cache misses enqueue one compile job.
+/// Entries also carry RunMu, which serializes executions of the same
+/// kernel: generated kernels keep non-atomic per-chunk profile slots and a
+/// private thread pool, so two simultaneous runs of one kernel would race.
+/// Different fingerprints run fully in parallel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_SERVE_DISPATCH_H
+#define FT_SERVE_DISPATCH_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "codegen/jit.h"
+#include "ir/func.h"
+
+namespace ft::serve {
+
+/// Compile/tier state of one fingerprint. See the file comment.
+enum class KernelState : uint8_t { Cold, Compiling, Ready, Failed };
+
+/// Returns "cold" / "compiling" / "ready" / "failed".
+const char *nameOf(KernelState S);
+
+/// One fingerprint's entry. State fields are guarded by Mu; RunMu is held
+/// while (and only while) the kernel or the interpreter executes requests
+/// of this fingerprint.
+struct KernelEntry {
+  /// The full cache key (kernel_cache::Key::Full) identifying this entry.
+  const uint64_t Key;
+  /// The function as first submitted — the background compile input. All
+  /// later submissions with the same key are semantically identical
+  /// programs (the key hashes the whole program), so any one serves.
+  const Func F;
+
+  explicit KernelEntry(uint64_t Key, Func F)
+      : Key(Key), F(std::move(F)) {}
+
+  /// If this entry is Cold, moves it to Compiling and returns true — the
+  /// caller is now responsible for enqueueing exactly one compile job.
+  /// Returns false in every other state (someone else already did, or the
+  /// outcome is already known).
+  bool beginCompile();
+
+  /// Publishes a successful compile: installs the kernel and moves to
+  /// Ready.
+  void finishCompile(Kernel K);
+
+  /// Publishes a failed compile: records the message, moves to Failed.
+  /// Every future request of this fingerprint is served by the
+  /// interpreter.
+  void failCompile(std::string Msg);
+
+  KernelState state() const;
+
+  /// The compiled kernel when Ready, nullopt otherwise.
+  std::optional<Kernel> kernel() const;
+
+  /// The compile failure message (empty unless Failed).
+  std::string failure() const;
+
+  /// Serializes execution of this fingerprint (see the file comment).
+  std::mutex RunMu;
+
+private:
+  mutable std::mutex Mu;
+  KernelState State = KernelState::Cold;
+  std::optional<Kernel> K;
+  std::string FailMsg;
+};
+
+/// The fingerprint → entry map. intern() is the only mutation; entries are
+/// shared_ptrs so requests and the compile thread hold them across the
+/// directory lock.
+class KernelDirectory {
+public:
+  /// The entry for \p Key, created (Cold, holding a copy of \p F) on first
+  /// sight.
+  std::shared_ptr<KernelEntry> intern(uint64_t Key, const Func &F);
+
+  /// Distinct fingerprints interned so far.
+  size_t size() const;
+
+private:
+  mutable std::mutex Mu;
+  std::unordered_map<uint64_t, std::shared_ptr<KernelEntry>> Map;
+};
+
+} // namespace ft::serve
+
+#endif // FT_SERVE_DISPATCH_H

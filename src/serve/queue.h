@@ -1,0 +1,173 @@
+//===- serve/queue.h - Bounded MPMC request queue ----------------*- C++ -*-===//
+///
+/// \file
+/// The bounded multi-producer/multi-consumer queue at the front of the
+/// kernel-serving runtime (serve/serve.h). Capacity is the backpressure
+/// mechanism: producers either observe Full (reject policy) or block until
+/// space frees (block policy); consumers block until work or close().
+///
+/// Beyond plain push/pop it supports the dispatcher's micro-batching scan:
+/// extractIf pulls every queued element matching a predicate (same kernel
+/// fingerprint) so one worker can execute them back-to-back, and the timed
+/// variant keeps collecting arrivals until a deadline — the batch window.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_SERVE_QUEUE_H
+#define FT_SERVE_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace ft::serve {
+
+/// Outcome of a push attempt.
+enum class PushResult {
+  Ok,     ///< Enqueued.
+  Full,   ///< Bounded capacity reached (tryPush only).
+  Closed, ///< close() was called; the queue accepts nothing further.
+};
+
+/// See the file comment. All operations are linearizable under one internal
+/// mutex; elements must be movable.
+template <typename T> class BoundedQueue {
+public:
+  explicit BoundedQueue(size_t Cap) : Cap(Cap < 1 ? 1 : Cap) {}
+
+  /// Non-blocking enqueue: Full when at capacity (the reject policy).
+  PushResult tryPush(T V) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (IsClosed)
+        return PushResult::Closed;
+      if (Q.size() >= Cap)
+        return PushResult::Full;
+      Q.push_back(std::move(V));
+    }
+    NotEmpty.notify_one();
+    return PushResult::Ok;
+  }
+
+  /// Blocking enqueue: waits while full (the block policy). Closed when the
+  /// queue is closed before space frees.
+  PushResult pushWait(T V) {
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      NotFull.wait(Lock, [&] { return IsClosed || Q.size() < Cap; });
+      if (IsClosed)
+        return PushResult::Closed;
+      Q.push_back(std::move(V));
+    }
+    NotEmpty.notify_one();
+    return PushResult::Ok;
+  }
+
+  /// Blocking dequeue of the oldest element; nullopt once closed and
+  /// drained (the consumer's exit signal).
+  std::optional<T> popWait() {
+    std::optional<T> Out;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      NotEmpty.wait(Lock, [&] { return IsClosed || !Q.empty(); });
+      if (Q.empty())
+        return std::nullopt;
+      Out = std::move(Q.front());
+      Q.pop_front();
+    }
+    NotFull.notify_one();
+    return Out;
+  }
+
+  /// Removes up to \p Max queued elements satisfying \p P (front to back,
+  /// preserving order) into \p Out. Non-blocking; returns the count moved.
+  template <typename Pred>
+  size_t extractIf(const Pred &P, size_t Max, std::vector<T> &Out) {
+    size_t Moved = 0;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Moved = extractLocked(P, Max, Out);
+    }
+    if (Moved > 0)
+      NotFull.notify_all();
+    return Moved;
+  }
+
+  /// Like extractIf, but keeps collecting matching arrivals until \p Max
+  /// elements were gathered or \p Deadline passes — the micro-batch window.
+  /// Non-matching elements are left queued for other consumers.
+  template <typename Pred>
+  size_t extractIfUntil(const Pred &P, size_t Max,
+                        std::chrono::steady_clock::time_point Deadline,
+                        std::vector<T> &Out) {
+    size_t Moved = 0;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      for (;;) {
+        Moved += extractLocked(P, Max - Moved, Out);
+        if (Moved >= Max || IsClosed)
+          break;
+        if (NotEmpty.wait_until(Lock, Deadline) == std::cv_status::timeout) {
+          Moved += extractLocked(P, Max - Moved, Out);
+          break;
+        }
+      }
+    }
+    if (Moved > 0)
+      NotFull.notify_all();
+    return Moved;
+  }
+
+  /// Rejects all further pushes and wakes every waiter. Elements already
+  /// queued stay poppable (drain-on-shutdown pops them before exiting).
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      IsClosed = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return IsClosed;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Q.size();
+  }
+
+  size_t capacity() const { return Cap; }
+
+private:
+  template <typename Pred>
+  size_t extractLocked(const Pred &P, size_t Max, std::vector<T> &Out) {
+    size_t Moved = 0;
+    for (auto It = Q.begin(); It != Q.end() && Moved < Max;) {
+      if (P(*It)) {
+        Out.push_back(std::move(*It));
+        It = Q.erase(It);
+        ++Moved;
+      } else {
+        ++It;
+      }
+    }
+    return Moved;
+  }
+
+  mutable std::mutex Mu;
+  std::condition_variable NotEmpty;
+  std::condition_variable NotFull;
+  std::deque<T> Q;
+  size_t Cap;
+  bool IsClosed = false;
+};
+
+} // namespace ft::serve
+
+#endif // FT_SERVE_QUEUE_H

@@ -1,0 +1,330 @@
+//===- tests/concurrency_test.cpp - Cross-layer thread-safety -------------===//
+//
+// The thread-safety guarantees the serving runtime leans on, tested at the
+// layer that provides each one:
+//
+//   - metrics:: counters are relaxed atomics: concurrent increments from
+//     many threads lose nothing, and concurrent first-use registration of
+//     the same / different names is safe;
+//   - the kernel cache's in-process LRU survives a concurrent
+//     lookup/insert/evict storm (same and distinct keys, tiny capacity)
+//     with its bound intact and every handle it returns still runnable;
+//   - N threads compiling the same program concurrently all succeed and
+//     agree bit-for-bit (first-writer-wins insert, shared handles);
+//   - two kernels with private thread pools executing concurrently under
+//     Kernel::setMaxThreads caps still produce exact profile counts and
+//     correct outputs — the oversubscription fix must not break the
+//     per-chunk (non-atomic, worker-indexed) profile slots.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <gtest/gtest.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "codegen/jit.h"
+#include "codegen/kernel_cache.h"
+#include "codegen/profile.h"
+#include "frontend/builder.h"
+#include "schedule/schedule.h"
+#include "support/metrics.h"
+
+using namespace ft;
+
+namespace {
+
+Func makeAxpy(double Scale, const std::string &Prefix = "") {
+  FunctionBuilder B(Prefix + "axpy");
+  View X = B.input(Prefix + "x", {makeIntConst(256)});
+  View Y = B.output(Prefix + "y", {makeIntConst(256)});
+  B.loop(Prefix + "i", 0, 256, [&](Expr I) {
+    Y[I].assign(X[I].load() * makeFloatConst(Scale) + makeFloatConst(1.0));
+  });
+  return B.build();
+}
+
+std::vector<float> runOnce(const Kernel &K, const Func &F) {
+  Buffer X(DataType::Float32, {256}), Y(DataType::Float32, {256});
+  for (int64_t I = 0; I < X.numel(); ++I)
+    X.setF(I, std::sin(0.37 * double(I)));
+  std::map<std::string, Buffer *> Args = {{F.Params[0], &X},
+                                          {F.Params[1], &Y}};
+  Status S = K.run(Args);
+  EXPECT_TRUE(S.ok()) << S.message();
+  return std::vector<float>(Y.as<float>(), Y.as<float>() + Y.numel());
+}
+
+class ConcurrencyTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Tmpl[] = "/tmp/ftconc.XXXXXX";
+    ASSERT_NE(::mkdtemp(Tmpl), nullptr);
+    Dir = Tmpl;
+    ::setenv("FT_CACHE_DIR", Dir.c_str(), 1);
+    ::setenv("FT_CACHE", "1", 1);
+    kernel_cache::memReset();
+  }
+  void TearDown() override {
+    ::unsetenv("FT_CACHE_DIR");
+    ::unsetenv("FT_CACHE");
+    kernel_cache::memReset();
+    std::system(("rm -rf '" + Dir + "'").c_str());
+  }
+  std::string Dir;
+};
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Metrics counters under contention.
+//===--------------------------------------------------------------------===//
+
+TEST(MetricsConcurrencyTest, ConcurrentIncrementsAreExact) {
+  metrics::Counter &C = metrics::counter("test/concurrent_adds");
+  const uint64_t Before = C.load();
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kAdds = 100000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < kThreads; ++T)
+    Ts.emplace_back([] {
+      // Resolve inside the thread: registration itself must be racy-safe.
+      metrics::Counter &Mine = metrics::counter("test/concurrent_adds");
+      for (uint64_t I = 0; I < kAdds; ++I)
+        Mine.fetch_add(1);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  EXPECT_EQ(C.load() - Before, kThreads * kAdds);
+}
+
+TEST(MetricsConcurrencyTest, ConcurrentRegistrationYieldsStableRefs) {
+  constexpr int kThreads = 8;
+  std::vector<metrics::Counter *> Seen(kThreads, nullptr);
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < kThreads; ++T)
+    Ts.emplace_back([T, &Seen] {
+      // Everyone races to create a mix of names; the shared one must
+      // resolve to a single instance for all threads.
+      metrics::counter("test/reg_private_" + std::to_string(T)).fetch_add(1);
+      Seen[T] = &metrics::counter("test/reg_shared");
+      Seen[T]->fetch_add(1);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  for (int T = 1; T < kThreads; ++T)
+    EXPECT_EQ(Seen[T], Seen[0]);
+  EXPECT_GE(metrics::counter("test/reg_shared").load(), (uint64_t)kThreads);
+}
+
+//===--------------------------------------------------------------------===//
+// Kernel-cache memory tier under a lookup/insert/evict storm.
+//===--------------------------------------------------------------------===//
+
+TEST_F(ConcurrencyTest, MemTierSurvivesConcurrentStorm) {
+  // A few real kernels to shuffle through the LRU; handles are copyable,
+  // so many logical keys can share one loaded library.
+  std::vector<Kernel> Kernels;
+  Func F = makeAxpy(3.0);
+  std::vector<float> Want;
+  for (double Scale : {3.0, 4.0, 5.0}) {
+    auto K = Kernel::compile(makeAxpy(Scale), "-O1");
+    ASSERT_TRUE(K.ok()) << K.message();
+    Kernels.push_back(*K);
+    if (Scale == 3.0)
+      Want = runOnce(*K, F);
+  }
+
+  constexpr size_t kCap = 8;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  constexpr uint64_t kKeySpace = 32; // 4x the capacity => constant eviction
+  std::atomic<bool> Failed{false};
+
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < kThreads; ++T)
+    Ts.emplace_back([T, &Kernels, &Failed] {
+      uint64_t S = 0x9e3779b9u * (T + 1);
+      for (int I = 0; I < kIters && !Failed.load(); ++I) {
+        S ^= S << 13;
+        S ^= S >> 7;
+        S ^= S << 17;
+        uint64_t Key = S % kKeySpace;
+        switch (S % 4) {
+        case 0:
+        case 1: // lookups dominate, as in real serving
+          (void)kernel_cache::memLookup(Key);
+          break;
+        case 2:
+          kernel_cache::memInsert(Key, Kernels[Key % Kernels.size()], kCap);
+          break;
+        default:
+          if (kernel_cache::memSize() > kCap)
+            Failed.store(true);
+          break;
+        }
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  EXPECT_FALSE(Failed.load()) << "LRU bound violated under concurrency";
+  EXPECT_LE(kernel_cache::memSize(), kCap);
+
+  // Any handle still resident must be runnable (no use-after-eviction).
+  for (uint64_t Key = 0; Key < kKeySpace; ++Key)
+    if (std::optional<Kernel> K = kernel_cache::memLookup(Key))
+      if (Key % Kernels.size() == 0) {
+        std::vector<float> Got = runOnce(*K, F);
+        EXPECT_EQ(0, std::memcmp(Want.data(), Got.data(),
+                                 Want.size() * sizeof(float)));
+        break;
+      }
+}
+
+TEST_F(ConcurrencyTest, ConcurrentCompilesOfSameProgramAgree) {
+  Func F = makeAxpy(6.0);
+  constexpr int kThreads = 4;
+  std::vector<std::optional<Kernel>> Ks(kThreads);
+  std::vector<std::string> Errs(kThreads);
+
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < kThreads; ++T)
+    Ts.emplace_back([T, &F, &Ks, &Errs] {
+      auto R = Kernel::compile(F, "-O1");
+      if (R.ok())
+        Ks[T] = *R;
+      else
+        Errs[T] = R.message();
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  std::vector<float> Want;
+  for (int T = 0; T < kThreads; ++T) {
+    ASSERT_TRUE(Ks[T].has_value()) << Errs[T];
+    std::vector<float> Got = runOnce(*Ks[T], F);
+    if (T == 0)
+      Want = Got;
+    else
+      EXPECT_EQ(0, std::memcmp(Want.data(), Got.data(),
+                               Want.size() * sizeof(float)));
+  }
+  // Exactly one resident entry for the shared program afterwards.
+  EXPECT_LE(kernel_cache::memSize(), 1u);
+}
+
+//===--------------------------------------------------------------------===//
+// Two concurrent kernels under a host thread budget (oversubscription fix).
+//===--------------------------------------------------------------------===//
+
+TEST_F(ConcurrencyTest, TwoCappedProfiledKernelsKeepExactCounts) {
+  // Each kernel's pool would size itself to 4 from the environment; the
+  // host caps each at 2 so the pair stays within a 4-thread budget.
+  setenv("FT_NUM_THREADS", "4", 1);
+
+  const int64_t N = 4096;
+  struct Ctx {
+    Func F;
+    int64_t LoopId = 0;
+    std::optional<Kernel> K;
+  };
+  std::vector<Ctx> Cs(2);
+  for (int Idx = 0; Idx < 2; ++Idx) {
+    FunctionBuilder B("cap" + std::to_string(Idx));
+    View A = B.input("a", {makeIntConst(N)});
+    View Y = B.output("y", {makeIntConst(N)});
+    int64_t L = B.loop(
+        "i", 0, N,
+        [&](Expr I) {
+          Y[I].assign(A[I].load() * makeFloatConst(2.0 + Idx) +
+                      makeFloatConst(1.0));
+        },
+        "rows");
+    Cs[Idx].F = B.build();
+    Cs[Idx].LoopId = L;
+
+    Schedule S(Cs[Idx].F);
+    ASSERT_TRUE(S.parallelize(L).ok());
+    CodegenOptions Opts;
+    Opts.Profile = true;
+    auto K = Kernel::compile(S.func(), Opts, "-O1");
+    ASSERT_TRUE(K.ok()) << K.message();
+    // The serving executor applies the same cap to every kernel it loads.
+    EXPECT_TRUE(K->setMaxThreads(2));
+    Cs[Idx].K = *K;
+  }
+  unsetenv("FT_NUM_THREADS");
+
+  const uint64_t Runs = 20;
+  std::vector<std::thread> Ts;
+  for (int Idx = 0; Idx < 2; ++Idx)
+    Ts.emplace_back([&, Idx] {
+      Buffer A(DataType::Float32, {N}), Y(DataType::Float32, {N});
+      for (int64_t I = 0; I < N; ++I)
+        A.setF(I, float(I) * 0.25f);
+      std::map<std::string, Buffer *> Args = {{"a", &A}, {"y", &Y}};
+      for (uint64_t R = 0; R < Runs; ++R)
+        ASSERT_TRUE(Cs[Idx].K->run(Args).ok());
+      for (int64_t I = 0; I < N; ++I)
+        ASSERT_NEAR(Y.as<float>()[I],
+                    float(I) * 0.25f * float(2.0 + Idx) + 1.0f, 1e-4);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  // Both kernels ran concurrently, each capped; the per-chunk profile
+  // slots and the rt counters must still be exact per kernel.
+  for (int Idx = 0; Idx < 2; ++Idx) {
+    profile::KernelProfile Prof = Cs[Idx].K->profileNow();
+    const profile::LoopSample *Loop = Prof.sample(Cs[Idx].LoopId);
+    ASSERT_NE(Loop, nullptr);
+    EXPECT_EQ(Loop->Calls, Runs);
+    EXPECT_EQ(Loop->Iters, Runs * uint64_t(N));
+
+    KernelRtStats St = Cs[Idx].K->rtStats();
+    ASSERT_TRUE(St.Valid);
+    EXPECT_EQ(St.Invocations, Runs);
+    EXPECT_EQ(St.ParallelFors, Runs);
+    EXPECT_EQ(St.ParallelIters, Runs * uint64_t(N));
+  }
+}
+
+TEST_F(ConcurrencyTest, SetMaxThreadsToOneStillComputesCorrectly) {
+  setenv("FT_NUM_THREADS", "4", 1);
+  Func F = makeAxpy(2.0);
+  Schedule S(F);
+  // makeAxpy's single loop is the only one; find and parallelize it.
+  int64_t LoopId = -1;
+  std::function<void(const Stmt &)> Find = [&](const Stmt &St) {
+    if (auto L = dyn_cast<ForNode>(St)) {
+      LoopId = L->Id;
+      return;
+    }
+    if (auto Seq = dyn_cast<StmtSeqNode>(St))
+      for (const Stmt &Sub : Seq->Stmts)
+        Find(Sub);
+    if (auto D = dyn_cast<VarDefNode>(St))
+      Find(D->Body);
+  };
+  Find(F.Body);
+  ASSERT_GE(LoopId, 0);
+  ASSERT_TRUE(S.parallelize(LoopId).ok());
+
+  auto K = Kernel::compile(S.func(), CodegenOptions{}, "-O1");
+  unsetenv("FT_NUM_THREADS");
+  ASSERT_TRUE(K.ok()) << K.message();
+  ASSERT_TRUE(K->setMaxThreads(1)); // degenerate cap: serial execution
+
+  std::vector<float> Got = runOnce(*K, F);
+  for (int64_t I = 0; I < 256; ++I)
+    EXPECT_NEAR(Got[size_t(I)], std::sin(0.37 * double(I)) * 2.0 + 1.0, 1e-5);
+}

@@ -1,0 +1,416 @@
+//===- tests/serve_test.cpp - Tiered kernel-serving runtime ---------------===//
+//
+// The serving executor (serve/serve.h) end to end:
+//   - tier promotion: the first request of a fingerprint is answered by the
+//     interpreter, and once the background compile lands requests are served
+//     by the JIT'd kernel;
+//   - in-flight compile dedup: N concurrent cold submissions of the same
+//     program start exactly one compile;
+//   - a warm kernel cache makes the very first request JIT-tier (no compile);
+//   - queue-full backpressure: reject policy returns a typed error, block
+//     policy completes everything;
+//   - shutdown with pending work completes every accepted request;
+//   - a failing background compile pins the fingerprint to the interpreter
+//     (degraded, not broken) and is counted;
+//   - micro-batched execution produces the same outputs as the reference
+//     interpreter (differential check);
+//   - a bad argument binding fails that one request, not the executor.
+//
+// All tests run against a fresh private kernel-cache directory so background
+// compiles never hit artifacts from other tests or earlier runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "codegen/jit.h"
+#include "codegen/kernel_cache.h"
+#include "frontend/builder.h"
+#include "interp/interp.h"
+#include "serve/serve.h"
+
+using namespace ft;
+using namespace ft::serve;
+
+namespace {
+
+constexpr int64_t kN = 256;
+
+/// An elementwise kernel whose constant \p Scale makes distinct programs.
+Func makeAxpy(double Scale) {
+  FunctionBuilder B("saxpy");
+  View X = B.input("x", {makeIntConst(kN)});
+  View Y = B.output("y", {makeIntConst(kN)});
+  B.loop("i", 0, kN, [&](Expr I) {
+    Y[I].assign(X[I].load() * makeFloatConst(Scale) + makeFloatConst(1.0));
+  });
+  return B.build();
+}
+
+/// A kernel the interpreter takes visibly long on (~260k statement visits
+/// over kN x kN): used to keep a worker busy while the test piles up queued
+/// requests. Parameter shapes match Slot's kN buffers.
+Func makeSlow() {
+  FunctionBuilder B("slowsum");
+  View X = B.input("x", {makeIntConst(kN)});
+  View Y = B.output("y", {makeIntConst(kN)});
+  B.loop("i", 0, kN, [&](Expr I) {
+    B.loop("j", 0, kN, [&](Expr J) { Y[I] += X[J].load(); });
+  });
+  return B.build();
+}
+
+void seed(Buffer &B, double Phase = 0.37) {
+  for (int64_t I = 0; I < B.numel(); ++I)
+    B.setF(I, std::sin(Phase * double(I)));
+}
+
+void zero(Buffer &B) {
+  for (int64_t I = 0; I < B.numel(); ++I)
+    B.setF(I, 0.0);
+}
+
+/// One request's argument set, kept alive until its future resolves.
+struct Slot {
+  Buffer X{DataType::Float32, {kN}};
+  Buffer Y{DataType::Float32, {kN}};
+  std::future<Response> Fut;
+
+  std::map<std::string, Buffer *> args(const Func &F) {
+    return {{F.Params[0], &X}, {F.Params[1], &Y}};
+  }
+};
+
+/// Fresh private cache dir + clean memory tier per test, and no FT_SERVE_*
+/// leakage between tests.
+class ServeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Tmpl[] = "/tmp/ftserve.XXXXXX";
+    ASSERT_NE(::mkdtemp(Tmpl), nullptr);
+    Dir = Tmpl;
+    ::setenv("FT_CACHE_DIR", Dir.c_str(), 1);
+    ::setenv("FT_CACHE", "1", 1);
+    for (const char *V :
+         {"FT_SERVE_THREADS", "FT_SERVE_QUEUE_CAP", "FT_SERVE_ON_FULL",
+          "FT_SERVE_BATCH_WINDOW_US", "FT_SERVE_MAX_BATCH",
+          "FT_SERVE_OPT_FLAGS", "FT_SERVE_RT_THREADS"})
+      ::unsetenv(V);
+    kernel_cache::memReset();
+  }
+  void TearDown() override {
+    ::unsetenv("FT_CACHE_DIR");
+    ::unsetenv("FT_CACHE");
+    kernel_cache::memReset();
+    std::system(("rm -rf '" + Dir + "'").c_str());
+  }
+  std::string Dir;
+};
+
+} // namespace
+
+TEST_F(ServeTest, TierPromotionInterpThenJit) {
+  Func F = makeAxpy(3.0);
+  Executor Ex;
+
+  // Cold: nothing compiled, nothing cached — the interpreter answers
+  // immediately instead of making the request wait on the host compiler.
+  Slot S0;
+  seed(S0.X);
+  auto R0 = Ex.submit(F, S0.args(F));
+  ASSERT_TRUE(R0.ok()) << R0.message();
+  S0.Fut = std::move(*R0);
+  Response Resp0 = S0.Fut.get();
+  ASSERT_TRUE(Resp0.S.ok()) << Resp0.S.message();
+  EXPECT_EQ(Resp0.ServedBy, Tier::Interp);
+
+  // drain() also waits for the background compile to land.
+  Ex.drain();
+  ServeStats Mid = Ex.stats();
+  EXPECT_EQ(Mid.CompilesStarted, 1u);
+  EXPECT_EQ(Mid.CompilesFailed, 0u);
+  EXPECT_EQ(Mid.InterpServed, 1u);
+
+  // Warm: the same program is now served by the compiled kernel, and the
+  // two tiers agree on the numbers.
+  Slot S1;
+  seed(S1.X);
+  auto R1 = Ex.submit(F, S1.args(F));
+  ASSERT_TRUE(R1.ok()) << R1.message();
+  Response Resp1 = R1->get();
+  ASSERT_TRUE(Resp1.S.ok()) << Resp1.S.message();
+  EXPECT_EQ(Resp1.ServedBy, Tier::Jit);
+  for (int64_t It = 0; It < kN; ++It)
+    EXPECT_FLOAT_EQ(S0.Y.as<float>()[It], S1.Y.as<float>()[It]);
+
+  EXPECT_EQ(Ex.stats().JitServed, 1u);
+  EXPECT_EQ(Ex.directorySize(), 1u);
+}
+
+TEST_F(ServeTest, ConcurrentColdMissesStartOneCompile) {
+  Func F = makeAxpy(4.0);
+  Config C;
+  C.Threads = 4;
+  C.MaxBatch = 1; // isolate the dedup mechanism from batching
+  Executor Ex(C);
+
+  constexpr int kReqs = 16;
+  std::vector<Slot> Slots(kReqs);
+  for (Slot &S : Slots) {
+    seed(S.X);
+    auto R = Ex.submit(F, S.args(F));
+    ASSERT_TRUE(R.ok()) << R.message();
+    S.Fut = std::move(*R);
+  }
+  for (Slot &S : Slots) {
+    Response Resp = S.Fut.get();
+    EXPECT_TRUE(Resp.S.ok()) << Resp.S.message();
+  }
+  Ex.drain();
+
+  ServeStats St = Ex.stats();
+  // The load-bearing assertion: 16 racing cold submissions, ONE compile.
+  EXPECT_EQ(St.CompilesStarted, 1u);
+  EXPECT_EQ(St.Submitted, static_cast<uint64_t>(kReqs));
+  EXPECT_EQ(St.InterpServed + St.JitServed, static_cast<uint64_t>(kReqs));
+  EXPECT_EQ(Ex.directorySize(), 1u);
+}
+
+TEST_F(ServeTest, WarmKernelCacheServesJitFromTheFirstRequest) {
+  Func F = makeAxpy(5.0);
+  // Populate the kernel cache out of band, with the executor's own options
+  // (CodegenOptions{} + Config::OptFlags) so the keys line up.
+  Config C;
+  auto Pre = Kernel::compile(F, CodegenOptions{}, C.OptFlags);
+  ASSERT_TRUE(Pre.ok()) << Pre.message();
+
+  Executor Ex(C);
+  Slot S;
+  seed(S.X);
+  auto R = Ex.submit(F, S.args(F));
+  ASSERT_TRUE(R.ok()) << R.message();
+  Response Resp = R->get();
+  ASSERT_TRUE(Resp.S.ok()) << Resp.S.message();
+  EXPECT_EQ(Resp.ServedBy, Tier::Jit);
+
+  ServeStats St = Ex.stats();
+  EXPECT_EQ(St.CacheHits, 1u);
+  EXPECT_EQ(St.CompilesStarted, 0u); // the host compiler never ran here
+  EXPECT_EQ(St.InterpServed, 0u);
+}
+
+TEST_F(ServeTest, QueueFullRejectsWithTypedError) {
+  Func F = makeSlow();
+  Config C;
+  C.Threads = 1;
+  C.QueueCap = 2;
+  C.MaxBatch = 1;
+  C.BlockOnFull = false;
+  Executor Ex(C);
+
+  // First request occupies the single worker for ~10^6 interpreted
+  // statements; everything after lands in (and then overflows) the queue.
+  std::vector<Slot> Slots(8);
+  int Accepted = 0, Rejected = 0;
+  std::string RejectMsg;
+  for (Slot &S : Slots) {
+    seed(S.X);
+    zero(S.Y);
+    auto R = Ex.submit(F, S.args(F));
+    if (R.ok()) {
+      S.Fut = std::move(*R);
+      ++Accepted;
+    } else {
+      RejectMsg = R.message();
+      ++Rejected;
+    }
+  }
+  EXPECT_GE(Rejected, 1);
+  EXPECT_NE(RejectMsg.find("queue full"), std::string::npos) << RejectMsg;
+  // Every accepted request still completes.
+  for (Slot &S : Slots)
+    if (S.Fut.valid()) {
+      Response Resp = S.Fut.get();
+      EXPECT_TRUE(Resp.S.ok()) << Resp.S.message();
+    }
+
+  ServeStats St = Ex.stats();
+  EXPECT_EQ(St.Rejected, static_cast<uint64_t>(Rejected));
+  EXPECT_EQ(St.Submitted, static_cast<uint64_t>(Accepted));
+}
+
+TEST_F(ServeTest, BlockPolicyCompletesEverything) {
+  Func F = makeSlow();
+  Config C;
+  C.Threads = 1;
+  C.QueueCap = 1;
+  C.MaxBatch = 1;
+  C.BlockOnFull = true;
+  Executor Ex(C);
+
+  std::vector<Slot> Slots(6);
+  for (Slot &S : Slots) {
+    seed(S.X);
+    zero(S.Y);
+    auto R = Ex.submit(F, S.args(F)); // blocks instead of rejecting
+    ASSERT_TRUE(R.ok()) << R.message();
+    S.Fut = std::move(*R);
+  }
+  for (Slot &S : Slots) {
+    Response Resp = S.Fut.get();
+    EXPECT_TRUE(Resp.S.ok()) << Resp.S.message();
+  }
+  ServeStats St = Ex.stats();
+  EXPECT_EQ(St.Rejected, 0u);
+  EXPECT_EQ(St.Submitted, 6u);
+}
+
+TEST_F(ServeTest, ShutdownCompletesPendingThenRejects) {
+  Func F = makeAxpy(6.0);
+  Config C;
+  C.Threads = 2;
+  Executor Ex(C);
+
+  constexpr int kReqs = 12;
+  std::vector<Slot> Slots(kReqs);
+  for (Slot &S : Slots) {
+    seed(S.X);
+    auto R = Ex.submit(F, S.args(F));
+    ASSERT_TRUE(R.ok()) << R.message();
+    S.Fut = std::move(*R);
+  }
+
+  // Shut down while requests are still queued/executing: all of them must
+  // resolve (drain-on-shutdown), none may be dropped with a broken promise.
+  Ex.shutdown();
+  for (Slot &S : Slots) {
+    ASSERT_EQ(S.Fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    Response Resp = S.Fut.get();
+    EXPECT_TRUE(Resp.S.ok()) << Resp.S.message();
+  }
+  ServeStats St = Ex.stats();
+  EXPECT_EQ(St.InterpServed + St.JitServed, static_cast<uint64_t>(kReqs));
+
+  // The executor is now closed for business, with a typed error.
+  Slot Late;
+  seed(Late.X);
+  auto R = Ex.submit(F, Late.args(F));
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("shut down"), std::string::npos) << R.message();
+
+  Ex.shutdown(); // idempotent
+}
+
+TEST_F(ServeTest, CompileFailurePinsInterpreterFallback) {
+  Func F = makeAxpy(7.0);
+  Config C;
+  C.OptFlags = "-O1 -fthis-flag-does-not-exist"; // host compiler will balk
+  Executor Ex(C);
+
+  Slot S0;
+  seed(S0.X);
+  auto R0 = Ex.submit(F, S0.args(F));
+  ASSERT_TRUE(R0.ok()) << R0.message();
+  Response Resp0 = R0->get();
+  ASSERT_TRUE(Resp0.S.ok()) << Resp0.S.message();
+  EXPECT_EQ(Resp0.ServedBy, Tier::Interp);
+
+  Ex.drain(); // compile has failed by now
+
+  // Degraded, not broken: requests keep being answered, by the
+  // interpreter, forever — and the failure is visible in the counters.
+  Slot S1;
+  seed(S1.X);
+  auto R1 = Ex.submit(F, S1.args(F));
+  ASSERT_TRUE(R1.ok()) << R1.message();
+  Response Resp1 = R1->get();
+  ASSERT_TRUE(Resp1.S.ok()) << Resp1.S.message();
+  EXPECT_EQ(Resp1.ServedBy, Tier::Interp);
+
+  ServeStats St = Ex.stats();
+  EXPECT_EQ(St.CompilesStarted, 1u);
+  EXPECT_EQ(St.CompilesFailed, 1u);
+  EXPECT_EQ(St.JitServed, 0u);
+  EXPECT_EQ(St.InterpServed, 2u);
+}
+
+TEST_F(ServeTest, MicroBatchingMatchesReferenceOutputs) {
+  Func F = makeAxpy(2.5);
+  Config C;
+  C.Threads = 1;            // one worker => arrivals pile up behind it
+  C.BatchWindowUs = 20000;  // generous window: the 8 submits land inside it
+  C.MaxBatch = 8;
+  C.BlockOnFull = true;
+  Executor Ex(C);
+
+  constexpr int kReqs = 8;
+  std::vector<Slot> Slots(kReqs);
+  for (int R = 0; R < kReqs; ++R) {
+    seed(Slots[R].X, 0.11 * double(R + 1)); // distinct inputs per request
+    auto Sub = Ex.submit(F, Slots[R].args(F));
+    ASSERT_TRUE(Sub.ok()) << Sub.message();
+    Slots[R].Fut = std::move(*Sub);
+  }
+
+  uint64_t MaxBatch = 0;
+  for (Slot &S : Slots) {
+    Response Resp = S.Fut.get();
+    ASSERT_TRUE(Resp.S.ok()) << Resp.S.message();
+    MaxBatch = std::max(MaxBatch, static_cast<uint64_t>(Resp.BatchSize));
+  }
+  // At least some of the 8 same-fingerprint requests were grouped.
+  EXPECT_GE(Ex.stats().MaxBatch, 2u);
+  EXPECT_EQ(Ex.stats().MaxBatch, MaxBatch);
+  EXPECT_LT(Ex.stats().Batches, static_cast<uint64_t>(kReqs));
+
+  // Differential: batched serving = unbatched reference interpreter.
+  for (Slot &S : Slots) {
+    Buffer RefY(DataType::Float32, {kN});
+    Status RS = interpretChecked(F, {{F.Params[0], &S.X}, {F.Params[1], &RefY}});
+    ASSERT_TRUE(RS.ok()) << RS.message();
+    for (int64_t It = 0; It < kN; ++It)
+      EXPECT_FLOAT_EQ(RefY.as<float>()[It], S.Y.as<float>()[It]);
+  }
+}
+
+TEST_F(ServeTest, BadArgumentBindingFailsOnlyThatRequest) {
+  Func F = makeAxpy(8.0);
+  Executor Ex;
+
+  // Missing the output buffer: typed per-request error in the Response.
+  Buffer X(DataType::Float32, {kN});
+  seed(X);
+  std::map<std::string, Buffer *> Bad = {{F.Params[0], &X}};
+  auto R0 = Ex.submit(F, Bad);
+  ASSERT_TRUE(R0.ok()) << R0.message(); // accepted; fails at execution
+  Response Resp0 = R0->get();
+  EXPECT_FALSE(Resp0.S.ok());
+  EXPECT_NE(Resp0.S.message().find(F.Params[1]), std::string::npos)
+      << Resp0.S.message();
+
+  // Wrong shape: also a typed error, not a process abort — the serving
+  // runtime validates untrusted requests before handing them to a backend.
+  Buffer Small(DataType::Float32, {8}), Out(DataType::Float32, {kN});
+  std::map<std::string, Buffer *> Mis = {{F.Params[0], &Small},
+                                         {F.Params[1], &Out}};
+  auto R1 = Ex.submit(F, Mis);
+  ASSERT_TRUE(R1.ok()) << R1.message();
+  Response Resp1 = R1->get();
+  EXPECT_FALSE(Resp1.S.ok());
+  EXPECT_NE(Resp1.S.message().find("shape mismatch"), std::string::npos)
+      << Resp1.S.message();
+
+  // The executor is unharmed: a well-formed request still succeeds.
+  Slot S;
+  seed(S.X);
+  auto R2 = Ex.submit(F, S.args(F));
+  ASSERT_TRUE(R2.ok()) << R2.message();
+  Response Resp2 = R2->get();
+  EXPECT_TRUE(Resp2.S.ok()) << Resp2.S.message();
+  EXPECT_EQ(Ex.stats().RunErrors, 2u);
+}

@@ -7,7 +7,11 @@
 # 3. Kernel-cache smoke: a cold ftc run must miss, a second run must hit
 #    the disk tier, and FT_CACHE=0 / --no-cache must compile fresh —
 #    against a private cache directory, plain and under ASan.
-# 4. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
+# 4. Serve smoke: the tiered serving bench must pass its acceptance
+#    criteria (cold request hides the compile, >= 95% JIT after warm-up,
+#    bounded queue rejects under overload) and write schema-valid
+#    BENCH_serve.json — plain and under ASan.
+# 5. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
 #    separate build tree, so memory and UB bugs in the analysis/schedule
 #    layers cannot hide behind passing functional tests. The trace test
 #    runs there too: the observability layer itself must be clean.
@@ -111,6 +115,44 @@ cache_smoke() {
 echo "== kernel-cache smoke: ftc cold/warm/disabled =="
 cache_smoke ./build/tools/ftc
 
+# Serving smoke against the serve_bench binary $1 (run from scratch dir
+# $2): the executor must
+# answer the cold request from the interpreter, reach >= 95% JIT tier after
+# warm-up, and bound the queue under overload — all asserted by the bench
+# itself (exit code) and re-checked here from the JSON it writes, which
+# also validates the BENCH_serve.json schema.
+serve_smoke() {
+  local Bench="$1"
+  local RunDir="$2"
+  (cd "$RunDir" && "$Bench") >/dev/null
+  python3 - "$RunDir/BENCH_serve.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["benchmark"] == "serve"
+cold, warm, over = doc["cold"], doc["warm"], doc["overload"]
+assert cold["hidden"] is True, "cold request did not hide the compile"
+assert cold["first_request_sec"] < cold["compile_ref_sec"]
+assert warm["jit_fraction"] >= warm["target_fraction"], \
+    f"warm jit fraction {warm['jit_fraction']} below target"
+assert over["rejected"] > 0, "10x overload produced no rejections"
+assert over["accepted"] + over["rejected"] == over["offered"]
+for tier in ("interp", "jit"):
+    t = doc["tiers"][tier]
+    assert t["count"] > 0, f"no {tier}-tier samples"
+    assert 0 < t["p50_us"] <= t["p95_us"] <= t["p99_us"], \
+        f"non-monotonic percentiles for {tier}: {t}"
+assert doc["pass"] is True
+print(f"serve smoke OK: cold {cold['first_request_sec']*1e3:.1f} ms vs "
+      f"compile {cold['compile_ref_sec']:.2f} s, "
+      f"warm jit {warm['jit_fraction']*100:.1f}%, "
+      f"overload rejected {over['rejected']}/{over['offered']}")
+PYEOF
+}
+
+echo "== serve smoke: tiered executor bench + JSON schema =="
+serve_smoke "$(pwd)/build/bench/serve_bench" build/bench-build
+
 if [ "$SKIP_SANITIZE" = 1 ]; then
   echo "== sanitizer sweep skipped (--skip-sanitize) =="
   exit 0
@@ -137,5 +179,9 @@ rm -f "$ProfileJson"
 
 echo "== kernel-cache smoke under ASan =="
 ASAN_OPTIONS=detect_leaks=0 cache_smoke ./build-asan/tools/ftc
+
+echo "== serve smoke under ASan =="
+ASAN_OPTIONS=detect_leaks=0 \
+  serve_smoke "$(pwd)/build-asan/bench/serve_bench" build-asan/bench-build
 
 echo "== check.sh: all green =="

@@ -15,20 +15,27 @@
 //                           FT_PROFILE=out.folded/out.json for file sinks
 //       [--no-cache]        disable the kernel cache (sets FT_CACHE=0)
 //       [--cache-dir DIR]   use DIR as the kernel cache (sets FT_CACHE_DIR)
+//       [--serve N]         push N requests through the serving executor
+//                           and report per-tier counts + latency
+//                           percentiles (honors the FT_SERVE_* knobs)
 //
 //===----------------------------------------------------------------------===//
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
+#include <vector>
 
 #include "autodiff/grad.h"
 #include "autoschedule/autoschedule.h"
 #include "codegen/codegen.h"
 #include "codegen/jit.h"
 #include "ir/printer.h"
+#include "serve/serve.h"
 #include "workloads/workloads.h"
 
 using namespace ft;
@@ -45,6 +52,7 @@ struct Options {
   bool Profile = false;
   std::string EmitCpp;
   int Run = 0;
+  int Serve = 0;
 };
 
 int usage() {
@@ -53,7 +61,7 @@ int usage() {
       "usage: ftc --workload subdivnet|longformer|softras|gat\n"
       "           [--print-ir] [--print-opt-ir] [--no-autoschedule]\n"
       "           [--emit-cpp FILE|-] [--grad] [--run N] [--profile]\n"
-      "           [--no-cache] [--cache-dir DIR]\n");
+      "           [--no-cache] [--cache-dir DIR] [--serve N]\n");
   return 2;
 }
 
@@ -122,6 +130,8 @@ int main(int argc, char **argv) {
       O.EmitCpp = argv[++I];
     else if (A == "--run" && I + 1 < argc)
       O.Run = std::atoi(argv[++I]);
+    else if (A == "--serve" && I + 1 < argc)
+      O.Serve = std::atoi(argv[++I]);
     else if (A == "--no-cache")
       ::setenv("FT_CACHE", "0", /*overwrite=*/1);
     else if (A == "--cache-dir" && I + 1 < argc)
@@ -208,6 +218,67 @@ int main(int argc, char **argv) {
     std::printf("%d runs: %.3f ms each\n", O.Run, Sec / O.Run * 1e3);
     if (K->profiled())
       std::printf("\n%s", profile::formatTable(K->profileNow()).c_str());
+  }
+
+  if (O.Serve > 0) {
+    // The demo loop: a burst of identical requests against a fresh
+    // executor. The first ones are answered by the interpreter while the
+    // kernel compiles in the background; the stream then flips to the JIT
+    // tier — the serving runtime's cold-start story in one screenful.
+    serve::Executor Ex;
+    std::map<std::string, Buffer *> Args;
+    for (auto &[N, Buf] : B.Store)
+      Args[N] = &Buf;
+
+    std::vector<std::future<serve::Response>> Futs;
+    std::vector<double> Lat;
+    int Rejected = 0;
+    for (int I = 0; I < O.Serve; ++I) {
+      auto R = Ex.submit(Opt, Args);
+      if (R.ok())
+        Futs.push_back(std::move(*R));
+      else
+        ++Rejected;
+    }
+    serve::Tier PrevTier = serve::Tier::Interp;
+    bool First = true;
+    for (size_t I = 0; I < Futs.size(); ++I) {
+      serve::Response R = Futs[I].get();
+      if (!R.S.ok()) {
+        std::fprintf(stderr, "request %zu failed: %s\n", I,
+                     R.S.message().c_str());
+        return 1;
+      }
+      Lat.push_back(R.LatencySec);
+      if (First || R.ServedBy != PrevTier) {
+        std::printf("request %4zu: tier flips to %s (%.3f ms)\n", I,
+                    serve::nameOf(R.ServedBy), R.LatencySec * 1e3);
+        PrevTier = R.ServedBy;
+        First = false;
+      }
+    }
+    Ex.drain();
+
+    serve::ServeStats St = Ex.stats();
+    std::sort(Lat.begin(), Lat.end());
+    auto Pct = [&](double Q) {
+      if (Lat.empty())
+        return 0.0;
+      return Lat[size_t(Q * double(Lat.size() - 1))] * 1e3;
+    };
+    std::printf("serve: %llu requests (%d rejected) | interp %llu, jit %llu "
+                "| compiles %llu (failed %llu, cache hits %llu) | batches "
+                "%llu (max %llu)\n",
+                (unsigned long long)St.Submitted, Rejected,
+                (unsigned long long)St.InterpServed,
+                (unsigned long long)St.JitServed,
+                (unsigned long long)St.CompilesStarted,
+                (unsigned long long)St.CompilesFailed,
+                (unsigned long long)St.CacheHits,
+                (unsigned long long)St.Batches,
+                (unsigned long long)St.MaxBatch);
+    std::printf("serve: latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
+                Pct(0.50), Pct(0.95), Pct(0.99));
   }
   return 0;
 }
