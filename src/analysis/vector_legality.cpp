@@ -1,0 +1,304 @@
+//===- analysis/vector_legality.cpp ---------------------------------------===//
+
+#include "analysis/vector_legality.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+using namespace ft;
+
+namespace {
+
+/// True when \p E mentions the plain variable \p Name anywhere.
+bool mentionsVar(const Expr &E, const std::string &Name) {
+  if (!E)
+    return false;
+  switch (E->kind()) {
+  case NodeKind::Var:
+    return cast<VarNode>(E)->Name == Name;
+  case NodeKind::Load: {
+    auto L = cast<LoadNode>(E);
+    for (const Expr &I : L->Indices)
+      if (mentionsVar(I, Name))
+        return true;
+    return false;
+  }
+  case NodeKind::Cast:
+    return mentionsVar(cast<CastNode>(E)->Operand, Name);
+  case NodeKind::Unary:
+    return mentionsVar(cast<UnaryNode>(E)->Operand, Name);
+  case NodeKind::Binary: {
+    auto B = cast<BinaryNode>(E);
+    return mentionsVar(B->LHS, Name) || mentionsVar(B->RHS, Name);
+  }
+  case NodeKind::IfExpr: {
+    auto IE = cast<IfExprNode>(E);
+    return mentionsVar(IE->Cond, Name) || mentionsVar(IE->Then, Name) ||
+           mentionsVar(IE->Else, Name);
+  }
+  default:
+    return false;
+  }
+}
+
+/// Classifies one indexed access against the vectorized iterator \p Iter.
+VecAccess classifyOne(const std::string &Var, AccessKind Kind,
+                      const std::vector<Expr> &Indices,
+                      const std::string &Iter, const IsParamFn &IsParam) {
+  VecAccess A;
+  A.Var = Var;
+  A.Kind = Kind;
+  bool AnyMention = false;
+  for (const Expr &I : Indices)
+    AnyMention = AnyMention || mentionsVar(I, Iter);
+  if (!AnyMention) {
+    A.Class = VecAccessClass::Broadcast;
+    return A;
+  }
+  // The iterator participates. Gather unless every iterator-bearing index
+  // is affine in it.
+  int64_t LastCoeff = 0;
+  bool IterInNonLast = false;
+  for (size_t D = 0; D < Indices.size(); ++D) {
+    if (!mentionsVar(Indices[D], Iter))
+      continue;
+    auto Lin = toLinear(Indices[D], IsParam);
+    if (!Lin) {
+      A.Class = VecAccessClass::Gather;
+      return A;
+    }
+    int64_t C = Lin->coeffOf(Iter);
+    if (D + 1 == Indices.size())
+      LastCoeff = C;
+    if (D + 1 != Indices.size() && C != 0)
+      IterInNonLast = true;
+  }
+  if (!IterInNonLast && LastCoeff == 1) {
+    A.Class = VecAccessClass::Stride1;
+    A.Stride = 1;
+    return A;
+  }
+  A.Class = VecAccessClass::Strided;
+  A.Stride = IterInNonLast ? 0 : LastCoeff;
+  return A;
+}
+
+void scanExpr(const Expr &E, const std::string &Iter, const IsParamFn &IsParam,
+              std::vector<VecAccess> &Out) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case NodeKind::Load: {
+    auto L = cast<LoadNode>(E);
+    Out.push_back(
+        classifyOne(L->Var, AccessKind::Read, L->Indices, Iter, IsParam));
+    for (const Expr &I : L->Indices)
+      scanExpr(I, Iter, IsParam, Out);
+    return;
+  }
+  case NodeKind::Cast:
+    return scanExpr(cast<CastNode>(E)->Operand, Iter, IsParam, Out);
+  case NodeKind::Unary:
+    return scanExpr(cast<UnaryNode>(E)->Operand, Iter, IsParam, Out);
+  case NodeKind::Binary: {
+    auto B = cast<BinaryNode>(E);
+    scanExpr(B->LHS, Iter, IsParam, Out);
+    scanExpr(B->RHS, Iter, IsParam, Out);
+    return;
+  }
+  case NodeKind::IfExpr: {
+    auto IE = cast<IfExprNode>(E);
+    scanExpr(IE->Cond, Iter, IsParam, Out);
+    scanExpr(IE->Then, Iter, IsParam, Out);
+    scanExpr(IE->Else, Iter, IsParam, Out);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void scanStmt(const Stmt &S, const std::string &Iter, const IsParamFn &IsParam,
+              std::vector<VecAccess> &Out) {
+  switch (S->kind()) {
+  case NodeKind::StmtSeq:
+    for (const Stmt &Sub : cast<StmtSeqNode>(S)->Stmts)
+      scanStmt(Sub, Iter, IsParam, Out);
+    return;
+  case NodeKind::VarDef:
+    return scanStmt(cast<VarDefNode>(S)->Body, Iter, IsParam, Out);
+  case NodeKind::For: {
+    auto L = cast<ForNode>(S);
+    scanExpr(L->Begin, Iter, IsParam, Out);
+    scanExpr(L->End, Iter, IsParam, Out);
+    return scanStmt(L->Body, Iter, IsParam, Out);
+  }
+  case NodeKind::If: {
+    auto I = cast<IfNode>(S);
+    scanExpr(I->Cond, Iter, IsParam, Out);
+    scanStmt(I->Then, Iter, IsParam, Out);
+    if (I->Else)
+      scanStmt(I->Else, Iter, IsParam, Out);
+    return;
+  }
+  case NodeKind::Store: {
+    auto St = cast<StoreNode>(S);
+    Out.push_back(
+        classifyOne(St->Var, AccessKind::Write, St->Indices, Iter, IsParam));
+    for (const Expr &I : St->Indices)
+      scanExpr(I, Iter, IsParam, Out);
+    scanExpr(St->Value, Iter, IsParam, Out);
+    return;
+  }
+  case NodeKind::ReduceTo: {
+    auto R = cast<ReduceToNode>(S);
+    Out.push_back(
+        classifyOne(R->Var, AccessKind::Reduce, R->Indices, Iter, IsParam));
+    for (const Expr &I : R->Indices)
+      scanExpr(I, Iter, IsParam, Out);
+    scanExpr(R->Value, Iter, IsParam, Out);
+    return;
+  }
+  case NodeKind::GemmCall: {
+    // Opaque whole-tensor accesses: the library walks each operand with its
+    // own loop structure, which the lane model cannot describe.
+    auto G = cast<GemmCallNode>(S);
+    for (const std::string &V : {G->A, G->B, G->C}) {
+      VecAccess A;
+      A.Var = V;
+      A.Kind = V == G->C ? AccessKind::Write : AccessKind::Read;
+      A.Class = VecAccessClass::Gather;
+      Out.push_back(A);
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+const char *depTypeName(DepType T) {
+  switch (T) {
+  case DepType::RAW:
+    return "RAW";
+  case DepType::WAR:
+    return "WAR";
+  case DepType::WAW:
+    return "WAW";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string ft::nameOf(VecAccessClass C) {
+  switch (C) {
+  case VecAccessClass::Stride1:
+    return "stride-1";
+  case VecAccessClass::Broadcast:
+    return "broadcast";
+  case VecAccessClass::Strided:
+    return "strided";
+  case VecAccessClass::Gather:
+    return "gather";
+  }
+  return "?";
+}
+
+bool ft::isValidVectorWidth(int Width) {
+  return Width >= 2 && Width <= 64 && (Width & (Width - 1)) == 0;
+}
+
+std::optional<VectorReduction> ft::matchVectorReduction(const Ref<ForNode> &L) {
+  Stmt B = L->Body;
+  while (auto Seq = dyn_cast<StmtSeqNode>(B)) {
+    if (Seq->Stmts.size() != 1)
+      return std::nullopt;
+    B = Seq->Stmts[0];
+  }
+  auto R = dyn_cast<ReduceToNode>(B);
+  if (!R)
+    return std::nullopt;
+  // The accumulator must name one element for the whole loop: privatizing
+  // it per lane is only sound when every iteration reduces into the same
+  // location.
+  for (const Expr &I : R->Indices)
+    if (mentionsVar(I, L->Iter))
+      return std::nullopt;
+  return VectorReduction{R};
+}
+
+std::vector<VecAccess>
+ft::classifyVectorAccesses(const Ref<ForNode> &L, const IsParamFn &IsParam) {
+  std::vector<VecAccess> Out;
+  scanStmt(L->Body, L->Iter, IsParam, Out);
+  return Out;
+}
+
+VectorLegality ft::analyzeVectorLegality(const DepAnalyzer &DA,
+                                         const Ref<ForNode> &L, int Width,
+                                         const IsParamFn &IsParam) {
+  VectorLegality V;
+  V.Accesses = classifyVectorAccesses(L, IsParam);
+  std::set<std::string> Stride1;
+  for (const VecAccess &A : V.Accesses)
+    if (A.Class == VecAccessClass::Stride1)
+      Stride1.insert(A.Var);
+  V.Stride1Vars.assign(Stride1.begin(), Stride1.end());
+
+  if (!isValidVectorWidth(Width)) {
+    V.Reason = "vectorize width must be a power of two in [2, 64], got " +
+               std::to_string(Width);
+    return V;
+  }
+
+  auto ClassOf = [&](const std::string &Var) -> std::string {
+    for (const VecAccess &A : V.Accesses)
+      if (A.Var == Var)
+        return nameOf(A.Class);
+    return "unknown";
+  };
+
+  std::vector<FoundDep> Carried = DA.carriedBy(L->Id);
+  if (Carried.empty()) {
+    V.Legal = true;
+    return V;
+  }
+
+  for (const FoundDep &D : Carried) {
+    if (D.SameOpReduce)
+      continue;
+    // A genuine (non-reduction) carried dependence: lanes of one SIMD
+    // iteration would execute out of the required order.
+    V.Reason = "cannot vectorize at width " + std::to_string(Width) +
+               ": loop-carried " + std::string(depTypeName(D.Type)) +
+               " dependence on `" + D.Earlier->Var + "` (" +
+               ClassOf(D.Earlier->Var) + " access)";
+    return V;
+  }
+
+  // Every carried dependence is a same-operator reduction. That is only
+  // lowerable when the body is the single-accumulator pattern codegen can
+  // privatize; otherwise partial sums of distinct statements would merge.
+  std::optional<VectorReduction> M = matchVectorReduction(L);
+  if (!M) {
+    V.Reason = "cannot vectorize at width " + std::to_string(Width) +
+               ": loop-carried reduction on `" + Carried.front().Earlier->Var +
+               "` does not match the single-accumulator pattern "
+               "(body must be exactly one reduction with a loop-invariant "
+               "target)";
+    return V;
+  }
+  for (const FoundDep &D : Carried) {
+    if (D.Earlier->StmtId != M->Red->Id || D.Later->StmtId != M->Red->Id) {
+      V.Reason = "cannot vectorize at width " + std::to_string(Width) +
+                 ": carried reduction dependences involve statements besides "
+                 "the single accumulator";
+      return V;
+    }
+  }
+  V.Legal = true;
+  V.Reduction = true;
+  return V;
+}

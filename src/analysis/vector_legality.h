@@ -1,0 +1,110 @@
+//===- analysis/vector_legality.h - SIMD legality proof ----------*- C++ -*-===//
+///
+/// \file
+/// The legality analysis behind `vectorize(LoopId, Width)`: before codegen
+/// may lower a loop to an explicit-width `#pragma omp simd` body, this pass
+///
+///   1. classifies every memory access in the loop body by how it moves
+///      with the vectorized iterator — stride-1 (contiguous lanes),
+///      broadcast (loop-invariant), strided (affine, non-unit stride) or
+///      gather (the iterator feeds a non-affine index, e.g. `e[adj[i], k]`
+///      with `i` vectorized);
+///   2. proves, with the instance-wise dependence engine (analysis/deps.h),
+///      that the loop carries no dependence — or that every carried
+///      dependence is a same-operator reduction whose body matches the
+///      single-accumulator pattern codegen knows how to privatize;
+///   3. records which tensors are accessed stride-1: their parameter base
+///      pointers are alignment candidates for the `aligned(p:64)` clause
+///      (the runtime Buffer allocates 64-byte-aligned storage).
+///
+/// Rejections return a human-readable reason that the schedule layer feeds
+/// into the schedule-decision audit log, so an auto-scheduler (or a user)
+/// can see exactly why a loop stayed scalar.
+///
+/// The classification half (`classifyVectorAccesses`, `matchVectorReduction`)
+/// is purely syntactic and shared with codegen: both the prover and the
+/// emitter look at the same pattern, so a loop approved here can never be
+/// lowered differently there.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_ANALYSIS_VECTOR_LEGALITY_H
+#define FT_ANALYSIS_VECTOR_LEGALITY_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/access.h"
+#include "analysis/affine.h"
+#include "analysis/deps.h"
+#include "ir/stmt.h"
+
+namespace ft {
+
+/// How one access moves with the vectorized iterator.
+enum class VecAccessClass : uint8_t {
+  Stride1,   ///< Last index is iter + invariant: adjacent lanes adjacent.
+  Broadcast, ///< No index mentions the iterator: one value for all lanes.
+  Strided,   ///< Affine in the iterator, but not unit-stride in the last dim.
+  Gather,    ///< The iterator feeds a non-affine index (indirect access).
+};
+
+/// Returns "stride-1" / "broadcast" / "strided" / "gather".
+std::string nameOf(VecAccessClass C);
+
+/// One classified access of the loop body.
+struct VecAccess {
+  std::string Var;
+  AccessKind Kind = AccessKind::Read;
+  VecAccessClass Class = VecAccessClass::Broadcast;
+  /// Element stride in the last dimension when provable (1 for Stride1,
+  /// 0 when unknown or loop-invariant).
+  int64_t Stride = 0;
+};
+
+/// The single-accumulator reduction pattern: the loop body is exactly one
+/// ReduceTo whose target indices are loop-invariant. Codegen privatizes the
+/// accumulator per lane (`reduction(op:acc)`) and folds once after the loop.
+struct VectorReduction {
+  Ref<ReduceToNode> Red;
+};
+
+/// Matches \p L's body against the reduction pattern (shared by the
+/// schedule-side proof and the codegen-side lowering — one source of truth).
+std::optional<VectorReduction> matchVectorReduction(const Ref<ForNode> &L);
+
+/// Classifies every access in \p L's body (syntactic + affine; no
+/// dependence queries). \p IsParam names read-only scalar tensors usable as
+/// symbolic constants in affine index reasoning.
+std::vector<VecAccess> classifyVectorAccesses(const Ref<ForNode> &L,
+                                              const IsParamFn &IsParam);
+
+/// True for the widths the lowering supports: powers of two in [2, 64].
+bool isValidVectorWidth(int Width);
+
+/// The verdict of the full analysis.
+struct VectorLegality {
+  bool Legal = false;
+  /// Legal via the reduction pattern (carried same-op reduction privatized
+  /// by codegen) rather than via proven independence.
+  bool Reduction = false;
+  /// Human-readable rejection reason; empty when Legal. Flows into the
+  /// schedule-decision audit log via the rejecting Status.
+  std::string Reason;
+  std::vector<VecAccess> Accesses;
+  /// Tensors with at least one stride-1 access: their parameter base
+  /// pointers may carry an `aligned(p:64)` clause (Buffer storage is
+  /// 64-byte aligned).
+  std::vector<std::string> Stride1Vars;
+};
+
+/// Proves (or refutes, with a reason) that loop \p L may be vectorized at
+/// \p Width. \p DA must be built over the program containing \p L.
+VectorLegality analyzeVectorLegality(const DepAnalyzer &DA,
+                                     const Ref<ForNode> &L, int Width,
+                                     const IsParamFn &IsParam);
+
+} // namespace ft
+
+#endif // FT_ANALYSIS_VECTOR_LEGALITY_H

@@ -2,13 +2,19 @@
 
 #include "autoschedule/autoschedule.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <functional>
 #include <limits>
+#include <set>
 #include <thread>
 
+#include "analysis/affine.h"
 #include "codegen/jit.h"
 #include "ir/compare.h"
+#include "ir/func.h"
+#include "ir/printer.h"
 #include "pass/const_fold.h"
 #include "pass/scalar_prop.h"
 #include "pass/shrink_var.h"
@@ -240,16 +246,77 @@ int autoUseLib(Schedule &S) {
   return N;
 }
 
-int autoVectorize(Schedule &S) {
+int autoVectorize(Schedule &S, int Width) {
   int N = 0;
   for (const LoopInfo &L : collectLoops(S.ast())) {
     if (!L.Innermost || L.Node->Property.Parallel ||
         L.Node->Property.Vectorize)
       continue;
+    // The explicit-width form carries its own legality proof (and admits
+    // single-accumulator reductions, which the legacy form must reject), so
+    // it is attempted on every innermost loop; the contiguity heuristic
+    // only gates the unproven hint-only fallback.
+    if (Width > 0 && S.vectorize(L.Node->Id, Width).ok()) {
+      ++N;
+      continue;
+    }
     if (!accessesContiguously(L.Node))
       continue;
     if (S.vectorize(L.Node->Id).ok())
       ++N;
+  }
+  // Multi-accumulator reduction bodies (e.g. GAT's two running dot
+  // products) defeat the single-accumulator proof. Fission such a loop into
+  // one piece per reduction and prove each piece; the attempt is rolled
+  // back unless every piece vectorizes, so a failed try leaves no
+  // structural change behind.
+  if (Width > 0) {
+    for (bool Changed = true; Changed;) {
+      Changed = false;
+      for (const LoopInfo &L : collectLoops(S.ast())) {
+        if (!L.Innermost || L.Node->Property.Parallel ||
+            L.Node->Property.Vectorize)
+          continue;
+        auto Seq = dyn_cast<StmtSeqNode>(L.Node->Body);
+        if (!Seq || Seq->Stmts.size() < 2)
+          continue;
+        bool AllReduce = true;
+        for (const Stmt &St : Seq->Stmts)
+          AllReduce = AllReduce && isa<ReduceToNode>(St);
+        if (!AllReduce)
+          continue;
+        Func Saved = S.func();
+        bool Ok = true;
+        int64_t Cur = L.Node->Id;
+        size_t Pieces = Seq->Stmts.size();
+        for (size_t P = 0; P + 1 < Pieces && Ok; ++P) {
+          Ref<ForNode> CurL;
+          for (const LoopInfo &L2 : collectLoops(S.ast()))
+            if (L2.Node->Id == Cur)
+              CurL = L2.Node;
+          auto CurSeq = CurL ? dyn_cast<StmtSeqNode>(CurL->Body) : nullptr;
+          if (!CurSeq || CurSeq->Stmts.empty()) {
+            Ok = false;
+            break;
+          }
+          auto FR = S.fission(Cur, CurSeq->Stmts.front()->Id);
+          if (!FR.ok()) {
+            Ok = false;
+            break;
+          }
+          Ok = S.vectorize(FR->First, Width).ok();
+          Cur = FR->Second;
+        }
+        Ok = Ok && S.vectorize(Cur, Width).ok();
+        if (!Ok) {
+          S = Schedule(std::move(Saved));
+          continue;
+        }
+        N += static_cast<int>(Pieces);
+        Changed = true;
+        break; // Structure changed; rescan.
+      }
+    }
   }
   return N;
 }
@@ -384,7 +451,8 @@ AutoScheduleReport ft::autoSchedule(Schedule &S,
   if (Opts.Fuse)
     RunRule("auto_fuse", R.Fused, [&] { return autoFuse(S); });
   if (Opts.Vectorize)
-    RunRule("auto_vectorize", R.Vectorized, [&] { return autoVectorize(S); });
+    RunRule("auto_vectorize", R.Vectorized,
+            [&] { return autoVectorize(S, Opts.VectorWidth); });
   if (Opts.Parallelize)
     RunRule("auto_parallelize", R.Parallelized,
             [&] { return autoParallelize(S, Opts.NumThreads); });
@@ -396,6 +464,16 @@ AutoScheduleReport ft::autoSchedule(Schedule &S,
   if (Opts.Unroll)
     RunRule("auto_unroll", R.Unrolled,
             [&] { return autoUnroll(S, Opts.UnrollLimit); });
+  if (Opts.Vectorize && Opts.Unroll && Opts.VectorWidth > 0) {
+    // Fully unrolling a short reduction loop (e.g. the 3-neighbor loop of
+    // SubdivNet) exposes a new innermost loop whose carried dependences are
+    // now provably empty — give the vectorize rule a second look. Width 0
+    // keeps the pre-SIMD pass order (and its emission) exactly.
+    int More = 0;
+    RunRule("auto_vectorize", More,
+            [&] { return autoVectorize(S, Opts.VectorWidth); });
+    R.Vectorized += More;
+  }
   S.cleanup();
   return R;
 }
@@ -434,7 +512,7 @@ void mutateOnce(Schedule &S, Rng &R) {
   auto Loops = collectLoops(S.ast());
   if (Loops.empty())
     return;
-  switch (R.next() % 6) {
+  switch (R.next() % 8) {
   case 0: {
     static const int64_t Factors[] = {2, 4, 8, 16, 32};
     (void)S.split(Loops[R.pick(Loops.size())].Node->Id,
@@ -472,7 +550,241 @@ void mutateOnce(Schedule &S, Rng &R) {
       (void)S.reorder({Nest[1]->Id, Nest[0]->Id});
     return;
   }
+  case 6: {
+    // Explicit-width vectorize: unlike case 3's hint-only form, this one
+    // proves legality (and admits single-accumulator reductions).
+    static const int Widths[] = {4, 8, 16};
+    const LoopInfo &L = Loops[R.pick(Loops.size())];
+    if (L.Innermost)
+      (void)S.vectorize(L.Node->Id, Widths[R.pick(std::size(Widths))]);
+    return;
   }
+  case 7: {
+    // Composite split -> reorder -> vectorize: tile the top two loops of a
+    // perfect nest and vectorize the resulting inner point loop.
+    static const int64_t Tiles[] = {8, 16, 32};
+    const LoopInfo &L = Loops[R.pick(Loops.size())];
+    auto Nest = S.perfectNest(L.Node->Id);
+    if (Nest.size() < 2)
+      return;
+    auto R0 = S.split(Nest[0]->Id, Tiles[R.pick(std::size(Tiles))]);
+    auto R1 = S.split(Nest[1]->Id, Tiles[R.pick(std::size(Tiles))]);
+    if (!R0.ok() || !R1.ok())
+      return;
+    S.cleanup(); // Simplify away divisible-split guards so the band is
+                 // perfectly nested again.
+    if (S.reorder({R0->First, R1->First, R0->Second, R1->Second}).ok())
+      if (!S.vectorize(R1->Second, 8).ok())
+        (void)S.vectorize(R1->Second);
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cache-footprint-driven tile candidates
+//===----------------------------------------------------------------------===//
+
+/// One deterministic tiling candidate: tile the top two loops of a perfect
+/// nest by (TileI, TileJ) via split -> reorder, then vectorize the inner
+/// point loop.
+struct TilePlan {
+  int64_t OuterId = -1;
+  int64_t InnerId = -1;
+  int64_t TileI = 1;
+  int64_t TileJ = 1;
+  double FootprintBytes = 0;
+};
+
+/// Estimated bytes one iteration tile touches. For every distinct access in
+/// the nest body, each index dimension spans
+///   1 + sum_iter |coeff(iter)| * (span(iter) - 1)
+/// elements, where span() is the tile size for tiled iterators and the full
+/// constant extent for untiled nest iterators; a non-affine index dimension
+/// falls back to a pessimistic constant span. The per-access element counts
+/// multiply across dimensions and sum across tensors, scaled by element
+/// size. Duplicate accesses (same tensor, same index text) count once —
+/// reuse is the point of tiling, not extra footprint.
+double tileFootprintBytes(const Func &F, const Stmt &Body,
+                          const std::map<std::string, int64_t> &IterSpan) {
+  IsParamFn IsParam = [&](const std::string &N) {
+    auto D = findVarDef(F.Body, N);
+    return D && D->ATy == AccessType::Input && D->Info.Shape.empty() &&
+           isInt(D->Info.Dtype);
+  };
+  constexpr double kNonAffineSpan = 8;
+  double Total = 0;
+  std::set<std::string> Seen;
+  auto Account = [&](const std::string &Var, const std::vector<Expr> &Idx) {
+    std::string Key = Var;
+    for (const Expr &E : Idx)
+      Key += "[" + toString(E) + "]";
+    if (!Seen.insert(Key).second)
+      return;
+    double Elems = 1;
+    for (const Expr &E : Idx) {
+      auto Lin = toLinear(E, IsParam);
+      if (!Lin) {
+        Elems *= kNonAffineSpan;
+        continue;
+      }
+      double Span = 1;
+      for (const auto &[Iter, Width] : IterSpan)
+        Span += static_cast<double>(std::abs(Lin->coeffOf(Iter))) *
+                static_cast<double>(Width - 1);
+      Elems *= Span;
+    }
+    double ESize = 4;
+    if (auto D = findVarDef(F.Body, Var))
+      ESize = static_cast<double>(sizeOf(D->Info.Dtype));
+    Total += ESize * Elems;
+  };
+  std::function<void(const Expr &)> ScanE = [&](const Expr &E) {
+    if (auto Ld = dyn_cast<LoadNode>(E)) {
+      Account(Ld->Var, Ld->Indices);
+      for (const Expr &I : Ld->Indices)
+        ScanE(I);
+      return;
+    }
+    if (auto B = dyn_cast<BinaryNode>(E)) {
+      ScanE(B->LHS);
+      ScanE(B->RHS);
+      return;
+    }
+    if (auto U = dyn_cast<UnaryNode>(E))
+      return ScanE(U->Operand);
+    if (auto C = dyn_cast<CastNode>(E))
+      return ScanE(C->Operand);
+    if (auto IE = dyn_cast<IfExprNode>(E)) {
+      ScanE(IE->Cond);
+      ScanE(IE->Then);
+      ScanE(IE->Else);
+    }
+  };
+  std::function<void(const Stmt &)> ScanS = [&](const Stmt &St) {
+    switch (St->kind()) {
+    case NodeKind::StmtSeq:
+      for (const Stmt &Sub : cast<StmtSeqNode>(St)->Stmts)
+        ScanS(Sub);
+      return;
+    case NodeKind::VarDef:
+      return ScanS(cast<VarDefNode>(St)->Body);
+    case NodeKind::For:
+      return ScanS(cast<ForNode>(St)->Body);
+    case NodeKind::If: {
+      auto I = cast<IfNode>(St);
+      ScanE(I->Cond);
+      ScanS(I->Then);
+      if (I->Else)
+        ScanS(I->Else);
+      return;
+    }
+    case NodeKind::Store: {
+      auto W = cast<StoreNode>(St);
+      Account(W->Var, W->Indices);
+      for (const Expr &I : W->Indices)
+        ScanE(I);
+      ScanE(W->Value);
+      return;
+    }
+    case NodeKind::ReduceTo: {
+      auto Red = cast<ReduceToNode>(St);
+      Account(Red->Var, Red->Indices);
+      for (const Expr &I : Red->Indices)
+        ScanE(I);
+      ScanE(Red->Value);
+      return;
+    }
+    default:
+      return;
+    }
+  };
+  ScanS(Body);
+  return Total;
+}
+
+/// Enumerates power-of-two tile pairs that exactly divide the constant
+/// extents of the first depth>=2 perfect nest, ranked by how well one
+/// iteration tile's estimated footprint fills L1 (any L1 fit beats any
+/// L2-only fit, which beats any overflow; within a class, fuller is
+/// better). Returns the best \p TopK plans.
+std::vector<TilePlan> tilePlans(const Func &Seed, size_t TopK) {
+  constexpr double kL1Bytes = 32 * 1024.0;
+  constexpr double kL2Bytes = 256 * 1024.0;
+  std::vector<TilePlan> Plans;
+  Schedule S(Seed);
+  for (const LoopInfo &L : collectLoops(S.ast())) {
+    if (L.Depth != 0)
+      continue;
+    auto Nest = S.perfectNest(L.Node->Id);
+    if (Nest.size() < 2)
+      continue;
+    auto N0 = constLen(Nest[0]);
+    auto N1 = constLen(Nest[1]);
+    if (!N0 || !N1 || *N0 < 4 || *N1 < 4)
+      continue;
+    const Stmt &Body = Nest.back()->Body;
+    for (int64_t TI = 2; TI <= *N0 / 2; TI *= 2) {
+      if (*N0 % TI != 0)
+        continue;
+      for (int64_t TJ = 2; TJ <= *N1 / 2; TJ *= 2) {
+        if (*N1 % TJ != 0)
+          continue;
+        std::map<std::string, int64_t> Span;
+        Span[Nest[0]->Iter] = TI;
+        Span[Nest[1]->Iter] = TJ;
+        // Deeper nest loops are not tiled: they sweep their full extent
+        // inside one tile (pessimistic 64 when the extent is symbolic).
+        for (size_t K = 2; K < Nest.size(); ++K)
+          Span[Nest[K]->Iter] = constLen(Nest[K]).value_or(64);
+        Plans.push_back({Nest[0]->Id, Nest[1]->Id, TI, TJ,
+                         tileFootprintBytes(Seed, Body, Span)});
+      }
+    }
+    break; // First suitable nest only: bounds the candidate count.
+  }
+  auto Score = [&](const TilePlan &P) {
+    if (P.FootprintBytes <= kL1Bytes)
+      return kL1Bytes - P.FootprintBytes;
+    if (P.FootprintBytes <= kL2Bytes)
+      return kL1Bytes + (kL2Bytes - P.FootprintBytes);
+    return kL1Bytes + kL2Bytes + P.FootprintBytes;
+  };
+  std::sort(Plans.begin(), Plans.end(),
+            [&](const TilePlan &A, const TilePlan &B) {
+              if (Score(A) != Score(B))
+                return Score(A) < Score(B);
+              return std::make_pair(A.TileI, A.TileJ) <
+                     std::make_pair(B.TileI, B.TileJ);
+            });
+  if (Plans.size() > TopK)
+    Plans.resize(TopK);
+  return Plans;
+}
+
+/// Builds the tiled candidate for one plan. A rejected primitive leaves the
+/// program unchanged, and fingerprint dedup then collapses the candidate
+/// onto one already measured — failure is cheap by construction.
+Func applyTilePlan(const Func &Seed, const TilePlan &P, int VecWidth) {
+  Schedule S(Seed);
+  auto R0 = S.split(P.OuterId, P.TileI);
+  auto R1 = S.split(P.InnerId, P.TileJ);
+  if (R0.ok() && R1.ok()) {
+    S.cleanup(); // Divisible splits: simplify removes the guards, restoring
+                 // a perfectly nested band for reorder.
+    (void)S.reorder({R0->First, R1->First, R0->Second, R1->Second});
+  }
+  for (const LoopInfo &L : collectLoops(S.ast())) {
+    if (!L.Innermost || L.Node->Property.Parallel ||
+        L.Node->Property.Vectorize)
+      continue;
+    if (!accessesContiguously(L.Node))
+      continue;
+    if (VecWidth <= 0 || !S.vectorize(L.Node->Id, VecWidth).ok())
+      (void)S.vectorize(L.Node->Id);
+  }
+  S.cleanup();
+  return S.func();
 }
 
 /// Compiles \p F (through the kernel cache) and returns the best-of-\p Runs
@@ -531,6 +843,19 @@ Result<Func> ft::autoTuneFunc(const Func &F,
   if (!SeedMs.ok())
     return Result<Func>::error(SeedMs.message());
   double BestMs = *SeedMs;
+
+  // Deterministic tile candidates from the cache-footprint heuristic run
+  // before the random walk: they seed the search with the tilings most
+  // likely to fit L1, and the walk then refines from whichever wins.
+  const Func TileSeed = Best;
+  for (const TilePlan &P : tilePlans(TileSeed, /*TopK=*/4)) {
+    Func Cand = applyTilePlan(TileSeed, P, Opts.Rules.VectorWidth);
+    auto MsR = Measure(Cand);
+    if (MsR.ok() && *MsR < BestMs) {
+      BestMs = *MsR;
+      Best = std::move(Cand);
+    }
+  }
 
   Rng Rand{Opts.Seed ? Opts.Seed : 0x9e3779b97f4a7c15ull};
   for (int Round = 0; Round < Opts.Rounds; ++Round) {

@@ -50,6 +50,11 @@ struct AutoScheduleOptions {
   int64_t LocalSizeLimit = 4096;
   /// Loops with at most this constant length are marked for unrolling.
   int64_t UnrollLimit = 8;
+  /// Explicit SIMD width auto_vectorize proves loops at (the two-argument
+  /// vectorize(LoopId, Width), falling back to the legacy hint-only form
+  /// when the proof fails). 0 skips the proof entirely and keeps the
+  /// legacy ivdep-hint lowering — benchmarks use that as the baseline.
+  int VectorWidth = 16;
   /// Thread count the parallelize rule targets; 0 = autodetect. With one
   /// thread, parallelization (and its atomics) is skipped as pure
   /// overhead — the paper's rules are architecture-aware (§4.3).

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <dlfcn.h>
 #include <fstream>
+#include <set>
 #include <sys/stat.h>
 #include <vector>
 
@@ -62,6 +63,32 @@ struct ScratchDir {
   }
 };
 
+/// True when some loop was proven for explicit-width SIMD
+/// (vectorize(LoopId, Width)). Codegen then emits __restrict__ parameter
+/// bindings, so Kernel::run must enforce the no-aliasing contract.
+bool hasExplicitSimdLoop(const Stmt &S) {
+  switch (S->kind()) {
+  case NodeKind::StmtSeq:
+    for (const Stmt &Sub : cast<StmtSeqNode>(S)->Stmts)
+      if (hasExplicitSimdLoop(Sub))
+        return true;
+    return false;
+  case NodeKind::VarDef:
+    return hasExplicitSimdLoop(cast<VarDefNode>(S)->Body);
+  case NodeKind::If: {
+    auto I = cast<IfNode>(S);
+    return hasExplicitSimdLoop(I->Then) ||
+           (I->Else != nullptr && hasExplicitSimdLoop(I->Else));
+  }
+  case NodeKind::For: {
+    auto L = cast<ForNode>(S);
+    return L->Property.VectorWidth > 0 || hasExplicitSimdLoop(L->Body);
+  }
+  default:
+    return false;
+  }
+}
+
 /// Reads and validates the versioned `<symbol>_rt_stats` export.
 KernelRtStats readRtStats(void (*Fn)(uint64_t *)) {
   KernelRtStats Out;
@@ -108,6 +135,13 @@ struct Kernel::Impl {
   bool Profiled = false;
   profile::SourceMap Map;
   std::string SpanName; ///< "rt/kernel/<symbol>", precomputed.
+  /// True when the kernel was compiled with __restrict__ parameters (some
+  /// loop proven for explicit SIMD): run() must reject aliasing arguments,
+  /// or the compiled code's no-overlap assumption would be a silent lie.
+  bool RequiresDistinctParams = false;
+  /// Parameters the kernel writes (Output/InOut). Two arguments may only
+  /// share a pointer when neither is written.
+  std::set<std::string> WrittenParams;
 
   profile::KernelProfile pullProfile() const {
     profile::KernelProfile P;
@@ -176,12 +210,15 @@ Kernel::Impl::makeSkeleton(const Func &F, const CodegenOptions &Opts) {
   if (Opts.Profile)
     I->Map = profile::buildSourceMap(F, trace::auditLog());
   I->Params = F.Params;
+  I->RequiresDistinctParams = hasExplicitSimdLoop(F.Body);
   for (const std::string &P : F.Params) {
     auto D = findVarDef(F.Body, P);
     if (!D)
       return Result<std::shared_ptr<Impl>>::error("parameter `" + P +
                                                   "` has no VarDef");
     I->ParamTypes[P] = D->Info.Dtype;
+    if (D->ATy == AccessType::Output || D->ATy == AccessType::InOut)
+      I->WrittenParams.insert(P);
   }
   I->SpanName = "rt/kernel/" + I->Symbol;
   return I;
@@ -380,8 +417,11 @@ Result<Kernel> Kernel::compile(const Func &F, const CodegenOptions &Opts,
   // first-loaded kernel's runtime state — cross-kernel stats pollution,
   // and a heap overflow when a later kernel indexes the first kernel's
   // (smaller) profiler slot arrays.
+  // -fopenmp-simd honors `#pragma omp simd` (and its reduction/aligned
+  // clauses) without linking the OpenMP runtime — no new dependency.
   std::string Cmd = "g++ -std=c++20 " + OptFlags +
-                    " -march=native -fPIC -fno-gnu-unique -shared -I " +
+                    " -march=native -fopenmp-simd -fPIC -fno-gnu-unique "
+                    "-shared -I " +
                     shellQuote(FT_RUNTIME_INCLUDE_DIR) + " " +
                     shellQuote(Src) + " -o " + shellQuote(Lib) +
                     " -pthread > " + shellQuote(Log) + " 2>&1";
@@ -428,6 +468,16 @@ Status Kernel::run(const std::map<std::string, Buffer *> &Args) const {
     if (It->second->dtype() != I->ParamTypes.at(P))
       return Status::error("dtype mismatch for argument `" + P + "`");
     Ptrs.push_back(It->second->raw());
+  }
+  if (I->RequiresDistinctParams) {
+    for (size_t A = 0; A < Ptrs.size(); ++A)
+      for (size_t B = A + 1; B < Ptrs.size(); ++B)
+        if (Ptrs[A] == Ptrs[B] && (I->WrittenParams.count(I->Params[A]) ||
+                                   I->WrittenParams.count(I->Params[B])))
+          return Status::error(
+              "arguments `" + I->Params[A] + "` and `" + I->Params[B] +
+              "` alias, but the kernel was compiled with proven no-aliasing "
+              "(__restrict__ parameters for SIMD lowering)");
   }
   trace::Span Sp(I->SpanName);
   I->Entry(Ptrs.data());

@@ -184,6 +184,19 @@ uint64_t ft::kernel_cache::compilerId() {
       ::pclose(P);
       H = combine(H, hashStr(Out));
     }
+    // Kernels compile with -march=native, so the effective target flags are
+    // part of the binary's identity: two nodes sharing a cache directory
+    // must not exchange `.so`s built for different micro-architectures.
+    if (std::FILE *P =
+            ::popen("g++ -march=native -Q --help=target 2>/dev/null", "r")) {
+      char Buf[4096];
+      std::string Out;
+      size_t N;
+      while ((N = std::fread(Buf, 1, sizeof(Buf), P)) > 0)
+        Out.append(Buf, N);
+      ::pclose(P);
+      H = combine(H, hashStr(Out));
+    }
     // The runtime header is compiled into every kernel; changing it changes
     // the binary's behavior even for identical IR.
     H = combine(H, hashStr(readWholeFile(std::string(FT_RUNTIME_INCLUDE_DIR) +

@@ -47,7 +47,11 @@ namespace ft::kernel_cache {
 /// without changing the IR): stale entries from older schemas then simply
 /// never hit.
 /// v2: kernels gained the `<symbol>_rt_set_threads` thread-budget export.
-inline constexpr uint64_t kSchemaVersion = 2;
+/// v3: compilerId() additionally hashes the -march=native target state, so
+///     a `.so` compiled on one micro-architecture can never hit on another
+///     node sharing the cache directory (the old key let an AVX-512 binary
+///     migrate to a machine without those units — SIGILL at best).
+inline constexpr uint64_t kSchemaVersion = 3;
 
 /// Cache configuration as read from the environment.
 struct Config {
@@ -59,9 +63,11 @@ struct Config {
 /// Re-reads the environment (cheap; called once per Kernel::compile).
 Config config();
 
-/// Hash of `cc --version` output and the JIT runtime header bytes, probed
-/// once per process. A compiler upgrade or a runtime-header change moves
-/// every key, invalidating the store without touching it.
+/// Hash of `cc --version` output, the resolved `-march=native` target
+/// flags, and the JIT runtime header bytes, probed once per process. A
+/// compiler upgrade, a different host micro-architecture, or a
+/// runtime-header change moves every key, invalidating the store without
+/// touching it.
 uint64_t compilerId();
 
 /// A derived cache key.

@@ -11,12 +11,36 @@
 
 #include <cstdint>
 #include <cstring>
+#include <new>
 #include <vector>
 
 #include "ir/data_type.h"
 #include "support/error.h"
 
 namespace ft {
+
+/// Allocator keeping Buffer storage 64-byte aligned. Codegen's SIMD
+/// lowering emits `aligned(p:64)` clauses for parameter pointers, which is
+/// only sound because every Buffer starts on a cache-line boundary.
+template <typename T> struct Aligned64Allocator {
+  using value_type = T;
+
+  Aligned64Allocator() = default;
+  template <typename U> Aligned64Allocator(const Aligned64Allocator<U> &) {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(
+        ::operator new(N * sizeof(T), std::align_val_t(64)));
+  }
+  void deallocate(T *P, size_t) noexcept {
+    ::operator delete(P, std::align_val_t(64));
+  }
+
+  template <typename U>
+  bool operator==(const Aligned64Allocator<U> &) const {
+    return true;
+  }
+};
 
 /// A dense row-major tensor value.
 class Buffer {
@@ -171,7 +195,7 @@ private:
 
   DataType DT = DataType::Float32;
   std::vector<int64_t> Shape;
-  std::vector<uint8_t> Data;
+  std::vector<uint8_t, Aligned64Allocator<uint8_t>> Data;
 };
 
 } // namespace ft

@@ -188,6 +188,12 @@ size_t hashStmtAlpha(AlphaScope &Sc, const Stmt &S) {
                        (F->Property.Vectorize ? 2 : 0) |
                        (F->Property.Unroll ? 4 : 0) |
                        (F->Property.NoDeps ? 8 : 0));
+    // Explicit-width SIMD / unroll factors are part of the lowering
+    // contract, so two programs differing only here must not collide
+    // (the kernel cache keys on this fingerprint).
+    if (F->Property.VectorWidth || F->Property.UnrollFactor)
+      H = combine(H, static_cast<size_t>(F->Property.VectorWidth) * 131 +
+                         static_cast<size_t>(F->Property.UnrollFactor));
     Bind B(Sc, F->Iter);
     return combine(H, hashStmtAlpha(Sc, F->Body));
   }

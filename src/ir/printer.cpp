@@ -186,9 +186,15 @@ private:
       std::string Attrs;
       if (F->Property.Parallel)
         Attrs += "  # parallel";
-      if (F->Property.Vectorize)
+      if (F->Property.VectorWidth > 0)
+        Attrs += "  # vectorize(" + std::to_string(F->Property.VectorWidth) +
+                 ")";
+      else if (F->Property.Vectorize)
         Attrs += "  # vectorize";
-      if (F->Property.Unroll)
+      if (F->Property.UnrollFactor > 0)
+        Attrs += "  # unroll(" + std::to_string(F->Property.UnrollFactor) +
+                 ")";
+      else if (F->Property.Unroll)
         Attrs += "  # unroll";
       line(Indent,
            "for " + F->Iter + " in " + printExpr(F->Begin) + ":" +

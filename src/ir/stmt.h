@@ -166,6 +166,14 @@ struct ForProperty {
   /// Promise there are no loop-carried dependences (set by schedules after
   /// verification; consumed by codegen for parallel reductions).
   bool NoDeps = false;
+  /// Proven SIMD width (vectorize(LoopId, Width)): > 0 means the vector
+  /// legality analysis verified the loop at this width and codegen may
+  /// lower it to an explicit-width `#pragma omp simd` body with a scalar
+  /// remainder. 0 keeps the legacy ivdep-hint lowering.
+  int VectorWidth = 0;
+  /// Requested unroll factor (unroll(LoopId, Factor)): > 0 overrides the
+  /// historical hard-coded `#pragma GCC unroll 8`.
+  int UnrollFactor = 0;
 
   bool operator==(const ForProperty &) const = default;
 };

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "analysis/bounds.h"
+#include "analysis/vector_legality.h"
 #include "ir/compare.h"
 #include "ir/printer.h"
 #include "pass/const_fold.h"
@@ -680,6 +681,21 @@ Status Schedule::unrollImpl(int64_t LoopId, bool Full) {
   return Status::success();
 }
 
+Status Schedule::unrollImpl(int64_t LoopId, int Factor) {
+  Status Err;
+  auto L = getLoop(LoopId, &Err);
+  if (!L)
+    return Err;
+  if (Factor < 2 || Factor > 64)
+    return Status::error("unroll factor must be in [2, 64], got " +
+                         std::to_string(Factor));
+  ForProperty P = L->Property;
+  P.Unroll = true;
+  P.UnrollFactor = Factor;
+  setBody(PropertySetter(LoopId, P)(F.Body));
+  return Status::success();
+}
+
 Status Schedule::blendImpl(int64_t LoopId) {
   Status Err;
   auto L = getLoop(LoopId, &Err);
@@ -747,6 +763,24 @@ Status Schedule::vectorizeImpl(int64_t LoopId) {
   ForProperty P = L->Property;
   P.Vectorize = true;
   P.NoDeps = true;
+  setBody(PropertySetter(LoopId, P)(F.Body));
+  return Status::success();
+}
+
+Status Schedule::vectorizeImpl(int64_t LoopId, int Width) {
+  Status Err;
+  auto L = getLoop(LoopId, &Err);
+  if (!L)
+    return Err;
+  VectorLegality V = analyzeVectorLegality(deps(), L, Width, isParamFn());
+  if (!V.Legal)
+    return Status::error(V.Reason);
+  ForProperty P = L->Property;
+  P.Vectorize = true;
+  P.VectorWidth = Width;
+  // A reduction loop does carry (commuting) dependences; codegen must not
+  // treat it as independent.
+  P.NoDeps = !V.Reduction;
   setBody(PropertySetter(LoopId, P)(F.Body));
   return Status::success();
 }
@@ -1497,6 +1531,13 @@ Status Schedule::unroll(int64_t LoopId, bool Full) {
   return A.finish(unrollImpl(LoopId, Full));
 }
 
+Status Schedule::unroll(int64_t LoopId, int Factor) {
+  trace::ScheduleAudit A("unroll", fmtLoop(LoopId) + " factor " +
+                                       std::to_string(Factor));
+  A.noteStmtIds({LoopId});
+  return A.finish(unrollImpl(LoopId, Factor));
+}
+
 Status Schedule::blend(int64_t LoopId) {
   trace::ScheduleAudit A("blend", fmtLoop(LoopId));
   A.noteStmtIds({LoopId});
@@ -1507,6 +1548,13 @@ Status Schedule::vectorize(int64_t LoopId) {
   trace::ScheduleAudit A("vectorize", fmtLoop(LoopId));
   A.noteStmtIds({LoopId});
   return A.finish(vectorizeImpl(LoopId));
+}
+
+Status Schedule::vectorize(int64_t LoopId, int Width) {
+  trace::ScheduleAudit A("vectorize", fmtLoop(LoopId) + " width " +
+                                          std::to_string(Width));
+  A.noteStmtIds({LoopId});
+  return A.finish(vectorizeImpl(LoopId, Width));
 }
 
 Result<std::string> Schedule::cache(int64_t StmtId, const std::string &Var,

@@ -77,12 +77,23 @@ public:
   /// loop for backend unrolling (\p Full = false).
   Status unroll(int64_t LoopId, bool Full = false);
 
+  /// Marks the loop for backend unrolling by exactly \p Factor (emitted as
+  /// `#pragma GCC unroll Factor`). Factor must be in [2, 64].
+  Status unroll(int64_t LoopId, int Factor);
+
   /// Fully unrolls a constant-extent loop and interleaves the statement
   /// copies statement-by-statement.
   Status blend(int64_t LoopId);
 
   /// Marks a loop for SIMD execution; requires no carried dependences.
   Status vectorize(int64_t LoopId);
+
+  /// Proves the loop vectorizable at \p Width lanes (analysis/
+  /// vector_legality.h: access classification, dependence emptiness or the
+  /// single-accumulator reduction pattern) and marks it for explicit-width
+  /// lowering (`#pragma omp simd simdlen(Width)` with a scalar remainder).
+  /// Rejections carry the analysis' reason into the audit log.
+  Status vectorize(int64_t LoopId, int Width);
 
   //===-- Memory hierarchy transformations --------------------------------===//
 
@@ -148,8 +159,10 @@ private:
   Status swapImpl(int64_t Stmt1Id, int64_t Stmt2Id);
   Status parallelizeImpl(int64_t LoopId);
   Status unrollImpl(int64_t LoopId, bool Full);
+  Status unrollImpl(int64_t LoopId, int Factor);
   Status blendImpl(int64_t LoopId);
   Status vectorizeImpl(int64_t LoopId);
+  Status vectorizeImpl(int64_t LoopId, int Width);
   Result<std::string> cacheImpl(int64_t StmtId, const std::string &Var,
                                 MemType MTy);
   Result<std::string> cacheReductionImpl(int64_t StmtId,

@@ -12,6 +12,7 @@
 #include "frontend/libop.h"
 #include "ir/printer.h"
 #include "schedule/schedule.h"
+#include "support/trace.h"
 
 using namespace ft;
 
@@ -174,6 +175,75 @@ TEST(ScheduleErrorsTest, SeparateTailNeedsAGuard) {
   auto R = S.separateTail(T.L1);
   ASSERT_FALSE(R.ok());
   EXPECT_NE(R.message().find("no guard"), std::string::npos);
+}
+
+TEST(ScheduleErrorsTest, VectorizeWidthValidation) {
+  TwoLoops T = buildTwoLoops();
+  Schedule S(T.F);
+  for (int W : {0, 1, 3, 6, 128}) {
+    auto R = S.vectorize(T.L1, W);
+    ASSERT_FALSE(R.ok()) << "width " << W;
+    EXPECT_NE(R.message().find("power of two in [2, 64]"), std::string::npos)
+        << R.message();
+  }
+}
+
+TEST(ScheduleErrorsTest, VectorizeCarriedDependenceNamesTheVariable) {
+  // y[i] = y[i-1] + x[i]: a genuine loop-carried RAW the width form must
+  // reject with a diagnostic naming the offending tensor.
+  FunctionBuilder B("scan");
+  View X = B.input("x", {ic(16)});
+  View Y = B.inout("y", {ic(16)});
+  int64_t L = B.loop("i", 1, 16, [&](Expr I) {
+    Y[I].assign(Y[I - 1].load() + X[I].load());
+  });
+  Func F = B.build();
+  Schedule S(F);
+  auto R = S.vectorize(L, 8);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("loop-carried"), std::string::npos)
+      << R.message();
+  EXPECT_NE(R.message().find("`y`"), std::string::npos) << R.message();
+}
+
+TEST(ScheduleErrorsTest, VectorizeMultiStatementReductionRejected) {
+  // Two reductions into distinct accumulators in one body do not match the
+  // single-accumulator pattern codegen can privatize.
+  FunctionBuilder B("twored");
+  View X = B.input("x", {ic(16)});
+  View Y = B.output("y", {ic(2)});
+  int64_t L = B.loop("i", 0, 16, [&](Expr I) {
+    Y[ic(0)] += X[I].load();
+    Y[ic(1)] += X[I].load() * X[I].load();
+  });
+  Func F = B.build();
+  Schedule S(F);
+  auto R = S.vectorize(L, 8);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("single-accumulator"), std::string::npos)
+      << R.message();
+}
+
+TEST(ScheduleErrorsTest, VectorizeRejectionsLandInAuditLog) {
+  // Every rejected vectorize must leave a human-readable audit entry so
+  // auto-schedule reports can explain what was not vectorized and why.
+  TwoLoops T = buildTwoLoops();
+  Schedule S(T.F);
+  trace::AuditGuard G;
+  size_t Mark = trace::auditSize();
+  ASSERT_FALSE(S.vectorize(T.L1, 3).ok());
+  auto Log = trace::auditLogSince(Mark);
+  ASSERT_FALSE(Log.empty());
+  bool Found = false;
+  for (const auto &E : Log) {
+    if (E.Primitive != "vectorize")
+      continue;
+    Found = true;
+    EXPECT_FALSE(E.Applied);
+    EXPECT_FALSE(E.Reason.empty());
+    EXPECT_NE(E.Reason.find("power of two"), std::string::npos) << E.Reason;
+  }
+  EXPECT_TRUE(Found);
 }
 
 TEST(ScheduleErrorsTest, RejectedRequestsLeaveProgramIntact) {

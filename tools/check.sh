@@ -7,11 +7,14 @@
 # 3. Kernel-cache smoke: a cold ftc run must miss, a second run must hit
 #    the disk tier, and FT_CACHE=0 / --no-cache must compile fresh —
 #    against a private cache directory, plain and under ASan.
-# 4. Serve smoke: the tiered serving bench must pass its acceptance
+# 4. SIMD smoke: the default auto-schedule must emit `omp simd` +
+#    __restrict__ for proven loops; --vectorize-width 0 must fall back to
+#    the legacy ivdep-hint emission — plain and under ASan.
+# 5. Serve smoke: the tiered serving bench must pass its acceptance
 #    criteria (cold request hides the compile, >= 95% JIT after warm-up,
 #    bounded queue rejects under overload) and write schema-valid
 #    BENCH_serve.json — plain and under ASan.
-# 5. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
+# 6. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
 #    separate build tree, so memory and UB bugs in the analysis/schedule
 #    layers cannot hide behind passing functional tests. The trace test
 #    runs there too: the observability layer itself must be clean.
@@ -115,6 +118,31 @@ cache_smoke() {
 echo "== kernel-cache smoke: ftc cold/warm/disabled =="
 cache_smoke ./build/tools/ftc
 
+# SIMD smoke against $1/ftc: the default auto-schedule must lower proven
+# loops to `#pragma omp simd` with __restrict__ parameters, and
+# --vectorize-width 0 must fall back to the legacy ivdep-hint-only
+# emission with neither.
+simd_smoke() {
+  local Ftc="$1"
+  local Src
+  Src="$("$Ftc" --workload longformer --emit-cpp - --no-cache)"
+  echo "$Src" | grep -q "omp simd" ||
+    { echo "simd smoke: default emission has no omp simd pragma"; return 1; }
+  echo "$Src" | grep -q "__restrict__" ||
+    { echo "simd smoke: default emission has no __restrict__ params"; return 1; }
+  Src="$("$Ftc" --workload longformer --emit-cpp - --no-cache \
+    --vectorize-width 0)"
+  echo "$Src" | grep -q "ivdep" ||
+    { echo "simd smoke: width-0 emission lost the ivdep hint"; return 1; }
+  if echo "$Src" | grep -q "omp simd"; then
+    echo "simd smoke: width-0 emission still carries omp simd"; return 1
+  fi
+  echo "simd smoke OK: default -> omp simd + __restrict__, width 0 -> ivdep"
+}
+
+echo "== simd smoke: proven lowering vs legacy hint =="
+simd_smoke ./build/tools/ftc
+
 # Serving smoke against the serve_bench binary $1 (run from scratch dir
 # $2): the executor must
 # answer the cold request from the interpreter, reach >= 95% JIT tier after
@@ -179,6 +207,9 @@ rm -f "$ProfileJson"
 
 echo "== kernel-cache smoke under ASan =="
 ASAN_OPTIONS=detect_leaks=0 cache_smoke ./build-asan/tools/ftc
+
+echo "== simd smoke under ASan =="
+ASAN_OPTIONS=detect_leaks=0 simd_smoke ./build-asan/tools/ftc
 
 echo "== serve smoke under ASan =="
 ASAN_OPTIONS=detect_leaks=0 \

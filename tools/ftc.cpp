@@ -13,6 +13,8 @@
 //       [--profile]         instrument the kernel (implies --run) and print
 //                           the per-loop profile table; combine with
 //                           FT_PROFILE=out.folded/out.json for file sinks
+//       [--vectorize-width N] explicit SIMD width for auto_vectorize
+//                           (0 = legacy ivdep-hint lowering only)
 //       [--no-cache]        disable the kernel cache (sets FT_CACHE=0)
 //       [--cache-dir DIR]   use DIR as the kernel cache (sets FT_CACHE_DIR)
 //       [--serve N]         push N requests through the serving executor
@@ -50,6 +52,7 @@ struct Options {
   bool AutoScheduleEnabled = true;
   bool Grad = false;
   bool Profile = false;
+  int VectorWidth = -1; ///< -1 = keep the AutoScheduleOptions default.
   std::string EmitCpp;
   int Run = 0;
   int Serve = 0;
@@ -61,7 +64,8 @@ int usage() {
       "usage: ftc --workload subdivnet|longformer|softras|gat\n"
       "           [--print-ir] [--print-opt-ir] [--no-autoschedule]\n"
       "           [--emit-cpp FILE|-] [--grad] [--run N] [--profile]\n"
-      "           [--no-cache] [--cache-dir DIR] [--serve N]\n");
+      "           [--vectorize-width N] [--no-cache] [--cache-dir DIR]\n"
+      "           [--serve N]\n");
   return 2;
 }
 
@@ -132,6 +136,8 @@ int main(int argc, char **argv) {
       O.Run = std::atoi(argv[++I]);
     else if (A == "--serve" && I + 1 < argc)
       O.Serve = std::atoi(argv[++I]);
+    else if (A == "--vectorize-width" && I + 1 < argc)
+      O.VectorWidth = std::atoi(argv[++I]);
     else if (A == "--no-cache")
       ::setenv("FT_CACHE", "0", /*overwrite=*/1);
     else if (A == "--cache-dir" && I + 1 < argc)
@@ -154,7 +160,10 @@ int main(int argc, char **argv) {
   Func Opt = B.F;
   if (O.AutoScheduleEnabled) {
     AutoScheduleReport R;
-    Opt = autoScheduleFunc(B.F, {}, &R);
+    AutoScheduleOptions ASOpts;
+    if (O.VectorWidth >= 0)
+      ASOpts.VectorWidth = O.VectorWidth;
+    Opt = autoScheduleFunc(B.F, ASOpts, &R);
     std::printf("auto-schedule: fused=%d vectorized=%d parallelized=%d "
                 "localized=%d lib=%d unrolled=%d\n",
                 R.Fused, R.Vectorized, R.Parallelized, R.Localized,
