@@ -14,6 +14,13 @@
 // Latencies are recorded per tier and reported as p50/p95/p99 in
 // BENCH_serve.json.
 //
+// The bench also runs with the telemetry hooks enabled and acts as the
+// differential test for the histogram estimator: the p50/p95/p99 read from
+// the in-process "serve/..." histograms must agree with the raw-timestamp
+// computation (same rank convention) to within one log2 bucket — the
+// estimator's resolution bound. Queue-wait percentiles from the histogram
+// are reported alongside the per-tier latencies.
+//
 //===----------------------------------------------------------------------===//
 
 #include <algorithm>
@@ -28,7 +35,9 @@
 #include "codegen/kernel_cache.h"
 #include "frontend/builder.h"
 #include "serve/serve.h"
+#include "serve/telemetry.h"
 #include "support/error.h"
+#include "support/metrics.h"
 
 using namespace ft;
 using namespace ft::serve;
@@ -95,6 +104,58 @@ void jsonTier(std::FILE *F, const char *Name, const Percentiles &P,
                TrailingComma ? "," : "");
 }
 
+//===------------------------------------------------------------------===//
+// Histogram-vs-raw differential
+//===------------------------------------------------------------------===//
+
+/// Raw nanosecond samples, reconstructed from each Response with the same
+/// time points the telemetry hooks recorded. The histogram estimates must
+/// land in the same (or an adjacent) log2 bucket as these.
+std::vector<uint64_t> RawQueueNs, RawRunJitNs, RawRunInterpNs;
+
+void noteRaw(const Response &R) {
+  RawQueueNs.push_back(uint64_t(R.QueueSec * 1e9));
+  double RunSec = R.LatencySec - R.QueueSec;
+  if (RunSec < 0)
+    RunSec = 0;
+  if (R.ServedBy == Tier::Jit)
+    RawRunJitNs.push_back(uint64_t(RunSec * 1e9));
+  else
+    RawRunInterpNs.push_back(uint64_t(RunSec * 1e9));
+}
+
+uint64_t rawQuantile(std::vector<uint64_t> V, double Q) {
+  std::sort(V.begin(), V.end());
+  return V[size_t(Q * double(V.size() - 1))];
+}
+
+/// Compares the histogram's pXX estimates against the raw computation;
+/// agreement = within one bucket index. Returns the max bucket delta seen.
+int checkAgreement(const char *Name, const metrics::HistogramSnapshot &H,
+                   const std::vector<uint64_t> &Raw, bool &Ok) {
+  using HS = metrics::HistogramSnapshot;
+  if (Raw.empty())
+    return 0;
+  if (H.Count != Raw.size()) {
+    std::printf("%s: histogram count %llu != raw count %zu\n", Name,
+                (unsigned long long)H.Count, Raw.size());
+    Ok = false;
+  }
+  int MaxDelta = 0;
+  for (double Q : {0.50, 0.95, 0.99}) {
+    int HB = HS::bucketOf(uint64_t(H.quantile(Q)));
+    int RB = HS::bucketOf(rawQuantile(Raw, Q));
+    int D = HB > RB ? HB - RB : RB - HB;
+    MaxDelta = std::max(MaxDelta, D);
+    if (D > 1) {
+      std::printf("%s p%.0f: hist bucket %d vs raw bucket %d (delta %d)\n",
+                  Name, Q * 100, HB, RB, D);
+      Ok = false;
+    }
+  }
+  return MaxDelta;
+}
+
 } // namespace
 
 int main() {
@@ -103,6 +164,12 @@ int main() {
   ::setenv("FT_CACHE_DIR", Tmpl, 1);
   ::setenv("FT_CACHE", "1", 1);
   kernel_cache::memReset();
+
+  // Telemetry on (hooks only, no exporter): the serve/ histograms fill in
+  // parallel with the raw Response samples this bench already collects.
+  telemetry::setEnabled(true);
+  telemetry::reset();
+  metrics::resetPrefix("serve/");
 
   bool Ok = true;
 
@@ -140,6 +207,7 @@ int main() {
     Response Resp = R->get();
     ftAssert(Resp.S.ok(), Resp.S.message());
     ColdFirstSec = Resp.LatencySec;
+    noteRaw(Resp);
     if (Resp.ServedBy == Tier::Interp)
       InterpLat.push_back(Resp.LatencySec);
     Ok = Ok && Resp.ServedBy == Tier::Interp && ColdFirstSec < CompileRefSec;
@@ -151,6 +219,7 @@ int main() {
       ftAssert(R2.ok(), R2.message());
       Response Resp2 = R2->get();
       ftAssert(Resp2.S.ok(), Resp2.S.message());
+      noteRaw(Resp2);
       if (Resp2.ServedBy == Tier::Interp)
         InterpLat.push_back(Resp2.LatencySec);
       else
@@ -170,6 +239,7 @@ int main() {
       ftAssert(R2.ok(), R2.message());
       Response Resp2 = R2->get();
       ftAssert(Resp2.S.ok(), Resp2.S.message());
+      noteRaw(Resp2);
       if (Resp2.ServedBy == Tier::Jit)
         JitLat.push_back(Resp2.LatencySec);
       else
@@ -214,6 +284,7 @@ int main() {
       if (S.Fut.valid()) {
         Response Resp = S.Fut.get();
         ftAssert(Resp.S.ok(), Resp.S.message());
+        noteRaw(Resp);
         if (Resp.ServedBy == Tier::Jit)
           JitLat.push_back(Resp.LatencySec);
         else
@@ -227,6 +298,22 @@ int main() {
 
   Percentiles PI = percentiles(InterpLat);
   Percentiles PJ = percentiles(JitLat);
+
+  //===------------------------------------------------------------------===//
+  // Histogram vs raw: the telemetry estimates must agree with the
+  // raw-timestamp percentiles within one log2 bucket.
+  //===------------------------------------------------------------------===//
+  metrics::HistogramSnapshot QH =
+      metrics::histogram("serve/queue_wait_ns").snapshot();
+  metrics::HistogramSnapshot RJH =
+      metrics::histogram("serve/run_ns_jit").snapshot();
+  metrics::HistogramSnapshot RIH =
+      metrics::histogram("serve/run_ns_interp").snapshot();
+  int MaxDelta = 0;
+  MaxDelta = std::max(MaxDelta, checkAgreement("queue_wait", QH, RawQueueNs, Ok));
+  MaxDelta = std::max(MaxDelta, checkAgreement("run_jit", RJH, RawRunJitNs, Ok));
+  MaxDelta =
+      std::max(MaxDelta, checkAgreement("run_interp", RIH, RawRunInterpNs, Ok));
 
   std::printf("compile ref %.3f s | cold first request %.6f s (%s, %.0fx "
               "faster)\n",
@@ -243,6 +330,10 @@ int main() {
               PI.Count, PI.P50Us, PI.P95Us, PI.P99Us);
   std::printf("jit tier:    n=%zu p50 %.1fus p95 %.1fus p99 %.1fus\n",
               PJ.Count, PJ.P50Us, PJ.P95Us, PJ.P99Us);
+  std::printf("queue wait (hist): n=%llu p50 %.1fus p95 %.1fus p99 %.1fus | "
+              "hist-vs-raw max bucket delta %d\n",
+              (unsigned long long)QH.Count, QH.quantile(0.50) / 1e3,
+              QH.quantile(0.95) / 1e3, QH.quantile(0.99) / 1e3, MaxDelta);
 
   std::FILE *F = std::fopen("BENCH_serve.json", "w");
   ftAssert(F != nullptr, "could not open BENCH_serve.json");
@@ -265,7 +356,17 @@ int main() {
   std::fprintf(F, "  \"tiers\": {\n");
   jsonTier(F, "interp", PI, true);
   jsonTier(F, "jit", PJ, false);
-  std::fprintf(F, "  },\n  \"pass\": %s\n}\n", Ok ? "true" : "false");
+  std::fprintf(F, "  },\n");
+  std::fprintf(F,
+               "  \"queue_wait\": {\"count\": %llu, \"p50_us\": %.1f, "
+               "\"p95_us\": %.1f, \"p99_us\": %.1f},\n",
+               (unsigned long long)QH.Count, QH.quantile(0.50) / 1e3,
+               QH.quantile(0.95) / 1e3, QH.quantile(0.99) / 1e3);
+  std::fprintf(F,
+               "  \"hist_agreement\": {\"max_bucket_delta\": %d, "
+               "\"tolerance\": 1},\n",
+               MaxDelta);
+  std::fprintf(F, "  \"pass\": %s\n}\n", Ok ? "true" : "false");
   std::fclose(F);
 
   std::system(("rm -rf '" + std::string(Tmpl) + "'").c_str());

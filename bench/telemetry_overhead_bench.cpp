@@ -1,0 +1,174 @@
+//===- bench/telemetry_overhead_bench.cpp - Telemetry cost budget ---------===//
+//
+// The telemetry plane's two cost contracts (DESIGN.md §14):
+//
+//  (a) Disabled: a hook call is a function call + one relaxed load + a
+//      branch — no clock read, no lock, no allocation. Measured by a tight
+//      cross-TU loop over telemetry::onCompile with telemetry off; the
+//      budget is <= 5 ns per skipped call.
+//
+//  (b) Enabled: serving throughput with the hooks recording (and the
+//      snapshot exporter running) stays within 2% of telemetry-off
+//      throughput. Measured by interleaved best-of trials of a warm
+//      closed-loop request stream, alternating off/on so drift hits both
+//      modes equally.
+//
+// Results land in BENCH_telemetry_overhead.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "codegen/kernel_cache.h"
+#include "frontend/builder.h"
+#include "serve/serve.h"
+#include "serve/telemetry.h"
+#include "support/error.h"
+#include "support/metrics.h"
+
+using namespace ft;
+using namespace ft::serve;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int64_t kN = 8192;
+
+Func makeWorkload() {
+  FunctionBuilder B("telemk");
+  View X = B.input("x", {makeIntConst(kN)});
+  View Y = B.output("y", {makeIntConst(kN)});
+  B.loop("i", 0, kN, [&](Expr I) {
+    Y[I].assign(X[I].load() * makeFloatConst(2.0) + makeFloatConst(1.0));
+  });
+  return B.build();
+}
+
+/// One closed-loop trial: \p Reqs requests against a warm executor.
+/// Returns requests per second.
+double trial(Executor &Ex, const Func &F, std::map<std::string, Buffer *> &Args,
+             int Reqs) {
+  Clock::time_point T0 = Clock::now();
+  for (int I = 0; I < Reqs; ++I) {
+    auto R = Ex.submit(F, Args);
+    ftAssert(R.ok(), R.message());
+    Response Resp = R->get();
+    ftAssert(Resp.S.ok(), Resp.S.message());
+  }
+  double Sec = std::chrono::duration<double>(Clock::now() - T0).count();
+  return double(Reqs) / Sec;
+}
+
+} // namespace
+
+int main() {
+  char Tmpl[] = "/tmp/fttelembench.XXXXXX";
+  ftAssert(::mkdtemp(Tmpl) != nullptr, "mkdtemp failed");
+  ::setenv("FT_CACHE_DIR", Tmpl, 1);
+  ::setenv("FT_CACHE", "1", 1);
+  ::unsetenv("FT_TELEMETRY_DIR"); // exporter is started explicitly below
+  kernel_cache::memReset();
+
+  bool Ok = true;
+
+  //===------------------------------------------------------------------===//
+  // (a) Disabled record path.
+  //===------------------------------------------------------------------===//
+  telemetry::setEnabled(false);
+  const uint64_t kCalls = 50'000'000;
+  double BestNs = 1e9;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    Clock::time_point T0 = Clock::now();
+    for (uint64_t I = 0; I < kCalls; ++I)
+      telemetry::onCompile(I, true);
+    double Ns = double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Clock::now() - T0)
+                           .count()) /
+                double(kCalls);
+    if (Ns < BestNs)
+      BestNs = Ns;
+  }
+  ftAssert(metrics::histogram("serve/compile_ns").count() == 0,
+           "disabled hook recorded");
+  Ok = Ok && BestNs <= 5.0;
+  std::printf("disabled record path: %.2f ns/call (budget 5 ns)\n", BestNs);
+
+  //===------------------------------------------------------------------===//
+  // (b) Enabled serving overhead, interleaved best-of.
+  //===------------------------------------------------------------------===//
+  Func F = makeWorkload();
+  Config C;
+  C.Threads = 2;
+  Executor Ex(C);
+  Buffer X(DataType::Float32, {kN}), Y(DataType::Float32, {kN});
+  std::map<std::string, Buffer *> Args = {{F.Params[0], &X},
+                                          {F.Params[1], &Y}};
+
+  // Warm up until the JIT tier answers, so trials measure steady state.
+  for (int I = 0; I < 50; ++I) {
+    auto R = Ex.submit(F, Args);
+    ftAssert(R.ok(), R.message());
+    (void)R->get();
+  }
+  Ex.drain();
+
+  telemetry::Config TC;
+  TC.Dir = std::string(Tmpl) + "/telemetry";
+  TC.IntervalMs = 100;
+  TC.Keep = 8;
+
+  // Best-of over enough interleaved trials that both modes reach their
+  // steady-state ceiling: the hook cost (~0.1% here) is far below the
+  // per-trial scheduler noise, so converging the maxima is what makes the
+  // 2% budget check stable.
+  const int kReqs = 600;
+  const int kTrials = 8;
+  double OffRps = 0, OnRps = 0;
+  for (int T = 0; T < kTrials; ++T) {
+    telemetry::setEnabled(false);
+    OffRps = std::max(OffRps, trial(Ex, F, Args, kReqs));
+
+    Status S = telemetry::startExporter(TC);
+    ftAssert(S.ok(), S.message());
+    OnRps = std::max(OnRps, trial(Ex, F, Args, kReqs));
+    telemetry::stopExporter();
+  }
+  telemetry::setEnabled(false);
+
+  double OverheadFrac = OffRps > 0 ? 1.0 - OnRps / OffRps : 0;
+  if (OverheadFrac < 0)
+    OverheadFrac = 0;
+  uint64_t Snaps = telemetry::snapshotsWritten();
+  Ok = Ok && OverheadFrac <= 0.02 && Snaps >= 1;
+  std::printf("serving: off %.0f req/s | on %.0f req/s | overhead %.2f%% "
+              "(budget 2%%) | %llu snapshots written\n",
+              OffRps, OnRps, OverheadFrac * 100,
+              (unsigned long long)Snaps);
+
+  std::FILE *Out = std::fopen("BENCH_telemetry_overhead.json", "w");
+  ftAssert(Out != nullptr, "could not open BENCH_telemetry_overhead.json");
+  std::fprintf(Out,
+               "{\n  \"benchmark\": \"telemetry_overhead\",\n"
+               "  \"disabled_record_ns\": %.3f,\n"
+               "  \"disabled_budget_ns\": 5.0,\n"
+               "  \"off_rps\": %.1f,\n"
+               "  \"on_rps\": %.1f,\n"
+               "  \"overhead_frac\": %.4f,\n"
+               "  \"overhead_budget_frac\": 0.02,\n"
+               "  \"snapshots_written\": %llu,\n"
+               "  \"pass\": %s\n}\n",
+               BestNs, OffRps, OnRps, OverheadFrac,
+               (unsigned long long)Snaps, Ok ? "true" : "false");
+  std::fclose(Out);
+
+  Ex.shutdown();
+  std::system(("rm -rf '" + std::string(Tmpl) + "'").c_str());
+  std::printf("%s\n", Ok ? "PASS" : "FAIL");
+  return Ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "ir/printer.h"
+#include "support/string_utils.h"
 
 namespace ft::profile {
 
@@ -192,42 +193,7 @@ struct MapBuilder {
   }
 };
 
-//===----------------------------------------------------------------------===//
-// JSON helpers (kept in sync with trace.cpp's escaping)
-//===----------------------------------------------------------------------===//
 
-std::string jsonEscape(const std::string &In) {
-  std::string Out;
-  Out.reserve(In.size() + 2);
-  for (char C : In) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
 
 std::string joinPath(const std::vector<std::string> &Path) {
   std::string Out;

@@ -32,6 +32,7 @@
 #include "interp/interp.h"
 #include "serve/dispatch.h"
 #include "serve/queue.h"
+#include "serve/telemetry.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -92,30 +93,54 @@ struct Request {
   Clock::time_point SubmitT;
 };
 
-/// Relaxed-atomic mirror of ServeStats. Each bump also feeds the global
-/// metrics registry (resolved once here, so the hot path pays a relaxed
-/// add, not a map lookup).
-struct AtomicStats {
-  std::atomic<uint64_t> Submitted{0}, Rejected{0}, InterpServed{0},
-      JitServed{0}, CompilesStarted{0}, CompilesFailed{0}, CacheHits{0},
-      Batches{0}, MaxBatch{0}, RunErrors{0};
-
-  metrics::Counter &MSubmitted = metrics::counter("serve/submitted");
-  metrics::Counter &MRejected = metrics::counter("serve/rejected");
-  metrics::Counter &MInterp = metrics::counter("serve/interp_served");
-  metrics::Counter &MJit = metrics::counter("serve/jit_served");
-  metrics::Counter &MCompiles = metrics::counter("serve/compiles_started");
-  metrics::Counter &MCompFail = metrics::counter("serve/compiles_failed");
-  metrics::Counter &MCacheHits = metrics::counter("serve/cache_hits");
-  metrics::Counter &MBatches = metrics::counter("serve/batches");
-  metrics::Counter &MRunErrors = metrics::counter("serve/run_errors");
+/// The executor's counters, stored once: in the global metrics registry.
+/// References are resolved at construction so every bump is one relaxed
+/// add, not a map lookup. Executor::stats() reports per-executor numbers
+/// as saturating deltas from a construction-time baseline (MaxBatch is a
+/// max-gauge, not summable, and stays a per-executor atomic in Impl).
+struct StatsRefs {
+  metrics::Counter &Submitted = metrics::counter("serve/submitted");
+  metrics::Counter &Rejected = metrics::counter("serve/rejected");
+  metrics::Counter &InterpServed = metrics::counter("serve/interp_served");
+  metrics::Counter &JitServed = metrics::counter("serve/jit_served");
+  metrics::Counter &CompilesStarted = metrics::counter("serve/compiles_started");
+  metrics::Counter &CompilesFailed = metrics::counter("serve/compiles_failed");
+  metrics::Counter &CacheHits = metrics::counter("serve/cache_hits");
+  metrics::Counter &Batches = metrics::counter("serve/batches");
+  metrics::Counter &RunErrors = metrics::counter("serve/run_errors");
 };
+
+/// Registry values when this executor was built. A metrics::resetAll()
+/// while an executor is live makes its deltas saturate to zero rather
+/// than wrap; concurrently-live executors see each other's traffic (the
+/// registry is process-global — documented in serve.h).
+struct StatsBaseline {
+  uint64_t Submitted, Rejected, InterpServed, JitServed, CompilesStarted,
+      CompilesFailed, CacheHits, Batches, RunErrors;
+
+  explicit StatsBaseline(const StatsRefs &R)
+      : Submitted(R.Submitted.load()), Rejected(R.Rejected.load()),
+        InterpServed(R.InterpServed.load()), JitServed(R.JitServed.load()),
+        CompilesStarted(R.CompilesStarted.load()),
+        CompilesFailed(R.CompilesFailed.load()),
+        CacheHits(R.CacheHits.load()), Batches(R.Batches.load()),
+        RunErrors(R.RunErrors.load()) {}
+};
+
+uint64_t satDelta(uint64_t Cur, uint64_t Base) {
+  return Cur >= Base ? Cur - Base : 0;
+}
+
+uint64_t toNs(Clock::time_point A, Clock::time_point B) {
+  auto D = std::chrono::duration_cast<std::chrono::nanoseconds>(B - A).count();
+  return D < 0 ? 0 : static_cast<uint64_t>(D);
+}
 
 } // namespace
 
 struct Executor::Impl {
   explicit Impl(const Config &Cfg)
-      : C(sanitize(Cfg)), Q(C.QueueCap), CompileQ(4096),
+      : C(sanitize(Cfg)), Q(C.QueueCap), CompileQ(4096), Base(Stats),
         QueueDepth(metrics::counter("serve/queue_depth")) {}
 
   static Config sanitize(Config C) {
@@ -136,8 +161,10 @@ struct Executor::Impl {
   BoundedQueue<std::shared_ptr<KernelEntry>> CompileQ;
   std::vector<std::thread> Workers;
   std::thread Compiler;
-  AtomicStats Stats;
-  metrics::Counter &QueueDepth; ///< Gauge: current queue size.
+  StatsRefs Stats;
+  StatsBaseline Base;
+  std::atomic<uint64_t> MaxBatch{0}; ///< Largest batch this executor ran.
+  metrics::Counter &QueueDepth;      ///< Gauge: current queue size.
 
   std::atomic<bool> ShuttingDown{false};
 
@@ -198,12 +225,10 @@ struct Executor::Impl {
     if (std::optional<Kernel> K = Kernel::tryCached(E->F, {}, C.OptFlags)) {
       capThreads(*K);
       Stats.CacheHits.fetch_add(1);
-      Stats.MCacheHits.fetch_add(1);
       E->finishCompile(std::move(*K));
       return;
     }
     Stats.CompilesStarted.fetch_add(1);
-    Stats.MCompiles.fetch_add(1);
     bumpPendingCompiles();
     if (CompileQ.tryPush(E) != PushResult::Ok) {
       // Queue closed (shutdown raced in) or full beyond any plausible
@@ -211,7 +236,6 @@ struct Executor::Impl {
       // Compiling.
       dropPendingCompiles();
       Stats.CompilesFailed.fetch_add(1);
-      Stats.MCompFail.fetch_add(1);
       E->failCompile("serve: compile queue unavailable");
     }
   }
@@ -221,7 +245,9 @@ struct Executor::Impl {
                CompileQ.popWait()) {
       std::shared_ptr<KernelEntry> E = *Job;
       trace::Span Sp("serve/compile");
+      Clock::time_point T0 = Clock::now();
       Result<Kernel> R = Kernel::compile(E->F, {}, C.OptFlags);
+      telemetry::onCompile(toNs(T0, Clock::now()), R.ok());
       if (Sp.active()) {
         Sp.annotate("key", E->Key);
         Sp.annotate("ok", std::string(R.ok() ? "true" : "false"));
@@ -231,7 +257,6 @@ struct Executor::Impl {
         E->finishCompile(std::move(*R));
       } else {
         Stats.CompilesFailed.fetch_add(1);
-        Stats.MCompFail.fetch_add(1);
         E->failCompile(R.message());
       }
       dropPendingCompiles();
@@ -269,11 +294,12 @@ struct Executor::Impl {
     const Tier T = K ? Tier::Jit : Tier::Interp;
 
     Stats.Batches.fetch_add(1);
-    Stats.MBatches.fetch_add(1);
-    uint64_t Prev = Stats.MaxBatch.load();
+    uint64_t Prev = MaxBatch.load();
     while (Batch.size() > Prev &&
-           !Stats.MaxBatch.compare_exchange_weak(Prev, Batch.size())) {
+           !MaxBatch.compare_exchange_weak(Prev, Batch.size())) {
     }
+    const uint64_t BatchId =
+        telemetry::onBatch(static_cast<uint32_t>(Batch.size()));
 
     for (Request &Req : Batch) {
       trace::Span Sp("serve/request");
@@ -281,25 +307,36 @@ struct Executor::Impl {
       // Validate on both tiers: requests are untrusted, and a compiled
       // kernel would otherwise execute a bad binding unchecked.
       Status S = validateArgs(E->F, Req.Args);
-      if (S.ok())
+      const bool ArgsOk = S.ok();
+      if (ArgsOk)
         S = K ? K->run(Req.Args) : interpretChecked(E->F, Req.Args);
       Clock::time_point End = Clock::now();
 
-      if (T == Tier::Jit) {
+      if (T == Tier::Jit)
         Stats.JitServed.fetch_add(1);
-        Stats.MJit.fetch_add(1);
-      } else {
+      else
         Stats.InterpServed.fetch_add(1);
-        Stats.MInterp.fetch_add(1);
-      }
-      if (!S) {
+      if (!S)
         Stats.RunErrors.fetch_add(1);
-        Stats.MRunErrors.fetch_add(1);
-      }
       if (Sp.active()) {
         Sp.annotate("tier", std::string(nameOf(T)));
         Sp.annotate("batch", static_cast<uint64_t>(Batch.size()));
         Sp.annotate("key", E->Key);
+      }
+      if (telemetry::enabled()) {
+        telemetry::RequestSample TS;
+        TS.Fingerprint = E->Key;
+        TS.ServedBy = T;
+        TS.Out = S.ok() ? Outcome::Ok
+                        : (ArgsOk ? Outcome::RunError : Outcome::InvalidArgs);
+        TS.QueueNs = toNs(Req.SubmitT, Start);
+        TS.RunNs = toNs(Start, End);
+        TS.TotalNs = toNs(Req.SubmitT, End);
+        TS.BatchSize = static_cast<uint32_t>(Batch.size());
+        TS.BatchId = BatchId;
+        if (!S.ok())
+          TS.Error = S.message();
+        telemetry::onRequestComplete(TS);
       }
 
       Response Resp;
@@ -315,6 +352,7 @@ struct Executor::Impl {
 };
 
 Executor::Executor(const Config &Cfg) : I(std::make_unique<Impl>(Cfg)) {
+  telemetry::autoStartFromEnv();
   I->Compiler = std::thread([Impl = I.get()] { Impl->compileLoop(); });
   I->Workers.reserve(static_cast<size_t>(I->C.Threads));
   for (int W = 0; W < I->C.Threads; ++W)
@@ -327,7 +365,8 @@ Result<std::future<Response>>
 Executor::submit(const Func &F, const std::map<std::string, Buffer *> &Args) {
   if (I->ShuttingDown.load(std::memory_order_acquire)) {
     I->Stats.Rejected.fetch_add(1);
-    I->Stats.MRejected.fetch_add(1);
+    // Fingerprint 0: rejected before the key was computed.
+    telemetry::onReject(0, Outcome::RejectedShutdown);
     return Result<std::future<Response>>::error("serve: executor is shut down");
   }
 
@@ -347,16 +386,17 @@ Executor::submit(const Func &F, const std::map<std::string, Buffer *> &Args) {
   if (PR != PushResult::Ok) {
     I->dropOutstanding();
     I->Stats.Rejected.fetch_add(1);
-    I->Stats.MRejected.fetch_add(1);
-    if (PR == PushResult::Closed)
+    if (PR == PushResult::Closed) {
+      telemetry::onReject(Key, Outcome::RejectedShutdown);
       return Result<std::future<Response>>::error(
           "serve: executor is shut down");
+    }
+    telemetry::onReject(Key, Outcome::RejectedFull);
     return Result<std::future<Response>>::error(
         "serve: queue full (capacity " + std::to_string(I->C.QueueCap) +
         "); retry or set FT_SERVE_ON_FULL=block");
   }
   I->Stats.Submitted.fetch_add(1);
-  I->Stats.MSubmitted.fetch_add(1);
   I->QueueDepth.store(I->Q.size());
   return Fut;
 }
@@ -387,16 +427,19 @@ void Executor::shutdown() {
 
 ServeStats Executor::stats() const {
   ServeStats S;
-  S.Submitted = I->Stats.Submitted.load();
-  S.Rejected = I->Stats.Rejected.load();
-  S.InterpServed = I->Stats.InterpServed.load();
-  S.JitServed = I->Stats.JitServed.load();
-  S.CompilesStarted = I->Stats.CompilesStarted.load();
-  S.CompilesFailed = I->Stats.CompilesFailed.load();
-  S.CacheHits = I->Stats.CacheHits.load();
-  S.Batches = I->Stats.Batches.load();
-  S.MaxBatch = I->Stats.MaxBatch.load();
-  S.RunErrors = I->Stats.RunErrors.load();
+  S.Submitted = satDelta(I->Stats.Submitted.load(), I->Base.Submitted);
+  S.Rejected = satDelta(I->Stats.Rejected.load(), I->Base.Rejected);
+  S.InterpServed =
+      satDelta(I->Stats.InterpServed.load(), I->Base.InterpServed);
+  S.JitServed = satDelta(I->Stats.JitServed.load(), I->Base.JitServed);
+  S.CompilesStarted =
+      satDelta(I->Stats.CompilesStarted.load(), I->Base.CompilesStarted);
+  S.CompilesFailed =
+      satDelta(I->Stats.CompilesFailed.load(), I->Base.CompilesFailed);
+  S.CacheHits = satDelta(I->Stats.CacheHits.load(), I->Base.CacheHits);
+  S.Batches = satDelta(I->Stats.Batches.load(), I->Base.Batches);
+  S.MaxBatch = I->MaxBatch.load();
+  S.RunErrors = satDelta(I->Stats.RunErrors.load(), I->Base.RunErrors);
   return S;
 }
 

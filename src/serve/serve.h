@@ -106,7 +106,10 @@ struct Response {
 };
 
 /// Monotonic executor counters (a consistent-enough snapshot; fields are
-/// read individually with relaxed ordering).
+/// read individually with relaxed ordering). Storage is the global
+/// "serve/..." metrics registry — stats() reports deltas from the values
+/// at this executor's construction, so concurrently-live executors see
+/// each other's traffic (existing drivers use executors sequentially).
 struct ServeStats {
   uint64_t Submitted = 0;       ///< Requests accepted into the queue.
   uint64_t Rejected = 0;        ///< Submissions refused: queue full.

@@ -1,0 +1,542 @@
+//===- serve/telemetry.cpp - Serving telemetry plane ----------------------===//
+
+#include "serve/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+
+#include "codegen/profile.h"
+#include "support/metrics.h"
+#include "support/string_utils.h"
+#include "support/trace.h"
+
+namespace fs = std::filesystem;
+
+namespace ft::serve::telemetry {
+
+namespace detail {
+std::atomic<bool> Enabled{false};
+} // namespace detail
+
+void setEnabled(bool On) {
+  detail::Enabled.store(On, std::memory_order_relaxed);
+}
+
+namespace {
+
+long envLong(const char *Name, long Default, long Min) {
+  const char *E = std::getenv(Name);
+  if (!E || !*E)
+    return Default;
+  char *End = nullptr;
+  long V = std::strtol(E, &End, 10);
+  if (End == E)
+    return Default;
+  return V < Min ? Min : V;
+}
+
+//===----------------------------------------------------------------------===//
+// Hook state
+//===----------------------------------------------------------------------===//
+
+/// Histogram references resolved once; record() is then pure relaxed
+/// atomics. Grouped in a leaked singleton so the first hook call pays the
+/// registry lookups, not every call.
+struct Hists {
+  metrics::Histogram &QueueWait = metrics::histogram("serve/queue_wait_ns");
+  metrics::Histogram &RunJit = metrics::histogram("serve/run_ns_jit");
+  metrics::Histogram &RunInterp = metrics::histogram("serve/run_ns_interp");
+  metrics::Histogram &BatchSize = metrics::histogram("serve/batch_size");
+  metrics::Histogram &CompileNs = metrics::histogram("serve/compile_ns");
+};
+
+Hists &hists() {
+  static Hists *H = new Hists;
+  return *H;
+}
+
+/// Per-fingerprint aggregates behind hotKernels(). One short mutex hold
+/// per completed request — only paid when telemetry is on.
+struct Agg {
+  uint64_t Requests = 0;
+  uint64_t TotalNs = 0;
+  uint64_t Jit = 0;
+  uint64_t Interp = 0;
+  uint64_t Errors = 0;
+};
+
+std::mutex AggMu;
+std::map<uint64_t, Agg> &aggs() {
+  static std::map<uint64_t, Agg> *M = new std::map<uint64_t, Agg>;
+  return *M;
+}
+
+std::atomic<uint64_t> NextBatchId{0};
+std::atomic<uint64_t> SnapSeq{0};
+std::atomic<uint64_t> SnapsWritten{0};
+
+double nowWallMs() {
+  return double(std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count());
+}
+
+std::string hexFp(uint64_t Fp) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(Fp));
+  return Buf;
+}
+
+} // namespace
+
+Config Config::fromEnv() {
+  Config C;
+  if (const char *E = std::getenv("FT_TELEMETRY_DIR"))
+    C.Dir = E;
+  C.IntervalMs =
+      static_cast<int>(envLong("FT_TELEMETRY_INTERVAL_MS", C.IntervalMs, 10));
+  C.Keep = static_cast<int>(envLong("FT_TELEMETRY_KEEP", C.Keep, 1));
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Hooks
+//===----------------------------------------------------------------------===//
+
+void onRequestComplete(const RequestSample &S) {
+  if (!enabled())
+    return;
+  Hists &H = hists();
+  H.QueueWait.record(S.QueueNs);
+  if (S.Out == Outcome::Ok)
+    (S.ServedBy == Tier::Jit ? H.RunJit : H.RunInterp).record(S.RunNs);
+
+  FlightEvent E;
+  E.TsUs = trace::nowMicros();
+  E.Fingerprint = S.Fingerprint;
+  E.Tier = nameOf(S.ServedBy);
+  E.Out = S.Out;
+  E.QueueNs = S.QueueNs;
+  E.RunNs = S.RunNs;
+  E.TotalNs = S.TotalNs;
+  E.BatchSize = S.BatchSize;
+  E.BatchId = S.BatchId;
+  E.Error = S.Error;
+  flightRecorder().record(std::move(E));
+
+  std::lock_guard<std::mutex> L(AggMu);
+  Agg &A = aggs()[S.Fingerprint];
+  ++A.Requests;
+  A.TotalNs += S.TotalNs;
+  if (S.ServedBy == Tier::Jit)
+    ++A.Jit;
+  else
+    ++A.Interp;
+  if (S.Out != Outcome::Ok)
+    ++A.Errors;
+}
+
+void onReject(uint64_t Fingerprint, Outcome Out) {
+  if (!enabled())
+    return;
+  FlightEvent E;
+  E.TsUs = trace::nowMicros();
+  E.Fingerprint = Fingerprint;
+  E.Out = Out;
+  flightRecorder().record(std::move(E));
+}
+
+uint64_t onBatch(uint32_t Size) {
+  if (!enabled())
+    return 0;
+  hists().BatchSize.record(Size);
+  return NextBatchId.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void onCompile(uint64_t Ns, bool Ok) {
+  if (!enabled())
+    return;
+  (void)Ok;
+  hists().CompileNs.record(Ns);
+}
+
+//===----------------------------------------------------------------------===//
+// Hot-kernel ranking
+//===----------------------------------------------------------------------===//
+
+std::vector<HotKernel> hotKernels(size_t TopK) {
+  std::vector<HotKernel> Out;
+  {
+    std::lock_guard<std::mutex> L(AggMu);
+    Out.reserve(aggs().size());
+    for (const auto &[Fp, A] : aggs()) {
+      HotKernel K;
+      K.Fingerprint = Fp;
+      K.Requests = A.Requests;
+      K.TotalNs = A.TotalNs;
+      K.MeanNs = A.Requests ? double(A.TotalNs) / double(A.Requests) : 0;
+      K.Jit = A.Jit;
+      K.Interp = A.Interp;
+      K.Errors = A.Errors;
+      Out.push_back(K);
+    }
+  }
+  std::sort(Out.begin(), Out.end(), [](const HotKernel &A, const HotKernel &B) {
+    if (A.TotalNs != B.TotalNs)
+      return A.TotalNs > B.TotalNs;
+    return A.Fingerprint < B.Fingerprint; // deterministic tie-break
+  });
+  if (TopK != 0 && Out.size() > TopK)
+    Out.resize(TopK);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendKeyU64(std::string &J, const char *Key, uint64_t V, bool Comma) {
+  J += '"';
+  J += Key;
+  J += "\":";
+  J += std::to_string(V);
+  if (Comma)
+    J += ',';
+}
+
+void appendKeyNum(std::string &J, const char *Key, double V, bool Comma) {
+  J += '"';
+  J += Key;
+  J += "\":";
+  J += fmtDouble(V);
+  if (Comma)
+    J += ',';
+}
+
+void appendKeyStr(std::string &J, const char *Key, const std::string &V,
+                  bool Comma) {
+  J += '"';
+  J += Key;
+  J += "\":\"";
+  J += jsonEscape(V);
+  J += '"';
+  if (Comma)
+    J += ',';
+}
+
+void appendFlightEvent(std::string &J, const FlightEvent &E) {
+  J += '{';
+  appendKeyU64(J, "seq", E.Seq, true);
+  appendKeyNum(J, "ts_us", E.TsUs, true);
+  appendKeyStr(J, "fingerprint", hexFp(E.Fingerprint), true);
+  appendKeyStr(J, "tier", E.Tier, true);
+  appendKeyStr(J, "outcome", nameOf(E.Out), true);
+  appendKeyU64(J, "queue_ns", E.QueueNs, true);
+  appendKeyU64(J, "run_ns", E.RunNs, true);
+  appendKeyU64(J, "total_ns", E.TotalNs, true);
+  appendKeyU64(J, "batch_size", E.BatchSize, true);
+  appendKeyU64(J, "batch_id", E.BatchId, !E.Error.empty());
+  if (!E.Error.empty())
+    appendKeyStr(J, "error", E.Error, false);
+  J += '}';
+}
+
+} // namespace
+
+std::string writeSnapshotString() {
+  uint64_t Seq = SnapSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  std::string J;
+  J.reserve(8192);
+  J += '{';
+  appendKeyStr(J, "schema", "freetensor-telemetry/v1", true);
+  appendKeyU64(J, "seq", Seq, true);
+  appendKeyNum(J, "wall_unix_ms", nowWallMs(), true);
+
+  // Every registered counter, sorted by name.
+  J += "\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, Val] : metrics::snapshot()) {
+    if (!First)
+      J += ',';
+    First = false;
+    J += '"';
+    J += jsonEscape(Name);
+    J += "\":";
+    J += std::to_string(Val);
+  }
+  J += "},";
+
+  // Non-empty histograms with estimated percentiles and sparse buckets.
+  J += "\"histograms\":[";
+  First = true;
+  for (const metrics::HistogramSnapshot &H : metrics::snapshotHistograms()) {
+    if (H.Count == 0)
+      continue;
+    if (!First)
+      J += ',';
+    First = false;
+    J += '{';
+    appendKeyStr(J, "name", H.Name, true);
+    appendKeyU64(J, "count", H.Count, true);
+    appendKeyU64(J, "sum", H.Sum, true);
+    appendKeyU64(J, "min", H.Min, true);
+    appendKeyU64(J, "max", H.Max, true);
+    appendKeyNum(J, "mean", H.mean(), true);
+    appendKeyNum(J, "p50", H.quantile(0.50), true);
+    appendKeyNum(J, "p95", H.quantile(0.95), true);
+    appendKeyNum(J, "p99", H.quantile(0.99), true);
+    J += "\"buckets\":[";
+    bool FirstB = true;
+    for (int I = 0; I < metrics::HistogramSnapshot::kBuckets; ++I) {
+      if (H.Buckets[I] == 0)
+        continue;
+      if (!FirstB)
+        J += ',';
+      FirstB = false;
+      J += '[';
+      J += std::to_string(I);
+      J += ',';
+      J += std::to_string(H.Buckets[I]);
+      J += ']';
+    }
+    J += "]}";
+  }
+  J += "],";
+
+  // Hot kernels, heaviest first. Fingerprints travel as hex strings: the
+  // JSON number type (double) cannot hold a full u64.
+  J += "\"kernels\":[";
+  First = true;
+  for (const HotKernel &K : hotKernels()) {
+    if (!First)
+      J += ',';
+    First = false;
+    J += '{';
+    appendKeyStr(J, "fingerprint", hexFp(K.Fingerprint), true);
+    appendKeyU64(J, "requests", K.Requests, true);
+    appendKeyU64(J, "total_ns", K.TotalNs, true);
+    appendKeyNum(J, "mean_ns", K.MeanNs, true);
+    appendKeyU64(J, "jit", K.Jit, true);
+    appendKeyU64(J, "interp", K.Interp, true);
+    appendKeyU64(J, "errors", K.Errors, false);
+    J += '}';
+  }
+  J += "],";
+
+  // Flight recorder: cumulative summary + the newest buffered events
+  // (peeked, not drained — snapshots must not consume the black box).
+  FlightSummary FS = flightRecorder().summary();
+  J += "\"flight\":{";
+  appendKeyU64(J, "recorded", FS.Recorded, true);
+  appendKeyU64(J, "ok", FS.Ok, true);
+  appendKeyU64(J, "invalid_args", FS.InvalidArgs, true);
+  appendKeyU64(J, "run_errors", FS.RunErrors, true);
+  appendKeyU64(J, "rejected_full", FS.RejectedFull, true);
+  appendKeyU64(J, "rejected_shutdown", FS.RejectedShutdown, true);
+  J += "\"recent\":[";
+  First = true;
+  for (const FlightEvent &E : flightRecorder().peek(64)) {
+    if (!First)
+      J += ',';
+    First = false;
+    appendFlightEvent(J, E);
+  }
+  J += "]},";
+
+  // Kernel profiler join: per-loop tables when FT_PROFILE collected any.
+  // profile::toJson already emits a complete JSON object per kernel.
+  J += "\"profiles\":[";
+  First = true;
+  for (const profile::KernelProfile &P : profile::snapshotProfiles()) {
+    if (!First)
+      J += ',';
+    First = false;
+    J += profile::toJson(P);
+  }
+  J += "]}";
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// Exporter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Exporter {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool StopReq = false;
+  bool Running = false;
+  std::thread Th;
+  Config C;
+};
+
+Exporter &exporter() {
+  static Exporter *E = new Exporter;
+  return *E;
+}
+
+std::atomic<uint64_t> TmpCounter{0};
+
+/// Atomic publish: write to a sibling tmp file, then rename(2) into place
+/// (same pattern as the kernel cache's writeAtomic).
+Status writeFileAtomic(const std::string &Dest, const std::string &Bytes) {
+  std::string Tmp = Dest + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(TmpCounter.fetch_add(1));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return Status::error("telemetry: cannot open " + Tmp);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    if (!Out)
+      return Status::error("telemetry: short write to " + Tmp);
+  }
+  std::error_code Ec;
+  fs::rename(Tmp, Dest, Ec);
+  if (Ec) {
+    fs::remove(Tmp, Ec);
+    return Status::error("telemetry: rename to " + Dest + " failed");
+  }
+  return Status::success();
+}
+
+/// Prunes Dir to the newest \p Keep snap-*.json files. Filenames embed a
+/// zero-padded epoch-ms + seq, so lexicographic order is age order even
+/// across process restarts.
+void applyRetention(const std::string &Dir, int Keep) {
+  std::error_code Ec;
+  std::vector<std::string> Names;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, Ec)) {
+    std::string N = E.path().filename().string();
+    if (N.rfind("snap-", 0) == 0 && N.size() > 5 &&
+        N.rfind(".json") == N.size() - 5)
+      Names.push_back(N);
+  }
+  if (Names.size() <= size_t(Keep))
+    return;
+  std::sort(Names.begin(), Names.end());
+  for (size_t I = 0; I + size_t(Keep) < Names.size(); ++I)
+    fs::remove(fs::path(Dir) / Names[I], Ec);
+}
+
+Status writeSnapshotTo(const Config &C) {
+  std::string Body = writeSnapshotString();
+  uint64_t Seq = SnapSeq.load(std::memory_order_relaxed);
+  char Name[64];
+  std::snprintf(Name, sizeof(Name), "snap-%013llu-%06llu.json",
+                static_cast<unsigned long long>(nowWallMs()),
+                static_cast<unsigned long long>(Seq));
+  Status S = writeFileAtomic((fs::path(C.Dir) / Name).string(), Body);
+  if (S.ok()) {
+    SnapsWritten.fetch_add(1, std::memory_order_relaxed);
+    applyRetention(C.Dir, C.Keep);
+  }
+  return S;
+}
+
+void exporterLoop(Config C) {
+  Exporter &E = exporter();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> L(E.Mu);
+      E.Cv.wait_for(L, std::chrono::milliseconds(C.IntervalMs),
+                    [&E] { return E.StopReq; });
+      if (E.StopReq) {
+        // Final snapshot: the exit dump of the flight recorder.
+        (void)writeSnapshotTo(C);
+        return;
+      }
+    }
+    (void)writeSnapshotTo(C);
+  }
+}
+
+} // namespace
+
+Status writeSnapshotNow() {
+  Config C;
+  {
+    Exporter &E = exporter();
+    std::lock_guard<std::mutex> L(E.Mu);
+    C = E.Running ? E.C : Config::fromEnv();
+  }
+  if (C.Dir.empty())
+    return Status::error("telemetry: no snapshot directory (FT_TELEMETRY_DIR)");
+  std::error_code Ec;
+  fs::create_directories(C.Dir, Ec);
+  return writeSnapshotTo(C);
+}
+
+Status startExporter(const Config &C) {
+  if (C.Dir.empty())
+    return Status::error("telemetry: Config.Dir is empty");
+  std::error_code Ec;
+  fs::create_directories(C.Dir, Ec);
+  if (Ec && !fs::is_directory(C.Dir))
+    return Status::error("telemetry: cannot create " + C.Dir);
+  stopExporter();
+  setEnabled(true);
+  Exporter &E = exporter();
+  std::lock_guard<std::mutex> L(E.Mu);
+  E.C = C;
+  E.StopReq = false;
+  E.Running = true;
+  E.Th = std::thread(exporterLoop, C);
+  return Status::success();
+}
+
+void stopExporter() {
+  Exporter &E = exporter();
+  std::thread Th;
+  {
+    std::lock_guard<std::mutex> L(E.Mu);
+    if (!E.Running)
+      return;
+    E.StopReq = true;
+    E.Running = false;
+    Th = std::move(E.Th);
+  }
+  E.Cv.notify_all();
+  if (Th.joinable())
+    Th.join();
+}
+
+void autoStartFromEnv() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    Config C = Config::fromEnv();
+    if (C.Dir.empty())
+      return;
+    if (startExporter(C).ok())
+      std::atexit([] { stopExporter(); });
+  });
+}
+
+uint64_t snapshotsWritten() {
+  return SnapsWritten.load(std::memory_order_relaxed);
+}
+
+void reset() {
+  {
+    std::lock_guard<std::mutex> L(AggMu);
+    aggs().clear();
+  }
+  flightRecorder().reset();
+  SnapSeq.store(0, std::memory_order_relaxed);
+}
+
+} // namespace ft::serve::telemetry

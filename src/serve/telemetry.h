@@ -1,0 +1,172 @@
+//===- serve/telemetry.h - Serving telemetry plane ---------------*- C++ -*-===//
+///
+/// \file
+/// The serving runtime's telemetry plane (DESIGN.md §14), three layers on
+/// top of the metrics registry:
+///
+///  1. Request hooks. The executor calls onRequestComplete / onReject /
+///     onBatch / onCompile at the natural points of a request's life. Each
+///     hook fans one sample out to (a) the "serve/..." histograms
+///     (queue-wait, per-tier run latency, batch size, compile time), (b)
+///     the flight recorder ring (serve/flight_recorder.h), and (c) a
+///     per-fingerprint aggregate table behind hotKernels(). Every hook
+///     early-returns on a single relaxed atomic load when telemetry is
+///     off, so the disabled request path costs a call + load + branch —
+///     no clock read, no lock, no allocation.
+///
+///  2. Snapshot exporter. A background thread serializes everything —
+///     metrics counters, histogram snapshots, hot-kernel table, flight
+///     summary + recent events, and the kernel profiler's per-loop tables
+///     when FT_PROFILE collected any — into one versioned JSON document
+///     ("schema": "freetensor-telemetry/v1", monotonic "seq") every
+///     FT_TELEMETRY_INTERVAL_MS, published atomically (tmp + rename) into
+///     FT_TELEMETRY_DIR as snap-<epoch_ms>-<seq>.json. Old snapshots are
+///     pruned to FT_TELEMETRY_KEEP files; a final snapshot (the flight
+///     recorder's exit dump) is written on stopExporter()/process exit.
+///
+///  3. Consumers. `ftc --top` tails the snapshot directory and renders the
+///     hot-kernel dashboard; tests parse snapshots back with support/json.h.
+///
+/// Setting FT_TELEMETRY_DIR is the one switch: the first Executor
+/// constructed auto-starts the exporter and enables the hooks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_SERVE_TELEMETRY_H
+#define FT_SERVE_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/flight_recorder.h"
+#include "serve/serve.h"
+#include "support/error.h"
+
+namespace ft::serve::telemetry {
+
+namespace detail {
+extern std::atomic<bool> Enabled;
+} // namespace detail
+
+/// True when the hooks record. The single relaxed load the disabled
+/// request path pays.
+inline bool enabled() {
+  return detail::Enabled.load(std::memory_order_relaxed);
+}
+
+/// Programmatic switch (tests, benches). startExporter() turns it on.
+void setEnabled(bool On);
+
+/// Exporter configuration (FT_TELEMETRY_* environment variables).
+struct Config {
+  /// Snapshot directory; empty disables the exporter (FT_TELEMETRY_DIR).
+  std::string Dir;
+  /// Milliseconds between snapshots (FT_TELEMETRY_INTERVAL_MS, default
+  /// 1000, floor 10).
+  int IntervalMs = 1000;
+  /// Newest snapshots retained in Dir (FT_TELEMETRY_KEEP, default 16,
+  /// floor 1).
+  int Keep = 16;
+
+  static Config fromEnv();
+};
+
+//===----------------------------------------------------------------------===//
+// Hooks (called by the executor)
+//===----------------------------------------------------------------------===//
+
+/// One completed request, as the executor saw it.
+struct RequestSample {
+  uint64_t Fingerprint = 0;
+  Tier ServedBy = Tier::Interp;
+  Outcome Out = Outcome::Ok; ///< Ok / InvalidArgs / RunError.
+  uint64_t QueueNs = 0;      ///< submit -> execution start.
+  uint64_t RunNs = 0;        ///< execution start -> completion.
+  uint64_t TotalNs = 0;      ///< submit -> completion.
+  uint32_t BatchSize = 1;
+  uint64_t BatchId = 0;
+  std::string Error; ///< Status message when Out != Ok.
+};
+
+/// Records a completed request: queue-wait histogram, per-tier run-latency
+/// histogram (successful runs only — errors and bad bindings never pollute
+/// the latency distributions), flight event, hot-kernel aggregate.
+void onRequestComplete(const RequestSample &S);
+
+/// Records a request bounced at submit (Out must be RejectedFull or
+/// RejectedShutdown): flight event + outcome tally only — rejected
+/// requests never touch the latency histograms.
+void onReject(uint64_t Fingerprint, Outcome Out);
+
+/// Records one executed micro-batch into the "serve/batch_size" histogram
+/// and returns a process-unique batch id for the requests it carried
+/// (0 when telemetry is off).
+uint64_t onBatch(uint32_t Size);
+
+/// Records one background-compile attempt into "serve/compile_ns".
+void onCompile(uint64_t Ns, bool Ok);
+
+//===----------------------------------------------------------------------===//
+// Hot-kernel ranking
+//===----------------------------------------------------------------------===//
+
+/// Per-fingerprint serving aggregate. Score = TotalNs (request count x
+/// mean latency); hotKernels() sorts by it descending.
+struct HotKernel {
+  uint64_t Fingerprint = 0;
+  uint64_t Requests = 0; ///< Completed requests (any outcome).
+  uint64_t TotalNs = 0;  ///< Sum of submit->completion ns.
+  double MeanNs = 0;     ///< TotalNs / Requests.
+  uint64_t Jit = 0;
+  uint64_t Interp = 0;
+  uint64_t Errors = 0; ///< InvalidArgs + RunError completions.
+};
+
+/// The hottest fingerprints by total served nanoseconds, heaviest first.
+/// \p TopK == 0 returns all. Trend lines (req/s deltas) are computed by
+/// `ftc --top` from consecutive snapshots, not here.
+std::vector<HotKernel> hotKernels(size_t TopK = 0);
+
+//===----------------------------------------------------------------------===//
+// Snapshot exporter
+//===----------------------------------------------------------------------===//
+
+/// Serializes the full telemetry state as one JSON document (stamping the
+/// next sequence number). Exposed for tests; the exporter thread and
+/// writeSnapshotNow() call this.
+std::string writeSnapshotString();
+
+/// Writes one snapshot into the running exporter's directory (or
+/// Config::fromEnv().Dir when no exporter runs). Atomic tmp + rename;
+/// applies retention.
+Status writeSnapshotNow();
+
+/// Starts the background exporter: enables the hooks, creates C.Dir, and
+/// writes a snapshot every C.IntervalMs until stopExporter(). Restarting
+/// while running stops the previous exporter first. Error when C.Dir is
+/// empty or cannot be created.
+Status startExporter(const Config &C);
+
+/// Stops the exporter thread, writing one final snapshot (the exit dump:
+/// it carries whatever the flight recorder holds). Idempotent; does not
+/// flip enabled() back off. No-op when no exporter runs.
+void stopExporter();
+
+/// One-shot: when FT_TELEMETRY_DIR is set, starts the exporter with
+/// Config::fromEnv() and arranges stopExporter() at process exit. Called
+/// by the Executor constructor so serving binaries need no code changes.
+void autoStartFromEnv();
+
+/// Snapshots successfully published since process start.
+uint64_t snapshotsWritten();
+
+/// Test isolation: clears the hot-kernel aggregates, the flight recorder,
+/// and the snapshot sequence counter. Histograms live in the metrics
+/// registry — use metrics::resetPrefix("serve/") for those.
+void reset();
+
+} // namespace ft::serve::telemetry
+
+#endif // FT_SERVE_TELEMETRY_H

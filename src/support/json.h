@@ -1,0 +1,100 @@
+//===- support/json.h - Minimal JSON document parser -------------*- C++ -*-===//
+///
+/// \file
+/// A small recursive-descent JSON parser producing an owned DOM. The repo
+/// emits JSON in several places (Chrome traces, kernel-profile snapshots,
+/// BENCH_*.json, and the telemetry snapshots of serve/telemetry.h); this
+/// is the consuming side, used by `ftc --top` to read telemetry snapshots
+/// back and by the tests that assert every sink's escaping round-trips.
+///
+/// Scope: complete JSON syntax (objects, arrays, strings with escapes
+/// incl. \uXXXX, numbers, true/false/null). Numbers are held as double —
+/// exact for integers up to 2^53, which is why fingerprints travel as hex
+/// *strings* in the telemetry schema. Errors are returned as Status
+/// messages with a byte offset; no exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_SUPPORT_JSON_H
+#define FT_SUPPORT_JSON_H
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/error.h"
+
+namespace ft::json {
+
+/// One JSON value. Objects keep insertion order (the emitters write fixed
+/// schemas; ordered iteration keeps dumps deterministic).
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool(bool Default = false) const { return isBool() ? B : Default; }
+  double asNumber(double Default = 0) const {
+    return isNumber() ? Num : Default;
+  }
+  const std::string &asString() const { return Str; }
+
+  const std::vector<Value> &items() const { return Arr; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Obj;
+  }
+  size_t size() const { return isArray() ? Arr.size() : Obj.size(); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value *get(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &[Name, V] : Obj)
+      if (Name == Key)
+        return &V;
+    return nullptr;
+  }
+
+  /// Dotted-path lookup through nested objects: at("warm.jit_fraction").
+  const Value *at(const std::string &DottedPath) const;
+
+  /// Convenience: number at \p Key, or \p Default when absent/mistyped.
+  double num(const std::string &Key, double Default = 0) const {
+    const Value *V = get(Key);
+    return V ? V->asNumber(Default) : Default;
+  }
+  /// Convenience: string at \p Key, or "" when absent/mistyped.
+  const std::string &str(const std::string &Key) const {
+    static const std::string Empty;
+    const Value *V = get(Key);
+    return V && V->isString() ? V->Str : Empty;
+  }
+
+private:
+  friend class Parser;
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). Error statuses carry a byte offset.
+Result<Value> parse(const std::string &Text);
+
+/// Parses the file at \p Path. Error on unreadable file or invalid JSON.
+Result<Value> parseFile(const std::string &Path);
+
+} // namespace ft::json
+
+#endif // FT_SUPPORT_JSON_H

@@ -2,6 +2,7 @@
 
 #include "support/metrics.h"
 
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,16 +13,21 @@ namespace {
 
 struct Registry {
   std::mutex M;
-  /// Keyed by name; unique_ptr keeps Counter addresses stable across
-  /// rehashing so counter() references never dangle.
+  /// Keyed by name; unique_ptr keeps metric addresses stable across
+  /// rehashing so counter()/histogram() references never dangle.
   std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
 };
 
-/// Leaked on purpose: counters may be touched from atexit sinks, which can
+/// Leaked on purpose: metrics may be touched from atexit sinks, which can
 /// run after static destructors of other translation units.
 Registry &registry() {
   static Registry *R = new Registry;
   return *R;
+}
+
+bool startsWith(const std::string &S, const std::string &Prefix) {
+  return S.compare(0, Prefix.size(), Prefix) == 0;
 }
 
 } // namespace
@@ -51,6 +57,133 @@ void resetAll() {
   std::lock_guard<std::mutex> Lock(R.M);
   for (auto &[Name, C] : R.Counters)
     C->store(0);
+  for (auto &[Name, H] : R.Histograms)
+    H->reset();
+}
+
+void resetPrefix(const std::string &Prefix) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  for (auto &[Name, C] : R.Counters)
+    if (startsWith(Name, Prefix))
+      C->store(0);
+  for (auto &[Name, H] : R.Histograms)
+    if (startsWith(Name, Prefix))
+      H->reset();
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+uint64_t HistogramSnapshot::bucketHi(int I) {
+  if (I <= 0)
+    return 1; // bucket 0 holds exactly zero: [0, 1)
+  if (I >= kBuckets - 1)
+    return UINT64_MAX;
+  return uint64_t(1) << I;
+}
+
+double HistogramSnapshot::quantile(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // Same rank convention as Sorted[size_t(Q * (n - 1))] on a sample
+  // vector, so differential tests against raw timestamps line up.
+  double Rank = Q * double(Count - 1);
+  uint64_t Cum = 0;
+  for (int I = 0; I < kBuckets; ++I) {
+    if (Buckets[I] == 0)
+      continue;
+    if (Rank < double(Cum + Buckets[I])) {
+      double Est;
+      if (I == 0) {
+        Est = 0.0;
+      } else {
+        double Frac = (Rank - double(Cum)) / double(Buckets[I]);
+        if (Frac < 0)
+          Frac = 0;
+        if (Frac > 1)
+          Frac = 1;
+        // Geometric interpolation: bucket spans [2^(i-1), 2^i).
+        Est = std::ldexp(1.0, I - 1) * std::exp2(Frac);
+      }
+      // Clamp to the observed range: a single-valued distribution
+      // estimates exactly, and estimates never leave the data.
+      double Lo = double(Min), Hi = double(Max);
+      if (Est < Lo)
+        Est = Lo;
+      if (Est > Hi)
+        Est = Hi;
+      return Est;
+    }
+    Cum += Buckets[I];
+  }
+  return double(Max);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot &Other) {
+  if (Other.Count == 0)
+    return;
+  if (Count == 0) {
+    Min = Other.Min;
+    Max = Other.Max;
+  } else {
+    if (Other.Min < Min)
+      Min = Other.Min;
+    if (Other.Max > Max)
+      Max = Other.Max;
+  }
+  Count += Other.Count;
+  Sum += Other.Sum;
+  for (int I = 0; I < kBuckets; ++I)
+    Buckets[I] += Other.Buckets[I];
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot S;
+  S.Name = Name;
+  S.Count = Cnt.load(std::memory_order_relaxed);
+  S.Sum = Total.load(std::memory_order_relaxed);
+  uint64_t Mn = MinV.load(std::memory_order_relaxed);
+  S.Min = (S.Count == 0 || Mn == UINT64_MAX) ? 0 : Mn;
+  S.Max = MaxV.load(std::memory_order_relaxed);
+  for (int I = 0; I < kBuckets; ++I)
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+  return S;
+}
+
+void Histogram::reset() {
+  for (int I = 0; I < kBuckets; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+  Cnt.store(0, std::memory_order_relaxed);
+  Total.store(0, std::memory_order_relaxed);
+  MinV.store(UINT64_MAX, std::memory_order_relaxed);
+  MaxV.store(0, std::memory_order_relaxed);
+}
+
+Histogram &histogram(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  auto It = R.Histograms.find(Name);
+  if (It == R.Histograms.end())
+    It = R.Histograms
+             .emplace(Name, std::unique_ptr<Histogram>(new Histogram(Name)))
+             .first;
+  return *It->second;
+}
+
+std::vector<HistogramSnapshot> snapshotHistograms() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  std::vector<HistogramSnapshot> Out;
+  Out.reserve(R.Histograms.size());
+  for (const auto &[Name, H] : R.Histograms)
+    Out.push_back(H->snapshot());
+  return Out;
 }
 
 } // namespace ft::metrics

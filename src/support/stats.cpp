@@ -86,20 +86,11 @@ void dump(std::FILE *Out) {
 }
 
 void reset() {
-  Counters &C = counters();
-  C.DepQueries = 0;
-  C.PairSetsBuilt = 0;
-  C.EmptinessQueries = 0;
-  C.EmptinessCacheHits = 0;
-  C.EmptinessCacheMisses = 0;
-  C.PrefilterEmpty = 0;
-  C.PrefilterFeasible = 0;
-  C.CanonicalDecided = 0;
-  C.FmEliminations = 0;
-  C.AnalyzerBuilds = 0;
-  C.AnalyzerReuses = 0;
-  C.DomainCacheHits = 0;
-  C.DomainCacheMisses = 0;
+  // The counters are plain registry entries under "deps/" — there is no
+  // second storage path to clear, so reset is a registry prefix reset (the
+  // single-source-of-truth contract of the FT_STATS -> metrics port).
+  counters(); // ensure the block (and its registry entries) exist
+  metrics::resetPrefix("deps/");
 }
 
 void setAccelerationBypass(bool B) {

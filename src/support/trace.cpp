@@ -11,6 +11,7 @@
 
 #include "support/metrics.h"
 #include "support/stats.h"
+#include "support/string_utils.h"
 
 namespace ft::trace {
 
@@ -104,40 +105,6 @@ struct EnvInit {
     }
   }
 } TheEnvInit;
-
-/// JSON string escaping (quotes, backslashes, control characters).
-std::string jsonEscape(const std::string &In) {
-  std::string Out;
-  Out.reserve(In.size() + 2);
-  for (char C : In) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
 
 /// The layer prefix of a span name ("pass/simplify" -> "pass").
 std::string layerOf(const std::string &Name) {

@@ -328,3 +328,42 @@ TEST_F(ConcurrencyTest, SetMaxThreadsToOneStillComputesCorrectly) {
   for (int64_t I = 0; I < 256; ++I)
     EXPECT_NEAR(Got[size_t(I)], std::sin(0.37 * double(I)) * 2.0 + 1.0, 1e-5);
 }
+
+//===----------------------------------------------------------------------===//
+// Histogram record path under contention (telemetry-plane PR): the
+// wait-free record() loses nothing — counts, sums, and bucket totals are
+// exact across racing threads, and min/max converge to the true extremes.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ConcurrencyTest, HistogramConcurrentRecordsAreExact) {
+  metrics::Histogram &H = metrics::histogram("test/conc_hist");
+  H.reset();
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50'000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < kThreads; ++T)
+    Ts.emplace_back([T, &H] {
+      // Thread T records values T*1000 .. T*1000+kPerThread-1: every
+      // thread hits a distinct range, together spanning many buckets.
+      for (uint64_t I = 0; I < kPerThread; ++I)
+        H.record(uint64_t(T) * 1000 + I);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  metrics::HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, uint64_t(kThreads) * kPerThread);
+
+  uint64_t WantSum = 0, BucketSum = 0;
+  for (int T = 0; T < kThreads; ++T)
+    for (uint64_t I = 0; I < kPerThread; ++I)
+      WantSum += uint64_t(T) * 1000 + I;
+  EXPECT_EQ(S.Sum, WantSum);
+  for (int I = 0; I < metrics::HistogramSnapshot::kBuckets; ++I)
+    BucketSum += S.Buckets[I];
+  EXPECT_EQ(BucketSum, S.Count);
+  EXPECT_EQ(S.Min, 0u);
+  EXPECT_EQ(S.Max, uint64_t(kThreads - 1) * 1000 + kPerThread - 1);
+  H.reset();
+}

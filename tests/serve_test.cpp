@@ -32,6 +32,8 @@
 #include "frontend/builder.h"
 #include "interp/interp.h"
 #include "serve/serve.h"
+#include "serve/telemetry.h"
+#include "support/metrics.h"
 
 using namespace ft;
 using namespace ft::serve;
@@ -98,13 +100,18 @@ protected:
     for (const char *V :
          {"FT_SERVE_THREADS", "FT_SERVE_QUEUE_CAP", "FT_SERVE_ON_FULL",
           "FT_SERVE_BATCH_WINDOW_US", "FT_SERVE_MAX_BATCH",
-          "FT_SERVE_OPT_FLAGS", "FT_SERVE_RT_THREADS"})
+          "FT_SERVE_OPT_FLAGS", "FT_SERVE_RT_THREADS", "FT_TELEMETRY_DIR",
+          "FT_TELEMETRY_INTERVAL_MS", "FT_TELEMETRY_KEEP", "FT_FLIGHT_CAP"})
       ::unsetenv(V);
+    telemetry::setEnabled(false);
+    telemetry::reset();
     kernel_cache::memReset();
   }
   void TearDown() override {
     ::unsetenv("FT_CACHE_DIR");
     ::unsetenv("FT_CACHE");
+    telemetry::setEnabled(false);
+    telemetry::reset();
     kernel_cache::memReset();
     std::system(("rm -rf '" + Dir + "'").c_str());
   }
@@ -413,4 +420,132 @@ TEST_F(ServeTest, BadArgumentBindingFailsOnlyThatRequest) {
   Response Resp2 = R2->get();
   EXPECT_TRUE(Resp2.S.ok()) << Resp2.S.message();
   EXPECT_EQ(Ex.stats().RunErrors, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry under load (satellite of the telemetry-plane PR): queue-wait
+// accounting is monotone with offered load, and rejected requests never
+// pollute the latency histograms.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Submits \p Reqs slow-kernel requests against a 1-worker block-on-full
+/// executor and returns the queue-wait histogram's mean over them,
+/// normalized by the same run's mean interpreter service time. Higher
+/// offered load against the same service rate must mean more service
+/// times spent waiting; the normalization cancels machine-load drift
+/// between the sequentially measured load levels.
+double queueWaitMeanUnderLoad(const Func &F, int Reqs) {
+  metrics::resetPrefix("serve/");
+  telemetry::reset();
+
+  Config C;
+  C.Threads = 1;
+  C.QueueCap = 4; // small: saturates quickly, block policy absorbs the rest
+  C.BlockOnFull = true;
+  C.MaxBatch = 1; // no batching: every request waits its full turn
+  // Pin the background compile to fail so every request stays on the
+  // interpreter tier: on a slow machine (ASan) the bigger load levels
+  // would otherwise outlive the JIT compile, flip tiers mid-stream, and
+  // wreck the fixed-service-rate queueing model this test asserts.
+  C.OptFlags = "-O1 -fthis-flag-does-not-exist";
+  Executor Ex(C);
+
+  std::vector<Slot> Slots(static_cast<size_t>(Reqs));
+  for (Slot &S : Slots) {
+    seed(S.X);
+    auto R = Ex.submit(F, S.args(F));
+    // Block policy: nothing is rejected, submit may wait for space.
+    EXPECT_TRUE(R.ok()) << R.message();
+    if (R.ok())
+      S.Fut = std::move(*R);
+  }
+  for (Slot &S : Slots)
+    if (S.Fut.valid()) {
+      Response Resp = S.Fut.get();
+      EXPECT_TRUE(Resp.S.ok()) << Resp.S.message();
+    }
+  Ex.shutdown();
+
+  metrics::HistogramSnapshot H =
+      metrics::histogram("serve/queue_wait_ns").snapshot();
+  EXPECT_EQ(H.Count, static_cast<uint64_t>(Reqs));
+  metrics::HistogramSnapshot Run =
+      metrics::histogram("serve/run_ns_interp").snapshot();
+  EXPECT_GT(Run.Count, 0u);
+  double RunMean = Run.mean();
+  return RunMean > 0 ? H.mean() / RunMean : 0.0;
+}
+
+} // namespace
+
+TEST_F(ServeTest, QueueWaitHistogramMonotoneWithOfferedLoad) {
+  telemetry::setEnabled(true);
+  // Interpreter-only service (no cache, compiles pinned slow): use the
+  // slow kernel so each request holds the single worker for a visible
+  // time and later submissions genuinely queue.
+  ::setenv("FT_CACHE", "0", 1);
+  Func F = makeSlow();
+
+  double MeanLow = queueWaitMeanUnderLoad(F, 4);
+  double MeanMid = queueWaitMeanUnderLoad(F, 12);
+  double MeanHigh = queueWaitMeanUnderLoad(F, 24);
+
+  // Strictly more offered load against one fixed-rate worker => strictly
+  // more service times spent queued (each doubling adds whole service
+  // times, far beyond scheduler jitter once normalized by the measured
+  // service rate of the same run).
+  EXPECT_GT(MeanMid, MeanLow);
+  EXPECT_GT(MeanHigh, MeanMid);
+}
+
+TEST_F(ServeTest, RejectedRequestsNeverPolluteLatencyHistograms) {
+  telemetry::setEnabled(true);
+  metrics::resetPrefix("serve/");
+  telemetry::reset();
+
+  ::setenv("FT_CACHE", "0", 1);
+  Func F = makeSlow();
+
+  Config C;
+  C.Threads = 1;
+  C.QueueCap = 2;
+  C.BlockOnFull = false; // reject policy: overload bounces at submit
+  C.MaxBatch = 1;
+  Executor Ex(C);
+
+  const int kOffered = 40;
+  std::vector<Slot> Slots(kOffered);
+  uint64_t Accepted = 0, Rejected = 0;
+  for (Slot &S : Slots) {
+    seed(S.X);
+    auto R = Ex.submit(F, S.args(F));
+    if (R.ok()) {
+      S.Fut = std::move(*R);
+      ++Accepted;
+    } else {
+      ++Rejected;
+    }
+  }
+  for (Slot &S : Slots)
+    if (S.Fut.valid())
+      (void)S.Fut.get();
+  Ex.shutdown();
+
+  ASSERT_GT(Rejected, 0u) << "overload did not saturate the queue";
+
+  // Latency histograms hold exactly the accepted requests; the rejects
+  // show up only in the flight recorder's outcome tallies.
+  metrics::HistogramSnapshot QH =
+      metrics::histogram("serve/queue_wait_ns").snapshot();
+  metrics::HistogramSnapshot RH =
+      metrics::histogram("serve/run_ns_interp").snapshot();
+  EXPECT_EQ(QH.Count, Accepted);
+  EXPECT_EQ(RH.Count, Accepted);
+
+  FlightSummary FS = flightRecorder().summary();
+  EXPECT_EQ(FS.RejectedFull, Rejected);
+  EXPECT_EQ(FS.Ok, Accepted);
+  EXPECT_EQ(FS.Recorded, Accepted + Rejected);
 }

@@ -1,0 +1,489 @@
+//===- tests/telemetry_test.cpp - Serving telemetry plane -----------------===//
+//
+// The telemetry plane (serve/telemetry.h) piece by piece:
+//
+//   - the log2-bucketed Histogram: bucket geometry, exact concurrent-free
+//     counting, quantile estimation within one bucket of the true sample
+//     quantile, merge across shards;
+//   - the minimal JSON parser (support/json.h): documents, escapes,
+//     numbers, error offsets;
+//   - one jsonEscape for every sink: hostile strings round-trip through
+//     both the Chrome-trace writer and the telemetry snapshot, byte for
+//     byte, via the parser;
+//   - the flight recorder: wrap-around, drain order, typed outcomes,
+//     cumulative summary;
+//   - hot-kernel ranking: heaviest total-ns first;
+//   - hooks are inert when telemetry is off;
+//   - the snapshot exporter: schema-versioned parsable files, monotone
+//     sequence numbers, retention bound;
+//   - telemetry never perturbs compilation (generateCpp is byte-identical
+//     with telemetry on and off).
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <gtest/gtest.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "codegen/codegen.h"
+#include "frontend/builder.h"
+#include "serve/telemetry.h"
+#include "support/json.h"
+#include "support/metrics.h"
+#include "support/string_utils.h"
+#include "support/trace.h"
+
+using namespace ft;
+using namespace ft::serve;
+
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    for (const char *V : {"FT_TELEMETRY_DIR", "FT_TELEMETRY_INTERVAL_MS",
+                          "FT_TELEMETRY_KEEP", "FT_FLIGHT_CAP"})
+      ::unsetenv(V);
+    telemetry::stopExporter();
+    telemetry::setEnabled(false);
+    telemetry::reset();
+    metrics::resetPrefix("serve/");
+    metrics::resetPrefix("test/");
+  }
+  void TearDown() override { SetUp(); }
+};
+
+/// The true sample quantile with the Q*(n-1) rank convention the
+/// histogram estimator mirrors.
+uint64_t rawQuantile(std::vector<uint64_t> V, double Q) {
+  std::sort(V.begin(), V.end());
+  return V[size_t(Q * double(V.size() - 1))];
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, HistogramBucketGeometry) {
+  using HS = metrics::HistogramSnapshot;
+  EXPECT_EQ(HS::bucketOf(0), 0);
+  EXPECT_EQ(HS::bucketOf(1), 1);
+  EXPECT_EQ(HS::bucketOf(2), 2);
+  EXPECT_EQ(HS::bucketOf(3), 2);
+  EXPECT_EQ(HS::bucketOf(4), 3);
+  EXPECT_EQ(HS::bucketOf(1023), 10);
+  EXPECT_EQ(HS::bucketOf(1024), 11);
+  EXPECT_EQ(HS::bucketOf(UINT64_MAX), HS::kBuckets - 1);
+  // Every value lands in [bucketLo, bucketHi) of its own bucket.
+  for (uint64_t V : {uint64_t(0), uint64_t(1), uint64_t(7), uint64_t(4096),
+                     uint64_t(1) << 40, UINT64_MAX}) {
+    int B = HS::bucketOf(V);
+    EXPECT_GE(V, HS::bucketLo(B)) << V;
+    if (B < HS::kBuckets - 1)
+      EXPECT_LT(V, HS::bucketHi(B)) << V;
+  }
+}
+
+TEST_F(TelemetryTest, HistogramCountsSumsMinMax) {
+  metrics::Histogram &H = metrics::histogram("test/hist_counts");
+  H.reset();
+  uint64_t Sum = 0;
+  for (uint64_t V : {uint64_t(0), uint64_t(3), uint64_t(17), uint64_t(17),
+                     uint64_t(100000)}) {
+    H.record(V);
+    Sum += V;
+  }
+  metrics::HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 5u);
+  EXPECT_EQ(S.Sum, Sum);
+  EXPECT_EQ(S.Min, 0u);
+  EXPECT_EQ(S.Max, 100000u);
+  EXPECT_EQ(S.Buckets[0], 1u);                                   // the zero
+  EXPECT_EQ(S.Buckets[metrics::HistogramSnapshot::bucketOf(17)], 2u);
+}
+
+TEST_F(TelemetryTest, HistogramQuantileWithinOneBucketOfRaw) {
+  metrics::Histogram &H = metrics::histogram("test/hist_quant");
+  H.reset();
+  // A skewed latency-like distribution over several decades.
+  std::vector<uint64_t> Raw;
+  uint64_t Seed = 12345;
+  for (int I = 0; I < 5000; ++I) {
+    Seed = Seed * 6364136223846793005ull + 1442695040888963407ull;
+    uint64_t V = 200 + (Seed >> 33) % 1000;  // bulk: 200..1200 ns
+    if (I % 50 == 0)
+      V *= 100;                              // tail: ~2% at 100x
+    Raw.push_back(V);
+    H.record(V);
+  }
+  metrics::HistogramSnapshot S = H.snapshot();
+  using HS = metrics::HistogramSnapshot;
+  for (double Q : {0.5, 0.9, 0.95, 0.99}) {
+    int HB = HS::bucketOf(uint64_t(S.quantile(Q)));
+    int RB = HS::bucketOf(rawQuantile(Raw, Q));
+    EXPECT_LE(std::abs(HB - RB), 1) << "q=" << Q;
+  }
+}
+
+TEST_F(TelemetryTest, HistogramSingleValueQuantilesAreExact) {
+  metrics::Histogram &H = metrics::histogram("test/hist_single");
+  H.reset();
+  for (int I = 0; I < 10; ++I)
+    H.record(777);
+  metrics::HistogramSnapshot S = H.snapshot();
+  // Clamping to [Min, Max] makes degenerate distributions exact.
+  EXPECT_DOUBLE_EQ(S.quantile(0.5), 777.0);
+  EXPECT_DOUBLE_EQ(S.quantile(0.99), 777.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 777.0);
+}
+
+TEST_F(TelemetryTest, HistogramMergeAccumulates) {
+  metrics::Histogram &A = metrics::histogram("test/hist_merge_a");
+  metrics::Histogram &B = metrics::histogram("test/hist_merge_b");
+  A.reset();
+  B.reset();
+  A.record(10);
+  A.record(20);
+  B.record(5);
+  B.record(40000);
+  metrics::HistogramSnapshot SA = A.snapshot();
+  SA.merge(B.snapshot());
+  EXPECT_EQ(SA.Count, 4u);
+  EXPECT_EQ(SA.Sum, 10u + 20 + 5 + 40000);
+  EXPECT_EQ(SA.Min, 5u);
+  EXPECT_EQ(SA.Max, 40000u);
+  uint64_t BucketSum = 0;
+  for (int I = 0; I < metrics::HistogramSnapshot::kBuckets; ++I)
+    BucketSum += SA.Buckets[I];
+  EXPECT_EQ(BucketSum, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parser
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, JsonParsesDocuments) {
+  auto R = json::parse(
+      R"({"a": 1.5, "b": [1, 2, 3], "c": {"d": "x", "e": true}, "f": null})");
+  ASSERT_TRUE(R.ok()) << R.message();
+  EXPECT_DOUBLE_EQ(R->num("a"), 1.5);
+  ASSERT_NE(R->get("b"), nullptr);
+  EXPECT_EQ(R->get("b")->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(R->get("b")->items()[2].asNumber(), 3.0);
+  const json::Value *D = R->at("c.d");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->asString(), "x");
+  EXPECT_TRUE(R->at("c.e")->asBool());
+  EXPECT_TRUE(R->get("f")->isNull());
+}
+
+TEST_F(TelemetryTest, JsonParsesEscapesAndUnicode) {
+  auto R = json::parse(R"({"s": "a\"b\\c\ndAé😀"})");
+  ASSERT_TRUE(R.ok()) << R.message();
+  // A = 'A', é = e-acute (2 UTF-8 bytes), the surrogate pair is
+  // U+1F600 (4 UTF-8 bytes).
+  EXPECT_EQ(R->str("s"),
+            std::string("a\"b\\c\nd") + "A" + "\xc3\xa9" + "\xf0\x9f\x98\x80");
+}
+
+TEST_F(TelemetryTest, JsonRejectsGarbageWithOffsets) {
+  EXPECT_FALSE(json::parse("{").ok());
+  EXPECT_FALSE(json::parse("[1, 2,]").ok());
+  EXPECT_FALSE(json::parse("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(json::parse("\"unterminated").ok());
+  auto R = json::parse("[1, x]");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("byte"), std::string::npos) << R.message();
+}
+
+//===----------------------------------------------------------------------===//
+// jsonEscape round-trips through every sink
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Quotes, backslashes, newlines, tabs, and a raw control byte — the
+/// characters that break naive JSON emitters.
+const std::string kHostile = "evil\"name\\with\nnew\tline\x01end";
+} // namespace
+
+TEST_F(TelemetryTest, HostileStringsRoundTripThroughChromeTrace) {
+  trace::EnabledGuard G(true, false);
+  trace::clear();
+  {
+    trace::Span Sp(kHostile.c_str());
+    Sp.annotate(kHostile, kHostile);
+  }
+  char Tmpl[] = "/tmp/fttrace.XXXXXX.json";
+  int Fd = ::mkstemps(Tmpl, 5);
+  ASSERT_GE(Fd, 0);
+  ::close(Fd);
+  Status S = trace::writeChromeTrace(Tmpl);
+  ASSERT_TRUE(S.ok()) << S.message();
+  auto R = json::parseFile(Tmpl);
+  ::unlink(Tmpl);
+  trace::clear();
+  ASSERT_TRUE(R.ok()) << R.message();
+
+  const json::Value *Events = R->get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  bool Found = false;
+  for (const json::Value &E : Events->items())
+    if (E.str("name") == kHostile) {
+      Found = true;
+      const json::Value *Args = E.get("args");
+      ASSERT_NE(Args, nullptr);
+      ASSERT_NE(Args->get(kHostile), nullptr);
+      EXPECT_EQ(Args->get(kHostile)->asString(), kHostile);
+    }
+  EXPECT_TRUE(Found) << "hostile span name did not survive the round trip";
+}
+
+TEST_F(TelemetryTest, HostileStringsRoundTripThroughSnapshot) {
+  telemetry::setEnabled(true);
+  telemetry::RequestSample RS;
+  RS.Fingerprint = 0xabcdef;
+  RS.Out = Outcome::RunError;
+  RS.Error = kHostile;
+  telemetry::onRequestComplete(RS);
+  // A hostile metric name exercises the counter-key escaping too.
+  metrics::counter("test/hostile\"\n\x02name").fetch_add(1);
+
+  std::string Snap = telemetry::writeSnapshotString();
+  auto R = json::parse(Snap);
+  ASSERT_TRUE(R.ok()) << R.message() << "\n" << Snap;
+
+  const json::Value *Recent = R->at("flight.recent");
+  ASSERT_NE(Recent, nullptr);
+  ASSERT_EQ(Recent->items().size(), 1u);
+  EXPECT_EQ(Recent->items()[0].str("error"), kHostile);
+  EXPECT_EQ(Recent->items()[0].str("outcome"), "run_error");
+  ASSERT_NE(R->get("counters"), nullptr);
+  const json::Value *C = R->get("counters")->get("test/hostile\"\n\x02name");
+  ASSERT_NE(C, nullptr);
+  EXPECT_DOUBLE_EQ(C->asNumber(), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, FlightRecorderWrapsAndDrainsInOrder) {
+  FlightRecorder FR(4);
+  for (uint64_t I = 0; I < 10; ++I) {
+    FlightEvent E;
+    E.Fingerprint = I;
+    FR.record(std::move(E));
+  }
+  EXPECT_EQ(FR.size(), 4u);
+  EXPECT_EQ(FR.capacity(), 4u);
+  std::vector<FlightEvent> Got = FR.drain();
+  ASSERT_EQ(Got.size(), 4u);
+  // The newest four, oldest first, with the stamped Seq preserved.
+  for (size_t I = 0; I < 4; ++I) {
+    EXPECT_EQ(Got[I].Fingerprint, 6 + I);
+    EXPECT_EQ(Got[I].Seq, 6 + I);
+  }
+  EXPECT_EQ(FR.size(), 0u);
+  // drain() leaves the cumulative summary alone.
+  EXPECT_EQ(FR.summary().Recorded, 10u);
+}
+
+TEST_F(TelemetryTest, FlightRecorderOutcomeTalliesAndTruncation) {
+  FlightRecorder FR(8);
+  auto Rec = [&FR](Outcome O) {
+    FlightEvent E;
+    E.Out = O;
+    FR.record(std::move(E));
+  };
+  Rec(Outcome::Ok);
+  Rec(Outcome::Ok);
+  Rec(Outcome::InvalidArgs);
+  Rec(Outcome::RunError);
+  Rec(Outcome::RejectedFull);
+  Rec(Outcome::RejectedShutdown);
+  FlightSummary S = FR.summary();
+  EXPECT_EQ(S.Recorded, 6u);
+  EXPECT_EQ(S.Ok, 2u);
+  EXPECT_EQ(S.InvalidArgs, 1u);
+  EXPECT_EQ(S.RunErrors, 1u);
+  EXPECT_EQ(S.RejectedFull, 1u);
+  EXPECT_EQ(S.RejectedShutdown, 1u);
+
+  FlightEvent Long;
+  Long.Error = std::string(4096, 'x');
+  FR.record(std::move(Long));
+  std::vector<FlightEvent> All = FR.drain();
+  EXPECT_LE(All.back().Error.size(), 160u);
+
+  EXPECT_STREQ(nameOf(Outcome::Ok), "ok");
+  EXPECT_STREQ(nameOf(Outcome::InvalidArgs), "invalid_args");
+  EXPECT_STREQ(nameOf(Outcome::RunError), "run_error");
+  EXPECT_STREQ(nameOf(Outcome::RejectedFull), "rejected_full");
+  EXPECT_STREQ(nameOf(Outcome::RejectedShutdown), "rejected_shutdown");
+}
+
+//===----------------------------------------------------------------------===//
+// Hooks, ranking, and the off switch
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, HooksRecordNothingWhenDisabled) {
+  telemetry::setEnabled(false);
+  telemetry::RequestSample RS;
+  RS.Fingerprint = 42;
+  RS.QueueNs = 100;
+  telemetry::onRequestComplete(RS);
+  telemetry::onReject(42, Outcome::RejectedFull);
+  EXPECT_EQ(telemetry::onBatch(4), 0u);
+  telemetry::onCompile(1000, true);
+
+  EXPECT_EQ(metrics::histogram("serve/queue_wait_ns").count(), 0u);
+  EXPECT_EQ(metrics::histogram("serve/batch_size").count(), 0u);
+  EXPECT_EQ(metrics::histogram("serve/compile_ns").count(), 0u);
+  EXPECT_EQ(flightRecorder().summary().Recorded, 0u);
+  EXPECT_TRUE(telemetry::hotKernels().empty());
+}
+
+TEST_F(TelemetryTest, HotKernelsRankByTotalServedTime) {
+  telemetry::setEnabled(true);
+  auto Feed = [](uint64_t Fp, int N, uint64_t TotalNsEach, Tier T,
+                 Outcome O = Outcome::Ok) {
+    for (int I = 0; I < N; ++I) {
+      telemetry::RequestSample RS;
+      RS.Fingerprint = Fp;
+      RS.ServedBy = T;
+      RS.Out = O;
+      RS.TotalNs = TotalNsEach;
+      RS.QueueNs = 1;
+      RS.RunNs = TotalNsEach - 1;
+      telemetry::onRequestComplete(RS);
+    }
+  };
+  Feed(0x1, 100, 1000, Tier::Jit);              // 100k ns total
+  Feed(0x2, 2, 1'000'000, Tier::Interp);        // 2M ns: hottest
+  Feed(0x3, 10, 500, Tier::Jit, Outcome::RunError);
+
+  std::vector<telemetry::HotKernel> Hot = telemetry::hotKernels();
+  ASSERT_EQ(Hot.size(), 3u);
+  EXPECT_EQ(Hot[0].Fingerprint, 0x2u);
+  EXPECT_EQ(Hot[0].Requests, 2u);
+  EXPECT_EQ(Hot[0].TotalNs, 2'000'000u);
+  EXPECT_DOUBLE_EQ(Hot[0].MeanNs, 1'000'000.0);
+  EXPECT_EQ(Hot[0].Interp, 2u);
+  EXPECT_EQ(Hot[1].Fingerprint, 0x1u);
+  EXPECT_EQ(Hot[2].Fingerprint, 0x3u);
+  EXPECT_EQ(Hot[2].Errors, 10u);
+
+  // TopK truncation.
+  EXPECT_EQ(telemetry::hotKernels(1).size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot exporter
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, ExporterWritesValidMonotoneSnapshotsWithRetention) {
+  namespace fs = std::filesystem;
+  char Tmpl[] = "/tmp/fttelem.XXXXXX";
+  ASSERT_NE(::mkdtemp(Tmpl), nullptr);
+  std::string Dir = Tmpl;
+
+  telemetry::Config C;
+  C.Dir = Dir;
+  C.IntervalMs = 20;
+  C.Keep = 3;
+  ASSERT_TRUE(telemetry::startExporter(C).ok());
+  EXPECT_TRUE(telemetry::enabled());
+
+  telemetry::RequestSample RS;
+  RS.Fingerprint = 0xdeadbeefcafef00dull;
+  RS.TotalNs = 12345;
+  telemetry::onRequestComplete(RS);
+
+  // Long enough for several intervals; stop writes one more (the exit
+  // dump), so retention must still hold afterwards.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  telemetry::stopExporter();
+
+  std::vector<std::string> Names;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir))
+    Names.push_back(E.path().filename().string());
+  std::sort(Names.begin(), Names.end());
+  ASSERT_GE(Names.size(), 2u) << "exporter wrote too few snapshots";
+  EXPECT_LE(Names.size(), 3u) << "retention did not prune";
+
+  double PrevSeq = 0;
+  for (const std::string &N : Names) {
+    ASSERT_EQ(N.rfind("snap-", 0), 0u) << N;
+    auto R = json::parseFile((fs::path(Dir) / N).string());
+    ASSERT_TRUE(R.ok()) << R.message();
+    EXPECT_EQ(R->str("schema"), "freetensor-telemetry/v1");
+    double Seq = R->num("seq");
+    EXPECT_GT(Seq, PrevSeq) << "sequence numbers must be strictly monotone";
+    PrevSeq = Seq;
+    // The served fingerprint travels as a hex string.
+    const json::Value *Kernels = R->get("kernels");
+    ASSERT_NE(Kernels, nullptr);
+    ASSERT_EQ(Kernels->items().size(), 1u);
+    EXPECT_EQ(Kernels->items()[0].str("fingerprint"), "0xdeadbeefcafef00d");
+    EXPECT_DOUBLE_EQ(Kernels->items()[0].num("total_ns"), 12345.0);
+  }
+  EXPECT_GE(telemetry::snapshotsWritten(), Names.size());
+
+  std::system(("rm -rf '" + Dir + "'").c_str());
+}
+
+TEST_F(TelemetryTest, SnapshotStringParsesAndCarriesHistograms) {
+  telemetry::setEnabled(true);
+  metrics::histogram("serve/queue_wait_ns").record(1000);
+  metrics::histogram("serve/queue_wait_ns").record(2000);
+
+  auto R = json::parse(telemetry::writeSnapshotString());
+  ASSERT_TRUE(R.ok()) << R.message();
+  const json::Value *Hs = R->get("histograms");
+  ASSERT_NE(Hs, nullptr);
+  bool Found = false;
+  for (const json::Value &H : Hs->items()) {
+    if (H.str("name") != "serve/queue_wait_ns")
+      continue;
+    Found = true;
+    EXPECT_DOUBLE_EQ(H.num("count"), 2.0);
+    EXPECT_DOUBLE_EQ(H.num("sum"), 3000.0);
+    EXPECT_DOUBLE_EQ(H.num("min"), 1000.0);
+    EXPECT_DOUBLE_EQ(H.num("max"), 2000.0);
+    ASSERT_NE(H.get("buckets"), nullptr);
+    uint64_t Total = 0;
+    for (const json::Value &B : H.get("buckets")->items()) {
+      ASSERT_EQ(B.items().size(), 2u);
+      Total += uint64_t(B.items()[1].asNumber());
+    }
+    EXPECT_EQ(Total, 2u);
+  }
+  EXPECT_TRUE(Found);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry must not perturb compilation
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, GeneratedCodeIsByteIdenticalWithTelemetryOnOrOff) {
+  FunctionBuilder B("telemaxpy");
+  View X = B.input("x", {makeIntConst(64)});
+  View Y = B.output("y", {makeIntConst(64)});
+  B.loop("i", 0, 64, [&](Expr I) {
+    Y[I].assign(X[I].load() * makeFloatConst(2.0) + makeFloatConst(1.0));
+  });
+  Func F = B.build();
+
+  telemetry::setEnabled(false);
+  std::string Off = generateCpp(F);
+  telemetry::setEnabled(true);
+  std::string On = generateCpp(F);
+  EXPECT_EQ(Off, On);
+}

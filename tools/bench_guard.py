@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Guard committed benchmark baselines against regressions.
+
+Compares freshly written BENCH_*.json files (from a build tree) against
+the committed baselines at the repo root on a small set of key metrics.
+A metric regresses when it moves in the bad direction by more than
+--tolerance (default 25%) AND by more than its absolute slack — the
+slack keeps near-zero baselines (e.g. overhead fractions of a fraction
+of a percent) from amplifying scheduler noise into failures.
+
+Fresh files that were not produced in this run are skipped with a note,
+so the guard composes with partial bench sweeps.
+
+Usage:
+  tools/bench_guard.py --baseline-dir . --fresh-dir build/bench-build \
+      [--tolerance 0.25]
+
+Exit status: 0 = no regression, 1 = at least one metric regressed,
+2 = bad invocation.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+class Check:
+    """One guarded metric inside a bench JSON document.
+
+    path: dot-separated keys; a trailing "[*].key:min" segment maps over
+          an array of objects and reduces with min (the worst workload).
+    direction: "higher" or "lower" — which way is better.
+    abs_slack: minimum absolute movement before a relative regression
+          counts, in the metric's own unit.
+    """
+
+    def __init__(self, path, direction, abs_slack=0.0):
+        assert direction in ("higher", "lower")
+        self.path = path
+        self.direction = direction
+        self.abs_slack = abs_slack
+
+    def extract(self, doc):
+        cur = doc
+        for seg in self.path.split("."):
+            if seg.endswith(":min") and "[*]" in seg:
+                arr_key, rest = seg.split("[*].", 1)
+                leaf = rest[: -len(":min")]
+                vals = [row[leaf] for row in cur[arr_key]]
+                if not vals:
+                    raise KeyError(f"{self.path}: empty array")
+                return min(vals)
+            cur = cur[seg]
+        return float(cur)
+
+    def verdict(self, base, fresh, tol):
+        """Returns (regressed, human_line)."""
+        if self.direction == "lower":
+            limit = base * (1.0 + tol) + self.abs_slack
+            bad = fresh > limit
+            delta = fresh - base
+        else:
+            limit = base / (1.0 + tol) - self.abs_slack
+            bad = fresh < limit
+            delta = base - fresh
+        rel = (delta / base * 100.0) if base else float("inf")
+        line = (f"{self.path:42s} base {base:12.4f}  fresh {fresh:12.4f}  "
+                f"({'+' if delta >= 0 else ''}{rel:.1f}% worse-dir, "
+                f"{self.direction} is better)")
+        return bad, line
+
+
+# The key ratios per bench file. Slack values are sized to the metric's
+# unit and the jitter observed on the reference VM (single-socket, no
+# cpu pinning): ~100 us on short serve latencies, ~1 ns on the disabled
+# hook path, 1.5 percentage points on the telemetry overhead fraction.
+CHECKS = {
+    "BENCH_serve.json": [
+        Check("warm.jit_fraction", "higher"),
+        Check("tiers.jit.p50_us", "lower", abs_slack=100.0),
+        Check("tiers.jit.p99_us", "lower", abs_slack=200.0),
+        Check("queue_wait.p50_us", "lower", abs_slack=100.0),
+        Check("cold.first_request_sec", "lower", abs_slack=0.05),
+    ],
+    "BENCH_telemetry_overhead.json": [
+        Check("disabled_record_ns", "lower", abs_slack=1.0),
+        Check("overhead_frac", "lower", abs_slack=0.015),
+        Check("on_rps", "higher"),
+    ],
+    "BENCH_jit_cache.json": [
+        Check("workloads[*].speedup_mem:min", "higher"),
+        Check("workloads[*].speedup_disk:min", "higher"),
+    ],
+    "BENCH_simd.json": [
+        Check("workloads[*].speedup:min", "higher", abs_slack=0.05),
+    ],
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline-dir", default=".",
+                    help="directory with committed BENCH_*.json baselines")
+    ap.add_argument("--fresh-dir", action="append", default=[],
+                    help="directory with freshly written results "
+                         "(repeatable; first hit per file wins)")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative regression (default 0.25)")
+    args = ap.parse_args()
+    if not args.fresh_dir:
+        ap.error("at least one --fresh-dir is required")
+
+    regressions = 0
+    compared = 0
+    for fname, checks in sorted(CHECKS.items()):
+        base_path = os.path.join(args.baseline_dir, fname)
+        fresh_path = next(
+            (p for d in args.fresh_dir
+             if os.path.exists(p := os.path.join(d, fname))), None)
+        if not os.path.exists(base_path):
+            print(f"bench_guard: {fname}: no committed baseline, skipping")
+            continue
+        if fresh_path is None:
+            print(f"bench_guard: {fname}: not produced this run, skipping")
+            continue
+        with open(base_path) as f:
+            base_doc = json.load(f)
+        with open(fresh_path) as f:
+            fresh_doc = json.load(f)
+        for chk in checks:
+            try:
+                base = float(chk.extract(base_doc))
+                fresh = float(chk.extract(fresh_doc))
+            except KeyError as e:
+                print(f"bench_guard: {fname}: {e} missing, skipping metric")
+                continue
+            bad, line = chk.verdict(base, fresh, args.tolerance)
+            compared += 1
+            tag = "REGRESSION" if bad else "ok"
+            print(f"bench_guard: {tag:10s} {line}")
+            regressions += bad
+
+    if compared == 0:
+        print("bench_guard: nothing to compare (no fresh results found)")
+        return 0
+    if regressions:
+        print(f"bench_guard: FAIL — {regressions} metric(s) regressed "
+              f"beyond {args.tolerance * 100:.0f}%")
+        return 1
+    print(f"bench_guard: OK — {compared} metric(s) within "
+          f"{args.tolerance * 100:.0f}% of committed baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,14 @@
 #    criteria (cold request hides the compile, >= 95% JIT after warm-up,
 #    bounded queue rejects under overload) and write schema-valid
 #    BENCH_serve.json — plain and under ASan.
-# 6. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
+# 6. Telemetry smoke: a serve run with FT_TELEMETRY_DIR set must publish
+#    >= 2 schema-valid snapshots with strictly monotone sequence numbers
+#    and no unpublished tmp files, and `ftc --top` must round-trip the
+#    snapshot directory into the dashboard — plain and under ASan.
+# 7. Bench guard: freshly written BENCH_*.json results are compared
+#    against the committed baselines on key ratios; >25% regressions
+#    fail the check (tools/bench_guard.py).
+# 8. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
 #    separate build tree, so memory and UB bugs in the analysis/schedule
 #    layers cannot hide behind passing functional tests. The trace test
 #    runs there too: the observability layer itself must be clean.
@@ -181,6 +188,67 @@ PYEOF
 echo "== serve smoke: tiered executor bench + JSON schema =="
 serve_smoke "$(pwd)/build/bench/serve_bench" build/bench-build
 
+# Telemetry smoke against $1/ftc: a serve run with FT_TELEMETRY_DIR set
+# must continuously publish snapshots (>= 2 of them, schema-versioned,
+# strictly monotone seq, no leftover .tmp files from the atomic rename),
+# and `ftc --top` must round-trip the directory into the dashboard.
+telemetry_smoke() {
+  local Ftc="$1"
+  local TelDir
+  TelDir="$(mktemp -d /tmp/ft_check_telemetry.XXXXXX)"
+  FT_CACHE_DIR="$TelDir/cache" FT_TELEMETRY_DIR="$TelDir/snaps" \
+    FT_TELEMETRY_INTERVAL_MS=50 \
+    "$Ftc" --workload gat --serve 60 >/dev/null
+  python3 - "$TelDir/snaps" <<'PYEOF'
+import json, os, sys
+d = sys.argv[1]
+names = sorted(n for n in os.listdir(d)
+               if n.startswith("snap-") and n.endswith(".json"))
+tmps = [n for n in os.listdir(d) if ".tmp." in n]
+assert not tmps, f"unpublished tmp files left behind: {tmps}"
+assert len(names) >= 2, f"expected >= 2 snapshots, got {len(names)}"
+seqs = []
+for n in names:
+    with open(os.path.join(d, n)) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == "freetensor-telemetry/v1", \
+        f"{n}: bad schema {doc.get('schema')!r}"
+    for key in ("seq", "wall_unix_ms", "counters", "histograms",
+                "kernels", "flight"):
+        assert key in doc, f"{n} missing '{key}'"
+    seqs.append(doc["seq"])
+assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs), \
+    f"seq not strictly monotone: {seqs}"
+last = doc
+assert last["counters"].get("serve/submitted", 0) >= 60, \
+    "final snapshot lost the serve counters"
+assert any(h["name"] == "serve/queue_wait_ns" and h["count"] > 0
+           for h in last["histograms"]), "no queue-wait samples"
+assert last["kernels"], "no hot-kernel rows in final snapshot"
+assert last["flight"]["recorded"] >= 60, "flight recorder empty"
+print(f"telemetry snapshots OK: {len(names)} files, "
+      f"seq {seqs[0]}..{seqs[-1]}")
+PYEOF
+  local TopOut
+  TopOut="$("$Ftc" --top --telemetry-dir "$TelDir/snaps")"
+  echo "$TopOut" | grep -q "schema freetensor-telemetry/v1" ||
+    { echo "telemetry smoke: --top lost the schema"; echo "$TopOut"; return 1; }
+  echo "$TopOut" | grep -q "FINGERPRINT" ||
+    { echo "telemetry smoke: --top shows no kernel table"; echo "$TopOut"
+      return 1; }
+  rm -rf "$TelDir"
+  echo "telemetry smoke OK: snapshots valid + ftc --top round-trip"
+}
+
+echo "== telemetry smoke: snapshot export + ftc --top =="
+telemetry_smoke ./build/tools/ftc
+
+echo "== telemetry overhead bench: disabled <= 5 ns, enabled <= 2% =="
+(cd build/bench-build && ../bench/telemetry_overhead_bench) | tail -1
+
+echo "== bench guard: fresh results vs committed baselines =="
+python3 tools/bench_guard.py --baseline-dir . --fresh-dir build/bench-build
+
 if [ "$SKIP_SANITIZE" = 1 ]; then
   echo "== sanitizer sweep skipped (--skip-sanitize) =="
   exit 0
@@ -214,5 +282,8 @@ ASAN_OPTIONS=detect_leaks=0 simd_smoke ./build-asan/tools/ftc
 echo "== serve smoke under ASan =="
 ASAN_OPTIONS=detect_leaks=0 \
   serve_smoke "$(pwd)/build-asan/bench/serve_bench" build-asan/bench-build
+
+echo "== telemetry smoke under ASan =="
+ASAN_OPTIONS=detect_leaks=0 telemetry_smoke ./build-asan/tools/ftc
 
 echo "== check.sh: all green =="

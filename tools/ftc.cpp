@@ -21,6 +21,12 @@
 //                           and report per-tier counts + latency
 //                           percentiles (honors the FT_SERVE_* knobs)
 //
+//   ftc --top [--telemetry-dir DIR] [--watch]
+//       text dashboard over the telemetry snapshot directory
+//       (FT_TELEMETRY_DIR or --telemetry-dir): serving counters, latency
+//       percentiles, and the hot-kernel ranking with req/s trends computed
+//       from the two newest snapshots. --watch refreshes every second.
+//
 //===----------------------------------------------------------------------===//
 
 #include <algorithm>
@@ -28,8 +34,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "autodiff/grad.h"
@@ -38,6 +46,7 @@
 #include "codegen/jit.h"
 #include "ir/printer.h"
 #include "serve/serve.h"
+#include "support/json.h"
 #include "workloads/workloads.h"
 
 using namespace ft;
@@ -56,6 +65,9 @@ struct Options {
   std::string EmitCpp;
   int Run = 0;
   int Serve = 0;
+  bool Top = false;
+  bool Watch = false;
+  std::string TelemetryDir;
 };
 
 int usage() {
@@ -65,7 +77,8 @@ int usage() {
       "           [--print-ir] [--print-opt-ir] [--no-autoschedule]\n"
       "           [--emit-cpp FILE|-] [--grad] [--run N] [--profile]\n"
       "           [--vectorize-width N] [--no-cache] [--cache-dir DIR]\n"
-      "           [--serve N]\n");
+      "           [--serve N]\n"
+      "       ftc --top [--telemetry-dir DIR] [--watch]\n");
   return 2;
 }
 
@@ -112,6 +125,145 @@ Bound buildWorkload(const std::string &Name) {
   return B;
 }
 
+//===----------------------------------------------------------------------===//
+// ftc --top: telemetry snapshot dashboard
+//===----------------------------------------------------------------------===//
+
+/// Lexicographically sorted snap-*.json names in \p Dir. Snapshot names
+/// embed zero-padded epoch-ms + seq, so this is age order.
+std::vector<std::string> listSnapshots(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Names;
+  std::error_code Ec;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, Ec)) {
+    std::string N = E.path().filename().string();
+    if (N.rfind("snap-", 0) == 0 && N.size() > 5 &&
+        N.rfind(".json") == N.size() - 5)
+      Names.push_back(N);
+  }
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+/// Renders one dashboard frame from the two newest snapshots. Returns
+/// false when the directory holds no parsable snapshot yet.
+bool renderTop(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Names = listSnapshots(Dir);
+  if (Names.empty()) {
+    std::fprintf(stderr, "ftc --top: no snapshots in %s\n", Dir.c_str());
+    return false;
+  }
+  auto Latest = json::parseFile((fs::path(Dir) / Names.back()).string());
+  if (!Latest.ok()) {
+    std::fprintf(stderr, "ftc --top: %s\n", Latest.message().c_str());
+    return false;
+  }
+  // Previous snapshot (when present) powers the req/s trend column.
+  json::Value Prev;
+  bool HavePrev = false;
+  if (Names.size() >= 2) {
+    auto P = json::parseFile((fs::path(Dir) / Names[Names.size() - 2]).string());
+    if (P.ok()) {
+      Prev = std::move(*P);
+      HavePrev = true;
+    }
+  }
+
+  const json::Value &S = *Latest;
+  double NowMs = double(std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::system_clock::now().time_since_epoch())
+                            .count());
+  double AgeSec = (NowMs - S.num("wall_unix_ms")) / 1e3;
+  std::printf("telemetry %s | %s | seq %.0f | age %.1fs | schema %s\n", Dir.c_str(),
+              Names.back().c_str(), S.num("seq"), AgeSec < 0 ? 0 : AgeSec,
+              S.str("schema").c_str());
+
+  if (const json::Value *C = S.get("counters")) {
+    std::printf("serve: submitted %.0f | interp %.0f, jit %.0f | rejected "
+                "%.0f | compiles %.0f (failed %.0f, cache hits %.0f) | "
+                "batches %.0f | run errors %.0f\n",
+                C->num("serve/submitted"), C->num("serve/interp_served"),
+                C->num("serve/jit_served"), C->num("serve/rejected"),
+                C->num("serve/compiles_started"),
+                C->num("serve/compiles_failed"), C->num("serve/cache_hits"),
+                C->num("serve/batches"), C->num("serve/run_errors"));
+  }
+  if (const json::Value *Hs = S.get("histograms")) {
+    for (const json::Value &H : Hs->items()) {
+      const std::string &N = H.str("name");
+      if (N != "serve/queue_wait_ns" && N != "serve/run_ns_jit" &&
+          N != "serve/run_ns_interp" && N != "serve/compile_ns")
+        continue;
+      std::printf("%-22s n=%-8.0f p50 %9.3f ms  p95 %9.3f ms  p99 %9.3f ms\n",
+                  N.c_str(), H.num("count"), H.num("p50") / 1e6,
+                  H.num("p95") / 1e6, H.num("p99") / 1e6);
+    }
+  }
+  if (const json::Value *F = S.get("flight"))
+    std::printf("flight: %.0f recorded | ok %.0f | invalid_args %.0f | "
+                "run_errors %.0f | rejected %.0f full, %.0f shutdown\n",
+                F->num("recorded"), F->num("ok"), F->num("invalid_args"),
+                F->num("run_errors"), F->num("rejected_full"),
+                F->num("rejected_shutdown"));
+
+  std::printf("\n%-20s %9s %12s %12s %6s %7s %7s %10s\n", "FINGERPRINT", "REQS",
+              "MEAN ms", "TOTAL ms", "ERR", "JIT", "INTERP", "TREND r/s");
+  const json::Value *Kernels = S.get("kernels");
+  if (!Kernels || Kernels->items().empty()) {
+    std::printf("(no kernels served yet)\n");
+    return true;
+  }
+  double DtSec = HavePrev
+                     ? (S.num("wall_unix_ms") - Prev.num("wall_unix_ms")) / 1e3
+                     : 0;
+  size_t Shown = 0;
+  for (const json::Value &K : Kernels->items()) {
+    if (Shown++ >= 20)
+      break;
+    std::string Trend = "-";
+    if (HavePrev && DtSec > 0) {
+      if (const json::Value *PK = Prev.get("kernels")) {
+        for (const json::Value &P : PK->items()) {
+          if (P.str("fingerprint") != K.str("fingerprint"))
+            continue;
+          double Dr = K.num("requests") - P.num("requests");
+          char Buf[32];
+          std::snprintf(Buf, sizeof(Buf), "%+.1f", Dr / DtSec);
+          Trend = Buf;
+          break;
+        }
+      }
+    }
+    std::printf("%-20s %9.0f %12.3f %12.3f %6.0f %7.0f %7.0f %10s\n",
+                K.str("fingerprint").c_str(), K.num("requests"),
+                K.num("mean_ns") / 1e6, K.num("total_ns") / 1e6,
+                K.num("errors"), K.num("jit"), K.num("interp"), Trend.c_str());
+  }
+  return true;
+}
+
+int runTop(const Options &O) {
+  std::string Dir = O.TelemetryDir;
+  if (Dir.empty())
+    if (const char *E = std::getenv("FT_TELEMETRY_DIR"))
+      Dir = E;
+  if (Dir.empty()) {
+    std::fprintf(stderr,
+                 "ftc --top: no snapshot directory (pass --telemetry-dir or "
+                 "set FT_TELEMETRY_DIR)\n");
+    return 2;
+  }
+  if (!O.Watch)
+    return renderTop(Dir) ? 0 : 1;
+  for (;;) {
+    std::printf("\033[2J\033[H");
+    renderTop(Dir);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -142,9 +294,18 @@ int main(int argc, char **argv) {
       ::setenv("FT_CACHE", "0", /*overwrite=*/1);
     else if (A == "--cache-dir" && I + 1 < argc)
       ::setenv("FT_CACHE_DIR", argv[++I], /*overwrite=*/1);
+    else if (A == "--top")
+      O.Top = true;
+    else if (A == "--watch")
+      O.Watch = true;
+    else if (A == "--telemetry-dir" && I + 1 < argc)
+      O.TelemetryDir = argv[++I];
     else
       return usage();
   }
+
+  if (O.Top)
+    return runTop(O);
 
   Bound B = buildWorkload(O.Workload);
   if (!B.F.Body) {
