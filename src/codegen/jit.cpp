@@ -175,6 +175,9 @@ struct Kernel::Impl {
       P.TotalAllocBytes = St.TotalAllocBytes;
       P.AllocCount = St.AllocCount;
     }
+    profile::RequestAttribution A = profile::requestAttribution(Symbol);
+    P.AttributedRuns = A.AttributedRuns;
+    P.RecentRequestIds = std::move(A.RecentRequestIds);
     return P;
   }
 
@@ -458,6 +461,11 @@ Result<Kernel> Kernel::compile(const Func &F, const CodegenOptions &Opts,
 }
 
 Status Kernel::run(const std::map<std::string, Buffer *> &Args) const {
+  return run(Args, /*RequestId=*/0);
+}
+
+Status Kernel::run(const std::map<std::string, Buffer *> &Args,
+                   uint64_t RequestId) const {
   ftAssert(I != nullptr, "running an empty Kernel");
   std::vector<void *> Ptrs;
   Ptrs.reserve(I->Params.size());
@@ -480,6 +488,12 @@ Status Kernel::run(const std::map<std::string, Buffer *> &Args) const {
               "(__restrict__ parameters for SIMD lowering)");
   }
   trace::Span Sp(I->SpanName);
+  if (RequestId != 0) {
+    if (Sp.active())
+      Sp.annotate("req", RequestId);
+    if (I->Profiled)
+      profile::noteRequest(I->Symbol, RequestId);
+  }
   I->Entry(Ptrs.data());
   metrics::counter("rt/kernel_invocations").fetch_add(1);
   if (Sp.active()) {

@@ -85,6 +85,14 @@ public:
   /// Runs the kernel binding each parameter by name.
   Status run(const std::map<std::string, Buffer *> &Args) const;
 
+  /// Runs the kernel on behalf of serving request \p RequestId
+  /// (RequestContext::Id; 0 = no request). A nonzero id is annotated onto
+  /// the kernel's trace span and, when the kernel is profiled, noted in
+  /// the profile registry's request-attribution table — so hot-loop rows
+  /// join back to the requests that produced them (DESIGN.md §15).
+  Status run(const std::map<std::string, Buffer *> &Args,
+             uint64_t RequestId) const;
+
   /// Caps this kernel's runtime thread pool at \p N workers (>= 1) via the
   /// `<symbol>_rt_set_threads` export. Call before the first run to also
   /// bound thread creation, not just thread use. The serving executor caps

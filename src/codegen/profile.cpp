@@ -220,9 +220,16 @@ std::string fmtBytes(uint64_t B) {
 
 enum class SinkMode { Off, StderrTable, FileTable, Folded, Json };
 
+/// Request ids kept per symbol in the attribution ring.
+constexpr size_t kMaxRecentRequestIds = 16;
+
 struct Registry {
   std::mutex M;
   std::vector<KernelProfile> Profiles;
+  /// Serving-request join: per-symbol attribution, fed by noteRequest()
+  /// on every request-carrying run and folded into the profile when it is
+  /// pulled (jit.cpp's pullProfile).
+  std::map<std::string, RequestAttribution> Attr;
   SinkMode Mode = SinkMode::Off;
   std::string Path;
 };
@@ -462,6 +469,11 @@ std::string toJson(const KernelProfile &P) {
   Out += "\"peak_bytes\":" + std::to_string(P.PeakBytes) + ",";
   Out += "\"total_alloc_bytes\":" + std::to_string(P.TotalAllocBytes) + ",";
   Out += "\"alloc_count\":" + std::to_string(P.AllocCount) + ",";
+  Out += "\"attributed_runs\":" + std::to_string(P.AttributedRuns) + ",";
+  Out += "\"recent_request_ids\":[";
+  for (size_t I = 0; I < P.RecentRequestIds.size(); ++I)
+    Out += (I ? "," : "") + std::to_string(P.RecentRequestIds[I]);
+  Out += "],";
   Out += "\"loops\":[";
   bool First = true;
   auto emitRow = [&](const LoopSample &S, const StmtSourceInfo *Info) {
@@ -533,6 +545,26 @@ void clearProfiles() {
   Registry &R = reg();
   std::lock_guard<std::mutex> Lock(R.M);
   R.Profiles.clear();
+  R.Attr.clear();
+}
+
+void noteRequest(const std::string &Symbol, uint64_t RequestId) {
+  if (RequestId == 0)
+    return;
+  Registry &R = reg();
+  std::lock_guard<std::mutex> Lock(R.M);
+  RequestAttribution &A = R.Attr[Symbol];
+  ++A.AttributedRuns;
+  A.RecentRequestIds.push_back(RequestId);
+  if (A.RecentRequestIds.size() > kMaxRecentRequestIds)
+    A.RecentRequestIds.erase(A.RecentRequestIds.begin());
+}
+
+RequestAttribution requestAttribution(const std::string &Symbol) {
+  Registry &R = reg();
+  std::lock_guard<std::mutex> Lock(R.M);
+  auto It = R.Attr.find(Symbol);
+  return It == R.Attr.end() ? RequestAttribution{} : It->second;
 }
 
 std::string snapshotJson() {

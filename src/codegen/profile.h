@@ -114,6 +114,13 @@ struct KernelProfile {
   uint64_t PeakBytes = 0;
   uint64_t TotalAllocBytes = 0;
   uint64_t AllocCount = 0;
+  /// Serving-request join (DESIGN.md §15): runs of this kernel that
+  /// carried a request id, and the most recent of those ids (oldest
+  /// first, bounded) — filled from requestAttribution() when the profile
+  /// is pulled, so hot-loop rows can be joined back to the requests that
+  /// produced them.
+  uint64_t AttributedRuns = 0;
+  std::vector<uint64_t> RecentRequestIds;
 
   const LoopSample *sample(int64_t StmtId) const;
   /// estNs() of \p StmtId minus its direct children's (clamped at 0).
@@ -140,8 +147,23 @@ void record(KernelProfile P);
 /// Copies of every profile recorded so far.
 std::vector<KernelProfile> snapshotProfiles();
 
-/// Drops all recorded profiles (tests).
+/// Drops all recorded profiles and the request-attribution table (tests).
 void clearProfiles();
+
+/// Serving-request join: notes that request \p RequestId ran the profiled
+/// kernel \p Symbol. Kernel::run calls this when it executes on behalf of
+/// a serving request, so the per-loop rows a profile reports can be tied
+/// back to the requests that produced them. Keeps a bounded ring of the
+/// most recent ids per symbol. No-op when \p RequestId == 0.
+void noteRequest(const std::string &Symbol, uint64_t RequestId);
+
+/// The attribution recorded for \p Symbol so far: total attributed runs
+/// and the most recent request ids, oldest first (empty when none).
+struct RequestAttribution {
+  uint64_t AttributedRuns = 0;
+  std::vector<uint64_t> RecentRequestIds;
+};
+RequestAttribution requestAttribution(const std::string &Symbol);
 
 /// All recorded profiles as one JSON document: {"profiles":[...]}.
 std::string snapshotJson();

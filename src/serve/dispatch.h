@@ -51,6 +51,16 @@ struct KernelEntry {
   explicit KernelEntry(uint64_t Key, Func F)
       : Key(Key), F(std::move(F)) {}
 
+  /// The id of the request whose submit won beginCompile() — the compile
+  /// thread stamps it on the serve/compile span and closes that request's
+  /// trace flow arrow there, so a cold request visibly links to the one
+  /// background compile it triggered. Written exactly once, by the
+  /// beginCompile winner before the job is enqueued (the compile queue's
+  /// lock orders the write before the compile thread's read); 0 until
+  /// then and for cache-hit promotions that never reach the compile
+  /// thread.
+  uint64_t TriggerReqId = 0;
+
   /// If this entry is Cold, moves it to Compiling and returns true — the
   /// caller is now responsible for enqueueing exactly one compile job.
   /// Returns false in every other state (someone else already did, or the

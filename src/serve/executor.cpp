@@ -80,6 +80,11 @@ Config Config::fromEnv() {
       C.OptFlags = E;
   C.RtThreadBudget = static_cast<int>(
       envLong("FT_SERVE_RT_THREADS", C.RtThreadBudget, 0));
+  if (const char *E = std::getenv("FT_SLO_TENANT"))
+    if (*E)
+      C.DefaultTenant = E;
+  C.DefaultDeadlineNs =
+      static_cast<uint64_t>(envLong("FT_SLO_DEADLINE_MS", 0, 0)) * 1'000'000;
   return C;
 }
 
@@ -91,7 +96,34 @@ struct Request {
   std::map<std::string, Buffer *> Args;
   std::promise<Response> P;
   Clock::time_point SubmitT;
+  RequestContext Ctx; ///< Stamped at submit, carried by value.
 };
+
+/// The argument-shape signature of one request — the workload table's row
+/// key, e.g. "x:f32[8192] y:f32[8192]". Args is an ordered map, so the key
+/// is deterministic. Only built when telemetry is enabled (string work
+/// must not tax the disabled path).
+std::string shapeKeyOf(const std::map<std::string, Buffer *> &Args) {
+  std::string K;
+  for (const auto &[Name, B] : Args) {
+    if (!B)
+      continue;
+    if (!K.empty())
+      K += ' ';
+    K += Name;
+    K += ':';
+    K += nameOf(B->dtype());
+    K += '[';
+    const std::vector<int64_t> &Sh = B->shape();
+    for (size_t I = 0; I < Sh.size(); ++I) {
+      if (I)
+        K += 'x';
+      K += std::to_string(Sh[I]);
+    }
+    K += ']';
+  }
+  return K;
+}
 
 /// The executor's counters, stored once: in the global metrics registry.
 /// References are resolved at construction so every bump is one relaxed
@@ -219,7 +251,8 @@ struct Executor::Impl {
   /// First sight of a Cold fingerprint: probe the kernel cache (no host
   /// compiler); a hit makes the very first request JIT-tier. On a miss the
   /// beginCompile winner enqueues the one background compile job.
-  void triggerCompile(const std::shared_ptr<KernelEntry> &E) {
+  void triggerCompile(const std::shared_ptr<KernelEntry> &E,
+                      uint64_t TriggerReqId) {
     if (E->state() != KernelState::Cold || !E->beginCompile())
       return;
     if (std::optional<Kernel> K = Kernel::tryCached(E->F, {}, C.OptFlags)) {
@@ -228,6 +261,9 @@ struct Executor::Impl {
       E->finishCompile(std::move(*K));
       return;
     }
+    // The beginCompile winner's request id — written before the push, read
+    // by the compile thread after the pop (the queue lock orders them).
+    E->TriggerReqId = TriggerReqId;
     Stats.CompilesStarted.fetch_add(1);
     bumpPendingCompiles();
     if (CompileQ.tryPush(E) != PushResult::Ok) {
@@ -245,11 +281,16 @@ struct Executor::Impl {
                CompileQ.popWait()) {
       std::shared_ptr<KernelEntry> E = *Job;
       trace::Span Sp("serve/compile");
+      if (Sp.active() && E->TriggerReqId != 0)
+        // Close the triggering request's flow arrow inside this span:
+        // Perfetto draws enqueue → dispatch → this compile as one chain.
+        trace::emitFlow("serve/req", E->TriggerReqId, 'f');
       Clock::time_point T0 = Clock::now();
       Result<Kernel> R = Kernel::compile(E->F, {}, C.OptFlags);
       telemetry::onCompile(toNs(T0, Clock::now()), R.ok());
       if (Sp.active()) {
         Sp.annotate("key", E->Key);
+        Sp.annotate("req", E->TriggerReqId);
         Sp.annotate("ok", std::string(R.ok() ? "true" : "false"));
       }
       if (R.ok()) {
@@ -303,13 +344,18 @@ struct Executor::Impl {
 
     for (Request &Req : Batch) {
       trace::Span Sp("serve/request");
+      if (Sp.active())
+        // Flow step inside the dispatch span: the arrow started at this
+        // request's enqueue passes through here.
+        trace::emitFlow("serve/req", Req.Ctx.Id, 't');
       Clock::time_point Start = Clock::now();
       // Validate on both tiers: requests are untrusted, and a compiled
       // kernel would otherwise execute a bad binding unchecked.
       Status S = validateArgs(E->F, Req.Args);
       const bool ArgsOk = S.ok();
       if (ArgsOk)
-        S = K ? K->run(Req.Args) : interpretChecked(E->F, Req.Args);
+        S = K ? K->run(Req.Args, Req.Ctx.Id)
+              : interpretChecked(E->F, Req.Args);
       Clock::time_point End = Clock::now();
 
       if (T == Tier::Jit)
@@ -319,19 +365,28 @@ struct Executor::Impl {
       if (!S)
         Stats.RunErrors.fetch_add(1);
       if (Sp.active()) {
+        Sp.annotate("req", Req.Ctx.Id);
+        Sp.annotate("tenant", Req.Ctx.Tenant);
         Sp.annotate("tier", std::string(nameOf(T)));
         Sp.annotate("batch", static_cast<uint64_t>(Batch.size()));
         Sp.annotate("key", E->Key);
       }
+      const uint64_t TotalNs = toNs(Req.SubmitT, End);
+      const bool DeadlineMissed =
+          Req.Ctx.DeadlineNs > 0 && TotalNs > Req.Ctx.DeadlineNs;
       if (telemetry::enabled()) {
         telemetry::RequestSample TS;
         TS.Fingerprint = E->Key;
+        TS.ReqId = Req.Ctx.Id;
+        TS.Tenant = Req.Ctx.Tenant;
+        TS.DeadlineNs = Req.Ctx.DeadlineNs;
+        TS.ShapeKey = shapeKeyOf(Req.Args);
         TS.ServedBy = T;
         TS.Out = S.ok() ? Outcome::Ok
                         : (ArgsOk ? Outcome::RunError : Outcome::InvalidArgs);
         TS.QueueNs = toNs(Req.SubmitT, Start);
         TS.RunNs = toNs(Start, End);
-        TS.TotalNs = toNs(Req.SubmitT, End);
+        TS.TotalNs = TotalNs;
         TS.BatchSize = static_cast<uint32_t>(Batch.size());
         TS.BatchId = BatchId;
         if (!S.ok())
@@ -345,6 +400,8 @@ struct Executor::Impl {
       Resp.LatencySec = secondsBetween(Req.SubmitT, End);
       Resp.QueueSec = secondsBetween(Req.SubmitT, Start);
       Resp.BatchSize = static_cast<int>(Batch.size());
+      Resp.ReqId = Req.Ctx.Id;
+      Resp.DeadlineMissed = DeadlineMissed;
       Req.P.set_value(std::move(Resp));
       dropOutstanding();
     }
@@ -363,35 +420,61 @@ Executor::~Executor() { shutdown(); }
 
 Result<std::future<Response>>
 Executor::submit(const Func &F, const std::map<std::string, Buffer *> &Args) {
+  return submit(F, Args, SubmitOptions{});
+}
+
+Result<std::future<Response>>
+Executor::submit(const Func &F, const std::map<std::string, Buffer *> &Args,
+                 const SubmitOptions &Opts) {
+  RequestContext Ctx;
+  Ctx.Id = nextRequestId();
+  Ctx.Tenant = Opts.Tenant.empty() ? I->C.DefaultTenant : Opts.Tenant;
+  Ctx.DeadlineNs =
+      Opts.DeadlineNs != 0 ? Opts.DeadlineNs : I->C.DefaultDeadlineNs;
+
   if (I->ShuttingDown.load(std::memory_order_acquire)) {
     I->Stats.Rejected.fetch_add(1);
     // Fingerprint 0: rejected before the key was computed.
-    telemetry::onReject(0, Outcome::RejectedShutdown);
+    telemetry::onReject(0, Outcome::RejectedShutdown, Ctx.Id, Ctx.Tenant);
     return Result<std::future<Response>>::error("serve: executor is shut down");
   }
 
   uint64_t Key = kernel_cache::cacheKey(F, {}, I->C.OptFlags).Full;
   std::shared_ptr<KernelEntry> E = I->Dir.intern(Key, F);
-  I->triggerCompile(E);
+  I->triggerCompile(E, Ctx.Id);
 
   Request R;
   R.E = std::move(E);
   R.Args = Args;
   R.SubmitT = Clock::now();
+  R.Ctx = Ctx;
   std::future<Response> Fut = R.P.get_future();
 
   I->bumpOutstanding();
-  PushResult PR =
-      I->C.BlockOnFull ? I->Q.pushWait(std::move(R)) : I->Q.tryPush(std::move(R));
+  PushResult PR;
+  {
+    // The flow arrow starts inside this span: Perfetto binds a flow point
+    // to the slice enclosing it, and the push is the moment the request
+    // enters the system.
+    trace::Span Sp("serve/enqueue");
+    if (Sp.active()) {
+      Sp.annotate("req", Ctx.Id);
+      Sp.annotate("tenant", Ctx.Tenant);
+      Sp.annotate("key", Key);
+      trace::emitFlow("serve/req", Ctx.Id, 's');
+    }
+    PR = I->C.BlockOnFull ? I->Q.pushWait(std::move(R))
+                          : I->Q.tryPush(std::move(R));
+  }
   if (PR != PushResult::Ok) {
     I->dropOutstanding();
     I->Stats.Rejected.fetch_add(1);
     if (PR == PushResult::Closed) {
-      telemetry::onReject(Key, Outcome::RejectedShutdown);
+      telemetry::onReject(Key, Outcome::RejectedShutdown, Ctx.Id, Ctx.Tenant);
       return Result<std::future<Response>>::error(
           "serve: executor is shut down");
     }
-    telemetry::onReject(Key, Outcome::RejectedFull);
+    telemetry::onReject(Key, Outcome::RejectedFull, Ctx.Id, Ctx.Tenant);
     return Result<std::future<Response>>::error(
         "serve: queue full (capacity " + std::to_string(I->C.QueueCap) +
         "); retry or set FT_SERVE_ON_FULL=block");

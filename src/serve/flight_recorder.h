@@ -3,8 +3,9 @@
 /// \file
 /// A bounded ring buffer of structured request events — the serving
 /// runtime's black box. Every completed (or rejected) request leaves one
-/// FlightEvent behind: fingerprint, tier served, queue-wait/run/total
-/// nanoseconds, micro-batch id and size, and a typed outcome (ok, invalid
+/// FlightEvent behind: request id + tenant, fingerprint, tier served,
+/// queue-wait/run/total nanoseconds, micro-batch id and size, the deadline
+/// verdict when the request carried one, and a typed outcome (ok, invalid
 /// arguments, runtime error, rejected-full, rejected-shutdown) with the
 /// error message when there was one. The ring keeps the last N events
 /// (FT_FLIGHT_CAP, default 512), so the recent history of a node is always
@@ -51,6 +52,8 @@ struct FlightEvent {
   uint64_t Seq = 0;         ///< Monotonic per-process event number.
   double TsUs = 0;          ///< Completion time, trace-epoch microseconds.
   uint64_t Fingerprint = 0; ///< Whole-program cache key (0 when unknown).
+  uint64_t ReqId = 0;       ///< RequestContext::Id (0 when unknown).
+  std::string Tenant;       ///< SLO bucket label; empty = unattributed.
   const char *Tier = "-";
   Outcome Out = Outcome::Ok;
   uint64_t QueueNs = 0; ///< submit -> execution start.
@@ -58,6 +61,8 @@ struct FlightEvent {
   uint64_t TotalNs = 0; ///< submit -> completion.
   uint32_t BatchSize = 1;
   uint64_t BatchId = 0;
+  uint64_t DeadlineNs = 0;     ///< The request's budget; 0 = none.
+  bool DeadlineMissed = false; ///< TotalNs > DeadlineNs (deadline set).
   std::string Error; ///< Truncated message; empty when Out == Ok.
 };
 

@@ -1,0 +1,69 @@
+//===- serve/request_context.h - Per-request identity & SLO ------*- C++ -*-===//
+///
+/// \file
+/// The identity one serving request carries through the system (DESIGN.md
+/// §15). A RequestContext is created at Executor::submit and propagated by
+/// value through the bounded queue, tiered dispatch, micro-batching, the
+/// background-compile trigger, and into Kernel::run — so every observation
+/// a layer makes (span, flow arrow, flight event, shape sample, profiler
+/// row) can be joined back to the request that produced it.
+///
+///  - Id: process-unique, never 0 for a real request (0 is the "no
+///    request" sentinel throughout — e.g. a compile triggered outside
+///    serving, or telemetry rows predating this header).
+///  - Tenant: free-form workload label for SLO accounting. Defaults to
+///    Config::DefaultTenant ("default", or FT_SLO_TENANT) so single-tenant
+///    deployments get one well-named bucket without passing options.
+///  - DeadlineNs: the submit→completion budget. 0 means no deadline; when
+///    set, the executor stamps Response::DeadlineMissed and telemetry
+///    tallies per-tenant met/missed plus a time-to-deadline histogram.
+///
+/// The context is plain data: copying it is two words plus one small
+/// string (tenant labels are short; "default" fits in SSO, so the disabled
+/// telemetry path never allocates for it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_SERVE_REQUEST_CONTEXT_H
+#define FT_SERVE_REQUEST_CONTEXT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ft::serve {
+
+/// The per-request identity. See the file comment.
+struct RequestContext {
+  uint64_t Id = 0;        ///< Process-unique; 0 = no request.
+  std::string Tenant;     ///< SLO bucket label; empty = unattributed.
+  uint64_t DeadlineNs = 0; ///< submit→completion budget; 0 = none.
+};
+
+namespace detail {
+inline std::atomic<uint64_t> NextRequestIdBlock{0};
+/// Ids a thread claims per fetch_add. Amortizes the contended atomic to
+/// 1/256 of submits; the common-case cost is a thread-local increment,
+/// which keeps id allocation inside the disabled-path nanosecond budget
+/// (bench/telemetry_overhead_bench.cpp).
+inline constexpr uint64_t kRequestIdBlock = 256;
+} // namespace detail
+
+/// The next process-unique request id; never returns 0, so 0 stays the
+/// "no request" sentinel. Ids are allocated to threads in blocks: unique
+/// across the process and sequential within a thread, but not globally
+/// ordered — correlation keys, not a submission order.
+inline uint64_t nextRequestId() {
+  thread_local uint64_t Cur = 0, End = 0;
+  if (Cur == End) {
+    Cur = detail::NextRequestIdBlock.fetch_add(detail::kRequestIdBlock,
+                                               std::memory_order_relaxed) +
+          1;
+    End = Cur + detail::kRequestIdBlock;
+  }
+  return Cur++;
+}
+
+} // namespace ft::serve
+
+#endif // FT_SERVE_REQUEST_CONTEXT_H

@@ -43,6 +43,7 @@
 
 #include "interp/buffer.h"
 #include "ir/func.h"
+#include "serve/request_context.h"
 #include "support/error.h"
 
 namespace ft::serve {
@@ -84,10 +85,24 @@ struct Config {
   /// max(1, budget / Threads) via Kernel::setMaxThreads so Threads
   /// concurrent kernels cannot oversubscribe the machine.
   int RtThreadBudget = 0; ///< 0 = hardware_concurrency.
+  /// Tenant label stamped on requests that pass no SubmitOptions::Tenant
+  /// (FT_SLO_TENANT, default "default") — SLO accounting always has a
+  /// bucket to land in.
+  std::string DefaultTenant = "default";
+  /// Deadline stamped on requests that pass no SubmitOptions::DeadlineNs
+  /// (FT_SLO_DEADLINE_MS, converted to ns; default 0 = no deadline).
+  uint64_t DefaultDeadlineNs = 0;
 
-  /// Reads FT_SERVE_* from the environment, falling back to the defaults
-  /// above on unset or unparsable values.
+  /// Reads FT_SERVE_* / FT_SLO_* from the environment, falling back to the
+  /// defaults above on unset or unparsable values.
   static Config fromEnv();
+};
+
+/// Per-submission overrides for the request's SLO identity. Fields left at
+/// their defaults fall back to the Config values above.
+struct SubmitOptions {
+  std::string Tenant;      ///< Empty = Config::DefaultTenant.
+  uint64_t DeadlineNs = 0; ///< 0 = Config::DefaultDeadlineNs.
 };
 
 /// Outcome of one served request, delivered through the future submit()
@@ -103,6 +118,13 @@ struct Response {
   double QueueSec = 0;
   /// Size of the micro-batch this request was executed in (1 = unbatched).
   int BatchSize = 1;
+  /// The process-unique request id submit() stamped (RequestContext::Id) —
+  /// the join key into spans, flow arrows, flight events, and snapshots.
+  uint64_t ReqId = 0;
+  /// True when the request carried a deadline and submit→completion
+  /// exceeded it. The request still ran to completion — a missed deadline
+  /// is an SLO fact, not an execution error.
+  bool DeadlineMissed = false;
 };
 
 /// Monotonic executor counters (a consistent-enough snapshot; fields are
@@ -144,6 +166,12 @@ public:
   /// Per-request execution errors travel inside Response::S instead.
   Result<std::future<Response>> submit(const Func &F,
                                        const std::map<std::string, Buffer *> &Args);
+
+  /// submit() with an explicit tenant label and/or deadline; the two-arg
+  /// overload forwards here with defaults (see SubmitOptions).
+  Result<std::future<Response>> submit(const Func &F,
+                                       const std::map<std::string, Buffer *> &Args,
+                                       const SubmitOptions &Opts);
 
   /// Blocks until every accepted request has completed AND every enqueued
   /// background compile has finished. The executor stays usable after.

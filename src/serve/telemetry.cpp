@@ -10,9 +10,11 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unistd.h>
+#include <unordered_set>
 
 #include "codegen/profile.h"
 #include "support/metrics.h"
@@ -57,6 +59,12 @@ struct Hists {
   metrics::Histogram &RunInterp = metrics::histogram("serve/run_ns_interp");
   metrics::Histogram &BatchSize = metrics::histogram("serve/batch_size");
   metrics::Histogram &CompileNs = metrics::histogram("serve/compile_ns");
+  /// Time-to-deadline headroom of met requests / overage of missed ones.
+  metrics::Histogram &SloSlack = metrics::histogram("serve/slo_slack_ns");
+  metrics::Histogram &SloOverrun = metrics::histogram("serve/slo_overrun_ns");
+  metrics::Counter &DeadlineMet = metrics::counter("serve/deadline_met");
+  metrics::Counter &DeadlineMissed =
+      metrics::counter("serve/deadline_missed");
 };
 
 Hists &hists() {
@@ -79,6 +87,59 @@ std::map<uint64_t, Agg> &aggs() {
   static std::map<uint64_t, Agg> *M = new std::map<uint64_t, Agg>;
   return *M;
 }
+
+/// One (fingerprint, shape) cell of the workload table.
+struct ShapeAgg {
+  uint64_t Requests = 0;
+  uint64_t TotalNs = 0;
+  metrics::HistogramSnapshot Lat; ///< submit→completion ns.
+};
+
+/// One fingerprint's shape rows, bounded by shapeTableCap(): once the cap
+/// is reached, new distinct shapes fold into Other (with a distinct-shape
+/// count so the overflow is visible, not silent).
+struct FpShapes {
+  std::map<std::string, ShapeAgg> Shapes;
+  ShapeAgg Other;
+  /// Hashes of shapes folded into Other, for a distinct count. Bounded
+  /// (the whole point of the cap is bounded memory): past 4096 distinct
+  /// overflow shapes the count saturates and stops admitting hashes.
+  std::unordered_set<uint64_t> OtherSeen;
+  uint64_t OtherDistinct = 0; ///< Distinct shapes folded into Other.
+
+  static constexpr size_t kMaxOtherSeen = 4096;
+
+  void noteOverflow(const std::string &ShapeKey) {
+    if (OtherSeen.size() >= kMaxOtherSeen)
+      return;
+    if (OtherSeen.insert(std::hash<std::string>{}(ShapeKey)).second)
+      ++OtherDistinct;
+  }
+};
+
+std::map<uint64_t, FpShapes> &shapeAggs() {
+  static std::map<uint64_t, FpShapes> *M = new std::map<uint64_t, FpShapes>;
+  return *M;
+}
+
+/// Per-tenant SLO aggregate (TenantSlo minus the name).
+struct TenantAgg {
+  uint64_t Requests = 0;
+  uint64_t Met = 0;
+  uint64_t Missed = 0;
+  uint64_t TotalNs = 0;
+  metrics::HistogramSnapshot Slack;
+};
+
+std::map<std::string, TenantAgg> &tenantAggs() {
+  static std::map<std::string, TenantAgg> *M =
+      new std::map<std::string, TenantAgg>;
+  return *M;
+}
+
+/// Shape-table cap: the setter overrides FT_SHAPE_TABLE_CAP (tests); the
+/// env is read once.
+std::atomic<long> ShapeCapOverride{-1};
 
 std::atomic<uint64_t> NextBatchId{0};
 std::atomic<uint64_t> SnapSeq{0};
@@ -121,9 +182,23 @@ void onRequestComplete(const RequestSample &S) {
   if (S.Out == Outcome::Ok)
     (S.ServedBy == Tier::Jit ? H.RunJit : H.RunInterp).record(S.RunNs);
 
+  const bool HasDeadline = S.DeadlineNs > 0;
+  const bool Missed = HasDeadline && S.TotalNs > S.DeadlineNs;
+  if (HasDeadline) {
+    if (Missed) {
+      H.DeadlineMissed.fetch_add(1);
+      H.SloOverrun.record(S.TotalNs - S.DeadlineNs);
+    } else {
+      H.DeadlineMet.fetch_add(1);
+      H.SloSlack.record(S.DeadlineNs - S.TotalNs);
+    }
+  }
+
   FlightEvent E;
   E.TsUs = trace::nowMicros();
   E.Fingerprint = S.Fingerprint;
+  E.ReqId = S.ReqId;
+  E.Tenant = S.Tenant;
   E.Tier = nameOf(S.ServedBy);
   E.Out = S.Out;
   E.QueueNs = S.QueueNs;
@@ -131,6 +206,8 @@ void onRequestComplete(const RequestSample &S) {
   E.TotalNs = S.TotalNs;
   E.BatchSize = S.BatchSize;
   E.BatchId = S.BatchId;
+  E.DeadlineNs = S.DeadlineNs;
+  E.DeadlineMissed = Missed;
   E.Error = S.Error;
   flightRecorder().record(std::move(E));
 
@@ -144,14 +221,46 @@ void onRequestComplete(const RequestSample &S) {
     ++A.Interp;
   if (S.Out != Outcome::Ok)
     ++A.Errors;
+
+  if (!S.ShapeKey.empty()) {
+    FpShapes &FS = shapeAggs()[S.Fingerprint];
+    ShapeAgg *SA;
+    auto It = FS.Shapes.find(S.ShapeKey);
+    if (It != FS.Shapes.end()) {
+      SA = &It->second;
+    } else if (FS.Shapes.size() < shapeTableCap()) {
+      SA = &FS.Shapes[S.ShapeKey];
+    } else {
+      FS.noteOverflow(S.ShapeKey);
+      SA = &FS.Other;
+    }
+    ++SA->Requests;
+    SA->TotalNs += S.TotalNs;
+    SA->Lat.add(S.TotalNs);
+  }
+
+  TenantAgg &T = tenantAggs()[S.Tenant];
+  ++T.Requests;
+  T.TotalNs += S.TotalNs;
+  if (HasDeadline) {
+    if (Missed)
+      ++T.Missed;
+    else {
+      ++T.Met;
+      T.Slack.add(S.DeadlineNs - S.TotalNs);
+    }
+  }
 }
 
-void onReject(uint64_t Fingerprint, Outcome Out) {
+void onReject(uint64_t Fingerprint, Outcome Out, uint64_t ReqId,
+              const std::string &Tenant) {
   if (!enabled())
     return;
   FlightEvent E;
   E.TsUs = trace::nowMicros();
   E.Fingerprint = Fingerprint;
+  E.ReqId = ReqId;
+  E.Tenant = Tenant;
   E.Out = Out;
   flightRecorder().record(std::move(E));
 }
@@ -202,6 +311,88 @@ std::vector<HotKernel> hotKernels(size_t TopK) {
 }
 
 //===----------------------------------------------------------------------===//
+// Shape table & tenant SLO
+//===----------------------------------------------------------------------===//
+
+size_t shapeTableCap() {
+  long O = ShapeCapOverride.load(std::memory_order_relaxed);
+  if (O >= 0)
+    return static_cast<size_t>(O);
+  static const size_t EnvCap =
+      static_cast<size_t>(envLong("FT_SHAPE_TABLE_CAP", 32, 1));
+  return EnvCap;
+}
+
+void setShapeTableCap(size_t Cap) {
+  ShapeCapOverride.store(Cap < 1 ? 1 : static_cast<long>(Cap),
+                         std::memory_order_relaxed);
+}
+
+namespace {
+
+ShapeStat toStat(uint64_t Fp, std::string Key, const ShapeAgg &A) {
+  ShapeStat S;
+  S.Fingerprint = Fp;
+  S.ShapeKey = std::move(Key);
+  S.Requests = A.Requests;
+  S.TotalNs = A.TotalNs;
+  S.MeanNs = A.Requests ? double(A.TotalNs) / double(A.Requests) : 0;
+  S.Lat = A.Lat;
+  return S;
+}
+
+} // namespace
+
+std::vector<ShapeStat> hotShapes(size_t TopK) {
+  std::vector<ShapeStat> Out;
+  {
+    std::lock_guard<std::mutex> L(AggMu);
+    for (const auto &[Fp, FS] : shapeAggs())
+      for (const auto &[Key, A] : FS.Shapes)
+        Out.push_back(toStat(Fp, Key, A));
+  }
+  std::sort(Out.begin(), Out.end(), [](const ShapeStat &A, const ShapeStat &B) {
+    if (A.TotalNs != B.TotalNs)
+      return A.TotalNs > B.TotalNs;
+    if (A.Fingerprint != B.Fingerprint)
+      return A.Fingerprint < B.Fingerprint; // deterministic tie-break
+    return A.ShapeKey < B.ShapeKey;
+  });
+  if (TopK != 0 && Out.size() > TopK)
+    Out.resize(TopK);
+  return Out;
+}
+
+std::vector<ShapeStat> shapeTable() {
+  std::vector<ShapeStat> Out;
+  std::lock_guard<std::mutex> L(AggMu);
+  for (const auto &[Fp, FS] : shapeAggs()) {
+    for (const auto &[Key, A] : FS.Shapes)
+      Out.push_back(toStat(Fp, Key, A));
+    if (FS.Other.Requests > 0)
+      Out.push_back(toStat(Fp, "other", FS.Other));
+  }
+  return Out;
+}
+
+std::vector<TenantSlo> tenantSlo() {
+  std::vector<TenantSlo> Out;
+  std::lock_guard<std::mutex> L(AggMu);
+  Out.reserve(tenantAggs().size());
+  for (const auto &[Name, A] : tenantAggs()) {
+    TenantSlo T;
+    T.Tenant = Name;
+    T.Requests = A.Requests;
+    T.Met = A.Met;
+    T.Missed = A.Missed;
+    T.TotalNs = A.TotalNs;
+    T.Slack = A.Slack;
+    Out.push_back(std::move(T));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
 // Snapshot serialization
 //===----------------------------------------------------------------------===//
 
@@ -236,21 +427,46 @@ void appendKeyStr(std::string &J, const char *Key, const std::string &V,
     J += ',';
 }
 
+void appendKeyBool(std::string &J, const char *Key, bool V, bool Comma) {
+  J += '"';
+  J += Key;
+  J += "\":";
+  J += V ? "true" : "false";
+  if (Comma)
+    J += ',';
+}
+
 void appendFlightEvent(std::string &J, const FlightEvent &E) {
   J += '{';
   appendKeyU64(J, "seq", E.Seq, true);
   appendKeyNum(J, "ts_us", E.TsUs, true);
   appendKeyStr(J, "fingerprint", hexFp(E.Fingerprint), true);
+  appendKeyU64(J, "req_id", E.ReqId, true);
+  appendKeyStr(J, "tenant", E.Tenant, true);
   appendKeyStr(J, "tier", E.Tier, true);
   appendKeyStr(J, "outcome", nameOf(E.Out), true);
   appendKeyU64(J, "queue_ns", E.QueueNs, true);
   appendKeyU64(J, "run_ns", E.RunNs, true);
   appendKeyU64(J, "total_ns", E.TotalNs, true);
   appendKeyU64(J, "batch_size", E.BatchSize, true);
-  appendKeyU64(J, "batch_id", E.BatchId, !E.Error.empty());
+  appendKeyU64(J, "batch_id", E.BatchId, true);
+  appendKeyU64(J, "deadline_ns", E.DeadlineNs, true);
+  appendKeyBool(J, "deadline_missed", E.DeadlineMissed, !E.Error.empty());
   if (!E.Error.empty())
     appendKeyStr(J, "error", E.Error, false);
   J += '}';
+}
+
+/// The latency-distribution keys a ShapeAgg/TenantAgg row carries.
+void appendLocalHist(std::string &J, const metrics::HistogramSnapshot &H,
+                     bool Comma) {
+  appendKeyU64(J, "count", H.Count, true);
+  appendKeyU64(J, "min_ns", H.Min, true);
+  appendKeyU64(J, "max_ns", H.Max, true);
+  appendKeyNum(J, "mean_ns", H.mean(), true);
+  appendKeyNum(J, "p50_ns", H.quantile(0.50), true);
+  appendKeyNum(J, "p95_ns", H.quantile(0.95), true);
+  appendKeyNum(J, "p99_ns", H.quantile(0.99), Comma);
 }
 
 } // namespace
@@ -261,7 +477,7 @@ std::string writeSnapshotString() {
   std::string J;
   J.reserve(8192);
   J += '{';
-  appendKeyStr(J, "schema", "freetensor-telemetry/v1", true);
+  appendKeyStr(J, "schema", "freetensor-telemetry/v2", true);
   appendKeyU64(J, "seq", Seq, true);
   appendKeyNum(J, "wall_unix_ms", nowWallMs(), true);
 
@@ -336,6 +552,62 @@ std::string writeSnapshotString() {
   }
   J += "],";
 
+  // Workload characterization: the per-fingerprint shape table, each row
+  // with its own latency distribution. The "other" bucket aggregates the
+  // shapes past the table cap so counts always sum to requests served.
+  {
+    std::lock_guard<std::mutex> L(AggMu);
+    J += "\"shapes\":[";
+    First = true;
+    for (const auto &[Fp, FS] : shapeAggs()) {
+      if (!First)
+        J += ',';
+      First = false;
+      J += '{';
+      appendKeyStr(J, "fingerprint", hexFp(Fp), true);
+      appendKeyU64(J, "table_cap", shapeTableCap(), true);
+      J += "\"rows\":[";
+      bool FirstRow = true;
+      for (const auto &[Key, A] : FS.Shapes) {
+        if (!FirstRow)
+          J += ',';
+        FirstRow = false;
+        J += '{';
+        appendKeyStr(J, "shape", Key, true);
+        appendKeyU64(J, "requests", A.Requests, true);
+        appendKeyU64(J, "total_ns", A.TotalNs, true);
+        appendLocalHist(J, A.Lat, false);
+        J += '}';
+      }
+      J += "],\"other\":{";
+      appendKeyU64(J, "requests", FS.Other.Requests, true);
+      appendKeyU64(J, "total_ns", FS.Other.TotalNs, true);
+      appendKeyU64(J, "distinct_shapes", FS.OtherDistinct, false);
+      J += "}}";
+    }
+    J += "],";
+
+    // SLO monitoring: per-tenant deadline accounting. "slack" is the
+    // time-to-deadline headroom distribution of met requests.
+    J += "\"tenants\":[";
+    First = true;
+    for (const auto &[Name, A] : tenantAggs()) {
+      if (!First)
+        J += ',';
+      First = false;
+      J += '{';
+      appendKeyStr(J, "tenant", Name, true);
+      appendKeyU64(J, "requests", A.Requests, true);
+      appendKeyU64(J, "met", A.Met, true);
+      appendKeyU64(J, "missed", A.Missed, true);
+      appendKeyU64(J, "total_ns", A.TotalNs, true);
+      J += "\"slack\":{";
+      appendLocalHist(J, A.Slack, false);
+      J += "}}";
+    }
+    J += "],";
+  }
+
   // Flight recorder: cumulative summary + the newest buffered events
   // (peeked, not drained — snapshots must not consume the black box).
   FlightSummary FS = flightRecorder().summary();
@@ -376,13 +648,28 @@ std::string writeSnapshotString() {
 
 namespace {
 
-struct Exporter {
+/// One exporter lifetime (start → stop). Each startExporter() creates a
+/// fresh run with its own stop flag: the flag of a run that is being
+/// stopped can never be cleared by a concurrent restart, which is what
+/// made the previous single-struct design able to wedge — a restart racing
+/// a stop could reset StopReq before the old thread observed it, leaving
+/// the stopper joining a thread that would never exit. C is written once
+/// before the run is published and never mutated, so readers need no lock
+/// for it.
+struct ExporterRun {
   std::mutex Mu;
   std::condition_variable Cv;
   bool StopReq = false;
-  bool Running = false;
   std::thread Th;
   Config C;
+};
+
+/// Guards the current-run pointer only. stopExporter swaps the pointer out
+/// under this lock and joins outside it, so concurrent stops are safe:
+/// exactly one caller obtains the run, the rest see null.
+struct Exporter {
+  std::mutex Mu;
+  std::shared_ptr<ExporterRun> Cur;
 };
 
 Exporter &exporter() {
@@ -448,20 +735,19 @@ Status writeSnapshotTo(const Config &C) {
   return S;
 }
 
-void exporterLoop(Config C) {
-  Exporter &E = exporter();
+void exporterLoop(std::shared_ptr<ExporterRun> R) {
   for (;;) {
     {
-      std::unique_lock<std::mutex> L(E.Mu);
-      E.Cv.wait_for(L, std::chrono::milliseconds(C.IntervalMs),
-                    [&E] { return E.StopReq; });
-      if (E.StopReq) {
+      std::unique_lock<std::mutex> L(R->Mu);
+      R->Cv.wait_for(L, std::chrono::milliseconds(R->C.IntervalMs),
+                     [&R] { return R->StopReq; });
+      if (R->StopReq) {
         // Final snapshot: the exit dump of the flight recorder.
-        (void)writeSnapshotTo(C);
+        (void)writeSnapshotTo(R->C);
         return;
       }
     }
-    (void)writeSnapshotTo(C);
+    (void)writeSnapshotTo(R->C);
   }
 }
 
@@ -472,7 +758,7 @@ Status writeSnapshotNow() {
   {
     Exporter &E = exporter();
     std::lock_guard<std::mutex> L(E.Mu);
-    C = E.Running ? E.C : Config::fromEnv();
+    C = E.Cur ? E.Cur->C : Config::fromEnv();
   }
   if (C.Dir.empty())
     return Status::error("telemetry: no snapshot directory (FT_TELEMETRY_DIR)");
@@ -490,29 +776,48 @@ Status startExporter(const Config &C) {
     return Status::error("telemetry: cannot create " + C.Dir);
   stopExporter();
   setEnabled(true);
+  auto R = std::make_shared<ExporterRun>();
+  R->C = C; // Published before the thread starts and before Cur is set.
+  R->Th = std::thread(exporterLoop, R);
   Exporter &E = exporter();
-  std::lock_guard<std::mutex> L(E.Mu);
-  E.C = C;
-  E.StopReq = false;
-  E.Running = true;
-  E.Th = std::thread(exporterLoop, C);
+  std::shared_ptr<ExporterRun> Displaced;
+  {
+    std::lock_guard<std::mutex> L(E.Mu);
+    Displaced = std::move(E.Cur);
+    E.Cur = std::move(R);
+  }
+  // A concurrent startExporter may have installed its run between our
+  // stopExporter() above and the swap; stop the displaced run rather than
+  // leak its thread. (Sequential callers never hit this: Displaced is
+  // null after stopExporter.)
+  if (Displaced) {
+    {
+      std::lock_guard<std::mutex> L(Displaced->Mu);
+      Displaced->StopReq = true;
+    }
+    Displaced->Cv.notify_all();
+    if (Displaced->Th.joinable())
+      Displaced->Th.join();
+  }
   return Status::success();
 }
 
 void stopExporter() {
-  Exporter &E = exporter();
-  std::thread Th;
+  std::shared_ptr<ExporterRun> R;
   {
+    Exporter &E = exporter();
     std::lock_guard<std::mutex> L(E.Mu);
-    if (!E.Running)
-      return;
-    E.StopReq = true;
-    E.Running = false;
-    Th = std::move(E.Th);
+    R = std::move(E.Cur);
   }
-  E.Cv.notify_all();
-  if (Th.joinable())
-    Th.join();
+  if (!R)
+    return; // Already stopped (or never started) — idempotent.
+  {
+    std::lock_guard<std::mutex> L(R->Mu);
+    R->StopReq = true;
+  }
+  R->Cv.notify_all();
+  if (R->Th.joinable())
+    R->Th.join();
 }
 
 void autoStartFromEnv() {
@@ -534,6 +839,8 @@ void reset() {
   {
     std::lock_guard<std::mutex> L(AggMu);
     aggs().clear();
+    shapeAggs().clear();
+    tenantAggs().clear();
   }
   flightRecorder().reset();
   SnapSeq.store(0, std::memory_order_relaxed);

@@ -15,10 +15,11 @@
 ///     no clock read, no lock, no allocation.
 ///
 ///  2. Snapshot exporter. A background thread serializes everything —
-///     metrics counters, histogram snapshots, hot-kernel table, flight
+///     metrics counters, histogram snapshots, hot-kernel table, the
+///     per-fingerprint shape table, per-tenant SLO aggregates, flight
 ///     summary + recent events, and the kernel profiler's per-loop tables
 ///     when FT_PROFILE collected any — into one versioned JSON document
-///     ("schema": "freetensor-telemetry/v1", monotonic "seq") every
+///     ("schema": "freetensor-telemetry/v2", monotonic "seq") every
 ///     FT_TELEMETRY_INTERVAL_MS, published atomically (tmp + rename) into
 ///     FT_TELEMETRY_DIR as snap-<epoch_ms>-<seq>.json. Old snapshots are
 ///     pruned to FT_TELEMETRY_KEEP files; a final snapshot (the flight
@@ -43,6 +44,7 @@
 #include "serve/flight_recorder.h"
 #include "serve/serve.h"
 #include "support/error.h"
+#include "support/metrics.h"
 
 namespace ft::serve::telemetry {
 
@@ -80,6 +82,12 @@ struct Config {
 /// One completed request, as the executor saw it.
 struct RequestSample {
   uint64_t Fingerprint = 0;
+  uint64_t ReqId = 0;      ///< RequestContext::Id.
+  std::string Tenant;      ///< SLO bucket; empty = unattributed.
+  uint64_t DeadlineNs = 0; ///< submit→completion budget; 0 = none.
+  std::string ShapeKey; ///< Argument-shape signature (the executor builds
+                        ///< it only when telemetry is enabled); empty =
+                        ///< not recorded.
   Tier ServedBy = Tier::Interp;
   Outcome Out = Outcome::Ok; ///< Ok / InvalidArgs / RunError.
   uint64_t QueueNs = 0;      ///< submit -> execution start.
@@ -92,13 +100,18 @@ struct RequestSample {
 
 /// Records a completed request: queue-wait histogram, per-tier run-latency
 /// histogram (successful runs only — errors and bad bindings never pollute
-/// the latency distributions), flight event, hot-kernel aggregate.
+/// the latency distributions), flight event, hot-kernel aggregate,
+/// per-fingerprint shape table, and the tenant's SLO aggregate (deadline
+/// met/missed + time-to-deadline headroom) when the request carried a
+/// deadline.
 void onRequestComplete(const RequestSample &S);
 
 /// Records a request bounced at submit (Out must be RejectedFull or
 /// RejectedShutdown): flight event + outcome tally only — rejected
-/// requests never touch the latency histograms.
-void onReject(uint64_t Fingerprint, Outcome Out);
+/// requests never touch the latency histograms. \p ReqId / \p Tenant
+/// attribute the bounce when the submit got far enough to stamp them.
+void onReject(uint64_t Fingerprint, Outcome Out, uint64_t ReqId = 0,
+              const std::string &Tenant = {});
 
 /// Records one executed micro-batch into the "serve/batch_size" histogram
 /// and returns a process-unique batch id for the requests it carried
@@ -130,6 +143,61 @@ struct HotKernel {
 std::vector<HotKernel> hotKernels(size_t TopK = 0);
 
 //===----------------------------------------------------------------------===//
+// Workload characterization: per-fingerprint shape table
+//===----------------------------------------------------------------------===//
+
+/// One (fingerprint, argument-shape) row of the workload table. The shape
+/// key is the executor's signature of a request's argument bindings, e.g.
+/// "x:f32[8192] y:f32[8192]" — what ROADMAP items 1 (dynamic-shape
+/// bucketing) and 5 (fleet re-optimization) nominate candidates from.
+struct ShapeStat {
+  uint64_t Fingerprint = 0;
+  std::string ShapeKey;  ///< "other" for the overflow bucket.
+  uint64_t Requests = 0; ///< Completed requests at this shape.
+  uint64_t TotalNs = 0;  ///< Sum of submit→completion ns.
+  double MeanNs = 0;     ///< TotalNs / Requests.
+  /// Latency distribution (submit→completion) at this shape.
+  metrics::HistogramSnapshot Lat;
+};
+
+/// Distinct shapes tracked per fingerprint before new shapes collapse into
+/// the "other" bucket (FT_SHAPE_TABLE_CAP, default 32, floor 1). The
+/// setter overrides the environment (tests).
+size_t shapeTableCap();
+void setShapeTableCap(size_t Cap);
+
+/// The hottest (fingerprint, shape) rows ranked by TotalNs — requests ×
+/// mean ns — heaviest first, "other" overflow rows excluded (an overflow
+/// bucket aggregates many shapes; nominating it would be meaningless).
+/// \p TopK == 0 returns all. `ftc --advise` renders these as "specialize
+/// this fingerprint at this shape" suggestions.
+std::vector<ShapeStat> hotShapes(size_t TopK = 0);
+
+/// Every shape row, including "other" overflow buckets, grouped by
+/// fingerprint (snapshot serialization and tests).
+std::vector<ShapeStat> shapeTable();
+
+//===----------------------------------------------------------------------===//
+// SLO monitoring: per-tenant deadline tracking
+//===----------------------------------------------------------------------===//
+
+/// Deadline accounting for one tenant. Requests without a deadline count
+/// toward Requests but neither Met nor Missed; Slack holds the
+/// time-to-deadline headroom (DeadlineNs - TotalNs) of met requests, so
+/// its low quantiles say how close the tenant is to missing.
+struct TenantSlo {
+  std::string Tenant;
+  uint64_t Requests = 0; ///< Completed requests (any outcome).
+  uint64_t Met = 0;      ///< Deadline set and TotalNs <= DeadlineNs.
+  uint64_t Missed = 0;   ///< Deadline set and TotalNs > DeadlineNs.
+  uint64_t TotalNs = 0;  ///< Sum of submit→completion ns.
+  metrics::HistogramSnapshot Slack; ///< Headroom ns of met requests.
+};
+
+/// Per-tenant SLO aggregates, sorted by tenant name.
+std::vector<TenantSlo> tenantSlo();
+
+//===----------------------------------------------------------------------===//
 // Snapshot exporter
 //===----------------------------------------------------------------------===//
 
@@ -147,11 +215,20 @@ Status writeSnapshotNow();
 /// writes a snapshot every C.IntervalMs until stopExporter(). Restarting
 /// while running stops the previous exporter first. Error when C.Dir is
 /// empty or cannot be created.
+///
+/// Lifecycle contract: each start creates an independent exporter run with
+/// its own stop flag, so start → stop → start cycles any number of times;
+/// a restart can never un-stop (and thereby wedge) a previous run that is
+/// still joining.
 Status startExporter(const Config &C);
 
 /// Stops the exporter thread, writing one final snapshot (the exit dump:
-/// it carries whatever the flight recorder holds). Idempotent; does not
-/// flip enabled() back off. No-op when no exporter runs.
+/// it carries whatever the flight recorder holds). Idempotent and safe to
+/// call from any number of threads concurrently — exactly one caller
+/// joins the thread, the rest return immediately — and safe to interleave
+/// with startExporter (the atexit hook installed by autoStartFromEnv may
+/// race an explicit stop/restart). Does not flip enabled() back off.
+/// No-op when no exporter runs.
 void stopExporter();
 
 /// One-shot: when FT_TELEMETRY_DIR is set, starts the exporter with
@@ -162,9 +239,10 @@ void autoStartFromEnv();
 /// Snapshots successfully published since process start.
 uint64_t snapshotsWritten();
 
-/// Test isolation: clears the hot-kernel aggregates, the flight recorder,
-/// and the snapshot sequence counter. Histograms live in the metrics
-/// registry — use metrics::resetPrefix("serve/") for those.
+/// Test isolation: clears the hot-kernel aggregates, the shape table, the
+/// tenant SLO aggregates, the flight recorder, and the snapshot sequence
+/// counter. Histograms live in the metrics registry — use
+/// metrics::resetPrefix("serve/") for those.
 void reset();
 
 } // namespace ft::serve::telemetry

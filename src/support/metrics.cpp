@@ -143,6 +143,21 @@ void HistogramSnapshot::merge(const HistogramSnapshot &Other) {
     Buckets[I] += Other.Buckets[I];
 }
 
+void HistogramSnapshot::add(uint64_t V) {
+  ++Buckets[bucketOf(V)];
+  if (Count == 0) {
+    Min = V;
+    Max = V;
+  } else {
+    if (V < Min)
+      Min = V;
+    if (V > Max)
+      Max = V;
+  }
+  ++Count;
+  Sum += V;
+}
+
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot S;
   S.Name = Name;

@@ -131,6 +131,12 @@ struct HistogramSnapshot {
   /// widen). Names are not required to match — merging shards of one
   /// logical metric is the caller's contract.
   void merge(const HistogramSnapshot &Other);
+
+  /// Records one value directly into this snapshot. Not thread-safe —
+  /// for aggregation tables that already hold a lock (e.g. the telemetry
+  /// shape table), where a registry-backed atomic Histogram per row would
+  /// be waste.
+  void add(uint64_t V);
 };
 
 /// One named histogram. Obtain instances through histogram(); never

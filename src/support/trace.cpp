@@ -27,6 +27,7 @@ constexpr size_t MaxSpans = size_t(1) << 20;
 struct State {
   std::mutex M;
   std::vector<SpanEvent> Spans;
+  std::vector<FlowEvent> Flows;
   std::vector<ScheduleDecision> Audit;
   std::map<std::thread::id, int> Tids;
   uint64_t NextSeq = 0;
@@ -179,6 +180,27 @@ void Span::close() {
   S.Spans.push_back(std::move(E));
 }
 
+void emitFlow(const char *Name, uint64_t Id, char Phase) {
+  if (!enabled())
+    return;
+  FlowEvent E;
+  E.Name = Name;
+  E.Id = Id;
+  E.Phase = Phase;
+  E.TsUs = nowUs();
+  State &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  // Flows share the span cap: a point without its surrounding spans is
+  // useless, so both stop together.
+  if (S.Spans.size() + S.Flows.size() >= MaxSpans) {
+    metrics::counter("trace/dropped_spans").fetch_add(1);
+    return;
+  }
+  E.Tid = tidOfCurrentThread(S);
+  E.Seq = S.NextSeq++;
+  S.Flows.push_back(std::move(E));
+}
+
 void Span::annotate(const std::string &Key, double Value) {
   if (!Active)
     return;
@@ -273,6 +295,7 @@ Snapshot snapshot() {
   {
     std::lock_guard<std::mutex> Lock(S.M);
     Out.Spans = S.Spans;
+    Out.Flows = S.Flows;
     Out.Audit = S.Audit;
   }
   Out.Counters = metrics::snapshot();
@@ -299,6 +322,7 @@ void clear() {
   State &S = state();
   std::lock_guard<std::mutex> Lock(S.M);
   S.Spans.clear();
+  S.Flows.clear();
   S.Audit.clear();
   S.NextSeq = 0;
 }
@@ -321,6 +345,15 @@ Status writeChromeTrace(const std::string &Path) {
     Args.emplace_back("depth", std::to_string(E.Depth));
     writeArgsObject(F, Args);
     std::fprintf(F, "}");
+    First = false;
+  }
+  for (const FlowEvent &E : Snap.Flows) {
+    std::fprintf(F,
+                 "%s{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"%c\","
+                 "\"id\":%llu,\"ts\":%.3f,\"pid\":1,\"tid\":%d%s}",
+                 First ? "" : ",\n", jsonEscape(E.Name).c_str(), E.Phase,
+                 static_cast<unsigned long long>(E.Id), E.TsUs, E.Tid,
+                 E.Phase == 'f' ? ",\"bp\":\"e\"" : "");
     First = false;
   }
   for (const ScheduleDecision &D : Snap.Audit) {

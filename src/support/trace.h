@@ -131,6 +131,32 @@ private:
   std::vector<std::pair<std::string, std::string>> Args;
 };
 
+//===----------------------------------------------------------------------===//
+// Flow events (cross-thread correlation arrows)
+//===----------------------------------------------------------------------===//
+
+/// One flow event: a point on a named, id-keyed arrow the Chrome trace
+/// viewer draws between the slices the points land inside. The serving
+/// runtime emits one flow per request id — start ('s') inside the
+/// submit-side enqueue span, step ('t') inside the worker's serve/request
+/// span, finish ('f') inside the background serve/compile span — so
+/// Perfetto can follow a cold request from enqueue to the deduplicated
+/// compile it triggered.
+struct FlowEvent {
+  std::string Name; ///< Arrow name, e.g. "serve/req".
+  uint64_t Id = 0;  ///< Binds the points of one arrow (the request id).
+  char Phase = 's'; ///< 's' start, 't' step, 'f' finish.
+  double TsUs = 0;  ///< Microseconds since the trace epoch.
+  int Tid = 0;      ///< Same thread index space as SpanEvent::Tid.
+  uint64_t Seq = 0; ///< Global emission order.
+};
+
+/// Appends one flow point at the current time on the current thread
+/// (no-op when disabled). Chrome binds a flow point to the innermost
+/// enclosing slice on its thread, so call this while the span the arrow
+/// should attach to is open.
+void emitFlow(const char *Name, uint64_t Id, char Phase);
+
 #define FT_SPAN_CONCAT_IMPL(A, B) A##B
 #define FT_SPAN_CONCAT(A, B) FT_SPAN_CONCAT_IMPL(A, B)
 /// Opens an anonymous RAII span for the enclosing scope.
@@ -248,6 +274,7 @@ private:
 /// audit log, and a snapshot of every metrics counter.
 struct Snapshot {
   std::vector<SpanEvent> Spans;
+  std::vector<FlowEvent> Flows;
   std::vector<ScheduleDecision> Audit;
   std::vector<std::pair<std::string, uint64_t>> Counters;
 };
@@ -273,7 +300,9 @@ void clear();
 /// Writes the recorded spans + audit log as a Chrome trace-event JSON file
 /// (the `{"traceEvents": [...]}` schema; see DESIGN.md §9). Spans become
 /// complete ("ph":"X") events; audit entries become instant ("ph":"i")
-/// events in category "audit".
+/// events in category "audit"; flow points become "ph":"s"/"t"/"f" events
+/// in category "flow" (finish points carry "bp":"e" so they bind to their
+/// enclosing slice, not the next one).
 Status writeChromeTrace(const std::string &Path);
 
 /// Prints the hierarchical span summary and all metrics counters to \p Out

@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <future>
 #include <gtest/gtest.h>
+#include <set>
 #include <unistd.h>
 
 #include "codegen/jit.h"
@@ -548,4 +549,147 @@ TEST_F(ServeTest, RejectedRequestsNeverPolluteLatencyHistograms) {
   EXPECT_EQ(FS.RejectedFull, Rejected);
   EXPECT_EQ(FS.Ok, Accepted);
   EXPECT_EQ(FS.Recorded, Accepted + Rejected);
+}
+
+//===----------------------------------------------------------------------===//
+// Request context: identity, tenant, deadline (DESIGN.md §15)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeTest, ResponsesCarryDistinctRequestIds) {
+  Func F = makeAxpy(11.0);
+  Executor Ex;
+  std::vector<Slot> Slots(4);
+  std::set<uint64_t> Ids;
+  for (Slot &S : Slots) {
+    seed(S.X);
+    auto R = Ex.submit(F, S.args(F));
+    ASSERT_TRUE(R.ok()) << R.message();
+    S.Fut = std::move(*R);
+  }
+  for (Slot &S : Slots) {
+    Response Resp = S.Fut.get();
+    ASSERT_TRUE(Resp.S.ok()) << Resp.S.message();
+    EXPECT_NE(Resp.ReqId, 0u) << "0 is the no-request sentinel";
+    Ids.insert(Resp.ReqId);
+  }
+  EXPECT_EQ(Ids.size(), Slots.size()) << "request ids must be unique";
+  Ex.shutdown();
+}
+
+TEST_F(ServeTest, DeadlineVerdictStampsResponseAndTelemetry) {
+  telemetry::setEnabled(true);
+  Func F = makeAxpy(12.0);
+  Executor Ex;
+
+  // A 1 ns budget no request can meet, then a 30 s budget none can miss.
+  Slot Tight;
+  seed(Tight.X);
+  SubmitOptions TightOpts;
+  TightOpts.Tenant = "acme";
+  TightOpts.DeadlineNs = 1;
+  auto R0 = Ex.submit(F, Tight.args(F), TightOpts);
+  ASSERT_TRUE(R0.ok()) << R0.message();
+  Response Missed = R0->get();
+  ASSERT_TRUE(Missed.S.ok()) << Missed.S.message();
+  EXPECT_TRUE(Missed.DeadlineMissed)
+      << "a 1 ns deadline is an SLO miss, not an execution error";
+
+  Slot Loose;
+  seed(Loose.X);
+  SubmitOptions LooseOpts;
+  LooseOpts.Tenant = "acme";
+  LooseOpts.DeadlineNs = 30'000'000'000ull;
+  auto R1 = Ex.submit(F, Loose.args(F), LooseOpts);
+  ASSERT_TRUE(R1.ok()) << R1.message();
+  Response Met = R1->get();
+  ASSERT_TRUE(Met.S.ok()) << Met.S.message();
+  EXPECT_FALSE(Met.DeadlineMissed);
+  Ex.drain();
+
+  std::vector<telemetry::TenantSlo> Slo = telemetry::tenantSlo();
+  ASSERT_EQ(Slo.size(), 1u);
+  EXPECT_EQ(Slo[0].Tenant, "acme");
+  EXPECT_EQ(Slo[0].Met, 1u);
+  EXPECT_EQ(Slo[0].Missed, 1u);
+
+  // The flight recorder flags the missed request with its identity and
+  // the queue-vs-run breakdown.
+  bool FoundMissed = false;
+  for (const FlightEvent &E : flightRecorder().peek()) {
+    if (!E.DeadlineMissed)
+      continue;
+    FoundMissed = true;
+    EXPECT_EQ(E.ReqId, Missed.ReqId);
+    EXPECT_EQ(E.Tenant, "acme");
+    EXPECT_EQ(E.DeadlineNs, 1u);
+    EXPECT_EQ(E.TotalNs, E.QueueNs + E.RunNs);
+  }
+  EXPECT_TRUE(FoundMissed);
+  Ex.shutdown();
+}
+
+TEST_F(ServeTest, RequestsWithoutOptionsGetConfigDefaults) {
+  telemetry::setEnabled(true);
+  Func F = makeAxpy(13.0);
+  Config C;
+  C.DefaultTenant = "fleet-a";
+  C.DefaultDeadlineNs = 30'000'000'000ull;
+  Executor Ex(C);
+  Slot S;
+  seed(S.X);
+  auto R = Ex.submit(F, S.args(F));
+  ASSERT_TRUE(R.ok()) << R.message();
+  Response Resp = R->get();
+  ASSERT_TRUE(Resp.S.ok()) << Resp.S.message();
+  EXPECT_FALSE(Resp.DeadlineMissed);
+  Ex.drain();
+
+  std::vector<telemetry::TenantSlo> Slo = telemetry::tenantSlo();
+  ASSERT_EQ(Slo.size(), 1u);
+  EXPECT_EQ(Slo[0].Tenant, "fleet-a");
+  EXPECT_EQ(Slo[0].Met, 1u);
+
+  // The executor records the argument-shape signature for the request.
+  std::vector<telemetry::ShapeStat> Shapes = telemetry::hotShapes();
+  ASSERT_EQ(Shapes.size(), 1u);
+  EXPECT_EQ(Shapes[0].ShapeKey, "x:f32[256] y:f32[256]");
+  EXPECT_EQ(Shapes[0].Requests, 1u);
+  Ex.shutdown();
+}
+
+TEST_F(ServeTest, RejectedRequestsCarryTheirRequestIdentity) {
+  telemetry::setEnabled(true);
+  Func Slow = makeSlow();
+  Config C;
+  C.Threads = 1;
+  C.QueueCap = 1;
+  C.BlockOnFull = false;
+  C.MaxBatch = 1;
+  Executor Ex(C);
+
+  std::vector<Slot> Slots(12);
+  size_t Rejected = 0;
+  for (Slot &S : Slots) {
+    seed(S.X);
+    auto R = Ex.submit(Slow, S.args(Slow), SubmitOptions{"acme", 0});
+    if (R.ok())
+      S.Fut = std::move(*R);
+    else
+      ++Rejected;
+  }
+  for (Slot &S : Slots)
+    if (S.Fut.valid())
+      (void)S.Fut.get();
+  Ex.shutdown();
+  ASSERT_GT(Rejected, 0u) << "overload did not saturate the queue";
+
+  size_t FlaggedRejects = 0;
+  for (const FlightEvent &E : flightRecorder().peek()) {
+    if (E.Out != Outcome::RejectedFull)
+      continue;
+    ++FlaggedRejects;
+    EXPECT_NE(E.ReqId, 0u) << "bounced request lost its identity";
+    EXPECT_EQ(E.Tenant, "acme");
+  }
+  EXPECT_EQ(FlaggedRejects, Rejected);
 }

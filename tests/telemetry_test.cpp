@@ -15,7 +15,14 @@
 //   - hot-kernel ranking: heaviest total-ns first;
 //   - hooks are inert when telemetry is off;
 //   - the snapshot exporter: schema-versioned parsable files, monotone
-//     sequence numbers, retention bound;
+//     sequence numbers, retention bound; stopExporter is idempotent,
+//     safe under concurrent stops, and start/stop cycles restart cleanly;
+//   - the per-fingerprint shape table: ranking, cap + "other" overflow
+//     bucket with a distinct-shape count;
+//   - per-tenant SLO accounting: met/missed verdicts, slack histogram,
+//     deadline counters;
+//   - the v2 snapshot sections ("shapes", "tenants") round-trip through
+//     the JSON parser with counts that sum to the requests served;
 //   - telemetry never perturbs compilation (generateCpp is byte-identical
 //     with telemetry on and off).
 //
@@ -52,6 +59,7 @@ protected:
     telemetry::stopExporter();
     telemetry::setEnabled(false);
     telemetry::reset();
+    telemetry::setShapeTableCap(32); // the FT_SHAPE_TABLE_CAP default
     metrics::resetPrefix("serve/");
     metrics::resetPrefix("test/");
   }
@@ -163,6 +171,96 @@ TEST_F(TelemetryTest, HistogramMergeAccumulates) {
   for (int I = 0; I < metrics::HistogramSnapshot::kBuckets; ++I)
     BucketSum += SA.Buckets[I];
   EXPECT_EQ(BucketSum, 4u);
+}
+
+TEST_F(TelemetryTest, HistogramMergeAfterResetPrefixStartsClean) {
+  metrics::Histogram &A = metrics::histogram("test/merge_reset_a");
+  metrics::Histogram &B = metrics::histogram("test/merge_reset_b");
+  A.record(100);
+  B.record(200);
+  metrics::resetPrefix("test/");
+
+  // Merging two post-reset (empty) snapshots must stay empty — no stale
+  // counts, and no min/max sentinel leaking through the merge.
+  metrics::HistogramSnapshot SA = A.snapshot();
+  SA.merge(B.snapshot());
+  EXPECT_EQ(SA.Count, 0u);
+  EXPECT_EQ(SA.Sum, 0u);
+  EXPECT_EQ(SA.Min, 0u);
+  EXPECT_EQ(SA.Max, 0u);
+
+  // Empty-into-nonempty keeps the nonempty side exact; nonempty-into-
+  // empty adopts the other side's min/max instead of widening from the
+  // empty side's zeros.
+  A.record(7);
+  SA = A.snapshot();
+  SA.merge(B.snapshot());
+  EXPECT_EQ(SA.Count, 1u);
+  EXPECT_EQ(SA.Min, 7u);
+  EXPECT_EQ(SA.Max, 7u);
+  EXPECT_DOUBLE_EQ(SA.quantile(0.5), 7.0);
+  metrics::HistogramSnapshot SB = B.snapshot();
+  SB.merge(A.snapshot());
+  EXPECT_EQ(SB.Count, 1u);
+  EXPECT_EQ(SB.Min, 7u);
+  EXPECT_EQ(SB.Max, 7u);
+}
+
+TEST_F(TelemetryTest, HistogramMergeAtExtremesMatchesRecordAll) {
+  // Differential: shard A holds tiny values (incl. the zero bucket),
+  // shard B huge ones (incl. the open-ended top bucket). Merging the two
+  // snapshots must be indistinguishable from recording every value into
+  // one histogram — counts, sum, min/max, every bucket, and therefore
+  // every quantile estimate.
+  std::vector<uint64_t> Small = {0, 1, 2, 3, 500};
+  std::vector<uint64_t> Huge = {uint64_t(1) << 40, uint64_t(1) << 62,
+                                UINT64_MAX, UINT64_MAX};
+  metrics::Histogram &A = metrics::histogram("test/merge_ext_a");
+  metrics::Histogram &B = metrics::histogram("test/merge_ext_b");
+  metrics::Histogram &Ref = metrics::histogram("test/merge_ext_ref");
+  for (uint64_t V : Small) {
+    A.record(V);
+    Ref.record(V);
+  }
+  for (uint64_t V : Huge) {
+    B.record(V);
+    Ref.record(V);
+  }
+  metrics::HistogramSnapshot M = A.snapshot();
+  M.merge(B.snapshot());
+  metrics::HistogramSnapshot R = Ref.snapshot();
+  EXPECT_EQ(M.Count, R.Count);
+  EXPECT_EQ(M.Sum, R.Sum); // u64 wrap-around is deterministic either way
+  EXPECT_EQ(M.Min, R.Min);
+  EXPECT_EQ(M.Max, R.Max);
+  for (int I = 0; I < metrics::HistogramSnapshot::kBuckets; ++I)
+    EXPECT_EQ(M.Buckets[I], R.Buckets[I]) << "bucket " << I;
+  for (double Q : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0})
+    EXPECT_DOUBLE_EQ(M.quantile(Q), R.quantile(Q)) << "q=" << Q;
+  // Merge order must not matter either.
+  metrics::HistogramSnapshot M2 = B.snapshot();
+  M2.merge(A.snapshot());
+  for (double Q : {0.25, 0.5, 0.95})
+    EXPECT_DOUBLE_EQ(M2.quantile(Q), M.quantile(Q));
+}
+
+TEST_F(TelemetryTest, HistogramSnapshotAddMatchesRecord) {
+  // HistogramSnapshot::add (the lock-held local recorder the shape/SLO
+  // tables use) must agree exactly with Histogram::record + snapshot.
+  metrics::Histogram &H = metrics::histogram("test/snapshot_add_ref");
+  metrics::HistogramSnapshot Local;
+  for (uint64_t V : {uint64_t(0), uint64_t(5), uint64_t(5), uint64_t(1000),
+                     uint64_t(1) << 50}) {
+    H.record(V);
+    Local.add(V);
+  }
+  metrics::HistogramSnapshot R = H.snapshot();
+  EXPECT_EQ(Local.Count, R.Count);
+  EXPECT_EQ(Local.Sum, R.Sum);
+  EXPECT_EQ(Local.Min, R.Min);
+  EXPECT_EQ(Local.Max, R.Max);
+  for (int I = 0; I < metrics::HistogramSnapshot::kBuckets; ++I)
+    EXPECT_EQ(Local.Buckets[I], R.Buckets[I]) << "bucket " << I;
 }
 
 //===----------------------------------------------------------------------===//
@@ -385,6 +483,142 @@ TEST_F(TelemetryTest, HotKernelsRankByTotalServedTime) {
 }
 
 //===----------------------------------------------------------------------===//
+// Shape table (workload characterization)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Feeds one completed request with a shape key into the hooks.
+void feedShape(uint64_t Fp, const std::string &Shape, uint64_t TotalNs,
+               const std::string &Tenant = "default",
+               uint64_t DeadlineNs = 0) {
+  serve::telemetry::RequestSample RS;
+  RS.Fingerprint = Fp;
+  RS.ReqId = serve::nextRequestId();
+  RS.Tenant = Tenant;
+  RS.DeadlineNs = DeadlineNs;
+  RS.ShapeKey = Shape;
+  RS.TotalNs = TotalNs;
+  RS.RunNs = TotalNs;
+  serve::telemetry::onRequestComplete(RS);
+}
+
+} // namespace
+
+TEST_F(TelemetryTest, HotShapesRankByTotalServedTime) {
+  telemetry::setEnabled(true);
+  feedShape(0x9, "x:f32[64]", 1000);
+  feedShape(0x9, "x:f32[64]", 1000);
+  feedShape(0x9, "x:f32[8192]", 50'000); // hottest: 1 req x 50k ns
+  feedShape(0x7, "x:f32[16]", 10'000);
+
+  std::vector<telemetry::ShapeStat> Hot = telemetry::hotShapes();
+  ASSERT_EQ(Hot.size(), 3u);
+  EXPECT_EQ(Hot[0].ShapeKey, "x:f32[8192]");
+  EXPECT_EQ(Hot[0].Fingerprint, 0x9u);
+  EXPECT_EQ(Hot[0].Requests, 1u);
+  EXPECT_EQ(Hot[0].TotalNs, 50'000u);
+  EXPECT_EQ(Hot[1].Fingerprint, 0x7u);
+  EXPECT_EQ(Hot[2].ShapeKey, "x:f32[64]");
+  EXPECT_EQ(Hot[2].Requests, 2u);
+  EXPECT_DOUBLE_EQ(Hot[2].MeanNs, 1000.0);
+  EXPECT_EQ(Hot[2].Lat.Count, 2u);
+  EXPECT_DOUBLE_EQ(Hot[2].Lat.quantile(0.5), 1000.0);
+  EXPECT_EQ(telemetry::hotShapes(1).size(), 1u);
+
+  // Requests without a shape key (telemetry enabled mid-flight, say)
+  // count for the kernel aggregate but add no shape row.
+  telemetry::RequestSample NoShape;
+  NoShape.Fingerprint = 0x9;
+  NoShape.TotalNs = 99;
+  telemetry::onRequestComplete(NoShape);
+  EXPECT_EQ(telemetry::hotShapes().size(), 3u);
+}
+
+TEST_F(TelemetryTest, ShapeTableCapFoldsOverflowIntoOtherBucket) {
+  telemetry::setEnabled(true);
+  telemetry::setShapeTableCap(2);
+  EXPECT_EQ(telemetry::shapeTableCap(), 2u);
+  feedShape(0x5, "a", 100);
+  feedShape(0x5, "b", 200);
+  feedShape(0x5, "c", 300); // past the cap -> other
+  feedShape(0x5, "d", 400); // other, second distinct shape
+  feedShape(0x5, "c", 300); // other again, already counted as distinct
+  feedShape(0x5, "a", 100); // existing row still updates past the cap
+
+  std::vector<telemetry::ShapeStat> All = telemetry::shapeTable();
+  ASSERT_EQ(All.size(), 3u); // a, b, other
+  const telemetry::ShapeStat *Other = nullptr;
+  uint64_t TrackedReqs = 0;
+  for (const telemetry::ShapeStat &S : All) {
+    if (S.ShapeKey == "other")
+      Other = &S;
+    else
+      TrackedReqs += S.Requests;
+  }
+  ASSERT_NE(Other, nullptr);
+  EXPECT_EQ(Other->Requests, 3u); // c, d, c
+  EXPECT_EQ(Other->TotalNs, 1000u);
+  EXPECT_EQ(TrackedReqs, 3u); // a x2 + b
+  // hotShapes never nominates the overflow bucket.
+  for (const telemetry::ShapeStat &S : telemetry::hotShapes())
+    EXPECT_NE(S.ShapeKey, "other");
+}
+
+//===----------------------------------------------------------------------===//
+// Per-tenant SLO accounting
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, TenantSloTalliesMetMissedAndSlack) {
+  telemetry::setEnabled(true);
+  // acme: two met (slack 900, 500 ns), one missed (overrun 1000 ns).
+  feedShape(0x1, "s", /*TotalNs=*/100, "acme", /*DeadlineNs=*/1000);
+  feedShape(0x1, "s", 500, "acme", 1000);
+  feedShape(0x1, "s", 2000, "acme", 1000);
+  // beta: no deadline — counts requests, no verdict.
+  feedShape(0x1, "s", 100, "beta", 0);
+
+  std::vector<telemetry::TenantSlo> Slo = telemetry::tenantSlo();
+  ASSERT_EQ(Slo.size(), 2u); // sorted by tenant name
+  EXPECT_EQ(Slo[0].Tenant, "acme");
+  EXPECT_EQ(Slo[0].Requests, 3u);
+  EXPECT_EQ(Slo[0].Met, 2u);
+  EXPECT_EQ(Slo[0].Missed, 1u);
+  EXPECT_EQ(Slo[0].Slack.Count, 2u);
+  EXPECT_EQ(Slo[0].Slack.Min, 500u);
+  EXPECT_EQ(Slo[0].Slack.Max, 900u);
+  EXPECT_EQ(Slo[1].Tenant, "beta");
+  EXPECT_EQ(Slo[1].Requests, 1u);
+  EXPECT_EQ(Slo[1].Met, 0u);
+  EXPECT_EQ(Slo[1].Missed, 0u);
+
+  // Process-wide counters and the met/missed histograms agree.
+  EXPECT_EQ(metrics::counter("serve/deadline_met").load(), 2u);
+  EXPECT_EQ(metrics::counter("serve/deadline_missed").load(), 1u);
+  EXPECT_EQ(metrics::histogram("serve/slo_slack_ns").count(), 2u);
+  EXPECT_EQ(metrics::histogram("serve/slo_overrun_ns").count(), 1u);
+  metrics::HistogramSnapshot Overrun =
+      metrics::histogram("serve/slo_overrun_ns").snapshot();
+  EXPECT_EQ(Overrun.Min, 1000u); // 2000 - 1000
+}
+
+TEST_F(TelemetryTest, DeadlineExceededRequestsAreFlaggedInFlightRecorder) {
+  telemetry::setEnabled(true);
+  feedShape(0x1, "s", 100, "acme", 1000);  // met
+  feedShape(0x1, "s", 5000, "acme", 1000); // missed
+  std::vector<FlightEvent> Evs = flightRecorder().drain();
+  ASSERT_EQ(Evs.size(), 2u);
+  EXPECT_FALSE(Evs[0].DeadlineMissed);
+  EXPECT_TRUE(Evs[1].DeadlineMissed);
+  EXPECT_EQ(Evs[1].DeadlineNs, 1000u);
+  EXPECT_EQ(Evs[1].Tenant, "acme");
+  EXPECT_NE(Evs[1].ReqId, 0u);
+  // Queue-vs-run breakdown survives into the event.
+  EXPECT_EQ(Evs[1].TotalNs, 5000u);
+  EXPECT_EQ(Evs[1].RunNs, 5000u);
+}
+
+//===----------------------------------------------------------------------===//
 // Snapshot exporter
 //===----------------------------------------------------------------------===//
 
@@ -423,7 +657,7 @@ TEST_F(TelemetryTest, ExporterWritesValidMonotoneSnapshotsWithRetention) {
     ASSERT_EQ(N.rfind("snap-", 0), 0u) << N;
     auto R = json::parseFile((fs::path(Dir) / N).string());
     ASSERT_TRUE(R.ok()) << R.message();
-    EXPECT_EQ(R->str("schema"), "freetensor-telemetry/v1");
+    EXPECT_EQ(R->str("schema"), "freetensor-telemetry/v2");
     double Seq = R->num("seq");
     EXPECT_GT(Seq, PrevSeq) << "sequence numbers must be strictly monotone";
     PrevSeq = Seq;
@@ -437,6 +671,110 @@ TEST_F(TelemetryTest, ExporterWritesValidMonotoneSnapshotsWithRetention) {
   EXPECT_GE(telemetry::snapshotsWritten(), Names.size());
 
   std::system(("rm -rf '" + Dir + "'").c_str());
+}
+
+TEST_F(TelemetryTest, ExporterStopIsIdempotentConcurrentAndRestartable) {
+  char Tmpl[] = "/tmp/fttelemstop.XXXXXX";
+  ASSERT_NE(::mkdtemp(Tmpl), nullptr);
+  std::string Dir = Tmpl;
+  telemetry::Config C;
+  C.Dir = Dir;
+  C.IntervalMs = 10;
+  C.Keep = 4;
+
+  // Stop with nothing running is a no-op, any number of times.
+  telemetry::stopExporter();
+  telemetry::stopExporter();
+
+  // The regression this guards: a start -> stop -> start cycle must
+  // never let the new run's state clear a stopping run's flag (the old
+  // single-struct exporter wedged the stopper's join exactly this way),
+  // and concurrent stops must all return with exactly one joining.
+  for (int Cycle = 0; Cycle < 5; ++Cycle) {
+    ASSERT_TRUE(telemetry::startExporter(C).ok()) << "cycle " << Cycle;
+    // Restart while running: stops the displaced run internally.
+    ASSERT_TRUE(telemetry::startExporter(C).ok()) << "cycle " << Cycle;
+    std::vector<std::thread> Stoppers;
+    for (int I = 0; I < 8; ++I)
+      Stoppers.emplace_back([] { telemetry::stopExporter(); });
+    for (std::thread &T : Stoppers)
+      T.join();
+    telemetry::stopExporter(); // double stop after the race
+  }
+
+  // After all that churn a fresh exporter still exports.
+  uint64_t Before = telemetry::snapshotsWritten();
+  ASSERT_TRUE(telemetry::startExporter(C).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  telemetry::stopExporter();
+  EXPECT_GT(telemetry::snapshotsWritten(), Before);
+
+  std::system(("rm -rf '" + Dir + "'").c_str());
+}
+
+TEST_F(TelemetryTest, SnapshotCarriesShapeAndTenantSections) {
+  telemetry::setEnabled(true);
+  telemetry::setShapeTableCap(1);
+  feedShape(0xabc, "x:f32[64]", 1000, "acme", 10'000); // met
+  feedShape(0xabc, "x:f32[64]", 3000, "acme", 10'000); // met
+  feedShape(0xabc, "x:f32[128]", 20'000, "acme", 10'000); // other, missed
+
+  auto R = json::parse(telemetry::writeSnapshotString());
+  ASSERT_TRUE(R.ok()) << R.message();
+  EXPECT_EQ(R->str("schema"), "freetensor-telemetry/v2");
+
+  const json::Value *Shapes = R->get("shapes");
+  ASSERT_NE(Shapes, nullptr);
+  ASSERT_EQ(Shapes->items().size(), 1u);
+  const json::Value &Fp = Shapes->items()[0];
+  EXPECT_EQ(Fp.str("fingerprint"), "0x0000000000000abc");
+  EXPECT_DOUBLE_EQ(Fp.num("table_cap"), 1.0);
+  const json::Value *Rows = Fp.get("rows");
+  ASSERT_NE(Rows, nullptr);
+  ASSERT_EQ(Rows->items().size(), 1u);
+  const json::Value &Row = Rows->items()[0];
+  EXPECT_EQ(Row.str("shape"), "x:f32[64]");
+  EXPECT_DOUBLE_EQ(Row.num("requests"), 2.0);
+  EXPECT_DOUBLE_EQ(Row.num("total_ns"), 4000.0);
+  EXPECT_DOUBLE_EQ(Row.num("mean_ns"), 2000.0);
+  EXPECT_DOUBLE_EQ(Row.num("min_ns"), 1000.0);
+  EXPECT_DOUBLE_EQ(Row.num("max_ns"), 3000.0);
+  const json::Value *Other = Fp.get("other");
+  ASSERT_NE(Other, nullptr);
+  EXPECT_DOUBLE_EQ(Other->num("requests"), 1.0);
+  EXPECT_DOUBLE_EQ(Other->num("distinct_shapes"), 1.0);
+  // Row + other requests sum to the fingerprint's served requests.
+  std::vector<telemetry::HotKernel> Hot = telemetry::hotKernels();
+  ASSERT_EQ(Hot.size(), 1u);
+  EXPECT_EQ(Row.num("requests") + Other->num("requests"),
+            double(Hot[0].Requests));
+
+  const json::Value *Tenants = R->get("tenants");
+  ASSERT_NE(Tenants, nullptr);
+  ASSERT_EQ(Tenants->items().size(), 1u);
+  const json::Value &T = Tenants->items()[0];
+  EXPECT_EQ(T.str("tenant"), "acme");
+  EXPECT_DOUBLE_EQ(T.num("requests"), 3.0);
+  EXPECT_DOUBLE_EQ(T.num("met"), 2.0);
+  EXPECT_DOUBLE_EQ(T.num("missed"), 1.0);
+  const json::Value *Slack = T.get("slack");
+  ASSERT_NE(Slack, nullptr);
+  EXPECT_DOUBLE_EQ(Slack->num("count"), 2.0);
+  EXPECT_DOUBLE_EQ(Slack->num("min_ns"), 7000.0);
+  EXPECT_DOUBLE_EQ(Slack->num("max_ns"), 9000.0);
+
+  // Flight events carry the request identity + deadline verdict.
+  const json::Value *Flight = R->get("flight");
+  ASSERT_NE(Flight, nullptr);
+  const json::Value *Recent = Flight->get("recent");
+  ASSERT_NE(Recent, nullptr);
+  ASSERT_EQ(Recent->items().size(), 3u);
+  const json::Value &Missed = Recent->items()[2];
+  EXPECT_GT(Missed.num("req_id"), 0.0);
+  EXPECT_EQ(Missed.str("tenant"), "acme");
+  EXPECT_DOUBLE_EQ(Missed.num("deadline_ns"), 10'000.0);
+  EXPECT_TRUE(Missed.get("deadline_missed") != nullptr &&
+              Missed.get("deadline_missed")->asBool());
 }
 
 TEST_F(TelemetryTest, SnapshotStringParsesAndCarriesHistograms) {

@@ -124,6 +124,71 @@ TEST(TraceTest, JsonEscaping) {
   trace::clear();
 }
 
+TEST(TraceTest, FlowEventsLinkSpansAcrossThreads) {
+  trace::EnabledGuard G;
+  trace::clear();
+  {
+    trace::Span Producer("test/enqueue");
+    trace::emitFlow("test/req", 7, 's');
+  }
+  {
+    trace::Span Step("test/request");
+    trace::emitFlow("test/req", 7, 't');
+  }
+  {
+    trace::Span Consumer("test/compile");
+    trace::emitFlow("test/req", 7, 'f');
+  }
+  auto Snap = trace::snapshot();
+  ASSERT_EQ(Snap.Flows.size(), 3u);
+  EXPECT_EQ(Snap.Flows[0].Phase, 's');
+  EXPECT_EQ(Snap.Flows[1].Phase, 't');
+  EXPECT_EQ(Snap.Flows[2].Phase, 'f');
+  for (const trace::FlowEvent &E : Snap.Flows) {
+    EXPECT_EQ(E.Name, "test/req");
+    EXPECT_EQ(E.Id, 7u);
+  }
+  // Timestamps are monotone in emission order so each point binds to the
+  // span that was open when it was emitted.
+  EXPECT_LE(Snap.Flows[0].TsUs, Snap.Flows[1].TsUs);
+  EXPECT_LE(Snap.Flows[1].TsUs, Snap.Flows[2].TsUs);
+
+  const char *Path = "/tmp/ft_trace_flow_test.json";
+  ASSERT_TRUE(trace::writeChromeTrace(Path).ok());
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Json = Buf.str();
+  EXPECT_NE(Json.find("\"cat\":\"flow\",\"ph\":\"s\",\"id\":7"),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"cat\":\"flow\",\"ph\":\"t\",\"id\":7"),
+            std::string::npos);
+  // The finish carries bp:"e" so it binds to its enclosing slice.
+  EXPECT_NE(Json.find("\"cat\":\"flow\",\"ph\":\"f\",\"id\":7"),
+            std::string::npos);
+  size_t FPos = Json.find("\"ph\":\"f\",\"id\":7");
+  ASSERT_NE(FPos, std::string::npos);
+  EXPECT_NE(Json.find("\"bp\":\"e\"", FPos), std::string::npos);
+  std::remove(Path);
+  trace::clear();
+}
+
+TEST(TraceTest, FlowEventsRespectDisabledModeAndClear) {
+  {
+    trace::EnabledGuard G(/*On=*/false, /*Audit=*/false);
+    trace::emitFlow("test/req", 9, 's');
+    EXPECT_EQ(trace::snapshot().Flows.size(), 0u);
+  }
+  {
+    trace::EnabledGuard G;
+    trace::clear();
+    trace::emitFlow("test/req", 9, 's');
+    EXPECT_EQ(trace::snapshot().Flows.size(), 1u);
+    trace::clear();
+    EXPECT_EQ(trace::snapshot().Flows.size(), 0u);
+  }
+}
+
 TEST(TraceTest, DisabledModeEmitsNothing) {
   trace::EnabledGuard G(/*On=*/false, /*Audit=*/false);
   trace::clear();

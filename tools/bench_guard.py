@@ -11,6 +11,12 @@ of a percent) from amplifying scheduler noise into failures.
 Fresh files that were not produced in this run are skipped with a note,
 so the guard composes with partial bench sweeps.
 
+Key coverage is checked both ways: a guarded key present in the committed
+baseline but absent from the fresh run is a hard failure (the bench
+stopped emitting a guarded metric — silently skipping it would let a
+regression hide behind a rename), and fresh numeric keys no Check covers
+are listed as unguarded so new metrics get guards when they land.
+
 Usage:
   tools/bench_guard.py --baseline-dir . --fresh-dir build/bench-build \
       [--tolerance 0.25]
@@ -42,15 +48,21 @@ class Check:
         self.abs_slack = abs_slack
 
     def extract(self, doc):
+        # "[*].leaf:min" spans a "." so it must be peeled before the
+        # dot-split (splitting first loses the array segment, which made
+        # every array check silently unextractable).
+        path = self.path
+        if path.endswith(":min") and "[*]." in path:
+            arr_path, leaf = path[: -len(":min")].split("[*].", 1)
+            cur = doc
+            for seg in arr_path.split("."):
+                cur = cur[seg]
+            vals = [row[leaf] for row in cur]
+            if not vals:
+                raise KeyError(f"{self.path}: empty array")
+            return min(vals)
         cur = doc
-        for seg in self.path.split("."):
-            if seg.endswith(":min") and "[*]" in seg:
-                arr_key, rest = seg.split("[*].", 1)
-                leaf = rest[: -len(":min")]
-                vals = [row[leaf] for row in cur[arr_key]]
-                if not vals:
-                    raise KeyError(f"{self.path}: empty array")
-                return min(vals)
+        for seg in path.split("."):
             cur = cur[seg]
         return float(cur)
 
@@ -75,16 +87,20 @@ class Check:
 # unit and the jitter observed on the reference VM (single-socket, no
 # cpu pinning): ~100 us on short serve latencies, ~1 ns on the disabled
 # hook path, 1.5 percentage points on the telemetry overhead fraction.
+# The jit p99 is the 4th-worst of 400 requests with a 200 us batching
+# window in the path — repeated quiet-machine runs span ~400-900 us, so
+# its slack is sized to that spread rather than the ~100 us p50 jitter.
 CHECKS = {
     "BENCH_serve.json": [
         Check("warm.jit_fraction", "higher"),
         Check("tiers.jit.p50_us", "lower", abs_slack=100.0),
-        Check("tiers.jit.p99_us", "lower", abs_slack=200.0),
+        Check("tiers.jit.p99_us", "lower", abs_slack=500.0),
         Check("queue_wait.p50_us", "lower", abs_slack=100.0),
         Check("cold.first_request_sec", "lower", abs_slack=0.05),
     ],
     "BENCH_telemetry_overhead.json": [
         Check("disabled_record_ns", "lower", abs_slack=1.0),
+        Check("disabled_context_ns", "lower", abs_slack=1.0),
         Check("overhead_frac", "lower", abs_slack=0.015),
         Check("on_rps", "higher"),
     ],
@@ -96,6 +112,22 @@ CHECKS = {
         Check("workloads[*].speedup:min", "higher", abs_slack=0.05),
     ],
 }
+
+
+def numeric_leaf_paths(doc, prefix=""):
+    """Dot-paths of every numeric leaf in a parsed JSON doc; array rows
+    collapse into one "[*]" segment (matching Check path syntax)."""
+    paths = set()
+    if isinstance(doc, dict):
+        for key, val in doc.items():
+            child = f"{prefix}.{key}" if prefix else key
+            paths |= numeric_leaf_paths(val, child)
+    elif isinstance(doc, list):
+        for row in doc:
+            paths |= numeric_leaf_paths(row, f"{prefix}[*]")
+    elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        paths.add(prefix)
+    return paths
 
 
 def main():
@@ -131,15 +163,34 @@ def main():
         for chk in checks:
             try:
                 base = float(chk.extract(base_doc))
+            except KeyError:
+                # The committed baseline predates this metric; the next
+                # baseline refresh picks it up.
+                print(f"bench_guard: {fname}: {chk.path} not in committed "
+                      f"baseline yet, skipping metric")
+                continue
+            try:
                 fresh = float(chk.extract(fresh_doc))
-            except KeyError as e:
-                print(f"bench_guard: {fname}: {e} missing, skipping metric")
+            except KeyError:
+                print(f"bench_guard: MISSING    {fname}: committed baseline "
+                      f"key `{chk.path}` has no matching key in the fresh "
+                      f"run — the bench no longer emits it; fix the bench "
+                      f"or retire the key from CHECKS and the baseline")
+                compared += 1
+                regressions += 1
                 continue
             bad, line = chk.verdict(base, fresh, args.tolerance)
             compared += 1
             tag = "REGRESSION" if bad else "ok"
             print(f"bench_guard: {tag:10s} {line}")
             regressions += bad
+
+        guarded = {chk.path.split(":")[0] for chk in checks}
+        unguarded = sorted(p for p in numeric_leaf_paths(fresh_doc)
+                           if p not in guarded)
+        if unguarded:
+            print(f"bench_guard: note: {fname}: unguarded numeric keys: "
+                  + ", ".join(unguarded))
 
     if compared == 0:
         print("bench_guard: nothing to compare (no fresh results found)")

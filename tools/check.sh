@@ -17,11 +17,20 @@
 # 6. Telemetry smoke: a serve run with FT_TELEMETRY_DIR set must publish
 #    >= 2 schema-valid snapshots with strictly monotone sequence numbers
 #    and no unpublished tmp files, and `ftc --top` must round-trip the
-#    snapshot directory into the dashboard — plain and under ASan.
-# 7. Bench guard: freshly written BENCH_*.json results are compared
+#    snapshot directory into the dashboard — including skipping a
+#    deliberately truncated snapshot with a warning — plain and under
+#    ASan.
+# 7. Correlation smoke: a cold-then-warm serve run with FT_TRACE +
+#    FT_TELEMETRY_DIR + a deadline must produce a Chrome trace where
+#    every serve/request span carries its request id and >= 1 flow arrow
+#    links a request to the background serve/compile span, and a final
+#    snapshot whose per-fingerprint shape counts sum to the requests
+#    served, with per-tenant deadline accounting that `ftc --top` and
+#    `ftc --advise` render — plain and under ASan.
+# 8. Bench guard: freshly written BENCH_*.json results are compared
 #    against the committed baselines on key ratios; >25% regressions
 #    fail the check (tools/bench_guard.py).
-# 8. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
+# 9. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
 #    separate build tree, so memory and UB bugs in the analysis/schedule
 #    layers cannot hide behind passing functional tests. The trace test
 #    runs there too: the observability layer itself must be clean.
@@ -211,10 +220,10 @@ seqs = []
 for n in names:
     with open(os.path.join(d, n)) as f:
         doc = json.load(f)
-    assert doc.get("schema") == "freetensor-telemetry/v1", \
+    assert doc.get("schema") == "freetensor-telemetry/v2", \
         f"{n}: bad schema {doc.get('schema')!r}"
     for key in ("seq", "wall_unix_ms", "counters", "histograms",
-                "kernels", "flight"):
+                "kernels", "shapes", "tenants", "flight"):
         assert key in doc, f"{n} missing '{key}'"
     seqs.append(doc["seq"])
 assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs), \
@@ -231,17 +240,107 @@ print(f"telemetry snapshots OK: {len(names)} files, "
 PYEOF
   local TopOut
   TopOut="$("$Ftc" --top --telemetry-dir "$TelDir/snaps")"
-  echo "$TopOut" | grep -q "schema freetensor-telemetry/v1" ||
+  echo "$TopOut" | grep -q "schema freetensor-telemetry/v2" ||
     { echo "telemetry smoke: --top lost the schema"; echo "$TopOut"; return 1; }
   echo "$TopOut" | grep -q "FINGERPRINT" ||
     { echo "telemetry smoke: --top shows no kernel table"; echo "$TopOut"
       return 1; }
+  # A truncated (partially-written) snapshot must be skipped with a
+  # warning, not abort the dashboard; zzz sorts it newest so it is hit
+  # first.
+  local FirstSnap
+  FirstSnap="$(ls "$TelDir/snaps"/snap-*.json | head -1)"
+  head -c 80 "$FirstSnap" > "$TelDir/snaps/snap-zzz-truncated.json"
+  TopOut="$("$Ftc" --top --telemetry-dir "$TelDir/snaps" 2>&1)"
+  echo "$TopOut" | grep -q "skipping snap-zzz-truncated.json" ||
+    { echo "telemetry smoke: --top did not warn about truncated snapshot"
+      echo "$TopOut"; return 1; }
+  echo "$TopOut" | grep -q "FINGERPRINT" ||
+    { echo "telemetry smoke: --top aborted on truncated snapshot"
+      echo "$TopOut"; return 1; }
   rm -rf "$TelDir"
-  echo "telemetry smoke OK: snapshots valid + ftc --top round-trip"
+  echo "telemetry smoke OK: snapshots valid + ftc --top round-trip" \
+       "(truncated snapshot skipped with warning)"
 }
 
 echo "== telemetry smoke: snapshot export + ftc --top =="
 telemetry_smoke ./build/tools/ftc
+
+# Correlation smoke against $1/ftc: one cold-then-warm serve run with
+# FT_TRACE + FT_TELEMETRY_DIR + a default deadline. Validates the
+# request-scoped observability contract end to end (DESIGN.md §15):
+# every serve/request span carries its request id, at least one flow
+# arrow links a request's enqueue to the background serve/compile span
+# (the cold-miss story in Perfetto), the final snapshot's shape counts
+# sum to the requests served, deadline accounting is present, and the
+# two consumers render it (--advise nominates a hot shape, --top shows
+# deadline met/missed).
+correlation_smoke() {
+  local Ftc="$1"
+  local Dir
+  Dir="$(mktemp -d /tmp/ft_check_corr.XXXXXX)"
+  FT_CACHE_DIR="$Dir/cache" FT_TELEMETRY_DIR="$Dir/snaps" \
+    FT_TELEMETRY_INTERVAL_MS=50 FT_TRACE="$Dir/trace.json" \
+    FT_SLO_DEADLINE_MS=2000 \
+    "$Ftc" --workload gat --serve 40 >/dev/null
+  python3 - "$Dir" <<'PYEOF'
+import json, os, sys
+d = sys.argv[1]
+trace = json.load(open(os.path.join(d, "trace.json")))["traceEvents"]
+reqs = [e for e in trace
+        if e.get("name") == "serve/request" and e.get("ph") == "X"]
+assert reqs, "no serve/request spans in trace"
+noid = [e for e in reqs if not e.get("args", {}).get("req")]
+assert not noid, f"{len(noid)} serve/request span(s) without a request id"
+flows = [e for e in trace if e.get("cat") == "flow"]
+starts = {e["id"] for e in flows if e["ph"] == "s"}
+fins = {e["id"] for e in flows if e["ph"] == "f"}
+linked = starts & fins
+assert linked, "no flow arrow links a request to the background compile"
+comp = [e for e in trace if e.get("name") == "serve/compile"
+        and e.get("ph") == "X"]
+assert comp, "no serve/compile span (cache hit? needs a cold cache dir)"
+assert any(e.get("args", {}).get("req") for e in comp), \
+    "serve/compile span lost its triggering request id"
+snaps = os.path.join(d, "snaps")
+names = sorted(n for n in os.listdir(snaps) if n.startswith("snap-"))
+snap = json.load(open(os.path.join(snaps, names[-1])))
+assert snap["schema"] == "freetensor-telemetry/v2"
+served = (snap["counters"].get("serve/interp_served", 0)
+          + snap["counters"].get("serve/jit_served", 0))
+shape_reqs = sum(r["requests"] for fp in snap["shapes"]
+                 for r in fp["rows"])
+shape_reqs += sum(fp["other"]["requests"] for fp in snap["shapes"])
+assert shape_reqs == served, \
+    f"shape-table requests {shape_reqs} != served {served}"
+tenants = snap["tenants"]
+assert tenants, "no per-tenant SLO section"
+verdicts = sum(t["met"] + t["missed"] for t in tenants)
+assert verdicts == served, \
+    f"deadline verdicts {verdicts} != served {served} (every request " \
+    f"carried a deadline)"
+print(f"correlation OK: {len(reqs)} request spans with ids, "
+      f"{len(linked)} flow link(s) to compile, "
+      f"shape rows sum {shape_reqs} == served {served}, "
+      f"{verdicts} deadline verdicts")
+PYEOF
+  local AdvOut
+  AdvOut="$("$Ftc" --advise --telemetry-dir "$Dir/snaps")"
+  echo "$AdvOut" | grep -q "specialize" ||
+    { echo "correlation smoke: --advise printed no nomination"
+      echo "$AdvOut"; return 1; }
+  local TopOut
+  TopOut="$("$Ftc" --top --telemetry-dir "$Dir/snaps")"
+  echo "$TopOut" | grep -q "deadline met" ||
+    { echo "correlation smoke: --top shows no SLO line"; echo "$TopOut"
+      return 1; }
+  rm -rf "$Dir"
+  echo "correlation smoke OK: request ids + flow arrows + shape/SLO" \
+       "sections + --advise/--top render"
+}
+
+echo "== correlation smoke: request-scoped trace + shape/SLO telemetry =="
+correlation_smoke ./build/tools/ftc
 
 echo "== telemetry overhead bench: disabled <= 5 ns, enabled <= 2% =="
 (cd build/bench-build && ../bench/telemetry_overhead_bench) | tail -1
@@ -285,5 +384,8 @@ ASAN_OPTIONS=detect_leaks=0 \
 
 echo "== telemetry smoke under ASan =="
 ASAN_OPTIONS=detect_leaks=0 telemetry_smoke ./build-asan/tools/ftc
+
+echo "== correlation smoke under ASan =="
+ASAN_OPTIONS=detect_leaks=0 correlation_smoke ./build-asan/tools/ftc
 
 echo "== check.sh: all green =="

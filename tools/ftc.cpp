@@ -24,8 +24,17 @@
 //   ftc --top [--telemetry-dir DIR] [--watch]
 //       text dashboard over the telemetry snapshot directory
 //       (FT_TELEMETRY_DIR or --telemetry-dir): serving counters, latency
-//       percentiles, and the hot-kernel ranking with req/s trends computed
-//       from the two newest snapshots. --watch refreshes every second.
+//       percentiles, per-tenant deadline met/missed, and the hot-kernel
+//       ranking with req/s trends computed from the two newest snapshots.
+//       --watch refreshes every second. Corrupt or partially-written
+//       snapshots, and snapshots with a newer schema than this build
+//       understands, are skipped with a one-line warning.
+//
+//   ftc --advise [--telemetry-dir DIR]
+//       workload-characterization advisor: reads the per-fingerprint shape
+//       table from the newest snapshot and nominates the (fingerprint,
+//       shape) pairs worth specializing — ranked by requests x mean
+//       latency (total served ns).
 //
 //===----------------------------------------------------------------------===//
 
@@ -66,6 +75,7 @@ struct Options {
   int Run = 0;
   int Serve = 0;
   bool Top = false;
+  bool Advise = false;
   bool Watch = false;
   std::string TelemetryDir;
 };
@@ -78,7 +88,8 @@ int usage() {
       "           [--emit-cpp FILE|-] [--grad] [--run N] [--profile]\n"
       "           [--vectorize-width N] [--no-cache] [--cache-dir DIR]\n"
       "           [--serve N]\n"
-      "       ftc --top [--telemetry-dir DIR] [--watch]\n");
+      "       ftc --top [--telemetry-dir DIR] [--watch]\n"
+      "       ftc --advise [--telemetry-dir DIR]\n");
   return 2;
 }
 
@@ -145,38 +156,80 @@ std::vector<std::string> listSnapshots(const std::string &Dir) {
   return Names;
 }
 
-/// Renders one dashboard frame from the two newest snapshots. Returns
-/// false when the directory holds no parsable snapshot yet.
-bool renderTop(const std::string &Dir) {
+/// Newest snapshot schema this build understands. Snapshots stamped with a
+/// later version are skipped (forward compatibility is not assumed: a v3
+/// writer may have changed section shapes under us).
+constexpr int kMaxSchema = 2;
+
+/// Schema version of a parsed snapshot document:
+/// "freetensor-telemetry/vN" -> N, 0 when missing or malformed.
+int schemaVersionOf(const json::Value &S) {
+  const std::string &Sc = S.str("schema");
+  static const std::string Prefix = "freetensor-telemetry/v";
+  if (Sc.rfind(Prefix, 0) != 0)
+    return 0;
+  int V = std::atoi(Sc.c_str() + Prefix.size());
+  return V > 0 ? V : 0;
+}
+
+struct LoadedSnapshot {
+  std::string Name;
+  json::Value V;
+};
+
+/// Walks the snapshot directory newest-backwards and returns up to \p Max
+/// usable snapshots, newest first. A corrupt or partially-written file
+/// (the exporter renames atomically, but a crashed writer or a copying
+/// tool can leave a truncated one) and a snapshot with a schema newer
+/// than kMaxSchema are each skipped with a one-line warning — the
+/// dashboard degrades to older snapshots instead of aborting.
+std::vector<LoadedSnapshot> loadSnapshots(const std::string &Dir,
+                                          size_t Max) {
   namespace fs = std::filesystem;
   std::vector<std::string> Names = listSnapshots(Dir);
-  if (Names.empty()) {
-    std::fprintf(stderr, "ftc --top: no snapshots in %s\n", Dir.c_str());
-    return false;
+  std::vector<LoadedSnapshot> Out;
+  for (auto It = Names.rbegin(); It != Names.rend() && Out.size() < Max;
+       ++It) {
+    auto P = json::parseFile((fs::path(Dir) / *It).string());
+    if (!P.ok()) {
+      std::fprintf(stderr, "ftc: skipping %s (corrupt snapshot: %s)\n",
+                   It->c_str(), P.message().c_str());
+      continue;
+    }
+    int V = schemaVersionOf(*P);
+    if (V == 0 || V > kMaxSchema) {
+      std::fprintf(stderr,
+                   "ftc: skipping %s (schema \"%s\"; this build reads up "
+                   "to freetensor-telemetry/v%d)\n",
+                   It->c_str(), P->str("schema").c_str(), kMaxSchema);
+      continue;
+    }
+    Out.push_back({*It, std::move(*P)});
   }
-  auto Latest = json::parseFile((fs::path(Dir) / Names.back()).string());
-  if (!Latest.ok()) {
-    std::fprintf(stderr, "ftc --top: %s\n", Latest.message().c_str());
+  return Out;
+}
+
+/// Renders one dashboard frame from the two newest usable snapshots.
+/// Returns false when the directory holds no usable snapshot yet.
+bool renderTop(const std::string &Dir) {
+  std::vector<LoadedSnapshot> Snaps = loadSnapshots(Dir, 2);
+  if (Snaps.empty()) {
+    std::fprintf(stderr, "ftc --top: no usable snapshots in %s\n",
+                 Dir.c_str());
     return false;
   }
   // Previous snapshot (when present) powers the req/s trend column.
-  json::Value Prev;
-  bool HavePrev = false;
-  if (Names.size() >= 2) {
-    auto P = json::parseFile((fs::path(Dir) / Names[Names.size() - 2]).string());
-    if (P.ok()) {
-      Prev = std::move(*P);
-      HavePrev = true;
-    }
-  }
+  bool HavePrev = Snaps.size() >= 2;
+  const json::Value &Prev = HavePrev ? Snaps[1].V : Snaps[0].V;
 
-  const json::Value &S = *Latest;
+  const json::Value &S = Snaps[0].V;
+  const std::string &LatestName = Snaps[0].Name;
   double NowMs = double(std::chrono::duration_cast<std::chrono::milliseconds>(
                             std::chrono::system_clock::now().time_since_epoch())
                             .count());
   double AgeSec = (NowMs - S.num("wall_unix_ms")) / 1e3;
   std::printf("telemetry %s | %s | seq %.0f | age %.1fs | schema %s\n", Dir.c_str(),
-              Names.back().c_str(), S.num("seq"), AgeSec < 0 ? 0 : AgeSec,
+              LatestName.c_str(), S.num("seq"), AgeSec < 0 ? 0 : AgeSec,
               S.str("schema").c_str());
 
   if (const json::Value *C = S.get("counters")) {
@@ -206,6 +259,18 @@ bool renderTop(const std::string &Dir) {
                 F->num("recorded"), F->num("ok"), F->num("invalid_args"),
                 F->num("run_errors"), F->num("rejected_full"),
                 F->num("rejected_shutdown"));
+  if (const json::Value *Ts = S.get("tenants")) {
+    for (const json::Value &T : Ts->items()) {
+      double Met = T.num("met"), Missed = T.num("missed");
+      const json::Value *Slack = T.get("slack");
+      std::printf("slo[%s]: %.0f reqs | deadline met %.0f, missed %.0f",
+                  T.str("tenant").c_str(), T.num("requests"), Met, Missed);
+      if (Slack && Met > 0)
+        std::printf(" | slack p50 %.3f ms, min %.3f ms",
+                    Slack->num("p50_ns") / 1e6, Slack->num("min_ns") / 1e6);
+      std::printf("\n");
+    }
+  }
 
   std::printf("\n%-20s %9s %12s %12s %6s %7s %7s %10s\n", "FINGERPRINT", "REQS",
               "MEAN ms", "TOTAL ms", "ERR", "JIT", "INTERP", "TREND r/s");
@@ -243,11 +308,17 @@ bool renderTop(const std::string &Dir) {
   return true;
 }
 
-int runTop(const Options &O) {
+/// --telemetry-dir, falling back to FT_TELEMETRY_DIR ("" when neither).
+std::string telemetryDirOf(const Options &O) {
   std::string Dir = O.TelemetryDir;
   if (Dir.empty())
     if (const char *E = std::getenv("FT_TELEMETRY_DIR"))
       Dir = E;
+  return Dir;
+}
+
+int runTop(const Options &O) {
+  std::string Dir = telemetryDirOf(O);
   if (Dir.empty()) {
     std::fprintf(stderr,
                  "ftc --top: no snapshot directory (pass --telemetry-dir or "
@@ -262,6 +333,85 @@ int runTop(const Options &O) {
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::seconds(1));
   }
+}
+
+//===----------------------------------------------------------------------===//
+// ftc --advise: hot-shape specialization advisor
+//===----------------------------------------------------------------------===//
+
+/// One nomination row assembled from the snapshot's "shapes" section.
+struct AdviseRow {
+  std::string Fingerprint;
+  std::string Shape;
+  double Requests = 0;
+  double TotalNs = 0;
+  double MeanNs = 0;
+  double P95Ns = 0;
+};
+
+int runAdvise(const Options &O) {
+  std::string Dir = telemetryDirOf(O);
+  if (Dir.empty()) {
+    std::fprintf(stderr,
+                 "ftc --advise: no snapshot directory (pass --telemetry-dir "
+                 "or set FT_TELEMETRY_DIR)\n");
+    return 2;
+  }
+  std::vector<LoadedSnapshot> Snaps = loadSnapshots(Dir, 1);
+  if (Snaps.empty()) {
+    std::fprintf(stderr, "ftc --advise: no usable snapshots in %s\n",
+                 Dir.c_str());
+    return 1;
+  }
+  const json::Value &S = Snaps[0].V;
+  const json::Value *Shapes = S.get("shapes");
+
+  std::vector<AdviseRow> Rows;
+  // Overflow buckets per fingerprint: shapes the bounded table stopped
+  // tracking individually. Reported separately — nominating "other" would
+  // be meaningless, but a fat overflow bucket means the cap is hiding the
+  // real workload.
+  std::vector<std::pair<std::string, double>> Overflow;
+  if (Shapes) {
+    for (const json::Value &Fp : Shapes->items()) {
+      const std::string &F = Fp.str("fingerprint");
+      if (const json::Value *Rs = Fp.get("rows"))
+        for (const json::Value &R : Rs->items())
+          Rows.push_back({F, R.str("shape"), R.num("requests"),
+                          R.num("total_ns"), R.num("mean_ns"),
+                          R.num("p95_ns")});
+      if (const json::Value *Ot = Fp.get("other"))
+        if (Ot->num("requests") > 0)
+          Overflow.emplace_back(F, Ot->num("requests"));
+    }
+  }
+  std::printf("advise: %s | %s | schema %s\n", Dir.c_str(),
+              Snaps[0].Name.c_str(), S.str("schema").c_str());
+  if (Rows.empty()) {
+    std::printf("advise: no per-shape workload data recorded yet (serve "
+                "traffic with FT_TELEMETRY_DIR set)\n");
+    return 0;
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const AdviseRow &A, const AdviseRow &B) {
+              return A.TotalNs > B.TotalNs;
+            });
+  size_t N = std::min<size_t>(Rows.size(), 10);
+  std::printf("advise: top %zu of %zu (fingerprint, shape) rows by total "
+              "served time:\n",
+              N, Rows.size());
+  for (size_t I = 0; I < N; ++I) {
+    const AdviseRow &R = Rows[I];
+    std::printf("  %zu. specialize %s at shape `%s` — %.0f reqs, mean "
+                "%.3f ms, p95 %.3f ms, total %.1f ms\n",
+                I + 1, R.Fingerprint.c_str(), R.Shape.c_str(), R.Requests,
+                R.MeanNs / 1e6, R.P95Ns / 1e6, R.TotalNs / 1e6);
+  }
+  for (const auto &[F, Reqs] : Overflow)
+    std::printf("  note: %s served %.0f reqs at shapes beyond the table "
+                "cap (raise FT_SHAPE_TABLE_CAP to track them)\n",
+                F.c_str(), Reqs);
+  return 0;
 }
 
 } // namespace
@@ -296,6 +446,8 @@ int main(int argc, char **argv) {
       ::setenv("FT_CACHE_DIR", argv[++I], /*overwrite=*/1);
     else if (A == "--top")
       O.Top = true;
+    else if (A == "--advise")
+      O.Advise = true;
     else if (A == "--watch")
       O.Watch = true;
     else if (A == "--telemetry-dir" && I + 1 < argc)
@@ -306,6 +458,8 @@ int main(int argc, char **argv) {
 
   if (O.Top)
     return runTop(O);
+  if (O.Advise)
+    return runAdvise(O);
 
   Bound B = buildWorkload(O.Workload);
   if (!B.F.Body) {
@@ -412,6 +566,7 @@ int main(int argc, char **argv) {
     }
     serve::Tier PrevTier = serve::Tier::Interp;
     bool First = true;
+    int DeadlineMissed = 0;
     for (size_t I = 0; I < Futs.size(); ++I) {
       serve::Response R = Futs[I].get();
       if (!R.S.ok()) {
@@ -419,6 +574,8 @@ int main(int argc, char **argv) {
                      R.S.message().c_str());
         return 1;
       }
+      if (R.DeadlineMissed)
+        ++DeadlineMissed;
       Lat.push_back(R.LatencySec);
       if (First || R.ServedBy != PrevTier) {
         std::printf("request %4zu: tier flips to %s (%.3f ms)\n", I,
@@ -449,6 +606,9 @@ int main(int argc, char **argv) {
                 (unsigned long long)St.MaxBatch);
     std::printf("serve: latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
                 Pct(0.50), Pct(0.95), Pct(0.99));
+    if (std::getenv("FT_SLO_DEADLINE_MS"))
+      std::printf("serve: deadline missed on %d of %zu requests\n",
+                  DeadlineMissed, Futs.size());
   }
   return 0;
 }
