@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "analysis/affine.h"
+#include "analysis/extents.h"
 #include "support/stats.h"
 
 using namespace ft;
@@ -84,6 +85,13 @@ bool DepAnalyzer::addDomain(AffineSet &S, const AccessPoint &P,
       S.addLT(IterVar, renameIters(*Ed, Prefix, Iters));
     else
       S.markInexact();
+    // Extent parameters in the bounds are opaque runtime values, but the
+    // request-side contract (analysis/extents.h) guarantees them >= 1;
+    // recording that tightens the domain without assuming any value.
+    for (const Expr &Bound : {L.Begin, L.End})
+      for (const std::string &N : scalarLoadsOf(Bound))
+        if (AC.isParam(N))
+          S.addLE(LinearExpr::constant(1), LinearExpr::variable("$" + N));
   }
   for (const Expr &Cond : P.Conds) {
     AffineSet Tmp;

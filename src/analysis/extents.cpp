@@ -1,0 +1,250 @@
+//===- analysis/extents.cpp -----------------------------------------------===//
+
+#include "analysis/extents.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/ast.h"
+
+using namespace ft;
+
+namespace {
+
+/// Collects names loaded with an empty index list (0-D scalar reads) into
+/// \p Out — the only way an extent parameter can appear in a shape.
+void collectScalarLoads(const Expr &E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case NodeKind::Load: {
+    auto L = cast<LoadNode>(E);
+    if (L->Indices.empty())
+      Out.insert(L->Var);
+    for (const Expr &I : L->Indices)
+      collectScalarLoads(I, Out);
+    return;
+  }
+  case NodeKind::Binary: {
+    auto B = cast<BinaryNode>(E);
+    collectScalarLoads(B->LHS, Out);
+    collectScalarLoads(B->RHS, Out);
+    return;
+  }
+  case NodeKind::Unary:
+    collectScalarLoads(cast<UnaryNode>(E)->Operand, Out);
+    return;
+  case NodeKind::Cast:
+    collectScalarLoads(cast<CastNode>(E)->Operand, Out);
+    return;
+  case NodeKind::IfExpr: {
+    auto I = cast<IfExprNode>(E);
+    collectScalarLoads(I->Cond, Out);
+    collectScalarLoads(I->Then, Out);
+    collectScalarLoads(I->Else, Out);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+/// Walks every shape expression, loop bound, and gemm extent in \p S.
+void collectExtentUses(const Stmt &S, std::set<std::string> &Out) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case NodeKind::StmtSeq:
+    for (const Stmt &C : cast<StmtSeqNode>(S)->Stmts)
+      collectExtentUses(C, Out);
+    return;
+  case NodeKind::VarDef: {
+    auto D = cast<VarDefNode>(S);
+    for (const Expr &Dim : D->Info.Shape)
+      collectScalarLoads(Dim, Out);
+    collectExtentUses(D->Body, Out);
+    return;
+  }
+  case NodeKind::For: {
+    auto F = cast<ForNode>(S);
+    collectScalarLoads(F->Begin, Out);
+    collectScalarLoads(F->End, Out);
+    collectExtentUses(F->Body, Out);
+    return;
+  }
+  case NodeKind::If: {
+    auto I = cast<IfNode>(S);
+    collectExtentUses(I->Then, Out);
+    collectExtentUses(I->Else, Out);
+    return;
+  }
+  case NodeKind::GemmCall: {
+    auto G = cast<GemmCallNode>(S);
+    collectScalarLoads(G->M, Out);
+    collectScalarLoads(G->N, Out);
+    collectScalarLoads(G->K, Out);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+bool ExtentSpec::contains(const std::string &Name) const {
+  return std::binary_search(Params.begin(), Params.end(), Name);
+}
+
+std::vector<std::string> ft::scalarLoadsOf(const Expr &E) {
+  std::set<std::string> Out;
+  collectScalarLoads(E, Out);
+  return {Out.begin(), Out.end()};
+}
+
+ExtentSpec ft::extentParamsOf(const Func &F) {
+  std::set<std::string> Used;
+  collectExtentUses(F.Body, Used);
+
+  ExtentSpec Spec;
+  for (const std::string &P : F.Params) {
+    if (!Used.count(P))
+      continue;
+    auto D = findVarDef(F.Body, P);
+    if (!D || D->ATy == AccessType::Cache)
+      continue;
+    if (!D->Info.Shape.empty() || !isInt(D->Info.Dtype))
+      continue;
+    Spec.Params.push_back(P);
+  }
+  std::sort(Spec.Params.begin(), Spec.Params.end());
+  return Spec;
+}
+
+std::optional<int64_t>
+ft::evalExtentExpr(const Expr &E,
+                   const std::map<std::string, int64_t> &Bindings) {
+  if (!E)
+    return std::nullopt;
+  switch (E->kind()) {
+  case NodeKind::IntConst:
+    return cast<IntConstNode>(E)->Val;
+  case NodeKind::Load: {
+    auto L = cast<LoadNode>(E);
+    if (!L->Indices.empty())
+      return std::nullopt;
+    auto It = Bindings.find(L->Var);
+    if (It == Bindings.end())
+      return std::nullopt;
+    return It->second;
+  }
+  case NodeKind::Binary: {
+    auto B = cast<BinaryNode>(E);
+    auto L = evalExtentExpr(B->LHS, Bindings);
+    auto R = evalExtentExpr(B->RHS, Bindings);
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->Op) {
+    case BinOpKind::Add:
+      return *L + *R;
+    case BinOpKind::Sub:
+      return *L - *R;
+    case BinOpKind::Mul:
+      return *L * *R;
+    case BinOpKind::FloorDiv: {
+      if (*R == 0)
+        return std::nullopt;
+      int64_t Q = *L / *R;
+      if ((*L % *R != 0) && ((*L < 0) != (*R < 0)))
+        --Q;
+      return Q;
+    }
+    case BinOpKind::Mod: {
+      if (*R == 0)
+        return std::nullopt;
+      int64_t M = *L % *R;
+      if (M != 0 && ((M < 0) != (*R < 0)))
+        M += *R;
+      return M;
+    }
+    case BinOpKind::Min:
+      return std::min(*L, *R);
+    case BinOpKind::Max:
+      return std::max(*L, *R);
+    default:
+      return std::nullopt;
+    }
+  }
+  case NodeKind::Unary: {
+    auto U = cast<UnaryNode>(E);
+    if (U->Op != UnOpKind::Neg)
+      return std::nullopt;
+    auto V = evalExtentExpr(U->Operand, Bindings);
+    return V ? std::optional<int64_t>(-*V) : std::nullopt;
+  }
+  case NodeKind::Cast: {
+    auto C = cast<CastNode>(E);
+    if (!isInt(C->Dtype))
+      return std::nullopt;
+    return evalExtentExpr(C->Operand, Bindings);
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+Status ft::bindExtentArgs(const ExtentSpec &Spec,
+                          const std::map<std::string, Buffer *> &Args,
+                          std::map<std::string, int64_t> &Out) {
+  for (const std::string &Name : Spec.Params) {
+    auto It = Args.find(Name);
+    if (It == Args.end() || It->second == nullptr)
+      return Status::error("missing extent argument `" + Name + "`");
+    const Buffer &B = *It->second;
+    if (!B.shape().empty())
+      return Status::error("extent argument `" + Name +
+                           "` must be a 0-D scalar, got rank " +
+                           std::to_string(B.shape().size()));
+    if (!isInt(B.dtype()))
+      return Status::error("extent argument `" + Name +
+                           "` must be an integer scalar");
+    Out[Name] = B.getI(0);
+  }
+  return Status::success();
+}
+
+Status ft::checkExtentArgs(const Func &F, const ExtentSpec &Spec,
+                           const std::map<std::string, Buffer *> &Args) {
+  if (Spec.empty())
+    return Status::success();
+  std::map<std::string, int64_t> Bindings;
+  if (Status S = bindExtentArgs(Spec, Args, Bindings); !S.ok())
+    return S;
+  for (const auto &[Name, Val] : Bindings)
+    if (Val < 1)
+      return Status::error("extent argument `" + Name +
+                           "` must be >= 1, got " + std::to_string(Val));
+  for (const std::string &P : F.Params) {
+    auto It = Args.find(P);
+    if (It == Args.end() || It->second == nullptr)
+      continue; // the caller's presence check owns this error
+    auto D = findVarDef(F.Body, P);
+    if (!D)
+      continue;
+    const Buffer &B = *It->second;
+    if (B.shape().size() != D->Info.Shape.size())
+      continue; // the caller's rank check owns this error
+    for (size_t Dim = 0; Dim < D->Info.Shape.size(); ++Dim) {
+      if (isa<IntConstNode>(D->Info.Shape[Dim]))
+        continue; // constant extents are the caller's check
+      auto Want = evalExtentExpr(D->Info.Shape[Dim], Bindings);
+      if (Want && B.shape()[Dim] != *Want)
+        return Status::error(
+            "shape mismatch for argument `" + P + "` in dimension " +
+            std::to_string(Dim) + ": got " + std::to_string(B.shape()[Dim]) +
+            ", want " + std::to_string(*Want) +
+            " (from the bound extent arguments)");
+    }
+  }
+  return Status::success();
+}

@@ -1,0 +1,80 @@
+//===- analysis/extents.h - Symbolic extent parameters -----------*- C++ -*-===//
+///
+/// \file
+/// Symbolic-extent discovery and runtime binding checks (DESIGN.md §16).
+///
+/// A function is *shape-generic* when some tensor extents are not integer
+/// literals but loads of 0-D integer Input parameters ("extent parameters",
+/// the frontend's `scalarInput`). One compiled kernel then serves every
+/// shape: the extents travel with the request as ordinary scalar arguments,
+/// loop bounds and buffer strides are computed from them at run time, and
+/// the whole-program fingerprint — which never sees a literal extent —
+/// stays the same across shapes.
+///
+/// This header centralizes the request-side contract both execution tiers
+/// enforce (validateArgs for the interpreter, Kernel::run for the JIT):
+/// every extent parameter must be bound to a value >= 1, and every tensor
+/// dimension whose symbolic shape folds to a constant under those bindings
+/// must match the bound buffer exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_ANALYSIS_EXTENTS_H
+#define FT_ANALYSIS_EXTENTS_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "interp/buffer.h"
+#include "ir/func.h"
+#include "support/error.h"
+
+namespace ft {
+
+/// The extent-parameter signature of a function: the 0-D integer Input
+/// parameters whose values appear in some tensor shape, loop bound, or
+/// gemm extent. Sorted by name; empty for fully static programs.
+struct ExtentSpec {
+  std::vector<std::string> Params;
+
+  bool empty() const { return Params.empty(); }
+  bool contains(const std::string &Name) const;
+};
+
+/// Discovers the extent parameters of \p F (one full body walk; serving
+/// code paths compute this once per fingerprint and reuse it per request).
+ExtentSpec extentParamsOf(const Func &F);
+
+/// Names loaded with an empty index list (0-D scalar reads) anywhere in
+/// \p E — the only form an extent parameter can take inside a shape
+/// expression. Sorted, deduplicated.
+std::vector<std::string> scalarLoadsOf(const Expr &E);
+
+/// Folds a shape/bound expression to a constant under \p Bindings
+/// (extent-parameter name -> value). Handles integer constants, 0-D loads
+/// of bound names, integer arithmetic (+ - * floordiv mod min max), unary
+/// negation, and integer casts. Returns nullopt when the expression
+/// references an unbound name or a non-foldable node.
+std::optional<int64_t>
+evalExtentExpr(const Expr &E, const std::map<std::string, int64_t> &Bindings);
+
+/// Reads the extent values of \p Spec out of \p Args into \p Out. Error
+/// when an extent parameter is unbound, non-scalar, or non-integer.
+/// Positivity is checked by checkExtentArgs, not here.
+Status bindExtentArgs(const ExtentSpec &Spec,
+                      const std::map<std::string, Buffer *> &Args,
+                      std::map<std::string, int64_t> &Out);
+
+/// The per-request extent contract: every extent parameter of \p Spec is
+/// bound in \p Args with a value >= 1, and every parameter-tensor dimension
+/// of \p F whose symbolic extent folds under those bindings matches the
+/// bound buffer's dimension. Constant extents are the caller's business
+/// (validateArgs / Kernel::run already check them).
+Status checkExtentArgs(const Func &F, const ExtentSpec &Spec,
+                       const std::map<std::string, Buffer *> &Args);
+
+} // namespace ft
+
+#endif // FT_ANALYSIS_EXTENTS_H

@@ -12,6 +12,7 @@
 #include <sys/stat.h>
 #include <vector>
 
+#include "analysis/extents.h"
 #include "codegen/codegen.h"
 #include "codegen/kernel_cache.h"
 #include "codegen/profile.h"
@@ -120,6 +121,13 @@ struct Kernel::Impl {
   std::string Symbol;
   std::vector<std::string> Params;
   std::map<std::string, DataType> ParamTypes;
+  /// Declared shape of each parameter — Exprs, not ints, because a
+  /// shape-generic kernel's extents are loads of extent parameters.
+  std::map<std::string, std::vector<Expr>> ParamShapes;
+  /// Extent parameters of the compiled Func: run() binds and range-checks
+  /// them per call, mirroring validateArgs, so the generated code never
+  /// sees a non-positive extent or an inconsistent tensor/extent pair.
+  ExtentSpec Extents;
   void *Handle = nullptr;
   void (*Entry)(void **) = nullptr;
   /// Optional telemetry export emitted by codegen; reads the kernel .so's
@@ -214,12 +222,14 @@ Kernel::Impl::makeSkeleton(const Func &F, const CodegenOptions &Opts) {
     I->Map = profile::buildSourceMap(F, trace::auditLog());
   I->Params = F.Params;
   I->RequiresDistinctParams = hasExplicitSimdLoop(F.Body);
+  I->Extents = extentParamsOf(F);
   for (const std::string &P : F.Params) {
     auto D = findVarDef(F.Body, P);
     if (!D)
       return Result<std::shared_ptr<Impl>>::error("parameter `" + P +
                                                   "` has no VarDef");
     I->ParamTypes[P] = D->Info.Dtype;
+    I->ParamShapes[P] = D->Info.Shape;
     if (D->ATy == AccessType::Output || D->ATy == AccessType::InOut)
       I->WrittenParams.insert(P);
   }
@@ -475,7 +485,39 @@ Status Kernel::run(const std::map<std::string, Buffer *> &Args,
       return Status::error("missing argument `" + P + "`");
     if (It->second->dtype() != I->ParamTypes.at(P))
       return Status::error("dtype mismatch for argument `" + P + "`");
+    if (It->second->shape().size() != I->ParamShapes.at(P).size())
+      return Status::error(
+          "rank mismatch for argument `" + P + "`: got " +
+          std::to_string(It->second->shape().size()) + ", want " +
+          std::to_string(I->ParamShapes.at(P).size()));
     Ptrs.push_back(It->second->raw());
+  }
+  if (!I->Extents.empty()) {
+    // Shape-generic kernel: bind the extent arguments, require them >= 1
+    // (a non-positive extent would zero or invert every loop bound computed
+    // from it), and require each tensor dimension whose symbolic extent
+    // folds under the bindings to match the bound buffer — the compiled
+    // strides are computed from the extents, not from the buffers.
+    std::map<std::string, int64_t> Ext;
+    if (Status S = bindExtentArgs(I->Extents, Args, Ext); !S.ok())
+      return S;
+    for (const auto &[Name, Val] : Ext)
+      if (Val < 1)
+        return Status::error("extent argument `" + Name +
+                             "` must be >= 1, got " + std::to_string(Val));
+    for (const std::string &P : I->Params) {
+      const std::vector<Expr> &Shape = I->ParamShapes.at(P);
+      const Buffer &B = *Args.at(P);
+      for (size_t Dim = 0; Dim < Shape.size(); ++Dim) {
+        auto Want = evalExtentExpr(Shape[Dim], Ext);
+        if (Want && B.shape()[Dim] != *Want)
+          return Status::error(
+              "shape mismatch for argument `" + P + "` in dimension " +
+              std::to_string(Dim) + ": got " + std::to_string(B.shape()[Dim]) +
+              ", want " + std::to_string(*Want) +
+              " (from the bound extent arguments)");
+      }
+    }
   }
   if (I->RequiresDistinctParams) {
     for (size_t A = 0; A < Ptrs.size(); ++A)

@@ -2,6 +2,7 @@
 
 #include "frontend/builder.h"
 
+#include "analysis/extents.h"
 #include "ir/visitor.h"
 #include "support/string_utils.h"
 #include "support/trace.h"
@@ -218,6 +219,27 @@ Func FunctionBuilder::build() {
   if (Sp.active())
     Sp.annotate("func", Name);
   ftAssert(Blocks.size() == 1, "build() called inside an open block");
+  // A parameter's shape may reference only previously declared 0-D integer
+  // parameters: the VarDef nest below wraps parameters outside-in, so any
+  // later (or tensor-valued) name would be out of scope exactly where
+  // codegen emits the dimension locals for the referencing parameter.
+  for (size_t PI = 0; PI < Params.size(); ++PI) {
+    for (const Expr &Dim : Params[PI].Info.Shape)
+      for (const std::string &N : scalarLoadsOf(Dim)) {
+        const ParamInfo *Decl = nullptr;
+        for (size_t Q = 0; Q < PI; ++Q)
+          if (Params[Q].Name == N)
+            Decl = &Params[Q];
+        ftAssert(Decl != nullptr,
+                 "shape of parameter `" + Params[PI].Name + "` references `" +
+                     N +
+                     "`, which is not declared before it; declare the "
+                     "extent parameter (scalarInput) first");
+        ftAssert(Decl->Info.Shape.empty() && isInt(Decl->Info.Dtype),
+                 "shape of parameter `" + Params[PI].Name + "` references `" +
+                     N + "`, which is not a 0-D integer parameter");
+      }
+  }
   Stmt Body = closeBlock(std::move(Blocks.back()));
   Blocks.clear();
   // Wrap parameters outside-in so the first parameter is outermost.

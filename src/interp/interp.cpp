@@ -457,6 +457,12 @@ InterpStats ft::interpret(const Func &F,
 
 Status ft::validateArgs(const Func &F,
                         const std::map<std::string, Buffer *> &Args) {
+  return validateArgs(F, Args, extentParamsOf(F));
+}
+
+Status ft::validateArgs(const Func &F,
+                        const std::map<std::string, Buffer *> &Args,
+                        const ExtentSpec &Extents) {
   for (const std::string &P : F.Params) {
     auto It = Args.find(P);
     if (It == Args.end() || It->second == nullptr)
@@ -471,8 +477,8 @@ Status ft::validateArgs(const Func &F,
       return Status::error("rank mismatch for argument `" + P + "`: got " +
                            std::to_string(B.shape().size()) + ", want " +
                            std::to_string(D->Info.Shape.size()));
-    // Constant extents (the common case for parameters) are checked here;
-    // symbolic extents can only be caught at execution time.
+    // Constant extents (the static-shape case) are checked here; symbolic
+    // extents are checked below against the bound extent arguments.
     for (size_t Dim = 0; Dim < D->Info.Shape.size(); ++Dim)
       if (auto C = dyn_cast<IntConstNode>(D->Info.Shape[Dim]))
         if (B.shape()[Dim] != C->Val)
@@ -482,7 +488,9 @@ Status ft::validateArgs(const Func &F,
               std::to_string(B.shape()[Dim]) + ", want " +
               std::to_string(C->Val));
   }
-  return Status::success();
+  // Shape-generic functions: extent arguments must be bound, positive, and
+  // consistent with every buffer dimension they determine.
+  return checkExtentArgs(F, Extents, Args);
 }
 
 Status ft::interpretChecked(const Func &F,

@@ -13,6 +13,7 @@
 
 #include <map>
 
+#include "analysis/extents.h"
 #include "interp/buffer.h"
 #include "ir/func.h"
 
@@ -67,11 +68,22 @@ InterpStats interpret(const Func &F,
                       const InterpOptions &Opts = {});
 
 /// Checks that every parameter of \p F is bound in \p Args with the right
-/// dtype (the same contract Kernel::run enforces). Returns a typed error
-/// instead of aborting — callers that accept untrusted requests (the
-/// serving runtime) validate before execution.
+/// dtype, rank, and shape (the same contract Kernel::run enforces):
+/// constant extents must match the buffer exactly, and for shape-generic
+/// functions every extent parameter must be bound to an integer scalar
+/// >= 1 with the symbolic dimensions it determines matching the bound
+/// buffers (analysis/extents.h). Returns a typed error instead of
+/// aborting — callers that accept untrusted requests (the serving
+/// runtime) validate before execution.
 Status validateArgs(const Func &F,
                     const std::map<std::string, Buffer *> &Args);
+
+/// validateArgs with a precomputed extent spec — the serving executor
+/// caches extentParamsOf(F) per fingerprint so the per-request check
+/// skips the discovery body walk.
+Status validateArgs(const Func &F,
+                    const std::map<std::string, Buffer *> &Args,
+                    const ExtentSpec &Extents);
 
 /// validateArgs + interpret: the Status-returning execution entry the
 /// serving runtime uses as its cold tier (a request whose kernel is not

@@ -1,0 +1,50 @@
+//===- pass/specialize.cpp ------------------------------------------------===//
+
+#include "pass/specialize.h"
+
+#include "ir/mutator.h"
+
+using namespace ft;
+
+namespace {
+
+class Specializer : public Mutator {
+public:
+  explicit Specializer(const std::map<std::string, int64_t> &Extents)
+      : Extents(Extents) {}
+
+protected:
+  Expr visit(const LoadNode *E) override {
+    if (E->Indices.empty()) {
+      auto It = Extents.find(E->Var);
+      if (It != Extents.end()) {
+        Expr C = makeIntConst(It->second);
+        if (E->Dtype != DataType::Int64)
+          C = makeCast(E->Dtype, C);
+        return C;
+      }
+    }
+    return Mutator::visit(E);
+  }
+
+private:
+  const std::map<std::string, int64_t> &Extents;
+};
+
+} // namespace
+
+Func ft::specializeFunc(const Func &F,
+                        const std::map<std::string, int64_t> &Extents) {
+  for (const auto &[Name, Val] : Extents) {
+    auto D = findVarDef(F.Body, Name);
+    ftAssert(D && D->ATy != AccessType::Cache && D->Info.Shape.empty() &&
+                 isInt(D->Info.Dtype),
+             "specializeFunc: `" + Name +
+                 "` is not a 0-D integer parameter of " + F.Name);
+    ftAssert(Val >= 1, "specializeFunc: extent `" + Name +
+                           "` bound to non-positive " + std::to_string(Val));
+  }
+  Func Out = F;
+  Out.Body = Specializer(Extents)(F.Body);
+  return Out;
+}

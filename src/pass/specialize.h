@@ -1,0 +1,40 @@
+//===- pass/specialize.h - Extent specialization -----------------*- C++ -*-===//
+///
+/// \file
+/// Constant-folds a shape-generic function at one shape bucket (DESIGN.md
+/// §16): every 0-D load of a bound extent parameter — in tensor shapes,
+/// loop bounds, gemm extents, and ordinary arithmetic — is replaced by the
+/// bucket's integer constant. The parameter list and its VarDefs are left
+/// untouched, so the specialized function keeps the generic ABI: the
+/// serving runtime hot-swaps it behind the same kernel entry and binds the
+/// identical argument set (the now-redundant extent scalars included).
+///
+/// The resulting program is fully static, which re-arms everything the
+/// symbolic form had to forgo: exact dependence polyhedra, vector-legality
+/// proofs, stack placement of small caches, and compile-time-known trip
+/// counts for the host compiler. Callers typically follow with simplify()
+/// and the autoscheduler before compiling at full optimization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_PASS_SPECIALIZE_H
+#define FT_PASS_SPECIALIZE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ir/func.h"
+
+namespace ft {
+
+/// Returns \p F with every 0-D load of a name in \p Extents replaced by
+/// its constant. Params and VarDefs are preserved (same ABI); statement
+/// IDs are preserved. Binding a name that is not a 0-D integer parameter
+/// of \p F is the caller's bug and asserts.
+Func specializeFunc(const Func &F,
+                    const std::map<std::string, int64_t> &Extents);
+
+} // namespace ft
+
+#endif // FT_PASS_SPECIALIZE_H

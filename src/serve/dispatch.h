@@ -21,11 +21,13 @@
 #define FT_SERVE_DISPATCH_H
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "analysis/extents.h"
 #include "codegen/jit.h"
 #include "ir/func.h"
 
@@ -48,8 +50,22 @@ struct KernelEntry {
   /// programs (the key hashes the whole program), so any one serves.
   const Func F;
 
-  explicit KernelEntry(uint64_t Key, Func F)
-      : Key(Key), F(std::move(F)) {}
+  /// The extent-parameter signature of F — non-empty iff this fingerprint
+  /// is shape-generic. Computed once at intern (a body walk per request
+  /// would tax the hot path); empty for specialized entries, whose extents
+  /// are already constants.
+  const ExtentSpec Extents;
+
+  /// True for a specialized shape-bucket entry (DESIGN.md §16): F has its
+  /// extents constant-folded, and the compile thread schedules it
+  /// (simplify + autoschedule) and compiles at Config::SpecOptFlags
+  /// instead of serving F as submitted.
+  const bool IsSpec;
+
+  explicit KernelEntry(uint64_t Key, Func F, ExtentSpec Extents = {},
+                       bool IsSpec = false)
+      : Key(Key), F(std::move(F)), Extents(std::move(Extents)),
+        IsSpec(IsSpec) {}
 
   /// The id of the request whose submit won beginCompile() — the compile
   /// thread stamps it on the serve/compile span and closes that request's
@@ -86,6 +102,23 @@ struct KernelEntry {
 
   /// Serializes execution of this fingerprint (see the file comment).
   std::mutex RunMu;
+
+  /// One shape bucket of a generic entry: request tally plus the
+  /// specialized entry once the bucket is nominated (null before). The
+  /// specialized entry reuses the full Cold→Compiling→Ready machinery, so
+  /// nomination, compile dedup, and hot-swap are the same code path as the
+  /// generic compile.
+  struct SpecBucket {
+    uint64_t Hits = 0;
+    std::shared_ptr<KernelEntry> Entry;
+  };
+
+  /// Shape-bucket table (generic entries only), keyed by the canonical
+  /// shape key (serve/shape_key.h). Guarded by SpecMu — never taken
+  /// together with Mu.
+  std::mutex SpecMu;
+  std::map<std::string, SpecBucket> Spec;
+  size_t SpecCount = 0; ///< Buckets nominated (bounds Config::SpecializeMax).
 
 private:
   mutable std::mutex Mu;

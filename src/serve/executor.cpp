@@ -27,11 +27,16 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/extents.h"
+#include "autoschedule/autoschedule.h"
 #include "codegen/jit.h"
 #include "codegen/kernel_cache.h"
 #include "interp/interp.h"
+#include "pass/simplify.h"
+#include "pass/specialize.h"
 #include "serve/dispatch.h"
 #include "serve/queue.h"
+#include "serve/shape_key.h"
 #include "serve/telemetry.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -85,6 +90,15 @@ Config Config::fromEnv() {
       C.DefaultTenant = E;
   C.DefaultDeadlineNs =
       static_cast<uint64_t>(envLong("FT_SLO_DEADLINE_MS", 0, 0)) * 1'000'000;
+  if (const char *E = std::getenv("FT_SPECIALIZE"))
+    C.Specialize = std::strcmp(E, "0") != 0;
+  C.SpecializeAfter = static_cast<uint64_t>(envLong(
+      "FT_SPECIALIZE_AFTER", static_cast<long>(C.SpecializeAfter), 1));
+  C.SpecializeMax = static_cast<size_t>(envLong(
+      "FT_SPECIALIZE_MAX", static_cast<long>(C.SpecializeMax), 0));
+  if (const char *E = std::getenv("FT_SPECIALIZE_OPT_FLAGS"))
+    if (*E)
+      C.SpecOptFlags = E;
   return C;
 }
 
@@ -99,31 +113,11 @@ struct Request {
   RequestContext Ctx; ///< Stamped at submit, carried by value.
 };
 
-/// The argument-shape signature of one request — the workload table's row
-/// key, e.g. "x:f32[8192] y:f32[8192]". Args is an ordered map, so the key
-/// is deterministic. Only built when telemetry is enabled (string work
-/// must not tax the disabled path).
-std::string shapeKeyOf(const std::map<std::string, Buffer *> &Args) {
-  std::string K;
-  for (const auto &[Name, B] : Args) {
-    if (!B)
-      continue;
-    if (!K.empty())
-      K += ' ';
-    K += Name;
-    K += ':';
-    K += nameOf(B->dtype());
-    K += '[';
-    const std::vector<int64_t> &Sh = B->shape();
-    for (size_t I = 0; I < Sh.size(); ++I) {
-      if (I)
-        K += 'x';
-      K += std::to_string(Sh[I]);
-    }
-    K += ']';
-  }
-  return K;
-}
+// The argument-shape signature (telemetry row key + specialization bucket
+// key) is the canonical sorted-by-name serve::shapeKeyOf in
+// serve/shape_key.h — one definition for both consumers, so a bucket the
+// executor specializes and a row `ftc --advise` nominates can never drift
+// apart.
 
 /// The executor's counters, stored once: in the global metrics registry.
 /// References are resolved at construction so every bump is one relaxed
@@ -140,6 +134,11 @@ struct StatsRefs {
   metrics::Counter &CacheHits = metrics::counter("serve/cache_hits");
   metrics::Counter &Batches = metrics::counter("serve/batches");
   metrics::Counter &RunErrors = metrics::counter("serve/run_errors");
+  metrics::Counter &SpecServed = metrics::counter("serve/spec_served");
+  metrics::Counter &SpecCompilesStarted =
+      metrics::counter("serve/spec_compiles_started");
+  metrics::Counter &SpecCompilesFailed =
+      metrics::counter("serve/spec_compiles_failed");
 };
 
 /// Registry values when this executor was built. A metrics::resetAll()
@@ -148,7 +147,8 @@ struct StatsRefs {
 /// registry is process-global — documented in serve.h).
 struct StatsBaseline {
   uint64_t Submitted, Rejected, InterpServed, JitServed, CompilesStarted,
-      CompilesFailed, CacheHits, Batches, RunErrors;
+      CompilesFailed, CacheHits, Batches, RunErrors, SpecServed,
+      SpecCompilesStarted, SpecCompilesFailed;
 
   explicit StatsBaseline(const StatsRefs &R)
       : Submitted(R.Submitted.load()), Rejected(R.Rejected.load()),
@@ -156,7 +156,9 @@ struct StatsBaseline {
         CompilesStarted(R.CompilesStarted.load()),
         CompilesFailed(R.CompilesFailed.load()),
         CacheHits(R.CacheHits.load()), Batches(R.Batches.load()),
-        RunErrors(R.RunErrors.load()) {}
+        RunErrors(R.RunErrors.load()), SpecServed(R.SpecServed.load()),
+        SpecCompilesStarted(R.SpecCompilesStarted.load()),
+        SpecCompilesFailed(R.SpecCompilesFailed.load()) {}
 };
 
 uint64_t satDelta(uint64_t Cur, uint64_t Base) {
@@ -276,6 +278,59 @@ struct Executor::Impl {
     }
   }
 
+  /// Enqueues the one background compile of a nominated shape-bucket
+  /// specialization. No cache probe here: the compile job schedules the
+  /// specialized function first, and Kernel::compile's own probe (keyed on
+  /// the scheduled program) catches warm artifacts — including ones
+  /// pre-compiled by `ftc --advise --specialize`.
+  void triggerSpecCompile(const std::shared_ptr<KernelEntry> &E,
+                          uint64_t TriggerReqId) {
+    if (E->state() != KernelState::Cold || !E->beginCompile())
+      return;
+    E->TriggerReqId = TriggerReqId;
+    Stats.SpecCompilesStarted.fetch_add(1);
+    bumpPendingCompiles();
+    if (CompileQ.tryPush(E) != PushResult::Ok) {
+      dropPendingCompiles();
+      Stats.SpecCompilesFailed.fetch_add(1);
+      E->failCompile("serve: compile queue unavailable");
+    }
+  }
+
+  /// Shape-bucket bookkeeping for one request of a shape-generic entry:
+  /// tallies the bucket, nominates a specialized compile once the bucket
+  /// crosses SpecializeAfter (at most SpecializeMax buckets per
+  /// fingerprint), and returns the bucket's specialized kernel when its
+  /// background compile has landed. Null = serve the generic tier.
+  std::optional<Kernel> specKernelFor(KernelEntry *E, const Request &Req) {
+    const std::string Bucket = shapeKeyOf(Req.Args);
+    std::shared_ptr<KernelEntry> SE;
+    {
+      std::lock_guard<std::mutex> Lock(E->SpecMu);
+      KernelEntry::SpecBucket &B = E->Spec[Bucket];
+      ++B.Hits;
+      if (!B.Entry && C.SpecializeMax > 0 && E->SpecCount < C.SpecializeMax &&
+          B.Hits >= C.SpecializeAfter) {
+        std::map<std::string, int64_t> Ext;
+        bool Bindable = bindExtentArgs(E->Extents, Req.Args, Ext).ok();
+        for (const auto &[Name, Val] : Ext)
+          Bindable = Bindable && Val >= 1;
+        if (Bindable) {
+          Func SF = specializeFunc(E->F, Ext);
+          uint64_t SKey = kernel_cache::cacheKey(SF, {}, C.SpecOptFlags).Full;
+          B.Entry = std::make_shared<KernelEntry>(SKey, std::move(SF),
+                                                  ExtentSpec{}, /*IsSpec=*/true);
+          ++E->SpecCount;
+        }
+      }
+      SE = B.Entry;
+    }
+    if (!SE)
+      return std::nullopt;
+    triggerSpecCompile(SE, Req.Ctx.Id);
+    return SE->kernel();
+  }
+
   void compileLoop() {
     while (std::optional<std::shared_ptr<KernelEntry>> Job =
                CompileQ.popWait()) {
@@ -286,18 +341,29 @@ struct Executor::Impl {
         // Perfetto draws enqueue → dispatch → this compile as one chain.
         trace::emitFlow("serve/req", E->TriggerReqId, 'f');
       Clock::time_point T0 = Clock::now();
-      Result<Kernel> R = Kernel::compile(E->F, {}, C.OptFlags);
+      // A specialized job's input has its extents constant-folded already;
+      // re-arm the static-shape optimization stack on it (simplify +
+      // autoschedule: SIMD proofs, stack placement, parallelization) and
+      // spend the full host-compiler budget. Generic jobs compile the
+      // submitted program as-is at the serving OptFlags.
+      Func In = E->F;
+      const std::string &Flags = E->IsSpec ? C.SpecOptFlags : C.OptFlags;
+      if (E->IsSpec)
+        In = autoScheduleFunc(simplify(In));
+      Result<Kernel> R = Kernel::compile(In, {}, Flags);
       telemetry::onCompile(toNs(T0, Clock::now()), R.ok());
       if (Sp.active()) {
         Sp.annotate("key", E->Key);
         Sp.annotate("req", E->TriggerReqId);
+        Sp.annotate("spec", std::string(E->IsSpec ? "true" : "false"));
         Sp.annotate("ok", std::string(R.ok() ? "true" : "false"));
       }
       if (R.ok()) {
         capThreads(*R);
         E->finishCompile(std::move(*R));
       } else {
-        Stats.CompilesFailed.fetch_add(1);
+        (E->IsSpec ? Stats.SpecCompilesFailed : Stats.CompilesFailed)
+            .fetch_add(1);
         E->failCompile(R.message());
       }
       dropPendingCompiles();
@@ -332,7 +398,6 @@ struct Executor::Impl {
     // proceed in parallel on other workers.
     std::lock_guard<std::mutex> RunLock(E->RunMu);
     std::optional<Kernel> K = E->kernel();
-    const Tier T = K ? Tier::Jit : Tier::Interp;
 
     Stats.Batches.fetch_add(1);
     uint64_t Prev = MaxBatch.load();
@@ -350,18 +415,34 @@ struct Executor::Impl {
         trace::emitFlow("serve/req", Req.Ctx.Id, 't');
       Clock::time_point Start = Clock::now();
       // Validate on both tiers: requests are untrusted, and a compiled
-      // kernel would otherwise execute a bad binding unchecked.
-      Status S = validateArgs(E->F, Req.Args);
+      // kernel would otherwise execute a bad binding unchecked. The cached
+      // extent spec saves the per-request body walk validateArgs would
+      // otherwise redo.
+      Status S = validateArgs(E->F, Req.Args, E->Extents);
       const bool ArgsOk = S.ok();
+      // Tier selection is per request: on a shape-generic entry, a request
+      // whose shape bucket has a landed specialization is served by that
+      // kernel; everything else takes the generic kernel (or the
+      // interpreter while it compiles).
+      std::optional<Kernel> UseK = K;
+      bool Specialized = false;
+      if (ArgsOk && C.Specialize && !E->Extents.empty())
+        if (std::optional<Kernel> SK = specKernelFor(E.get(), Req)) {
+          UseK = std::move(SK);
+          Specialized = true;
+        }
+      const Tier T = UseK ? Tier::Jit : Tier::Interp;
       if (ArgsOk)
-        S = K ? K->run(Req.Args, Req.Ctx.Id)
-              : interpretChecked(E->F, Req.Args);
+        S = UseK ? UseK->run(Req.Args, Req.Ctx.Id)
+                 : interpretChecked(E->F, Req.Args);
       Clock::time_point End = Clock::now();
 
       if (T == Tier::Jit)
         Stats.JitServed.fetch_add(1);
       else
         Stats.InterpServed.fetch_add(1);
+      if (Specialized)
+        Stats.SpecServed.fetch_add(1);
       if (!S)
         Stats.RunErrors.fetch_add(1);
       if (Sp.active()) {
@@ -402,6 +483,7 @@ struct Executor::Impl {
       Resp.BatchSize = static_cast<int>(Batch.size());
       Resp.ReqId = Req.Ctx.Id;
       Resp.DeadlineMissed = DeadlineMissed;
+      Resp.Specialized = Specialized;
       Req.P.set_value(std::move(Resp));
       dropOutstanding();
     }
@@ -523,6 +605,11 @@ ServeStats Executor::stats() const {
   S.Batches = satDelta(I->Stats.Batches.load(), I->Base.Batches);
   S.MaxBatch = I->MaxBatch.load();
   S.RunErrors = satDelta(I->Stats.RunErrors.load(), I->Base.RunErrors);
+  S.SpecServed = satDelta(I->Stats.SpecServed.load(), I->Base.SpecServed);
+  S.SpecCompilesStarted = satDelta(I->Stats.SpecCompilesStarted.load(),
+                                   I->Base.SpecCompilesStarted);
+  S.SpecCompilesFailed = satDelta(I->Stats.SpecCompilesFailed.load(),
+                                  I->Base.SpecCompilesFailed);
   return S;
 }
 

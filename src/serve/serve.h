@@ -92,6 +92,22 @@ struct Config {
   /// Deadline stamped on requests that pass no SubmitOptions::DeadlineNs
   /// (FT_SLO_DEADLINE_MS, converted to ns; default 0 = no deadline).
   uint64_t DefaultDeadlineNs = 0;
+  /// Profile-guided shape-bucket specialization of shape-generic
+  /// fingerprints (FT_SPECIALIZE, default on; 0 disables). The generic
+  /// kernel serves every shape from request 1; hot buckets additionally
+  /// get a background specialized compile that hot-swaps in when ready.
+  bool Specialize = true;
+  /// Requests a shape bucket must accumulate before it is nominated for a
+  /// specialized compile (FT_SPECIALIZE_AFTER, default 16, floor 1).
+  uint64_t SpecializeAfter = 16;
+  /// Most specialized compiles per generic fingerprint — the advise cap K
+  /// (FT_SPECIALIZE_MAX, default 4; 0 disables nomination).
+  size_t SpecializeMax = 4;
+  /// Host-compiler flags for specialized compiles (FT_SPECIALIZE_OPT_FLAGS,
+  /// default "-O3": a specialized kernel is compiled once per hot bucket
+  /// and served many times, so it buys the full optimization budget the
+  /// generic tier's OptFlags trades away).
+  std::string SpecOptFlags = "-O3";
 
   /// Reads FT_SERVE_* / FT_SLO_* from the environment, falling back to the
   /// defaults above on unset or unparsable values.
@@ -125,6 +141,9 @@ struct Response {
   /// exceeded it. The request still ran to completion — a missed deadline
   /// is an SLO fact, not an execution error.
   bool DeadlineMissed = false;
+  /// True when ServedBy == Jit and the kernel was a shape-bucket
+  /// specialization rather than the shape-generic compile.
+  bool Specialized = false;
 };
 
 /// Monotonic executor counters (a consistent-enough snapshot; fields are
@@ -144,6 +163,12 @@ struct ServeStats {
   uint64_t Batches = 0;         ///< Micro-batches executed (incl. size 1).
   uint64_t MaxBatch = 0;        ///< Largest batch observed.
   uint64_t RunErrors = 0;       ///< Requests completed with an error Status.
+  uint64_t SpecServed = 0;      ///< JitServed subset answered by a
+                                ///< shape-bucket specialization.
+  uint64_t SpecCompilesStarted = 0; ///< Specialized compiles enqueued.
+  uint64_t SpecCompilesFailed = 0;  ///< Specialized compiles that failed
+                                    ///< (bucket falls back to the generic
+                                    ///< kernel — degraded, never broken).
 };
 
 /// The serving executor. Owns a fixed worker pool, one background compile

@@ -1,0 +1,70 @@
+//===- serve/shape_key.cpp ------------------------------------------------===//
+
+#include "serve/shape_key.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+using namespace ft;
+using namespace ft::serve;
+
+std::string ft::serve::shapeKeyOf(const std::map<std::string, Buffer *> &Args) {
+  // Collect then sort explicitly: the signature must be canonical for any
+  // caller-side container, not an accident of std::map iteration order.
+  std::vector<std::pair<std::string, std::string>> Parts;
+  Parts.reserve(Args.size());
+  for (const auto &[Name, B] : Args) {
+    if (!B)
+      continue;
+    std::string P = Name;
+    P += ':';
+    P += nameOf(B->dtype());
+    const std::vector<int64_t> &Sh = B->shape();
+    if (Sh.empty() && isInt(B->dtype())) {
+      P += '=';
+      P += std::to_string(B->getI(0));
+    } else {
+      P += '[';
+      for (size_t I = 0; I < Sh.size(); ++I) {
+        if (I)
+          P += 'x';
+        P += std::to_string(Sh[I]);
+      }
+      P += ']';
+    }
+    Parts.emplace_back(Name, std::move(P));
+  }
+  std::sort(Parts.begin(), Parts.end());
+  std::string K;
+  for (const auto &[Name, P] : Parts) {
+    if (!K.empty())
+      K += ' ';
+    K += P;
+  }
+  return K;
+}
+
+std::map<std::string, int64_t>
+ft::serve::parseScalarExtents(const std::string &Key) {
+  std::map<std::string, int64_t> Out;
+  size_t Pos = 0;
+  while (Pos < Key.size()) {
+    size_t End = Key.find(' ', Pos);
+    if (End == std::string::npos)
+      End = Key.size();
+    const std::string Seg = Key.substr(Pos, End - Pos);
+    Pos = End + 1;
+    size_t Colon = Seg.find(':');
+    size_t Eq = Seg.find('=');
+    if (Colon == std::string::npos || Eq == std::string::npos || Eq < Colon)
+      continue;
+    char *Stop = nullptr;
+    const std::string ValStr = Seg.substr(Eq + 1);
+    long long V = std::strtoll(ValStr.c_str(), &Stop, 10);
+    if (!Stop || *Stop != '\0' || ValStr.empty())
+      continue;
+    Out[Seg.substr(0, Colon)] = static_cast<int64_t>(V);
+  }
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===- serve/shape_key.h - Canonical argument-shape signature ----*- C++ -*-===//
+///
+/// \file
+/// The canonical signature of one request's argument bindings — the row key
+/// of the telemetry shape table and the bucket key of profile-guided
+/// specialization (DESIGN.md §16). The key is sorted by parameter name
+/// regardless of the container the caller iterates, so the same bindings
+/// always produce the same string:
+///
+///   tensors:        "x:f32[256x64]"
+///   0-D scalars:    "n:i64=256"   (the *value*, not just the rank — an
+///                    extent that only appears in loop bounds still has to
+///                    distinguish shape buckets)
+///
+/// joined with single spaces. parseScalarExtents() inverts the scalar
+/// entries, which is how `ftc --advise --specialize` turns a nominated
+/// shape key back into the extent bindings to specialize at.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_SERVE_SHAPE_KEY_H
+#define FT_SERVE_SHAPE_KEY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "interp/buffer.h"
+
+namespace ft::serve {
+
+/// The canonical sorted-by-name signature of \p Args. Null bindings are
+/// skipped (their absence is validateArgs' error to report).
+std::string shapeKeyOf(const std::map<std::string, Buffer *> &Args);
+
+/// Extracts the `name:iNN=value` scalar entries of a shape key produced by
+/// shapeKeyOf. Malformed segments are skipped.
+std::map<std::string, int64_t> parseScalarExtents(const std::string &Key);
+
+} // namespace ft::serve
+
+#endif // FT_SERVE_SHAPE_KEY_H

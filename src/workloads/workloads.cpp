@@ -73,6 +73,34 @@ Func ft::workloads::buildSubdivNet(const SubdivNetConfig &C) {
   return B.build();
 }
 
+Func ft::workloads::buildSubdivNetDyn(const SubdivNetConfig &C) {
+  FunctionBuilder B("subdivnet_dyn");
+  // The extent parameter is declared first: the VarDef nest wraps
+  // parameters outside-in, so `n` must be in scope where the tensor
+  // parameters' dimension locals are emitted.
+  Expr N = B.scalarInput("n");
+  View E = B.input("e", {N, ic(C.Feats)});
+  View Adj = B.input("adj", {N, ic(3)}, DataType::Int64);
+  View Y = B.output("y", {N, ic(C.Feats)});
+  B.loop(
+      "i", ic(0), N,
+      [&](Expr I) {
+        B.loop("k", 0, C.Feats, [&](Expr K) {
+          Y[I][K].assign(E[I][K].load());
+          B.loop("j", 0, 3, [&](Expr J) {
+            Expr NJ = Adj[I][J].load();
+            Expr NJ1 = Adj[I][makeMod(J + 1, ic(3))].load();
+            View D = B.local("d", {});
+            D.assign(E[NJ][K].load() - E[NJ1][K].load());
+            Y[I][K] += E[NJ][K].load();
+            Y[I][K] += ft::abs(D.load());
+          });
+        });
+      },
+      "faces");
+  return B.build();
+}
+
 eager::Tensor ft::workloads::subdivnetEager(const eager::Tensor &E,
                                             const eager::IndexTensor &AdjFlat,
                                             const SubdivNetConfig &C) {
@@ -133,6 +161,44 @@ Func ft::workloads::buildLongformer(const LongformerConfig &C) {
         View Dot = B.local("dot", {ic(2 * W + 1)});
         // Boundary positions start from -1e30 so softmax gives them ~0
         // weight (the masking of the operator baseline, in one store).
+        B.loop("k", -W, W + 1, [&](Expr Kk) {
+          Dot[Kk + W].assign(
+              select(J + Kk >= 0 && J + Kk < N, fc(0.0), fc(-1e30)));
+        });
+        B.loop("k", -W, W + 1, [&](Expr Kk) {
+          B.ifThen(J + Kk >= 0 && J + Kk < N, [&] {
+            B.loop("p", 0, D, [&](Expr P) {
+              Dot[Kk + W] += Q[J][P].load() * K[J + Kk][P].load();
+            });
+          });
+        });
+        View Attn = B.local("attn", {ic(2 * W + 1)});
+        libop::softmax(B, Dot, Attn);
+        B.loop("p", 0, D, [&](Expr P) { Y[J][P].assign(fc(0.0)); });
+        B.loop("k", -W, W + 1, [&](Expr Kk) {
+          B.ifThen(J + Kk >= 0 && J + Kk < N, [&] {
+            B.loop("p", 0, D, [&](Expr P) {
+              Y[J][P] += Attn[Kk + W].load() * V[J + Kk][P].load();
+            });
+          });
+        });
+      },
+      "tokens");
+  return B.build();
+}
+
+Func ft::workloads::buildLongformerDyn(const LongformerConfig &C) {
+  const int64_t D = C.Feats, W = C.W;
+  FunctionBuilder B("longformer_dyn");
+  Expr N = B.scalarInput("n");
+  View Q = B.input("Q", {N, ic(D)});
+  View K = B.input("K", {N, ic(D)});
+  View V = B.input("V", {N, ic(D)});
+  View Y = B.output("y", {N, ic(D)});
+  B.loop(
+      "j", ic(0), N,
+      [&](Expr J) {
+        View Dot = B.local("dot", {ic(2 * W + 1)});
         B.loop("k", -W, W + 1, [&](Expr Kk) {
           Dot[Kk + W].assign(
               select(J + Kk >= 0 && J + Kk < N, fc(0.0), fc(-1e30)));
@@ -276,6 +342,40 @@ Func ft::workloads::buildSoftRas(const SoftRasConfig &C) {
   return B.build();
 }
 
+Func ft::workloads::buildSoftRasDyn(const SoftRasConfig &C) {
+  const double InvSigma = 1.0 / C.Sigma;
+  FunctionBuilder B("softras_dyn");
+  Expr NF = B.scalarInput("nf");
+  Expr NP = B.scalarInput("np");
+  View Verts = B.input("verts", {NF, ic(3), ic(2)});
+  View Px = B.input("px", {NP});
+  View Py = B.input("py", {NP});
+  View Img = B.output("img", {NP});
+  B.loop(
+      "p", ic(0), NP,
+      [&](Expr Pi) {
+        View S = B.local("acc", {});
+        S.assign(fc(0.0));
+        B.loop("f", ic(0), NF, [&](Expr Fi) {
+          auto Cross = [&](int64_t J) {
+            int64_t J1 = (J + 1) % 3;
+            Expr VX = Verts[Fi][ic(J)][ic(0)].load();
+            Expr VY = Verts[Fi][ic(J)][ic(1)].load();
+            Expr EX = Verts[Fi][ic(J1)][ic(0)].load() - VX;
+            Expr EY = Verts[Fi][ic(J1)][ic(1)].load() - VY;
+            return (Px[Pi].load() - VX) * EY - (Py[Pi].load() - VY) * EX;
+          };
+          View D = B.local("d", {});
+          D.assign(ft::min(ft::min(Cross(0), Cross(1)), Cross(2)));
+          S += ft::ln(fc(1.0) -
+                      ft::sigmoid(D.load() * fc(InvSigma)) * fc(0.999));
+        });
+        Img[Pi].assign(fc(1.0) - ft::exp(S.load()));
+      },
+      "pixels");
+  return B.build();
+}
+
 SoftRasEagerInputs
 ft::workloads::makeSoftRasEagerInputs(const SoftRasData &D,
                                       bool RequiresGrad) {
@@ -389,6 +489,49 @@ Func ft::workloads::buildGAT(const GATConfig &C) {
   });
   B.loop(
       "i", 0, N,
+      [&](Expr I) {
+        View Pv = B.local("p", {ic(Deg)});
+        View Den = B.local("den", {});
+        Den.assign(fc(1e-12));
+        B.loop("m", 0, Deg, [&](Expr M) {
+          Expr Nb = Adj[I][M].load();
+          Pv[M].assign(ft::sigmoid(S1[I].load() + S2[Nb].load()));
+          Den += Pv[M].load();
+        });
+        B.loop("k", 0, F, [&](Expr K) { Y[I][K].assign(fc(0.0)); });
+        B.loop("m", 0, Deg, [&](Expr M) {
+          Expr Nb = Adj[I][M].load();
+          B.loop("k", 0, F, [&](Expr K) {
+            Y[I][K] += Pv[M].load() / Den.load() * H[Nb][K].load();
+          });
+        });
+      },
+      "nodes");
+  return B.build();
+}
+
+Func ft::workloads::buildGATDyn(const GATConfig &C) {
+  const int64_t F = C.Feats, Deg = C.Degree;
+  FunctionBuilder B("gat_dyn");
+  Expr N = B.scalarInput("n");
+  View H = B.input("h", {N, ic(F)});
+  View Adj = B.input("adj", {N, ic(Deg)}, DataType::Int64);
+  View A1 = B.input("a1", {ic(F)});
+  View A2 = B.input("a2", {ic(F)});
+  View Y = B.output("y", {N, ic(F)});
+  // Symbolically sized locals: codegen takes the heap-vector path.
+  View S1 = B.local("s1", {N});
+  View S2 = B.local("s2", {N});
+  B.loop("i", ic(0), N, [&](Expr I) {
+    S1[I].assign(fc(0.0));
+    S2[I].assign(fc(0.0));
+    B.loop("k", 0, F, [&](Expr K) {
+      S1[I] += A1[K].load() * H[I][K].load();
+      S2[I] += A2[K].load() * H[I][K].load();
+    });
+  });
+  B.loop(
+      "i", ic(0), N,
       [&](Expr I) {
         View Pv = B.local("p", {ic(Deg)});
         View Den = B.local("den", {});

@@ -56,6 +56,11 @@ SubdivNetData makeSubdivNetData(const SubdivNetConfig &C);
 /// The outer loop is labeled "faces".
 Func buildSubdivNet(const SubdivNetConfig &C);
 
+/// Shape-generic SubdivNet: the face count is the runtime extent parameter
+/// `n` (declared first), so one compiled kernel serves every mesh size.
+/// Params: n i64 Input, e [n,f], adj [n,3], y [n,f]. Feats stays constant.
+Func buildSubdivNetDyn(const SubdivNetConfig &C);
+
 eager::Tensor subdivnetEager(const eager::Tensor &E,
                              const eager::IndexTensor &AdjFlat,
                              const SubdivNetConfig &C);
@@ -84,6 +89,11 @@ LongformerData makeLongformerData(const LongformerConfig &C);
 /// Params: Q, K, V Inputs, y [n,d] Output. The token loop is labeled
 /// "tokens".
 Func buildLongformer(const LongformerConfig &C);
+
+/// Shape-generic Longformer: the sequence length is the runtime extent
+/// parameter `n` — the ragged-batch case the specialization tier targets.
+/// Params: n i64 Input, Q/K/V [n,d], y [n,d]. Feats and window constant.
+Func buildLongformerDyn(const LongformerConfig &C);
 
 eager::Tensor longformerEager(const eager::Tensor &Q, const eager::Tensor &K,
                               const eager::Tensor &V,
@@ -118,6 +128,11 @@ SoftRasData makeSoftRasData(const SoftRasConfig &C);
 /// Params: verts, px, py Inputs, img [P] Output. Pixel loop labeled
 /// "pixels".
 Func buildSoftRas(const SoftRasConfig &C);
+
+/// Shape-generic SoftRas with two independent extent parameters: `nf`
+/// (faces) and `np` (pixels). Params: nf, np i64 Inputs, verts [nf,3,2],
+/// px/py/img [np].
+Func buildSoftRasDyn(const SoftRasConfig &C);
 
 /// The eager baseline operates on unpacked per-edge vertex vectors.
 struct SoftRasEagerInputs {
@@ -157,6 +172,11 @@ GATData makeGATData(const GATConfig &C);
 /// Params: h, adj, a1, a2 Inputs, y [n,f] Output. Node loop labeled
 /// "nodes".
 Func buildGAT(const GATConfig &C);
+
+/// Shape-generic GAT: the node count is the runtime extent parameter `n`;
+/// the per-node projections become symbolically sized locals. Params:
+/// n i64 Input, h [n,f], adj [n,deg], a1/a2 [f], y [n,f].
+Func buildGATDyn(const GATConfig &C);
 
 eager::Tensor gatEager(const eager::Tensor &H,
                        const eager::IndexTensor &AdjFlat,

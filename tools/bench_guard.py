@@ -111,6 +111,14 @@ CHECKS = {
     "BENCH_simd.json": [
         Check("workloads[*].speedup:min", "higher", abs_slack=0.05),
     ],
+    "BENCH_dynshape.json": [
+        # One generic compile must keep serving every distinct shape; any
+        # growth means the fingerprint started seeing literal extents.
+        Check("shapes.generic_compiles", "lower"),
+        # The acceptance bar: specialization wins >= 1.2x on at least two
+        # of the four workloads, i.e. the second-best speedup clears it.
+        Check("second_best_speedup", "higher", abs_slack=0.05),
+    ],
 }
 
 

@@ -10,27 +10,32 @@
 # 4. SIMD smoke: the default auto-schedule must emit `omp simd` +
 #    __restrict__ for proven loops; --vectorize-width 0 must fall back to
 #    the legacy ivdep-hint emission — plain and under ASan.
-# 5. Serve smoke: the tiered serving bench must pass its acceptance
+# 5. Dynamic-shape smoke: `ftc --dyn` must serve >= 8 distinct shapes of
+#    a shape-generic workload from ONE generic compile, pass the
+#    differential check against the naive loops, and promote the hot
+#    shape bucket to a specialized kernel — plain and under ASan.
+# 6. Serve smoke: the tiered serving bench must pass its acceptance
 #    criteria (cold request hides the compile, >= 95% JIT after warm-up,
 #    bounded queue rejects under overload) and write schema-valid
 #    BENCH_serve.json — plain and under ASan.
-# 6. Telemetry smoke: a serve run with FT_TELEMETRY_DIR set must publish
+# 7. Telemetry smoke: a serve run with FT_TELEMETRY_DIR set must publish
 #    >= 2 schema-valid snapshots with strictly monotone sequence numbers
 #    and no unpublished tmp files, and `ftc --top` must round-trip the
 #    snapshot directory into the dashboard — including skipping a
 #    deliberately truncated snapshot with a warning — plain and under
 #    ASan.
-# 7. Correlation smoke: a cold-then-warm serve run with FT_TRACE +
+# 8. Correlation smoke: a cold-then-warm serve run with FT_TRACE +
 #    FT_TELEMETRY_DIR + a deadline must produce a Chrome trace where
 #    every serve/request span carries its request id and >= 1 flow arrow
 #    links a request to the background serve/compile span, and a final
 #    snapshot whose per-fingerprint shape counts sum to the requests
 #    served, with per-tenant deadline accounting that `ftc --top` and
 #    `ftc --advise` render — plain and under ASan.
-# 8. Bench guard: freshly written BENCH_*.json results are compared
-#    against the committed baselines on key ratios; >25% regressions
-#    fail the check (tools/bench_guard.py).
-# 9. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
+# 9. Bench guard: freshly written BENCH_*.json results (including the
+#    dynamic-shape bench's compile-amortization and specialization
+#    speedups) are compared against the committed baselines on key
+#    ratios; >25% regressions fail the check (tools/bench_guard.py).
+# 10. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
 #    separate build tree, so memory and UB bugs in the analysis/schedule
 #    layers cannot hide behind passing functional tests. The trace test
 #    runs there too: the observability layer itself must be clean.
@@ -158,6 +163,33 @@ simd_smoke() {
 
 echo "== simd smoke: proven lowering vs legacy hint =="
 simd_smoke ./build/tools/ftc
+
+# Dynamic-shape smoke against $1/ftc: one shape-generic compile must serve
+# >= 8 distinct shapes (generic_compiles=1 in the summary line), every
+# shape must match the naive C++ loops (differential=ok), and the hot
+# shape bucket must promote to a specialized kernel (promoted=1) — on a
+# fresh private cache dir so the compile counts are deterministic.
+dynshape_smoke() {
+  local Ftc="$1"
+  local CacheDir
+  CacheDir="$(mktemp -d /tmp/ft_check_dynshape.XXXXXX)"
+  local Out
+  Out="$(FT_CACHE_DIR="$CacheDir" FT_SPECIALIZE_AFTER=4 \
+    "$Ftc" --dyn --workload subdivnet --serve 12 --shapes 8)" ||
+    { echo "dynshape smoke: ftc --dyn failed"; echo "$Out"; return 1; }
+  echo "$Out" | grep -q "dynshape: summary shapes=8 generic_compiles=1 " ||
+    { echo "dynshape smoke: 8 shapes did not amortize to one generic compile"
+      echo "$Out"; return 1; }
+  echo "$Out" | grep -q "promoted=1 differential=ok" ||
+    { echo "dynshape smoke: hot bucket not promoted or differential failed"
+      echo "$Out"; return 1; }
+  rm -rf "$CacheDir"
+  echo "dynshape smoke OK: 8 shapes -> 1 generic compile," \
+       "hot bucket promoted, differential vs naive loops ok"
+}
+
+echo "== dynshape smoke: one generic compile + hot-bucket promotion =="
+dynshape_smoke ./build/tools/ftc
 
 # Serving smoke against the serve_bench binary $1 (run from scratch dir
 # $2): the executor must
@@ -345,6 +377,9 @@ correlation_smoke ./build/tools/ftc
 echo "== telemetry overhead bench: disabled <= 5 ns, enabled <= 2% =="
 (cd build/bench-build && ../bench/telemetry_overhead_bench) | tail -1
 
+echo "== dynshape bench: compile amortization + specialization payoff =="
+(cd build/bench-build && ../bench/dynshape_bench) | tail -2
+
 echo "== bench guard: fresh results vs committed baselines =="
 python3 tools/bench_guard.py --baseline-dir . --fresh-dir build/bench-build
 
@@ -377,6 +412,9 @@ ASAN_OPTIONS=detect_leaks=0 cache_smoke ./build-asan/tools/ftc
 
 echo "== simd smoke under ASan =="
 ASAN_OPTIONS=detect_leaks=0 simd_smoke ./build-asan/tools/ftc
+
+echo "== dynshape smoke under ASan =="
+ASAN_OPTIONS=detect_leaks=0 dynshape_smoke ./build-asan/tools/ftc
 
 echo "== serve smoke under ASan =="
 ASAN_OPTIONS=detect_leaks=0 \

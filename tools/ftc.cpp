@@ -30,16 +30,29 @@
 //       snapshots, and snapshots with a newer schema than this build
 //       understands, are skipped with a one-line warning.
 //
-//   ftc --advise [--telemetry-dir DIR]
+//   ftc --advise [--telemetry-dir DIR] [--specialize]
 //       workload-characterization advisor: reads the per-fingerprint shape
 //       table from the newest snapshot and nominates the (fingerprint,
 //       shape) pairs worth specializing — ranked by requests x mean
-//       latency (total served ns).
+//       latency (total served ns). With --specialize, nominations whose
+//       fingerprint matches a shape-generic workload kernel are compiled
+//       ahead of time (constant-folded extents + full autoschedule) into
+//       the shared kernel cache, capped at FT_SPECIALIZE_MAX, so the
+//       serving process promotes them from a warm cache instead of paying
+//       the compile online.
+//
+//   ftc --dyn --workload W --serve N [--shapes M]
+//       dynamic-shape serving demo: the shape-generic variant of the
+//       workload (symbolic extents as runtime arguments) serves M distinct
+//       shapes from ONE compiled kernel, then hot-bucket traffic triggers
+//       a background specialized compile that hot-swaps in. Emits
+//       greppable "dynshape:" summary lines.
 //
 //===----------------------------------------------------------------------===//
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,12 +62,18 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/extents.h"
 #include "autodiff/grad.h"
 #include "autoschedule/autoschedule.h"
 #include "codegen/codegen.h"
 #include "codegen/jit.h"
+#include "codegen/kernel_cache.h"
+#include "interp/interp.h"
 #include "ir/printer.h"
+#include "pass/simplify.h"
+#include "pass/specialize.h"
 #include "serve/serve.h"
+#include "serve/shape_key.h"
 #include "support/json.h"
 #include "workloads/workloads.h"
 
@@ -78,6 +97,9 @@ struct Options {
   bool Advise = false;
   bool Watch = false;
   std::string TelemetryDir;
+  bool Dyn = false;
+  int Shapes = 12;
+  bool Specialize = false;
 };
 
 int usage() {
@@ -88,8 +110,9 @@ int usage() {
       "           [--emit-cpp FILE|-] [--grad] [--run N] [--profile]\n"
       "           [--vectorize-width N] [--no-cache] [--cache-dir DIR]\n"
       "           [--serve N]\n"
+      "       ftc --dyn --workload W --serve N [--shapes M]\n"
       "       ftc --top [--telemetry-dir DIR] [--watch]\n"
-      "       ftc --advise [--telemetry-dir DIR]\n");
+      "       ftc --advise [--telemetry-dir DIR] [--specialize]\n");
   return 2;
 }
 
@@ -134,6 +157,253 @@ Bound buildWorkload(const std::string &Name) {
     B.Store.emplace("y", Buffer(DataType::Float32, {C.NNodes, C.Feats}));
   }
   return B;
+}
+
+//===----------------------------------------------------------------------===//
+// ftc --dyn: shape-generic serving demo
+//===----------------------------------------------------------------------===//
+
+/// The shape-generic (symbolic-extent) variant of \p Name with default
+/// constant feature dimensions. Body is null for unknown names.
+Func buildDynWorkload(const std::string &Name) {
+  if (Name == "subdivnet")
+    return buildSubdivNetDyn({});
+  if (Name == "longformer")
+    return buildLongformerDyn({});
+  if (Name == "softras")
+    return buildSoftRasDyn({});
+  if (Name == "gat")
+    return buildGATDyn({});
+  return {};
+}
+
+/// Argument store for the \p K-th distinct shape of the dyn workload:
+/// deterministic input data of a size derived from K, the bound extent
+/// scalars, and a zeroed output tensor.
+std::map<std::string, Buffer> makeDynStore(const std::string &Name,
+                                           int64_t K) {
+  std::map<std::string, Buffer> S;
+  if (Name == "subdivnet") {
+    SubdivNetConfig C;
+    C.NFaces = 64 + 16 * K;
+    SubdivNetData D = makeSubdivNetData(C);
+    S.emplace("n", Buffer::scalarI64(C.NFaces));
+    S.emplace("e", std::move(D.E));
+    S.emplace("adj", std::move(D.Adj));
+    S.emplace("y", Buffer(DataType::Float32, {C.NFaces, C.Feats}));
+  } else if (Name == "longformer") {
+    LongformerConfig C;
+    C.SeqLen = 64 + 16 * K;
+    LongformerData D = makeLongformerData(C);
+    S.emplace("n", Buffer::scalarI64(C.SeqLen));
+    S.emplace("Q", std::move(D.Q));
+    S.emplace("K", std::move(D.K));
+    S.emplace("V", std::move(D.V));
+    S.emplace("y", Buffer(DataType::Float32, {C.SeqLen, C.Feats}));
+  } else if (Name == "softras") {
+    SoftRasConfig C;
+    C.NFaces = 16 + 4 * K;
+    C.ImgH = 4;
+    C.ImgW = 4 + K;
+    SoftRasData D = makeSoftRasData(C);
+    S.emplace("nf", Buffer::scalarI64(C.NFaces));
+    S.emplace("np", Buffer::scalarI64(C.numPixels()));
+    S.emplace("verts", std::move(D.Verts));
+    S.emplace("px", std::move(D.Px));
+    S.emplace("py", std::move(D.Py));
+    S.emplace("img", Buffer(DataType::Float32, {C.numPixels()}));
+  } else if (Name == "gat") {
+    GATConfig C;
+    C.NNodes = 128 + 32 * K;
+    GATData D = makeGATData(C);
+    S.emplace("n", Buffer::scalarI64(C.NNodes));
+    S.emplace("h", std::move(D.H));
+    S.emplace("adj", std::move(D.Adj));
+    S.emplace("a1", std::move(D.A1));
+    S.emplace("a2", std::move(D.A2));
+    S.emplace("y", Buffer(DataType::Float32, {C.NNodes, C.Feats}));
+  }
+  return S;
+}
+
+/// Cross-checks the output tensor of \p Store against the plain-C++ naive
+/// implementation at the store's bound shape. Returns the max |diff|.
+double dynStoreError(const std::string &Name,
+                     std::map<std::string, Buffer> &Store) {
+  auto MaxDiff = [](const Buffer &Got, const std::vector<float> &Want) {
+    double M = 0;
+    for (int64_t I = 0; I < Got.numel(); ++I)
+      M = std::max(M, double(std::fabs(Got.as<float>()[I] - Want[I])));
+    return M;
+  };
+  if (Name == "subdivnet") {
+    SubdivNetConfig C;
+    C.NFaces = Store.at("n").getI(0);
+    std::vector<float> Y(C.NFaces * C.Feats);
+    subdivnetNaive(C, Store.at("e").as<float>(),
+                   Store.at("adj").as<int64_t>(), Y.data());
+    return MaxDiff(Store.at("y"), Y);
+  }
+  if (Name == "longformer") {
+    LongformerConfig C;
+    C.SeqLen = Store.at("n").getI(0);
+    std::vector<float> Y(C.SeqLen * C.Feats);
+    longformerNaive(C, Store.at("Q").as<float>(), Store.at("K").as<float>(),
+                    Store.at("V").as<float>(), Y.data());
+    return MaxDiff(Store.at("y"), Y);
+  }
+  if (Name == "softras") {
+    SoftRasConfig C;
+    C.NFaces = Store.at("nf").getI(0);
+    C.ImgH = 1;
+    C.ImgW = Store.at("np").getI(0); // numPixels() is all that matters
+    std::vector<float> Img(C.numPixels());
+    softrasNaive(C, Store.at("verts").as<float>(),
+                 Store.at("px").as<float>(), Store.at("py").as<float>(),
+                 Img.data());
+    return MaxDiff(Store.at("img"), Img);
+  }
+  if (Name == "gat") {
+    GATConfig C;
+    C.NNodes = Store.at("n").getI(0);
+    std::vector<float> Y(C.NNodes * C.Feats);
+    gatNaive(C, Store.at("h").as<float>(), Store.at("adj").as<int64_t>(),
+             Store.at("a1").as<float>(), Store.at("a2").as<float>(),
+             Y.data());
+    return MaxDiff(Store.at("y"), Y);
+  }
+  return 0;
+}
+
+int runDyn(Options &O) {
+  Func DynF = buildDynWorkload(O.Workload);
+  if (!DynF.Body) {
+    std::fprintf(stderr, "unknown workload: %s\n", O.Workload.c_str());
+    return usage();
+  }
+  ExtentSpec Spec = extentParamsOf(DynF);
+  std::string ExtNames;
+  for (const std::string &N : Spec.Params)
+    ExtNames += (ExtNames.empty() ? "" : ",") + N;
+  std::printf("workload %s (dyn): %zu parameters, extent args [%s]\n",
+              O.Workload.c_str(), DynF.Params.size(), ExtNames.c_str());
+  if (O.PrintIr)
+    std::printf("\n=== staged IR ===\n%s\n", toString(DynF.Body).c_str());
+
+  Func Opt = DynF;
+  if (O.AutoScheduleEnabled) {
+    AutoScheduleReport R;
+    AutoScheduleOptions ASOpts;
+    if (O.VectorWidth >= 0)
+      ASOpts.VectorWidth = O.VectorWidth;
+    Opt = autoScheduleFunc(DynF, ASOpts, &R);
+    std::printf("auto-schedule: fused=%d vectorized=%d parallelized=%d "
+                "localized=%d lib=%d unrolled=%d\n",
+                R.Fused, R.Vectorized, R.Parallelized, R.Localized,
+                R.LibCalls, R.Unrolled);
+  }
+  if (O.PrintOptIr)
+    std::printf("\n=== scheduled IR ===\n%s\n", toString(Opt.Body).c_str());
+  if (O.Serve <= 0)
+    return 0;
+
+  serve::Config C = serve::Config::fromEnv();
+  serve::Executor Ex(C);
+  const int M = std::max(1, O.Shapes);
+  std::vector<std::map<std::string, Buffer>> Stores;
+  std::vector<std::map<std::string, Buffer *>> Args;
+  Stores.reserve(M);
+  for (int K = 0; K < M; ++K)
+    Stores.push_back(makeDynStore(O.Workload, K));
+  for (auto &St : Stores) {
+    std::map<std::string, Buffer *> A;
+    for (auto &[N, Buf] : St)
+      A[N] = &Buf;
+    Args.push_back(std::move(A));
+  }
+
+  // Phase 1 — ragged traffic: one request per distinct shape, all against
+  // the single shape-generic fingerprint. Early requests are answered by
+  // the interpreter while the ONE generic compile runs in the background.
+  auto Await = [&](std::vector<std::future<serve::Response>> &Futs,
+                   uint64_t &SpecServed) -> bool {
+    for (auto &Fu : Futs) {
+      serve::Response R = Fu.get();
+      if (!R.S.ok()) {
+        std::fprintf(stderr, "dynshape: request failed: %s\n",
+                     R.S.message().c_str());
+        return false;
+      }
+      if (R.Specialized)
+        ++SpecServed;
+    }
+    Futs.clear();
+    return true;
+  };
+  uint64_t SpecSeen = 0;
+  std::vector<std::future<serve::Response>> Futs;
+  for (int K = 0; K < M; ++K) {
+    auto R = Ex.submit(Opt, Args[K]);
+    if (!R.ok()) {
+      std::fprintf(stderr, "dynshape: submit failed: %s\n",
+                   R.message().c_str());
+      return 1;
+    }
+    Futs.push_back(std::move(*R));
+  }
+  if (!Await(Futs, SpecSeen))
+    return 1;
+  Ex.drain(); // generic compile has landed (or failed to interp-pin)
+  serve::ServeStats St1 = Ex.stats();
+  std::printf("dynshape: phase1 shapes=%d generic_compiles=%llu "
+              "interp=%llu jit=%llu\n",
+              M, (unsigned long long)St1.CompilesStarted,
+              (unsigned long long)St1.InterpServed,
+              (unsigned long long)St1.JitServed);
+
+  // Differential check: every shape's output against the naive C++ loops.
+  double MaxErr = 0;
+  for (int K = 0; K < M; ++K)
+    MaxErr = std::max(MaxErr, dynStoreError(O.Workload, Stores[K]));
+  std::printf("dynshape: differential max_err=%.2e over %d shapes (%s)\n",
+              MaxErr, M, MaxErr < 1e-3 ? "ok" : "FAIL");
+
+  // Phase 2 — a hot bucket: hammer shape 0 past FT_SPECIALIZE_AFTER so it
+  // is nominated, then drain so the specialized compile completes.
+  uint64_t Hot = std::max<uint64_t>(C.SpecializeAfter + 1, O.Serve);
+  for (uint64_t I = 0; I < Hot; ++I) {
+    auto R = Ex.submit(Opt, Args[0]);
+    if (R.ok())
+      Futs.push_back(std::move(*R));
+  }
+  if (!Await(Futs, SpecSeen))
+    return 1;
+  Ex.drain();
+
+  // Phase 3 — the hot bucket again: now served by the specialized kernel.
+  for (int I = 0; I < std::max(1, O.Serve); ++I) {
+    auto R = Ex.submit(Opt, Args[0]);
+    if (R.ok())
+      Futs.push_back(std::move(*R));
+  }
+  if (!Await(Futs, SpecSeen))
+    return 1;
+  Ex.drain();
+  double HotErr = dynStoreError(O.Workload, Stores[0]);
+
+  serve::ServeStats St = Ex.stats();
+  std::printf("dynshape: spec_compiles=%llu spec_failed=%llu "
+              "spec_served=%llu hot_err=%.2e\n",
+              (unsigned long long)St.SpecCompilesStarted,
+              (unsigned long long)St.SpecCompilesFailed,
+              (unsigned long long)St.SpecServed, HotErr);
+  std::printf("dynshape: summary shapes=%d generic_compiles=%llu "
+              "spec_compiles=%llu promoted=%d differential=%s\n",
+              M, (unsigned long long)St.CompilesStarted,
+              (unsigned long long)St.SpecCompilesStarted,
+              St.SpecServed > 0 ? 1 : 0,
+              MaxErr < 1e-3 && HotErr < 1e-3 ? "ok" : "FAIL");
+  return MaxErr < 1e-3 && HotErr < 1e-3 ? 0 : 1;
 }
 
 //===----------------------------------------------------------------------===//
@@ -241,6 +511,13 @@ bool renderTop(const std::string &Dir) {
                 C->num("serve/compiles_started"),
                 C->num("serve/compiles_failed"), C->num("serve/cache_hits"),
                 C->num("serve/batches"), C->num("serve/run_errors"));
+    // Shape-bucket specialization: generic = jit minus specialized serves.
+    std::printf("spec[shape-buckets]: generic %.0f | specialized %.0f | "
+                "spec compiles %.0f (failed %.0f)\n",
+                C->num("serve/jit_served") - C->num("serve/spec_served"),
+                C->num("serve/spec_served"),
+                C->num("serve/spec_compiles_started"),
+                C->num("serve/spec_compiles_failed"));
   }
   if (const json::Value *Hs = S.get("histograms")) {
     for (const json::Value &H : Hs->items()) {
@@ -411,6 +688,63 @@ int runAdvise(const Options &O) {
     std::printf("  note: %s served %.0f reqs at shapes beyond the table "
                 "cap (raise FT_SHAPE_TABLE_CAP to track them)\n",
                 F.c_str(), Reqs);
+  if (!O.Specialize)
+    return 0;
+
+  // --specialize: pre-compile nominated shape buckets into the shared
+  // kernel cache. Only fingerprints we can reconstruct locally — the
+  // shape-generic workload kernels, staged exactly as `ftc --dyn` serves
+  // them — are actionable; foreign fingerprints are skipped. The compile
+  // pipeline replicates the serving executor's specialized path verbatim
+  // (specializeFunc -> simplify -> autoScheduleFunc -> compile at
+  // FT_SPECIALIZE_OPT_FLAGS) so the published cache entry is keyed
+  // identically and the server's own compile becomes a warm cache hit.
+  serve::Config SC = serve::Config::fromEnv();
+  std::map<std::string, std::pair<std::string, Func>> ByFp;
+  for (const char *W : {"subdivnet", "longformer", "softras", "gat"}) {
+    Func DynF = buildDynWorkload(W);
+    Func Served = DynF;
+    if (O.AutoScheduleEnabled) {
+      AutoScheduleOptions ASOpts;
+      if (O.VectorWidth >= 0)
+        ASOpts.VectorWidth = O.VectorWidth;
+      Served = autoScheduleFunc(DynF, ASOpts);
+    }
+    uint64_t Key = kernel_cache::cacheKey(Served, {}, SC.OptFlags).Full;
+    char Hex[24];
+    std::snprintf(Hex, sizeof(Hex), "0x%016llx",
+                  (unsigned long long)Key);
+    ByFp.emplace(Hex, std::make_pair(std::string(W), std::move(Served)));
+  }
+  size_t Budget = SC.SpecializeMax;
+  size_t Compiled = 0;
+  for (const AdviseRow &R : Rows) {
+    if (Compiled >= Budget)
+      break;
+    auto It = ByFp.find(R.Fingerprint);
+    if (It == ByFp.end())
+      continue;
+    std::map<std::string, int64_t> Ext = serve::parseScalarExtents(R.Shape);
+    if (Ext.empty())
+      continue;
+    Func SF = specializeFunc(It->second.second, Ext);
+    Func In = autoScheduleFunc(simplify(SF));
+    auto K = Kernel::compile(In, {}, SC.SpecOptFlags);
+    if (!K.ok()) {
+      std::fprintf(stderr,
+                   "advise: specialized compile failed for %s at `%s`: %s\n",
+                   It->second.first.c_str(), R.Shape.c_str(),
+                   K.message().c_str());
+      continue;
+    }
+    ++Compiled;
+    std::printf("advise: specialized %s (%s) at `%s`: %.2f s (cache: %s)\n",
+                It->second.first.c_str(), R.Fingerprint.c_str(),
+                R.Shape.c_str(), K->compileSeconds(),
+                nameOf(K->cacheTier()));
+  }
+  std::printf("advise: %zu specialized kernel(s) in the cache (cap %zu)\n",
+              Compiled, Budget);
   return 0;
 }
 
@@ -452,6 +786,12 @@ int main(int argc, char **argv) {
       O.Watch = true;
     else if (A == "--telemetry-dir" && I + 1 < argc)
       O.TelemetryDir = argv[++I];
+    else if (A == "--dyn")
+      O.Dyn = true;
+    else if (A == "--shapes" && I + 1 < argc)
+      O.Shapes = std::atoi(argv[++I]);
+    else if (A == "--specialize")
+      O.Specialize = true;
     else
       return usage();
   }
@@ -460,6 +800,8 @@ int main(int argc, char **argv) {
     return runTop(O);
   if (O.Advise)
     return runAdvise(O);
+  if (O.Dyn)
+    return runDyn(O);
 
   Bound B = buildWorkload(O.Workload);
   if (!B.F.Body) {
