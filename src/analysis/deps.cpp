@@ -6,9 +6,65 @@
 
 #include "analysis/affine.h"
 #include "analysis/extents.h"
+#include "analysis/ragged.h"
 #include "support/stats.h"
 
 using namespace ft;
+
+namespace {
+
+/// True when \p Name is a valid ragged index tensor in this function: a
+/// 1-D integer Input that is never written. Loads of it in loop bounds may
+/// then be modeled as opaque symbols constrained by the runtime contract
+/// of analysis/ragged.h (checkIndptrArgs).
+bool isRaggedIndexTensor(const AccessCollection &AC, const std::string &Name) {
+  auto It = AC.Defs.find(Name);
+  if (It == AC.Defs.end())
+    return false;
+  const Ref<VarDefNode> &D = It->second;
+  if (D->ATy != AccessType::Input || D->Info.Shape.size() != 1 ||
+      !isInt(D->Info.Dtype))
+    return false;
+  auto BV = AC.ByVar.find(Name);
+  if (BV != AC.ByVar.end())
+    for (size_t I : BV->second)
+      if (AC.Points[I].Kind != AccessKind::Read)
+        return false;
+  return true;
+}
+
+/// One opaque ragged-bound symbol occurring in a pair set: the value of
+/// `Tensor[Idx]` with Idx already renamed into the p./q. iteration space.
+struct RaggedSym {
+  std::string Tensor;
+  LinearExpr Idx;
+  std::string Name;
+};
+
+/// The canonical symbol for a ragged bound. Both addDomain and the
+/// monotonicity bridging below must render identically, so the name is
+/// derived from the renamed index's canonical string form.
+RaggedSym raggedSymOf(const std::string &Tensor, const LinearExpr &Idx) {
+  return {Tensor, Idx, "$rg:" + Tensor + "[" + Idx.toString() + "]"};
+}
+
+/// Matches a loop bound that addDomain models as a ragged symbol: the
+/// idiom load of a valid index tensor with an affine index. Returns the
+/// symbol with \p Prefix applied to iterator names.
+std::optional<RaggedSym>
+raggedSymForBound(const AccessCollection &AC, const Expr &Bound,
+                  const IsParamFn &IsParam, const std::string &Prefix,
+                  const std::vector<std::string> &Iters) {
+  auto RB = raggedBoundOf(Bound);
+  if (!RB || !isRaggedIndexTensor(AC, RB->Tensor))
+    return std::nullopt;
+  auto Idx = toLinear(RB->Index, IsParam);
+  if (!Idx)
+    return std::nullopt;
+  return raggedSymOf(RB->Tensor, renameIters(*Idx, Prefix, Iters));
+}
+
+} // namespace
 
 DepAnalyzer::DepAnalyzer(const Stmt &Root) : AC(collectAccesses(Root)) {
   stats::counters().AnalyzerBuilds.fetch_add(1, std::memory_order_relaxed);
@@ -77,14 +133,32 @@ bool DepAnalyzer::addDomain(AffineSet &S, const AccessPoint &P,
 
   for (const LoopAxis &L : P.Loops) {
     LinearExpr IterVar = LinearExpr::variable(Prefix + L.Iter);
-    if (auto B = toLinear(L.Begin, IsParam))
+    // Data-dependent (ragged) bounds become opaque symbols instead of
+    // dropped constraints: `Begin = indptr[i]` contributes
+    // `$rg:indptr[p.i] <= p.j` with the symbol >= 0 by the runtime
+    // contract (analysis/ragged.h). buildPairSet later bridges symbols of
+    // the same tensor with monotonicity facts, which is what lets segment
+    // loops over distinct rows prove independent.
+    if (auto B = toLinear(L.Begin, IsParam)) {
       S.addLE(renameIters(*B, Prefix, Iters), IterVar);
-    else
+    } else if (auto Sym =
+                   raggedSymForBound(AC, L.Begin, IsParam, Prefix, Iters)) {
+      LinearExpr SymVar = LinearExpr::variable(Sym->Name);
+      S.addLE(SymVar, IterVar);
+      S.addLE(LinearExpr::constant(0), SymVar);
+    } else {
       S.markInexact();
-    if (auto Ed = toLinear(L.End, IsParam))
+    }
+    if (auto Ed = toLinear(L.End, IsParam)) {
       S.addLT(IterVar, renameIters(*Ed, Prefix, Iters));
-    else
+    } else if (auto Sym =
+                   raggedSymForBound(AC, L.End, IsParam, Prefix, Iters)) {
+      LinearExpr SymVar = LinearExpr::variable(Sym->Name);
+      S.addLT(IterVar, SymVar);
+      S.addLE(LinearExpr::constant(0), SymVar);
+    } else {
       S.markInexact();
+    }
     // Extent parameters in the bounds are opaque runtime values, but the
     // request-side contract (analysis/extents.h) guarantees them >= 1;
     // recording that tightens the domain without assuming any value.
@@ -205,6 +279,48 @@ AffineSet DepAnalyzer::buildPairSet(const AccessPoint &E,
     }
   } else {
     S.markInexact();
+  }
+
+  // Monotonicity bridging for ragged bounds (DESIGN.md §17): the runtime
+  // contract makes index tensors non-decreasing, so whenever the set
+  // already proves idxA <= idxB for two loads of the same index tensor,
+  // `T[idxA] <= T[idxB]` is a fact. With the caller's `p.i < q.i` this
+  // chains `p.j < indptr[p.i+1] <= indptr[q.i] <= q.j`, which contradicts
+  // same-location constraints like `p.j == q.j` — distinct rows' segments
+  // are disjoint. Facts are judged against the set before any are added
+  // (one-round bridging): sound, and sufficient since the implications
+  // come from iterator constraints, not from other bridged facts.
+  std::vector<RaggedSym> Syms;
+  auto CollectSyms = [&](const AccessPoint &P, const std::string &Prefix) {
+    std::vector<std::string> Iters;
+    for (const LoopAxis &Lp : P.Loops)
+      Iters.push_back(Lp.Iter);
+    for (const LoopAxis &Lp : P.Loops)
+      for (const Expr &Bound : {Lp.Begin, Lp.End}) {
+        if (toLinear(Bound, IsParam))
+          continue;
+        if (auto Sym = raggedSymForBound(AC, Bound, IsParam, Prefix, Iters))
+          if (std::none_of(Syms.begin(), Syms.end(),
+                           [&](const RaggedSym &O) {
+                             return O.Name == Sym->Name;
+                           }))
+            Syms.push_back(std::move(*Sym));
+      }
+  };
+  CollectSyms(E, "p.");
+  CollectSyms(L, "q.");
+  if (Syms.size() > 1) {
+    std::vector<std::pair<const RaggedSym *, const RaggedSym *>> Facts;
+    for (const RaggedSym &A : Syms)
+      for (const RaggedSym &B : Syms) {
+        if (&A == &B || A.Tensor != B.Tensor)
+          continue;
+        auto Diff = LinearExpr::trySub(B.Idx, A.Idx);
+        if (Diff && S.implies(*Diff))
+          Facts.emplace_back(&A, &B);
+      }
+    for (const auto &[A, B] : Facts)
+      S.addLE(LinearExpr::variable(A->Name), LinearExpr::variable(B->Name));
   }
   return S;
 }

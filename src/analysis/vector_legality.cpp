@@ -6,6 +6,8 @@
 #include <functional>
 #include <set>
 
+#include "analysis/ragged.h"
+
 using namespace ft;
 
 namespace {
@@ -252,6 +254,20 @@ VectorLegality ft::analyzeVectorLegality(const DepAnalyzer &DA,
                std::to_string(Width);
     return V;
   }
+
+  // Ragged segment loops (DESIGN.md §17) never vectorize: the trip count
+  // is data (`indptr[i+1] - indptr[i]`), so the fixed-width lane model and
+  // its remainder math have no compile-time footing. Rejecting up front
+  // gives the schedule audit a precise reason instead of a generic
+  // dependence message.
+  for (const Expr &Bound : {L->Begin, L->End})
+    if (auto RB = raggedBoundOf(Bound)) {
+      V.Reason = "cannot vectorize at width " + std::to_string(Width) +
+                 ": loop bound is data-dependent (ragged segment bound `" +
+                 RB->Tensor + "[...]`); per-row trip counts are only known "
+                 "at run time";
+      return V;
+    }
 
   auto ClassOf = [&](const std::string &Var) -> std::string {
     for (const VecAccess &A : V.Accesses)

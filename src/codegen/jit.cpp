@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/extents.h"
+#include "analysis/ragged.h"
 #include "codegen/codegen.h"
 #include "codegen/kernel_cache.h"
 #include "codegen/profile.h"
@@ -128,6 +129,11 @@ struct Kernel::Impl {
   /// them per call, mirroring validateArgs, so the generated code never
   /// sees a non-positive extent or an inconsistent tensor/extent pair.
   ExtentSpec Extents;
+  /// Ragged structure of the compiled Func (segment loops, index tensors):
+  /// run() re-checks the index-tensor contract per call — schedules were
+  /// proven legal under the monotonicity facts, so a kernel must never see
+  /// a decreasing or out-of-range indptr (analysis/ragged.h).
+  RaggedInfo Ragged;
   void *Handle = nullptr;
   void (*Entry)(void **) = nullptr;
   /// Optional telemetry export emitted by codegen; reads the kernel .so's
@@ -223,6 +229,7 @@ Kernel::Impl::makeSkeleton(const Func &F, const CodegenOptions &Opts) {
   I->Params = F.Params;
   I->RequiresDistinctParams = hasExplicitSimdLoop(F.Body);
   I->Extents = extentParamsOf(F);
+  I->Ragged = analyzeRagged(F);
   for (const std::string &P : F.Params) {
     auto D = findVarDef(F.Body, P);
     if (!D)
@@ -519,6 +526,9 @@ Status Kernel::run(const std::map<std::string, Buffer *> &Args,
       }
     }
   }
+  if (!I->Ragged.empty())
+    if (Status S = checkIndptrArgs(I->Ragged, Args); !S.ok())
+      return S;
   if (I->RequiresDistinctParams) {
     for (size_t A = 0; A < Ptrs.size(); ++A)
       for (size_t B = A + 1; B < Ptrs.size(); ++B)

@@ -242,6 +242,74 @@ Func FunctionBuilder::build() {
   }
   Stmt Body = closeBlock(std::move(Blocks.back()));
   Blocks.clear();
+  // Ragged-bound validation (DESIGN.md §17): a loop bound may read a
+  // tensor element only in the segment-loop idiom `for j in
+  // indptr[i]..indptr[i+1]` — a single-index load of a 1-D integer Input
+  // parameter. Anything else (a local, an output, a float tensor, a
+  // multi-dim load) has no runtime monotonicity contract, so dependence
+  // analysis and the executors could not reason about it.
+  {
+    class BoundLoads : public Visitor {
+    public:
+      std::vector<const LoadNode *> Out;
+
+    protected:
+      void visit(const LoadNode *E) override {
+        if (!E->Indices.empty())
+          Out.push_back(E);
+        Visitor::visit(E);
+      }
+    };
+    class RaggedIdiomCheck : public Visitor {
+    public:
+      RaggedIdiomCheck(const std::vector<ParamInfo> &Params,
+                       const std::string &FuncName)
+          : Params(Params), FuncName(FuncName) {}
+
+    protected:
+      void visit(const ForNode *S) override {
+        for (const Expr &Bound : {S->Begin, S->End}) {
+          BoundLoads BL;
+          BL(Bound);
+          for (const LoadNode *L : BL.Out)
+            checkIdiom(S, L);
+        }
+        Visitor::visit(S);
+      }
+
+    private:
+      void checkIdiom(const ForNode *S, const LoadNode *L) {
+        const ParamInfo *Decl = nullptr;
+        for (const ParamInfo &P : Params)
+          if (P.Name == L->Var)
+            Decl = &P;
+        ftAssert(Decl != nullptr,
+                 "in " + FuncName + ", the bounds of loop `" + S->Iter +
+                     "` read tensor `" + L->Var +
+                     "`, which is not a parameter; data-dependent bounds "
+                     "must load a 1-D integer Input index tensor");
+        ftAssert(Decl->ATy == AccessType::Input,
+                 "in " + FuncName + ", the bounds of loop `" + S->Iter +
+                     "` read `" + L->Var +
+                     "`, which is writable (" + nameOf(Decl->ATy) +
+                     "); index tensors must be read-only Inputs");
+        ftAssert(Decl->Info.Shape.size() == 1 && L->Indices.size() == 1,
+                 "in " + FuncName + ", the bounds of loop `" + S->Iter +
+                     "` read `" + L->Var +
+                     "`, which is not 1-D; index tensors carry one segment "
+                     "offset per row");
+        ftAssert(isInt(Decl->Info.Dtype),
+                 "in " + FuncName + ", the bounds of loop `" + S->Iter +
+                     "` read `" + L->Var +
+                     "`, which is not an integer tensor");
+      }
+
+      const std::vector<ParamInfo> &Params;
+      const std::string &FuncName;
+    };
+    RaggedIdiomCheck Check(Params, Name);
+    Check(Body);
+  }
   // Wrap parameters outside-in so the first parameter is outermost.
   for (auto It = Params.rbegin(); It != Params.rend(); ++It)
     Body = makeVarDef(It->Name, It->Info, It->ATy, MemType::CPU,

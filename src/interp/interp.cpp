@@ -8,6 +8,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "analysis/ragged.h"
 #include "math/linear.h"
 
 using namespace ft;
@@ -490,7 +491,12 @@ Status ft::validateArgs(const Func &F,
   }
   // Shape-generic functions: extent arguments must be bound, positive, and
   // consistent with every buffer dimension they determine.
-  return checkExtentArgs(F, Extents, Args);
+  if (Status S = checkExtentArgs(F, Extents, Args); !S.ok())
+    return S;
+  // Ragged functions: index tensors must be non-negative, monotonically
+  // non-decreasing, and within the extents they gate (analysis/ragged.h) —
+  // the contract dependence analysis assumed when it proved schedules.
+  return checkIndptrArgs(F, Args);
 }
 
 Status ft::interpretChecked(const Func &F,

@@ -22,6 +22,27 @@ struct Candidate {
   Expr Value;
 };
 
+/// Whether re-evaluating \p E costs no more than reading the scalar it
+/// replaces: a constant, a variable, or a single load (possibly cast).
+/// Anything with arithmetic — and especially transcendentals like the
+/// per-segment `exp(e[j] - max) / sum` of softmax — is NOT cheap.
+bool cheapToReplicate(const Expr &E) {
+  Expr Cur = E;
+  while (Cur && Cur->kind() == NodeKind::Cast)
+    Cur = cast<CastNode>(Cur)->Operand;
+  if (!Cur)
+    return false;
+  switch (Cur->kind()) {
+  case NodeKind::IntConst:
+  case NodeKind::FloatConst:
+  case NodeKind::Var:
+  case NodeKind::Load:
+    return true;
+  default:
+    return false;
+  }
+}
+
 /// Finds a propagatable scalar inside \p Def's body, or nullopt.
 std::optional<Candidate> findCandidate(const Ref<VarDefNode> &Def) {
   if (Def->ATy != AccessType::Cache || !Def->Info.Shape.empty())
@@ -51,10 +72,16 @@ std::optional<Candidate> findCandidate(const Ref<VarDefNode> &Def) {
   // scope at the read site.
   if (!Write->Loops.empty() || !Write->Conds.empty())
     return std::nullopt;
-
+  // If the read sits in a loop the store is not in, folding re-evaluates
+  // the RHS once per iteration of that loop — a net loss unless the RHS
+  // is no more expensive than the scalar read it replaces. The segment
+  // idiom hits this hard: `w = exp(e[j] - mx) / sum` read in the feature
+  // loop would recompute the exp() Feats times per edge.
   Stmt StoreStmt = findStmt(Def->Body, Write->StmtId);
   auto St = dyn_cast<StoreNode>(StoreStmt);
   if (!St)
+    return std::nullopt;
+  if (!Read->Loops.empty() && !cheapToReplicate(St->Value))
     return std::nullopt;
 
   // Interference: none of the RHS's operand tensors may be written inside

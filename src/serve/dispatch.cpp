@@ -60,7 +60,8 @@ std::shared_ptr<KernelEntry> KernelDirectory::intern(uint64_t Key,
   auto It = Map.find(Key);
   if (It != Map.end())
     return It->second;
-  auto E = std::make_shared<KernelEntry>(Key, F, extentParamsOf(F));
+  auto E = std::make_shared<KernelEntry>(Key, F, extentParamsOf(F),
+                                         analyzeRagged(F));
   Map.emplace(Key, E);
   return E;
 }

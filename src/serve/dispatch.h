@@ -28,6 +28,7 @@
 #include <unordered_map>
 
 #include "analysis/extents.h"
+#include "analysis/ragged.h"
 #include "codegen/jit.h"
 #include "ir/func.h"
 
@@ -52,9 +53,17 @@ struct KernelEntry {
 
   /// The extent-parameter signature of F — non-empty iff this fingerprint
   /// is shape-generic. Computed once at intern (a body walk per request
-  /// would tax the hot path); empty for specialized entries, whose extents
-  /// are already constants.
+  /// would tax the hot path). A specialized entry's spec holds only the
+  /// extents specialization left symbolic: empty for dense buckets, the
+  /// residual ragged extents (`nnz`) for sparse ones, so one specialized
+  /// kernel serves a whole nnz bucket.
   const ExtentSpec Extents;
+
+  /// The ragged structure of F (segment loops, index tensors, nnz-sized
+  /// dims) — empty for dense programs. Computed once at intern; per
+  /// request it picks the bucketed shape key and survives into specialized
+  /// entries so their residual nnz extents stay symbolic.
+  const RaggedInfo Ragged;
 
   /// True for a specialized shape-bucket entry (DESIGN.md §16): F has its
   /// extents constant-folded, and the compile thread schedules it
@@ -63,9 +72,9 @@ struct KernelEntry {
   const bool IsSpec;
 
   explicit KernelEntry(uint64_t Key, Func F, ExtentSpec Extents = {},
-                       bool IsSpec = false)
+                       RaggedInfo Ragged = {}, bool IsSpec = false)
       : Key(Key), F(std::move(F)), Extents(std::move(Extents)),
-        IsSpec(IsSpec) {}
+        Ragged(std::move(Ragged)), IsSpec(IsSpec) {}
 
   /// The id of the request whose submit won beginCompile() — the compile
   /// thread stamps it on the serve/compile span and closes that request's

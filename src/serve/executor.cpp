@@ -303,7 +303,9 @@ struct Executor::Impl {
   /// fingerprint), and returns the bucket's specialized kernel when its
   /// background compile has landed. Null = serve the generic tier.
   std::optional<Kernel> specKernelFor(KernelEntry *E, const Request &Req) {
-    const std::string Bucket = shapeKeyOf(Req.Args);
+    // Ragged entries bucket by the pow2-rounded key: one bucket (and one
+    // specialized kernel) per nnz octave instead of one per exact nnz.
+    const std::string Bucket = bucketedShapeKeyOf(Req.Args, E->Ragged);
     std::shared_ptr<KernelEntry> SE;
     {
       std::lock_guard<std::mutex> Lock(E->SpecMu);
@@ -315,11 +317,20 @@ struct Executor::Impl {
         bool Bindable = bindExtentArgs(E->Extents, Req.Args, Ext).ok();
         for (const auto &[Name, Val] : Ext)
           Bindable = Bindable && Val >= 1;
-        if (Bindable) {
+        // Ragged extents stay symbolic: folding the nominating request's
+        // exact nnz would bake a constant every other request in the
+        // bucket violates. Dense extents fold; nnz rides through as the
+        // specialized entry's residual extent spec, bound per request by
+        // Kernel::run.
+        for (const std::string &Name : E->Ragged.RaggedExtents)
+          Ext.erase(Name);
+        if (Bindable && !Ext.empty()) {
           Func SF = specializeFunc(E->F, Ext);
           uint64_t SKey = kernel_cache::cacheKey(SF, {}, C.SpecOptFlags).Full;
-          B.Entry = std::make_shared<KernelEntry>(SKey, std::move(SF),
-                                                  ExtentSpec{}, /*IsSpec=*/true);
+          ExtentSpec Residual = extentParamsOf(SF);
+          B.Entry = std::make_shared<KernelEntry>(
+              SKey, std::move(SF), std::move(Residual), E->Ragged,
+              /*IsSpec=*/true);
           ++E->SpecCount;
         }
       }
@@ -461,7 +472,10 @@ struct Executor::Impl {
         TS.ReqId = Req.Ctx.Id;
         TS.Tenant = Req.Ctx.Tenant;
         TS.DeadlineNs = Req.Ctx.DeadlineNs;
-        TS.ShapeKey = shapeKeyOf(Req.Args);
+        // Ragged entries report the bucketed key: nnz that churns every
+        // request would otherwise shatter the shape table into
+        // one-hit-wonder rows `--advise` can never nominate.
+        TS.ShapeKey = bucketedShapeKeyOf(Req.Args, E->Ragged);
         TS.ServedBy = T;
         TS.Out = S.ok() ? Outcome::Ok
                         : (ArgsOk ? Outcome::RunError : Outcome::InvalidArgs);

@@ -9,7 +9,60 @@
 using namespace ft;
 using namespace ft::serve;
 
-std::string ft::serve::shapeKeyOf(const std::map<std::string, Buffer *> &Args) {
+namespace {
+
+/// The smallest power of two >= \p V (V < 1 buckets to 1). This is the
+/// ragged size bucket: sparse inputs whose nnz drifts a few percent between
+/// requests must not each mint a fresh specialization bucket.
+int64_t pow2BucketOf(int64_t V) {
+  int64_t B = 1;
+  while (B < V && B < (int64_t{1} << 62))
+    B <<= 1;
+  return B;
+}
+
+/// One signature segment for parameter \p Name bound to \p B. Ragged sizes
+/// (per \p RI; null = none) are bucketed and spelled `~bucket`.
+std::string segmentOf(const std::string &Name, const Buffer *B,
+                      const RaggedInfo *RI) {
+  std::string P = Name;
+  P += ':';
+  P += nameOf(B->dtype());
+  const std::vector<int64_t> &Sh = B->shape();
+  if (Sh.empty() && isInt(B->dtype())) {
+    const int64_t V = B->getI(0);
+    if (RI && RI->isRaggedExtent(Name)) {
+      P += '~';
+      P += std::to_string(pow2BucketOf(V));
+    } else {
+      P += '=';
+      P += std::to_string(V);
+    }
+  } else {
+    const std::set<int> *Ragged = nullptr;
+    if (RI) {
+      auto It = RI->RaggedDims.find(Name);
+      if (It != RI->RaggedDims.end())
+        Ragged = &It->second;
+    }
+    P += '[';
+    for (size_t I = 0; I < Sh.size(); ++I) {
+      if (I)
+        P += 'x';
+      if (Ragged && Ragged->count(static_cast<int>(I))) {
+        P += '~';
+        P += std::to_string(pow2BucketOf(Sh[I]));
+      } else {
+        P += std::to_string(Sh[I]);
+      }
+    }
+    P += ']';
+  }
+  return P;
+}
+
+std::string keyOf(const std::map<std::string, Buffer *> &Args,
+                  const RaggedInfo *RI) {
   // Collect then sort explicitly: the signature must be canonical for any
   // caller-side container, not an accident of std::map iteration order.
   std::vector<std::pair<std::string, std::string>> Parts;
@@ -17,23 +70,7 @@ std::string ft::serve::shapeKeyOf(const std::map<std::string, Buffer *> &Args) {
   for (const auto &[Name, B] : Args) {
     if (!B)
       continue;
-    std::string P = Name;
-    P += ':';
-    P += nameOf(B->dtype());
-    const std::vector<int64_t> &Sh = B->shape();
-    if (Sh.empty() && isInt(B->dtype())) {
-      P += '=';
-      P += std::to_string(B->getI(0));
-    } else {
-      P += '[';
-      for (size_t I = 0; I < Sh.size(); ++I) {
-        if (I)
-          P += 'x';
-        P += std::to_string(Sh[I]);
-      }
-      P += ']';
-    }
-    Parts.emplace_back(Name, std::move(P));
+    Parts.emplace_back(Name, segmentOf(Name, B, RI));
   }
   std::sort(Parts.begin(), Parts.end());
   std::string K;
@@ -45,7 +82,19 @@ std::string ft::serve::shapeKeyOf(const std::map<std::string, Buffer *> &Args) {
   return K;
 }
 
-std::map<std::string, int64_t>
+} // namespace
+
+std::string ft::serve::shapeKeyOf(const std::map<std::string, Buffer *> &Args) {
+  return keyOf(Args, nullptr);
+}
+
+std::string
+ft::serve::bucketedShapeKeyOf(const std::map<std::string, Buffer *> &Args,
+                              const RaggedInfo &RI) {
+  return keyOf(Args, RI.empty() ? nullptr : &RI);
+}
+
+Result<std::map<std::string, int64_t>>
 ft::serve::parseScalarExtents(const std::string &Key) {
   std::map<std::string, int64_t> Out;
   size_t Pos = 0;
@@ -58,12 +107,21 @@ ft::serve::parseScalarExtents(const std::string &Key) {
     size_t Colon = Seg.find(':');
     size_t Eq = Seg.find('=');
     if (Colon == std::string::npos || Eq == std::string::npos || Eq < Colon)
-      continue;
+      continue; // Tensor ([...]) or bucketed (~) segment: not a binding.
+    // A scalar binding names a dtype between `:` and `=`; only an integer
+    // scalar can bind an extent parameter. Accepting `n:f32=3` here would
+    // silently specialize at a truncated float — reject it instead.
+    const std::string DT = Seg.substr(Colon + 1, Eq - Colon - 1);
+    if (DT != nameOf(DataType::Int32) && DT != nameOf(DataType::Int64))
+      return Status::error("shape key: scalar extent `" +
+                           Seg.substr(0, Colon) + "` has non-integer dtype `" +
+                           DT + "` in segment `" + Seg + "`");
     char *Stop = nullptr;
     const std::string ValStr = Seg.substr(Eq + 1);
     long long V = std::strtoll(ValStr.c_str(), &Stop, 10);
     if (!Stop || *Stop != '\0' || ValStr.empty())
-      continue;
+      return Status::error("shape key: unparsable scalar value in segment `" +
+                           Seg + "`");
     Out[Seg.substr(0, Colon)] = static_cast<int64_t>(V);
   }
   return Out;

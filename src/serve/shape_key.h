@@ -16,6 +16,13 @@
 /// entries, which is how `ftc --advise --specialize` turns a nominated
 /// shape key back into the extent bindings to specialize at.
 ///
+/// Ragged (nnz-sized) programs get a *bucketed* variant: sizes the ragged
+/// analysis (analysis/ragged.h) marks data-dependent are rounded up to the
+/// next power of two and spelled with `~` instead of an exact size
+/// (`nnz:i64~8192`, `val:f32[~8192]`), so sparse traffic whose nnz churns
+/// request-to-request still lands in a handful of stable telemetry rows and
+/// specialization buckets (DESIGN.md §17).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FT_SERVE_SHAPE_KEY_H
@@ -25,7 +32,9 @@
 #include <map>
 #include <string>
 
+#include "analysis/ragged.h"
 #include "interp/buffer.h"
+#include "support/error.h"
 
 namespace ft::serve {
 
@@ -33,9 +42,20 @@ namespace ft::serve {
 /// skipped (their absence is validateArgs' error to report).
 std::string shapeKeyOf(const std::map<std::string, Buffer *> &Args);
 
+/// The ragged-aware signature: like shapeKeyOf, but every size \p RI marks
+/// ragged — ragged scalar extents (`nnz`) and ragged tensor dimensions
+/// (`val`'s leading dim) — is rounded up to the next power of two and
+/// prefixed with `~`. With an empty \p RI this is exactly shapeKeyOf.
+std::string bucketedShapeKeyOf(const std::map<std::string, Buffer *> &Args,
+                               const RaggedInfo &RI);
+
 /// Extracts the `name:iNN=value` scalar entries of a shape key produced by
-/// shapeKeyOf. Malformed segments are skipped.
-std::map<std::string, int64_t> parseScalarExtents(const std::string &Key);
+/// shapeKeyOf. Tensor entries (`[...]`) and bucketed entries (`~`) are
+/// skipped — a bucket names a range, not a bindable value. A scalar entry
+/// whose dtype is not an integer type is a typed error (a float cannot bind
+/// an extent parameter), as is an unparsable value after `=`.
+Result<std::map<std::string, int64_t>>
+parseScalarExtents(const std::string &Key);
 
 } // namespace ft::serve
 

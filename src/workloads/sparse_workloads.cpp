@@ -1,0 +1,392 @@
+//===- workloads/sparse_workloads.cpp -------------------------------------===//
+
+#include "workloads/sparse_workloads.h"
+
+#include <cmath>
+#include <vector>
+
+#include "frontend/builder.h"
+#include "workloads/workloads.h"
+
+using namespace ft;
+using namespace ft::workloads;
+
+namespace {
+
+Expr ic(int64_t V) { return makeIntConst(V); }
+Expr fc(double V) { return makeFloatConst(V); }
+
+} // namespace
+
+SparseCSR ft::workloads::makeCSR(int64_t Rows, int64_t Cols, int64_t AvgDeg,
+                                 uint64_t Seed) {
+  SparseCSR A;
+  A.Rows = Rows;
+  A.Cols = Cols;
+  std::vector<int64_t> Ptr(Rows + 1, 0);
+  std::vector<int64_t> Idx;
+  std::vector<float> Val;
+  uint64_t S = Seed | 1;
+  uint64_t VS = Seed ^ 0xabcdef12;
+  for (int64_t I = 0; I < Rows; ++I) {
+    S = S * 6364136223846793005ull + 1442695040888963407ull;
+    // Skewed degrees in [0, 2*AvgDeg]: about one row in seven is empty,
+    // the rest spread around the average — realistic nnz skew for the
+    // profiler and the serving buckets.
+    int64_t Deg = (S >> 33) % 7 == 0
+                      ? 0
+                      : static_cast<int64_t>((S >> 17) % (2 * AvgDeg + 1));
+    for (int64_t J = 0; J < Deg; ++J) {
+      S = S * 6364136223846793005ull + 1442695040888963407ull;
+      Idx.push_back(static_cast<int64_t>((S >> 29) % Cols));
+      Val.push_back(frand(VS));
+    }
+    Ptr[I + 1] = static_cast<int64_t>(Idx.size());
+  }
+  A.Nnz = static_cast<int64_t>(Idx.size());
+  A.Indptr = Buffer::fromI64({Rows + 1}, Ptr);
+  A.Indices = Buffer::fromI64({A.Nnz}, Idx);
+  A.Val = Buffer::fromF32({A.Nnz}, Val);
+  return A;
+}
+
+eager::IndexTensor ft::workloads::csrRowIds(const SparseCSR &A) {
+  std::vector<int64_t> Ids(A.Nnz);
+  const int64_t *Ptr = A.Indptr.as<int64_t>();
+  for (int64_t I = 0; I < A.Rows; ++I)
+    for (int64_t J = Ptr[I]; J < Ptr[I + 1]; ++J)
+      Ids[J] = I;
+  return eager::IndexTensor::fromVec({A.Nnz}, std::move(Ids));
+}
+
+eager::IndexTensor ft::workloads::csrCols(const SparseCSR &A) {
+  const int64_t *C = A.Indices.as<int64_t>();
+  return eager::IndexTensor::fromVec({A.Nnz},
+                                     std::vector<int64_t>(C, C + A.Nnz));
+}
+
+eager::Tensor ft::workloads::csrVals(const SparseCSR &A, bool RequiresGrad) {
+  const float *V = A.Val.as<float>();
+  return eager::Tensor::fromVec({A.Nnz}, std::vector<float>(V, V + A.Nnz),
+                                RequiresGrad);
+}
+
+//===----------------------------------------------------------------------===//
+// SpMM
+//===----------------------------------------------------------------------===//
+
+SpMMData ft::workloads::makeSpMMData(const SpMMConfig &C) {
+  SpMMData D;
+  D.A = makeCSR(C.Rows, C.Cols, C.AvgDeg, C.Seed);
+  D.X = Buffer(DataType::Float32, {C.Cols, C.Feats});
+  uint64_t S = C.Seed ^ 0x77777777;
+  for (int64_t I = 0; I < D.X.numel(); ++I)
+    D.X.as<float>()[I] = frand(S);
+  return D;
+}
+
+Func ft::workloads::buildSpMM(const SpMMConfig &C, int64_t Nnz) {
+  FunctionBuilder B("spmm");
+  View P = B.input("indptr", {ic(C.Rows + 1)}, DataType::Int64);
+  View Ci = B.input("indices", {ic(Nnz)}, DataType::Int64);
+  View V = B.input("val", {ic(Nnz)});
+  View X = B.input("x", {ic(C.Cols), ic(C.Feats)});
+  View Y = B.output("y", {ic(C.Rows), ic(C.Feats)});
+  B.loop(
+      "i", 0, C.Rows,
+      [&](Expr I) {
+        B.loop("k", 0, C.Feats, [&](Expr K) { Y[I][K].assign(fc(0.0)); });
+        B.loop(
+            "j", P[I].load(), P[I + 1].load(),
+            [&](Expr J) {
+              Expr Col = Ci[J].load();
+              B.loop("k", 0, C.Feats, [&](Expr K) {
+                Y[I][K] += V[J].load() * X[Col][K].load();
+              });
+            },
+            "spmm_seg");
+      },
+      "rows");
+  return B.build();
+}
+
+Func ft::workloads::buildSpMMDyn(const SpMMConfig &C) {
+  FunctionBuilder B("spmm_dyn");
+  Expr M = B.scalarInput("m");
+  Expr NNZ = B.scalarInput("nnz");
+  View P = B.input("indptr", {M + 1}, DataType::Int64);
+  View Ci = B.input("indices", {NNZ}, DataType::Int64);
+  View V = B.input("val", {NNZ});
+  View X = B.input("x", {ic(C.Cols), ic(C.Feats)});
+  View Y = B.output("y", {M, ic(C.Feats)});
+  B.loop(
+      "i", ic(0), M,
+      [&](Expr I) {
+        B.loop("k", 0, C.Feats, [&](Expr K) { Y[I][K].assign(fc(0.0)); });
+        B.loop(
+            "j", P[I].load(), P[I + 1].load(),
+            [&](Expr J) {
+              Expr Col = Ci[J].load();
+              B.loop("k", 0, C.Feats, [&](Expr K) {
+                Y[I][K] += V[J].load() * X[Col][K].load();
+              });
+            },
+            "spmm_seg");
+      },
+      "rows");
+  return B.build();
+}
+
+eager::Tensor ft::workloads::spmmEager(const eager::Tensor &Val,
+                                       const eager::IndexTensor &RowIds,
+                                       const eager::IndexTensor &Cols,
+                                       const eager::Tensor &X, int64_t Rows) {
+  using namespace eager;
+  Tensor Xg = indexSelect0(X, Cols);   // [nnz, F] materialized gather.
+  Tensor Wx = mulRows(Xg, Val);        // [nnz, F].
+  return scatterAdd0(Wx, RowIds, Rows); // [Rows, F].
+}
+
+void ft::workloads::spmmNaive(const SpMMConfig &C, const SparseCSR &A,
+                              const float *X, float *Y) {
+  const int64_t *Ptr = A.Indptr.as<int64_t>();
+  const int64_t *Idx = A.Indices.as<int64_t>();
+  const float *V = A.Val.as<float>();
+  for (int64_t I = 0; I < C.Rows; ++I) {
+    for (int64_t K = 0; K < C.Feats; ++K)
+      Y[I * C.Feats + K] = 0.0f;
+    for (int64_t J = Ptr[I]; J < Ptr[I + 1]; ++J)
+      for (int64_t K = 0; K < C.Feats; ++K)
+        Y[I * C.Feats + K] += V[J] * X[Idx[J] * C.Feats + K];
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SDDMM
+//===----------------------------------------------------------------------===//
+
+SDDMMData ft::workloads::makeSDDMMData(const SDDMMConfig &C) {
+  SDDMMData D;
+  D.A = makeCSR(C.Rows, C.Cols, C.AvgDeg, C.Seed);
+  D.Da = Buffer(DataType::Float32, {C.Rows, C.Feats});
+  D.Db = Buffer(DataType::Float32, {C.Cols, C.Feats});
+  uint64_t S = C.Seed ^ 0x12345678;
+  for (int64_t I = 0; I < D.Da.numel(); ++I)
+    D.Da.as<float>()[I] = frand(S);
+  for (int64_t I = 0; I < D.Db.numel(); ++I)
+    D.Db.as<float>()[I] = frand(S);
+  return D;
+}
+
+Func ft::workloads::buildSDDMM(const SDDMMConfig &C, int64_t Nnz) {
+  FunctionBuilder B("sddmm");
+  View P = B.input("indptr", {ic(C.Rows + 1)}, DataType::Int64);
+  View Ci = B.input("indices", {ic(Nnz)}, DataType::Int64);
+  View V = B.input("val", {ic(Nnz)});
+  View Da = B.input("a", {ic(C.Rows), ic(C.Feats)});
+  View Db = B.input("b", {ic(C.Cols), ic(C.Feats)});
+  View Out = B.output("out_val", {ic(Nnz)});
+  B.loop(
+      "i", 0, C.Rows,
+      [&](Expr I) {
+        B.loop(
+            "j", P[I].load(), P[I + 1].load(),
+            [&](Expr J) {
+              View D = B.local("dot", {});
+              D.assign(fc(0.0));
+              Expr Col = Ci[J].load();
+              B.loop("k", 0, C.Feats, [&](Expr K) {
+                D += Da[I][K].load() * Db[Col][K].load();
+              });
+              Out[J].assign(V[J].load() * D.load());
+            },
+            "sddmm_seg");
+      },
+      "rows");
+  return B.build();
+}
+
+Func ft::workloads::buildSDDMMDyn(const SDDMMConfig &C) {
+  FunctionBuilder B("sddmm_dyn");
+  Expr M = B.scalarInput("m");
+  Expr NNZ = B.scalarInput("nnz");
+  View P = B.input("indptr", {M + 1}, DataType::Int64);
+  View Ci = B.input("indices", {NNZ}, DataType::Int64);
+  View V = B.input("val", {NNZ});
+  View Da = B.input("a", {M, ic(C.Feats)});
+  View Db = B.input("b", {ic(C.Cols), ic(C.Feats)});
+  View Out = B.output("out_val", {NNZ});
+  B.loop(
+      "i", ic(0), M,
+      [&](Expr I) {
+        B.loop(
+            "j", P[I].load(), P[I + 1].load(),
+            [&](Expr J) {
+              View D = B.local("dot", {});
+              D.assign(fc(0.0));
+              Expr Col = Ci[J].load();
+              B.loop("k", 0, C.Feats, [&](Expr K) {
+                D += Da[I][K].load() * Db[Col][K].load();
+              });
+              Out[J].assign(V[J].load() * D.load());
+            },
+            "sddmm_seg");
+      },
+      "rows");
+  return B.build();
+}
+
+eager::Tensor ft::workloads::sddmmEager(const eager::Tensor &Da,
+                                        const eager::Tensor &Db,
+                                        const eager::Tensor &Val,
+                                        const eager::IndexTensor &RowIds,
+                                        const eager::IndexTensor &Cols) {
+  using namespace eager;
+  Tensor Ag = indexSelect0(Da, RowIds); // [nnz, F] materialized.
+  Tensor Bg = indexSelect0(Db, Cols);   // [nnz, F] materialized.
+  Tensor Prod = mul(Ag, Bg);            // [nnz, F].
+  Tensor Dots = sumAxis(Prod, 1);       // [nnz].
+  return mul(Dots, Val);                // [nnz].
+}
+
+void ft::workloads::sddmmNaive(const SDDMMConfig &C, const SparseCSR &A,
+                               const float *Da, const float *Db, float *Out) {
+  const int64_t *Ptr = A.Indptr.as<int64_t>();
+  const int64_t *Idx = A.Indices.as<int64_t>();
+  const float *V = A.Val.as<float>();
+  for (int64_t I = 0; I < C.Rows; ++I)
+    for (int64_t J = Ptr[I]; J < Ptr[I + 1]; ++J) {
+      float Acc = 0.0f;
+      for (int64_t K = 0; K < C.Feats; ++K)
+        Acc += Da[I * C.Feats + K] * Db[Idx[J] * C.Feats + K];
+      Out[J] = V[J] * Acc;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Segment softmax
+//===----------------------------------------------------------------------===//
+
+SegSoftmaxData ft::workloads::makeSegSoftmaxData(const SegSoftmaxConfig &C) {
+  SegSoftmaxData D;
+  D.G = makeCSR(C.Nodes, C.Nodes, C.AvgDeg, C.Seed);
+  D.H = Buffer(DataType::Float32, {C.Nodes, C.Feats});
+  uint64_t S = C.Seed ^ 0x31415926;
+  for (int64_t I = 0; I < D.H.numel(); ++I)
+    D.H.as<float>()[I] = frand(S);
+  return D;
+}
+
+Func ft::workloads::buildSegSoftmax(const SegSoftmaxConfig &C, int64_t Nnz) {
+  FunctionBuilder B("segsoftmax");
+  View P = B.input("indptr", {ic(C.Nodes + 1)}, DataType::Int64);
+  View Ci = B.input("indices", {ic(Nnz)}, DataType::Int64);
+  View E = B.input("e", {ic(Nnz)});
+  View H = B.input("h", {ic(C.Nodes), ic(C.Feats)});
+  View Y = B.output("y", {ic(C.Nodes), ic(C.Feats)});
+  B.loop(
+      "i", 0, C.Nodes,
+      [&](Expr I) {
+        View Mx = B.localNoGrad("mx", {});
+        Mx.assign(fc(-1e30));
+        B.loop(
+            "j", P[I].load(), P[I + 1].load(),
+            [&](Expr J) { Mx.reduceMax(E[J].load()); }, "seg_max");
+        View Sum = B.local("s", {});
+        Sum.assign(fc(0.0));
+        B.loop(
+            "j", P[I].load(), P[I + 1].load(),
+            [&](Expr J) { Sum += exp(E[J].load() - Mx.load()); }, "seg_sum");
+        B.loop("k", 0, C.Feats, [&](Expr K) { Y[I][K].assign(fc(0.0)); });
+        B.loop(
+            "j", P[I].load(), P[I + 1].load(),
+            [&](Expr J) {
+              View W = B.local("w", {});
+              W.assign(exp(E[J].load() - Mx.load()) / Sum.load());
+              Expr Src = Ci[J].load();
+              B.loop("k", 0, C.Feats, [&](Expr K) {
+                Y[I][K] += W.load() * H[Src][K].load();
+              });
+            },
+            "seg_agg");
+      },
+      "nodes");
+  return B.build();
+}
+
+Func ft::workloads::buildSegSoftmaxDyn(const SegSoftmaxConfig &C) {
+  FunctionBuilder B("segsoftmax_dyn");
+  Expr N = B.scalarInput("m");
+  Expr NNZ = B.scalarInput("nnz");
+  View P = B.input("indptr", {N + 1}, DataType::Int64);
+  View Ci = B.input("indices", {NNZ}, DataType::Int64);
+  View E = B.input("e", {NNZ});
+  View H = B.input("h", {N, ic(C.Feats)});
+  View Y = B.output("y", {N, ic(C.Feats)});
+  B.loop(
+      "i", ic(0), N,
+      [&](Expr I) {
+        View Mx = B.localNoGrad("mx", {});
+        Mx.assign(fc(-1e30));
+        B.loop(
+            "j", P[I].load(), P[I + 1].load(),
+            [&](Expr J) { Mx.reduceMax(E[J].load()); }, "seg_max");
+        View Sum = B.local("s", {});
+        Sum.assign(fc(0.0));
+        B.loop(
+            "j", P[I].load(), P[I + 1].load(),
+            [&](Expr J) { Sum += exp(E[J].load() - Mx.load()); }, "seg_sum");
+        B.loop("k", 0, C.Feats, [&](Expr K) { Y[I][K].assign(fc(0.0)); });
+        B.loop(
+            "j", P[I].load(), P[I + 1].load(),
+            [&](Expr J) {
+              View W = B.local("w", {});
+              W.assign(exp(E[J].load() - Mx.load()) / Sum.load());
+              Expr Src = Ci[J].load();
+              B.loop("k", 0, C.Feats, [&](Expr K) {
+                Y[I][K] += W.load() * H[Src][K].load();
+              });
+            },
+            "seg_agg");
+      },
+      "nodes");
+  return B.build();
+}
+
+eager::Tensor ft::workloads::segSoftmaxEager(const eager::Tensor &Logit,
+                                             const eager::IndexTensor &RowIds,
+                                             const eager::IndexTensor &Src,
+                                             const eager::Tensor &H,
+                                             int64_t Nodes) {
+  using namespace eager;
+  Tensor ExpE = exp(Logit);                    // [nnz].
+  Tensor Sums = scatterAdd0(ExpE, RowIds, Nodes); // [Nodes] segment sums.
+  Tensor SumG = indexSelect0(Sums, RowIds);    // [nnz] gathered back.
+  Tensor Wn = divEw(ExpE, SumG);               // [nnz] softmax weights.
+  Tensor Hg = indexSelect0(H, Src);            // [nnz, F] materialized.
+  Tensor Wh = mulRows(Hg, Wn);                 // [nnz, F].
+  return scatterAdd0(Wh, RowIds, Nodes);       // [Nodes, F].
+}
+
+void ft::workloads::segSoftmaxNaive(const SegSoftmaxConfig &C,
+                                    const SparseCSR &G, const float *H,
+                                    float *Y) {
+  const int64_t *Ptr = G.Indptr.as<int64_t>();
+  const int64_t *Idx = G.Indices.as<int64_t>();
+  const float *E = G.Val.as<float>();
+  for (int64_t I = 0; I < C.Nodes; ++I) {
+    float Mx = -1e30f;
+    for (int64_t J = Ptr[I]; J < Ptr[I + 1]; ++J)
+      Mx = std::max(Mx, E[J]);
+    float Sum = 0.0f;
+    for (int64_t J = Ptr[I]; J < Ptr[I + 1]; ++J)
+      Sum += std::exp(E[J] - Mx);
+    for (int64_t K = 0; K < C.Feats; ++K)
+      Y[I * C.Feats + K] = 0.0f;
+    for (int64_t J = Ptr[I]; J < Ptr[I + 1]; ++J) {
+      float W = std::exp(E[J] - Mx) / Sum;
+      for (int64_t K = 0; K < C.Feats; ++K)
+        Y[I * C.Feats + K] += W * H[Idx[J] * C.Feats + K];
+    }
+  }
+}

@@ -1,0 +1,173 @@
+//===- workloads/sparse_workloads.h - CSR / segment workloads ----*- C++ -*-===//
+///
+/// \file
+/// The sparse evaluation workloads of the ragged subsystem (DESIGN.md §17)
+/// — SpMM, SDDMM, and segment-softmax GNN aggregation — each in the same
+/// three implementations as workloads.h:
+///
+///   build*()     the FreeTensor DSL program, iterating CSR segments with
+///                data-dependent loop bounds (`for j in
+///                indptr[i]..indptr[i+1]`); `build*Dyn()` is the
+///                shape-generic form with runtime extents `m` (rows) and
+///                `nnz` (stored entries),
+///   *Eager()     the operator-based baseline on EagerTensor — COO-style
+///                gather / compute / scatter chains, each step fully
+///                materialized at nnz granularity,
+///   *Naive()     plain single-thread C++ loops (ground truth).
+///
+/// All sparse inputs share one CSR container whose row lengths are
+/// deliberately skewed (including empty rows), so the profiler's ragged
+/// iteration totals and the serving plane's nnz buckets see realistic
+/// degree distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FT_WORKLOADS_SPARSE_WORKLOADS_H
+#define FT_WORKLOADS_SPARSE_WORKLOADS_H
+
+#include "interp/buffer.h"
+#include "ir/func.h"
+#include "opframework/eager.h"
+
+namespace ft {
+namespace workloads {
+
+/// A CSR matrix: Indptr[i]..Indptr[i+1] delimits row i's entries in
+/// Indices (column ids) and Val.
+struct SparseCSR {
+  int64_t Rows = 0;
+  int64_t Cols = 0;
+  int64_t Nnz = 0;
+  Buffer Indptr;  ///< [Rows + 1] int64, non-decreasing, Indptr[Rows] == Nnz.
+  Buffer Indices; ///< [Nnz] int64 column ids in [0, Cols).
+  Buffer Val;     ///< [Nnz] float32.
+};
+
+/// Deterministic CSR with skewed row degrees: degrees cycle through
+/// [0, 2*AvgDeg] (about one row in seven empty), columns pseudo-random.
+SparseCSR makeCSR(int64_t Rows, int64_t Cols, int64_t AvgDeg, uint64_t Seed);
+
+/// Per-entry row ids (COO expansion of Indptr) — the scatter/gather index
+/// the eager baselines need to materialize.
+eager::IndexTensor csrRowIds(const SparseCSR &A);
+
+/// Eager views of the CSR arrays.
+eager::IndexTensor csrCols(const SparseCSR &A);
+eager::Tensor csrVals(const SparseCSR &A, bool RequiresGrad = false);
+
+//===----------------------------------------------------------------------===//
+// SpMM: Y = A @ X with A sparse CSR.
+//   y[i,k] = sum_{j in seg(i)} val[j] * x[indices[j], k]
+//===----------------------------------------------------------------------===//
+
+struct SpMMConfig {
+  int64_t Rows = 2048;
+  int64_t Cols = 1024;
+  int64_t Feats = 64;
+  int64_t AvgDeg = 16;
+  uint64_t Seed = 0x5eed5eed;
+};
+
+struct SpMMData {
+  SparseCSR A;
+  Buffer X; ///< [Cols, Feats] float32.
+};
+
+SpMMData makeSpMMData(const SpMMConfig &C);
+
+/// Params: indptr [m+1] i64, indices [nnz] i64, val [nnz], x [Cols,Feats]
+/// Inputs; y [m,Feats] Output. Row loop labeled "rows", segment loop
+/// "spmm_seg". \p Nnz is the stored-entry count of the data the static
+/// program is built for.
+Func buildSpMM(const SpMMConfig &C, int64_t Nnz);
+
+/// Shape-generic SpMM: runtime extents `m` (rows) and `nnz`. Cols/Feats
+/// stay constant.
+Func buildSpMMDyn(const SpMMConfig &C);
+
+eager::Tensor spmmEager(const eager::Tensor &Val,
+                        const eager::IndexTensor &RowIds,
+                        const eager::IndexTensor &Cols, const eager::Tensor &X,
+                        int64_t Rows);
+
+void spmmNaive(const SpMMConfig &C, const SparseCSR &A, const float *X,
+               float *Y);
+
+//===----------------------------------------------------------------------===//
+// SDDMM: sampled dense-dense matmul.
+//   out[j] = val[j] * <Da[i,:], Db[indices[j],:]>  for j in seg(i)
+//===----------------------------------------------------------------------===//
+
+struct SDDMMConfig {
+  int64_t Rows = 2048;
+  int64_t Cols = 2048;
+  int64_t Feats = 64;
+  int64_t AvgDeg = 16;
+  uint64_t Seed = 0xdd5eed;
+};
+
+struct SDDMMData {
+  SparseCSR A;
+  Buffer Da; ///< [Rows, Feats].
+  Buffer Db; ///< [Cols, Feats].
+};
+
+SDDMMData makeSDDMMData(const SDDMMConfig &C);
+
+/// Params: indptr, indices, val, a [Rows,Feats], b [Cols,Feats] Inputs;
+/// out_val [nnz] Output — written at the segment iterator, the case whose
+/// row-parallelism proof genuinely needs the indptr monotonicity facts.
+Func buildSDDMM(const SDDMMConfig &C, int64_t Nnz);
+
+Func buildSDDMMDyn(const SDDMMConfig &C);
+
+eager::Tensor sddmmEager(const eager::Tensor &Da, const eager::Tensor &Db,
+                         const eager::Tensor &Val,
+                         const eager::IndexTensor &RowIds,
+                         const eager::IndexTensor &Cols);
+
+void sddmmNaive(const SDDMMConfig &C, const SparseCSR &A, const float *Da,
+                const float *Db, float *Out);
+
+//===----------------------------------------------------------------------===//
+// Segment-softmax GNN aggregation: per destination node, softmax over the
+// incoming edge logits, then aggregate source features.
+//   w[j] = softmax_{j in seg(i)}(e[j]);  y[i,k] = sum_j w[j] * h[src[j],k]
+//===----------------------------------------------------------------------===//
+
+struct SegSoftmaxConfig {
+  int64_t Nodes = 2048;
+  int64_t Feats = 64;
+  int64_t AvgDeg = 16;
+  uint64_t Seed = 0x5e65eed;
+};
+
+struct SegSoftmaxData {
+  SparseCSR G; ///< Graph in CSR by destination; Val carries edge logits.
+  Buffer H;    ///< [Nodes, Feats] source features.
+};
+
+SegSoftmaxData makeSegSoftmaxData(const SegSoftmaxConfig &C);
+
+/// Params: indptr, indices, e (logits), h Inputs; y [Nodes,Feats] Output.
+/// Node loop labeled "nodes", segment loops "seg_max" / "seg_sum" /
+/// "seg_agg". The softmax is max-stabilized; empty segments write zeros.
+Func buildSegSoftmax(const SegSoftmaxConfig &C, int64_t Nnz);
+
+Func buildSegSoftmaxDyn(const SegSoftmaxConfig &C);
+
+/// Unstabilized eager softmax (exp / scatter-sum / gather / div), the
+/// materializing operator chain. Matches the DSL program to float
+/// round-off for logits of moderate magnitude.
+eager::Tensor segSoftmaxEager(const eager::Tensor &Logit,
+                              const eager::IndexTensor &RowIds,
+                              const eager::IndexTensor &Src,
+                              const eager::Tensor &H, int64_t Nodes);
+
+void segSoftmaxNaive(const SegSoftmaxConfig &C, const SparseCSR &G,
+                     const float *H, float *Y);
+
+} // namespace workloads
+} // namespace ft
+
+#endif // FT_WORKLOADS_SPARSE_WORKLOADS_H

@@ -111,8 +111,23 @@ TEST_F(DynShapeTest, ShapeKeyCanonicalAndRoundTrips) {
   std::map<std::string, Buffer *> A{{"z", &Z}, {"n", &N}, {"x", &X}};
   EXPECT_EQ(shapeKeyOf(A), "n:i64=7 x:f32[4x2] z:i64[3]");
   auto Ext = parseScalarExtents(shapeKeyOf(A));
-  ASSERT_EQ(Ext.size(), 1u);
-  EXPECT_EQ(Ext.at("n"), 7);
+  ASSERT_TRUE(Ext.ok()) << Ext.message();
+  ASSERT_EQ(Ext->size(), 1u);
+  EXPECT_EQ(Ext->at("n"), 7);
+}
+
+TEST_F(DynShapeTest, ParseScalarExtentsRejectsNonIntegerDtype) {
+  // A float "scalar extent" cannot bind an extent parameter; parsing must
+  // fail loudly rather than silently truncate.
+  auto Bad = parseScalarExtents("n:f32=3 x:f32[4x2]");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_NE(Bad.message().find("non-integer dtype"), std::string::npos)
+      << Bad.message();
+  // Bucketed (`~`) segments are ranges, not bindings: skipped, not errors.
+  auto Bucketed = parseScalarExtents("m:i64=16 nnz:i64~8192 val:f32[~8192]");
+  ASSERT_TRUE(Bucketed.ok()) << Bucketed.message();
+  ASSERT_EQ(Bucketed->size(), 1u);
+  EXPECT_EQ(Bucketed->at("m"), 16);
 }
 
 TEST_F(DynShapeTest, DifferentialFuzzOneCompiledKernel) {

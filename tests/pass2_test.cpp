@@ -115,6 +115,40 @@ TEST(ScalarPropTest, KeepsStoreInsideLoop) {
   EXPECT_NE(P.find("var t"), std::string::npos);
 }
 
+TEST(ScalarPropTest, KeepsExpensiveRhsOutOfDeeperLoop) {
+  // w = exp(a[i]); loop k: y[i,k] = w * b[k]. Folding would re-evaluate
+  // the exp once per k — the segment-softmax weight idiom. Must keep.
+  FunctionBuilder B("f");
+  View A = B.input("a", {ic(4)});
+  View Bv = B.input("b", {ic(8)});
+  View Y = B.output("y", {ic(4), ic(8)});
+  B.loop("i", 0, 4, [&](Expr I) {
+    View W = B.local("w", {});
+    W.assign(ft::exp(A[I].load()));
+    B.loop("k", 0, 8,
+           [&](Expr K) { Y[I][K].assign(W.load() * Bv[K].load()); });
+  });
+  Func F = B.build();
+  std::string P = toString(propagateScalars(F.Body));
+  EXPECT_NE(P.find("var w"), std::string::npos) << P;
+}
+
+TEST(ScalarPropTest, FoldsCheapRhsIntoDeeperLoop) {
+  // d = a[i] (a bare load) read inside the k loop: re-reading a[i] costs
+  // the same as reading d, so the fold is still profitable.
+  FunctionBuilder B("f");
+  View A = B.input("a", {ic(4)});
+  View Y = B.output("y", {ic(4), ic(8)});
+  B.loop("i", 0, 4, [&](Expr I) {
+    View D = B.local("d", {});
+    D.assign(A[I].load());
+    B.loop("k", 0, 8, [&](Expr K) { Y[I][K].assign(D.load()); });
+  });
+  Func F = B.build();
+  std::string P = toString(propagateScalars(F.Body));
+  EXPECT_EQ(P.find("var d"), std::string::npos) << P;
+}
+
 TEST(ShrinkVarTest, ShrinksOversizedBuffer) {
   // t declared [64] but only t[0..8) used.
   FunctionBuilder B("f");

@@ -1,0 +1,628 @@
+//===- tests/sparse_test.cpp - CSR / segment-loop workloads ---------------===//
+//
+// The ragged subsystem end to end (DESIGN.md §17):
+//   - analyzeRagged discovers segment loops, index tensors, and nnz-sized
+//     dims of the sparse workload builders;
+//   - interpreter, JIT, and serving executor all agree with the plain-C++
+//     naive oracles on SpMM, SDDMM, and segment-softmax;
+//   - schedule legality: `parallelize` on the outer row loop is PROVEN
+//     legal from the indptr monotonicity facts (including SDDMM, whose
+//     out_val[j] write needs segment disjointness), while `vectorize` on
+//     the data-dependent inner loop is rejected with an audit reason;
+//   - the indptr runtime contract is enforced on both tiers as typed
+//     errors: decreasing, negative, and out-of-range index tensors;
+//   - the frontend rejects malformed data-dependent bounds at build();
+//   - edge cases: empty rows, a fully-empty matrix, a single row;
+//   - differential fuzz: CSR SpMM vs a dense-masked interpreter oracle;
+//   - serving: nnz-bucketed shape keys collapse same-octave sparsities
+//     into ONE specialization bucket, and the one specialized kernel
+//     (residual symbolic nnz) serves a different exact nnz correctly.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "analysis/ragged.h"
+#include "codegen/jit.h"
+#include "codegen/kernel_cache.h"
+#include "frontend/builder.h"
+#include "interp/interp.h"
+#include "schedule/schedule.h"
+#include "serve/serve.h"
+#include "serve/shape_key.h"
+#include "serve/telemetry.h"
+#include "support/trace.h"
+#include "workloads/sparse_workloads.h"
+
+using namespace ft;
+using namespace ft::workloads;
+
+namespace {
+
+Expr ic(int64_t V) { return makeIntConst(V); }
+Expr fc(double V) { return makeFloatConst(V); }
+
+double maxDiff(const Buffer &Got, const std::vector<float> &Want) {
+  EXPECT_EQ(Got.numel(), static_cast<int64_t>(Want.size()));
+  double M = 0;
+  for (int64_t I = 0; I < Got.numel(); ++I)
+    M = std::max(M, double(std::fabs(float(Got.getF(I)) - Want[I])));
+  return M;
+}
+
+std::map<std::string, Buffer *> argsOf(std::map<std::string, Buffer> &S) {
+  std::map<std::string, Buffer *> A;
+  for (auto &[N, B] : S)
+    A[N] = &B;
+  return A;
+}
+
+/// A CSR with an exact chosen Nnz: entries spread as evenly as the row
+/// count allows, columns deterministic. Lets tests pin two sparsities into
+/// the same (or different) power-of-two buckets.
+SparseCSR makeUniformCSR(int64_t Rows, int64_t Cols, int64_t Nnz) {
+  SparseCSR A;
+  A.Rows = Rows;
+  A.Cols = Cols;
+  A.Nnz = Nnz;
+  A.Indptr = Buffer(DataType::Int64, {Rows + 1});
+  A.Indices = Buffer(DataType::Int64, {Nnz});
+  A.Val = Buffer(DataType::Float32, {Nnz});
+  int64_t Per = Nnz / Rows, Extra = Nnz % Rows, At = 0;
+  for (int64_t I = 0; I < Rows; ++I) {
+    A.Indptr.setI(I, At);
+    At += Per + (I < Extra ? 1 : 0);
+  }
+  A.Indptr.setI(Rows, At);
+  for (int64_t J = 0; J < Nnz; ++J) {
+    A.Indices.setI(J, (J * 13 + 7) % Cols);
+    A.Val.setF(J, std::sin(0.31 * double(J)));
+  }
+  return A;
+}
+
+/// Small configs keep interpreter runs and JIT compiles fast.
+SpMMConfig smallSpMM() {
+  SpMMConfig C;
+  C.Rows = 48;
+  C.Cols = 32;
+  C.Feats = 8;
+  C.AvgDeg = 4;
+  return C;
+}
+
+SDDMMConfig smallSDDMM() {
+  SDDMMConfig C;
+  C.Rows = 48;
+  C.Cols = 32;
+  C.Feats = 8;
+  C.AvgDeg = 4;
+  return C;
+}
+
+SegSoftmaxConfig smallSegSoftmax() {
+  SegSoftmaxConfig C;
+  C.Nodes = 48;
+  C.Feats = 8;
+  C.AvgDeg = 4;
+  return C;
+}
+
+std::map<std::string, Buffer> spmmStore(const SpMMConfig &C, SpMMData &D) {
+  std::map<std::string, Buffer> S;
+  S.emplace("indptr", std::move(D.A.Indptr));
+  S.emplace("indices", std::move(D.A.Indices));
+  S.emplace("val", std::move(D.A.Val));
+  S.emplace("x", std::move(D.X));
+  S.emplace("y", Buffer(DataType::Float32, {C.Rows, C.Feats}));
+  return S;
+}
+
+class SparseTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Tmpl[] = "/tmp/ftsparse.XXXXXX";
+    ASSERT_NE(::mkdtemp(Tmpl), nullptr);
+    Dir = Tmpl;
+    ::setenv("FT_CACHE_DIR", Dir.c_str(), 1);
+    ::setenv("FT_CACHE", "1", 1);
+    serve::telemetry::setEnabled(false);
+    serve::telemetry::reset();
+    kernel_cache::memReset();
+  }
+  void TearDown() override {
+    ::unsetenv("FT_CACHE_DIR");
+    ::unsetenv("FT_CACHE");
+    trace::setAuditEnabled(false);
+    serve::telemetry::setEnabled(false);
+    serve::telemetry::reset();
+    kernel_cache::memReset();
+    std::system(("rm -rf '" + Dir + "'").c_str());
+  }
+  std::string Dir;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Ragged analysis
+//===----------------------------------------------------------------------===//
+
+TEST_F(SparseTest, AnalyzeRaggedDiscoversStructure) {
+  RaggedInfo RI = analyzeRagged(buildSpMMDyn(smallSpMM()));
+  ASSERT_FALSE(RI.empty());
+  ASSERT_EQ(RI.IndexTensors.size(), 1u);
+  EXPECT_EQ(RI.IndexTensors[0], "indptr");
+  EXPECT_FALSE(RI.Loops.empty());
+  // `indices` and `val` are addressed at the segment iterator: their
+  // leading dim is nnz-sized and gated by indptr's last value.
+  ASSERT_TRUE(RI.RaggedDims.count("val"));
+  EXPECT_TRUE(RI.RaggedDims.at("val").count(0));
+  ASSERT_TRUE(RI.RaggedDims.count("indices"));
+  ASSERT_TRUE(RI.BoundedParams.count("indptr"));
+  EXPECT_TRUE(RI.BoundedParams.at("indptr").count("val"));
+  EXPECT_TRUE(RI.BoundedParams.at("indptr").count("indices"));
+  // The extent `nnz` sizes ragged dims; `m` sizes dense ones.
+  EXPECT_TRUE(RI.isRaggedExtent("nnz"));
+  EXPECT_FALSE(RI.isRaggedExtent("m"));
+
+  // A dense program has no ragged structure at all.
+  EXPECT_TRUE(analyzeRagged(buildSpMM(smallSpMM(), 16)).empty() ==
+              analyzeRagged(buildSpMM(smallSpMM(), 16)).empty());
+  FunctionBuilder B("dense");
+  View X = B.input("x", {ic(4)});
+  View Y = B.output("y", {ic(4)});
+  B.loop("i", ic(0), ic(4), [&](Expr I) { Y[I].assign(X[I].load()); });
+  EXPECT_TRUE(analyzeRagged(B.build()).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter correctness vs naive oracles
+//===----------------------------------------------------------------------===//
+
+TEST_F(SparseTest, InterpSpMMMatchesNaive) {
+  SpMMConfig C = smallSpMM();
+  SpMMData D = makeSpMMData(C);
+  SparseCSR A = D.A; // Copy before the store moves the buffers.
+  std::vector<float> Want(C.Rows * C.Feats);
+  spmmNaive(C, A, D.X.as<float>(), Want.data());
+  Func F = buildSpMM(C, A.Nnz);
+  auto S = spmmStore(C, D);
+  auto Args = argsOf(S);
+  ASSERT_TRUE(interpretChecked(F, Args).ok());
+  EXPECT_LT(maxDiff(S.at("y"), Want), 1e-5);
+}
+
+TEST_F(SparseTest, InterpSDDMMMatchesNaive) {
+  SDDMMConfig C = smallSDDMM();
+  SDDMMData D = makeSDDMMData(C);
+  std::vector<float> Want(D.A.Nnz);
+  sddmmNaive(C, D.A, D.Da.as<float>(), D.Db.as<float>(), Want.data());
+  Func F = buildSDDMM(C, D.A.Nnz);
+  Buffer Out(DataType::Float32, {D.A.Nnz});
+  std::map<std::string, Buffer *> Args{
+      {"indptr", &D.A.Indptr}, {"indices", &D.A.Indices}, {"val", &D.A.Val},
+      {"a", &D.Da},            {"b", &D.Db},              {"out_val", &Out}};
+  ASSERT_TRUE(interpretChecked(F, Args).ok());
+  EXPECT_LT(maxDiff(Out, Want), 1e-5);
+}
+
+TEST_F(SparseTest, InterpSegSoftmaxMatchesNaive) {
+  SegSoftmaxConfig C = smallSegSoftmax();
+  SegSoftmaxData D = makeSegSoftmaxData(C);
+  std::vector<float> Want(C.Nodes * C.Feats);
+  segSoftmaxNaive(C, D.G, D.H.as<float>(), Want.data());
+  Func F = buildSegSoftmax(C, D.G.Nnz);
+  Buffer Y(DataType::Float32, {C.Nodes, C.Feats});
+  std::map<std::string, Buffer *> Args{{"indptr", &D.G.Indptr},
+                                       {"indices", &D.G.Indices},
+                                       {"e", &D.G.Val},
+                                       {"h", &D.H},
+                                       {"y", &Y}};
+  ASSERT_TRUE(interpretChecked(F, Args).ok());
+  EXPECT_LT(maxDiff(Y, Want), 1e-5);
+}
+
+//===----------------------------------------------------------------------===//
+// JIT correctness + per-call contract re-check
+//===----------------------------------------------------------------------===//
+
+TEST_F(SparseTest, JitSpMMMatchesNaiveAndRechecksIndptr) {
+  SpMMConfig C = smallSpMM();
+  SpMMData D = makeSpMMData(C);
+  SparseCSR A = D.A;
+  std::vector<float> Want(C.Rows * C.Feats);
+  spmmNaive(C, A, D.X.as<float>(), Want.data());
+  Func F = buildSpMM(C, A.Nnz);
+  auto K = Kernel::compile(F);
+  ASSERT_TRUE(K.ok()) << K.message();
+  auto S = spmmStore(C, D);
+  auto Args = argsOf(S);
+  ASSERT_TRUE(K->run(Args).ok());
+  EXPECT_LT(maxDiff(S.at("y"), Want), 1e-5);
+
+  // Corrupt the indptr AFTER compiling: the kernel must re-check the
+  // contract per call — compiled code has no bounds checks of its own.
+  int64_t Keep = S.at("indptr").getI(1);
+  S.at("indptr").setI(1, S.at("indptr").getI(2) + 5);
+  Status Bad = K->run(Args);
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_NE(Bad.message().find("non-decreasing"), std::string::npos)
+      << Bad.message();
+  S.at("indptr").setI(1, Keep);
+  EXPECT_TRUE(K->run(Args).ok());
+}
+
+TEST_F(SparseTest, JitDynSegSoftmaxMatchesInterp) {
+  SegSoftmaxConfig C = smallSegSoftmax();
+  SegSoftmaxData D = makeSegSoftmaxData(C);
+  Func F = buildSegSoftmaxDyn(C);
+  auto K = Kernel::compile(F);
+  ASSERT_TRUE(K.ok()) << K.message();
+  Buffer M = Buffer::scalarI64(C.Nodes);
+  Buffer Nnz = Buffer::scalarI64(D.G.Nnz);
+  Buffer YJ(DataType::Float32, {C.Nodes, C.Feats});
+  Buffer YI(DataType::Float32, {C.Nodes, C.Feats});
+  std::map<std::string, Buffer *> Args{
+      {"m", &M},       {"nnz", &Nnz},  {"indptr", &D.G.Indptr},
+      {"indices", &D.G.Indices}, {"e", &D.G.Val}, {"h", &D.H},
+      {"y", &YJ}};
+  ASSERT_TRUE(K->run(Args).ok());
+  Args["y"] = &YI;
+  ASSERT_TRUE(interpretChecked(F, Args).ok());
+  for (int64_t I = 0; I < YJ.numel(); ++I)
+    ASSERT_NEAR(YJ.getF(I), YI.getF(I), 1e-5) << "at " << I;
+}
+
+//===----------------------------------------------------------------------===//
+// Schedule legality: rows parallelize, segments don't vectorize
+//===----------------------------------------------------------------------===//
+
+TEST_F(SparseTest, RowLoopsParallelizeSegmentLoopsReject) {
+  struct Case {
+    Func F;
+    const char *RowLabel;
+    const char *SegLabel;
+  };
+  SpMMConfig SC = smallSpMM();
+  SDDMMConfig DC = smallSDDMM();
+  SegSoftmaxConfig GC = smallSegSoftmax();
+  std::vector<Case> Cases;
+  Cases.push_back({buildSpMM(SC, 200), "rows", "spmm_seg"});
+  Cases.push_back({buildSpMMDyn(SC), "rows", "spmm_seg"});
+  // SDDMM writes out_val[j] at the segment iterator: proving the row loop
+  // parallel genuinely requires indptr[p.i+1] <= indptr[q.i] bridging.
+  Cases.push_back({buildSDDMM(DC, 200), "rows", "sddmm_seg"});
+  Cases.push_back({buildSDDMMDyn(DC), "rows", "sddmm_seg"});
+  Cases.push_back({buildSegSoftmax(GC, 200), "nodes", "seg_agg"});
+  Cases.push_back({buildSegSoftmaxDyn(GC), "nodes", "seg_agg"});
+
+  trace::setAuditEnabled(true);
+  for (Case &Tc : Cases) {
+    size_t Base = trace::auditSize();
+    Schedule S(Tc.F);
+    auto Row = S.findByLabel(Tc.RowLabel);
+    ASSERT_TRUE(Row.ok()) << Tc.F.Name;
+    EXPECT_TRUE(S.parallelize(*Row).ok()) << Tc.F.Name;
+    auto Seg = S.findByLabel(Tc.SegLabel);
+    ASSERT_TRUE(Seg.ok()) << Tc.F.Name;
+    Status V = S.vectorize(*Seg, 8);
+    ASSERT_FALSE(V.ok()) << Tc.F.Name;
+    EXPECT_NE(V.message().find("data-dependent"), std::string::npos)
+        << Tc.F.Name << ": " << V.message();
+    // Both decisions land in the audit log: the accept and the reasoned
+    // rejection `ftc --profile` and check.sh grep for.
+    bool SawAccept = false, SawReject = false;
+    for (const trace::ScheduleDecision &D : trace::auditLogSince(Base)) {
+      if (D.Primitive == "parallelize" && D.Applied)
+        SawAccept = true;
+      if (D.Primitive == "vectorize" && !D.Applied &&
+          D.Reason.find("data-dependent") != std::string::npos)
+        SawReject = true;
+    }
+    EXPECT_TRUE(SawAccept) << Tc.F.Name;
+    EXPECT_TRUE(SawReject) << Tc.F.Name;
+  }
+  trace::setAuditEnabled(false);
+}
+
+//===----------------------------------------------------------------------===//
+// Indptr runtime contract: typed errors on both tiers
+//===----------------------------------------------------------------------===//
+
+TEST_F(SparseTest, IndptrContractViolationsAreTypedErrors) {
+  SpMMConfig C = smallSpMM();
+  SpMMData D = makeSpMMData(C);
+  Func F = buildSpMM(C, D.A.Nnz);
+  auto S = spmmStore(C, D);
+  auto Args = argsOf(S);
+  ASSERT_TRUE(interpretChecked(F, Args).ok());
+
+  // Decreasing.
+  int64_t Keep = S.at("indptr").getI(1);
+  S.at("indptr").setI(1, S.at("indptr").getI(2) + 3);
+  Status Dec = interpretChecked(F, Args);
+  ASSERT_FALSE(Dec.ok());
+  EXPECT_NE(Dec.message().find("non-decreasing"), std::string::npos)
+      << Dec.message();
+  S.at("indptr").setI(1, Keep);
+
+  // Negative start.
+  S.at("indptr").setI(0, -2);
+  Status Neg = interpretChecked(F, Args);
+  ASSERT_FALSE(Neg.ok());
+  EXPECT_NE(Neg.message().find("below zero"), std::string::npos)
+      << Neg.message();
+  S.at("indptr").setI(0, 0);
+
+  // Last offset past the nnz extent of the tensors it gates.
+  int64_t LastIdx = C.Rows;
+  int64_t KeepLast = S.at("indptr").getI(LastIdx);
+  S.at("indptr").setI(LastIdx, KeepLast + 7);
+  Status Oob = interpretChecked(F, Args);
+  ASSERT_FALSE(Oob.ok());
+  EXPECT_NE(Oob.message().find("past the leading extent"), std::string::npos)
+      << Oob.message();
+  S.at("indptr").setI(LastIdx, KeepLast);
+  EXPECT_TRUE(interpretChecked(F, Args).ok());
+
+  // Direct checkIndptrArgs: a mis-shaped index tensor is its own error.
+  RaggedInfo RI = analyzeRagged(F);
+  Buffer Flat(DataType::Float32, {C.Rows + 1});
+  auto BadArgs = Args;
+  BadArgs["indptr"] = &Flat;
+  Status Shape = checkIndptrArgs(RI, BadArgs);
+  ASSERT_FALSE(Shape.ok());
+  EXPECT_NE(Shape.message().find("1-D integer"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Frontend idiom validation at build()
+//===----------------------------------------------------------------------===//
+
+TEST_F(SparseTest, FrontendRejectsMalformedRaggedBounds) {
+  // Bound reads a writable (Output) tensor.
+  EXPECT_DEATH(
+      {
+        FunctionBuilder B("bad_writable");
+        View P = B.output("p", {ic(5)}, DataType::Int64);
+        View Y = B.output("y", {ic(8)});
+        B.loop("i", ic(0), ic(4), [&](Expr I) {
+          B.loop("j", P[I].load(), P[I + 1].load(),
+                 [&](Expr J) { Y[J].assign(fc(1)); });
+        });
+        B.build();
+      },
+      "read-only Inputs");
+  // Bound reads a 2-D tensor.
+  EXPECT_DEATH(
+      {
+        FunctionBuilder B("bad_rank");
+        View P = B.input("p", {ic(5), ic(2)}, DataType::Int64);
+        View Y = B.output("y", {ic(8)});
+        B.loop("i", ic(0), ic(4), [&](Expr I) {
+          B.loop("j", P[I][ic(0)].load(), P[I][ic(1)].load(),
+                 [&](Expr J) { Y[J].assign(fc(1)); });
+        });
+        B.build();
+      },
+      "not 1-D");
+  // Bound reads a float tensor.
+  EXPECT_DEATH(
+      {
+        FunctionBuilder B("bad_dtype");
+        View P = B.input("p", {ic(5)});
+        View Y = B.output("y", {ic(8)});
+        B.loop("i", ic(0), ic(4), [&](Expr I) {
+          B.loop("j", P[I].load(), P[I + 1].load(),
+                 [&](Expr J) { Y[J].assign(fc(1)); });
+        });
+        B.build();
+      },
+      "not an integer tensor");
+}
+
+//===----------------------------------------------------------------------===//
+// Segment edge cases
+//===----------------------------------------------------------------------===//
+
+TEST_F(SparseTest, EmptyRowsSingleRowAndEmptyMatrix) {
+  // The generator's skew leaves about one row in seven empty — make sure
+  // the property actually holds so the main differential tests exercise
+  // empty segments.
+  SpMMConfig C = smallSpMM();
+  SpMMData D = makeSpMMData(C);
+  bool HasEmpty = false;
+  for (int64_t I = 0; I < C.Rows; ++I)
+    HasEmpty |= D.A.Indptr.getI(I) == D.A.Indptr.getI(I + 1);
+  EXPECT_TRUE(HasEmpty);
+
+  // Single-row matrix.
+  SpMMConfig C1 = smallSpMM();
+  C1.Rows = 1;
+  SpMMData D1 = makeSpMMData(C1);
+  SparseCSR A1 = D1.A;
+  std::vector<float> Want(C1.Feats);
+  spmmNaive(C1, A1, D1.X.as<float>(), Want.data());
+  Func F1 = buildSpMM(C1, A1.Nnz);
+  auto S1 = spmmStore(C1, D1);
+  auto Args1 = argsOf(S1);
+  ASSERT_TRUE(interpretChecked(F1, Args1).ok());
+  EXPECT_LT(maxDiff(S1.at("y"), Want), 1e-5);
+
+  // Fully-empty matrix: nnz == 0, every segment empty. Static shapes may
+  // be zero (the >= 1 extent contract applies to runtime extent
+  // *parameters*), so this runs through the static builder.
+  SpMMConfig C0 = smallSpMM();
+  C0.Rows = 6;
+  Func F0 = buildSpMM(C0, 0);
+  std::map<std::string, Buffer> S0;
+  S0.emplace("indptr", Buffer(DataType::Int64, {C0.Rows + 1}));
+  S0.emplace("indices", Buffer(DataType::Int64, {0}));
+  S0.emplace("val", Buffer(DataType::Float32, {0}));
+  S0.emplace("x", Buffer(DataType::Float32, {C0.Cols, C0.Feats}));
+  S0.emplace("y", Buffer(DataType::Float32, {C0.Rows, C0.Feats}));
+  for (int64_t I = 0; I < S0.at("y").numel(); ++I)
+    S0.at("y").setF(I, 99.0); // Must be overwritten with zeros.
+  auto Args0 = argsOf(S0);
+  ASSERT_TRUE(interpretChecked(F0, Args0).ok());
+  for (int64_t I = 0; I < S0.at("y").numel(); ++I)
+    EXPECT_EQ(S0.at("y").getF(I), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential fuzz: CSR SpMM vs a dense-masked interpreter oracle
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Dense matmul y = a @ x — the oracle. Interpreted on the densified CSR,
+/// it must agree with the sparse program interpreted on the CSR itself.
+Func buildDenseMM(int64_t Rows, int64_t Cols, int64_t Feats) {
+  FunctionBuilder B("dense_mm");
+  View A = B.input("a", {ic(Rows), ic(Cols)});
+  View X = B.input("x", {ic(Cols), ic(Feats)});
+  View Y = B.output("y", {ic(Rows), ic(Feats)});
+  B.loop("i", ic(0), ic(Rows), [&](Expr I) {
+    B.loop("k0", ic(0), ic(Feats), [&](Expr K) { Y[I][K].assign(fc(0)); });
+    B.loop("c", ic(0), ic(Cols), [&](Expr Cc) {
+      B.loop("k", ic(0), ic(Feats),
+             [&](Expr K) { Y[I][K] += A[I][Cc].load() * X[Cc][K].load(); });
+    });
+  });
+  return B.build();
+}
+
+} // namespace
+
+TEST_F(SparseTest, FuzzSpMMAgainstDenseMaskedOracle) {
+  const int64_t Rows = 24, Cols = 16, Feats = 4;
+  Func Dense = buildDenseMM(Rows, Cols, Feats);
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    SpMMConfig C;
+    C.Rows = Rows;
+    C.Cols = Cols;
+    C.Feats = Feats;
+    C.AvgDeg = 1 + int64_t(Seed) % 5;
+    C.Seed = 0x9e3779b97f4a7c15ull * Seed;
+    SpMMData D = makeSpMMData(C);
+    SparseCSR A = D.A;
+
+    // Densify: duplicate column hits accumulate, exactly like the sparse
+    // program's += over the segment.
+    Buffer DenseA(DataType::Float32, {Rows, Cols});
+    for (int64_t I = 0; I < Rows; ++I)
+      for (int64_t J = A.Indptr.getI(I); J < A.Indptr.getI(I + 1); ++J) {
+        int64_t Col = A.Indices.getI(J);
+        int64_t Flat = I * Cols + Col;
+        DenseA.setF(Flat, DenseA.getF(Flat) + A.Val.getF(J));
+      }
+    Buffer YD(DataType::Float32, {Rows, Feats});
+    std::map<std::string, Buffer *> DenseArgs{
+        {"a", &DenseA}, {"x", &D.X}, {"y", &YD}};
+    ASSERT_TRUE(interpretChecked(Dense, DenseArgs).ok());
+
+    Func F = buildSpMM(C, A.Nnz);
+    Buffer YS(DataType::Float32, {Rows, Feats});
+    std::map<std::string, Buffer *> SparseArgs{{"indptr", &A.Indptr},
+                                               {"indices", &A.Indices},
+                                               {"val", &A.Val},
+                                               {"x", &D.X},
+                                               {"y", &YS}};
+    ASSERT_TRUE(interpretChecked(F, SparseArgs).ok());
+    for (int64_t I = 0; I < YS.numel(); ++I)
+      ASSERT_NEAR(YS.getF(I), YD.getF(I), 1e-4)
+          << "seed " << Seed << " at " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Serving: nnz buckets, partial specialization
+//===----------------------------------------------------------------------===//
+
+TEST_F(SparseTest, BucketedShapeKeyCollapsesSameOctaveNnz) {
+  SpMMConfig C = smallSpMM();
+  RaggedInfo RI = analyzeRagged(buildSpMMDyn(C));
+  auto StoreFor = [&](int64_t Nnz) {
+    SparseCSR A = makeUniformCSR(C.Rows, C.Cols, Nnz);
+    std::map<std::string, Buffer> S;
+    S.emplace("m", Buffer::scalarI64(C.Rows));
+    S.emplace("nnz", Buffer::scalarI64(Nnz));
+    S.emplace("indptr", std::move(A.Indptr));
+    S.emplace("indices", std::move(A.Indices));
+    S.emplace("val", std::move(A.Val));
+    S.emplace("x", Buffer(DataType::Float32, {C.Cols, C.Feats}));
+    S.emplace("y", Buffer(DataType::Float32, {C.Rows, C.Feats}));
+    return S;
+  };
+  auto SA = StoreFor(150), SB = StoreFor(200), SC2 = StoreFor(300);
+  auto AA = argsOf(SA), AB = argsOf(SB), AC = argsOf(SC2);
+  std::string KA = serve::bucketedShapeKeyOf(AA, RI);
+  std::string KB = serve::bucketedShapeKeyOf(AB, RI);
+  std::string KC = serve::bucketedShapeKeyOf(AC, RI);
+  // 150 and 200 round to 256; 300 rounds to 512.
+  EXPECT_EQ(KA, KB);
+  EXPECT_NE(KA, KC);
+  EXPECT_NE(KA.find("nnz:i64~256"), std::string::npos) << KA;
+  EXPECT_NE(KA.find("val:f32[~256]"), std::string::npos) << KA;
+  // Dense sizes stay exact.
+  EXPECT_NE(KA.find("m:i64=" + std::to_string(C.Rows)), std::string::npos);
+  // The exact key still distinguishes them (telemetry for dense programs).
+  EXPECT_NE(serve::shapeKeyOf(AA), serve::shapeKeyOf(AB));
+  // Bucketed segments parse as skips, dense extents as bindings.
+  auto Ext = serve::parseScalarExtents(KA);
+  ASSERT_TRUE(Ext.ok()) << Ext.message();
+  ASSERT_EQ(Ext->size(), 1u);
+  EXPECT_EQ(Ext->at("m"), C.Rows);
+}
+
+TEST_F(SparseTest, ExecutorSpecializesOneKernelPerNnzBucket) {
+  SpMMConfig C = smallSpMM();
+  Func F = buildSpMMDyn(C);
+  serve::Config Cfg;
+  Cfg.Threads = 1;
+  Cfg.Specialize = true;
+  Cfg.SpecializeAfter = 2;
+  Cfg.SpecializeMax = 2;
+  serve::Executor Ex(Cfg);
+
+  auto RunOne = [&](int64_t Nnz, bool *Specialized) {
+    SparseCSR A = makeUniformCSR(C.Rows, C.Cols, Nnz);
+    Buffer M = Buffer::scalarI64(C.Rows);
+    Buffer NnzB = Buffer::scalarI64(Nnz);
+    Buffer X(DataType::Float32, {C.Cols, C.Feats});
+    for (int64_t I = 0; I < X.numel(); ++I)
+      X.setF(I, std::sin(0.17 * double(I)));
+    Buffer Y(DataType::Float32, {C.Rows, C.Feats});
+    std::map<std::string, Buffer *> Args{
+        {"m", &M},   {"nnz", &NnzB}, {"indptr", &A.Indptr},
+        {"indices", &A.Indices}, {"val", &A.Val}, {"x", &X}, {"y", &Y}};
+    auto R = Ex.submit(F, Args);
+    ASSERT_TRUE(R.ok()) << R.message();
+    serve::Response Resp = R->get();
+    ASSERT_TRUE(Resp.S.ok()) << Resp.S.message();
+    if (Specialized)
+      *Specialized = Resp.Specialized;
+    std::vector<float> Want(C.Rows * C.Feats);
+    SpMMConfig CN = C;
+    spmmNaive(CN, A, X.as<float>(), Want.data());
+    EXPECT_LT(maxDiff(Y, Want), 1e-5);
+  };
+
+  // Two hits at nnz=150 nominate the ~256 bucket; drain lands the one
+  // specialized compile (m folded, nnz residual-symbolic).
+  RunOne(150, nullptr);
+  RunOne(150, nullptr);
+  Ex.drain();
+  // nnz=200 is a DIFFERENT exact sparsity in the SAME bucket: it must be
+  // served by the bucket's specialized kernel, correctly.
+  bool Spec = false;
+  RunOne(200, &Spec);
+  EXPECT_TRUE(Spec);
+  EXPECT_GE(Ex.stats().SpecServed, 1u);
+  EXPECT_EQ(Ex.stats().SpecCompilesStarted, 1u);
+  Ex.shutdown();
+}

@@ -14,28 +14,35 @@
 #    a shape-generic workload from ONE generic compile, pass the
 #    differential check against the naive loops, and promote the hot
 #    shape bucket to a specialized kernel — plain and under ASan.
-# 6. Serve smoke: the tiered serving bench must pass its acceptance
+# 6. Sparse smoke: the ragged dependence facts must prove the CSR row
+#    loop parallel (accepted in the schedule audit log) and reject
+#    vectorize on the data-dependent segment loop with a reasoned audit
+#    entry — plain and under ASan; plus schema validation of the sparse
+#    bench's BENCH_sparse.json (compiled segment loops vs the
+#    materializing EagerTensor chains).
+# 7. Serve smoke: the tiered serving bench must pass its acceptance
 #    criteria (cold request hides the compile, >= 95% JIT after warm-up,
 #    bounded queue rejects under overload) and write schema-valid
 #    BENCH_serve.json — plain and under ASan.
-# 7. Telemetry smoke: a serve run with FT_TELEMETRY_DIR set must publish
+# 8. Telemetry smoke: a serve run with FT_TELEMETRY_DIR set must publish
 #    >= 2 schema-valid snapshots with strictly monotone sequence numbers
 #    and no unpublished tmp files, and `ftc --top` must round-trip the
 #    snapshot directory into the dashboard — including skipping a
 #    deliberately truncated snapshot with a warning — plain and under
 #    ASan.
-# 8. Correlation smoke: a cold-then-warm serve run with FT_TRACE +
+# 9. Correlation smoke: a cold-then-warm serve run with FT_TRACE +
 #    FT_TELEMETRY_DIR + a deadline must produce a Chrome trace where
 #    every serve/request span carries its request id and >= 1 flow arrow
 #    links a request to the background serve/compile span, and a final
 #    snapshot whose per-fingerprint shape counts sum to the requests
 #    served, with per-tenant deadline accounting that `ftc --top` and
 #    `ftc --advise` render — plain and under ASan.
-# 9. Bench guard: freshly written BENCH_*.json results (including the
+# 10. Bench guard: freshly written BENCH_*.json results (including the
 #    dynamic-shape bench's compile-amortization and specialization
-#    speedups) are compared against the committed baselines on key
-#    ratios; >25% regressions fail the check (tools/bench_guard.py).
-# 10. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
+#    speedups, and the sparse bench's eager-vs-compiled speedups) are
+#    compared against the committed baselines on key ratios; >25%
+#    regressions fail the check (tools/bench_guard.py).
+# 11. The same test suite rebuilt under ASan/UBSan (FT_SANITIZE=ON) in a
 #    separate build tree, so memory and UB bugs in the analysis/schedule
 #    layers cannot hide behind passing functional tests. The trace test
 #    runs there too: the observability layer itself must be clean.
@@ -191,6 +198,59 @@ dynshape_smoke() {
 echo "== dynshape smoke: one generic compile + hot-bucket promotion =="
 dynshape_smoke ./build/tools/ftc
 
+# Sparse smoke against $1/ftc: the ragged dependence facts must let
+# parallelize through on the CSR row loop and reject vectorize on the
+# data-dependent segment loop, with both verdicts in the audit log —
+# exactly what `ftc --check-schedule` drives and prints.
+sparse_smoke() {
+  local Ftc="$1"
+  local Out
+  Out="$("$Ftc" --check-schedule --workload spmm)" ||
+    { echo "sparse smoke: ftc --check-schedule failed"; echo "$Out"
+      return 1; }
+  echo "$Out" | grep -q "parallelize rows applied=1" ||
+    { echo "sparse smoke: row-loop parallelize not accepted in audit log"
+      echo "$Out"; return 1; }
+  echo "$Out" | grep -q "vectorize spmm_seg applied=0" ||
+    { echo "sparse smoke: segment-loop vectorize not rejected in audit log"
+      echo "$Out"; return 1; }
+  echo "$Out" | grep -q "data-dependent" ||
+    { echo "sparse smoke: vectorize rejection lost its reason"
+      echo "$Out"; return 1; }
+  echo "sparse smoke OK: parallelize(rows) accepted," \
+       "vectorize(spmm_seg) rejected as data-dependent"
+}
+
+# Schema validation of the sparse bench's JSON (run from scratch dir $2):
+# three workloads, each with a positive speedup over the eager chain and
+# a small output divergence, and the two-of-three acceptance bar met.
+sparse_bench_smoke() {
+  local Bench="$1"
+  local RunDir="$2"
+  (cd "$RunDir" && "$Bench") >/dev/null
+  python3 - "$RunDir/BENCH_sparse.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["benchmark"] == "sparse"
+rows = doc["workloads"]
+assert {r["name"] for r in rows} == {"spmm", "sddmm", "segsoftmax"}, \
+    f"unexpected workload set: {[r['name'] for r in rows]}"
+for r in rows:
+    for key in ("nnz", "eager_ms", "ft_ms", "speedup", "max_diff"):
+        assert key in r, f"{r['name']} missing '{key}'"
+    assert r["nnz"] > 0 and r["eager_ms"] > 0 and r["ft_ms"] > 0
+    assert r["max_diff"] <= 1e-3, \
+        f"{r['name']} diverges from the eager chain: {r['max_diff']}"
+at_bar = sum(r["speedup"] >= 1.3 for r in rows)
+assert at_bar >= 2, f"only {at_bar}/3 workloads reach 1.3x over eager"
+assert doc["second_best_speedup"] >= 1.3
+assert doc["pass"] is True
+print(f"sparse bench OK: {at_bar}/3 workloads >= 1.3x over eager, "
+      f"second-best {doc['second_best_speedup']:.2f}x")
+PYEOF
+}
+
 # Serving smoke against the serve_bench binary $1 (run from scratch dir
 # $2): the executor must
 # answer the cold request from the interpreter, reach >= 95% JIT tier after
@@ -225,6 +285,12 @@ print(f"serve smoke OK: cold {cold['first_request_sec']*1e3:.1f} ms vs "
       f"overload rejected {over['rejected']}/{over['offered']}")
 PYEOF
 }
+
+echo "== sparse smoke: ragged schedule legality audit =="
+sparse_smoke ./build/tools/ftc
+
+echo "== sparse bench: eager-vs-compiled speedups + JSON schema =="
+sparse_bench_smoke "$(pwd)/build/bench/sparse_bench" build/bench-build
 
 echo "== serve smoke: tiered executor bench + JSON schema =="
 serve_smoke "$(pwd)/build/bench/serve_bench" build/bench-build
@@ -415,6 +481,9 @@ ASAN_OPTIONS=detect_leaks=0 simd_smoke ./build-asan/tools/ftc
 
 echo "== dynshape smoke under ASan =="
 ASAN_OPTIONS=detect_leaks=0 dynshape_smoke ./build-asan/tools/ftc
+
+echo "== sparse smoke under ASan =="
+ASAN_OPTIONS=detect_leaks=0 sparse_smoke ./build-asan/tools/ftc
 
 echo "== serve smoke under ASan =="
 ASAN_OPTIONS=detect_leaks=0 \

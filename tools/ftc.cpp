@@ -3,7 +3,7 @@
 // A command-line front door to the compiler, mirroring how the original
 // project is driven from Python:
 //
-//   ftc --workload subdivnet|longformer|softras|gat
+//   ftc --workload subdivnet|longformer|softras|gat|spmm|sddmm|segsoftmax
 //       [--print-ir]        print the staged IR
 //       [--no-autoschedule] skip the rule passes
 //       [--print-opt-ir]    print the IR after scheduling
@@ -75,6 +75,7 @@
 #include "serve/serve.h"
 #include "serve/shape_key.h"
 #include "support/json.h"
+#include "workloads/sparse_workloads.h"
 #include "workloads/workloads.h"
 
 using namespace ft;
@@ -100,19 +101,22 @@ struct Options {
   bool Dyn = false;
   int Shapes = 12;
   bool Specialize = false;
+  bool CheckSchedule = false;
 };
 
 int usage() {
   std::fprintf(
       stderr,
-      "usage: ftc --workload subdivnet|longformer|softras|gat\n"
+      "usage: ftc --workload "
+      "subdivnet|longformer|softras|gat|spmm|sddmm|segsoftmax\n"
       "           [--print-ir] [--print-opt-ir] [--no-autoschedule]\n"
       "           [--emit-cpp FILE|-] [--grad] [--run N] [--profile]\n"
       "           [--vectorize-width N] [--no-cache] [--cache-dir DIR]\n"
       "           [--serve N]\n"
       "       ftc --dyn --workload W --serve N [--shapes M]\n"
       "       ftc --top [--telemetry-dir DIR] [--watch]\n"
-      "       ftc --advise [--telemetry-dir DIR] [--specialize]\n");
+      "       ftc --advise [--telemetry-dir DIR] [--specialize]\n"
+      "       ftc --check-schedule --workload spmm|sddmm|segsoftmax\n");
   return 2;
 }
 
@@ -155,6 +159,35 @@ Bound buildWorkload(const std::string &Name) {
     B.Store.emplace("a1", std::move(D.A1));
     B.Store.emplace("a2", std::move(D.A2));
     B.Store.emplace("y", Buffer(DataType::Float32, {C.NNodes, C.Feats}));
+  } else if (Name == "spmm") {
+    SpMMConfig C;
+    SpMMData D = makeSpMMData(C);
+    B.F = buildSpMM(C, D.A.Nnz);
+    B.Store.emplace("indptr", std::move(D.A.Indptr));
+    B.Store.emplace("indices", std::move(D.A.Indices));
+    B.Store.emplace("val", std::move(D.A.Val));
+    B.Store.emplace("x", std::move(D.X));
+    B.Store.emplace("y", Buffer(DataType::Float32, {C.Rows, C.Feats}));
+  } else if (Name == "sddmm") {
+    SDDMMConfig C;
+    SDDMMData D = makeSDDMMData(C);
+    const int64_t Nnz = D.A.Nnz;
+    B.F = buildSDDMM(C, Nnz);
+    B.Store.emplace("indptr", std::move(D.A.Indptr));
+    B.Store.emplace("indices", std::move(D.A.Indices));
+    B.Store.emplace("val", std::move(D.A.Val));
+    B.Store.emplace("a", std::move(D.Da));
+    B.Store.emplace("b", std::move(D.Db));
+    B.Store.emplace("out_val", Buffer(DataType::Float32, {Nnz}));
+  } else if (Name == "segsoftmax") {
+    SegSoftmaxConfig C;
+    SegSoftmaxData D = makeSegSoftmaxData(C);
+    B.F = buildSegSoftmax(C, D.G.Nnz);
+    B.Store.emplace("indptr", std::move(D.G.Indptr));
+    B.Store.emplace("indices", std::move(D.G.Indices));
+    B.Store.emplace("e", std::move(D.G.Val));
+    B.Store.emplace("h", std::move(D.H));
+    B.Store.emplace("y", Buffer(DataType::Float32, {C.Nodes, C.Feats}));
   }
   return B;
 }
@@ -174,6 +207,12 @@ Func buildDynWorkload(const std::string &Name) {
     return buildSoftRasDyn({});
   if (Name == "gat")
     return buildGATDyn({});
+  if (Name == "spmm")
+    return buildSpMMDyn({});
+  if (Name == "sddmm")
+    return buildSDDMMDyn({});
+  if (Name == "segsoftmax")
+    return buildSegSoftmaxDyn({});
   return {};
 }
 
@@ -222,6 +261,44 @@ std::map<std::string, Buffer> makeDynStore(const std::string &Name,
     S.emplace("a1", std::move(D.A1));
     S.emplace("a2", std::move(D.A2));
     S.emplace("y", Buffer(DataType::Float32, {C.NNodes, C.Feats}));
+  } else if (Name == "spmm") {
+    SpMMConfig C;
+    C.Rows = 64 + 16 * K;
+    C.Seed += static_cast<uint64_t>(K); // nnz churns shape-to-shape
+    SpMMData D = makeSpMMData(C);
+    S.emplace("m", Buffer::scalarI64(C.Rows));
+    S.emplace("nnz", Buffer::scalarI64(D.A.Nnz));
+    S.emplace("indptr", std::move(D.A.Indptr));
+    S.emplace("indices", std::move(D.A.Indices));
+    S.emplace("val", std::move(D.A.Val));
+    S.emplace("x", std::move(D.X));
+    S.emplace("y", Buffer(DataType::Float32, {C.Rows, C.Feats}));
+  } else if (Name == "sddmm") {
+    SDDMMConfig C;
+    C.Rows = 64 + 16 * K;
+    C.Seed += static_cast<uint64_t>(K);
+    SDDMMData D = makeSDDMMData(C);
+    const int64_t Nnz = D.A.Nnz;
+    S.emplace("m", Buffer::scalarI64(C.Rows));
+    S.emplace("nnz", Buffer::scalarI64(Nnz));
+    S.emplace("indptr", std::move(D.A.Indptr));
+    S.emplace("indices", std::move(D.A.Indices));
+    S.emplace("val", std::move(D.A.Val));
+    S.emplace("a", std::move(D.Da));
+    S.emplace("b", std::move(D.Db));
+    S.emplace("out_val", Buffer(DataType::Float32, {Nnz}));
+  } else if (Name == "segsoftmax") {
+    SegSoftmaxConfig C;
+    C.Nodes = 64 + 16 * K;
+    C.Seed += static_cast<uint64_t>(K);
+    SegSoftmaxData D = makeSegSoftmaxData(C);
+    S.emplace("m", Buffer::scalarI64(C.Nodes));
+    S.emplace("nnz", Buffer::scalarI64(D.G.Nnz));
+    S.emplace("indptr", std::move(D.G.Indptr));
+    S.emplace("indices", std::move(D.G.Indices));
+    S.emplace("e", std::move(D.G.Val));
+    S.emplace("h", std::move(D.H));
+    S.emplace("y", Buffer(DataType::Float32, {C.Nodes, C.Feats}));
   }
   return S;
 }
@@ -270,6 +347,62 @@ double dynStoreError(const std::string &Name,
     gatNaive(C, Store.at("h").as<float>(), Store.at("adj").as<int64_t>(),
              Store.at("a1").as<float>(), Store.at("a2").as<float>(),
              Y.data());
+    return MaxDiff(Store.at("y"), Y);
+  }
+  if (Name == "spmm") {
+    const int64_t Rows = Store.at("m").getI(0);
+    const int64_t Feats = SpMMConfig{}.Feats;
+    const int64_t *P = Store.at("indptr").as<int64_t>();
+    const int64_t *Ci = Store.at("indices").as<int64_t>();
+    const float *V = Store.at("val").as<float>();
+    const float *X = Store.at("x").as<float>();
+    std::vector<float> Y(Rows * Feats, 0.f);
+    for (int64_t I = 0; I < Rows; ++I)
+      for (int64_t J = P[I]; J < P[I + 1]; ++J)
+        for (int64_t F = 0; F < Feats; ++F)
+          Y[I * Feats + F] += V[J] * X[Ci[J] * Feats + F];
+    return MaxDiff(Store.at("y"), Y);
+  }
+  if (Name == "sddmm") {
+    const int64_t Rows = Store.at("m").getI(0);
+    const int64_t Nnz = Store.at("nnz").getI(0);
+    const int64_t Feats = SDDMMConfig{}.Feats;
+    const int64_t *P = Store.at("indptr").as<int64_t>();
+    const int64_t *Ci = Store.at("indices").as<int64_t>();
+    const float *V = Store.at("val").as<float>();
+    const float *Da = Store.at("a").as<float>();
+    const float *Db = Store.at("b").as<float>();
+    std::vector<float> Out(Nnz, 0.f);
+    for (int64_t I = 0; I < Rows; ++I)
+      for (int64_t J = P[I]; J < P[I + 1]; ++J) {
+        float Dot = 0;
+        for (int64_t F = 0; F < Feats; ++F)
+          Dot += Da[I * Feats + F] * Db[Ci[J] * Feats + F];
+        Out[J] = V[J] * Dot;
+      }
+    return MaxDiff(Store.at("out_val"), Out);
+  }
+  if (Name == "segsoftmax") {
+    const int64_t Nodes = Store.at("m").getI(0);
+    const int64_t Feats = SegSoftmaxConfig{}.Feats;
+    const int64_t *P = Store.at("indptr").as<int64_t>();
+    const int64_t *Ci = Store.at("indices").as<int64_t>();
+    const float *E = Store.at("e").as<float>();
+    const float *H = Store.at("h").as<float>();
+    std::vector<float> Y(Nodes * Feats, 0.f);
+    for (int64_t I = 0; I < Nodes; ++I) {
+      float Mx = -1e30f;
+      for (int64_t J = P[I]; J < P[I + 1]; ++J)
+        Mx = std::max(Mx, E[J]);
+      float Sum = 0;
+      for (int64_t J = P[I]; J < P[I + 1]; ++J)
+        Sum += std::exp(E[J] - Mx);
+      for (int64_t J = P[I]; J < P[I + 1]; ++J) {
+        const float W = std::exp(E[J] - Mx) / Sum;
+        for (int64_t F = 0; F < Feats; ++F)
+          Y[I * Feats + F] += W * H[Ci[J] * Feats + F];
+      }
+    }
     return MaxDiff(Store.at("y"), Y);
   }
   return 0;
@@ -701,7 +834,8 @@ int runAdvise(const Options &O) {
   // identically and the server's own compile becomes a warm cache hit.
   serve::Config SC = serve::Config::fromEnv();
   std::map<std::string, std::pair<std::string, Func>> ByFp;
-  for (const char *W : {"subdivnet", "longformer", "softras", "gat"}) {
+  for (const char *W : {"subdivnet", "longformer", "softras", "gat", "spmm",
+                        "sddmm", "segsoftmax"}) {
     Func DynF = buildDynWorkload(W);
     Func Served = DynF;
     if (O.AutoScheduleEnabled) {
@@ -724,10 +858,15 @@ int runAdvise(const Options &O) {
     auto It = ByFp.find(R.Fingerprint);
     if (It == ByFp.end())
       continue;
-    std::map<std::string, int64_t> Ext = serve::parseScalarExtents(R.Shape);
-    if (Ext.empty())
+    auto ExtR = serve::parseScalarExtents(R.Shape);
+    if (!ExtR.ok()) {
+      std::fprintf(stderr, "advise: skipping shape `%s`: %s\n",
+                   R.Shape.c_str(), ExtR.message().c_str());
       continue;
-    Func SF = specializeFunc(It->second.second, Ext);
+    }
+    if (ExtR->empty())
+      continue;
+    Func SF = specializeFunc(It->second.second, *ExtR);
     Func In = autoScheduleFunc(simplify(SF));
     auto K = Kernel::compile(In, {}, SC.SpecOptFlags);
     if (!K.ok()) {
@@ -746,6 +885,71 @@ int runAdvise(const Options &O) {
   std::printf("advise: %zu specialized kernel(s) in the cache (cap %zu)\n",
               Compiled, Budget);
   return 0;
+}
+
+/// `ftc --check-schedule`: drives the two schedule primitives the ragged
+/// dependence analysis must decide — parallelize on the dense row loop
+/// (legal: indptr monotonicity proves distinct rows touch disjoint
+/// segments) and vectorize on the data-dependent segment loop (rejected
+/// with a reason) — and prints the audit verdicts for check.sh to grep.
+int runCheckSchedule(Options &O) {
+  std::string RowLabel = "rows", SegLabel;
+  Func F;
+  if (O.Workload == "spmm") {
+    F = buildSpMMDyn(SpMMConfig{});
+    SegLabel = "spmm_seg";
+  } else if (O.Workload == "sddmm") {
+    F = buildSDDMMDyn(SDDMMConfig{});
+    SegLabel = "sddmm_seg";
+  } else if (O.Workload == "segsoftmax") {
+    F = buildSegSoftmaxDyn(SegSoftmaxConfig{});
+    RowLabel = "nodes";
+    SegLabel = "seg_agg";
+  } else {
+    std::fprintf(stderr, "--check-schedule needs a sparse workload "
+                         "(spmm|sddmm|segsoftmax), got `%s`\n",
+                 O.Workload.c_str());
+    return usage();
+  }
+
+  trace::setAuditEnabled(true);
+  size_t Base = trace::auditSize();
+  Schedule S(F);
+  auto Row = S.findByLabel(RowLabel);
+  if (!Row.ok()) {
+    std::fprintf(stderr, "no `%s` loop: %s\n", RowLabel.c_str(),
+                 Row.message().c_str());
+    return 1;
+  }
+  Status Par = S.parallelize(*Row);
+  auto Seg = S.findByLabel(SegLabel);
+  if (!Seg.ok()) {
+    std::fprintf(stderr, "no `%s` loop: %s\n", SegLabel.c_str(),
+                 Seg.message().c_str());
+    return 1;
+  }
+  Status Vec = S.vectorize(*Seg, 8);
+
+  bool Ok = true;
+  for (const trace::ScheduleDecision &D : trace::auditLogSince(Base)) {
+    std::printf("schedule-audit: %s %s applied=%d%s%s\n", D.Primitive.c_str(),
+                (D.Primitive == "parallelize" ? RowLabel : SegLabel).c_str(),
+                D.Applied ? 1 : 0, D.Reason.empty() ? "" : " reason=",
+                D.Reason.c_str());
+    if (D.Primitive == "parallelize")
+      Ok = Ok && D.Applied;
+    if (D.Primitive == "vectorize")
+      Ok = Ok && !D.Applied &&
+           D.Reason.find("data-dependent") != std::string::npos;
+  }
+  trace::setAuditEnabled(false);
+  Ok = Ok && Par.ok() && !Vec.ok();
+  std::printf("check-schedule %s: row loop `%s` parallel=%s, segment loop "
+              "`%s` vectorize=%s\n",
+              O.Workload.c_str(), RowLabel.c_str(),
+              Par.ok() ? "legal" : "REJECTED", SegLabel.c_str(),
+              Vec.ok() ? "ACCEPTED (bug)" : "rejected");
+  return Ok ? 0 : 1;
 }
 
 } // namespace
@@ -792,10 +996,14 @@ int main(int argc, char **argv) {
       O.Shapes = std::atoi(argv[++I]);
     else if (A == "--specialize")
       O.Specialize = true;
+    else if (A == "--check-schedule")
+      O.CheckSchedule = true;
     else
       return usage();
   }
 
+  if (O.CheckSchedule)
+    return runCheckSchedule(O);
   if (O.Top)
     return runTop(O);
   if (O.Advise)
